@@ -1,0 +1,47 @@
+// Ablation — capping output counts at the input counts (x_ij <= c_ij).
+//
+// The paper's O-UMP leaves output counts uncapped: a pair can be emitted
+// more often than the input saw it (the budget, not the data, limits it).
+// DESIGN.md flags the cap as a natural variant; this ablation quantifies
+// its cost/benefit on λ and on F-UMP-style support fidelity.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/oump.h"
+#include "metrics/utility_metrics.h"
+#include "util/table_printer.h"
+
+using namespace privsan;
+
+int main() {
+  bench::BenchDataset dataset = bench::LoadDataset();
+  const double min_support = 1.0 / 500;
+
+  TablePrinter table(
+      "Ablation — O-UMP with and without the x_ij <= c_ij cap");
+  table.SetHeader({"e^eps", "delta", "lambda (uncapped)", "lambda (capped)",
+                   "supp.dist (uncapped)", "supp.dist (capped)"});
+  for (double e_eps : {1.4, 2.0, 2.3}) {
+    for (double delta : {0.1, 0.5, 0.8}) {
+      PrivacyParams params = PrivacyParams::FromEEpsilon(e_eps, delta);
+      OumpOptions uncapped;
+      OumpOptions capped;
+      capped.cap_counts_at_input = true;
+      auto u = SolveOump(dataset.log, params, uncapped);
+      auto c = SolveOump(dataset.log, params, capped);
+      if (!u.ok() || !c.ok()) continue;
+      table.AddRow({bench::Shorten(e_eps, 2), bench::Shorten(delta, 2),
+                    std::to_string(u->lambda), std::to_string(c->lambda),
+                    bench::Shorten(
+                        SupportDistanceSum(dataset.log, u->x, min_support), 4),
+                    bench::Shorten(
+                        SupportDistanceSum(dataset.log, c->x, min_support),
+                        4)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nreading: the cap can only reduce lambda; it tends to "
+               "improve support fidelity by stopping the optimizer from "
+               "piling budget onto a few cheap pairs.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Shared setup for the bench harness: dataset selection, the paper's
+// parameter grids (Section 6.1), and small formatting helpers.
+//
+// Every bench binary reproduces one table or figure of the paper on a
+// synthetic AOL-profile dataset. PRIVSAN_BENCH_SCALE selects the size:
+//   small  — seconds per bench (CI-sized)
+//   medium — the default; the full suite runs in minutes
+//   full   — Table-3-scale (2500 users); O-UMP/LP-heavy benches take long
+#ifndef PRIVSAN_BENCH_BENCH_COMMON_H_
+#define PRIVSAN_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/privacy_params.h"
+#include "log/preprocess.h"
+#include "log/search_log.h"
+#include "synth/generator.h"
+#include "util/string_util.h"
+
+namespace privsan {
+namespace bench {
+
+inline const std::vector<double>& EEpsilonGrid() {
+  static const std::vector<double>* grid =
+      new std::vector<double>{1.001, 1.01, 1.1, 1.4, 1.7, 2.0, 2.3};
+  return *grid;
+}
+
+inline const std::vector<double>& DeltaGrid() {
+  static const std::vector<double>* grid =
+      new std::vector<double>{1e-4, 1e-3, 1e-2, 1e-1, 0.2, 0.5, 0.8};
+  return *grid;
+}
+
+inline const std::vector<double>& SupportGrid() {
+  static const std::vector<double>* grid = new std::vector<double>{
+      1.0 / 100, 1.0 / 250, 1.0 / 500, 1.0 / 750, 1.0 / 1000};
+  return *grid;
+}
+
+inline std::string BenchScaleName() {
+  const char* env = std::getenv("PRIVSAN_BENCH_SCALE");
+  return env == nullptr ? "medium" : env;
+}
+
+inline SyntheticLogConfig BenchConfig() {
+  const std::string scale = BenchScaleName();
+  if (scale == "full") return PaperScaleConfig();
+  if (scale == "small") {
+    SyntheticLogConfig config = BenchScaleConfig();
+    config.num_users = 120;
+    config.num_queries = 800;
+    config.url_pool = 1000;
+    config.num_events = 10000;
+    return config;
+  }
+  return BenchScaleConfig();
+}
+
+struct BenchDataset {
+  SearchLog raw;
+  SearchLog log;  // preprocessed (Condition 1 applied)
+  PreprocessStats stats;
+};
+
+inline BenchDataset LoadDataset() {
+  BenchDataset dataset;
+  dataset.raw = GenerateSearchLog(BenchConfig()).value();
+  PreprocessResult preprocessed = RemoveUniquePairs(dataset.raw);
+  dataset.log = std::move(preprocessed.log);
+  dataset.stats = preprocessed.stats;
+  std::cout << "# dataset scale: " << BenchScaleName() << " — "
+            << dataset.log.num_pairs() << " pairs, "
+            << dataset.log.num_users() << " user logs, |D| = "
+            << dataset.log.total_clicks() << " (after preprocessing)\n\n";
+  return dataset;
+}
+
+inline std::string Percent(double fraction, int precision = 1) {
+  return FormatDouble(100.0 * fraction, precision) + "%";
+}
+
+inline std::string Shorten(double value, int precision = 4) {
+  return FormatDouble(value, precision);
+}
+
+}  // namespace bench
+}  // namespace privsan
+
+#endif  // PRIVSAN_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,70 @@
+// Figure 5 — Computational performance for solving D-UMP
+// (e^ε = 1.7, δ = 1e-3; the paper plots log-scale runtime).
+//
+// Expected shape: SPE runs orders of magnitude faster than every LP-based
+// solver (the paper: SPE ~ seconds vs 10^2-10^4 seconds for the rest).
+// Absolute times are hardware-bound; the ordering is the reproduced result.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/dump.h"
+#include "util/table_printer.h"
+
+using namespace privsan;
+
+namespace {
+
+void RunCell(const SearchLog& log, double e_eps, double delta,
+             const std::string& note) {
+  PrivacyParams params = PrivacyParams::FromEEpsilon(e_eps, delta);
+  TablePrinter table("Figure 5 — D-UMP solver runtime (e^eps = " +
+                     privsan::bench::Shorten(e_eps, 2) +
+                     ", delta = " + privsan::bench::Shorten(delta, 3) + ")" +
+                     note);
+  table.SetHeader(
+      {"solver", "retained", "seconds", "log10(s)", "slowdown vs SPE"});
+
+  double spe_seconds = 0.0;
+  for (DumpSolverKind kind :
+       {DumpSolverKind::kSpe, DumpSolverKind::kGreedy,
+        DumpSolverKind::kLpRounding, DumpSolverKind::kBranchAndBound}) {
+    DumpOptions options;
+    options.solver = kind;
+    options.bnb.max_nodes = 50;
+    options.bnb.time_limit_seconds = 20.0;
+    auto result = SolveDump(log, params, options);
+    if (!result.ok()) {
+      table.AddRow({DumpSolverKindToString(kind), "err", "", "", ""});
+      continue;
+    }
+    if (kind == DumpSolverKind::kSpe) spe_seconds = result->wall_seconds;
+    const double seconds = std::max(result->wall_seconds, 1e-9);
+    table.AddRow({DumpSolverKindToString(kind),
+                  std::to_string(result->retained),
+                  privsan::bench::Shorten(seconds, 6),
+                  privsan::bench::Shorten(std::log10(seconds), 2),
+                  spe_seconds > 0
+                      ? privsan::bench::Shorten(seconds / spe_seconds, 1) +
+                            "x"
+                      : "1.0x"});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchDataset dataset = bench::LoadDataset();
+  // The paper's cell. Under the equation-faithful budget (see
+  // EXPERIMENTS.md note 2) delta = 1e-3 admits no retained pairs, so the
+  // runtimes measure pure solver overhead on a degenerate instance.
+  RunCell(dataset.log, 1.7, 1e-3, "  [paper's cell]");
+  // A non-degenerate cell for the meaningful runtime comparison.
+  RunCell(dataset.log, 1.7, 0.5, "  [non-degenerate cell]");
+  std::cout << "paper Fig. 5 (log-scale runtime): SPE < bintprog < "
+               "qsopt_ex < scip < feaspump, spanning ~4 orders of "
+               "magnitude.\n";
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Micro benchmarks (google-benchmark): the hot kernels under the paper's
+// pipeline — alias-table sampling, multinomial draws, DP-row evaluation,
+// SPE, rounding, and a small simplex solve.
+#include <benchmark/benchmark.h>
+
+#include "core/constraints.h"
+#include "core/dump.h"
+#include "core/oump.h"
+#include "core/rounding.h"
+#include "core/sampler.h"
+#include "core/spe.h"
+#include "log/preprocess.h"
+#include "rng/alias_table.h"
+#include "rng/distributions.h"
+#include "synth/generator.h"
+
+namespace privsan {
+namespace {
+
+const SearchLog& MicroLog() {
+  static const SearchLog* log = [] {
+    SyntheticLogConfig config = TinyConfig();
+    config.num_events = 4000;
+    config.num_users = 80;
+    config.num_queries = 500;
+    return new SearchLog(
+        RemoveUniquePairs(GenerateSearchLog(config).value()).log);
+  }();
+  return *log;
+}
+
+void BM_AliasTableSample(benchmark::State& state) {
+  std::vector<double> weights(static_cast<size_t>(state.range(0)));
+  Rng seed_rng(7);
+  for (double& w : weights) w = seed_rng.NextDouble() + 0.01;
+  AliasTable table = AliasTable::Build(weights).value();
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Sample(rng));
+  }
+}
+BENCHMARK(BM_AliasTableSample)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_AliasTableBuild(benchmark::State& state) {
+  std::vector<double> weights(static_cast<size_t>(state.range(0)));
+  Rng seed_rng(7);
+  for (double& w : weights) w = seed_rng.NextDouble() + 0.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AliasTable::Build(weights).value());
+  }
+}
+BENCHMARK(BM_AliasTableBuild)->Arg(64)->Arg(1024);
+
+void BM_Multinomial(benchmark::State& state) {
+  std::vector<double> weights = {1.0, 2.0, 3.0, 4.0, 5.0};
+  Rng rng(13);
+  const uint64_t trials = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SampleMultinomial(rng, trials, weights).value());
+  }
+}
+BENCHMARK(BM_Multinomial)->Arg(100)->Arg(10000);
+
+void BM_ConstraintBuild(benchmark::State& state) {
+  const SearchLog& log = MicroLog();
+  PrivacyParams params = PrivacyParams::FromEEpsilon(2.0, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DpConstraintSystem::Build(log, params).value());
+  }
+}
+BENCHMARK(BM_ConstraintBuild);
+
+void BM_ConstraintCheck(benchmark::State& state) {
+  const SearchLog& log = MicroLog();
+  DpConstraintSystem system =
+      DpConstraintSystem::Build(log, PrivacyParams::FromEEpsilon(2.0, 0.5))
+          .value();
+  std::vector<uint64_t> x(log.num_pairs(), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.IsSatisfied(x));
+  }
+}
+BENCHMARK(BM_ConstraintCheck);
+
+void BM_Spe(benchmark::State& state) {
+  const SearchLog& log = MicroLog();
+  lp::BipProblem problem =
+      BuildDumpBip(log, PrivacyParams::FromEEpsilon(2.0, 0.5)).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveSpe(problem).value());
+  }
+}
+BENCHMARK(BM_Spe);
+
+void BM_OumpSolve(benchmark::State& state) {
+  const SearchLog& log = MicroLog();
+  PrivacyParams params = PrivacyParams::FromEEpsilon(2.0, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveOump(log, params).value());
+  }
+}
+BENCHMARK(BM_OumpSolve);
+
+void BM_SampleOutput(benchmark::State& state) {
+  const SearchLog& log = MicroLog();
+  OumpResult oump =
+      SolveOump(log, PrivacyParams::FromEEpsilon(2.0, 0.5)).value();
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SampleOutput(log, oump.x, seed++).value());
+  }
+}
+BENCHMARK(BM_SampleOutput);
+
+}  // namespace
+}  // namespace privsan
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Table 3 — Characteristics of the Data Sets.
+//
+// Paper: AOL full set / 2500-user experimental sample / preprocessed set
+// (unique pairs removed): 1,864,860 / 237,786 / 53,067 tuples and
+// 1,190,491 / 163,681 / 6,043 query-url pairs. The synthetic AOL profile
+// reproduces the same *structure*: a raw log whose pair dictionary collapses
+// massively under Condition-1 preprocessing while most users survive.
+#include <iostream>
+
+#include "bench_common.h"
+#include "synth/characteristics.h"
+#include "util/table_printer.h"
+
+using namespace privsan;
+
+int main() {
+  bench::BenchDataset dataset = bench::LoadDataset();
+  DatasetCharacteristics raw = ComputeCharacteristics(dataset.raw);
+  DatasetCharacteristics pre = ComputeCharacteristics(dataset.log);
+
+  TablePrinter table(
+      "Table 3 — dataset characteristics (synthetic AOL profile)");
+  table.SetHeader({"", "raw dataset", "preprocessed (no unique pairs)"});
+  table.AddRow({"# of total tuples (|D|)",
+                FormatWithCommas(static_cast<int64_t>(raw.total_clicks)),
+                FormatWithCommas(static_cast<int64_t>(pre.total_clicks))});
+  table.AddRow({"# of user logs", std::to_string(raw.num_user_logs),
+                std::to_string(pre.num_user_logs)});
+  table.AddRow({"# of distinct queries",
+                std::to_string(raw.num_distinct_queries),
+                std::to_string(pre.num_distinct_queries)});
+  table.AddRow({"# of distinct urls", std::to_string(raw.num_distinct_urls),
+                std::to_string(pre.num_distinct_urls)});
+  table.AddRow({"# of query-url pairs",
+                std::to_string(raw.num_query_url_pairs),
+                std::to_string(pre.num_query_url_pairs)});
+  table.Print(std::cout);
+
+  std::cout << "\npair collapse under Condition 1: "
+            << raw.num_query_url_pairs << " -> " << pre.num_query_url_pairs
+            << " ("
+            << bench::Percent(1.0 - static_cast<double>(
+                                        pre.num_query_url_pairs) /
+                                        static_cast<double>(
+                                            raw.num_query_url_pairs))
+            << " removed; paper: 163,681 -> 6,043, 96.3% removed)\n";
+  std::cout << "variables in the UMPs:   " << pre.num_query_url_pairs << "\n";
+  std::cout << "DP constraints (users):  " << pre.num_user_logs << "\n";
+  return 0;
+}

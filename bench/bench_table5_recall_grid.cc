@@ -1,0 +1,59 @@
+// Table 5 — Recall on Output Size |O| and Minimum Support s
+// (e^ε = 2, δ = 0.5).
+//
+// Expected shape: recall high (the paper reports > 0.73 everywhere, mostly
+// > 0.85) and mildly decreasing as |O| grows at fixed s (a larger fixed
+// output is harder to keep aligned with the input supports under the same
+// budget).
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/fump.h"
+#include "core/oump.h"
+#include "metrics/utility_metrics.h"
+#include "util/table_printer.h"
+
+using namespace privsan;
+
+int main() {
+  bench::BenchDataset dataset = bench::LoadDataset();
+  PrivacyParams params = PrivacyParams::FromEEpsilon(2.0, 0.5);
+  OumpResult oump = SolveOump(dataset.log, params).value();
+  std::cout << "lambda = " << oump.lambda << "\n";
+  if (oump.lambda == 0) {
+    std::cout << "budget too tight on this dataset scale\n";
+    return 0;
+  }
+  std::vector<uint64_t> sizes;
+  for (int i = 1; i <= 6; ++i) {
+    sizes.push_back(std::max<uint64_t>(1, oump.lambda * (22 + 10 * i) / 100));
+  }
+
+  TablePrinter table("Table 5 — Recall on |O| and s (e^eps = 2, delta = 0.5)");
+  std::vector<std::string> header = {"s \\ |O|"};
+  for (uint64_t size : sizes) header.push_back(std::to_string(size));
+  table.SetHeader(header);
+
+  for (double support : bench::SupportGrid()) {
+    std::vector<std::string> row = {"1/" + std::to_string(static_cast<int>(
+                                               1.0 / support + 0.5))};
+    for (uint64_t size : sizes) {
+      FumpOptions options;
+      options.min_support = support;
+      options.output_size = size;
+      auto result = SolveFump(dataset.log, params, options);
+      if (!result.ok()) {
+        row.push_back("err");
+        continue;
+      }
+      PrecisionRecall pr =
+          FrequentPairMetrics(dataset.log, result->x, support);
+      row.push_back(bench::Shorten(pr.recall, 4));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::cout << "\npaper Table 5: recall 0.73 .. 0.93 across the grid; "
+               "Precision is 1 in every cell (checked by the F-UMP tests).\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Table 7 — Retained Diversity Utility of Different BIP Solvers.
+//
+// Paper setup: (a) e^ε = 2 fixed, δ swept; (b) δ = 0.1 fixed, e^ε swept.
+// Solvers: SPE (Algorithm 2) vs Matlab bintprog / NEOS qsopt_ex / scip
+// (exact solvers under practical limits — privsan's budgeted branch &
+// bound) and NEOS feaspump (privsan's LP rounding), plus the constructive
+// greedy as an extra baseline.
+//
+// Expected shape: all solvers track the same rising trend; SPE is
+// competitive with the LP-based heuristic at a fraction of its cost, and
+// the budgeted exact solver trails on large instances.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/dump.h"
+#include "util/table_printer.h"
+
+using namespace privsan;
+
+namespace {
+
+std::string Cell(const SearchLog& log, const PrivacyParams& params,
+                 DumpSolverKind kind) {
+  DumpOptions options;
+  options.solver = kind;
+  options.bnb.max_nodes = 50;
+  options.bnb.time_limit_seconds = 8.0;
+  auto result = SolveDump(log, params, options);
+  return result.ok() ? privsan::bench::Percent(result->diversity_ratio, 1)
+                     : "err";
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchDataset dataset = bench::LoadDataset();
+  const std::vector<DumpSolverKind> solvers = {
+      DumpSolverKind::kSpe, DumpSolverKind::kGreedy,
+      DumpSolverKind::kLpRounding, DumpSolverKind::kBranchAndBound};
+
+  {
+    TablePrinter table("Table 7(a) — retained diversity, e^eps = 2");
+    std::vector<std::string> header = {"solver \\ delta"};
+    const std::vector<double> deltas = {1e-3, 1e-2, 1e-1, 0.2, 0.5, 0.8};
+    for (double delta : deltas) {
+      header.push_back(bench::Shorten(delta, delta < 0.01 ? 3 : 2));
+    }
+    table.SetHeader(header);
+    for (DumpSolverKind kind : solvers) {
+      std::vector<std::string> row = {DumpSolverKindToString(kind)};
+      for (double delta : deltas) {
+        row.push_back(
+            Cell(dataset.log, PrivacyParams::FromEEpsilon(2.0, delta), kind));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print(std::cout);
+  }
+  std::cout << "\n";
+  {
+    TablePrinter table("Table 7(b) — retained diversity, delta = 0.1");
+    std::vector<std::string> header = {"solver \\ e^eps"};
+    const std::vector<double> e_epsilons = {1.01, 1.1, 1.4, 1.7, 2.0, 2.3};
+    for (double e_eps : e_epsilons) {
+      header.push_back(bench::Shorten(e_eps, 2));
+    }
+    table.SetHeader(header);
+    for (DumpSolverKind kind : solvers) {
+      std::vector<std::string> row = {DumpSolverKindToString(kind)};
+      for (double e_eps : e_epsilons) {
+        row.push_back(
+            Cell(dataset.log, PrivacyParams::FromEEpsilon(e_eps, 0.1), kind));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print(std::cout);
+  }
+  std::cout << "\npaper Table 7: SPE 9.5%-30.6%, within ~1 percentage point "
+               "of the best solver in every cell and above the exact "
+               "solvers under limits in most.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Diversity-maximizing release (D-UMP, Section 5.3): a research group wants
+// as many *distinct* query-url pairs as possible — e.g. to study the breadth
+// of search behavior — rather than high counts. D-UMP retains the maximum
+// number of distinct pairs under the privacy budget; each retained pair is
+// emitted once with a sampled user-ID.
+//
+// The example runs all four BIP solvers privsan ships (the paper's SPE
+// heuristic, a constructive greedy, LP rounding, and budgeted branch &
+// bound) and compares retained diversity and runtime — a miniature of the
+// paper's Table 7 / Figure 5.
+#include <iomanip>
+#include <iostream>
+
+#include "core/dump.h"
+#include "core/sanitizer.h"
+#include "log/preprocess.h"
+#include "synth/generator.h"
+#include "util/table_printer.h"
+
+using namespace privsan;
+
+int main() {
+  SyntheticLogConfig config = TinyConfig();
+  config.num_events = 5000;
+  config.num_users = 100;
+  config.num_queries = 700;
+  SearchLog raw = GenerateSearchLog(config).value();
+  SearchLog log = RemoveUniquePairs(raw).log;
+  std::cout << "preprocessed input: " << log.num_pairs()
+            << " shared query-url pairs across " << log.num_users()
+            << " users\n\n";
+
+  PrivacyParams params = PrivacyParams::FromEEpsilon(2.0, 0.5);
+
+  TablePrinter table("D-UMP solver comparison (e^eps = 2, delta = 0.5)");
+  table.SetHeader({"solver", "retained pairs", "diversity %", "seconds",
+                   "proven optimal"});
+  for (DumpSolverKind kind :
+       {DumpSolverKind::kSpe, DumpSolverKind::kGreedy,
+        DumpSolverKind::kLpRounding, DumpSolverKind::kBranchAndBound}) {
+    DumpOptions options;
+    options.solver = kind;
+    options.bnb.max_nodes = 200;
+    options.bnb.time_limit_seconds = 20;
+    Result<DumpResult> result = SolveDump(log, params, options);
+    if (!result.ok()) {
+      std::cerr << DumpSolverKindToString(kind)
+                << " failed: " << result.status() << std::endl;
+      continue;
+    }
+    std::ostringstream pct, secs;
+    pct << std::fixed << std::setprecision(1)
+        << 100.0 * result->diversity_ratio;
+    secs << std::scientific << std::setprecision(2) << result->wall_seconds;
+    table.AddRow({DumpSolverKindToString(kind),
+                  std::to_string(result->retained), pct.str(), secs.str(),
+                  result->proven_optimal ? "yes" : "no"});
+  }
+  table.Print(std::cout);
+
+  // Full pipeline with SPE: sample user-IDs for the retained pairs.
+  SanitizerConfig sanitizer_config;
+  sanitizer_config.privacy = params;
+  sanitizer_config.objective = UtilityObjective::kDiversity;
+  sanitizer_config.dump_solver = DumpSolverKind::kSpe;
+  Sanitizer sanitizer(sanitizer_config);
+  Result<SanitizeReport> report = sanitizer.Sanitize(raw);
+  if (!report.ok()) {
+    std::cerr << "sanitization failed: " << report.status() << std::endl;
+    return 1;
+  }
+  std::cout << "\nreleased log: " << report->output.num_pairs()
+            << " distinct pairs, " << report->output.num_users()
+            << " users, audit: "
+            << (report->audit.satisfies_privacy ? "private" : "VIOLATED")
+            << "\n";
+  return 0;
+}

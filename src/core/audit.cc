@@ -1,0 +1,83 @@
+#include "core/audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace privsan {
+
+Result<AuditReport> AuditSolution(const SearchLog& log,
+                                  const PrivacyParams& params,
+                                  std::span<const uint64_t> x) {
+  PRIVSAN_RETURN_IF_ERROR(params.Validate());
+  if (x.size() != log.num_pairs()) {
+    return Status::InvalidArgument(
+        "count vector size does not match the log's pair count");
+  }
+
+  AuditReport report;
+  report.budget = params.Budget();
+  report.condition1_ok = true;
+
+  // Condition 1: unique pairs must have zero output count.
+  for (PairId p = 0; p < log.num_pairs(); ++p) {
+    if (x[p] > 0 && log.PairUserCount(p) <= 1) {
+      report.condition1_ok = false;
+    }
+  }
+
+  // Per-user Equation 2 / Equation 3, computed in log space for stability:
+  //   exponent_k = sum_{(i,j) in A_k, c_ijk < c_ij} x_ij * log t_ijk
+  //   ratio_k = exp(exponent_k);  leak_k = 1 − exp(−exponent_k).
+  for (UserId u = 0; u < log.num_users(); ++u) {
+    auto user_log = log.UserLogOf(u);
+    if (user_log.empty()) continue;
+    double exponent = 0.0;
+    bool infinite = false;  // user owns a unique pair with positive count
+    for (const PairCount& cell : user_log) {
+      if (x[cell.pair] == 0) continue;
+      const uint64_t c_ij = log.pair_total(cell.pair);
+      const uint64_t c_ijk = cell.count;
+      if (c_ijk >= c_ij) {
+        infinite = true;
+        continue;
+      }
+      const double log_t = std::log(static_cast<double>(c_ij) /
+                                    static_cast<double>(c_ij - c_ijk));
+      exponent += log_t * static_cast<double>(x[cell.pair]);
+    }
+    const double ratio =
+        infinite ? std::numeric_limits<double>::infinity() : std::exp(exponent);
+    const double leak = infinite ? 1.0 : -std::expm1(-exponent);
+    if (ratio > report.max_ratio || leak > report.max_leak_probability) {
+      report.worst_user = u;
+    }
+    report.max_ratio = std::max(report.max_ratio, ratio);
+    report.max_leak_probability = std::max(report.max_leak_probability, leak);
+    report.max_row_lhs = std::max(report.max_row_lhs, exponent);
+  }
+
+  // Small slack absorbs floating-point accumulation; the solvers themselves
+  // enforce the budget exactly.
+  const double tol = 1e-9;
+  report.condition2_ok = report.max_ratio <= std::exp(params.epsilon) + tol;
+  report.condition3_ok = report.max_leak_probability <= params.delta + tol;
+  report.satisfies_privacy =
+      report.condition1_ok && report.condition2_ok && report.condition3_ok;
+  return report;
+}
+
+std::string AuditReport::ToString() const {
+  std::ostringstream os;
+  os << "privacy " << (satisfies_privacy ? "SATISFIED" : "VIOLATED")
+     << " | cond1(unique pairs)=" << (condition1_ok ? "ok" : "FAIL")
+     << " cond2(ratio)=" << (condition2_ok ? "ok" : "FAIL")
+     << " cond3(leak)=" << (condition3_ok ? "ok" : "FAIL")
+     << " | max ratio=" << max_ratio
+     << " max leak prob=" << max_leak_probability
+     << " max row lhs=" << max_row_lhs << " budget=" << budget;
+  return os.str();
+}
+
+}  // namespace privsan

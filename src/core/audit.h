@@ -1,0 +1,57 @@
+// Privacy audit: verifies Theorem 1 on a concrete solution.
+//
+// Given the (preprocessed) input D and output counts x, the audit computes
+// for every user log A_k the exact quantities of Section 4.1:
+//
+//   Equation 2:  Pr[R(D) in Ω1]  = 1 − prod ((c_ij − c_ijk)/c_ij)^x_ij
+//                                  (probability that s_k leaks into O)
+//   Equation 3:  max output ratio = prod (c_ij/(c_ij − c_ijk))^x_ij
+//
+// and checks them against δ and e^ε. These are computed directly from the
+// counts — not via the merged linear budget — so the audit independently
+// cross-checks the constraint formulation (their logs coincide, which the
+// property tests assert).
+#ifndef PRIVSAN_CORE_AUDIT_H_
+#define PRIVSAN_CORE_AUDIT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/privacy_params.h"
+#include "log/search_log.h"
+#include "util/result.h"
+
+namespace privsan {
+
+struct AuditReport {
+  bool satisfies_privacy = false;  // all three Theorem-1 conditions hold
+
+  bool condition1_ok = false;  // no positive count on a unique pair
+  bool condition2_ok = false;  // every user's ratio <= e^eps
+  bool condition3_ok = false;  // every user's leak probability <= delta
+
+  // Worst-case (over users) Equation-3 ratio and Equation-2 probability.
+  double max_ratio = 1.0;
+  double max_leak_probability = 0.0;
+  // The user attaining the worst ratio (== worst leak probability; both are
+  // monotone in the same exponent sum). Only meaningful if there are users.
+  UserId worst_user = 0;
+
+  // For cross-checking against DpConstraintSystem: max_k sum x log t.
+  double max_row_lhs = 0.0;
+  double budget = 0.0;
+
+  std::string ToString() const;
+};
+
+// `x` is indexed by PairId of `log`. Works on any log (preprocessed or
+// not): unique pairs with positive counts fail Condition 1 in the report
+// rather than erroring.
+Result<AuditReport> AuditSolution(const SearchLog& log,
+                                  const PrivacyParams& params,
+                                  std::span<const uint64_t> x);
+
+}  // namespace privsan
+
+#endif  // PRIVSAN_CORE_AUDIT_H_

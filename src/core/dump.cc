@@ -1,0 +1,91 @@
+#include "core/dump.h"
+
+#include "core/spe.h"
+#include "util/timer.h"
+
+namespace privsan {
+
+const char* DumpSolverKindToString(DumpSolverKind kind) {
+  switch (kind) {
+    case DumpSolverKind::kSpe:
+      return "SPE";
+    case DumpSolverKind::kGreedy:
+      return "Greedy";
+    case DumpSolverKind::kLpRounding:
+      return "LP-round";
+    case DumpSolverKind::kBranchAndBound:
+      return "B&B";
+  }
+  return "?";
+}
+
+Result<lp::BipProblem> BuildDumpBip(const SearchLog& log,
+                                    const PrivacyParams& params) {
+  PRIVSAN_ASSIGN_OR_RETURN(DpConstraintSystem system,
+                           DpConstraintSystem::Build(log, params));
+  lp::BipProblem problem;
+  problem.num_rows = static_cast<int>(system.num_rows());
+  problem.rhs.assign(system.num_rows(), system.budget());
+  problem.columns.resize(log.num_pairs());
+  for (size_t r = 0; r < system.num_rows(); ++r) {
+    for (const DpConstraintEntry& e : system.Row(r)) {
+      problem.columns[e.pair].push_back(
+          lp::SparseEntry{static_cast<int>(r), e.log_t});
+    }
+  }
+  return problem;
+}
+
+Result<DumpResult> SolveDump(const SearchLog& log, const PrivacyParams& params,
+                             const DumpOptions& options) {
+  PRIVSAN_ASSIGN_OR_RETURN(lp::BipProblem problem,
+                           BuildDumpBip(log, params));
+  WallTimer timer;
+  DumpResult result;
+
+  std::vector<uint8_t> y;
+  switch (options.solver) {
+    case DumpSolverKind::kSpe: {
+      PRIVSAN_ASSIGN_OR_RETURN(lp::BipSolution s, SolveSpe(problem));
+      y = std::move(s.y);
+      break;
+    }
+    case DumpSolverKind::kGreedy: {
+      PRIVSAN_ASSIGN_OR_RETURN(lp::BipSolution s, SolveBipGreedy(problem));
+      y = std::move(s.y);
+      break;
+    }
+    case DumpSolverKind::kLpRounding: {
+      PRIVSAN_ASSIGN_OR_RETURN(lp::BipSolution s,
+                               SolveBipLpRounding(problem, options.simplex));
+      y = std::move(s.y);
+      break;
+    }
+    case DumpSolverKind::kBranchAndBound: {
+      lp::LpModel model = problem.ToLpModel();
+      PRIVSAN_RETURN_IF_ERROR(model.Validate());
+      lp::BnbResult bnb = SolveBranchAndBound(model, options.bnb);
+      if (!bnb.has_incumbent) {
+        return Status::Internal("branch & bound found no incumbent");
+      }
+      y.resize(problem.num_vars());
+      for (int j = 0; j < problem.num_vars(); ++j) {
+        y[j] = bnb.x[j] > 0.5 ? 1 : 0;
+      }
+      result.proven_optimal = bnb.proven_optimal;
+      break;
+    }
+  }
+
+  result.wall_seconds = timer.ElapsedSeconds();
+  result.x.assign(y.begin(), y.end());
+  for (uint64_t v : result.x) result.retained += static_cast<int64_t>(v);
+  result.diversity_ratio =
+      log.num_pairs() == 0
+          ? 0.0
+          : static_cast<double>(result.retained) /
+                static_cast<double>(log.num_pairs());
+  return result;
+}
+
+}  // namespace privsan

@@ -1,0 +1,66 @@
+// D-UMP: the Diversity Utility-Maximizing Problem (Section 5.3).
+//
+// Maximize the number of distinct query-url pairs retained in the output:
+//
+//   max  sum_ij y_ij
+//   s.t. for every user log A_k: sum_{(i,j) in A_k} y_ij log t_ijk <= B,
+//        y_ij in {0, 1},
+//
+// the simplified BIP of Equation 8 (Theorem 2 shows it shares its optimal
+// y with the big-M MIP formulation). The output count of a retained pair is
+// x_ij = y_ij = 1, i.e. one multinomial trial per retained pair.
+//
+// The BIP is NP-hard; privsan offers the paper's SPE heuristic plus the
+// solver stand-ins used in Table 7 / Figure 5.
+#ifndef PRIVSAN_CORE_DUMP_H_
+#define PRIVSAN_CORE_DUMP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/constraints.h"
+#include "core/privacy_params.h"
+#include "log/search_log.h"
+#include "lp/bip_heuristics.h"
+#include "lp/branch_and_bound.h"
+#include "util/result.h"
+
+namespace privsan {
+
+enum class DumpSolverKind {
+  kSpe,             // Algorithm 2 (paper's heuristic)
+  kGreedy,          // constructive greedy (lp/bip_heuristics.h)
+  kLpRounding,      // LP relaxation + rounding (feaspump stand-in)
+  kBranchAndBound,  // budgeted exact solver (bintprog/scip/qsopt_ex stand-in)
+};
+
+const char* DumpSolverKindToString(DumpSolverKind kind);
+
+struct DumpOptions {
+  DumpSolverKind solver = DumpSolverKind::kSpe;
+  lp::SimplexOptions simplex;  // used by kLpRounding
+  lp::BnbOptions bnb;          // used by kBranchAndBound
+};
+
+struct DumpResult {
+  // 0/1 output counts per PairId.
+  std::vector<uint64_t> x;
+  int64_t retained = 0;
+  // retained / num_pairs of the preprocessed input.
+  double diversity_ratio = 0.0;
+  double wall_seconds = 0.0;
+  bool proven_optimal = false;  // only branch & bound can prove optimality
+};
+
+// Builds the Equation-8 BIP from the DP constraint system of `log`.
+Result<lp::BipProblem> BuildDumpBip(const SearchLog& log,
+                                    const PrivacyParams& params);
+
+// `log` must be preprocessed (no unique pairs).
+Result<DumpResult> SolveDump(const SearchLog& log, const PrivacyParams& params,
+                             const DumpOptions& options = {});
+
+}  // namespace privsan
+
+#endif  // PRIVSAN_CORE_DUMP_H_

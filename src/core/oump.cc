@@ -1,0 +1,96 @@
+#include "core/oump.h"
+
+#include <cmath>
+
+#include "core/rounding.h"
+#include "lp/model.h"
+
+namespace privsan {
+
+Result<OumpResult> SolveOump(const SearchLog& log, const PrivacyParams& params,
+                             const OumpOptions& options) {
+  PRIVSAN_ASSIGN_OR_RETURN(DpConstraintSystem system,
+                           DpConstraintSystem::Build(log, params));
+
+  lp::LpModel model(lp::ObjectiveSense::kMaximize);
+  for (PairId p = 0; p < log.num_pairs(); ++p) {
+    const double upper = options.cap_counts_at_input
+                             ? static_cast<double>(log.pair_total(p))
+                             : lp::kInfinity;
+    model.AddVariable(0.0, upper, 1.0);
+  }
+  for (size_t r = 0; r < system.num_rows(); ++r) {
+    const int row =
+        model.AddConstraint(lp::ConstraintSense::kLessEqual, system.budget());
+    for (const DpConstraintEntry& e : system.Row(r)) {
+      model.AddCoefficient(row, static_cast<int>(e.pair), e.log_t);
+    }
+  }
+  PRIVSAN_RETURN_IF_ERROR(model.Validate());
+
+  lp::SimplexSolver solver(options.simplex);
+  lp::LpSolution lp = solver.Solve(model);
+  if (lp.status != lp::SolveStatus::kOptimal) {
+    return Status::Internal(std::string("O-UMP LP solve failed: ") +
+                            lp::SolveStatusToString(lp.status));
+  }
+
+  OumpResult result;
+  result.x_relaxed = lp.x;
+  result.lp_objective = lp.objective;
+  result.simplex_iterations = lp.iterations;
+
+  // Round toward the ILP optimum: floor, largest-remainder repair, then
+  // greedy fill (core/rounding.h). The result stays below the LP bound.
+  RoundingOptions rounding;
+  std::vector<uint64_t> caps;
+  if (options.cap_counts_at_input) {
+    caps.resize(log.num_pairs());
+    for (PairId p = 0; p < log.num_pairs(); ++p) {
+      caps[p] = log.pair_total(p);
+    }
+    rounding.caps = caps;
+  }
+  result.x = RoundCounts(system, lp.x, rounding);
+  for (uint64_t v : result.x) result.lambda += v;
+  return result;
+}
+
+Result<OumpScalingBase> SolveOumpUnitBudget(
+    const SearchLog& log, const lp::SimplexOptions& simplex) {
+  // delta = 1 - 1/e^2 makes log(1/(1-delta)) = 2 > epsilon = 1, so the
+  // budget is exactly 1.
+  PrivacyParams unit{1.0, 1.0 - std::exp(-2.0)};
+  OumpOptions options;
+  options.simplex = simplex;
+  PRIVSAN_ASSIGN_OR_RETURN(OumpResult result, SolveOump(log, unit, options));
+  OumpScalingBase base;
+  base.x_unit = std::move(result.x_relaxed);
+  base.lp_objective_unit = result.lp_objective;
+  base.simplex_iterations = result.simplex_iterations;
+  return base;
+}
+
+Result<OumpResult> RoundScaledOump(const SearchLog& log,
+                                   const PrivacyParams& params,
+                                   const OumpScalingBase& base) {
+  PRIVSAN_ASSIGN_OR_RETURN(DpConstraintSystem system,
+                           DpConstraintSystem::Build(log, params));
+  if (base.x_unit.size() != log.num_pairs()) {
+    return Status::InvalidArgument(
+        "scaling base does not match this log's pair count");
+  }
+  OumpResult result;
+  const double budget = params.Budget();
+  result.x_relaxed.resize(base.x_unit.size());
+  for (size_t p = 0; p < base.x_unit.size(); ++p) {
+    result.x_relaxed[p] = base.x_unit[p] * budget;
+  }
+  result.lp_objective = base.lp_objective_unit * budget;
+  result.simplex_iterations = 0;  // no simplex run for this cell
+  result.x = RoundCounts(system, result.x_relaxed, RoundingOptions{});
+  for (uint64_t v : result.x) result.lambda += v;
+  return result;
+}
+
+}  // namespace privsan

@@ -1,0 +1,38 @@
+#include "core/privacy_params.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace privsan {
+
+PrivacyParams PrivacyParams::FromEEpsilon(double e_epsilon, double delta) {
+  return PrivacyParams{std::log(e_epsilon), delta};
+}
+
+Status PrivacyParams::Validate() const {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("epsilon must be finite and > 0");
+  }
+  if (!(delta > 0.0) || !(delta < 1.0)) {
+    return Status::InvalidArgument("delta must lie in (0, 1)");
+  }
+  return Status::OK();
+}
+
+double PrivacyParams::Budget() const {
+  return std::min(epsilon, std::log(1.0 / (1.0 - delta)));
+}
+
+bool PrivacyParams::DeltaBound() const {
+  return std::log(1.0 / (1.0 - delta)) < epsilon;
+}
+
+std::string PrivacyParams::ToString() const {
+  std::ostringstream os;
+  os << "(epsilon=" << epsilon << " [e^eps=" << std::exp(epsilon)
+     << "], delta=" << delta << ", budget=" << Budget() << ")";
+  return os.str();
+}
+
+}  // namespace privsan

@@ -1,0 +1,38 @@
+// (ε, δ)-probabilistic differential privacy parameters (Definition 2).
+#ifndef PRIVSAN_CORE_PRIVACY_PARAMS_H_
+#define PRIVSAN_CORE_PRIVACY_PARAMS_H_
+
+#include <string>
+
+#include "util/result.h"
+
+namespace privsan {
+
+// Parameters of (ε, δ)-probabilistic differential privacy. Both Theorem-1
+// conditions merge into one linear budget per user log:
+//
+//   sum_{(i,j) in A_k} x_ij * log t_ijk  <=  min{ε, log(1/(1−δ))}   (Eq. 4)
+//
+// Budget() returns that right-hand side.
+struct PrivacyParams {
+  double epsilon = 0.0;
+  double delta = 0.0;
+
+  // Constructs from e^ε (the paper's tables index by e^ε) and δ.
+  static PrivacyParams FromEEpsilon(double e_epsilon, double delta);
+
+  // Requires ε > 0 and 0 < δ < 1.
+  Status Validate() const;
+
+  // min{ε, log(1/(1−δ))}: the merged Condition-2/3 right-hand side.
+  double Budget() const;
+
+  // Whether the δ condition (Condition 3) is the binding one.
+  bool DeltaBound() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace privsan
+
+#endif  // PRIVSAN_CORE_PRIVACY_PARAMS_H_

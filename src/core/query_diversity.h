@@ -1,0 +1,39 @@
+// Query-level diversity maximization — the variant Section 5.3 mentions in
+// passing: "Indeed, we can also model search query diversity maximizing
+// problem in a similar way."
+//
+// Instead of maximizing distinct query-url pairs, maximize the number of
+// distinct *queries* with at least one retained pair. A query is covered by
+// retaining any one of its pairs, so the greedy solver admits, per query in
+// increasing cost order, that query's cheapest pair first, then refills
+// with the remaining pairs (which adds pair diversity but no new queries).
+#ifndef PRIVSAN_CORE_QUERY_DIVERSITY_H_
+#define PRIVSAN_CORE_QUERY_DIVERSITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/privacy_params.h"
+#include "log/search_log.h"
+#include "util/result.h"
+
+namespace privsan {
+
+struct QueryDiversityResult {
+  std::vector<uint64_t> x;  // 0/1 per PairId (one multinomial trial each)
+  int64_t queries_retained = 0;
+  int64_t pairs_retained = 0;
+  double query_diversity_ratio = 0.0;  // retained / distinct input queries
+};
+
+// `log` must be preprocessed (no unique pairs).
+Result<QueryDiversityResult> SolveQueryDiversity(const SearchLog& log,
+                                                 const PrivacyParams& params);
+
+// Counts distinct queries covered by a 0/1 pair selection.
+int64_t CountCoveredQueries(const SearchLog& log,
+                            const std::vector<uint64_t>& x);
+
+}  // namespace privsan
+
+#endif  // PRIVSAN_CORE_QUERY_DIVERSITY_H_

@@ -1,0 +1,70 @@
+#include "core/sampler.h"
+
+#include "rng/alias_table.h"
+#include "rng/random.h"
+
+namespace privsan {
+
+namespace {
+
+Status ValidateCounts(const SearchLog& input, std::span<const uint64_t> x) {
+  if (x.size() != input.num_pairs()) {
+    return Status::InvalidArgument(
+        "output count vector size does not match the input's pair count");
+  }
+  for (PairId p = 0; p < input.num_pairs(); ++p) {
+    if (x[p] > 0 && input.PairUserCount(p) <= 1) {
+      return Status::FailedPrecondition(
+          "positive output count on a unique query-url pair would break "
+          "Condition 1 of Theorem 1 (pair '" +
+          input.query_name(input.pair_query(p)) + "', '" +
+          input.url_name(input.pair_url(p)) + "')");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<uint64_t>>> SampleTripletCounts(
+    const SearchLog& input, std::span<const uint64_t> x, uint64_t seed) {
+  PRIVSAN_RETURN_IF_ERROR(ValidateCounts(input, x));
+  Rng rng(seed);
+  std::vector<std::vector<uint64_t>> sampled(input.num_pairs());
+  std::vector<double> weights;
+  for (PairId p = 0; p < input.num_pairs(); ++p) {
+    auto triplets = input.TripletsOf(p);
+    sampled[p].assign(triplets.size(), 0);
+    if (x[p] == 0) continue;
+    weights.clear();
+    weights.reserve(triplets.size());
+    for (const UserCount& cell : triplets) {
+      weights.push_back(static_cast<double>(cell.count));
+    }
+    PRIVSAN_ASSIGN_OR_RETURN(AliasTable table, AliasTable::Build(weights));
+    for (uint64_t trial = 0; trial < x[p]; ++trial) {
+      ++sampled[p][table.Sample(rng)];
+    }
+  }
+  return sampled;
+}
+
+Result<SearchLog> SampleOutput(const SearchLog& input,
+                               std::span<const uint64_t> x, uint64_t seed) {
+  PRIVSAN_ASSIGN_OR_RETURN(std::vector<std::vector<uint64_t>> sampled,
+                           SampleTripletCounts(input, x, seed));
+  SearchLogBuilder builder;
+  for (PairId p = 0; p < input.num_pairs(); ++p) {
+    auto triplets = input.TripletsOf(p);
+    const std::string& query = input.query_name(input.pair_query(p));
+    const std::string& url = input.url_name(input.pair_url(p));
+    for (size_t i = 0; i < triplets.size(); ++i) {
+      if (sampled[p][i] == 0) continue;
+      builder.Add(input.user_name(triplets[i].user), query, url,
+                  sampled[p][i]);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace privsan

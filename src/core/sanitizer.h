@@ -1,0 +1,89 @@
+// The top-level sanitization pipeline — Algorithm 1 of the paper.
+//
+//   Sanitizer sanitizer(config);
+//   Result<SanitizeReport> report = sanitizer.Sanitize(input_log);
+//
+// Pipeline:
+//   1. preprocess: remove unique query-url pairs (Condition 1);
+//   2. compute optimal output counts x* for the configured utility objective
+//      (O-UMP, F-UMP or D-UMP — Section 5);
+//   3. optionally add Lap(d/ε′) noise to x* (end-to-end DP, Section 4.2);
+//   4. sample user-IDs per pair with multinomial trials (Section 3.2);
+//   5. audit the final counts against Theorem 1.
+//
+// The output search log has exactly the input's schema.
+#ifndef PRIVSAN_CORE_SANITIZER_H_
+#define PRIVSAN_CORE_SANITIZER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/audit.h"
+#include "core/dump.h"
+#include "core/fump.h"
+#include "core/laplace_step.h"
+#include "core/oump.h"
+#include "core/privacy_params.h"
+#include "log/preprocess.h"
+#include "log/search_log.h"
+#include "util/result.h"
+
+namespace privsan {
+
+enum class UtilityObjective {
+  kOutputSize,     // O-UMP (§5.1): maximize |O|
+  kFrequentPairs,  // F-UMP (§5.2): preserve frequent-pair supports
+  kDiversity,      // D-UMP (§5.3): maximize distinct retained pairs
+};
+
+const char* UtilityObjectiveToString(UtilityObjective objective);
+
+struct SanitizerConfig {
+  PrivacyParams privacy;
+  UtilityObjective objective = UtilityObjective::kOutputSize;
+  uint64_t seed = 42;
+
+  // F-UMP parameters. output_size == 0 means "use λ", the O-UMP maximum.
+  double min_support = 1.0 / 500;
+  uint64_t output_size = 0;
+
+  // D-UMP solver choice.
+  DumpSolverKind dump_solver = DumpSolverKind::kSpe;
+
+  // Optional end-to-end DP noise on the computed counts (§4.2). Disabled by
+  // default to match the paper's evaluation, which studies the optimal
+  // counts themselves.
+  std::optional<LaplaceStepOptions> laplace;
+
+  lp::SimplexOptions simplex;
+  lp::BnbOptions bnb;
+};
+
+struct SanitizeReport {
+  SearchLog output;
+  // The preprocessed input the UMP ran on; optimal_counts is indexed by its
+  // PairIds.
+  SearchLog preprocessed_input;
+  PreprocessStats preprocess_stats;
+  std::vector<uint64_t> optimal_counts;
+  uint64_t output_size = 0;  // sum of optimal_counts
+  AuditReport audit;
+  double solve_seconds = 0.0;
+};
+
+class Sanitizer {
+ public:
+  explicit Sanitizer(SanitizerConfig config) : config_(std::move(config)) {}
+
+  const SanitizerConfig& config() const { return config_; }
+
+  Result<SanitizeReport> Sanitize(const SearchLog& input) const;
+
+ private:
+  SanitizerConfig config_;
+};
+
+}  // namespace privsan
+
+#endif  // PRIVSAN_CORE_SANITIZER_H_

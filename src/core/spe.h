@@ -1,0 +1,32 @@
+// SPE: the Sensitive query-url Pair Eliminating heuristic (Algorithm 2).
+//
+// Solves the D-UMP BIP approximately: start from y = 1 for every pair and
+// repeatedly eliminate the pair with the largest coefficient t_ijk — the
+// pair most dominated by a single user, hence most privacy-sensitive —
+// until every user row satisfies its budget.
+//
+// Two refinements over the paper's literal pseudocode, both documented in
+// DESIGN.md:
+//   1. the argmax is taken over entries of *violated* rows only —
+//      eliminating a pair whose rows are all satisfied cannot help
+//      termination, so skipping those removals retains at least as many
+//      pairs while following the same max-t_ijk order where it matters;
+//   2. a refill pass re-admits eliminated pairs (least sensitive first)
+//      that still fit after the loop ends, making the solution maximal —
+//      the quality the paper reports for SPE (Table 7) requires maximal
+//      solutions.
+#ifndef PRIVSAN_CORE_SPE_H_
+#define PRIVSAN_CORE_SPE_H_
+
+#include "lp/bip_heuristics.h"
+#include "util/result.h"
+
+namespace privsan {
+
+// `problem` rows are the DP rows (weights log t_ijk, capacity the budget).
+// Runs in O(nnz log nnz) with a lazy max-heap.
+Result<lp::BipSolution> SolveSpe(const lp::BipProblem& problem);
+
+}  // namespace privsan
+
+#endif  // PRIVSAN_CORE_SPE_H_

@@ -1,0 +1,33 @@
+#include "log/histogram.h"
+
+namespace privsan {
+
+QueryUrlHistogram QueryUrlHistogram::FromLog(const SearchLog& log) {
+  QueryUrlHistogram histogram;
+  histogram.counts.resize(log.num_pairs());
+  for (PairId p = 0; p < log.num_pairs(); ++p) {
+    histogram.counts[p] = log.pair_total(p);
+    histogram.total += histogram.counts[p];
+  }
+  return histogram;
+}
+
+OutputCounts OutputCounts::FromVector(std::vector<uint64_t> x) {
+  OutputCounts output;
+  output.counts = std::move(x);
+  for (uint64_t c : output.counts) output.total += c;
+  return output;
+}
+
+std::vector<double> TripletHistogramView::TrialProbabilities(PairId p) const {
+  auto row = Row(p);
+  const double total = static_cast<double>(RowTotal(p));
+  std::vector<double> probabilities;
+  probabilities.reserve(row.size());
+  for (const UserCount& cell : row) {
+    probabilities.push_back(static_cast<double>(cell.count) / total);
+  }
+  return probabilities;
+}
+
+}  // namespace privsan

@@ -1,0 +1,66 @@
+// Histogram views over a SearchLog, in the paper's vocabulary (Section 3.2):
+//
+//   * QueryUrlHistogram      — the input counts {c_ij} plus |D|;
+//   * OutputCounts           — the decision vector {x_ij} of a UMP, with
+//                              |O| = sum x_ij;
+//   * TripletHistogramView   — per-pair (user, count) rows {c_ijk}.
+//
+// These are thin, copy-light adapters; SearchLog owns the storage.
+#ifndef PRIVSAN_LOG_HISTOGRAM_H_
+#define PRIVSAN_LOG_HISTOGRAM_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "log/search_log.h"
+#include "util/result.h"
+
+namespace privsan {
+
+// The input query-url histogram {c_ij} with its total |D|.
+struct QueryUrlHistogram {
+  std::vector<uint64_t> counts;  // indexed by PairId
+  uint64_t total = 0;            // |D|
+
+  static QueryUrlHistogram FromLog(const SearchLog& log);
+
+  double Support(PairId p) const {
+    return static_cast<double>(counts[p]) / static_cast<double>(total);
+  }
+};
+
+// The output query-url histogram {x_ij} produced by a UMP solver.
+struct OutputCounts {
+  std::vector<uint64_t> counts;  // indexed by PairId of the *input* log
+  uint64_t total = 0;            // |O|
+
+  static OutputCounts FromVector(std::vector<uint64_t> x);
+
+  double Support(PairId p) const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(counts[p]) /
+                            static_cast<double>(total);
+  }
+};
+
+// Per-pair view of the triplet histogram {c_ijk}.
+class TripletHistogramView {
+ public:
+  explicit TripletHistogramView(const SearchLog& log) : log_(&log) {}
+
+  std::span<const UserCount> Row(PairId p) const { return log_->TripletsOf(p); }
+  uint64_t RowTotal(PairId p) const { return log_->pair_total(p); }
+  size_t num_pairs() const { return log_->num_pairs(); }
+
+  // The multinomial trial probabilities for pair p: c_ijk / c_ij, aligned
+  // with Row(p).
+  std::vector<double> TrialProbabilities(PairId p) const;
+
+ private:
+  const SearchLog* log_;
+};
+
+}  // namespace privsan
+
+#endif  // PRIVSAN_LOG_HISTOGRAM_H_

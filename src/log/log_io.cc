@@ -1,0 +1,51 @@
+#include "log/log_io.h"
+
+#include <string>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace privsan {
+
+Status WriteSearchLogTsv(const SearchLog& log, const std::string& path) {
+  DelimitedWriter writer(path, '\t');
+  PRIVSAN_RETURN_IF_ERROR(writer.status());
+  PRIVSAN_RETURN_IF_ERROR(writer.WriteRow(
+      {"# user", "query", "url", "count"}));
+  for (UserId u = 0; u < log.num_users(); ++u) {
+    for (const PairCount& cell : log.UserLogOf(u)) {
+      PRIVSAN_RETURN_IF_ERROR(
+          writer.WriteRow({log.user_name(u),
+                           log.query_name(log.pair_query(cell.pair)),
+                           log.url_name(log.pair_url(cell.pair)),
+                           std::to_string(cell.count)}));
+    }
+  }
+  return writer.Close();
+}
+
+Result<SearchLog> ReadSearchLogTsv(const std::string& path) {
+  SearchLogBuilder builder;
+  Status status = ReadDelimitedFile(
+      path, '\t',
+      [&](size_t line, const std::vector<std::string>& fields) -> Status {
+        if (fields.size() != 4) {
+          return Status::InvalidArgument(
+              path + ":" + std::to_string(line) +
+              ": expected 4 tab-separated fields, got " +
+              std::to_string(fields.size()));
+        }
+        PRIVSAN_ASSIGN_OR_RETURN(int64_t count, ParseInt64(fields[3]));
+        if (count < 0) {
+          return Status::InvalidArgument(path + ":" + std::to_string(line) +
+                                         ": negative count");
+        }
+        builder.Add(fields[0], fields[1], fields[2],
+                    static_cast<uint64_t>(count));
+        return Status::OK();
+      });
+  if (!status.ok()) return status;
+  return builder.Build();
+}
+
+}  // namespace privsan

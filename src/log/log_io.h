@@ -1,0 +1,23 @@
+// TSV serialization of search logs.
+//
+// File format (one click-through tuple per line, tab-separated):
+//   user_id <TAB> query <TAB> url <TAB> count
+// Lines starting with '#' are comments. Duplicate (user, query, url) rows
+// are summed on read, matching SearchLogBuilder semantics.
+#ifndef PRIVSAN_LOG_LOG_IO_H_
+#define PRIVSAN_LOG_LOG_IO_H_
+
+#include <string>
+
+#include "log/search_log.h"
+#include "util/result.h"
+
+namespace privsan {
+
+Status WriteSearchLogTsv(const SearchLog& log, const std::string& path);
+
+Result<SearchLog> ReadSearchLogTsv(const std::string& path);
+
+}  // namespace privsan
+
+#endif  // PRIVSAN_LOG_LOG_IO_H_

@@ -1,0 +1,165 @@
+#include "log/search_log.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace privsan {
+
+namespace {
+uint64_t PackKey(uint32_t hi, uint32_t lo) {
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+uint32_t Intern(std::string_view name, std::vector<std::string>& names,
+                std::unordered_map<std::string, uint32_t>& index) {
+  auto it = index.find(std::string(name));
+  if (it != index.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(names.size());
+  names.emplace_back(name);
+  index.emplace(names.back(), id);
+  return id;
+}
+}  // namespace
+
+uint32_t SearchLogBuilder::InternUser(std::string_view name) {
+  return Intern(name, users_, user_index_);
+}
+uint32_t SearchLogBuilder::InternQuery(std::string_view name) {
+  return Intern(name, queries_, query_index_);
+}
+uint32_t SearchLogBuilder::InternUrl(std::string_view name) {
+  return Intern(name, urls_, url_index_);
+}
+
+void SearchLogBuilder::Add(std::string_view user, std::string_view query,
+                           std::string_view url, uint64_t count) {
+  if (count == 0) return;
+  UserId u = InternUser(user);
+  QueryId q = InternQuery(query);
+  UrlId r = InternUrl(url);
+  uint64_t pair_key = PackKey(q, r);
+  auto [it, inserted] =
+      pair_index_.emplace(pair_key, static_cast<PairId>(pairs_.size()));
+  if (inserted) pairs_.emplace_back(q, r);
+  PairId p = it->second;
+  cell_counts_[PackKey(p, u)] += count;
+}
+
+SearchLog SearchLogBuilder::Build() {
+  SearchLog log;
+  log.user_names_ = std::move(users_);
+  log.query_names_ = std::move(queries_);
+  log.url_names_ = std::move(urls_);
+  log.pair_defs_ = std::move(pairs_);
+
+  const size_t num_pairs = log.pair_defs_.size();
+  const size_t num_users = log.user_names_.size();
+
+  // First pass: per-pair and per-user tuple counts for CSR offsets.
+  std::vector<size_t> pair_sizes(num_pairs, 0), user_sizes(num_users, 0);
+  for (const auto& [key, count] : cell_counts_) {
+    PairId p = static_cast<PairId>(key >> 32);
+    UserId u = static_cast<UserId>(key & 0xffffffffULL);
+    ++pair_sizes[p];
+    ++user_sizes[u];
+  }
+  log.pair_offsets_.assign(num_pairs + 1, 0);
+  for (size_t p = 0; p < num_pairs; ++p) {
+    log.pair_offsets_[p + 1] = log.pair_offsets_[p] + pair_sizes[p];
+  }
+  log.user_offsets_.assign(num_users + 1, 0);
+  for (size_t u = 0; u < num_users; ++u) {
+    log.user_offsets_[u + 1] = log.user_offsets_[u] + user_sizes[u];
+  }
+
+  const size_t num_tuples = cell_counts_.size();
+  log.triplet_users_.resize(num_tuples);
+  log.user_pairs_.resize(num_tuples);
+  log.pair_totals_.assign(num_pairs, 0);
+
+  std::vector<size_t> pair_cursor(log.pair_offsets_.begin(),
+                                  log.pair_offsets_.end() - 1);
+  std::vector<size_t> user_cursor(log.user_offsets_.begin(),
+                                  log.user_offsets_.end() - 1);
+  for (const auto& [key, count] : cell_counts_) {
+    PairId p = static_cast<PairId>(key >> 32);
+    UserId u = static_cast<UserId>(key & 0xffffffffULL);
+    log.triplet_users_[pair_cursor[p]++] = UserCount{u, count};
+    log.user_pairs_[user_cursor[u]++] = PairCount{p, count};
+    log.pair_totals_[p] += count;
+    log.total_clicks_ += count;
+  }
+
+  // Sort each CSR row for deterministic iteration and binary search.
+  for (size_t p = 0; p < num_pairs; ++p) {
+    std::sort(log.triplet_users_.begin() + log.pair_offsets_[p],
+              log.triplet_users_.begin() + log.pair_offsets_[p + 1],
+              [](const UserCount& a, const UserCount& b) {
+                return a.user < b.user;
+              });
+  }
+  for (size_t u = 0; u < num_users; ++u) {
+    std::sort(log.user_pairs_.begin() + log.user_offsets_[u],
+              log.user_pairs_.begin() + log.user_offsets_[u + 1],
+              [](const PairCount& a, const PairCount& b) {
+                return a.pair < b.pair;
+              });
+  }
+
+  // Reset the builder.
+  user_index_.clear();
+  query_index_.clear();
+  url_index_.clear();
+  pair_index_.clear();
+  cell_counts_.clear();
+  return log;
+}
+
+std::span<const UserCount> SearchLog::TripletsOf(PairId p) const {
+  PRIVSAN_CHECK(p < num_pairs());
+  return {triplet_users_.data() + pair_offsets_[p],
+          pair_offsets_[p + 1] - pair_offsets_[p]};
+}
+
+std::span<const PairCount> SearchLog::UserLogOf(UserId u) const {
+  PRIVSAN_CHECK(u < num_users());
+  return {user_pairs_.data() + user_offsets_[u],
+          user_offsets_[u + 1] - user_offsets_[u]};
+}
+
+uint64_t SearchLog::TripletCount(PairId p, UserId u) const {
+  auto triplets = TripletsOf(p);
+  auto it = std::lower_bound(
+      triplets.begin(), triplets.end(), u,
+      [](const UserCount& a, UserId target) { return a.user < target; });
+  if (it != triplets.end() && it->user == u) return it->count;
+  return 0;
+}
+
+Result<UserId> SearchLog::FindUser(std::string_view name) const {
+  for (size_t u = 0; u < user_names_.size(); ++u) {
+    if (user_names_[u] == name) return static_cast<UserId>(u);
+  }
+  return Status::NotFound("user not found: " + std::string(name));
+}
+
+Result<PairId> SearchLog::FindPair(std::string_view query,
+                                   std::string_view url) const {
+  for (size_t p = 0; p < pair_defs_.size(); ++p) {
+    if (query_names_[pair_defs_[p].first] == query &&
+        url_names_[pair_defs_[p].second] == url) {
+      return static_cast<PairId>(p);
+    }
+  }
+  return Status::NotFound("pair not found: (" + std::string(query) + ", " +
+                          std::string(url) + ")");
+}
+
+double SearchLog::PairSupport(PairId p) const {
+  PRIVSAN_CHECK(total_clicks_ > 0);
+  return static_cast<double>(pair_totals_[p]) /
+         static_cast<double>(total_clicks_);
+}
+
+}  // namespace privsan

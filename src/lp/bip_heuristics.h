@@ -1,0 +1,64 @@
+// Primal heuristics for the non-negative cardinality BIP
+//
+//     max  sum_j y_j
+//     s.t. W y <= b,  W >= 0, b > 0,  y in {0,1}^n,
+//
+// which is exactly the D-UMP of Section 5.3 (a multidimensional knapsack).
+// These play the role of the NEOS `feaspump` heuristic in the paper's
+// solver comparison (Table 7 / Figure 5):
+//
+//   * SolveBipGreedy     — constructive: admit variables in increasing order
+//                          of their worst-case row weight while all rows fit;
+//   * SolveBipLpRounding — solve the [0,1] LP relaxation with the simplex,
+//                          then admit variables by descending fractional
+//                          value while all rows fit (feasibility-pump-like).
+//
+// The paper's own SPE heuristic (Algorithm 2) lives in core/spe.h; the exact
+// solver stand-in is lp/branch_and_bound.h.
+#ifndef PRIVSAN_LP_BIP_HEURISTICS_H_
+#define PRIVSAN_LP_BIP_HEURISTICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+#include "lp/sparse_matrix.h"
+#include "util/result.h"
+
+namespace privsan {
+namespace lp {
+
+// Column-major representation: columns[j] lists (row, weight) with
+// weight > 0; rhs[r] > 0 is row r's capacity.
+struct BipProblem {
+  int num_rows = 0;
+  std::vector<std::vector<SparseEntry>> columns;
+  std::vector<double> rhs;
+
+  int num_vars() const { return static_cast<int>(columns.size()); }
+
+  // Checks non-negativity / positivity requirements.
+  Status Validate() const;
+
+  // Whether selection `y` satisfies every row within `tol`.
+  bool IsFeasible(const std::vector<uint8_t>& y, double tol = 1e-9) const;
+
+  // Equivalent LpModel (binary integrality flags set), for branch & bound.
+  LpModel ToLpModel() const;
+};
+
+struct BipSolution {
+  std::vector<uint8_t> y;
+  int64_t selected = 0;  // objective: number of y_j == 1
+};
+
+Result<BipSolution> SolveBipGreedy(const BipProblem& problem);
+
+Result<BipSolution> SolveBipLpRounding(const BipProblem& problem,
+                                       const SimplexOptions& options = {});
+
+}  // namespace lp
+}  // namespace privsan
+
+#endif  // PRIVSAN_LP_BIP_HEURISTICS_H_

@@ -1,0 +1,570 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "lp/sparse_matrix.h"
+#include "util/logging.h"
+
+namespace privsan {
+namespace lp {
+
+const char* SolveStatusToString(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal:
+      return "Optimal";
+    case SolveStatus::kInfeasible:
+      return "Infeasible";
+    case SolveStatus::kUnbounded:
+      return "Unbounded";
+    case SolveStatus::kIterationLimit:
+      return "IterationLimit";
+    case SolveStatus::kNumericalFailure:
+      return "NumericalFailure";
+  }
+  return "?";
+}
+
+namespace {
+
+enum VarState : int8_t {
+  kBasic = 0,
+  kNonbasicLower = 1,
+  kNonbasicUpper = 2,
+  kNonbasicFree = 3,
+};
+
+// All mutable solver state for one Solve() call.
+struct Work {
+  int m = 0;        // rows
+  int n_total = 0;  // structural + slacks + artificials
+  int n_struct = 0;
+  int artificial_begin = 0;  // first artificial index (== n_total if none)
+
+  SparseMatrix cols;          // m x n_total
+  std::vector<double> lb, ub;  // per variable
+  std::vector<double> cost;    // phase-2 minimization costs
+  std::vector<double> rhs;     // row right-hand sides
+
+  std::vector<double> x;       // current value of every variable
+  std::vector<int> basis;      // row -> basic variable
+  std::vector<int8_t> state;   // variable -> VarState
+  std::vector<double> binv;    // dense row-major m x m basis inverse
+
+  int64_t iterations = 0;
+  int refactorizations = 0;
+};
+
+enum class PhaseStatus { kOptimal, kUnbounded, kIterationLimit, kSingular };
+
+double InitialNonbasicValue(double lower, double upper, int8_t& state) {
+  if (std::isfinite(lower)) {
+    state = kNonbasicLower;
+    return lower;
+  }
+  if (std::isfinite(upper)) {
+    state = kNonbasicUpper;
+    return upper;
+  }
+  state = kNonbasicFree;
+  return 0.0;
+}
+
+// Recomputes binv from the current basis (Gauss-Jordan with partial
+// pivoting) and the basic variable values from the nonbasic ones.
+// Returns false if the basis matrix is numerically singular.
+bool Refactorize(Work& w) {
+  const int m = w.m;
+  ++w.refactorizations;
+
+  // Dense B from basis columns.
+  std::vector<double> dense(static_cast<size_t>(m) * m, 0.0);
+  for (int i = 0; i < m; ++i) {
+    for (const SparseEntry& e : w.cols.Column(w.basis[i])) {
+      dense[static_cast<size_t>(e.index) * m + i] = e.value;
+    }
+  }
+  // Invert: eliminate into identity.
+  std::vector<double>& inv = w.binv;
+  inv.assign(static_cast<size_t>(m) * m, 0.0);
+  for (int i = 0; i < m; ++i) inv[static_cast<size_t>(i) * m + i] = 1.0;
+
+  for (int col = 0; col < m; ++col) {
+    // Partial pivot.
+    int pivot_row = col;
+    double best = std::abs(dense[static_cast<size_t>(col) * m + col]);
+    for (int r = col + 1; r < m; ++r) {
+      double v = std::abs(dense[static_cast<size_t>(r) * m + col]);
+      if (v > best) {
+        best = v;
+        pivot_row = r;
+      }
+    }
+    if (best < 1e-12) return false;
+    if (pivot_row != col) {
+      for (int k = 0; k < m; ++k) {
+        std::swap(dense[static_cast<size_t>(pivot_row) * m + k],
+                  dense[static_cast<size_t>(col) * m + k]);
+        std::swap(inv[static_cast<size_t>(pivot_row) * m + k],
+                  inv[static_cast<size_t>(col) * m + k]);
+      }
+    }
+    const double pivot = dense[static_cast<size_t>(col) * m + col];
+    const double inv_pivot = 1.0 / pivot;
+    for (int k = 0; k < m; ++k) {
+      dense[static_cast<size_t>(col) * m + k] *= inv_pivot;
+      inv[static_cast<size_t>(col) * m + k] *= inv_pivot;
+    }
+    for (int r = 0; r < m; ++r) {
+      if (r == col) continue;
+      const double factor = dense[static_cast<size_t>(r) * m + col];
+      if (factor == 0.0) continue;
+      for (int k = 0; k < m; ++k) {
+        dense[static_cast<size_t>(r) * m + k] -=
+            factor * dense[static_cast<size_t>(col) * m + k];
+        inv[static_cast<size_t>(r) * m + k] -=
+            factor * inv[static_cast<size_t>(col) * m + k];
+      }
+    }
+  }
+
+  // x_B = B^-1 (rhs - sum over nonbasic j of A_j x_j).
+  std::vector<double> effective = w.rhs;
+  for (int j = 0; j < w.n_total; ++j) {
+    if (w.state[j] == kBasic || w.x[j] == 0.0) continue;
+    w.cols.AddColumnTo(j, -w.x[j], effective);
+  }
+  for (int i = 0; i < m; ++i) {
+    const double* row = &w.binv[static_cast<size_t>(i) * m];
+    double v = 0.0;
+    for (int k = 0; k < m; ++k) v += row[k] * effective[k];
+    w.x[w.basis[i]] = v;
+  }
+  return true;
+}
+
+// One simplex phase: minimize `cost` over the current basis until optimal.
+// In phase 1 `cost` is 1 on artificials; unboundedness there indicates a
+// numerical problem and is reported as kSingular.
+PhaseStatus RunPhase(Work& w, const std::vector<double>& cost, bool phase1,
+                     const SimplexOptions& options) {
+  const int m = w.m;
+  const double kInf = std::numeric_limits<double>::infinity();
+
+  std::vector<double> duals(m);
+  std::vector<double> direction(m);
+  int stall = 0;
+  bool bland = false;
+  int64_t since_refactor = 0;
+
+  while (true) {
+    if (w.iterations >= options.max_iterations) {
+      return PhaseStatus::kIterationLimit;
+    }
+    ++w.iterations;
+    ++since_refactor;
+    if (since_refactor >= options.refactor_interval) {
+      if (!Refactorize(w)) return PhaseStatus::kSingular;
+      since_refactor = 0;
+    }
+
+    // Duals: y^T = c_B^T B^-1. Skip zero-cost basics.
+    std::fill(duals.begin(), duals.end(), 0.0);
+    for (int i = 0; i < m; ++i) {
+      const double cb = cost[w.basis[i]];
+      if (cb == 0.0) continue;
+      const double* row = &w.binv[static_cast<size_t>(i) * m];
+      for (int k = 0; k < m; ++k) duals[k] += cb * row[k];
+    }
+
+    // Pricing: pick the entering variable.
+    int entering = -1;
+    int direction_sign = 0;  // +1: entering increases, -1: decreases
+    double best_violation = options.optimality_tol;
+    for (int j = 0; j < w.n_total; ++j) {
+      const int8_t st = w.state[j];
+      if (st == kBasic) continue;
+      if (w.lb[j] == w.ub[j]) continue;  // fixed, cannot move
+      const double reduced = cost[j] - w.cols.ColumnDot(j, duals);
+      double violation = 0.0;
+      int sign = 0;
+      if ((st == kNonbasicLower || st == kNonbasicFree) &&
+          reduced < -options.optimality_tol) {
+        violation = -reduced;
+        sign = +1;
+      } else if ((st == kNonbasicUpper || st == kNonbasicFree) &&
+                 reduced > options.optimality_tol) {
+        violation = reduced;
+        sign = -1;
+      }
+      if (sign == 0) continue;
+      if (bland) {  // first improving index
+        entering = j;
+        direction_sign = sign;
+        break;
+      }
+      if (violation > best_violation) {
+        best_violation = violation;
+        entering = j;
+        direction_sign = sign;
+      }
+    }
+    if (entering < 0) return PhaseStatus::kOptimal;
+
+    // FTRAN: direction = B^-1 A_entering.
+    auto column = w.cols.Column(entering);
+    for (int i = 0; i < m; ++i) {
+      const double* row = &w.binv[static_cast<size_t>(i) * m];
+      double v = 0.0;
+      for (const SparseEntry& e : column) v += e.value * row[e.index];
+      direction[i] = v;
+    }
+
+    // Ratio test, two-pass Harris style. The entering variable moves by
+    // t * direction_sign >= 0; basic variable in row i changes by
+    // -direction_sign * t * direction[i]. Pass 1 finds the tightest step
+    // t_row_min over the rows; pass 2 re-scans rows whose ratio lies within
+    // a small window above t_row_min and keeps the one with the largest
+    // pivot magnitude (numerical stability) — or, under Bland's rule, the
+    // smallest basic variable index (termination).
+    const double bound_flip_t =
+        (std::isfinite(w.lb[entering]) && std::isfinite(w.ub[entering]))
+            ? w.ub[entering] - w.lb[entering]
+            : kInf;
+    auto row_ratio = [&](int i) -> double {
+      const double delta = direction_sign * direction[i];
+      const int bv = w.basis[i];
+      if (delta > options.pivot_tol) {
+        if (!std::isfinite(w.lb[bv])) return kInf;
+        return std::max((w.x[bv] - w.lb[bv]) / delta, 0.0);
+      }
+      if (delta < -options.pivot_tol) {
+        if (!std::isfinite(w.ub[bv])) return kInf;
+        return std::max((w.ub[bv] - w.x[bv]) / (-delta), 0.0);
+      }
+      return kInf;
+    };
+
+    double t_row_min = kInf;
+    for (int i = 0; i < m; ++i) t_row_min = std::min(t_row_min, row_ratio(i));
+
+    if (!std::isfinite(t_row_min) && !std::isfinite(bound_flip_t)) {
+      return phase1 ? PhaseStatus::kSingular : PhaseStatus::kUnbounded;
+    }
+
+    int leaving_row = -1;
+    bool leaving_at_upper = false;
+    double best_t = bound_flip_t;
+    if (t_row_min <= bound_flip_t) {
+      const double window =
+          t_row_min + std::max(1e-10, 1e-7 * t_row_min);
+      double best_pivot = 0.0;
+      int best_bv = std::numeric_limits<int>::max();
+      for (int i = 0; i < m; ++i) {
+        const double t = row_ratio(i);
+        if (t > window) continue;
+        const double pivot = std::abs(direction[i]);
+        const bool take = bland ? w.basis[i] < best_bv : pivot > best_pivot;
+        if (leaving_row < 0 || take) {
+          leaving_row = i;
+          best_pivot = pivot;
+          best_bv = w.basis[i];
+          leaving_at_upper = direction_sign * direction[i] < 0.0;
+          best_t = std::min(t, bound_flip_t);
+        }
+      }
+    }
+
+    // Degeneracy bookkeeping; switch to Bland's rule on a long stall.
+    if (best_t <= 1e-10) {
+      if (++stall >= options.bland_trigger) bland = true;
+    } else {
+      stall = 0;
+      bland = false;
+    }
+
+    // Apply the step.
+    const double step = direction_sign * best_t;
+    if (leaving_row < 0) {
+      // Bound flip: entering moves across its range, basis unchanged.
+      for (int i = 0; i < m; ++i) {
+        if (direction[i] != 0.0) w.x[w.basis[i]] -= step * direction[i];
+      }
+      w.x[entering] += step;
+      w.state[entering] =
+          w.state[entering] == kNonbasicLower ? kNonbasicUpper
+                                              : kNonbasicLower;
+      continue;
+    }
+
+    for (int i = 0; i < m; ++i) {
+      if (direction[i] != 0.0) w.x[w.basis[i]] -= step * direction[i];
+    }
+    w.x[entering] += step;
+
+    const int leaving_var = w.basis[leaving_row];
+    // Snap the leaving variable exactly onto the bound it reached.
+    if (leaving_at_upper) {
+      w.x[leaving_var] = w.ub[leaving_var];
+      w.state[leaving_var] = kNonbasicUpper;
+    } else {
+      w.x[leaving_var] = w.lb[leaving_var];
+      w.state[leaving_var] = kNonbasicLower;
+    }
+    w.basis[leaving_row] = entering;
+    w.state[entering] = kBasic;
+
+    // Basis inverse update: B_new^-1 = E * B^-1 with the eta column taken
+    // from `direction` and pivot row `leaving_row`.
+    const double pivot = direction[leaving_row];
+    double* pivot_row_ptr = &w.binv[static_cast<size_t>(leaving_row) * m];
+    const double inv_pivot = 1.0 / pivot;
+    for (int k = 0; k < m; ++k) pivot_row_ptr[k] *= inv_pivot;
+    for (int i = 0; i < m; ++i) {
+      if (i == leaving_row) continue;
+      const double factor = direction[i];
+      if (factor == 0.0) continue;
+      double* row = &w.binv[static_cast<size_t>(i) * m];
+      for (int k = 0; k < m; ++k) row[k] -= factor * pivot_row_ptr[k];
+    }
+  }
+}
+
+// Deterministic hash-based uniform in [0, 1) for cost perturbation.
+double PerturbationUnit(uint64_t j) {
+  uint64_t z = (j + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+LpSolution SolveImpl(const LpModel& model, const SimplexOptions& options_) {
+  const double kInf = std::numeric_limits<double>::infinity();
+  LpSolution solution;
+
+  const int m = model.num_constraints();
+  const int n_struct = model.num_variables();
+  const bool maximize = model.sense() == ObjectiveSense::kMaximize;
+
+  Work w;
+  w.m = m;
+  w.n_struct = n_struct;
+
+  // --- Variables: structural, then one slack per row. ----------------------
+  w.lb.reserve(n_struct + m);
+  w.ub.reserve(n_struct + m);
+  w.cost.reserve(n_struct + m);
+  for (int j = 0; j < n_struct; ++j) {
+    const Variable& v = model.variable(j);
+    w.lb.push_back(v.lower);
+    w.ub.push_back(v.upper);
+    w.cost.push_back(maximize ? -v.objective : v.objective);
+  }
+  for (int r = 0; r < m; ++r) {
+    switch (model.constraint(r).sense) {
+      case ConstraintSense::kLessEqual:
+        w.lb.push_back(0.0);
+        w.ub.push_back(kInf);
+        break;
+      case ConstraintSense::kGreaterEqual:
+        w.lb.push_back(-kInf);
+        w.ub.push_back(0.0);
+        break;
+      case ConstraintSense::kEqual:
+        w.lb.push_back(0.0);
+        w.ub.push_back(0.0);
+        break;
+    }
+    w.cost.push_back(0.0);
+  }
+
+  // --- Initial point: structurals at a bound, slacks basic. ----------------
+  w.state.assign(n_struct + m, kBasic);
+  w.x.assign(n_struct + m, 0.0);
+  w.rhs.resize(m);
+  std::vector<double> residual(m);
+  for (int r = 0; r < m; ++r) {
+    w.rhs[r] = model.constraint(r).rhs;
+    residual[r] = w.rhs[r];
+  }
+  for (int j = 0; j < n_struct; ++j) {
+    w.x[j] = InitialNonbasicValue(w.lb[j], w.ub[j], w.state[j]);
+  }
+  for (int r = 0; r < m; ++r) {
+    for (const Coefficient& e : model.constraint(r).entries) {
+      residual[r] -= e.value * w.x[e.variable];
+    }
+  }
+
+  // --- Decide per row: slack basic, or slack at bound + artificial. --------
+  std::vector<Triplet> triplets;
+  for (int r = 0; r < m; ++r) {
+    for (const Coefficient& e : model.constraint(r).entries) {
+      if (e.value != 0.0) triplets.push_back(Triplet{r, e.variable, e.value});
+    }
+  }
+  for (int r = 0; r < m; ++r) {
+    triplets.push_back(Triplet{r, n_struct + r, 1.0});
+  }
+
+  w.basis.resize(m);
+  struct PendingArtificial {
+    int row;
+    double coefficient;
+    double value;
+  };
+  std::vector<PendingArtificial> artificials;
+  for (int r = 0; r < m; ++r) {
+    const int slack = n_struct + r;
+    const double v = residual[r];
+    if (v >= w.lb[slack] && v <= w.ub[slack]) {
+      w.basis[r] = slack;
+      w.state[slack] = kBasic;
+      w.x[slack] = v;
+    } else if (v > w.ub[slack]) {
+      // Slack pinned at its upper bound; artificial absorbs the excess.
+      w.state[slack] = kNonbasicUpper;
+      w.x[slack] = w.ub[slack];
+      artificials.push_back(PendingArtificial{r, 1.0, v - w.ub[slack]});
+    } else {
+      w.state[slack] = kNonbasicLower;
+      w.x[slack] = w.lb[slack];
+      artificials.push_back(PendingArtificial{r, -1.0, w.lb[slack] - v});
+    }
+  }
+
+  w.artificial_begin = n_struct + m;
+  std::vector<double> phase1_cost(w.lb.size(), 0.0);
+  for (const PendingArtificial& a : artificials) {
+    const int var = static_cast<int>(w.lb.size());
+    w.lb.push_back(0.0);
+    w.ub.push_back(kInf);
+    w.cost.push_back(0.0);
+    phase1_cost.push_back(1.0);
+    w.state.push_back(kBasic);
+    w.x.push_back(a.value);
+    w.basis[a.row] = var;
+    triplets.push_back(Triplet{a.row, var, a.coefficient});
+  }
+  w.n_total = static_cast<int>(w.lb.size());
+  w.cols = SparseMatrix(m, w.n_total, std::move(triplets));
+
+  // Basis is diagonal (+-1); its inverse is the same diagonal.
+  w.binv.assign(static_cast<size_t>(m) * m, 0.0);
+  for (int r = 0; r < m; ++r) {
+    double diag = 1.0;
+    for (const SparseEntry& e : w.cols.Column(w.basis[r])) {
+      if (e.index == r) diag = e.value;
+    }
+    w.binv[static_cast<size_t>(r) * m + r] = 1.0 / diag;
+  }
+
+  auto finish = [&](SolveStatus status) {
+    solution.status = status;
+    solution.iterations = w.iterations;
+    solution.refactorizations = w.refactorizations;
+    if (status == SolveStatus::kOptimal) {
+      solution.x.assign(w.x.begin(), w.x.begin() + n_struct);
+      solution.objective = model.ObjectiveValue(solution.x);
+      // Final duals priced on the phase-2 costs.
+      solution.duals.assign(m, 0.0);
+      for (int i = 0; i < m; ++i) {
+        const double cb = w.cost[w.basis[i]];
+        if (cb == 0.0) continue;
+        const double* row = &w.binv[static_cast<size_t>(i) * m];
+        for (int k = 0; k < m; ++k) solution.duals[k] += cb * row[k];
+      }
+      if (maximize) {
+        for (double& d : solution.duals) d = -d;
+      }
+    }
+    return solution;
+  };
+
+  // Anti-degeneracy cost perturbation: tiny deterministic relative noise on
+  // every nonzero cost breaks ties among the (often thousands of) columns
+  // that price identically in problems like O-UMP. `finish` reports the
+  // objective and duals from the exact costs.
+  std::vector<double> phase2_cost = w.cost;
+  if (options_.perturb_costs) {
+    for (size_t j = 0; j < phase2_cost.size(); ++j) {
+      if (phase2_cost[j] != 0.0) {
+        phase2_cost[j] *= 1.0 + 1e-9 * PerturbationUnit(j);
+      }
+    }
+    for (size_t j = 0; j < phase1_cost.size(); ++j) {
+      if (phase1_cost[j] != 0.0) {
+        phase1_cost[j] *= 1.0 + 1e-9 * PerturbationUnit(j);
+      }
+    }
+  }
+
+  // --- Phase 1 -------------------------------------------------------------
+  if (!artificials.empty()) {
+    PhaseStatus status = RunPhase(w, phase1_cost, /*phase1=*/true, options_);
+    if (status == PhaseStatus::kIterationLimit) {
+      return finish(SolveStatus::kIterationLimit);
+    }
+    if (status == PhaseStatus::kSingular ||
+        status == PhaseStatus::kUnbounded) {
+      return finish(SolveStatus::kNumericalFailure);
+    }
+    double infeasibility = 0.0;
+    for (int j = w.artificial_begin; j < w.n_total; ++j) {
+      infeasibility += w.x[j];
+    }
+    if (infeasibility > options_.feasibility_tol) {
+      return finish(SolveStatus::kInfeasible);
+    }
+    // Pin artificials at zero so they never move again; basic artificials
+    // (degenerate, value ~0) stay basic but fixed.
+    for (int j = w.artificial_begin; j < w.n_total; ++j) {
+      w.lb[j] = 0.0;
+      w.ub[j] = 0.0;
+      if (w.state[j] != kBasic) {
+        w.x[j] = 0.0;
+        w.state[j] = kNonbasicLower;
+      }
+    }
+  }
+
+  // --- Phase 2 -------------------------------------------------------------
+  PhaseStatus status = RunPhase(w, phase2_cost, /*phase1=*/false, options_);
+  switch (status) {
+    case PhaseStatus::kOptimal:
+      return finish(SolveStatus::kOptimal);
+    case PhaseStatus::kUnbounded:
+      return finish(SolveStatus::kUnbounded);
+    case PhaseStatus::kIterationLimit:
+      return finish(SolveStatus::kIterationLimit);
+    case PhaseStatus::kSingular:
+      return finish(SolveStatus::kNumericalFailure);
+  }
+  return finish(SolveStatus::kNumericalFailure);
+}
+
+}  // namespace
+
+SimplexSolver::SimplexSolver(SimplexOptions options) : options_(options) {}
+
+LpSolution SimplexSolver::Solve(const LpModel& model) const {
+  LpSolution solution = SolveImpl(model, options_);
+  if (solution.status != SolveStatus::kNumericalFailure) return solution;
+  // One conservative retry: refactorize aggressively, lean on Bland's rule
+  // early, and demand larger pivots.
+  PRIVSAN_LOG(Warning)
+      << "simplex numerical failure; retrying with conservative settings";
+  SimplexOptions retry = options_;
+  retry.refactor_interval = 200;
+  retry.bland_trigger = 8;
+  retry.pivot_tol = 1e-8;
+  LpSolution second = SolveImpl(model, retry);
+  second.iterations += solution.iterations;
+  second.refactorizations += solution.refactorizations;
+  return second;
+}
+
+}  // namespace lp
+}  // namespace privsan

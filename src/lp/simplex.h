@@ -1,0 +1,87 @@
+// Two-phase revised primal simplex with bounded variables.
+//
+// This is the LP engine behind all three utility-maximizing problems:
+// O-UMP and F-UMP are solved directly as LPs (with linear relaxation, as in
+// Section 5 of the paper), and branch & bound uses it per node for D-UMP.
+//
+// Implementation notes:
+//  * every constraint row gets a slack variable with bounds chosen by sense
+//    (<=: [0, inf), >=: (-inf, 0], =: [0, 0]), turning rows into equalities;
+//  * rows whose initial slack value violates its bounds get an artificial
+//    variable; phase 1 minimizes the sum of artificials (zero iff feasible);
+//  * the basis inverse is kept as a dense m x m matrix updated by
+//    Gauss-Jordan pivots, with periodic full refactorization;
+//  * pricing is Dantzig (most-negative reduced cost) with an automatic
+//    switch to Bland's rule after a run of degenerate pivots, which
+//    guarantees termination;
+//  * bounded nonbasic variables may "bound flip" without a basis change.
+#ifndef PRIVSAN_LP_SIMPLEX_H_
+#define PRIVSAN_LP_SIMPLEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lp/model.h"
+
+namespace privsan {
+namespace lp {
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kNumericalFailure,
+};
+
+const char* SolveStatusToString(SolveStatus status);
+
+struct SimplexOptions {
+  // Reduced-cost optimality tolerance.
+  double optimality_tol = 1e-7;
+  // Pivot magnitude below which a ratio-test row is skipped.
+  double pivot_tol = 1e-9;
+  // Phase-1 objective above this value means infeasible.
+  double feasibility_tol = 1e-6;
+  // Combined iteration budget across both phases.
+  int64_t max_iterations = 500000;
+  // Degenerate pivots in a row before switching to Bland's rule.
+  int bland_trigger = 64;
+  // Full refactorization cadence (iterations).
+  int refactor_interval = 2000;
+  // Deterministic multiplicative cost perturbation (~1e-9 relative) that
+  // breaks the massive dual degeneracy of uniform-cost objectives like
+  // O-UMP. The reported objective and duals use the exact costs.
+  bool perturb_costs = true;
+};
+
+struct LpSolution {
+  SolveStatus status = SolveStatus::kNumericalFailure;
+  // Objective in the model's own sense; meaningful when status == kOptimal.
+  double objective = 0.0;
+  // Structural variable values.
+  std::vector<double> x;
+  // Row duals of the internal minimization; negated for maximize models so
+  // they price the *original* objective.
+  std::vector<double> duals;
+  int64_t iterations = 0;
+  int refactorizations = 0;
+};
+
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(SimplexOptions options = {});
+
+  // Solves the LP relaxation of `model` (integrality flags ignored).
+  // The model must already be Validate()d.
+  LpSolution Solve(const LpModel& model) const;
+
+ private:
+  SimplexOptions options_;
+};
+
+}  // namespace lp
+}  // namespace privsan
+
+#endif  // PRIVSAN_LP_SIMPLEX_H_

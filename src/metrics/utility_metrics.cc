@@ -1,0 +1,141 @@
+#include "metrics/utility_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/sampler.h"
+#include "util/logging.h"
+
+namespace privsan {
+
+namespace {
+uint64_t TotalOf(std::span<const uint64_t> x) {
+  return std::accumulate(x.begin(), x.end(), static_cast<uint64_t>(0));
+}
+}  // namespace
+
+PrecisionRecall FrequentPairMetrics(const SearchLog& input,
+                                    std::span<const uint64_t> x,
+                                    double min_support) {
+  PRIVSAN_CHECK(x.size() == input.num_pairs());
+  PrecisionRecall pr;
+  const uint64_t output_total = TotalOf(x);
+  for (PairId p = 0; p < input.num_pairs(); ++p) {
+    const bool in_s0 = input.PairSupport(p) >= min_support;
+    const bool in_s =
+        output_total > 0 &&
+        static_cast<double>(x[p]) / static_cast<double>(output_total) >=
+            min_support;
+    if (in_s0) ++pr.input_frequent;
+    if (in_s) ++pr.output_frequent;
+    if (in_s0 && in_s) ++pr.common;
+  }
+  pr.precision = pr.output_frequent == 0
+                     ? 1.0
+                     : static_cast<double>(pr.common) /
+                           static_cast<double>(pr.output_frequent);
+  pr.recall = pr.input_frequent == 0
+                  ? 1.0
+                  : static_cast<double>(pr.common) /
+                        static_cast<double>(pr.input_frequent);
+  return pr;
+}
+
+double SupportDistanceSum(const SearchLog& input, std::span<const uint64_t> x,
+                          double min_support) {
+  PRIVSAN_CHECK(x.size() == input.num_pairs());
+  const uint64_t output_total = TotalOf(x);
+  double sum = 0.0;
+  for (PairId p = 0; p < input.num_pairs(); ++p) {
+    if (input.PairSupport(p) < min_support) continue;
+    const double output_support =
+        output_total == 0 ? 0.0
+                          : static_cast<double>(x[p]) /
+                                static_cast<double>(output_total);
+    sum += std::abs(output_support - input.PairSupport(p));
+  }
+  return sum;
+}
+
+double SupportDistanceAverage(const SearchLog& input,
+                              std::span<const uint64_t> x,
+                              double min_support) {
+  size_t frequent = 0;
+  for (PairId p = 0; p < input.num_pairs(); ++p) {
+    if (input.PairSupport(p) >= min_support) ++frequent;
+  }
+  if (frequent == 0) return 0.0;
+  return SupportDistanceSum(input, x, min_support) /
+         static_cast<double>(frequent);
+}
+
+double DiversityRatio(std::span<const uint64_t> x) {
+  if (x.empty()) return 0.0;
+  size_t retained = 0;
+  for (uint64_t v : x) {
+    if (v > 0) ++retained;
+  }
+  return static_cast<double>(retained) / static_cast<double>(x.size());
+}
+
+double DiffRatioHistogram::fraction_below(double ratio_cap) const {
+  if (num_triplets == 0 || bin_counts.empty()) return 0.0;
+  const double bin_width = 1.0 / static_cast<double>(bin_counts.size());
+  double below = 0.0, total = 0.0;
+  for (size_t b = 0; b < bin_counts.size(); ++b) {
+    total += bin_counts[b];
+    // A bin counts as "below" if it ends at or before the cap.
+    if ((static_cast<double>(b) + 1.0) * bin_width <= ratio_cap + 1e-12) {
+      below += bin_counts[b];
+    }
+  }
+  return total == 0.0 ? 0.0 : below / total;
+}
+
+Result<DiffRatioHistogram> ComputeDiffRatioHistogram(
+    const SearchLog& input, std::span<const uint64_t> x, int num_samples,
+    uint64_t seed, int num_bins) {
+  if (num_samples <= 0 || num_bins <= 0) {
+    return Status::InvalidArgument("num_samples and num_bins must be > 0");
+  }
+  if (x.size() != input.num_pairs()) {
+    return Status::InvalidArgument(
+        "count vector size does not match the input's pair count");
+  }
+  const double input_total = static_cast<double>(input.total_clicks());
+  const double output_total = static_cast<double>(TotalOf(x));
+  if (input_total == 0 || output_total == 0) {
+    return Status::InvalidArgument("input and output must be non-empty");
+  }
+
+  DiffRatioHistogram histogram;
+  histogram.bin_counts.assign(num_bins, 0.0);
+  histogram.num_triplets = input.num_tuples();
+
+  for (int sample = 0; sample < num_samples; ++sample) {
+    PRIVSAN_ASSIGN_OR_RETURN(
+        std::vector<std::vector<uint64_t>> sampled,
+        SampleTripletCounts(input, x, seed + static_cast<uint64_t>(sample)));
+    for (PairId p = 0; p < input.num_pairs(); ++p) {
+      auto triplets = input.TripletsOf(p);
+      for (size_t i = 0; i < triplets.size(); ++i) {
+        const double input_support =
+            static_cast<double>(triplets[i].count) / input_total;
+        const double output_support =
+            static_cast<double>(sampled[p][i]) / output_total;
+        const double ratio =
+            std::abs((output_support - input_support) / input_support);
+        int bin = static_cast<int>(ratio * num_bins);
+        bin = std::clamp(bin, 0, num_bins - 1);
+        histogram.bin_counts[bin] += 1.0;
+      }
+    }
+  }
+  for (double& count : histogram.bin_counts) {
+    count /= static_cast<double>(num_samples);
+  }
+  return histogram;
+}
+
+}  // namespace privsan

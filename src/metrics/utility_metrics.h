@@ -1,0 +1,65 @@
+// Output utility metrics from Section 6 of the paper.
+//
+//   * Precision / Recall of frequent pairs (Equation 9);
+//   * sum / average of frequent-pair support distances (Equation 5);
+//   * retained query-url diversity ratio (Figure 4);
+//   * DiffRatio histogram between input and sampled output query-url-user
+//     histograms (Equation 10 / Figure 6).
+#ifndef PRIVSAN_METRICS_UTILITY_METRICS_H_
+#define PRIVSAN_METRICS_UTILITY_METRICS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "log/search_log.h"
+#include "util/result.h"
+
+namespace privsan {
+
+struct PrecisionRecall {
+  double precision = 0.0;  // |S0 ∩ S| / |S|; 1.0 when S is empty
+  double recall = 0.0;     // |S0 ∩ S| / |S0|; 1.0 when S0 is empty
+  size_t input_frequent = 0;   // |S0|
+  size_t output_frequent = 0;  // |S|
+  size_t common = 0;           // |S0 ∩ S|
+};
+
+// S0 = pairs frequent in `input` (support >= s); S = pairs frequent in the
+// output histogram x (x_p / |O| >= s). Equation 9.
+PrecisionRecall FrequentPairMetrics(const SearchLog& input,
+                                    std::span<const uint64_t> x,
+                                    double min_support);
+
+// Equation 5: sum over the *input's* frequent pairs of
+// | x_p/|O| − c_p/|D| |. Returns 0 when there are no frequent pairs.
+double SupportDistanceSum(const SearchLog& input, std::span<const uint64_t> x,
+                          double min_support);
+
+// SupportDistanceSum / |S0| (0 when S0 is empty).
+double SupportDistanceAverage(const SearchLog& input,
+                              std::span<const uint64_t> x, double min_support);
+
+// Fraction of the input's pairs with positive output count (Figure 4's
+// "max retained query-url pairs").
+double DiversityRatio(std::span<const uint64_t> x);
+
+// Figure 6: per-triplet relative support error between input and sampled
+// outputs,
+//   DiffRatio(x_ijk, c_ijk) = | (x_ijk/|O| − c_ijk/|D|) / (c_ijk/|D|) |,
+// averaged over `num_samples` independently sampled outputs, histogrammed
+// over [0%, 100%] in `num_bins` equal bins (ratios above 100% land in the
+// last bin, as in the paper's plots whose x-axis tops out at 100%).
+struct DiffRatioHistogram {
+  std::vector<double> bin_counts;     // averaged triplet counts per bin
+  size_t num_triplets = 0;            // triplets of the input
+  double fraction_below(double ratio_cap) const;  // e.g. 0.4 for "below 40%"
+};
+
+Result<DiffRatioHistogram> ComputeDiffRatioHistogram(
+    const SearchLog& input, std::span<const uint64_t> x, int num_samples,
+    uint64_t seed, int num_bins = 10);
+
+}  // namespace privsan
+
+#endif  // PRIVSAN_METRICS_UTILITY_METRICS_H_

@@ -1,0 +1,76 @@
+#include "rng/alias_table.h"
+
+#include <cmath>
+
+namespace privsan {
+
+Result<AliasTable> AliasTable::Build(const std::vector<double>& weights) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("alias table needs at least one weight");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (!std::isfinite(w) || w < 0.0) {
+      return Status::InvalidArgument("alias weights must be finite and >= 0");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("alias weights must not all be zero");
+  }
+
+  const size_t n = weights.size();
+  AliasTable table;
+  table.prob_.assign(n, 0.0);
+  table.alias_.assign(n, 0);
+
+  // Scaled probabilities; columns with scaled < 1 are "small", others "large".
+  std::vector<double> scaled(n);
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+    if (scaled[i] < 1.0) {
+      small.push_back(static_cast<uint32_t>(i));
+    } else {
+      large.push_back(static_cast<uint32_t>(i));
+    }
+  }
+
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    table.prob_[s] = scaled[s];
+    table.alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      small.push_back(l);
+    } else {
+      large.push_back(l);
+    }
+  }
+  // Residuals are exactly 1 up to FP rounding.
+  for (uint32_t l : large) table.prob_[l] = 1.0;
+  for (uint32_t s : small) table.prob_[s] = 1.0;
+  return table;
+}
+
+uint32_t AliasTable::Sample(Rng& rng) const {
+  const uint32_t column =
+      static_cast<uint32_t>(rng.NextBounded(prob_.size()));
+  return rng.NextDouble() < prob_[column] ? column : alias_[column];
+}
+
+double AliasTable::ProbabilityOf(uint32_t i) const {
+  // P(i) = (prob_i + sum over j of (1 - prob_j) where alias_j == i) / n.
+  double p = prob_[i];
+  for (size_t j = 0; j < prob_.size(); ++j) {
+    if (alias_[j] == i && j != i) p += 1.0 - prob_[j];
+  }
+  return p / static_cast<double>(prob_.size());
+}
+
+}  // namespace privsan

@@ -1,0 +1,42 @@
+// Walker–Vose alias method for O(1) sampling from a fixed discrete
+// distribution. Construction is O(k); each draw costs one uniform double and
+// one uniform integer. This is the sampling core of the paper's multinomial
+// user-ID draw (Algorithm 1, step 2): each query-url pair's per-user count
+// histogram becomes one alias table.
+#ifndef PRIVSAN_RNG_ALIAS_TABLE_H_
+#define PRIVSAN_RNG_ALIAS_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/random.h"
+#include "util/result.h"
+
+namespace privsan {
+
+class AliasTable {
+ public:
+  // Builds a table for the distribution proportional to `weights`.
+  // Requirements: at least one weight, all weights finite and >= 0,
+  // total weight > 0.
+  static Result<AliasTable> Build(const std::vector<double>& weights);
+
+  // Draws an index in [0, size()) with probability weight[i] / total.
+  uint32_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+  // Exact probability of drawing index i as represented by the table
+  // (useful for tests; equals weights[i]/total up to FP rounding).
+  double ProbabilityOf(uint32_t i) const;
+
+ private:
+  AliasTable() = default;
+
+  std::vector<double> prob_;     // acceptance probability of own column
+  std::vector<uint32_t> alias_;  // fallback index
+};
+
+}  // namespace privsan
+
+#endif  // PRIVSAN_RNG_ALIAS_TABLE_H_

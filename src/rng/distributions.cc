@@ -1,0 +1,61 @@
+#include "rng/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace privsan {
+
+double SampleLaplace(Rng& rng, double scale) {
+  PRIVSAN_CHECK(scale > 0.0);
+  // u uniform on (-0.5, 0.5); inverse CDF: -b * sgn(u) * ln(1 - 2|u|).
+  double u = rng.NextDouble() - 0.5;
+  // Guard the measure-zero endpoint where log(0) would overflow.
+  double magnitude = std::max(1.0 - 2.0 * std::abs(u), 1e-300);
+  double draw = -scale * std::log(magnitude);
+  return u < 0 ? -draw : draw;
+}
+
+Result<ZipfSampler> ZipfSampler::Build(size_t n, double exponent) {
+  if (n == 0) {
+    return Status::InvalidArgument("Zipf support must be non-empty");
+  }
+  if (!(exponent >= 0.0) || !std::isfinite(exponent)) {
+    return Status::InvalidArgument("Zipf exponent must be finite and >= 0");
+  }
+  ZipfSampler sampler;
+  sampler.cdf_.resize(n);
+  double total = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -exponent);
+    sampler.cdf_[r] = total;
+  }
+  for (double& c : sampler.cdf_) c /= total;
+  sampler.cdf_.back() = 1.0;  // close the CDF exactly
+  return sampler;
+}
+
+uint32_t ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<uint32_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::ProbabilityOf(uint32_t rank) const {
+  PRIVSAN_CHECK(rank < cdf_.size());
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+Result<std::vector<uint64_t>> SampleMultinomial(
+    Rng& rng, uint64_t trials, const std::vector<double>& weights) {
+  PRIVSAN_ASSIGN_OR_RETURN(AliasTable table, AliasTable::Build(weights));
+  std::vector<uint64_t> counts(weights.size(), 0);
+  for (uint64_t t = 0; t < trials; ++t) {
+    ++counts[table.Sample(rng)];
+  }
+  return counts;
+}
+
+}  // namespace privsan

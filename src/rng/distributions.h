@@ -1,0 +1,51 @@
+// Distribution samplers built on Rng:
+//
+//  * SampleLaplace      — Lap(b) noise for the end-to-end DP step (§4.2 of
+//                         the paper: x*_ij += Lap(d/ε′)).
+//  * ZipfSampler        — Zipf(s, n) over ranks {1..n}; used by the synthetic
+//                         AOL-profile workload generator.
+//  * SampleMultinomial  — n iid categorical draws via an alias table; the
+//                         randomization core of Algorithm 1 step 2.
+#ifndef PRIVSAN_RNG_DISTRIBUTIONS_H_
+#define PRIVSAN_RNG_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/alias_table.h"
+#include "rng/random.h"
+#include "util/result.h"
+
+namespace privsan {
+
+// Draws from the Laplace distribution with location 0 and scale `b` (> 0)
+// via inverse-CDF on a symmetric uniform.
+double SampleLaplace(Rng& rng, double scale);
+
+// Zipf distribution over ranks {0, 1, ..., n-1} with exponent `s` >= 0:
+// P(rank = r) proportional to 1 / (r+1)^s. s == 0 degenerates to uniform.
+// Implemented with an explicit CDF + binary search (exact; n here is at most
+// a few hundred thousand, so the O(n) table is cheap and draws are O(log n)).
+class ZipfSampler {
+ public:
+  static Result<ZipfSampler> Build(size_t n, double exponent);
+
+  uint32_t Sample(Rng& rng) const;
+
+  size_t size() const { return cdf_.size(); }
+  double ProbabilityOf(uint32_t rank) const;
+
+ private:
+  ZipfSampler() = default;
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r), cdf_.back() == 1
+};
+
+// Draws a multinomial sample: `trials` iid draws from the categorical
+// distribution proportional to `weights`, returned as per-category counts.
+// Exactly the probability mass function of Equation 1 in the paper.
+Result<std::vector<uint64_t>> SampleMultinomial(
+    Rng& rng, uint64_t trials, const std::vector<double>& weights);
+
+}  // namespace privsan
+
+#endif  // PRIVSAN_RNG_DISTRIBUTIONS_H_

@@ -1,0 +1,30 @@
+#include "synth/characteristics.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace privsan {
+
+DatasetCharacteristics ComputeCharacteristics(const SearchLog& log) {
+  DatasetCharacteristics c;
+  c.total_clicks = log.total_clicks();
+  c.num_user_logs = log.num_users();
+  c.num_distinct_queries = log.num_queries();
+  c.num_distinct_urls = log.num_urls();
+  c.num_query_url_pairs = log.num_pairs();
+  return c;
+}
+
+std::string DatasetCharacteristics::ToString() const {
+  std::ostringstream os;
+  os << "total tuples (|D|): "
+     << FormatWithCommas(static_cast<int64_t>(total_clicks))
+     << ", user logs: " << num_user_logs
+     << ", distinct queries: " << num_distinct_queries
+     << ", distinct urls: " << num_distinct_urls
+     << ", query-url pairs: " << num_query_url_pairs;
+  return os.str();
+}
+
+}  // namespace privsan

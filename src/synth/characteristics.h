@@ -1,0 +1,26 @@
+// Dataset characteristics in the layout of Table 3 of the paper.
+#ifndef PRIVSAN_SYNTH_CHARACTERISTICS_H_
+#define PRIVSAN_SYNTH_CHARACTERISTICS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "log/search_log.h"
+
+namespace privsan {
+
+struct DatasetCharacteristics {
+  uint64_t total_clicks = 0;      // "# of total tuples (size)" — |D|
+  size_t num_user_logs = 0;       // "# of user logs"
+  size_t num_distinct_queries = 0;
+  size_t num_distinct_urls = 0;
+  size_t num_query_url_pairs = 0;
+
+  std::string ToString() const;
+};
+
+DatasetCharacteristics ComputeCharacteristics(const SearchLog& log);
+
+}  // namespace privsan
+
+#endif  // PRIVSAN_SYNTH_CHARACTERISTICS_H_

@@ -1,0 +1,76 @@
+#include "util/csv.h"
+
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace privsan {
+
+struct DelimitedWriter::Impl {
+  std::ofstream out;
+  char delimiter;
+};
+
+DelimitedWriter::DelimitedWriter(const std::string& path, char delimiter)
+    : impl_(new Impl{std::ofstream(path, std::ios::trunc), delimiter}) {
+  if (!impl_->out.is_open()) {
+    status_ = Status::IoError("cannot open for writing: " + path);
+  }
+}
+
+DelimitedWriter::~DelimitedWriter() { delete impl_; }
+
+Status DelimitedWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (!status_.ok()) return status_;
+  std::string line;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    const std::string& field = fields[i];
+    if (field.find(impl_->delimiter) != std::string::npos ||
+        field.find('\n') != std::string::npos) {
+      return Status::InvalidArgument("field contains delimiter or newline: " +
+                                     field);
+    }
+    if (i > 0) line.push_back(impl_->delimiter);
+    line.append(field);
+  }
+  line.push_back('\n');
+  impl_->out << line;
+  if (!impl_->out.good()) {
+    status_ = Status::IoError("write failed");
+  }
+  return status_;
+}
+
+Status DelimitedWriter::Close() {
+  if (impl_->out.is_open()) {
+    impl_->out.close();
+    if (!impl_->out.good() && status_.ok()) {
+      status_ = Status::IoError("close failed");
+    }
+  }
+  return status_;
+}
+
+Status ReadDelimitedFile(
+    const std::string& path, char delimiter,
+    const std::function<Status(size_t, const std::vector<std::string>&)>&
+        row_fn) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    PRIVSAN_RETURN_IF_ERROR(row_fn(line_number, Split(line, delimiter)));
+  }
+  if (in.bad()) {
+    return Status::IoError("read failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace privsan

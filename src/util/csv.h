@@ -1,0 +1,50 @@
+// Minimal delimited-text reader/writer (TSV by default) used by log io and
+// the bench harness. Handles plain fields only — search log fields never
+// contain tabs or newlines after normalization, so no quoting layer is
+// needed; fields containing the delimiter are rejected on write.
+#ifndef PRIVSAN_UTIL_CSV_H_
+#define PRIVSAN_UTIL_CSV_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace privsan {
+
+class DelimitedWriter {
+ public:
+  // Creates/truncates `path`. Check `status()` before use.
+  DelimitedWriter(const std::string& path, char delimiter = '\t');
+  ~DelimitedWriter();
+
+  DelimitedWriter(const DelimitedWriter&) = delete;
+  DelimitedWriter& operator=(const DelimitedWriter&) = delete;
+
+  Status status() const { return status_; }
+
+  // Writes one row; fields must not contain the delimiter or newlines.
+  Status WriteRow(const std::vector<std::string>& fields);
+
+  // Flushes and closes; returns the first error encountered, if any.
+  Status Close();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  Status status_;
+};
+
+// Reads `path`, invoking `row_fn` for every non-empty line (fields split on
+// `delimiter`). Lines starting with '#' are skipped as comments. Stops and
+// propagates the first non-OK status returned by `row_fn`.
+Status ReadDelimitedFile(
+    const std::string& path, char delimiter,
+    const std::function<Status(size_t line_number,
+                               const std::vector<std::string>& fields)>& row_fn);
+
+}  // namespace privsan
+
+#endif  // PRIVSAN_UTIL_CSV_H_

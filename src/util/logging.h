@@ -1,0 +1,68 @@
+// Minimal leveled logging and CHECK macros for privsan.
+//
+// PRIVSAN_LOG(INFO) << "solved in " << n << " pivots";
+// PRIVSAN_CHECK(x > 0) << "x must be positive, got " << x;
+//
+// CHECK failures abort the process; they flag programmer errors (invariant
+// violations), never user input errors — those return Status instead.
+#ifndef PRIVSAN_UTIL_LOGGING_H_
+#define PRIVSAN_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace privsan {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+// Process-wide minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();  // emits the message; aborts if level == kFatal
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+// Makes the ternary in PRIVSAN_CHECK type-check: operator& binds looser than
+// operator<<, so streamed values attach to the LogMessage first.
+class Voidify {
+ public:
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace privsan
+
+#define PRIVSAN_LOG(level)                                            \
+  ::privsan::internal::LogMessage(::privsan::LogLevel::k##level,      \
+                                  __FILE__, __LINE__)
+
+#define PRIVSAN_CHECK(condition)                                      \
+  (condition) ? (void)0                                               \
+              : ::privsan::internal::Voidify() &                      \
+                    (::privsan::internal::LogMessage(                 \
+                         ::privsan::LogLevel::kFatal, __FILE__,       \
+                         __LINE__)                                    \
+                     << "Check failed: " #condition " ")
+
+#define PRIVSAN_DCHECK(condition) PRIVSAN_CHECK(condition)
+
+#endif  // PRIVSAN_UTIL_LOGGING_H_

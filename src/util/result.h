@@ -1,0 +1,90 @@
+// Result<T>: value-or-Status, the privsan equivalent of arrow::Result.
+#ifndef PRIVSAN_UTIL_RESULT_H_
+#define PRIVSAN_UTIL_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <type_traits>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace privsan {
+
+// Holds either a T (success) or a non-OK Status (failure). Constructing a
+// Result from an OK Status is a programming error and aborts.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      std::cerr << "Result<T> constructed from OK Status" << std::endl;
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  // Returns the error Status, or OK if this holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  // Precondition: ok(). Aborts otherwise.
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::cerr << "Result<T>::value() on error: "
+                << std::get<Status>(repr_).ToString() << std::endl;
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace privsan
+
+// Assigns the value of a Result expression to `lhs`, or propagates the error.
+// Usage: PRIVSAN_ASSIGN_OR_RETURN(auto x, ComputeX());
+#define PRIVSAN_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#define PRIVSAN_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define PRIVSAN_ASSIGN_OR_RETURN_CONCAT(x, y) \
+  PRIVSAN_ASSIGN_OR_RETURN_CONCAT_(x, y)
+
+#define PRIVSAN_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  PRIVSAN_ASSIGN_OR_RETURN_IMPL(                                         \
+      PRIVSAN_ASSIGN_OR_RETURN_CONCAT(_privsan_result_, __LINE__), lhs,  \
+      rexpr)
+
+#endif  // PRIVSAN_UTIL_RESULT_H_

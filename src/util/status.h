@@ -1,0 +1,108 @@
+// Status: lightweight error propagation for privsan, modeled on the
+// Arrow/RocksDB idiom. Functions that can fail return Status (or
+// Result<T>, see util/result.h); exceptions never cross public API
+// boundaries.
+#ifndef PRIVSAN_UTIL_STATUS_H_
+#define PRIVSAN_UTIL_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace privsan {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kResourceExhausted = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kIoError = 8,
+  kInfeasible = 9,   // optimization model has no feasible point
+  kUnbounded = 10,   // optimization objective is unbounded
+};
+
+// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+// A Status holds either success (OK) or an error code plus message.
+// The OK path stores no allocation; error details live behind a pointer so
+// that Status stays one word and cheap to pass by value.
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status Unbounded(std::string msg) {
+    return Status(StatusCode::kUnbounded, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  // Empty string for OK statuses.
+  const std::string& message() const;
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<State> state_;  // nullptr means OK
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace privsan
+
+// Propagates an error Status from an expression; evaluates it once.
+#define PRIVSAN_RETURN_IF_ERROR(expr)                 \
+  do {                                                \
+    ::privsan::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                        \
+  } while (false)
+
+#endif  // PRIVSAN_UTIL_STATUS_H_

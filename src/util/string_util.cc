@@ -1,0 +1,114 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+namespace privsan {
+
+std::vector<std::string> Split(std::string_view input, char delimiter) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(input.substr(start));
+      break;
+    }
+    parts.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(separator);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view input) {
+  size_t begin = 0;
+  while (begin < input.size() &&
+         std::isspace(static_cast<unsigned char>(input[begin]))) {
+    ++begin;
+  }
+  size_t end = input.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(input[end - 1]))) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+Result<int64_t> ParseInt64(std::string_view text) {
+  std::string buf(Trim(text));
+  if (buf.empty()) {
+    return Status::InvalidArgument("empty string is not an integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(buf.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("integer out of range: " + buf);
+  }
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not an integer: " + buf);
+  }
+  return static_cast<int64_t>(value);
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  std::string buf(Trim(text));
+  if (buf.empty()) {
+    return Status::InvalidArgument("empty string is not a double");
+  }
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("double out of range: " + buf);
+  }
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not a double: " + buf);
+  }
+  return value;
+}
+
+std::string FormatDouble(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+std::string FormatWithCommas(int64_t value) {
+  std::string digits = std::to_string(value < 0 ? -value : value);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count > 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (value < 0) out.push_back('-');
+  return std::string(out.rbegin(), out.rend());
+}
+
+}  // namespace privsan

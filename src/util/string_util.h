@@ -1,0 +1,37 @@
+// Small string helpers shared across privsan.
+#ifndef PRIVSAN_UTIL_STRING_UTIL_H_
+#define PRIVSAN_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace privsan {
+
+// Splits `input` on `delimiter`; keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view input, char delimiter);
+
+// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view input);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// Strict parsers: the whole string must be consumed.
+Result<int64_t> ParseInt64(std::string_view text);
+Result<double> ParseDouble(std::string_view text);
+
+// Fixed-precision formatting helpers used by the bench table printers.
+std::string FormatDouble(double value, int precision);
+// 12345678 -> "12,345,678".
+std::string FormatWithCommas(int64_t value);
+
+}  // namespace privsan
+
+#endif  // PRIVSAN_UTIL_STRING_UTIL_H_

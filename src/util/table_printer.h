@@ -1,0 +1,31 @@
+// Fixed-width ASCII table printer used by the bench harness to emit
+// paper-style tables (Table 4, Table 5, ...).
+#ifndef PRIVSAN_UTIL_TABLE_PRINTER_H_
+#define PRIVSAN_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace privsan {
+
+class TablePrinter {
+ public:
+  // `title` is printed above the table; pass "" to omit.
+  explicit TablePrinter(std::string title);
+
+  void SetHeader(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+
+  // Renders with column widths fitted to content.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace privsan
+
+#endif  // PRIVSAN_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,107 @@
+#include "rng/alias_table.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace privsan {
+namespace {
+
+TEST(AliasTableTest, RejectsEmptyWeights) {
+  EXPECT_FALSE(AliasTable::Build({}).ok());
+}
+
+TEST(AliasTableTest, RejectsNegativeWeight) {
+  EXPECT_FALSE(AliasTable::Build({1.0, -0.5}).ok());
+}
+
+TEST(AliasTableTest, RejectsAllZeroWeights) {
+  EXPECT_FALSE(AliasTable::Build({0.0, 0.0}).ok());
+}
+
+TEST(AliasTableTest, RejectsNonFiniteWeight) {
+  EXPECT_FALSE(
+      AliasTable::Build({1.0, std::numeric_limits<double>::infinity()}).ok());
+  EXPECT_FALSE(
+      AliasTable::Build({std::numeric_limits<double>::quiet_NaN()}).ok());
+}
+
+TEST(AliasTableTest, SingleCategoryAlwaysSampled) {
+  AliasTable table = AliasTable::Build({5.0}).value();
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(table.Sample(rng), 0u);
+}
+
+TEST(AliasTableTest, ZeroWeightCategoryNeverSampled) {
+  AliasTable table = AliasTable::Build({1.0, 0.0, 3.0}).value();
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) EXPECT_NE(table.Sample(rng), 1u);
+}
+
+TEST(AliasTableTest, RepresentedProbabilitiesMatchWeights) {
+  std::vector<double> weights = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  double total = 0.0;
+  for (double w : weights) total += w;
+  AliasTable table = AliasTable::Build(weights).value();
+  for (size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_NEAR(table.ProbabilityOf(static_cast<uint32_t>(i)),
+                weights[i] / total, 1e-12);
+  }
+}
+
+TEST(AliasTableTest, EmpiricalFrequenciesMatch) {
+  std::vector<double> weights = {1.0, 2.0, 7.0};
+  AliasTable table = AliasTable::Build(weights).value();
+  Rng rng(33);
+  std::vector<int> counts(3, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[table.Sample(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.2, 0.012);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kDraws), 0.7, 0.015);
+}
+
+TEST(AliasTableTest, UniformWeights) {
+  AliasTable table = AliasTable::Build({2.0, 2.0, 2.0, 2.0}).value();
+  Rng rng(44);
+  std::vector<int> counts(4, 0);
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) ++counts[table.Sample(rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(c / static_cast<double>(kDraws), 0.25, 0.015);
+  }
+}
+
+TEST(AliasTableTest, HighlySkewedWeights) {
+  AliasTable table = AliasTable::Build({1e-6, 1.0}).value();
+  Rng rng(55);
+  int rare = 0;
+  for (int i = 0; i < 200000; ++i) {
+    if (table.Sample(rng) == 0) ++rare;
+  }
+  // Expectation 0.2; allow generous slack for a tail event.
+  EXPECT_LE(rare, 10);
+}
+
+TEST(AliasTableTest, DeterministicGivenSeed) {
+  AliasTable table = AliasTable::Build({1.0, 2.0, 3.0}).value();
+  Rng a(9), b(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(table.Sample(a), table.Sample(b));
+  }
+}
+
+TEST(AliasTableTest, ProbabilitiesSumToOne) {
+  std::vector<double> weights(257);
+  Rng rng(6);
+  for (double& w : weights) w = rng.NextDouble() + 0.01;
+  AliasTable table = AliasTable::Build(weights).value();
+  double sum = 0.0;
+  for (uint32_t i = 0; i < weights.size(); ++i) {
+    sum += table.ProbabilityOf(i);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace privsan

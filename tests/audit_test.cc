@@ -1,0 +1,136 @@
+#include "core/audit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/constraints.h"
+#include "test_fixtures.h"
+
+namespace privsan {
+namespace {
+
+using testing_fixtures::Figure1Preprocessed;
+using testing_fixtures::SmallSyntheticLog;
+using testing_fixtures::TwoUserSharedLog;
+
+TEST(AuditTest, ZeroCountsAlwaysPrivate) {
+  SearchLog log = Figure1Preprocessed();
+  std::vector<uint64_t> x(log.num_pairs(), 0);
+  AuditReport report =
+      AuditSolution(log, PrivacyParams::FromEEpsilon(1.001, 1e-4), x).value();
+  EXPECT_TRUE(report.satisfies_privacy);
+  EXPECT_DOUBLE_EQ(report.max_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(report.max_leak_probability, 0.0);
+}
+
+TEST(AuditTest, DetectsCondition1Violation) {
+  SearchLog log = testing_fixtures::Figure1Log();
+  std::vector<uint64_t> x(log.num_pairs(), 0);
+  x[*log.FindPair("pregnancy test nyc", "medicinenet.com")] = 1;
+  AuditReport report =
+      AuditSolution(log, PrivacyParams::FromEEpsilon(2.0, 0.5), x).value();
+  EXPECT_FALSE(report.condition1_ok);
+  EXPECT_FALSE(report.satisfies_privacy);
+  // A unique pair with positive count leaks its user with certainty.
+  EXPECT_DOUBLE_EQ(report.max_leak_probability, 1.0);
+}
+
+TEST(AuditTest, ExactRatioOnTwoUserLog) {
+  // x = (1, 0): bob's ratio = (10/4)^1 = 2.5; alice's = (10/6)^1 = 1.667.
+  SearchLog log = TwoUserSharedLog();
+  std::vector<uint64_t> x(log.num_pairs(), 0);
+  x[*log.FindPair("q1", "u1")] = 1;
+  AuditReport report =
+      AuditSolution(log, PrivacyParams::FromEEpsilon(3.0, 0.99), x).value();
+  EXPECT_NEAR(report.max_ratio, 2.5, 1e-9);
+  // Leak probability for bob: 1 - (4/10)^1 = 0.6.
+  EXPECT_NEAR(report.max_leak_probability, 0.6, 1e-9);
+  EXPECT_TRUE(report.satisfies_privacy);  // e^eps = 3 > 2.5, delta .99 > .6
+}
+
+TEST(AuditTest, ViolationWhenEpsilonTooSmall) {
+  SearchLog log = TwoUserSharedLog();
+  std::vector<uint64_t> x(log.num_pairs(), 0);
+  x[*log.FindPair("q1", "u1")] = 1;  // ratio 2.5
+  AuditReport report =
+      AuditSolution(log, PrivacyParams::FromEEpsilon(2.0, 0.99), x).value();
+  EXPECT_FALSE(report.condition2_ok);
+  EXPECT_FALSE(report.satisfies_privacy);
+}
+
+TEST(AuditTest, ViolationWhenDeltaTooSmall) {
+  SearchLog log = TwoUserSharedLog();
+  std::vector<uint64_t> x(log.num_pairs(), 0);
+  x[*log.FindPair("q1", "u1")] = 1;  // leak 0.6
+  AuditReport report =
+      AuditSolution(log, PrivacyParams::FromEEpsilon(3.0, 0.5), x).value();
+  EXPECT_TRUE(report.condition2_ok);
+  EXPECT_FALSE(report.condition3_ok);
+  EXPECT_FALSE(report.satisfies_privacy);
+}
+
+TEST(AuditTest, RatioEqualsExpOfRowLhs) {
+  // Cross-check: the audit's direct product must equal exp(linear LHS) of
+  // the constraint system — the equivalence Theorem 1 is built on.
+  SearchLog log = SmallSyntheticLog();
+  PrivacyParams params = PrivacyParams::FromEEpsilon(2.0, 0.5);
+  DpConstraintSystem system = DpConstraintSystem::Build(log, params).value();
+
+  std::vector<uint64_t> x(log.num_pairs(), 0);
+  for (PairId p = 0; p < log.num_pairs(); p += 3) x[p] = 1 + p % 2;
+
+  AuditReport report = AuditSolution(log, params, x).value();
+  EXPECT_NEAR(report.max_ratio, std::exp(system.MaxRowLhs(x)), 1e-6);
+  EXPECT_NEAR(report.max_leak_probability,
+              -std::expm1(-system.MaxRowLhs(x)), 1e-6);
+  EXPECT_NEAR(report.max_row_lhs, system.MaxRowLhs(x), 1e-9);
+}
+
+TEST(AuditTest, BudgetSatisfactionImpliesBothConditions) {
+  // If max row LHS <= budget then both the ratio and the leak bound follow
+  // (the merged-budget argument of Equation 4).
+  SearchLog log = SmallSyntheticLog();
+  PrivacyParams params = PrivacyParams::FromEEpsilon(1.4, 0.1);
+  DpConstraintSystem system = DpConstraintSystem::Build(log, params).value();
+
+  // Scale a uniform vector until it just fits the budget.
+  std::vector<uint64_t> x(log.num_pairs(), 0);
+  for (uint64_t level = 1; level < 50; ++level) {
+    std::vector<uint64_t> candidate(log.num_pairs(), level);
+    if (!system.IsSatisfied(candidate)) break;
+    x = candidate;
+  }
+  AuditReport report = AuditSolution(log, params, x).value();
+  EXPECT_TRUE(report.condition2_ok);
+  EXPECT_TRUE(report.condition3_ok);
+}
+
+TEST(AuditTest, WrongSizeRejected) {
+  SearchLog log = Figure1Preprocessed();
+  std::vector<uint64_t> x(log.num_pairs() + 2, 0);
+  EXPECT_EQ(AuditSolution(log, PrivacyParams{1.0, 0.5}, x).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AuditTest, InvalidParamsRejected) {
+  SearchLog log = Figure1Preprocessed();
+  std::vector<uint64_t> x(log.num_pairs(), 0);
+  EXPECT_FALSE(AuditSolution(log, PrivacyParams{0.0, 0.5}, x).ok());
+}
+
+TEST(AuditTest, ToStringReflectsOutcome) {
+  SearchLog log = TwoUserSharedLog();
+  std::vector<uint64_t> x(log.num_pairs(), 0);
+  AuditReport ok_report =
+      AuditSolution(log, PrivacyParams::FromEEpsilon(2.0, 0.5), x).value();
+  EXPECT_NE(ok_report.ToString().find("SATISFIED"), std::string::npos);
+
+  x[0] = 100;
+  AuditReport bad_report =
+      AuditSolution(log, PrivacyParams::FromEEpsilon(1.01, 0.001), x).value();
+  EXPECT_NE(bad_report.ToString().find("VIOLATED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace privsan

@@ -1,0 +1,122 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+namespace privsan {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("privsan_csv_test_" + std::to_string(::getpid()) + ".tsv"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_;
+};
+
+TEST_F(CsvTest, WriteThenReadRoundTrip) {
+  {
+    DelimitedWriter writer(path_, '\t');
+    ASSERT_TRUE(writer.status().ok());
+    ASSERT_TRUE(writer.WriteRow({"u1", "q1", "url1", "3"}).ok());
+    ASSERT_TRUE(writer.WriteRow({"u2", "q2", "url2", "5"}).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  std::vector<std::vector<std::string>> rows;
+  Status status = ReadDelimitedFile(
+      path_, '\t',
+      [&](size_t, const std::vector<std::string>& fields) -> Status {
+        rows.push_back(fields);
+        return Status::OK();
+      });
+  ASSERT_TRUE(status.ok()) << status;
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"u1", "q1", "url1", "3"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"u2", "q2", "url2", "5"}));
+}
+
+TEST_F(CsvTest, RejectsFieldContainingDelimiter) {
+  DelimitedWriter writer(path_, '\t');
+  ASSERT_TRUE(writer.status().ok());
+  Status status = writer.WriteRow({"a\tb"});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, RejectsFieldContainingNewline) {
+  DelimitedWriter writer(path_, '\t');
+  ASSERT_TRUE(writer.status().ok());
+  EXPECT_FALSE(writer.WriteRow({"a\nb"}).ok());
+}
+
+TEST_F(CsvTest, SkipsCommentsAndBlankLines) {
+  {
+    DelimitedWriter writer(path_, '\t');
+    ASSERT_TRUE(writer.WriteRow({"# header", "comment"}).ok());
+    ASSERT_TRUE(writer.WriteRow({"data", "1"}).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  size_t count = 0;
+  ASSERT_TRUE(ReadDelimitedFile(path_, '\t',
+                                [&](size_t, const auto&) -> Status {
+                                  ++count;
+                                  return Status::OK();
+                                })
+                  .ok());
+  EXPECT_EQ(count, 1u);
+}
+
+TEST_F(CsvTest, PropagatesCallbackError) {
+  {
+    DelimitedWriter writer(path_, '\t');
+    ASSERT_TRUE(writer.WriteRow({"a"}).ok());
+    ASSERT_TRUE(writer.WriteRow({"b"}).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  size_t seen = 0;
+  Status status = ReadDelimitedFile(
+      path_, '\t', [&](size_t, const auto&) -> Status {
+        ++seen;
+        return Status::InvalidArgument("stop");
+      });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(seen, 1u);  // stopped at first error
+}
+
+TEST_F(CsvTest, MissingFileIsIoError) {
+  Status status = ReadDelimitedFile(
+      "/nonexistent/privsan.tsv", '\t',
+      [](size_t, const auto&) -> Status { return Status::OK(); });
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST_F(CsvTest, UnwritablePathReportsError) {
+  DelimitedWriter writer("/nonexistent_dir/file.tsv", '\t');
+  EXPECT_EQ(writer.status().code(), StatusCode::kIoError);
+  EXPECT_FALSE(writer.WriteRow({"a"}).ok());
+}
+
+TEST_F(CsvTest, LineNumbersAreOneBased) {
+  {
+    DelimitedWriter writer(path_, '\t');
+    ASSERT_TRUE(writer.WriteRow({"first"}).ok());
+    ASSERT_TRUE(writer.WriteRow({"second"}).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  std::vector<size_t> lines;
+  ASSERT_TRUE(ReadDelimitedFile(path_, '\t',
+                                [&](size_t line, const auto&) -> Status {
+                                  lines.push_back(line);
+                                  return Status::OK();
+                                })
+                  .ok());
+  EXPECT_EQ(lines, (std::vector<size_t>{1, 2}));
+}
+
+}  // namespace
+}  // namespace privsan

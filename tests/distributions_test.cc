@@ -1,0 +1,147 @@
+#include "rng/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace privsan {
+namespace {
+
+TEST(LaplaceTest, MeanAndScale) {
+  Rng rng(101);
+  const double scale = 2.0;
+  constexpr int kDraws = 200000;
+  double sum = 0.0, abs_sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    double v = SampleLaplace(rng, scale);
+    sum += v;
+    abs_sum += std::abs(v);
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.05);
+  // E|X| = scale for Laplace.
+  EXPECT_NEAR(abs_sum / kDraws, scale, 0.05);
+}
+
+TEST(LaplaceTest, VarianceIsTwoScaleSquared) {
+  Rng rng(102);
+  const double scale = 1.5;
+  constexpr int kDraws = 200000;
+  double sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    double v = SampleLaplace(rng, scale);
+    sq += v * v;
+  }
+  EXPECT_NEAR(sq / kDraws, 2.0 * scale * scale, 0.15);
+}
+
+TEST(LaplaceTest, SymmetricTails) {
+  Rng rng(103);
+  int positive = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (SampleLaplace(rng, 1.0) > 0) ++positive;
+  }
+  EXPECT_NEAR(positive / static_cast<double>(kDraws), 0.5, 0.01);
+}
+
+TEST(ZipfTest, RejectsEmptySupport) {
+  EXPECT_FALSE(ZipfSampler::Build(0, 1.0).ok());
+}
+
+TEST(ZipfTest, RejectsNegativeExponent) {
+  EXPECT_FALSE(ZipfSampler::Build(10, -1.0).ok());
+}
+
+TEST(ZipfTest, ExponentZeroIsUniform) {
+  ZipfSampler sampler = ZipfSampler::Build(5, 0.0).value();
+  for (uint32_t r = 0; r < 5; ++r) {
+    EXPECT_NEAR(sampler.ProbabilityOf(r), 0.2, 1e-12);
+  }
+}
+
+TEST(ZipfTest, ProbabilitiesFollowPowerLaw) {
+  const double s = 1.3;
+  ZipfSampler sampler = ZipfSampler::Build(100, s).value();
+  // P(r) / P(r') == ((r'+1)/(r+1))^s.
+  for (uint32_t r : {0u, 4u, 9u, 49u}) {
+    const double ratio =
+        sampler.ProbabilityOf(0) / sampler.ProbabilityOf(r);
+    EXPECT_NEAR(ratio, std::pow(r + 1.0, s), 1e-9 * ratio);
+  }
+}
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  ZipfSampler sampler = ZipfSampler::Build(1000, 0.9).value();
+  double sum = 0.0;
+  for (uint32_t r = 0; r < 1000; ++r) sum += sampler.ProbabilityOf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, EmpiricalTopRankFrequency) {
+  ZipfSampler sampler = ZipfSampler::Build(50, 1.0).value();
+  Rng rng(202);
+  constexpr int kDraws = 100000;
+  int top = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (sampler.Sample(rng) == 0) ++top;
+  }
+  EXPECT_NEAR(top / static_cast<double>(kDraws), sampler.ProbabilityOf(0),
+              0.01);
+}
+
+TEST(ZipfTest, SamplesWithinSupport) {
+  ZipfSampler sampler = ZipfSampler::Build(7, 2.0).value();
+  Rng rng(203);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(sampler.Sample(rng), 7u);
+  }
+}
+
+TEST(MultinomialTest, CountsSumToTrials) {
+  Rng rng(301);
+  auto counts = SampleMultinomial(rng, 1000, {1.0, 2.0, 3.0}).value();
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(),
+                            static_cast<uint64_t>(0)),
+            1000u);
+}
+
+TEST(MultinomialTest, ZeroTrials) {
+  Rng rng(302);
+  auto counts = SampleMultinomial(rng, 0, {1.0, 1.0}).value();
+  EXPECT_EQ(counts, (std::vector<uint64_t>{0, 0}));
+}
+
+TEST(MultinomialTest, MarginalMeansMatch) {
+  Rng rng(303);
+  const std::vector<double> weights = {2.0, 5.0, 3.0};
+  constexpr uint64_t kTrials = 2000;
+  constexpr int kRepeats = 200;
+  std::vector<double> means(3, 0.0);
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    auto counts = SampleMultinomial(rng, kTrials, weights).value();
+    for (size_t i = 0; i < 3; ++i) means[i] += static_cast<double>(counts[i]);
+  }
+  for (size_t i = 0; i < 3; ++i) {
+    means[i] /= kRepeats;
+    EXPECT_NEAR(means[i], kTrials * weights[i] / 10.0,
+                kTrials * 0.02);
+  }
+}
+
+TEST(MultinomialTest, ZeroWeightCategoryGetsNothing) {
+  Rng rng(304);
+  auto counts = SampleMultinomial(rng, 5000, {1.0, 0.0, 1.0}).value();
+  EXPECT_EQ(counts[1], 0u);
+}
+
+TEST(MultinomialTest, InvalidWeightsRejected) {
+  Rng rng(305);
+  EXPECT_FALSE(SampleMultinomial(rng, 10, {}).ok());
+  EXPECT_FALSE(SampleMultinomial(rng, 10, {0.0}).ok());
+  EXPECT_FALSE(SampleMultinomial(rng, 10, {-1.0, 2.0}).ok());
+}
+
+}  // namespace
+}  // namespace privsan

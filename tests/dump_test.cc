@@ -1,0 +1,123 @@
+#include "core/dump.h"
+
+#include <gtest/gtest.h>
+
+#include "core/audit.h"
+#include "metrics/utility_metrics.h"
+#include "test_fixtures.h"
+
+namespace privsan {
+namespace {
+
+using testing_fixtures::SmallSyntheticLog;
+using testing_fixtures::TwoUserSharedLog;
+
+TEST(DumpTest, BuildBipShape) {
+  SearchLog log = testing_fixtures::Figure1Preprocessed();
+  lp::BipProblem problem =
+      BuildDumpBip(log, PrivacyParams::FromEEpsilon(2.0, 0.5)).value();
+  EXPECT_EQ(problem.num_vars(), 3);
+  EXPECT_EQ(problem.num_rows, 3);
+  EXPECT_TRUE(problem.Validate().ok());
+}
+
+TEST(DumpTest, RejectsUnpreprocessedLog) {
+  EXPECT_FALSE(
+      BuildDumpBip(testing_fixtures::Figure1Log(), PrivacyParams{1.0, 0.5})
+          .ok());
+}
+
+TEST(DumpTest, AllSolversProduceFeasibleSolutions) {
+  SearchLog log = SmallSyntheticLog();
+  PrivacyParams params = PrivacyParams::FromEEpsilon(1.7, 0.2);
+  lp::BipProblem problem = BuildDumpBip(log, params).value();
+
+  for (DumpSolverKind kind :
+       {DumpSolverKind::kSpe, DumpSolverKind::kGreedy,
+        DumpSolverKind::kLpRounding, DumpSolverKind::kBranchAndBound}) {
+    DumpOptions options;
+    options.solver = kind;
+    options.bnb.max_nodes = 30;  // budgeted exact solver
+    options.bnb.time_limit_seconds = 10;
+    DumpResult result = SolveDump(log, params, options).value();
+    std::vector<uint8_t> y(result.x.begin(), result.x.end());
+    EXPECT_TRUE(problem.IsFeasible(y))
+        << DumpSolverKindToString(kind);
+    EXPECT_GT(result.retained, 0) << DumpSolverKindToString(kind);
+    for (uint64_t v : result.x) EXPECT_LE(v, 1u);
+  }
+}
+
+TEST(DumpTest, SolutionsPassAudit) {
+  SearchLog log = SmallSyntheticLog();
+  PrivacyParams params = PrivacyParams::FromEEpsilon(1.4, 0.1);
+  for (DumpSolverKind kind : {DumpSolverKind::kSpe, DumpSolverKind::kGreedy,
+                              DumpSolverKind::kLpRounding}) {
+    DumpOptions options;
+    options.solver = kind;
+    DumpResult result = SolveDump(log, params, options).value();
+    AuditReport audit = AuditSolution(log, params, result.x).value();
+    EXPECT_TRUE(audit.satisfies_privacy)
+        << DumpSolverKindToString(kind) << ": " << audit.ToString();
+  }
+}
+
+TEST(DumpTest, DiversityRatioConsistent) {
+  SearchLog log = SmallSyntheticLog();
+  PrivacyParams params = PrivacyParams::FromEEpsilon(2.0, 0.5);
+  DumpResult result = SolveDump(log, params).value();
+  EXPECT_NEAR(result.diversity_ratio, DiversityRatio(result.x), 1e-12);
+  EXPECT_NEAR(result.diversity_ratio,
+              static_cast<double>(result.retained) / log.num_pairs(), 1e-12);
+}
+
+TEST(DumpTest, ExactSolverOptimalOnTinyInstance) {
+  SearchLog log = TwoUserSharedLog();
+  PrivacyParams params = PrivacyParams::FromEEpsilon(2.0, 0.5);
+  DumpOptions options;
+  options.solver = DumpSolverKind::kBranchAndBound;
+  DumpResult result = SolveDump(log, params, options).value();
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_EQ(result.retained, 1);
+}
+
+TEST(DumpTest, SpeMatchesExactOnTinyInstance) {
+  SearchLog log = TwoUserSharedLog();
+  PrivacyParams params = PrivacyParams::FromEEpsilon(2.0, 0.5);
+  DumpOptions spe;
+  spe.solver = DumpSolverKind::kSpe;
+  DumpOptions exact;
+  exact.solver = DumpSolverKind::kBranchAndBound;
+  EXPECT_EQ(SolveDump(log, params, spe).value().retained,
+            SolveDump(log, params, exact).value().retained);
+}
+
+TEST(DumpTest, DiversityMonotoneInBudget) {
+  SearchLog log = SmallSyntheticLog();
+  double prev = 0.0;
+  for (double delta : {1e-3, 1e-2, 1e-1, 0.5}) {
+    DumpResult result =
+        SolveDump(log, PrivacyParams::FromEEpsilon(2.0, delta)).value();
+    EXPECT_GE(result.diversity_ratio, prev - 1e-12) << "delta=" << delta;
+    prev = result.diversity_ratio;
+  }
+}
+
+TEST(DumpTest, WallSecondsPopulated) {
+  SearchLog log = SmallSyntheticLog();
+  DumpResult result =
+      SolveDump(log, PrivacyParams::FromEEpsilon(2.0, 0.5)).value();
+  EXPECT_GE(result.wall_seconds, 0.0);
+}
+
+TEST(DumpTest, SolverKindNames) {
+  EXPECT_STREQ(DumpSolverKindToString(DumpSolverKind::kSpe), "SPE");
+  EXPECT_STREQ(DumpSolverKindToString(DumpSolverKind::kGreedy), "Greedy");
+  EXPECT_STREQ(DumpSolverKindToString(DumpSolverKind::kLpRounding),
+               "LP-round");
+  EXPECT_STREQ(DumpSolverKindToString(DumpSolverKind::kBranchAndBound),
+               "B&B");
+}
+
+}  // namespace
+}  // namespace privsan

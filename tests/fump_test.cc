@@ -1,0 +1,165 @@
+#include "core/fump.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/audit.h"
+#include "core/oump.h"
+#include "metrics/utility_metrics.h"
+#include "test_fixtures.h"
+
+namespace privsan {
+namespace {
+
+using testing_fixtures::SmallSyntheticLog;
+using testing_fixtures::TwoUserSharedLog;
+
+TEST(FumpTest, RequiresOutputSize) {
+  FumpOptions options;
+  options.output_size = 0;
+  EXPECT_EQ(SolveFump(TwoUserSharedLog(), PrivacyParams{1.0, 0.5}, options)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FumpTest, RejectsBadSupport) {
+  FumpOptions options;
+  options.output_size = 1;
+  options.min_support = 0.0;
+  EXPECT_FALSE(
+      SolveFump(TwoUserSharedLog(), PrivacyParams{1.0, 0.5}, options).ok());
+  options.min_support = 1.5;
+  EXPECT_FALSE(
+      SolveFump(TwoUserSharedLog(), PrivacyParams{1.0, 0.5}, options).ok());
+}
+
+TEST(FumpTest, FrequentPairsDetection) {
+  SearchLog log = TwoUserSharedLog();
+  // Supports: q1 = 10/16 = 0.625, q2 = 6/16 = 0.375.
+  EXPECT_EQ(FrequentPairs(log, 0.5).size(), 1u);
+  EXPECT_EQ(FrequentPairs(log, 0.3).size(), 2u);
+  EXPECT_EQ(FrequentPairs(log, 0.7).size(), 0u);
+}
+
+TEST(FumpTest, TwoUserAnalyticOptimum) {
+  // With B = 2 log 2 and |O| = 2, the only feasible point is x = (0, 2)
+  // (see the derivation in the repo's test notes): bob's row forbids any
+  // mass on q1 once |O| = 2 is required. Objective = 0.625 + 0.625 = 1.25.
+  SearchLog log = TwoUserSharedLog();
+  PairId q1 = *log.FindPair("q1", "u1");
+  PairId q2 = *log.FindPair("q2", "u2");
+
+  FumpOptions options;
+  options.min_support = 0.1;  // both pairs frequent
+  options.output_size = 2;
+  PrivacyParams params = PrivacyParams::FromEEpsilon(4.0, 0.75);
+  FumpResult result = SolveFump(log, params, options).value();
+  EXPECT_NEAR(result.support_distance_sum, 1.25, 1e-6);
+  EXPECT_NEAR(result.x_relaxed[q1], 0.0, 1e-7);
+  EXPECT_NEAR(result.x_relaxed[q2], 2.0, 1e-7);
+  EXPECT_EQ(result.x[q2], 2u);
+}
+
+TEST(FumpTest, InfeasibleWhenOutputSizeExceedsLambda) {
+  SearchLog log = TwoUserSharedLog();
+  PrivacyParams params = PrivacyParams::FromEEpsilon(4.0, 0.75);  // lambda = 2
+  FumpOptions options;
+  options.min_support = 0.1;
+  options.output_size = 3;
+  EXPECT_EQ(SolveFump(log, params, options).status().code(),
+            StatusCode::kInfeasible);
+}
+
+TEST(FumpTest, SolutionSatisfiesConstraintsAndAudit) {
+  SearchLog log = SmallSyntheticLog();
+  PrivacyParams params = PrivacyParams::FromEEpsilon(2.0, 0.5);
+  OumpResult oump = SolveOump(log, params).value();
+
+  FumpOptions options;
+  options.min_support = 1.0 / 100;
+  options.output_size = oump.lambda / 2;
+  ASSERT_GT(options.output_size, 0u);
+  FumpResult result = SolveFump(log, params, options).value();
+
+  DpConstraintSystem system = DpConstraintSystem::Build(log, params).value();
+  EXPECT_TRUE(system.IsSatisfied(result.x));
+  AuditReport audit = AuditSolution(log, params, result.x).value();
+  EXPECT_TRUE(audit.satisfies_privacy) << audit.ToString();
+}
+
+TEST(FumpTest, RealizedSizeNearRequested) {
+  SearchLog log = SmallSyntheticLog();
+  PrivacyParams params = PrivacyParams::FromEEpsilon(2.0, 0.5);
+  OumpResult oump = SolveOump(log, params).value();
+  FumpOptions options;
+  options.min_support = 1.0 / 100;
+  options.output_size = oump.lambda / 2;
+  FumpResult result = SolveFump(log, params, options).value();
+  // Flooring loses at most one click per pair.
+  EXPECT_LE(result.realized_output_size, options.output_size);
+  EXPECT_GE(result.realized_output_size + log.num_pairs(),
+            options.output_size);
+}
+
+TEST(FumpTest, PrecisionIsOne) {
+  // Section 6.3: every pair frequent in the output was already frequent in
+  // the input — reducing an infrequent pair's count toward its input
+  // support can only improve the objective.
+  SearchLog log = SmallSyntheticLog();
+  PrivacyParams params = PrivacyParams::FromEEpsilon(2.0, 0.5);
+  OumpResult oump = SolveOump(log, params).value();
+  for (double support : {1.0 / 50, 1.0 / 100, 1.0 / 250}) {
+    FumpOptions options;
+    options.min_support = support;
+    options.output_size = oump.lambda / 2;
+    FumpResult result = SolveFump(log, params, options).value();
+    PrecisionRecall pr = FrequentPairMetrics(log, result.x, support);
+    EXPECT_DOUBLE_EQ(pr.precision, 1.0) << "s=" << support;
+  }
+}
+
+TEST(FumpTest, RecallImprovesWithBudget) {
+  SearchLog log = SmallSyntheticLog();
+  const double support = 1.0 / 100;
+  double prev_recall = -1.0;
+  for (double e_eps : {1.01, 1.4, 2.3}) {
+    PrivacyParams params = PrivacyParams::FromEEpsilon(e_eps, 0.5);
+    OumpResult oump = SolveOump(log, params).value();
+    if (oump.lambda == 0) continue;  // budget too tight for any output
+    FumpOptions options;
+    options.min_support = support;
+    options.output_size = std::max<uint64_t>(1, oump.lambda / 2);
+    FumpResult result = SolveFump(log, params, options).value();
+    PrecisionRecall pr = FrequentPairMetrics(log, result.x, support);
+    EXPECT_GE(pr.recall, prev_recall - 0.1)  // allow small non-monotone noise
+        << "e_eps=" << e_eps;
+    prev_recall = pr.recall;
+  }
+}
+
+TEST(FumpTest, ObjectiveIsSupportDistanceSum) {
+  // The LP objective must equal the metric recomputed from the relaxed
+  // solution.
+  SearchLog log = SmallSyntheticLog();
+  PrivacyParams params = PrivacyParams::FromEEpsilon(2.0, 0.5);
+  OumpResult oump = SolveOump(log, params).value();
+  FumpOptions options;
+  options.min_support = 1.0 / 100;
+  options.output_size = oump.lambda / 2;
+  FumpResult result = SolveFump(log, params, options).value();
+
+  const double total = static_cast<double>(log.total_clicks());
+  double recomputed = 0.0;
+  for (PairId f : result.frequent_pairs) {
+    const double input_support = static_cast<double>(log.pair_total(f)) / total;
+    const double output_support =
+        result.x_relaxed[f] / static_cast<double>(options.output_size);
+    recomputed += std::abs(output_support - input_support);
+  }
+  EXPECT_NEAR(recomputed, result.support_distance_sum, 1e-6);
+}
+
+}  // namespace
+}  // namespace privsan

@@ -1,0 +1,79 @@
+#include "log/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.h"
+
+namespace privsan {
+namespace {
+
+using testing_fixtures::Figure1Log;
+
+TEST(QueryUrlHistogramTest, FromLogMatchesPairTotals) {
+  SearchLog log = Figure1Log();
+  QueryUrlHistogram histogram = QueryUrlHistogram::FromLog(log);
+  ASSERT_EQ(histogram.counts.size(), log.num_pairs());
+  EXPECT_EQ(histogram.total, log.total_clicks());
+  for (PairId p = 0; p < log.num_pairs(); ++p) {
+    EXPECT_EQ(histogram.counts[p], log.pair_total(p));
+  }
+}
+
+TEST(QueryUrlHistogramTest, SupportMatchesLog) {
+  SearchLog log = Figure1Log();
+  QueryUrlHistogram histogram = QueryUrlHistogram::FromLog(log);
+  for (PairId p = 0; p < log.num_pairs(); ++p) {
+    EXPECT_DOUBLE_EQ(histogram.Support(p), log.PairSupport(p));
+  }
+}
+
+TEST(OutputCountsTest, FromVector) {
+  OutputCounts output = OutputCounts::FromVector({0, 3, 20, 0, 4});
+  EXPECT_EQ(output.total, 27u);
+  EXPECT_DOUBLE_EQ(output.Support(2), 20.0 / 27.0);
+  EXPECT_DOUBLE_EQ(output.Support(0), 0.0);
+}
+
+TEST(OutputCountsTest, EmptyOutputSupportIsZero) {
+  OutputCounts output = OutputCounts::FromVector({0, 0});
+  EXPECT_EQ(output.total, 0u);
+  EXPECT_DOUBLE_EQ(output.Support(0), 0.0);
+}
+
+TEST(TripletHistogramViewTest, TrialProbabilitiesSumToOne) {
+  SearchLog log = Figure1Log();
+  TripletHistogramView view(log);
+  for (PairId p = 0; p < log.num_pairs(); ++p) {
+    auto probs = view.TrialProbabilities(p);
+    double sum = 0.0;
+    for (double q : probs) sum += q;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(TripletHistogramViewTest, Figure1GoogleProbabilities) {
+  SearchLog log = Figure1Log();
+  TripletHistogramView view(log);
+  PairId google = *log.FindPair("google", "google.com");
+  auto probs = view.TrialProbabilities(google);
+  ASSERT_EQ(probs.size(), 3u);
+  // Users sorted by id: 081 -> 15/39, 082 -> 7/39, 083 -> 17/39.
+  EXPECT_DOUBLE_EQ(probs[0], 15.0 / 39.0);
+  EXPECT_DOUBLE_EQ(probs[1], 7.0 / 39.0);
+  EXPECT_DOUBLE_EQ(probs[2], 17.0 / 39.0);
+}
+
+TEST(TripletHistogramViewTest, RowTotals) {
+  SearchLog log = Figure1Log();
+  TripletHistogramView view(log);
+  EXPECT_EQ(view.num_pairs(), log.num_pairs());
+  for (PairId p = 0; p < log.num_pairs(); ++p) {
+    EXPECT_EQ(view.RowTotal(p), log.pair_total(p));
+    uint64_t row_sum = 0;
+    for (const UserCount& cell : view.Row(p)) row_sum += cell.count;
+    EXPECT_EQ(row_sum, view.RowTotal(p));
+  }
+}
+
+}  // namespace
+}  // namespace privsan

@@ -1,0 +1,98 @@
+#include "log/log_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "test_fixtures.h"
+
+namespace privsan {
+namespace {
+
+class LogIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("privsan_log_io_" + std::to_string(::getpid()) + ".tsv"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_;
+};
+
+TEST_F(LogIoTest, RoundTripPreservesEverything) {
+  SearchLog original = testing_fixtures::Figure1Log();
+  ASSERT_TRUE(WriteSearchLogTsv(original, path_).ok());
+  SearchLog loaded = ReadSearchLogTsv(path_).value();
+
+  EXPECT_EQ(loaded.num_users(), original.num_users());
+  EXPECT_EQ(loaded.num_pairs(), original.num_pairs());
+  EXPECT_EQ(loaded.num_tuples(), original.num_tuples());
+  EXPECT_EQ(loaded.total_clicks(), original.total_clicks());
+
+  // Counts match tuple by tuple (ids may be permuted; compare by name).
+  for (UserId u = 0; u < original.num_users(); ++u) {
+    for (const PairCount& cell : original.UserLogOf(u)) {
+      PairId loaded_pair =
+          *loaded.FindPair(original.query_name(original.pair_query(cell.pair)),
+                           original.url_name(original.pair_url(cell.pair)));
+      UserId loaded_user = *loaded.FindUser(original.user_name(u));
+      EXPECT_EQ(loaded.TripletCount(loaded_pair, loaded_user), cell.count);
+    }
+  }
+}
+
+TEST_F(LogIoTest, RoundTripSynthetic) {
+  SearchLog original = testing_fixtures::SmallSyntheticLog();
+  ASSERT_TRUE(WriteSearchLogTsv(original, path_).ok());
+  SearchLog loaded = ReadSearchLogTsv(path_).value();
+  EXPECT_EQ(loaded.total_clicks(), original.total_clicks());
+  EXPECT_EQ(loaded.num_pairs(), original.num_pairs());
+  EXPECT_EQ(loaded.num_users(), original.num_users());
+}
+
+TEST_F(LogIoTest, ReadRejectsWrongFieldCount) {
+  std::ofstream(path_) << "user\tquery\turl\n";
+  EXPECT_EQ(ReadSearchLogTsv(path_).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(LogIoTest, ReadRejectsNonNumericCount) {
+  std::ofstream(path_) << "user\tquery\turl\tmany\n";
+  EXPECT_FALSE(ReadSearchLogTsv(path_).ok());
+}
+
+TEST_F(LogIoTest, ReadRejectsNegativeCount) {
+  std::ofstream(path_) << "user\tquery\turl\t-3\n";
+  EXPECT_FALSE(ReadSearchLogTsv(path_).ok());
+}
+
+TEST_F(LogIoTest, ReadSkipsComments) {
+  std::ofstream(path_) << "# a comment line\nu\tq\tr\t2\n";
+  SearchLog log = ReadSearchLogTsv(path_).value();
+  EXPECT_EQ(log.total_clicks(), 2u);
+}
+
+TEST_F(LogIoTest, ReadSumsDuplicateRows) {
+  std::ofstream(path_) << "u\tq\tr\t2\nu\tq\tr\t3\n";
+  SearchLog log = ReadSearchLogTsv(path_).value();
+  EXPECT_EQ(log.num_tuples(), 1u);
+  EXPECT_EQ(log.total_clicks(), 5u);
+}
+
+TEST_F(LogIoTest, MissingFile) {
+  EXPECT_EQ(ReadSearchLogTsv("/does/not/exist.tsv").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST_F(LogIoTest, EmptyLogWritesHeaderOnly) {
+  SearchLogBuilder builder;
+  ASSERT_TRUE(WriteSearchLogTsv(builder.Build(), path_).ok());
+  SearchLog loaded = ReadSearchLogTsv(path_).value();
+  EXPECT_EQ(loaded.num_tuples(), 0u);
+}
+
+}  // namespace
+}  // namespace privsan

@@ -1,0 +1,170 @@
+#include "metrics/utility_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "test_fixtures.h"
+
+namespace privsan {
+namespace {
+
+using testing_fixtures::Figure1Preprocessed;
+using testing_fixtures::TwoUserSharedLog;
+
+TEST(PrecisionRecallTest, PerfectCopyScoresOne) {
+  SearchLog log = TwoUserSharedLog();
+  // Output identical to input counts: q1 = 10, q2 = 6.
+  std::vector<uint64_t> x = {0, 0};
+  x[*log.FindPair("q1", "u1")] = 10;
+  x[*log.FindPair("q2", "u2")] = 6;
+  PrecisionRecall pr = FrequentPairMetrics(log, x, 0.3);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+  EXPECT_EQ(pr.input_frequent, 2u);
+  EXPECT_EQ(pr.output_frequent, 2u);
+}
+
+TEST(PrecisionRecallTest, MissingFrequentPairLowersRecall) {
+  SearchLog log = TwoUserSharedLog();
+  std::vector<uint64_t> x = {0, 0};
+  x[*log.FindPair("q1", "u1")] = 10;  // q2 dropped
+  PrecisionRecall pr = FrequentPairMetrics(log, x, 0.3);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.5);
+}
+
+TEST(PrecisionRecallTest, SpuriousFrequentPairLowersPrecision) {
+  SearchLog log = TwoUserSharedLog();
+  // q2 has input support 0.375 < 0.5, but output support 1.0 >= 0.5.
+  std::vector<uint64_t> x = {0, 0};
+  x[*log.FindPair("q2", "u2")] = 10;
+  PrecisionRecall pr = FrequentPairMetrics(log, x, 0.5);
+  EXPECT_EQ(pr.output_frequent, 1u);
+  EXPECT_EQ(pr.input_frequent, 1u);  // q1
+  EXPECT_EQ(pr.common, 0u);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.0);
+}
+
+TEST(PrecisionRecallTest, EmptySetsScoreOne) {
+  SearchLog log = TwoUserSharedLog();
+  std::vector<uint64_t> x = {0, 0};
+  PrecisionRecall pr = FrequentPairMetrics(log, x, 0.99);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);  // S empty
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);     // S0 empty
+}
+
+TEST(SupportDistanceTest, ZeroWhenSupportsMatch) {
+  SearchLog log = TwoUserSharedLog();
+  // Output 8:x1, ... proportional halves input exactly: q1 5, q2 3.
+  std::vector<uint64_t> x = {0, 0};
+  x[*log.FindPair("q1", "u1")] = 5;
+  x[*log.FindPair("q2", "u2")] = 3;
+  EXPECT_NEAR(SupportDistanceSum(log, x, 0.1), 0.0, 1e-12);
+}
+
+TEST(SupportDistanceTest, HandComputedValue) {
+  SearchLog log = TwoUserSharedLog();
+  // Output only q2 with 2 clicks: dist(q1) = 0.625, dist(q2) = 1 - 0.375.
+  std::vector<uint64_t> x = {0, 0};
+  x[*log.FindPair("q2", "u2")] = 2;
+  EXPECT_NEAR(SupportDistanceSum(log, x, 0.1), 0.625 + 0.625, 1e-12);
+  EXPECT_NEAR(SupportDistanceAverage(log, x, 0.1), 0.625, 1e-12);
+}
+
+TEST(SupportDistanceTest, OnlyFrequentPairsCounted) {
+  SearchLog log = TwoUserSharedLog();
+  std::vector<uint64_t> x = {0, 0};
+  x[*log.FindPair("q1", "u1")] = 1;
+  // s = 0.5: only q1 (0.625) is frequent.
+  const double sum = SupportDistanceSum(log, x, 0.5);
+  EXPECT_NEAR(sum, std::abs(1.0 - 0.625), 1e-12);
+  EXPECT_NEAR(SupportDistanceAverage(log, x, 0.5), sum, 1e-12);
+}
+
+TEST(SupportDistanceTest, NoFrequentPairsIsZero) {
+  SearchLog log = TwoUserSharedLog();
+  std::vector<uint64_t> x = {1, 1};
+  EXPECT_DOUBLE_EQ(SupportDistanceSum(log, x, 0.99), 0.0);
+  EXPECT_DOUBLE_EQ(SupportDistanceAverage(log, x, 0.99), 0.0);
+}
+
+TEST(DiversityRatioTest, Basic) {
+  EXPECT_DOUBLE_EQ(DiversityRatio(std::vector<uint64_t>{1, 0, 2, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(DiversityRatio(std::vector<uint64_t>{}), 0.0);
+  EXPECT_DOUBLE_EQ(DiversityRatio(std::vector<uint64_t>{0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(DiversityRatio(std::vector<uint64_t>{5, 1}), 1.0);
+}
+
+TEST(DiffRatioTest, RejectsBadArguments) {
+  SearchLog log = Figure1Preprocessed();
+  std::vector<uint64_t> x(log.num_pairs(), 1);
+  EXPECT_FALSE(ComputeDiffRatioHistogram(log, x, 0, 1).ok());
+  EXPECT_FALSE(ComputeDiffRatioHistogram(log, x, 5, 1, 0).ok());
+  std::vector<uint64_t> wrong(log.num_pairs() + 1, 1);
+  EXPECT_FALSE(ComputeDiffRatioHistogram(log, wrong, 5, 1).ok());
+  std::vector<uint64_t> zero(log.num_pairs(), 0);
+  EXPECT_FALSE(ComputeDiffRatioHistogram(log, zero, 5, 1).ok());
+}
+
+TEST(DiffRatioTest, BinCountsSumToTriplets) {
+  SearchLog log = Figure1Preprocessed();
+  std::vector<uint64_t> x(log.num_pairs(), 5);
+  DiffRatioHistogram histogram =
+      ComputeDiffRatioHistogram(log, x, 10, 42).value();
+  double total = std::accumulate(histogram.bin_counts.begin(),
+                                 histogram.bin_counts.end(), 0.0);
+  EXPECT_NEAR(total, static_cast<double>(log.num_tuples()), 1e-9);
+}
+
+TEST(DiffRatioTest, ProportionalOutputConcentratesLow) {
+  // Output exactly proportional to the input: x_p = c_p. Sampled supports
+  // then fluctuate around the input supports, so most triplets should land
+  // in low-ratio bins.
+  SearchLog log = Figure1Preprocessed();
+  std::vector<uint64_t> x(log.num_pairs());
+  for (PairId p = 0; p < log.num_pairs(); ++p) x[p] = log.pair_total(p);
+  DiffRatioHistogram histogram =
+      ComputeDiffRatioHistogram(log, x, 20, 7).value();
+  EXPECT_GT(histogram.fraction_below(0.5), 0.5);
+}
+
+TEST(DiffRatioTest, DroppedPairsLandInLastBin) {
+  SearchLog log = Figure1Preprocessed();
+  // Keep only google; the other two pairs' triplets have ratio 1 (dropped).
+  std::vector<uint64_t> x(log.num_pairs(), 0);
+  PairId google = *log.FindPair("google", "google.com");
+  x[google] = 20;
+  DiffRatioHistogram histogram =
+      ComputeDiffRatioHistogram(log, x, 5, 3).value();
+  // book has 2 triplets, car has 2 triplets -> at least 4 in the top bin.
+  EXPECT_GE(histogram.bin_counts.back(), 4.0);
+}
+
+TEST(DiffRatioTest, FractionBelowIsMonotone) {
+  SearchLog log = Figure1Preprocessed();
+  std::vector<uint64_t> x(log.num_pairs(), 4);
+  DiffRatioHistogram histogram =
+      ComputeDiffRatioHistogram(log, x, 10, 5).value();
+  double prev = 0.0;
+  for (double cap : {0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    double fraction = histogram.fraction_below(cap);
+    EXPECT_GE(fraction, prev - 1e-12);
+    EXPECT_LE(fraction, 1.0 + 1e-12);
+    prev = fraction;
+  }
+  EXPECT_NEAR(histogram.fraction_below(1.0), 1.0, 1e-12);
+}
+
+TEST(DiffRatioTest, DeterministicInSeed) {
+  SearchLog log = Figure1Preprocessed();
+  std::vector<uint64_t> x(log.num_pairs(), 3);
+  DiffRatioHistogram a = ComputeDiffRatioHistogram(log, x, 4, 9).value();
+  DiffRatioHistogram b = ComputeDiffRatioHistogram(log, x, 4, 9).value();
+  EXPECT_EQ(a.bin_counts, b.bin_counts);
+}
+
+}  // namespace
+}  // namespace privsan

@@ -1,0 +1,106 @@
+#include "log/preprocess.h"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.h"
+
+namespace privsan {
+namespace {
+
+using testing_fixtures::Figure1Log;
+
+TEST(PreprocessTest, IsUniquePairDetectsSingleHolder) {
+  SearchLog log = Figure1Log();
+  EXPECT_TRUE(IsUniquePair(
+      log, *log.FindPair("pregnancy test nyc", "medicinenet.com")));
+  EXPECT_TRUE(
+      IsUniquePair(log, *log.FindPair("diabetes medecine", "walmart.com")));
+  EXPECT_FALSE(IsUniquePair(log, *log.FindPair("google", "google.com")));
+  EXPECT_FALSE(IsUniquePair(log, *log.FindPair("book", "amazon.com")));
+}
+
+TEST(PreprocessTest, Figure1RemovesTwoUniquePairs) {
+  PreprocessResult result = RemoveUniquePairs(Figure1Log());
+  EXPECT_EQ(result.stats.pairs_removed, 2u);
+  EXPECT_EQ(result.stats.pairs_retained, 3u);
+  EXPECT_EQ(result.stats.clicks_removed, 3u);   // 2 + 1
+  EXPECT_EQ(result.stats.clicks_retained, 50u);
+  EXPECT_EQ(result.log.num_pairs(), 3u);
+  EXPECT_EQ(result.log.total_clicks(), 50u);
+}
+
+TEST(PreprocessTest, Figure1KeepsAllUsers) {
+  PreprocessResult result = RemoveUniquePairs(Figure1Log());
+  // All three users hold at least one shared pair.
+  EXPECT_EQ(result.log.num_users(), 3u);
+  EXPECT_EQ(result.stats.users_dropped, 0u);
+}
+
+TEST(PreprocessTest, DropsUserWhoseLogBecomesEmpty) {
+  SearchLogBuilder builder;
+  builder.Add("lonely", "secret query", "secret.com", 5);  // unique
+  builder.Add("a", "shared", "s.com", 1);
+  builder.Add("b", "shared", "s.com", 2);
+  PreprocessResult result = RemoveUniquePairs(builder.Build());
+  EXPECT_EQ(result.stats.users_dropped, 1u);
+  EXPECT_EQ(result.log.num_users(), 2u);
+  EXPECT_FALSE(result.log.FindUser("lonely").ok());
+}
+
+TEST(PreprocessTest, OutputHasNoUniquePairs) {
+  PreprocessResult result =
+      RemoveUniquePairs(GenerateSearchLog(TinyConfig()).value());
+  for (PairId p = 0; p < result.log.num_pairs(); ++p) {
+    EXPECT_FALSE(IsUniquePair(result.log, p));
+    EXPECT_GE(result.log.PairUserCount(p), 2u);
+  }
+}
+
+TEST(PreprocessTest, IdempotentOnCleanLog) {
+  PreprocessResult first = RemoveUniquePairs(Figure1Log());
+  PreprocessResult second = RemoveUniquePairs(first.log);
+  EXPECT_EQ(second.stats.pairs_removed, 0u);
+  EXPECT_EQ(second.log.num_pairs(), first.log.num_pairs());
+  EXPECT_EQ(second.log.total_clicks(), first.log.total_clicks());
+}
+
+TEST(PreprocessTest, EmptyLog) {
+  SearchLogBuilder builder;
+  PreprocessResult result = RemoveUniquePairs(builder.Build());
+  EXPECT_EQ(result.log.num_pairs(), 0u);
+  EXPECT_EQ(result.stats.pairs_removed, 0u);
+}
+
+TEST(PreprocessTest, AllPairsUnique) {
+  SearchLogBuilder builder;
+  builder.Add("a", "q1", "u1", 3);
+  builder.Add("b", "q2", "u2", 4);
+  PreprocessResult result = RemoveUniquePairs(builder.Build());
+  EXPECT_EQ(result.log.num_pairs(), 0u);
+  EXPECT_EQ(result.stats.pairs_removed, 2u);
+  EXPECT_EQ(result.stats.users_dropped, 2u);
+}
+
+TEST(PreprocessTest, SharedPairCountsPreserved) {
+  PreprocessResult result = RemoveUniquePairs(Figure1Log());
+  const SearchLog& log = result.log;
+  PairId google = *log.FindPair("google", "google.com");
+  EXPECT_EQ(log.pair_total(google), 39u);
+  EXPECT_EQ(log.TripletCount(google, *log.FindUser("081")), 15u);
+  EXPECT_EQ(log.TripletCount(google, *log.FindUser("082")), 7u);
+  EXPECT_EQ(log.TripletCount(google, *log.FindUser("083")), 17u);
+}
+
+TEST(PreprocessTest, SyntheticCollapseIsSubstantial) {
+  // The synthetic AOL profile must reproduce the paper's heavy collapse
+  // (Table 3: 163,681 -> 6,043 pairs).
+  SearchLog raw = GenerateSearchLog(TinyConfig()).value();
+  PreprocessResult result = RemoveUniquePairs(raw);
+  // The tiny config collapses ~45%; the paper-scale profile collapses ~96%
+  // (exercised by bench_table3_dataset).
+  EXPECT_LT(result.log.num_pairs(), raw.num_pairs() * 3 / 4);
+  EXPECT_GT(result.log.num_pairs(), 0u);
+}
+
+}  // namespace
+}  // namespace privsan

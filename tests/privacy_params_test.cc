@@ -1,0 +1,80 @@
+#include "core/privacy_params.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace privsan {
+namespace {
+
+TEST(PrivacyParamsTest, ValidateAcceptsReasonable) {
+  EXPECT_TRUE((PrivacyParams{0.7, 0.1}).Validate().ok());
+  EXPECT_TRUE((PrivacyParams{1e-4, 1e-4}).Validate().ok());
+}
+
+TEST(PrivacyParamsTest, ValidateRejectsBadEpsilon) {
+  EXPECT_FALSE((PrivacyParams{0.0, 0.1}).Validate().ok());
+  EXPECT_FALSE((PrivacyParams{-1.0, 0.1}).Validate().ok());
+  EXPECT_FALSE(
+      (PrivacyParams{std::numeric_limits<double>::infinity(), 0.1})
+          .Validate()
+          .ok());
+}
+
+TEST(PrivacyParamsTest, ValidateRejectsBadDelta) {
+  EXPECT_FALSE((PrivacyParams{1.0, 0.0}).Validate().ok());
+  EXPECT_FALSE((PrivacyParams{1.0, 1.0}).Validate().ok());
+  EXPECT_FALSE((PrivacyParams{1.0, -0.2}).Validate().ok());
+  EXPECT_FALSE((PrivacyParams{1.0, 1.5}).Validate().ok());
+}
+
+TEST(PrivacyParamsTest, FromEEpsilon) {
+  PrivacyParams params = PrivacyParams::FromEEpsilon(2.0, 0.5);
+  EXPECT_NEAR(params.epsilon, std::log(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(params.delta, 0.5);
+}
+
+TEST(PrivacyParamsTest, BudgetIsMinOfEpsilonAndDeltaTerm) {
+  // epsilon small: epsilon binds.
+  PrivacyParams eps_bound = PrivacyParams::FromEEpsilon(1.001, 0.5);
+  EXPECT_NEAR(eps_bound.Budget(), std::log(1.001), 1e-12);
+  EXPECT_FALSE(eps_bound.DeltaBound());
+
+  // delta small: log(1/(1-delta)) binds.
+  PrivacyParams delta_bound = PrivacyParams::FromEEpsilon(2.3, 1e-4);
+  EXPECT_NEAR(delta_bound.Budget(), std::log(1.0 / (1.0 - 1e-4)), 1e-12);
+  EXPECT_TRUE(delta_bound.DeltaBound());
+}
+
+TEST(PrivacyParamsTest, BudgetCrossoverPoint) {
+  // At epsilon == log(1/(1-delta)) both terms coincide.
+  const double delta = 0.3;
+  const double eps = std::log(1.0 / (1.0 - delta));
+  PrivacyParams params{eps, delta};
+  EXPECT_NEAR(params.Budget(), eps, 1e-12);
+}
+
+TEST(PrivacyParamsTest, BudgetMonotoneInBothParameters) {
+  double prev = 0.0;
+  for (double e_eps : {1.001, 1.01, 1.1, 1.4, 1.7, 2.0, 2.3}) {
+    PrivacyParams params = PrivacyParams::FromEEpsilon(e_eps, 0.1);
+    EXPECT_GE(params.Budget(), prev);
+    prev = params.Budget();
+  }
+  prev = 0.0;
+  for (double delta : {1e-4, 1e-3, 1e-2, 1e-1, 0.2, 0.5, 0.8}) {
+    PrivacyParams params = PrivacyParams::FromEEpsilon(1.7, delta);
+    EXPECT_GE(params.Budget(), prev);
+    prev = params.Budget();
+  }
+}
+
+TEST(PrivacyParamsTest, ToStringMentionsBudget) {
+  PrivacyParams params = PrivacyParams::FromEEpsilon(2.0, 0.5);
+  std::string s = params.ToString();
+  EXPECT_NE(s.find("budget"), std::string::npos);
+  EXPECT_NE(s.find("delta"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace privsan

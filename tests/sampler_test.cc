@@ -1,0 +1,175 @@
+#include "core/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "test_fixtures.h"
+
+namespace privsan {
+namespace {
+
+using testing_fixtures::Figure1Preprocessed;
+using testing_fixtures::SmallSyntheticLog;
+
+TEST(SamplerTest, RejectsWrongSizeVector) {
+  SearchLog log = Figure1Preprocessed();
+  std::vector<uint64_t> wrong(log.num_pairs() + 1, 0);
+  EXPECT_EQ(SampleOutput(log, wrong, 1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SamplerTest, RejectsPositiveCountOnUniquePair) {
+  SearchLog log = testing_fixtures::Figure1Log();  // has unique pairs
+  std::vector<uint64_t> x(log.num_pairs(), 1);
+  EXPECT_EQ(SampleOutput(log, x, 1).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SamplerTest, OutputSizeMatchesCounts) {
+  SearchLog log = Figure1Preprocessed();
+  std::vector<uint64_t> x = {3, 20, 4};  // aligned with log pair ids
+  SearchLog output = SampleOutput(log, x, 42).value();
+  EXPECT_EQ(output.total_clicks(),
+            std::accumulate(x.begin(), x.end(), static_cast<uint64_t>(0)));
+}
+
+TEST(SamplerTest, PerPairTotalsExact) {
+  SearchLog log = Figure1Preprocessed();
+  std::vector<uint64_t> x(log.num_pairs(), 0);
+  PairId google = *log.FindPair("google", "google.com");
+  x[google] = 20;
+  SearchLog output = SampleOutput(log, x, 7).value();
+  PairId out_google = *output.FindPair("google", "google.com");
+  EXPECT_EQ(output.pair_total(out_google), 20u);
+  EXPECT_EQ(output.num_pairs(), 1u);
+}
+
+TEST(SamplerTest, OnlyInputUsersAppear) {
+  SearchLog log = SmallSyntheticLog();
+  std::vector<uint64_t> x(log.num_pairs(), 1);
+  SearchLog output = SampleOutput(log, x, 11).value();
+  for (UserId u = 0; u < output.num_users(); ++u) {
+    EXPECT_TRUE(log.FindUser(output.user_name(u)).ok())
+        << output.user_name(u);
+  }
+}
+
+TEST(SamplerTest, OnlyHoldersAreSampled) {
+  // A user with zero input count on a pair has trial probability zero and
+  // must never be emitted for that pair.
+  SearchLog log = Figure1Preprocessed();
+  std::vector<uint64_t> x(log.num_pairs(), 0);
+  PairId car = *log.FindPair("car price", "kbb.com");
+  x[car] = 50;
+  SearchLog output = SampleOutput(log, x, 3).value();
+  PairId out_car = *output.FindPair("car price", "kbb.com");
+  // Only 082 and 083 hold the pair; 081 must not appear.
+  for (const UserCount& cell : output.TripletsOf(out_car)) {
+    EXPECT_NE(output.user_name(cell.user), "081");
+  }
+}
+
+TEST(SamplerTest, SchemaIsIdentical) {
+  // Every output tuple must be (user, query, url, count) with names drawn
+  // from the input's dictionaries — the paper's headline schema property.
+  SearchLog log = SmallSyntheticLog();
+  std::vector<uint64_t> x(log.num_pairs(), 2);
+  SearchLog output = SampleOutput(log, x, 13).value();
+  for (PairId p = 0; p < output.num_pairs(); ++p) {
+    EXPECT_TRUE(log.FindPair(output.query_name(output.pair_query(p)),
+                             output.url_name(output.pair_url(p)))
+                    .ok());
+  }
+}
+
+TEST(SamplerTest, DeterministicInSeed) {
+  SearchLog log = SmallSyntheticLog();
+  std::vector<uint64_t> x(log.num_pairs(), 1);
+  SearchLog a = SampleOutput(log, x, 99).value();
+  SearchLog b = SampleOutput(log, x, 99).value();
+  EXPECT_EQ(a.num_tuples(), b.num_tuples());
+  EXPECT_EQ(a.total_clicks(), b.total_clicks());
+  for (UserId u = 0; u < a.num_users(); ++u) {
+    UserId bu = *b.FindUser(a.user_name(u));
+    for (const PairCount& cell : a.UserLogOf(u)) {
+      PairId bp = *b.FindPair(a.query_name(a.pair_query(cell.pair)),
+                              a.url_name(a.pair_url(cell.pair)));
+      EXPECT_EQ(b.TripletCount(bp, bu), cell.count);
+    }
+  }
+}
+
+TEST(SamplerTest, DifferentSeedsDiffer) {
+  SearchLog log = SmallSyntheticLog();
+  std::vector<uint64_t> x(log.num_pairs(), 3);
+  SearchLog a = SampleOutput(log, x, 1).value();
+  SearchLog b = SampleOutput(log, x, 2).value();
+  // Totals agree by construction; the per-user split should differ.
+  EXPECT_EQ(a.total_clicks(), b.total_clicks());
+  bool any_difference = a.num_tuples() != b.num_tuples();
+  if (!any_difference) {
+    for (UserId u = 0; u < a.num_users() && !any_difference; ++u) {
+      auto found = b.FindUser(a.user_name(u));
+      if (!found.ok()) {
+        any_difference = true;
+        break;
+      }
+      for (const PairCount& cell : a.UserLogOf(u)) {
+        PairId bp = *b.FindPair(a.query_name(a.pair_query(cell.pair)),
+                                a.url_name(a.pair_url(cell.pair)));
+        if (b.TripletCount(bp, *found) != cell.count) {
+          any_difference = true;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(SamplerTest, ExpectedCountsMatchMultinomialMeans) {
+  // E[x_ijk] = x_ij * c_ijk / c_ij (Section 3.2). Average over many seeds.
+  SearchLog log = Figure1Preprocessed();
+  PairId google = *log.FindPair("google", "google.com");
+  std::vector<uint64_t> x(log.num_pairs(), 0);
+  x[google] = 20;
+
+  constexpr int kRuns = 400;
+  double sum_081 = 0.0;
+  for (int run = 0; run < kRuns; ++run) {
+    auto sampled = SampleTripletCounts(log, x, 1000 + run).value();
+    auto triplets = log.TripletsOf(google);
+    for (size_t i = 0; i < triplets.size(); ++i) {
+      if (log.user_name(triplets[i].user) == "081") {
+        sum_081 += static_cast<double>(sampled[google][i]);
+      }
+    }
+  }
+  // E = 20 * 15/39 = 7.69; SE over 400 runs ~ 0.11.
+  EXPECT_NEAR(sum_081 / kRuns, 20.0 * 15.0 / 39.0, 0.5);
+}
+
+TEST(SamplerTest, ZeroCountsProduceEmptyOutput) {
+  SearchLog log = Figure1Preprocessed();
+  std::vector<uint64_t> x(log.num_pairs(), 0);
+  SearchLog output = SampleOutput(log, x, 5).value();
+  EXPECT_EQ(output.total_clicks(), 0u);
+  EXPECT_EQ(output.num_pairs(), 0u);
+}
+
+TEST(SamplerTest, TripletCountsAlignWithInputRows) {
+  SearchLog log = SmallSyntheticLog();
+  std::vector<uint64_t> x(log.num_pairs(), 2);
+  auto sampled = SampleTripletCounts(log, x, 21).value();
+  ASSERT_EQ(sampled.size(), log.num_pairs());
+  for (PairId p = 0; p < log.num_pairs(); ++p) {
+    EXPECT_EQ(sampled[p].size(), log.TripletsOf(p).size());
+    EXPECT_EQ(std::accumulate(sampled[p].begin(), sampled[p].end(),
+                              static_cast<uint64_t>(0)),
+              x[p]);
+  }
+}
+
+}  // namespace
+}  // namespace privsan

@@ -1,0 +1,150 @@
+#include "core/sanitizer.h"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.h"
+
+namespace privsan {
+namespace {
+
+using testing_fixtures::Figure1Log;
+using testing_fixtures::SmallSyntheticLog;
+
+SearchLog RawSyntheticLog() {
+  SyntheticLogConfig config = TinyConfig();
+  return GenerateSearchLog(config).value();
+}
+
+TEST(SanitizerTest, RejectsInvalidPrivacy) {
+  SanitizerConfig config;
+  config.privacy = PrivacyParams{0.0, 0.5};
+  Sanitizer sanitizer(config);
+  EXPECT_FALSE(sanitizer.Sanitize(Figure1Log()).ok());
+}
+
+TEST(SanitizerTest, FailsWhenEverythingUnique) {
+  SearchLogBuilder builder;
+  builder.Add("a", "q1", "u1", 3);
+  builder.Add("b", "q2", "u2", 4);
+  SanitizerConfig config;
+  config.privacy = PrivacyParams::FromEEpsilon(2.0, 0.5);
+  Sanitizer sanitizer(config);
+  EXPECT_EQ(sanitizer.Sanitize(builder.Build()).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SanitizerTest, OumpEndToEnd) {
+  SanitizerConfig config;
+  config.privacy = PrivacyParams::FromEEpsilon(2.0, 0.5);
+  config.objective = UtilityObjective::kOutputSize;
+  Sanitizer sanitizer(config);
+  SanitizeReport report = sanitizer.Sanitize(RawSyntheticLog()).value();
+
+  EXPECT_TRUE(report.audit.satisfies_privacy);
+  EXPECT_GT(report.output_size, 0u);
+  EXPECT_EQ(report.output.total_clicks(), report.output_size);
+  EXPECT_GT(report.preprocess_stats.pairs_removed, 0u);
+}
+
+TEST(SanitizerTest, FumpEndToEndAutoOutputSize) {
+  SanitizerConfig config;
+  config.privacy = PrivacyParams::FromEEpsilon(2.0, 0.5);
+  config.objective = UtilityObjective::kFrequentPairs;
+  config.min_support = 1.0 / 100;
+  config.output_size = 0;  // auto: lambda
+  Sanitizer sanitizer(config);
+  SanitizeReport report = sanitizer.Sanitize(RawSyntheticLog()).value();
+  EXPECT_TRUE(report.audit.satisfies_privacy);
+  EXPECT_GT(report.output_size, 0u);
+}
+
+TEST(SanitizerTest, FumpEndToEndExplicitOutputSize) {
+  SanitizerConfig config;
+  config.privacy = PrivacyParams::FromEEpsilon(2.0, 0.5);
+  config.objective = UtilityObjective::kFrequentPairs;
+  config.min_support = 1.0 / 100;
+  config.output_size = 20;
+  Sanitizer sanitizer(config);
+  SanitizeReport report = sanitizer.Sanitize(RawSyntheticLog()).value();
+  EXPECT_LE(report.output_size, 20u);
+  EXPECT_TRUE(report.audit.satisfies_privacy);
+}
+
+TEST(SanitizerTest, DumpEndToEnd) {
+  SanitizerConfig config;
+  config.privacy = PrivacyParams::FromEEpsilon(2.0, 0.5);
+  config.objective = UtilityObjective::kDiversity;
+  config.dump_solver = DumpSolverKind::kSpe;
+  Sanitizer sanitizer(config);
+  SanitizeReport report = sanitizer.Sanitize(RawSyntheticLog()).value();
+  EXPECT_TRUE(report.audit.satisfies_privacy);
+  // D-UMP counts are 0/1.
+  for (uint64_t c : report.optimal_counts) EXPECT_LE(c, 1u);
+  EXPECT_EQ(report.output.total_clicks(), report.output_size);
+}
+
+TEST(SanitizerTest, OutputSchemaSubsetOfInput) {
+  SanitizerConfig config;
+  config.privacy = PrivacyParams::FromEEpsilon(2.0, 0.5);
+  Sanitizer sanitizer(config);
+  SearchLog input = RawSyntheticLog();
+  SanitizeReport report = sanitizer.Sanitize(input).value();
+  for (UserId u = 0; u < report.output.num_users(); ++u) {
+    EXPECT_TRUE(input.FindUser(report.output.user_name(u)).ok());
+  }
+  for (PairId p = 0; p < report.output.num_pairs(); ++p) {
+    EXPECT_TRUE(
+        input
+            .FindPair(report.output.query_name(report.output.pair_query(p)),
+                      report.output.url_name(report.output.pair_url(p)))
+            .ok());
+  }
+}
+
+TEST(SanitizerTest, DeterministicInSeed) {
+  SanitizerConfig config;
+  config.privacy = PrivacyParams::FromEEpsilon(2.0, 0.5);
+  config.seed = 123;
+  Sanitizer sanitizer(config);
+  SearchLog input = RawSyntheticLog();
+  SanitizeReport a = sanitizer.Sanitize(input).value();
+  SanitizeReport b = sanitizer.Sanitize(input).value();
+  EXPECT_EQ(a.output_size, b.output_size);
+  EXPECT_EQ(a.output.num_tuples(), b.output.num_tuples());
+  EXPECT_EQ(a.optimal_counts, b.optimal_counts);
+}
+
+TEST(SanitizerTest, LaplaceModeStillSamplable) {
+  SanitizerConfig config;
+  config.privacy = PrivacyParams::FromEEpsilon(2.0, 0.5);
+  LaplaceStepOptions laplace;
+  laplace.d = 1.0;
+  laplace.epsilon_prime = 1.0;
+  laplace.repair_feasibility = true;
+  config.laplace = laplace;
+  Sanitizer sanitizer(config);
+  SanitizeReport report = sanitizer.Sanitize(RawSyntheticLog()).value();
+  // With repair enabled the audit must still pass.
+  EXPECT_TRUE(report.audit.satisfies_privacy) << report.audit.ToString();
+  EXPECT_EQ(report.output.total_clicks(), report.output_size);
+}
+
+TEST(SanitizerTest, ObjectiveNames) {
+  EXPECT_STREQ(UtilityObjectiveToString(UtilityObjective::kOutputSize),
+               "O-UMP");
+  EXPECT_STREQ(UtilityObjectiveToString(UtilityObjective::kFrequentPairs),
+               "F-UMP");
+  EXPECT_STREQ(UtilityObjectiveToString(UtilityObjective::kDiversity),
+               "D-UMP");
+}
+
+TEST(SanitizerTest, ReportTimesPopulated) {
+  SanitizerConfig config;
+  config.privacy = PrivacyParams::FromEEpsilon(2.0, 0.5);
+  Sanitizer sanitizer(config);
+  SanitizeReport report = sanitizer.Sanitize(RawSyntheticLog()).value();
+  EXPECT_GE(report.solve_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace privsan

@@ -1,0 +1,202 @@
+#include "log/search_log.h"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.h"
+
+namespace privsan {
+namespace {
+
+using testing_fixtures::Figure1Log;
+
+TEST(SearchLogBuilderTest, EmptyLog) {
+  SearchLogBuilder builder;
+  SearchLog log = builder.Build();
+  EXPECT_EQ(log.num_users(), 0u);
+  EXPECT_EQ(log.num_pairs(), 0u);
+  EXPECT_EQ(log.num_tuples(), 0u);
+  EXPECT_EQ(log.total_clicks(), 0u);
+}
+
+TEST(SearchLogBuilderTest, ZeroCountIgnored) {
+  SearchLogBuilder builder;
+  builder.Add("u", "q", "r", 0);
+  SearchLog log = builder.Build();
+  EXPECT_EQ(log.num_tuples(), 0u);
+  EXPECT_EQ(log.num_users(), 0u);
+}
+
+TEST(SearchLogBuilderTest, DuplicateTuplesAreSummed) {
+  SearchLogBuilder builder;
+  builder.Add("u", "q", "r", 2);
+  builder.Add("u", "q", "r", 3);
+  SearchLog log = builder.Build();
+  EXPECT_EQ(log.num_tuples(), 1u);
+  EXPECT_EQ(log.total_clicks(), 5u);
+  EXPECT_EQ(log.pair_total(0), 5u);
+}
+
+TEST(SearchLogBuilderTest, BuilderResetsAfterBuild) {
+  SearchLogBuilder builder;
+  builder.Add("u", "q", "r", 1);
+  SearchLog first = builder.Build();
+  SearchLog second = builder.Build();
+  EXPECT_EQ(first.num_tuples(), 1u);
+  EXPECT_EQ(second.num_tuples(), 0u);
+}
+
+TEST(SearchLogTest, Figure1Shape) {
+  SearchLog log = Figure1Log();
+  EXPECT_EQ(log.num_users(), 3u);
+  EXPECT_EQ(log.num_queries(), 5u);
+  EXPECT_EQ(log.num_urls(), 5u);
+  EXPECT_EQ(log.num_pairs(), 5u);
+  EXPECT_EQ(log.num_tuples(), 9u);
+  EXPECT_EQ(log.total_clicks(), 53u);  // the paper's |D| before preprocessing
+}
+
+TEST(SearchLogTest, PairTotalsMatchFigure1) {
+  SearchLog log = Figure1Log();
+  EXPECT_EQ(log.pair_total(*log.FindPair("google", "google.com")), 39u);
+  EXPECT_EQ(log.pair_total(*log.FindPair("book", "amazon.com")), 4u);
+  EXPECT_EQ(log.pair_total(*log.FindPair("car price", "kbb.com")), 7u);
+  EXPECT_EQ(
+      log.pair_total(*log.FindPair("pregnancy test nyc", "medicinenet.com")),
+      2u);
+  EXPECT_EQ(
+      log.pair_total(*log.FindPair("diabetes medecine", "walmart.com")), 1u);
+}
+
+TEST(SearchLogTest, TripletCountLookup) {
+  SearchLog log = Figure1Log();
+  PairId google = *log.FindPair("google", "google.com");
+  UserId u081 = *log.FindUser("081");
+  UserId u082 = *log.FindUser("082");
+  UserId u083 = *log.FindUser("083");
+  EXPECT_EQ(log.TripletCount(google, u081), 15u);
+  EXPECT_EQ(log.TripletCount(google, u082), 7u);
+  EXPECT_EQ(log.TripletCount(google, u083), 17u);
+}
+
+TEST(SearchLogTest, TripletCountZeroForNonHolder) {
+  SearchLog log = Figure1Log();
+  PairId preg = *log.FindPair("pregnancy test nyc", "medicinenet.com");
+  UserId u082 = *log.FindUser("082");
+  EXPECT_EQ(log.TripletCount(preg, u082), 0u);
+}
+
+TEST(SearchLogTest, TripletsOfSortedByUser) {
+  SearchLog log = Figure1Log();
+  PairId google = *log.FindPair("google", "google.com");
+  auto triplets = log.TripletsOf(google);
+  ASSERT_EQ(triplets.size(), 3u);
+  EXPECT_LT(triplets[0].user, triplets[1].user);
+  EXPECT_LT(triplets[1].user, triplets[2].user);
+}
+
+TEST(SearchLogTest, UserLogContents) {
+  SearchLog log = Figure1Log();
+  UserId u082 = *log.FindUser("082");
+  auto user_log = log.UserLogOf(u082);
+  EXPECT_EQ(user_log.size(), 3u);
+  uint64_t total = 0;
+  for (const PairCount& cell : user_log) total += cell.count;
+  EXPECT_EQ(total, 10u);  // 7 + 2 + 1
+}
+
+TEST(SearchLogTest, PairUserCount) {
+  SearchLog log = Figure1Log();
+  EXPECT_EQ(log.PairUserCount(*log.FindPair("google", "google.com")), 3u);
+  EXPECT_EQ(log.PairUserCount(*log.FindPair("book", "amazon.com")), 2u);
+  EXPECT_EQ(log.PairUserCount(
+                *log.FindPair("diabetes medecine", "walmart.com")),
+            1u);
+}
+
+TEST(SearchLogTest, FindUserNotFound) {
+  SearchLog log = Figure1Log();
+  EXPECT_EQ(log.FindUser("unknown").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SearchLogTest, FindPairNotFound) {
+  SearchLog log = Figure1Log();
+  EXPECT_FALSE(log.FindPair("google", "bing.com").ok());
+  EXPECT_FALSE(log.FindPair("nope", "google.com").ok());
+}
+
+TEST(SearchLogTest, PairSupport) {
+  SearchLog log = Figure1Log();
+  PairId google = *log.FindPair("google", "google.com");
+  EXPECT_DOUBLE_EQ(log.PairSupport(google), 39.0 / 53.0);
+}
+
+TEST(SearchLogTest, PairQueryUrlRoundTrip) {
+  SearchLog log = Figure1Log();
+  for (PairId p = 0; p < log.num_pairs(); ++p) {
+    const std::string& q = log.query_name(log.pair_query(p));
+    const std::string& u = log.url_name(log.pair_url(p));
+    EXPECT_EQ(*log.FindPair(q, u), p);
+  }
+}
+
+TEST(SearchLogTest, SameQueryDifferentUrlsAreDistinctPairs) {
+  SearchLogBuilder builder;
+  builder.Add("a", "q", "url1", 1);
+  builder.Add("b", "q", "url2", 1);
+  SearchLog log = builder.Build();
+  EXPECT_EQ(log.num_queries(), 1u);
+  EXPECT_EQ(log.num_urls(), 2u);
+  EXPECT_EQ(log.num_pairs(), 2u);
+}
+
+TEST(SearchLogTest, SameUrlDifferentQueriesAreDistinctPairs) {
+  SearchLogBuilder builder;
+  builder.Add("a", "q1", "url", 1);
+  builder.Add("b", "q2", "url", 1);
+  SearchLog log = builder.Build();
+  EXPECT_EQ(log.num_pairs(), 2u);
+}
+
+TEST(SearchLogTest, CopyAndMove) {
+  SearchLog log = Figure1Log();
+  SearchLog copy = log;
+  EXPECT_EQ(copy.total_clicks(), log.total_clicks());
+  SearchLog moved = std::move(copy);
+  EXPECT_EQ(moved.total_clicks(), log.total_clicks());
+  EXPECT_EQ(moved.num_pairs(), 5u);
+}
+
+TEST(SearchLogTest, UserLogTotalsSumToTotalClicks) {
+  SearchLog log = testing_fixtures::SmallSyntheticLog();
+  uint64_t sum = 0;
+  for (UserId u = 0; u < log.num_users(); ++u) {
+    for (const PairCount& cell : log.UserLogOf(u)) sum += cell.count;
+  }
+  EXPECT_EQ(sum, log.total_clicks());
+}
+
+TEST(SearchLogTest, PairTotalsSumToTotalClicks) {
+  SearchLog log = testing_fixtures::SmallSyntheticLog();
+  uint64_t sum = 0;
+  for (PairId p = 0; p < log.num_pairs(); ++p) sum += log.pair_total(p);
+  EXPECT_EQ(sum, log.total_clicks());
+}
+
+TEST(SearchLogTest, TripletViewsAgreeWithUserViews) {
+  SearchLog log = testing_fixtures::SmallSyntheticLog();
+  for (PairId p = 0; p < log.num_pairs(); ++p) {
+    for (const UserCount& cell : log.TripletsOf(p)) {
+      bool found = false;
+      for (const PairCount& uc : log.UserLogOf(cell.user)) {
+        if (uc.pair == p) {
+          EXPECT_EQ(uc.count, cell.count);
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace privsan

@@ -1,0 +1,66 @@
+#include "lp/sparse_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace privsan {
+namespace lp {
+namespace {
+
+TEST(SparseMatrixTest, EmptyMatrix) {
+  SparseMatrix m(3, 2, {});
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_EQ(m.nonzeros(), 0u);
+  EXPECT_TRUE(m.Column(0).empty());
+  EXPECT_TRUE(m.Column(1).empty());
+}
+
+TEST(SparseMatrixTest, ColumnsSortedByRow) {
+  SparseMatrix m(3, 1, {{2, 0, 5.0}, {0, 0, 1.0}, {1, 0, 3.0}});
+  auto col = m.Column(0);
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_EQ(col[0].index, 0);
+  EXPECT_EQ(col[1].index, 1);
+  EXPECT_EQ(col[2].index, 2);
+  EXPECT_DOUBLE_EQ(col[1].value, 3.0);
+}
+
+TEST(SparseMatrixTest, DuplicatesSummed) {
+  SparseMatrix m(2, 1, {{0, 0, 1.0}, {0, 0, 2.5}});
+  auto col = m.Column(0);
+  ASSERT_EQ(col.size(), 1u);
+  EXPECT_DOUBLE_EQ(col[0].value, 3.5);
+}
+
+TEST(SparseMatrixTest, ExplicitZerosDropped) {
+  SparseMatrix m(2, 1, {{0, 0, 1.0}, {0, 0, -1.0}, {1, 0, 2.0}});
+  auto col = m.Column(0);
+  ASSERT_EQ(col.size(), 1u);
+  EXPECT_EQ(col[0].index, 1);
+}
+
+TEST(SparseMatrixTest, AddColumnTo) {
+  SparseMatrix m(3, 2, {{0, 0, 1.0}, {2, 0, 4.0}, {1, 1, 2.0}});
+  std::vector<double> y = {10.0, 10.0, 10.0};
+  m.AddColumnTo(0, 2.0, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 10.0);
+  EXPECT_DOUBLE_EQ(y[2], 18.0);
+}
+
+TEST(SparseMatrixTest, ColumnDot) {
+  SparseMatrix m(3, 1, {{0, 0, 1.0}, {1, 0, 2.0}, {2, 0, 3.0}});
+  EXPECT_DOUBLE_EQ(m.ColumnDot(0, {1.0, 10.0, 100.0}), 321.0);
+}
+
+TEST(SparseMatrixTest, MultipleColumns) {
+  SparseMatrix m(2, 3, {{0, 2, 7.0}, {1, 0, 1.0}, {0, 1, 2.0}, {1, 1, 3.0}});
+  EXPECT_EQ(m.Column(0).size(), 1u);
+  EXPECT_EQ(m.Column(1).size(), 2u);
+  EXPECT_EQ(m.Column(2).size(), 1u);
+  EXPECT_EQ(m.nonzeros(), 4u);
+}
+
+}  // namespace
+}  // namespace lp
+}  // namespace privsan

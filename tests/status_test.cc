@@ -1,0 +1,140 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+
+namespace privsan {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Infeasible("x").code(), StatusCode::kInfeasible);
+  EXPECT_EQ(Status::Unbounded("x").code(), StatusCode::kUnbounded);
+}
+
+TEST(StatusTest, CopySemantics) {
+  Status a = Status::Internal("boom");
+  Status b = a;                      // copy construct
+  EXPECT_EQ(b.ToString(), a.ToString());
+  Status c;
+  c = a;                             // copy assign
+  EXPECT_EQ(c.code(), StatusCode::kInternal);
+  a = Status::OK();                  // does not affect copies
+  EXPECT_FALSE(b.ok());
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(StatusTest, MoveSemantics) {
+  Status a = Status::NotFound("gone");
+  Status b = std::move(a);
+  EXPECT_EQ(b.code(), StatusCode::kNotFound);
+  EXPECT_EQ(b.message(), "gone");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, StatusCodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInfeasible), "Infeasible");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnbounded), "Unbounded");
+}
+
+Status FailIfNegative(int value) {
+  if (value < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chain(int value) {
+  PRIVSAN_RETURN_IF_ERROR(FailIfNegative(value));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(Chain(3).ok());
+  EXPECT_EQ(Chain(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOrPassesThroughValue) {
+  Result<int> r = 5;
+  EXPECT_EQ(r.value_or(-1), 5);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+Result<int> HalveEven(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Result<int> QuarterEven(int v) {
+  PRIVSAN_ASSIGN_OR_RETURN(int half, HalveEven(v));
+  PRIVSAN_ASSIGN_OR_RETURN(int quarter, HalveEven(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<int> ok = QuarterEven(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  Result<int> first_fails = QuarterEven(3);
+  EXPECT_FALSE(first_fails.ok());
+  Result<int> second_fails = QuarterEven(6);  // 6 -> 3 -> odd
+  EXPECT_FALSE(second_fails.ok());
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+}  // namespace
+}  // namespace privsan

@@ -1,0 +1,129 @@
+#include "synth/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "log/preprocess.h"
+#include "synth/characteristics.h"
+
+namespace privsan {
+namespace {
+
+TEST(SyntheticConfigTest, DefaultValidates) {
+  EXPECT_TRUE(SyntheticLogConfig{}.Validate().ok());
+  EXPECT_TRUE(PaperScaleConfig().Validate().ok());
+  EXPECT_TRUE(BenchScaleConfig().Validate().ok());
+  EXPECT_TRUE(TinyConfig().Validate().ok());
+}
+
+TEST(SyntheticConfigTest, RejectsZeroPopulations) {
+  SyntheticLogConfig config = TinyConfig();
+  config.num_users = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = TinyConfig();
+  config.num_queries = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = TinyConfig();
+  config.num_events = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = TinyConfig();
+  config.url_pool = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = TinyConfig();
+  config.max_urls_per_query = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(SyntheticConfigTest, RejectsNegativeExponents) {
+  SyntheticLogConfig config = TinyConfig();
+  config.query_zipf = -0.5;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  SearchLog a = GenerateSearchLog(TinyConfig()).value();
+  SearchLog b = GenerateSearchLog(TinyConfig()).value();
+  EXPECT_EQ(a.total_clicks(), b.total_clicks());
+  EXPECT_EQ(a.num_pairs(), b.num_pairs());
+  EXPECT_EQ(a.num_tuples(), b.num_tuples());
+  for (PairId p = 0; p < a.num_pairs(); ++p) {
+    EXPECT_EQ(a.pair_total(p), b.pair_total(p));
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  SyntheticLogConfig config = TinyConfig();
+  SearchLog a = GenerateSearchLog(config).value();
+  config.seed = config.seed + 1;
+  SearchLog b = GenerateSearchLog(config).value();
+  // Same event count but (almost surely) different aggregation.
+  EXPECT_EQ(a.total_clicks(), b.total_clicks());
+  EXPECT_NE(a.num_pairs(), b.num_pairs());
+}
+
+TEST(GeneratorTest, TotalClicksEqualsNumEvents) {
+  SyntheticLogConfig config = TinyConfig();
+  SearchLog log = GenerateSearchLog(config).value();
+  EXPECT_EQ(log.total_clicks(), config.num_events);
+}
+
+TEST(GeneratorTest, PopulationsWithinConfiguredBounds) {
+  SyntheticLogConfig config = TinyConfig();
+  SearchLog log = GenerateSearchLog(config).value();
+  EXPECT_LE(log.num_users(), config.num_users);
+  EXPECT_LE(log.num_queries(), config.num_queries);
+  EXPECT_LE(log.num_urls(), config.url_pool);
+}
+
+TEST(GeneratorTest, HeavyTailedQueryPopularity) {
+  // The most popular pair should dwarf the median pair.
+  SearchLog log = GenerateSearchLog(TinyConfig()).value();
+  uint64_t max_total = 0;
+  for (PairId p = 0; p < log.num_pairs(); ++p) {
+    max_total = std::max(max_total, log.pair_total(p));
+  }
+  EXPECT_GE(max_total, 10u);
+}
+
+TEST(GeneratorTest, MostPairsAreUniqueBeforePreprocessing) {
+  // The AOL profile: the overwhelming majority of distinct query-url pairs
+  // are held by a single user.
+  SearchLog log = GenerateSearchLog(TinyConfig()).value();
+  size_t unique = 0;
+  for (PairId p = 0; p < log.num_pairs(); ++p) {
+    if (log.PairUserCount(p) <= 1) ++unique;
+  }
+  EXPECT_GT(static_cast<double>(unique) / log.num_pairs(), 0.3);
+}
+
+TEST(GeneratorTest, PreprocessedLogIsUsable) {
+  PreprocessResult result =
+      RemoveUniquePairs(GenerateSearchLog(TinyConfig()).value());
+  EXPECT_GT(result.log.num_pairs(), 5u);
+  EXPECT_GT(result.log.num_users(), 2u);
+}
+
+TEST(CharacteristicsTest, MatchesLog) {
+  SearchLog log = GenerateSearchLog(TinyConfig()).value();
+  DatasetCharacteristics c = ComputeCharacteristics(log);
+  EXPECT_EQ(c.total_clicks, log.total_clicks());
+  EXPECT_EQ(c.num_user_logs, log.num_users());
+  EXPECT_EQ(c.num_distinct_queries, log.num_queries());
+  EXPECT_EQ(c.num_distinct_urls, log.num_urls());
+  EXPECT_EQ(c.num_query_url_pairs, log.num_pairs());
+}
+
+TEST(CharacteristicsTest, ToStringMentionsEveryField) {
+  DatasetCharacteristics c;
+  c.total_clicks = 53067;
+  c.num_user_logs = 1980;
+  c.num_distinct_queries = 4971;
+  c.num_distinct_urls = 4289;
+  c.num_query_url_pairs = 6043;
+  const std::string s = c.ToString();
+  EXPECT_NE(s.find("53,067"), std::string::npos);
+  EXPECT_NE(s.find("1980"), std::string::npos);
+  EXPECT_NE(s.find("6043"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace privsan

@@ -1,0 +1,58 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace privsan {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter table("Title");
+  table.SetHeader({"a", "bb"});
+  table.AddRow({"1", "2"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("| a | bb |"), std::string::npos);
+  EXPECT_NE(out.find("| 1 | 2  |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, PadsToWidestCell) {
+  TablePrinter table("");
+  table.SetHeader({"col"});
+  table.AddRow({"wide-value"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("| col        |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, EmptyTablePrintsNothing) {
+  TablePrinter table("ignored");
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(TablePrinterTest, RaggedRowsArePadded) {
+  TablePrinter table("");
+  table.SetHeader({"a", "b", "c"});
+  table.AddRow({"1"});
+  std::ostringstream os;
+  table.Print(os);
+  // No crash, and the short row is padded out to three columns.
+  EXPECT_NE(os.str().find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NoTitleOmitsTitleLine) {
+  TablePrinter table("");
+  table.SetHeader({"x"});
+  table.AddRow({"1"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_EQ(os.str().front(), '+');  // starts directly with the rule
+}
+
+}  // namespace
+}  // namespace privsan
