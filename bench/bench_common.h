@@ -9,10 +9,13 @@
 #ifndef PRIVSAN_BENCH_BENCH_COMMON_H_
 #define PRIVSAN_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/privacy_params.h"
@@ -42,9 +45,17 @@ inline const std::vector<double>& SupportGrid() {
   return *grid;
 }
 
+// The *effective* scale: unknown PRIVSAN_BENCH_SCALE values fall back to
+// medium loudly, so the table banner and the BENCH_*.json artifacts always
+// label the dataset that actually ran.
 inline std::string BenchScaleName() {
   const char* env = std::getenv("PRIVSAN_BENCH_SCALE");
-  return env == nullptr ? "medium" : env;
+  if (env == nullptr) return "medium";
+  const std::string scale = env;
+  if (scale == "small" || scale == "medium" || scale == "full") return scale;
+  std::cerr << "# warning: unknown PRIVSAN_BENCH_SCALE '" << scale
+            << "', using medium\n";
+  return "medium";
 }
 
 inline SyntheticLogConfig BenchConfig() {
@@ -87,6 +98,109 @@ inline std::string Percent(double fraction, int precision = 1) {
 inline std::string Shorten(double value, int precision = 4) {
   return FormatDouble(value, precision);
 }
+
+// Machine-readable companion to the human tables: collects flat records of
+// (key, value) fields and writes `BENCH_<name>.json` into the working
+// directory on destruction, so the perf trajectory (wall time, iterations,
+// refactorizations, nodes, instance size) is trackable across PRs.
+//
+//   bench::JsonReport report("fig5_solver_runtime");
+//   bench::JsonRecord rec;
+//   rec.Add("solver", "SPE").Add("seconds", 0.004).Add("retained", 110);
+//   report.Add(std::move(rec));
+class JsonRecord {
+ public:
+  JsonRecord& Add(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, Quote(value));
+    return *this;
+  }
+  JsonRecord& Add(const std::string& key, const char* value) {
+    return Add(key, std::string(value));
+  }
+  JsonRecord& Add(const std::string& key, double value) {
+    std::ostringstream out;
+    out.precision(12);
+    out << value;
+    fields_.emplace_back(key, out.str());
+    return *this;
+  }
+  JsonRecord& Add(const std::string& key, int64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonRecord& Add(const std::string& key, int value) {
+    return Add(key, static_cast<int64_t>(value));
+  }
+  JsonRecord& Add(const std::string& key, uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+
+  std::string ToJson() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += Quote(fields_[i].first) + ": " + fields_[i].second;
+    }
+    return out + "}";
+  }
+
+ private:
+  static std::string Quote(const std::string& raw) {
+    std::string out = "\"";
+    for (char c : raw) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out += c;
+      }
+    }
+    return out + "\"";
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+class JsonReport {
+ public:
+  explicit JsonReport(std::string benchmark)
+      : benchmark_(std::move(benchmark)) {}
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  ~JsonReport() { Write(); }
+
+  void Add(JsonRecord record) { records_.push_back(std::move(record)); }
+
+  // Writes BENCH_<benchmark>.json; called by the destructor, public so
+  // benches can flush eagerly if they want partial results on abort.
+  void Write() {
+    const std::string path = "BENCH_" + benchmark_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "# warning: cannot write " << path << "\n";
+      return;
+    }
+    out << "{\n  \"benchmark\": \"" << benchmark_ << "\",\n"
+        << "  \"scale\": \"" << BenchScaleName() << "\",\n"
+        << "  \"records\": [\n";
+    for (size_t i = 0; i < records_.size(); ++i) {
+      out << "    " << records_[i].ToJson()
+          << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "# wrote " << path << " (" << records_.size()
+              << " records)\n";
+  }
+
+ private:
+  std::string benchmark_;
+  std::vector<JsonRecord> records_;
+};
 
 }  // namespace bench
 }  // namespace privsan

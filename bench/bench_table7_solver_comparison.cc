@@ -20,20 +20,35 @@ using namespace privsan;
 namespace {
 
 std::string Cell(const SearchLog& log, const PrivacyParams& params,
-                 DumpSolverKind kind) {
+                 DumpSolverKind kind, double e_eps, double delta,
+                 bench::JsonReport& report) {
   DumpOptions options;
   options.solver = kind;
   options.bnb.max_nodes = 50;
   options.bnb.time_limit_seconds = 8.0;
   auto result = SolveDump(log, params, options);
-  return result.ok() ? privsan::bench::Percent(result->diversity_ratio, 1)
-                     : "err";
+  if (!result.ok()) return "err";
+  bench::JsonRecord record;
+  record.Add("solver", DumpSolverKindToString(kind))
+      .Add("e_eps", e_eps)
+      .Add("delta", delta)
+      .Add("pairs", static_cast<int64_t>(log.num_pairs()))
+      .Add("diversity_ratio", result->diversity_ratio)
+      .Add("retained", result->retained)
+      .Add("seconds", result->wall_seconds)
+      .Add("lp_iterations", result->lp_iterations)
+      .Add("lp_refactorizations", result->lp_refactorizations)
+      .Add("bnb_nodes", result->nodes_explored)
+      .Add("bnb_warm_solves", result->warm_solves);
+  report.Add(std::move(record));
+  return privsan::bench::Percent(result->diversity_ratio, 1);
 }
 
 }  // namespace
 
 int main() {
   bench::BenchDataset dataset = bench::LoadDataset();
+  bench::JsonReport report("table7_solver_comparison");
   const std::vector<DumpSolverKind> solvers = {
       DumpSolverKind::kSpe, DumpSolverKind::kGreedy,
       DumpSolverKind::kLpRounding, DumpSolverKind::kBranchAndBound};
@@ -49,8 +64,8 @@ int main() {
     for (DumpSolverKind kind : solvers) {
       std::vector<std::string> row = {DumpSolverKindToString(kind)};
       for (double delta : deltas) {
-        row.push_back(
-            Cell(dataset.log, PrivacyParams::FromEEpsilon(2.0, delta), kind));
+        row.push_back(Cell(dataset.log, PrivacyParams::FromEEpsilon(2.0, delta),
+                           kind, 2.0, delta, report));
       }
       table.AddRow(std::move(row));
     }
@@ -68,8 +83,8 @@ int main() {
     for (DumpSolverKind kind : solvers) {
       std::vector<std::string> row = {DumpSolverKindToString(kind)};
       for (double e_eps : e_epsilons) {
-        row.push_back(
-            Cell(dataset.log, PrivacyParams::FromEEpsilon(e_eps, 0.1), kind));
+        row.push_back(Cell(dataset.log, PrivacyParams::FromEEpsilon(e_eps, 0.1),
+                           kind, e_eps, 0.1, report));
       }
       table.AddRow(std::move(row));
     }

@@ -59,6 +59,8 @@ Result<DumpResult> SolveDump(const SearchLog& log, const PrivacyParams& params,
       PRIVSAN_ASSIGN_OR_RETURN(lp::BipSolution s,
                                SolveBipLpRounding(problem, options.simplex));
       y = std::move(s.y);
+      result.lp_iterations = s.lp_iterations;
+      result.lp_refactorizations = s.lp_refactorizations;
       break;
     }
     case DumpSolverKind::kBranchAndBound: {
@@ -73,6 +75,10 @@ Result<DumpResult> SolveDump(const SearchLog& log, const PrivacyParams& params,
         y[j] = bnb.x[j] > 0.5 ? 1 : 0;
       }
       result.proven_optimal = bnb.proven_optimal;
+      result.lp_iterations = bnb.lp_iterations;
+      result.lp_refactorizations = bnb.lp_refactorizations;
+      result.nodes_explored = bnb.nodes_explored;
+      result.warm_solves = bnb.warm_solves;
       break;
     }
   }

@@ -51,6 +51,13 @@ struct DumpResult {
   double diversity_ratio = 0.0;
   double wall_seconds = 0.0;
   bool proven_optimal = false;  // only branch & bound can prove optimality
+  // LP engine effort (zero for SPE and the pure greedy): simplex pivots,
+  // basis refactorizations, and branch & bound nodes / warm-started
+  // re-solves, for the bench JSON artifacts.
+  int64_t lp_iterations = 0;
+  int lp_refactorizations = 0;
+  int64_t nodes_explored = 0;
+  int64_t warm_solves = 0;
 };
 
 // Builds the Equation-8 BIP from the DP constraint system of `log`.

@@ -134,6 +134,7 @@ Result<FumpResult> SolveFump(const SearchLog& log, const PrivacyParams& params,
 
   result.support_distance_sum = lp.objective;
   result.simplex_iterations = lp.iterations;
+  result.simplex_refactorizations = lp.refactorizations;
   result.x_relaxed.assign(lp.x.begin(), lp.x.begin() + log.num_pairs());
 
   // Round: floor, then distribute the lost mass by largest fractional

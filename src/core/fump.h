@@ -53,6 +53,7 @@ struct FumpResult {
   double support_distance_sum = 0.0;
   std::vector<PairId> frequent_pairs;  // the input's frequent set S0
   int64_t simplex_iterations = 0;
+  int simplex_refactorizations = 0;
   bool used_precision_caps = false;  // false when the fallback was taken
 };
 

@@ -39,6 +39,7 @@ Result<OumpResult> SolveOump(const SearchLog& log, const PrivacyParams& params,
   result.x_relaxed = lp.x;
   result.lp_objective = lp.objective;
   result.simplex_iterations = lp.iterations;
+  result.simplex_refactorizations = lp.refactorizations;
 
   // Round toward the ILP optimum: floor, largest-remainder repair, then
   // greedy fill (core/rounding.h). The result stays below the LP bound.

@@ -39,6 +39,7 @@ struct OumpResult {
   // LP objective (sum of relaxed counts).
   double lp_objective = 0.0;
   int64_t simplex_iterations = 0;
+  int simplex_refactorizations = 0;
 };
 
 // `log` must be preprocessed (no unique pairs). Fails with

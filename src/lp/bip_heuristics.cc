@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/logging.h"
+
 namespace privsan {
 namespace lp {
 
@@ -115,9 +117,25 @@ Result<BipSolution> SolveBipLpRounding(const BipProblem& problem,
   PRIVSAN_RETURN_IF_ERROR(model.Validate());
   SimplexSolver solver(options);
   LpSolution lp = solver.Solve(model);
-  if (lp.status != SolveStatus::kOptimal) {
+  if (lp.status == SolveStatus::kInfeasible ||
+      lp.status == SolveStatus::kUnbounded) {
+    // Cannot happen for a validated BIP relaxation (y = 0 is feasible and
+    // the objective is bounded by n); treat it as a solver defect.
     return Status::Internal(std::string("LP relaxation not solved: ") +
                             SolveStatusToString(lp.status));
+  }
+  if (lp.status != SolveStatus::kOptimal) {
+    // Iteration budget or numerical trouble: degrade to the constructive
+    // greedy instead of failing the whole sanitization run.
+    PRIVSAN_LOG(Warning) << "BIP LP relaxation returned "
+                         << SolveStatusToString(lp.status)
+                         << "; falling back to greedy rounding order";
+    Result<BipSolution> greedy = SolveBipGreedy(problem);
+    if (greedy.ok()) {
+      greedy->lp_iterations = lp.iterations;
+      greedy->lp_refactorizations = lp.refactorizations;
+    }
+    return greedy;
   }
   std::vector<int> order(problem.num_vars());
   std::iota(order.begin(), order.end(), 0);
@@ -125,7 +143,12 @@ Result<BipSolution> SolveBipLpRounding(const BipProblem& problem,
     if (lp.x[a] != lp.x[b]) return lp.x[a] > lp.x[b];
     return MaxWeight(problem, a) < MaxWeight(problem, b);
   });
-  return AdmitGreedily(problem, order);
+  Result<BipSolution> rounded = AdmitGreedily(problem, order);
+  if (rounded.ok()) {
+    rounded->lp_iterations = lp.iterations;
+    rounded->lp_refactorizations = lp.refactorizations;
+  }
+  return rounded;
 }
 
 }  // namespace lp

@@ -51,6 +51,9 @@ struct BipProblem {
 struct BipSolution {
   std::vector<uint8_t> y;
   int64_t selected = 0;  // objective: number of y_j == 1
+  // LP effort behind the solution (zero for the pure greedy).
+  int64_t lp_iterations = 0;
+  int lp_refactorizations = 0;
 };
 
 Result<BipSolution> SolveBipGreedy(const BipProblem& problem);

@@ -17,6 +17,9 @@ struct Node {
   // Bound overrides relative to the root model: (variable, lower, upper).
   std::vector<std::tuple<int, double, double>> bound_changes;
   double lp_bound = 0.0;  // parent LP objective, in minimization sense
+  // Parent's optimal basis: the child differs only in one variable bound,
+  // so it re-solves dual-simplex style from here instead of from scratch.
+  std::shared_ptr<const Basis> warm;
 };
 
 struct NodeOrder {
@@ -70,6 +73,8 @@ BnbResult SolveBranchAndBound(const LpModel& model,
 
   double best_open_bound = -std::numeric_limits<double>::infinity();
   bool budget_hit = false;
+  bool dropped_subtree = false;
+  double dropped_bound = std::numeric_limits<double>::infinity();
 
   while (!open.empty()) {
     if (result.nodes_explored >= options.max_nodes ||
@@ -97,13 +102,18 @@ BnbResult SolveBranchAndBound(const LpModel& model,
       v.lower = std::max(v.lower, lo);
       v.upper = std::min(v.upper, hi);
     }
-    LpSolution lp = solver.Solve(scratch);
+    LpSolution lp = solver.Solve(
+        scratch, options.warm_start ? node->warm.get() : nullptr);
     // Restore bounds.
     for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
       Variable& v = scratch.mutable_variable(std::get<0>(*it));
       v.lower = std::get<1>(*it);
       v.upper = std::get<2>(*it);
     }
+    result.lp_iterations += lp.iterations;
+    result.lp_dual_iterations += lp.dual_iterations;
+    result.lp_refactorizations += lp.refactorizations;
+    if (lp.warm_started) ++result.warm_solves;
 
     if (lp.status == SolveStatus::kInfeasible) continue;
     if (lp.status == SolveStatus::kUnbounded) {
@@ -111,7 +121,11 @@ BnbResult SolveBranchAndBound(const LpModel& model,
       return result;
     }
     if (lp.status != SolveStatus::kOptimal) {
-      // Numerical trouble on this node: skip it conservatively.
+      // Numerical trouble on this node: its subtree is lost, so the run
+      // can no longer prove optimality; fold the parent bound into the
+      // dual bound so best_bound stays valid.
+      dropped_subtree = true;
+      dropped_bound = std::min(dropped_bound, node->lp_bound);
       continue;
     }
 
@@ -160,10 +174,16 @@ BnbResult SolveBranchAndBound(const LpModel& model,
       }
     }
 
-    // Branch.
+    // Branch. Both children start the dual simplex from this node's
+    // optimal basis (shared, immutable).
     const double value = lp.x[branch_var];
+    std::shared_ptr<const Basis> warm;
+    if (options.warm_start && !lp.basis.empty()) {
+      warm = std::make_shared<const Basis>(std::move(lp.basis));
+    }
     auto down = std::make_shared<Node>(*node);
     down->lp_bound = node_bound;
+    down->warm = warm;
     down->bound_changes.emplace_back(
         branch_var, -std::numeric_limits<double>::infinity(),
         std::floor(value));
@@ -171,6 +191,7 @@ BnbResult SolveBranchAndBound(const LpModel& model,
 
     auto up = std::make_shared<Node>(*node);
     up->lp_bound = node_bound;
+    up->warm = warm;
     up->bound_changes.emplace_back(branch_var, std::ceil(value),
                                    std::numeric_limits<double>::infinity());
     open.push(std::move(up));
@@ -182,11 +203,15 @@ BnbResult SolveBranchAndBound(const LpModel& model,
     result.x = std::move(incumbent_x);
     result.objective = to_external(incumbent_internal);
   }
-  if (budget_hit) {
+  if (budget_hit || dropped_subtree) {
+    // Either a budget bit or a node LP failed (its subtree was lost):
+    // the incumbent stands but optimality is unproven.
     result.status = SolveStatus::kIterationLimit;
     result.proven_optimal = false;
-    result.best_bound =
-        to_external(std::min(best_open_bound, incumbent_internal));
+    double bound = incumbent_internal;
+    if (budget_hit) bound = std::min(bound, best_open_bound);
+    if (dropped_subtree) bound = std::min(bound, dropped_bound);
+    result.best_bound = to_external(bound);
   } else {
     result.status = result.has_incumbent ? SolveStatus::kOptimal
                                          : SolveStatus::kInfeasible;

@@ -25,6 +25,9 @@ struct BnbOptions {
   double gap_tol = 1e-9;
   int64_t max_nodes = 100000;
   double time_limit_seconds = 60.0;
+  // Re-solve child nodes from the parent's optimal basis (dual-simplex
+  // bound restoration) instead of from scratch.
+  bool warm_start = true;
 };
 
 struct BnbResult {
@@ -38,6 +41,12 @@ struct BnbResult {
   std::vector<double> x;        // incumbent point (structural variables)
   int64_t nodes_explored = 0;
   double wall_seconds = 0.0;
+  // Aggregate LP effort across all node solves.
+  int64_t lp_iterations = 0;
+  int64_t lp_dual_iterations = 0;
+  int lp_refactorizations = 0;
+  // Node LPs that ran from the parent basis (vs cold phase-1 solves).
+  int64_t warm_solves = 0;
 };
 
 // Solves `model` honoring Variable::is_integer flags. The model must be

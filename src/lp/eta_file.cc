@@ -1,0 +1,241 @@
+#include "lp/eta_file.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace privsan {
+namespace lp {
+
+namespace {
+// Pivot magnitude below which a factorization declares the basis singular.
+constexpr double kSingularTol = 1e-11;
+}  // namespace
+
+// ---- EtaFile ----------------------------------------------------------------
+
+void EtaFile::Append(const std::vector<double>& w, int slot) {
+  Eta eta;
+  eta.slot = slot;
+  eta.pivot = w[slot];
+  for (int i = 0; i < m_; ++i) {
+    if (i != slot && w[i] != 0.0) eta.off.push_back(SparseEntry{i, w[i]});
+  }
+  nnz_ += eta.off.size() + 1;
+  etas_.push_back(std::move(eta));
+}
+
+bool EtaFile::Refactorize(const SparseMatrix& A, std::vector<int>& basis) {
+  m_ = A.rows();
+  etas_.clear();
+  updates_ = 0;
+  nnz_ = 0;
+
+  const int m = m_;
+  PRIVSAN_CHECK(static_cast<int>(basis.size()) == m);
+
+  // Process columns by ascending nonzero count: slack and singleton columns
+  // pivot without fill, leaving only the structural "bump" to eliminate.
+  std::vector<int> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return A.Column(basis[a]).size() < A.Column(basis[b]).size();
+  });
+
+  std::vector<int> new_basis(m, -1);
+  std::vector<bool> used(m, false);
+  std::vector<double> w(m, 0.0);
+  std::vector<int> touched;
+  touched.reserve(64);
+
+  for (int k : order) {
+    // w = (E_j ... E_1) A[:, basis[k]], applied sparsely.
+    touched.clear();
+    for (const SparseEntry& e : A.Column(basis[k])) {
+      w[e.index] = e.value;
+      touched.push_back(e.index);
+    }
+    for (const Eta& eta : etas_) {
+      const double t = w[eta.slot];
+      if (t == 0.0) continue;
+      const double scaled = t / eta.pivot;
+      w[eta.slot] = scaled;
+      for (const SparseEntry& e : eta.off) {
+        if (w[e.index] == 0.0) touched.push_back(e.index);
+        w[e.index] -= e.value * scaled;
+      }
+    }
+
+    // Partial pivoting restricted to unassigned slots.
+    int slot = -1;
+    double best = kSingularTol;
+    for (int idx : touched) {
+      if (used[idx]) continue;
+      const double mag = std::abs(w[idx]);
+      if (mag > best) {
+        best = mag;
+        slot = idx;
+      }
+    }
+    if (slot < 0) {
+      // Reset w before bailing out.
+      for (int idx : touched) w[idx] = 0.0;
+      return false;
+    }
+
+    const double pivot = w[slot];
+    Eta eta;
+    eta.slot = slot;
+    eta.pivot = pivot;
+    for (int idx : touched) {
+      if (idx == slot || w[idx] == 0.0) continue;
+      eta.off.push_back(SparseEntry{idx, w[idx]});
+      w[idx] = 0.0;  // reset as we harvest; also dedupes repeated indices
+    }
+    w[slot] = 0.0;
+    nnz_ += eta.off.size() + 1;
+    etas_.push_back(std::move(eta));
+
+    used[slot] = true;
+    new_basis[slot] = basis[k];
+  }
+
+  basis = std::move(new_basis);
+  base_nnz_ = nnz_;
+  return true;
+}
+
+void EtaFile::Ftran(std::vector<double>& v) const {
+  for (const Eta& eta : etas_) {
+    const double t = v[eta.slot];
+    if (t == 0.0) continue;
+    const double scaled = t / eta.pivot;
+    v[eta.slot] = scaled;
+    for (const SparseEntry& e : eta.off) v[e.index] -= e.value * scaled;
+  }
+}
+
+void EtaFile::Btran(std::vector<double>& v) const {
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    double s = v[it->slot];
+    for (const SparseEntry& e : it->off) s -= e.value * v[e.index];
+    v[it->slot] = s / it->pivot;
+  }
+}
+
+bool EtaFile::Update(const std::vector<double>& w, int slot,
+                     double pivot_tol) {
+  if (std::abs(w[slot]) <= pivot_tol) return false;
+  Append(w, slot);
+  ++updates_;
+  return true;
+}
+
+bool EtaFile::ShouldRefactor() const {
+  if (updates_ >= max_updates_) return true;
+  const size_t base = std::max(base_nnz_, static_cast<size_t>(m_));
+  return nnz_ > static_cast<size_t>(growth_limit_ * static_cast<double>(base));
+}
+
+// ---- DenseBasis -------------------------------------------------------------
+
+bool DenseBasis::Refactorize(const SparseMatrix& A, std::vector<int>& basis) {
+  m_ = A.rows();
+  updates_ = 0;
+  const int m = m_;
+
+  std::vector<double> dense(static_cast<size_t>(m) * m, 0.0);
+  for (int i = 0; i < m; ++i) {
+    for (const SparseEntry& e : A.Column(basis[i])) {
+      dense[static_cast<size_t>(e.index) * m + i] = e.value;
+    }
+  }
+  binv_.assign(static_cast<size_t>(m) * m, 0.0);
+  for (int i = 0; i < m; ++i) binv_[static_cast<size_t>(i) * m + i] = 1.0;
+
+  for (int col = 0; col < m; ++col) {
+    int pivot_row = col;
+    double best = std::abs(dense[static_cast<size_t>(col) * m + col]);
+    for (int r = col + 1; r < m; ++r) {
+      double v = std::abs(dense[static_cast<size_t>(r) * m + col]);
+      if (v > best) {
+        best = v;
+        pivot_row = r;
+      }
+    }
+    if (best < kSingularTol) return false;
+    if (pivot_row != col) {
+      for (int k = 0; k < m; ++k) {
+        std::swap(dense[static_cast<size_t>(pivot_row) * m + k],
+                  dense[static_cast<size_t>(col) * m + k]);
+        std::swap(binv_[static_cast<size_t>(pivot_row) * m + k],
+                  binv_[static_cast<size_t>(col) * m + k]);
+      }
+    }
+    const double inv_pivot = 1.0 / dense[static_cast<size_t>(col) * m + col];
+    for (int k = 0; k < m; ++k) {
+      dense[static_cast<size_t>(col) * m + k] *= inv_pivot;
+      binv_[static_cast<size_t>(col) * m + k] *= inv_pivot;
+    }
+    for (int r = 0; r < m; ++r) {
+      if (r == col) continue;
+      const double factor = dense[static_cast<size_t>(r) * m + col];
+      if (factor == 0.0) continue;
+      for (int k = 0; k < m; ++k) {
+        dense[static_cast<size_t>(r) * m + k] -=
+            factor * dense[static_cast<size_t>(col) * m + k];
+        binv_[static_cast<size_t>(r) * m + k] -=
+            factor * binv_[static_cast<size_t>(col) * m + k];
+      }
+    }
+  }
+  return true;
+}
+
+void DenseBasis::Ftran(std::vector<double>& v) const {
+  const int m = m_;
+  std::vector<double> out(m, 0.0);
+  for (int i = 0; i < m; ++i) {
+    const double* row = &binv_[static_cast<size_t>(i) * m];
+    double sum = 0.0;
+    for (int k = 0; k < m; ++k) sum += row[k] * v[k];
+    out[i] = sum;
+  }
+  v = std::move(out);
+}
+
+void DenseBasis::Btran(std::vector<double>& v) const {
+  const int m = m_;
+  std::vector<double> out(m, 0.0);
+  for (int i = 0; i < m; ++i) {
+    const double vi = v[i];
+    if (vi == 0.0) continue;
+    const double* row = &binv_[static_cast<size_t>(i) * m];
+    for (int k = 0; k < m; ++k) out[k] += vi * row[k];
+  }
+  v = std::move(out);
+}
+
+bool DenseBasis::Update(const std::vector<double>& w, int slot,
+                        double pivot_tol) {
+  const int m = m_;
+  const double pivot = w[slot];
+  if (std::abs(pivot) <= pivot_tol) return false;
+  double* pivot_row = &binv_[static_cast<size_t>(slot) * m];
+  const double inv_pivot = 1.0 / pivot;
+  for (int k = 0; k < m; ++k) pivot_row[k] *= inv_pivot;
+  for (int i = 0; i < m; ++i) {
+    if (i == slot) continue;
+    const double factor = w[i];
+    if (factor == 0.0) continue;
+    double* row = &binv_[static_cast<size_t>(i) * m];
+    for (int k = 0; k < m; ++k) row[k] -= factor * pivot_row[k];
+  }
+  ++updates_;
+  return true;
+}
+
+}  // namespace lp
+}  // namespace privsan

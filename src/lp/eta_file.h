@@ -1,0 +1,124 @@
+// Basis factorizations for the revised simplex.
+//
+// The solver only ever needs three operations on the basis matrix B (the
+// m columns of A owned by the basic variables):
+//
+//   FTRAN:  v := B^-1 v        (entering column, basic values)
+//   BTRAN:  v := B^-T v        (duals, dual-simplex row)
+//   UPDATE: replace the column in one basis slot after a pivot
+//
+// `BasisRep` abstracts those; two implementations exist:
+//
+//   * EtaFile — the production representation: a product form of the
+//     inverse. Refactorize() runs sparse Gaussian elimination in product
+//     form (columns ordered by ascending fill, so slack/singleton columns
+//     pivot for free) and every simplex pivot appends one eta vector.
+//     FTRAN/BTRAN cost O(nnz of the eta file), not O(m^2).
+//   * DenseBasis — the legacy explicit dense m x m inverse updated by
+//     Gauss-Jordan pivots. Kept as the numerical fallback and as the
+//     reference oracle for the dense-vs-eta equivalence tests.
+//
+// Refactorization policy lives with the representation: ShouldRefactor()
+// reports growth of the update file; the solver additionally refactorizes
+// on numerical drift (residual breach), not on a fixed iteration cadence.
+#ifndef PRIVSAN_LP_ETA_FILE_H_
+#define PRIVSAN_LP_ETA_FILE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "lp/sparse_matrix.h"
+
+namespace privsan {
+namespace lp {
+
+class BasisRep {
+ public:
+  virtual ~BasisRep() = default;
+
+  // Factorizes the basis formed by columns `basis` of A. May permute
+  // `basis` (slot re-assignment); callers must recompute basic values
+  // afterwards. Returns false if the basis is numerically singular.
+  virtual bool Refactorize(const SparseMatrix& A, std::vector<int>& basis) = 0;
+
+  // v := B^-1 v. v has dimension m.
+  virtual void Ftran(std::vector<double>& v) const = 0;
+
+  // v := B^-T v. v has dimension m.
+  virtual void Btran(std::vector<double>& v) const = 0;
+
+  // Registers a pivot: the column whose FTRAN image is `w` replaces basis
+  // slot `slot`. Returns false when |w[slot]| <= pivot_tol (caller should
+  // refactorize instead).
+  virtual bool Update(const std::vector<double>& w, int slot,
+                      double pivot_tol) = 0;
+
+  // Pivots registered since the last Refactorize().
+  virtual int updates_since_refactor() const = 0;
+
+  // Whether the update file has grown enough that refactorizing is cheaper
+  // than continuing to apply it.
+  virtual bool ShouldRefactor() const = 0;
+};
+
+// Product-form-of-the-inverse eta file.
+class EtaFile : public BasisRep {
+ public:
+  // `max_updates`: pivots tolerated before ShouldRefactor() fires.
+  // `growth_limit`: fires when eta nonzeros exceed growth_limit x the
+  // fresh factorization's nonzeros.
+  EtaFile(int max_updates, double growth_limit)
+      : max_updates_(max_updates), growth_limit_(growth_limit) {}
+
+  bool Refactorize(const SparseMatrix& A, std::vector<int>& basis) override;
+  void Ftran(std::vector<double>& v) const override;
+  void Btran(std::vector<double>& v) const override;
+  bool Update(const std::vector<double>& w, int slot,
+              double pivot_tol) override;
+  int updates_since_refactor() const override { return updates_; }
+  bool ShouldRefactor() const override;
+
+  size_t eta_nonzeros() const { return nnz_; }
+
+ private:
+  struct Eta {
+    int slot = 0;        // pivot position
+    double pivot = 0.0;  // w[slot]
+    std::vector<SparseEntry> off;  // (i, w[i]) for i != slot
+  };
+
+  void Append(const std::vector<double>& w, int slot);
+
+  int m_ = 0;
+  std::vector<Eta> etas_;  // factorization etas, then update etas
+  int updates_ = 0;
+  size_t nnz_ = 0;       // total eta entries (off + pivots)
+  size_t base_nnz_ = 0;  // nnz_ right after Refactorize()
+  int max_updates_;
+  double growth_limit_;
+};
+
+// Explicit dense inverse (legacy representation, numerical fallback).
+class DenseBasis : public BasisRep {
+ public:
+  explicit DenseBasis(int max_updates) : max_updates_(max_updates) {}
+
+  bool Refactorize(const SparseMatrix& A, std::vector<int>& basis) override;
+  void Ftran(std::vector<double>& v) const override;
+  void Btran(std::vector<double>& v) const override;
+  bool Update(const std::vector<double>& w, int slot,
+              double pivot_tol) override;
+  int updates_since_refactor() const override { return updates_; }
+  bool ShouldRefactor() const override { return updates_ >= max_updates_; }
+
+ private:
+  int m_ = 0;
+  std::vector<double> binv_;  // row-major m x m
+  int updates_ = 0;
+  int max_updates_;
+};
+
+}  // namespace lp
+}  // namespace privsan
+
+#endif  // PRIVSAN_LP_ETA_FILE_H_

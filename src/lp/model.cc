@@ -69,7 +69,8 @@ Status LpModel::Validate() {
               [](const Coefficient& a, const Coefficient& b) {
                 return a.variable < b.variable;
               });
-    // Merge duplicates in place.
+    // Merge duplicates in place, then drop entries that cancelled to zero
+    // (presolve's singleton/empty-row detection relies on live counts).
     size_t out = 0;
     for (size_t i = 0; i < c.entries.size(); ++i) {
       if (out > 0 && c.entries[out - 1].variable == c.entries[i].variable) {
@@ -79,8 +80,16 @@ Status LpModel::Validate() {
       }
     }
     c.entries.resize(out);
+    std::erase_if(c.entries,
+                  [](const Coefficient& e) { return e.value == 0.0; });
   }
   return Status::OK();
+}
+
+size_t LpModel::num_nonzeros() const {
+  size_t count = 0;
+  for (const Constraint& c : constraints_) count += c.entries.size();
+  return count;
 }
 
 double LpModel::ObjectiveValue(const std::vector<double>& x) const {

@@ -67,12 +67,16 @@ class LpModel {
 
   int num_variables() const { return static_cast<int>(variables_.size()); }
   int num_constraints() const { return static_cast<int>(constraints_.size()); }
+  // Total coefficient entries across all rows (exact after Validate(),
+  // which merges duplicates and drops explicit zeros).
+  size_t num_nonzeros() const;
   const Variable& variable(int j) const { return variables_[j]; }
   Variable& mutable_variable(int j) { return variables_[j]; }
   const Constraint& constraint(int r) const { return constraints_[r]; }
 
-  // Sorts and merges duplicate coefficients in every row, then checks:
-  // finite coefficients/rhs/objective, lower <= upper, indices in range.
+  // Sorts and merges duplicate coefficients in every row (dropping entries
+  // that cancel to zero), then checks: finite coefficients/rhs/objective,
+  // lower <= upper, indices in range.
   Status Validate();
 
   // Objective value of a point in this model's sense.

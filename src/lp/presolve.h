@@ -1,0 +1,73 @@
+// LP presolve: reductions applied before phase 1, with exact postsolve.
+//
+// Reductions (iterated to a fixpoint):
+//   * fixed variables (lower == upper) are substituted into every row;
+//   * empty rows are checked for trivial feasibility and dropped;
+//   * singleton rows (one live coefficient) become variable bounds and are
+//     dropped — infeasibility of the implied bounds is detected here;
+//   * empty columns (variables in no live row) are pinned to their
+//     objective-favorable bound when it is finite (when it is infinite the
+//     column is kept so the simplex reports unboundedness itself).
+//
+// Postsolve maps the reduced solution back to the original space:
+// primal values of removed variables are restored, duals of dropped
+// singleton rows are recovered from the variable's reduced cost (so KKT
+// certificates hold on the original model), and the reduced basis is
+// extended to a full basis (dropped rows contribute their slack as basic),
+// which keeps warm starts valid across presolved solves.
+#ifndef PRIVSAN_LP_PRESOLVE_H_
+#define PRIVSAN_LP_PRESOLVE_H_
+
+#include <vector>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace privsan {
+namespace lp {
+
+struct PresolveInfo {
+  // The reduced problem was proven infeasible during presolve.
+  bool infeasible = false;
+
+  int original_vars = 0;
+  int original_rows = 0;
+
+  // original index -> reduced index, or -1 when removed.
+  std::vector<int> var_map;
+  std::vector<int> row_map;
+  // Value assigned to each removed variable (indexed by original index).
+  std::vector<double> removed_value;
+
+  // Singleton rows turned into bounds, in removal order.
+  struct SingletonRow {
+    int row = 0;
+    int var = 0;
+    double coeff = 0.0;
+    ConstraintSense sense = ConstraintSense::kLessEqual;
+    double rhs = 0.0;  // rhs after fixed-variable substitution
+  };
+  std::vector<SingletonRow> singleton_rows;
+
+  int reduced_vars = 0;
+  int reduced_rows = 0;
+
+  bool NoOp() const {
+    return reduced_vars == original_vars && reduced_rows == original_rows;
+  }
+};
+
+// Builds the reduced model into `*reduced`. When info.infeasible is set the
+// contents of `*reduced` are unspecified.
+PresolveInfo BuildPresolve(const LpModel& model, LpModel* reduced);
+
+// Rewrites `solution` (a solution of the reduced model) in the original
+// model's space: primal x, duals, objective, and basis. `solution->status`
+// is preserved; non-optimal solutions only get size fixups.
+void PostsolveSolution(const LpModel& model, const PresolveInfo& info,
+                       LpSolution* solution);
+
+}  // namespace lp
+}  // namespace privsan
+
+#endif  // PRIVSAN_LP_PRESOLVE_H_

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 
+#include "lp/eta_file.h"
+#include "lp/presolve.h"
 #include "lp/sparse_matrix.h"
 #include "util/logging.h"
 
@@ -28,12 +31,10 @@ const char* SolveStatusToString(SolveStatus status) {
 
 namespace {
 
-enum VarState : int8_t {
-  kBasic = 0,
-  kNonbasicLower = 1,
-  kNonbasicUpper = 2,
-  kNonbasicFree = 3,
-};
+constexpr VarStatus kBasic = VarStatus::kBasic;
+constexpr VarStatus kAtLower = VarStatus::kAtLower;
+constexpr VarStatus kAtUpper = VarStatus::kAtUpper;
+constexpr VarStatus kFree = VarStatus::kFree;
 
 // All mutable solver state for one Solve() call.
 struct Work {
@@ -42,106 +43,143 @@ struct Work {
   int n_struct = 0;
   int artificial_begin = 0;  // first artificial index (== n_total if none)
 
-  SparseMatrix cols;          // m x n_total
+  SparseMatrix cols;           // m x n_total
   std::vector<double> lb, ub;  // per variable
-  std::vector<double> cost;    // phase-2 minimization costs
+  std::vector<double> cost;    // phase-2 minimization costs (exact)
   std::vector<double> rhs;     // row right-hand sides
+  double rhs_scale = 1.0;      // 1 + |rhs|_inf, for drift tolerances
 
-  std::vector<double> x;       // current value of every variable
-  std::vector<int> basis;      // row -> basic variable
-  std::vector<int8_t> state;   // variable -> VarState
-  std::vector<double> binv;    // dense row-major m x m basis inverse
+  std::vector<double> x;          // current value of every variable
+  std::vector<int> basis;         // slot -> basic variable
+  std::vector<VarStatus> state;   // variable -> status
+  std::unique_ptr<BasisRep> rep;  // basis factorization
 
   int64_t iterations = 0;
+  int64_t dual_iterations = 0;
   int refactorizations = 0;
 };
 
 enum class PhaseStatus { kOptimal, kUnbounded, kIterationLimit, kSingular };
+enum class DualStatus {
+  kOptimal,  // primal feasibility restored
+  kPrimalInfeasible,
+  kIterationLimit,
+  kSingular,
+};
 
-double InitialNonbasicValue(double lower, double upper, int8_t& state) {
+std::unique_ptr<BasisRep> MakeBasisRep(const SimplexOptions& options) {
+  if (options.basis_kind == SimplexOptions::BasisKind::kDense) {
+    return std::make_unique<DenseBasis>(options.refactor_max_updates);
+  }
+  return std::make_unique<EtaFile>(options.refactor_max_updates,
+                                   options.refactor_growth);
+}
+
+double InitialNonbasicValue(double lower, double upper, VarStatus& state) {
   if (std::isfinite(lower)) {
-    state = kNonbasicLower;
+    state = kAtLower;
     return lower;
   }
   if (std::isfinite(upper)) {
-    state = kNonbasicUpper;
+    state = kAtUpper;
     return upper;
   }
-  state = kNonbasicFree;
+  state = kFree;
   return 0.0;
 }
 
-// Recomputes binv from the current basis (Gauss-Jordan with partial
-// pivoting) and the basic variable values from the nonbasic ones.
-// Returns false if the basis matrix is numerically singular.
-bool Refactorize(Work& w) {
-  const int m = w.m;
-  ++w.refactorizations;
-
-  // Dense B from basis columns.
-  std::vector<double> dense(static_cast<size_t>(m) * m, 0.0);
-  for (int i = 0; i < m; ++i) {
-    for (const SparseEntry& e : w.cols.Column(w.basis[i])) {
-      dense[static_cast<size_t>(e.index) * m + i] = e.value;
-    }
-  }
-  // Invert: eliminate into identity.
-  std::vector<double>& inv = w.binv;
-  inv.assign(static_cast<size_t>(m) * m, 0.0);
-  for (int i = 0; i < m; ++i) inv[static_cast<size_t>(i) * m + i] = 1.0;
-
-  for (int col = 0; col < m; ++col) {
-    // Partial pivot.
-    int pivot_row = col;
-    double best = std::abs(dense[static_cast<size_t>(col) * m + col]);
-    for (int r = col + 1; r < m; ++r) {
-      double v = std::abs(dense[static_cast<size_t>(r) * m + col]);
-      if (v > best) {
-        best = v;
-        pivot_row = r;
-      }
-    }
-    if (best < 1e-12) return false;
-    if (pivot_row != col) {
-      for (int k = 0; k < m; ++k) {
-        std::swap(dense[static_cast<size_t>(pivot_row) * m + k],
-                  dense[static_cast<size_t>(col) * m + k]);
-        std::swap(inv[static_cast<size_t>(pivot_row) * m + k],
-                  inv[static_cast<size_t>(col) * m + k]);
-      }
-    }
-    const double pivot = dense[static_cast<size_t>(col) * m + col];
-    const double inv_pivot = 1.0 / pivot;
-    for (int k = 0; k < m; ++k) {
-      dense[static_cast<size_t>(col) * m + k] *= inv_pivot;
-      inv[static_cast<size_t>(col) * m + k] *= inv_pivot;
-    }
-    for (int r = 0; r < m; ++r) {
-      if (r == col) continue;
-      const double factor = dense[static_cast<size_t>(r) * m + col];
-      if (factor == 0.0) continue;
-      for (int k = 0; k < m; ++k) {
-        dense[static_cast<size_t>(r) * m + k] -=
-            factor * dense[static_cast<size_t>(col) * m + k];
-        inv[static_cast<size_t>(r) * m + k] -=
-            factor * inv[static_cast<size_t>(col) * m + k];
-      }
-    }
-  }
-
-  // x_B = B^-1 (rhs - sum over nonbasic j of A_j x_j).
+// x_B = B^-1 (rhs - N x_N) with the current factorization.
+void RecomputeBasics(Work& w) {
   std::vector<double> effective = w.rhs;
   for (int j = 0; j < w.n_total; ++j) {
     if (w.state[j] == kBasic || w.x[j] == 0.0) continue;
     w.cols.AddColumnTo(j, -w.x[j], effective);
   }
-  for (int i = 0; i < m; ++i) {
-    const double* row = &w.binv[static_cast<size_t>(i) * m];
-    double v = 0.0;
-    for (int k = 0; k < m; ++k) v += row[k] * effective[k];
-    w.x[w.basis[i]] = v;
-  }
+  w.rep->Ftran(effective);
+  for (int i = 0; i < w.m; ++i) w.x[w.basis[i]] = effective[i];
+}
+
+// Refactorizes the current basis and recomputes the basic values from the
+// nonbasic ones. Returns false if the basis matrix is numerically singular.
+bool FactorizeAndRecompute(Work& w) {
+  if (!w.rep->Refactorize(w.cols, w.basis)) return false;
+  ++w.refactorizations;
+  RecomputeBasics(w);
   return true;
+}
+
+// |rhs - A x|_inf over every variable — the drift monitor. The incremental
+// x updates accumulate error; a breach forces a refactorization.
+double ResidualInfNorm(const Work& w) {
+  std::vector<double> res = w.rhs;
+  for (int j = 0; j < w.n_total; ++j) {
+    if (w.x[j] != 0.0) w.cols.AddColumnTo(j, -w.x[j], res);
+  }
+  double norm = 0.0;
+  for (double v : res) norm = std::max(norm, std::abs(v));
+  return norm;
+}
+
+enum class RefactorCheck { kNone, kDone, kSingular };
+
+// The shared refactorization policy of both simplex phases: refactorize on
+// eta-file growth or on numerical drift (residual breach, checked every
+// drift_check_interval iterations) — never on a fixed cadence. Callers
+// must refresh their maintained reduced costs on kDone.
+RefactorCheck MaybeRefactor(Work& w, const SimplexOptions& options,
+                            int& drift_countdown) {
+  bool need = w.rep->ShouldRefactor();
+  if (!need && options.drift_check_interval > 0 && --drift_countdown <= 0) {
+    drift_countdown = options.drift_check_interval;
+    if (ResidualInfNorm(w) > options.drift_tol * w.rhs_scale) need = true;
+  }
+  if (!need) return RefactorCheck::kNone;
+  return FactorizeAndRecompute(w) ? RefactorCheck::kDone
+                                  : RefactorCheck::kSingular;
+}
+
+// Exact reduced costs of every variable against the current basis:
+// d = cost - A^T B^-T c_B (zero for basics). Shared by the primal phase,
+// the dual phase, and the warm-start dual-feasibility repair.
+void ComputeReducedCosts(const Work& w, const std::vector<double>& cost,
+                         std::vector<double>& d) {
+  std::vector<double> y(w.m);
+  for (int i = 0; i < w.m; ++i) y[i] = cost[w.basis[i]];
+  w.rep->Btran(y);
+  d.resize(w.n_total);
+  for (int j = 0; j < w.n_total; ++j) {
+    d[j] = w.state[j] == kBasic ? 0.0 : cost[j] - w.cols.ColumnDot(j, y);
+  }
+}
+
+// The pivot row alpha = e_slot^T B^-1 A via BTRAN of e_slot and the CSR
+// view (only rows where rho is nonzero contribute). `touched` lists the
+// distinct columns with a computed entry — `seen` (size n_total, zeroed
+// between calls via `touched`) guards against duplicates when a partial
+// sum cancels to exactly 0.0 mid-accumulation; a duplicate would make the
+// incremental reduced-cost update fire twice for that column.
+void ComputePivotRow(const Work& w, int slot, std::vector<double>& rho,
+                     std::vector<double>& alpha, std::vector<int>& touched,
+                     std::vector<uint8_t>& seen) {
+  for (int idx : touched) {
+    alpha[idx] = 0.0;
+    seen[idx] = 0;
+  }
+  touched.clear();
+  std::fill(rho.begin(), rho.end(), 0.0);
+  rho[slot] = 1.0;
+  w.rep->Btran(rho);
+  for (int i = 0; i < w.m; ++i) {
+    const double r = rho[i];
+    if (r == 0.0) continue;
+    for (const SparseEntry& e : w.cols.Row(i)) {
+      if (!seen[e.index]) {
+        seen[e.index] = 1;
+        touched.push_back(e.index);
+      }
+      alpha[e.index] += r * e.value;
+    }
+  }
 }
 
 // One simplex phase: minimize `cost` over the current basis until optimal.
@@ -152,85 +190,193 @@ PhaseStatus RunPhase(Work& w, const std::vector<double>& cost, bool phase1,
   const int m = w.m;
   const double kInf = std::numeric_limits<double>::infinity();
 
-  std::vector<double> duals(m);
   std::vector<double> direction(m);
+  std::vector<double> rho(m);
+  // Reduced costs are maintained incrementally across pivots (the classic
+  // d'_j = d_j - (d_q / alpha_q) alpha_j update, sharing the alpha row with
+  // the Devex weight update) and recomputed exactly at refactorizations and
+  // before optimality is declared.
+  std::vector<double> d(w.n_total);
+  // Devex reference weights: pricing by d^2 / gamma approximates steepest
+  // edge and avoids the long degenerate churns Dantzig pricing falls into.
+  std::vector<double> gamma(w.n_total, 1.0);
+  std::vector<double> alpha(w.n_total, 0.0);
+  std::vector<int> alpha_touched;
+  std::vector<uint8_t> alpha_seen(w.n_total, 0);
+  std::vector<int> candidates;
+  double refill_best_score = 0.0;  // best Devex score at the last refill
+  int minor_iterations = 0;        // pivots since the last refill
   int stall = 0;
   bool bland = false;
-  int64_t since_refactor = 0;
+  int update_failures = 0;
+  int drift_countdown = options.drift_check_interval;
+
+  // Exact reduced costs; also resets the Devex reference framework (the
+  // weights' reference point moved).
+  auto refresh_reduced = [&]() {
+    ComputeReducedCosts(w, cost, d);
+    std::fill(gamma.begin(), gamma.end(), 1.0);
+  };
+  refresh_reduced();
+
+  auto factorize = [&]() {
+    if (!FactorizeAndRecompute(w)) return false;
+    refresh_reduced();
+    return true;
+  };
+
+  // Pricing off the maintained reduced cost; sign=+1 means the entering
+  // variable increases, -1 decreases; 0 means not improving.
+  auto price = [&](int j, int& sign) -> double {
+    sign = 0;
+    const VarStatus st = w.state[j];
+    if (st == kBasic || w.lb[j] == w.ub[j]) return 0.0;
+    const double reduced = d[j];
+    if ((st == kAtLower || st == kFree) &&
+        reduced < -options.optimality_tol) {
+      sign = +1;
+      return -reduced;
+    }
+    if ((st == kAtUpper || st == kFree) && reduced > options.optimality_tol) {
+      sign = -1;
+      return reduced;
+    }
+    return 0.0;
+  };
+
+  // Full scan by Devex score; refills the candidate list with the top
+  // scorers and returns the best.
+  auto refill = [&](int& entering, int& direction_sign) {
+    struct Cand {
+      double score;
+      int j;
+      int sign;
+    };
+    std::vector<Cand> found;
+    entering = -1;
+    direction_sign = 0;
+    double best = 0.0;
+    for (int j = 0; j < w.n_total; ++j) {
+      int sign = 0;
+      const double violation = price(j, sign);
+      if (sign == 0) continue;
+      const double score = violation * violation / gamma[j];
+      found.push_back(Cand{score, j, sign});
+      if (score > best) {
+        best = score;
+        entering = j;
+        direction_sign = sign;
+      }
+    }
+    const size_t keep =
+        static_cast<size_t>(std::max(8, options.candidate_list_size));
+    if (found.size() > keep) {
+      std::nth_element(
+          found.begin(), found.begin() + keep, found.end(),
+          [](const Cand& a, const Cand& b) { return a.score > b.score; });
+      found.resize(keep);
+    }
+    candidates.clear();
+    for (const Cand& c : found) candidates.push_back(c.j);
+    refill_best_score = best;
+    minor_iterations = 0;
+  };
 
   while (true) {
     if (w.iterations >= options.max_iterations) {
       return PhaseStatus::kIterationLimit;
     }
     ++w.iterations;
-    ++since_refactor;
-    if (since_refactor >= options.refactor_interval) {
-      if (!Refactorize(w)) return PhaseStatus::kSingular;
-      since_refactor = 0;
+
+    switch (MaybeRefactor(w, options, drift_countdown)) {
+      case RefactorCheck::kNone:
+        break;
+      case RefactorCheck::kDone:
+        refresh_reduced();
+        break;
+      case RefactorCheck::kSingular:
+        return PhaseStatus::kSingular;
     }
 
-    // Duals: y^T = c_B^T B^-1. Skip zero-cost basics.
-    std::fill(duals.begin(), duals.end(), 0.0);
-    for (int i = 0; i < m; ++i) {
-      const double cb = cost[w.basis[i]];
-      if (cb == 0.0) continue;
-      const double* row = &w.binv[static_cast<size_t>(i) * m];
-      for (int k = 0; k < m; ++k) duals[k] += cb * row[k];
-    }
-
-    // Pricing: pick the entering variable.
+    // Pricing. Candidate-list partial pricing is only productive while
+    // pivots make progress; under a degenerate stall the stale candidates
+    // churn, so fall back to full scans until the stall clears.
+    const bool partial = options.partial_pricing &&
+                         stall < std::max(8, options.bland_trigger / 4);
     int entering = -1;
     int direction_sign = 0;  // +1: entering increases, -1: decreases
-    double best_violation = options.optimality_tol;
-    for (int j = 0; j < w.n_total; ++j) {
-      const int8_t st = w.state[j];
-      if (st == kBasic) continue;
-      if (w.lb[j] == w.ub[j]) continue;  // fixed, cannot move
-      const double reduced = cost[j] - w.cols.ColumnDot(j, duals);
-      double violation = 0.0;
-      int sign = 0;
-      if ((st == kNonbasicLower || st == kNonbasicFree) &&
-          reduced < -options.optimality_tol) {
-        violation = -reduced;
-        sign = +1;
-      } else if ((st == kNonbasicUpper || st == kNonbasicFree) &&
-                 reduced > options.optimality_tol) {
-        violation = reduced;
-        sign = -1;
+    if (bland) {
+      // First improving index — guarantees termination under degeneracy.
+      for (int j = 0; j < w.n_total; ++j) {
+        int sign = 0;
+        if (price(j, sign) > 0.0) {
+          entering = j;
+          direction_sign = sign;
+          break;
+        }
       }
-      if (sign == 0) continue;
-      if (bland) {  // first improving index
-        entering = j;
-        direction_sign = sign;
-        break;
+    } else if (partial) {
+      // Minor iteration: re-price only the candidate list. Refill when the
+      // list drains, after candidate_list_size pivots (classic multiple
+      // pricing), or when the surviving candidates' scores have decayed to
+      // noise next to what the last full scan saw — stale candidates under
+      // degeneracy are worse than the O(n) scan they save.
+      double best = 0.0;
+      size_t out = 0;
+      for (size_t k = 0; k < candidates.size(); ++k) {
+        const int j = candidates[k];
+        int sign = 0;
+        const double violation = price(j, sign);
+        if (sign == 0) continue;
+        candidates[out++] = j;
+        const double score = violation * violation / gamma[j];
+        if (score > best) {
+          best = score;
+          entering = j;
+          direction_sign = sign;
+        }
       }
-      if (violation > best_violation) {
-        best_violation = violation;
-        entering = j;
-        direction_sign = sign;
+      candidates.resize(out);
+      ++minor_iterations;
+      if (entering < 0 ||
+          minor_iterations >= std::max(8, options.candidate_list_size) ||
+          best < 0.05 * refill_best_score) {
+        refill(entering, direction_sign);
       }
+    } else {
+      refill(entering, direction_sign);
     }
-    if (entering < 0) return PhaseStatus::kOptimal;
+    if (entering < 0) {
+      // The maintained reduced costs say optimal; prove it from exact ones
+      // before declaring.
+      refresh_reduced();
+      refill(entering, direction_sign);
+      if (entering < 0) return PhaseStatus::kOptimal;
+    }
 
     // FTRAN: direction = B^-1 A_entering.
-    auto column = w.cols.Column(entering);
-    for (int i = 0; i < m; ++i) {
-      const double* row = &w.binv[static_cast<size_t>(i) * m];
-      double v = 0.0;
-      for (const SparseEntry& e : column) v += e.value * row[e.index];
-      direction[i] = v;
+    std::fill(direction.begin(), direction.end(), 0.0);
+    for (const SparseEntry& e : w.cols.Column(entering)) {
+      direction[e.index] = e.value;
     }
+    w.rep->Ftran(direction);
 
     // Ratio test, two-pass Harris style. The entering variable moves by
-    // t * direction_sign >= 0; basic variable in row i changes by
+    // t * direction_sign >= 0; basic variable in slot i changes by
     // -direction_sign * t * direction[i]. Pass 1 finds the tightest step
-    // t_row_min over the rows; pass 2 re-scans rows whose ratio lies within
-    // a small window above t_row_min and keeps the one with the largest
-    // pivot magnitude (numerical stability) — or, under Bland's rule, the
-    // smallest basic variable index (termination).
+    // t_row_min over the slots; pass 2 re-scans slots whose ratio lies
+    // within a small window above t_row_min and keeps the one with the
+    // largest pivot magnitude (numerical stability) — or, under Bland's
+    // rule, the smallest basic variable index (termination).
+    // How far the entering variable can move before hitting its own bound
+    // in the travel direction (finite even for a free-state variable with
+    // finite bounds — presolve postsolve can produce those).
+    const double entering_bound = direction_sign > 0
+                                      ? w.ub[entering]
+                                      : w.lb[entering];
     const double bound_flip_t =
-        (std::isfinite(w.lb[entering]) && std::isfinite(w.ub[entering]))
-            ? w.ub[entering] - w.lb[entering]
+        std::isfinite(entering_bound)
+            ? std::abs(entering_bound - w.x[entering])
             : kInf;
     auto row_ratio = [&](int i) -> double {
       const double delta = direction_sign * direction[i];
@@ -250,15 +396,23 @@ PhaseStatus RunPhase(Work& w, const std::vector<double>& cost, bool phase1,
     for (int i = 0; i < m; ++i) t_row_min = std::min(t_row_min, row_ratio(i));
 
     if (!std::isfinite(t_row_min) && !std::isfinite(bound_flip_t)) {
-      return phase1 ? PhaseStatus::kSingular : PhaseStatus::kUnbounded;
+      if (phase1) return PhaseStatus::kSingular;
+      // Unboundedness was derived from the maintained reduced costs;
+      // re-verify against exact ones before declaring (a stale entering
+      // choice plus an unblocked direction must not abort the solve).
+      refresh_reduced();
+      int sign = 0;
+      if (price(entering, sign) > 0.0 && sign == direction_sign) {
+        return PhaseStatus::kUnbounded;
+      }
+      continue;  // maintained d was stale; re-price
     }
 
     int leaving_row = -1;
     bool leaving_at_upper = false;
     double best_t = bound_flip_t;
     if (t_row_min <= bound_flip_t) {
-      const double window =
-          t_row_min + std::max(1e-10, 1e-7 * t_row_min);
+      const double window = t_row_min + std::max(1e-10, 1e-7 * t_row_min);
       double best_pivot = 0.0;
       int best_bv = std::numeric_limits<int>::max();
       for (int i = 0; i < m; ++i) {
@@ -276,6 +430,17 @@ PhaseStatus RunPhase(Work& w, const std::vector<double>& cost, bool phase1,
       }
     }
 
+    // An unstable pivot right after a refactorization is as good as the
+    // arithmetic gets; otherwise refactorize and re-price — tiny window
+    // pivots are usually eta-file noise, and treating noise as a pivot
+    // corrupts the basis (it becomes singular in exact arithmetic).
+    if (leaving_row >= 0 &&
+        std::abs(direction[leaving_row]) < options.stable_pivot_tol &&
+        w.rep->updates_since_refactor() > 0) {
+      if (!factorize()) return PhaseStatus::kSingular;
+      continue;
+    }
+
     // Degeneracy bookkeeping; switch to Bland's rule on a long stall.
     if (best_t <= 1e-10) {
       if (++stall >= options.bland_trigger) bland = true;
@@ -284,19 +449,31 @@ PhaseStatus RunPhase(Work& w, const std::vector<double>& cost, bool phase1,
       bland = false;
     }
 
-    // Apply the step.
     const double step = direction_sign * best_t;
     if (leaving_row < 0) {
-      // Bound flip: entering moves across its range, basis unchanged.
+      // Bound flip: entering travels to its own bound; basis and reduced
+      // costs unchanged.
       for (int i = 0; i < m; ++i) {
         if (direction[i] != 0.0) w.x[w.basis[i]] -= step * direction[i];
       }
-      w.x[entering] += step;
-      w.state[entering] =
-          w.state[entering] == kNonbasicLower ? kNonbasicUpper
-                                              : kNonbasicLower;
+      w.x[entering] = entering_bound;
+      w.state[entering] = direction_sign > 0 ? kAtUpper : kAtLower;
       continue;
     }
+
+    // alpha = e_r^T B^-1 A (the pivot row) — it feeds both the
+    // reduced-cost update and the Devex weights.
+    ComputePivotRow(w, leaving_row, rho, alpha, alpha_touched, alpha_seen);
+
+    // Register the pivot before touching x/state so a failed update leaves
+    // a consistent point to refactorize from.
+    if (!w.rep->Update(direction, leaving_row, options.pivot_tol)) {
+      if (++update_failures > 3 || !factorize()) {
+        return PhaseStatus::kSingular;
+      }
+      continue;  // re-price against the fresh factorization
+    }
+    update_failures = 0;
 
     for (int i = 0; i < m; ++i) {
       if (direction[i] != 0.0) w.x[w.basis[i]] -= step * direction[i];
@@ -307,28 +484,247 @@ PhaseStatus RunPhase(Work& w, const std::vector<double>& cost, bool phase1,
     // Snap the leaving variable exactly onto the bound it reached.
     if (leaving_at_upper) {
       w.x[leaving_var] = w.ub[leaving_var];
-      w.state[leaving_var] = kNonbasicUpper;
+      w.state[leaving_var] = kAtUpper;
     } else {
       w.x[leaving_var] = w.lb[leaving_var];
-      w.state[leaving_var] = kNonbasicLower;
+      w.state[leaving_var] = kAtLower;
     }
     w.basis[leaving_row] = entering;
     w.state[entering] = kBasic;
 
-    // Basis inverse update: B_new^-1 = E * B^-1 with the eta column taken
-    // from `direction` and pivot row `leaving_row`.
+    // Reduced-cost and Devex updates along the alpha row.
     const double pivot = direction[leaving_row];
-    double* pivot_row_ptr = &w.binv[static_cast<size_t>(leaving_row) * m];
-    const double inv_pivot = 1.0 / pivot;
-    for (int k = 0; k < m; ++k) pivot_row_ptr[k] *= inv_pivot;
-    for (int i = 0; i < m; ++i) {
-      if (i == leaving_row) continue;
-      const double factor = direction[i];
-      if (factor == 0.0) continue;
-      double* row = &w.binv[static_cast<size_t>(i) * m];
-      for (int k = 0; k < m; ++k) row[k] -= factor * pivot_row_ptr[k];
+    const double theta_d = d[entering] / pivot;
+    const double gamma_q = gamma[entering];
+    const double inv_pivot_sq = 1.0 / (pivot * pivot);
+    for (int j : alpha_touched) {
+      if (w.state[j] == kBasic) continue;
+      d[j] -= theta_d * alpha[j];
+      const double candidate_weight =
+          alpha[j] * alpha[j] * inv_pivot_sq * gamma_q;
+      if (candidate_weight > gamma[j]) gamma[j] = candidate_weight;
     }
+    d[leaving_var] = -theta_d;
+    gamma[leaving_var] = std::max(gamma_q * inv_pivot_sq, 1.0);
+    d[entering] = 0.0;
   }
+}
+
+// Bounded-variable dual simplex: restores primal feasibility of a dual
+// feasible basis after bound changes (the warm-start workhorse — a child
+// node's bound tightening leaves the parent's reduced costs intact, so the
+// parent basis is dual feasible for the child). Maintains dual feasibility
+// by a min-ratio test; "no eligible entering column" is a Farkas
+// certificate of primal infeasibility.
+DualStatus RunDualPhase(Work& w, const std::vector<double>& cost,
+                        const SimplexOptions& options) {
+  const int m = w.m;
+  // A warm basis is near-optimal; long dual runs signal a stale hint.
+  const int64_t budget = 4 * static_cast<int64_t>(m) + 1000;
+  std::vector<double> rho(m), direction(m);
+  std::vector<double> alpha(w.n_total, 0.0);
+  std::vector<int> alpha_touched;
+  std::vector<uint8_t> alpha_seen(w.n_total, 0);
+  // Reduced costs, maintained incrementally across pivots off the same
+  // alpha row that drives the ratio test; recomputed at refactorizations.
+  std::vector<double> d(w.n_total);
+  int update_failures = 0;
+
+  auto refresh_reduced = [&]() { ComputeReducedCosts(w, cost, d); };
+  refresh_reduced();
+
+  auto factorize = [&]() {
+    if (!FactorizeAndRecompute(w)) return false;
+    refresh_reduced();
+    return true;
+  };
+  int drift_countdown = options.drift_check_interval;
+
+  auto bound_violation = [&](int slot, bool& below) -> double {
+    const int bv = w.basis[slot];
+    const double v = w.x[bv];
+    if (v < w.lb[bv] - 1e-9 * (1.0 + std::abs(w.lb[bv]))) {
+      below = true;
+      return w.lb[bv] - v;
+    }
+    if (v > w.ub[bv] + 1e-9 * (1.0 + std::abs(w.ub[bv]))) {
+      below = false;
+      return v - w.ub[bv];
+    }
+    return 0.0;
+  };
+
+  for (int64_t iter = 0; iter < budget; ++iter) {
+    if (w.iterations >= options.max_iterations) {
+      return DualStatus::kIterationLimit;
+    }
+
+    // bound_violation reads the incrementally-updated x, so drifted
+    // basics would silently mis-drive the leaving choice and the final
+    // "primal feasible" verdict.
+    switch (MaybeRefactor(w, options, drift_countdown)) {
+      case RefactorCheck::kNone:
+        break;
+      case RefactorCheck::kDone:
+        refresh_reduced();
+        break;
+      case RefactorCheck::kSingular:
+        return DualStatus::kSingular;
+    }
+
+    // Leaving: the basic variable with the largest bound violation.
+    int leaving_slot = -1;
+    bool below = false;
+    double worst = 0.0;
+    for (int i = 0; i < m; ++i) {
+      bool b = false;
+      const double viol = bound_violation(i, b);
+      if (viol > worst) {
+        worst = viol;
+        below = b;
+        leaving_slot = i;
+      }
+    }
+    if (leaving_slot < 0) return DualStatus::kOptimal;
+
+    ++w.iterations;
+    ++w.dual_iterations;
+
+    // The pivot row: feeds eligibility, the ratio test, and the
+    // reduced-cost update.
+    ComputePivotRow(w, leaving_slot, rho, alpha, alpha_touched, alpha_seen);
+
+    // Bound-flip ratio test: walk the sign-eligible columns in ascending
+    // ratio |d_j / alpha_j| order. A candidate whose whole range cannot
+    // absorb the violation is queued to bound-flip (its reduced cost will
+    // cross zero at the eventual dual step, so the flip keeps dual
+    // feasibility); the first candidate that can absorb what remains
+    // enters the basis. Without this, degenerate instances thrash for
+    // thousands of iterations flipping one sliver at a time.
+    struct DualCand {
+      double ratio;
+      double abs_alpha;
+      int j;
+    };
+    std::vector<DualCand> eligible;
+    for (int j : alpha_touched) {
+      const VarStatus st = w.state[j];
+      if (st == kBasic || w.lb[j] == w.ub[j]) continue;
+      const double a = alpha[j];
+      if (std::abs(a) <= options.pivot_tol) continue;
+      bool ok;
+      if (st == kFree) {
+        ok = true;
+      } else if (below) {
+        // x_B[r] must increase: dx = -a * dt with dt >= 0 from lower
+        // (need a < 0) or dt <= 0 from upper (need a > 0).
+        ok = st == kAtLower ? a < 0.0 : a > 0.0;
+      } else {
+        ok = st == kAtLower ? a > 0.0 : a < 0.0;
+      }
+      if (!ok) continue;
+      eligible.push_back(DualCand{std::abs(d[j]) / std::abs(a),
+                                  std::abs(a), j});
+    }
+    if (eligible.empty()) return DualStatus::kPrimalInfeasible;
+    std::sort(eligible.begin(), eligible.end(),
+              [](const DualCand& a, const DualCand& b) {
+                if (a.ratio != b.ratio) return a.ratio < b.ratio;
+                return a.abs_alpha > b.abs_alpha;
+              });
+    int entering = -1;
+    double remaining = worst;
+    size_t flip_end = 0;  // eligible[0..flip_end) bound-flip
+    for (size_t k = 0; k < eligible.size(); ++k) {
+      const int j = eligible[k].j;
+      const double capacity = w.state[j] == kFree
+                                  ? std::numeric_limits<double>::infinity()
+                                  : eligible[k].abs_alpha *
+                                        (w.ub[j] - w.lb[j]);
+      if (capacity < remaining) {
+        remaining -= capacity;
+        flip_end = k + 1;
+      } else {
+        entering = j;
+        break;
+      }
+    }
+    if (entering < 0) {
+      // Even flipping every eligible column cannot absorb the violation.
+      return DualStatus::kPrimalInfeasible;
+    }
+    // FTRAN the entering column and validate its pivot BEFORE applying
+    // the queued flips: a rejected pivot must leave the point untouched —
+    // stranded flips without the matching dual step would silently break
+    // dual feasibility (flipped columns would sit on the wrong side of
+    // their reduced cost).
+    std::fill(direction.begin(), direction.end(), 0.0);
+    for (const SparseEntry& e : w.cols.Column(entering)) {
+      direction[e.index] = e.value;
+    }
+    w.rep->Ftran(direction);
+    const double pivot = direction[leaving_slot];
+    if (std::abs(pivot) <= options.pivot_tol ||
+        (std::abs(pivot) < options.stable_pivot_tol &&
+         w.rep->updates_since_refactor() > 0)) {
+      if (++update_failures > 3 || !factorize()) {
+        return DualStatus::kSingular;
+      }
+      continue;
+    }
+
+    if (flip_end > 0) {
+      // Apply all queued flips with a single combined FTRAN. Flips do not
+      // change the basis, so `direction` above stays valid.
+      std::vector<double> flip_delta(m, 0.0);
+      for (size_t k = 0; k < flip_end; ++k) {
+        const int j = eligible[k].j;
+        const double delta =
+            w.state[j] == kAtLower ? w.ub[j] - w.lb[j] : w.lb[j] - w.ub[j];
+        for (const SparseEntry& e : w.cols.Column(j)) {
+          flip_delta[e.index] += e.value * delta;
+        }
+        w.x[j] += delta;
+        w.state[j] = w.state[j] == kAtLower ? kAtUpper : kAtLower;
+      }
+      w.rep->Ftran(flip_delta);
+      for (int i = 0; i < m; ++i) {
+        if (flip_delta[i] != 0.0) w.x[w.basis[i]] -= flip_delta[i];
+      }
+    }
+
+    const int leaving_var = w.basis[leaving_slot];
+    const double target = below ? w.lb[leaving_var] : w.ub[leaving_var];
+    const double dt = (w.x[leaving_var] - target) / pivot;
+
+    if (!w.rep->Update(direction, leaving_slot, options.pivot_tol)) {
+      if (++update_failures > 3 || !factorize()) {
+        return DualStatus::kSingular;
+      }
+      continue;
+    }
+    update_failures = 0;
+
+    for (int i = 0; i < m; ++i) {
+      if (direction[i] != 0.0) w.x[w.basis[i]] -= dt * direction[i];
+    }
+    w.x[entering] += dt;
+    w.x[leaving_var] = target;
+    w.state[leaving_var] = below ? kAtLower : kAtUpper;
+    w.basis[leaving_slot] = entering;
+    w.state[entering] = kBasic;
+
+    // Reduced-cost update along the alpha row (dual step theta keeps every
+    // d on its feasible side by the min-ratio choice above).
+    const double theta_d = d[entering] / pivot;
+    for (int j : alpha_touched) {
+      if (w.state[j] == kBasic) continue;
+      d[j] -= theta_d * alpha[j];
+    }
+    d[leaving_var] = -theta_d;
+    d[entering] = 0.0;
+  }
+  return DualStatus::kIterationLimit;
 }
 
 // Deterministic hash-based uniform in [0, 1) for cost perturbation.
@@ -340,19 +736,27 @@ double PerturbationUnit(uint64_t j) {
   return static_cast<double>(z >> 11) * 0x1.0p-53;
 }
 
-LpSolution SolveImpl(const LpModel& model, const SimplexOptions& options_) {
-  const double kInf = std::numeric_limits<double>::infinity();
-  LpSolution solution;
+// Applies the deterministic ~1e-9 relative anti-degeneracy perturbation.
+// Warm and cold solves must use the *same* formula: warm starts assume the
+// parent's (perturbed) reduced costs stay dual feasible for the child.
+void PerturbCosts(std::vector<double>& cost) {
+  for (size_t j = 0; j < cost.size(); ++j) {
+    if (cost[j] != 0.0) {
+      cost[j] *= 1.0 + 1e-9 * PerturbationUnit(j);
+    }
+  }
+}
 
+// Bounds, costs, rhs and the structural+slack triplets shared by cold and
+// warm solves. Leaves state/x/basis untouched.
+void SetupVarsAndSlacks(const LpModel& model, bool maximize, Work& w,
+                        std::vector<Triplet>& triplets) {
+  const double kInf = std::numeric_limits<double>::infinity();
   const int m = model.num_constraints();
   const int n_struct = model.num_variables();
-  const bool maximize = model.sense() == ObjectiveSense::kMaximize;
 
-  Work w;
   w.m = m;
   w.n_struct = n_struct;
-
-  // --- Variables: structural, then one slack per row. ----------------------
   w.lb.reserve(n_struct + m);
   w.ub.reserve(n_struct + m);
   w.cost.reserve(n_struct + m);
@@ -380,15 +784,92 @@ LpSolution SolveImpl(const LpModel& model, const SimplexOptions& options_) {
     w.cost.push_back(0.0);
   }
 
+  w.rhs.resize(m);
+  w.rhs_scale = 1.0;
+  for (int r = 0; r < m; ++r) {
+    w.rhs[r] = model.constraint(r).rhs;
+    w.rhs_scale = std::max(w.rhs_scale, 1.0 + std::abs(w.rhs[r]));
+  }
+
+  for (int r = 0; r < m; ++r) {
+    for (const Coefficient& e : model.constraint(r).entries) {
+      if (e.value != 0.0) triplets.push_back(Triplet{r, e.variable, e.value});
+    }
+  }
+  for (int r = 0; r < m; ++r) {
+    triplets.push_back(Triplet{r, n_struct + r, 1.0});
+  }
+}
+
+// The optimal basis over structural + slack variables. Degenerate basic
+// artificials are swapped for their row's slack so the snapshot is usable
+// as a warm-start hint.
+Basis ExportBasis(const Work& w) {
+  Basis basis;
+  const int nb = w.n_struct + w.m;
+  basis.state.assign(w.state.begin(), w.state.begin() + nb);
+  basis.basic.reserve(w.m);
+  for (int i = 0; i < w.m; ++i) {
+    int v = w.basis[i];
+    if (v >= nb) {
+      const auto column = w.cols.Column(v);
+      const int slack = w.n_struct + column.front().index;
+      if (basis.state[slack] != kBasic) {
+        v = slack;
+      } else {
+        v = -1;
+        for (int r = 0; r < w.m; ++r) {
+          if (basis.state[w.n_struct + r] != kBasic) {
+            v = w.n_struct + r;
+            break;
+          }
+        }
+        if (v < 0) return Basis{};  // defensive; cannot happen
+      }
+      basis.state[v] = kBasic;
+    }
+    basis.basic.push_back(v);
+  }
+  return basis;
+}
+
+LpSolution BuildSolution(const Work& w, const LpModel& model,
+                         SolveStatus status, bool maximize) {
+  LpSolution solution;
+  solution.status = status;
+  solution.iterations = w.iterations;
+  solution.dual_iterations = w.dual_iterations;
+  solution.refactorizations = w.refactorizations;
+  if (status != SolveStatus::kOptimal) return solution;
+
+  solution.x.assign(w.x.begin(), w.x.begin() + w.n_struct);
+  solution.objective = model.ObjectiveValue(solution.x);
+  // Final duals priced on the exact phase-2 costs.
+  std::vector<double> cb(w.m);
+  for (int i = 0; i < w.m; ++i) cb[i] = w.cost[w.basis[i]];
+  solution.duals = cb;
+  w.rep->Btran(solution.duals);
+  if (maximize) {
+    for (double& d : solution.duals) d = -d;
+  }
+  solution.basis = ExportBasis(w);
+  return solution;
+}
+
+LpSolution SolveImpl(const LpModel& model, const SimplexOptions& options_) {
+  const double kInf = std::numeric_limits<double>::infinity();
+  const int m = model.num_constraints();
+  const int n_struct = model.num_variables();
+  const bool maximize = model.sense() == ObjectiveSense::kMaximize;
+
+  Work w;
+  std::vector<Triplet> triplets;
+  SetupVarsAndSlacks(model, maximize, w, triplets);
+
   // --- Initial point: structurals at a bound, slacks basic. ----------------
   w.state.assign(n_struct + m, kBasic);
   w.x.assign(n_struct + m, 0.0);
-  w.rhs.resize(m);
-  std::vector<double> residual(m);
-  for (int r = 0; r < m; ++r) {
-    w.rhs[r] = model.constraint(r).rhs;
-    residual[r] = w.rhs[r];
-  }
+  std::vector<double> residual = w.rhs;
   for (int j = 0; j < n_struct; ++j) {
     w.x[j] = InitialNonbasicValue(w.lb[j], w.ub[j], w.state[j]);
   }
@@ -399,16 +880,6 @@ LpSolution SolveImpl(const LpModel& model, const SimplexOptions& options_) {
   }
 
   // --- Decide per row: slack basic, or slack at bound + artificial. --------
-  std::vector<Triplet> triplets;
-  for (int r = 0; r < m; ++r) {
-    for (const Coefficient& e : model.constraint(r).entries) {
-      if (e.value != 0.0) triplets.push_back(Triplet{r, e.variable, e.value});
-    }
-  }
-  for (int r = 0; r < m; ++r) {
-    triplets.push_back(Triplet{r, n_struct + r, 1.0});
-  }
-
   w.basis.resize(m);
   struct PendingArtificial {
     int row;
@@ -425,11 +896,11 @@ LpSolution SolveImpl(const LpModel& model, const SimplexOptions& options_) {
       w.x[slack] = v;
     } else if (v > w.ub[slack]) {
       // Slack pinned at its upper bound; artificial absorbs the excess.
-      w.state[slack] = kNonbasicUpper;
+      w.state[slack] = kAtUpper;
       w.x[slack] = w.ub[slack];
       artificials.push_back(PendingArtificial{r, 1.0, v - w.ub[slack]});
     } else {
-      w.state[slack] = kNonbasicLower;
+      w.state[slack] = kAtLower;
       w.x[slack] = w.lb[slack];
       artificials.push_back(PendingArtificial{r, -1.0, w.lb[slack] - v});
     }
@@ -451,37 +922,13 @@ LpSolution SolveImpl(const LpModel& model, const SimplexOptions& options_) {
   w.n_total = static_cast<int>(w.lb.size());
   w.cols = SparseMatrix(m, w.n_total, std::move(triplets));
 
-  // Basis is diagonal (+-1); its inverse is the same diagonal.
-  w.binv.assign(static_cast<size_t>(m) * m, 0.0);
-  for (int r = 0; r < m; ++r) {
-    double diag = 1.0;
-    for (const SparseEntry& e : w.cols.Column(w.basis[r])) {
-      if (e.index == r) diag = e.value;
-    }
-    w.binv[static_cast<size_t>(r) * m + r] = 1.0 / diag;
-  }
-
+  w.rep = MakeBasisRep(options_);
   auto finish = [&](SolveStatus status) {
-    solution.status = status;
-    solution.iterations = w.iterations;
-    solution.refactorizations = w.refactorizations;
-    if (status == SolveStatus::kOptimal) {
-      solution.x.assign(w.x.begin(), w.x.begin() + n_struct);
-      solution.objective = model.ObjectiveValue(solution.x);
-      // Final duals priced on the phase-2 costs.
-      solution.duals.assign(m, 0.0);
-      for (int i = 0; i < m; ++i) {
-        const double cb = w.cost[w.basis[i]];
-        if (cb == 0.0) continue;
-        const double* row = &w.binv[static_cast<size_t>(i) * m];
-        for (int k = 0; k < m; ++k) solution.duals[k] += cb * row[k];
-      }
-      if (maximize) {
-        for (double& d : solution.duals) d = -d;
-      }
-    }
-    return solution;
+    return BuildSolution(w, model, status, maximize);
   };
+  if (!FactorizeAndRecompute(w)) {
+    return finish(SolveStatus::kNumericalFailure);
+  }
 
   // Anti-degeneracy cost perturbation: tiny deterministic relative noise on
   // every nonzero cost breaks ties among the (often thousands of) columns
@@ -489,16 +936,8 @@ LpSolution SolveImpl(const LpModel& model, const SimplexOptions& options_) {
   // objective and duals from the exact costs.
   std::vector<double> phase2_cost = w.cost;
   if (options_.perturb_costs) {
-    for (size_t j = 0; j < phase2_cost.size(); ++j) {
-      if (phase2_cost[j] != 0.0) {
-        phase2_cost[j] *= 1.0 + 1e-9 * PerturbationUnit(j);
-      }
-    }
-    for (size_t j = 0; j < phase1_cost.size(); ++j) {
-      if (phase1_cost[j] != 0.0) {
-        phase1_cost[j] *= 1.0 + 1e-9 * PerturbationUnit(j);
-      }
-    }
+    PerturbCosts(phase2_cost);
+    PerturbCosts(phase1_cost);
   }
 
   // --- Phase 1 -------------------------------------------------------------
@@ -525,7 +964,7 @@ LpSolution SolveImpl(const LpModel& model, const SimplexOptions& options_) {
       w.ub[j] = 0.0;
       if (w.state[j] != kBasic) {
         w.x[j] = 0.0;
-        w.state[j] = kNonbasicLower;
+        w.state[j] = kAtLower;
       }
     }
   }
@@ -545,25 +984,241 @@ LpSolution SolveImpl(const LpModel& model, const SimplexOptions& options_) {
   return finish(SolveStatus::kNumericalFailure);
 }
 
+// Warm start: rebuild the point around the hinted basis, repair dual
+// feasibility by bound flips, restore primal feasibility with the dual
+// simplex, then let a primal phase certify optimality. Sets `fallback`
+// when the hint cannot be used (the caller then cold-solves); the returned
+// solution still carries the iteration counters spent.
+LpSolution WarmSolveImpl(const LpModel& model, const SimplexOptions& options_,
+                         const Basis& hint, bool& fallback) {
+  fallback = false;
+  const int m = model.num_constraints();
+  const int n_struct = model.num_variables();
+  const bool maximize = model.sense() == ObjectiveSense::kMaximize;
+
+  LpSolution failed;  // counter carrier for fallback returns
+  if (static_cast<int>(hint.state.size()) != n_struct + m ||
+      static_cast<int>(hint.basic.size()) != m) {
+    fallback = true;
+    return failed;
+  }
+
+  Work w;
+  std::vector<Triplet> triplets;
+  SetupVarsAndSlacks(model, maximize, w, triplets);
+  w.n_total = n_struct + m;
+  w.artificial_begin = w.n_total;
+  w.cols = SparseMatrix(m, w.n_total, std::move(triplets));
+
+  // Hint consistency: every listed basic variable in range and marked
+  // basic, no duplicates, exactly m basics.
+  w.state = hint.state;
+  w.basis = hint.basic;
+  {
+    int basic_count = 0;
+    for (int j = 0; j < w.n_total; ++j) {
+      if (w.state[j] == kBasic) ++basic_count;
+    }
+    std::vector<bool> seen(w.n_total, false);
+    bool ok = basic_count == m;
+    for (int v : w.basis) {
+      if (v < 0 || v >= w.n_total || w.state[v] != kBasic || seen[v]) {
+        ok = false;
+        break;
+      }
+      seen[v] = true;
+    }
+    if (!ok) {
+      fallback = true;
+      return failed;
+    }
+  }
+
+  // Nonbasic values under the *current* bounds; a state whose bound is
+  // gone (e.g. relaxed to infinity) moves to a usable one.
+  w.x.assign(w.n_total, 0.0);
+  for (int j = 0; j < w.n_total; ++j) {
+    switch (w.state[j]) {
+      case kBasic:
+        break;
+      case kAtLower:
+        if (std::isfinite(w.lb[j])) {
+          w.x[j] = w.lb[j];
+        } else if (std::isfinite(w.ub[j])) {
+          w.state[j] = kAtUpper;
+          w.x[j] = w.ub[j];
+        } else {
+          w.state[j] = kFree;
+        }
+        break;
+      case kAtUpper:
+        if (std::isfinite(w.ub[j])) {
+          w.x[j] = w.ub[j];
+        } else if (std::isfinite(w.lb[j])) {
+          w.state[j] = kAtLower;
+          w.x[j] = w.lb[j];
+        } else {
+          w.state[j] = kFree;
+        }
+        break;
+      case kFree:
+        if (0.0 < w.lb[j]) {
+          w.state[j] = kAtLower;
+          w.x[j] = w.lb[j];
+        } else if (0.0 > w.ub[j]) {
+          w.state[j] = kAtUpper;
+          w.x[j] = w.ub[j];
+        }
+        break;
+    }
+  }
+
+  w.rep = MakeBasisRep(options_);
+  if (!FactorizeAndRecompute(w)) {
+    fallback = true;
+    return failed;
+  }
+
+  std::vector<double> phase2_cost = w.cost;
+  if (options_.perturb_costs) PerturbCosts(phase2_cost);
+
+  // Dual feasibility repair: bound changes never move reduced costs, but a
+  // state flip above (or a hint from a perturbed sibling) can leave a
+  // nonbasic variable on the wrong side. Flip it to its other bound when
+  // one exists; otherwise the hint is unusable.
+  {
+    std::vector<double> reduced;
+    ComputeReducedCosts(w, phase2_cost, reduced);
+    const double dual_tol = 10.0 * options_.optimality_tol;
+    bool flipped = false;
+    for (int j = 0; j < w.n_total; ++j) {
+      const VarStatus st = w.state[j];
+      if (st == kBasic || w.lb[j] == w.ub[j]) continue;
+      const double d = reduced[j];
+      if (st == kAtLower && d < -dual_tol) {
+        if (!std::isfinite(w.ub[j])) {
+          fallback = true;
+          return failed;
+        }
+        w.state[j] = kAtUpper;
+        w.x[j] = w.ub[j];
+        flipped = true;
+      } else if (st == kAtUpper && d > dual_tol) {
+        if (!std::isfinite(w.lb[j])) {
+          fallback = true;
+          return failed;
+        }
+        w.state[j] = kAtLower;
+        w.x[j] = w.lb[j];
+        flipped = true;
+      } else if (st == kFree && std::abs(d) > dual_tol) {
+        fallback = true;
+        return failed;
+      }
+    }
+    if (flipped) RecomputeBasics(w);
+  }
+
+  auto finish = [&](SolveStatus status) {
+    LpSolution solution = BuildSolution(w, model, status, maximize);
+    solution.warm_started = true;
+    return solution;
+  };
+  // The caller folds these counters into the cold solve it runs next.
+  auto fall_back = [&]() {
+    fallback = true;
+    failed.iterations = w.iterations;
+    failed.dual_iterations = w.dual_iterations;
+    failed.refactorizations = w.refactorizations;
+    return failed;
+  };
+
+  switch (RunDualPhase(w, phase2_cost, options_)) {
+    case DualStatus::kOptimal:
+      break;
+    case DualStatus::kPrimalInfeasible:
+      if (options_.confirm_warm_infeasible) return fall_back();
+      return finish(SolveStatus::kInfeasible);
+    case DualStatus::kIterationLimit:
+    case DualStatus::kSingular:
+      return fall_back();
+  }
+
+  switch (RunPhase(w, phase2_cost, /*phase1=*/false, options_)) {
+    case PhaseStatus::kOptimal:
+      return finish(SolveStatus::kOptimal);
+    case PhaseStatus::kUnbounded:
+      return finish(SolveStatus::kUnbounded);
+    case PhaseStatus::kIterationLimit:
+    case PhaseStatus::kSingular:
+      // A warm basis that cannot be polished to optimality is stale;
+      // the cold path decides the real status.
+      break;
+  }
+  return fall_back();
+}
+
+LpSolution SolveWithRetry(const LpModel& model,
+                          const SimplexOptions& options) {
+  LpSolution first = SolveImpl(model, options);
+  if (first.status != SolveStatus::kNumericalFailure) return first;
+  // One conservative retry: dense basis inverse, aggressive
+  // refactorization, early Bland, larger pivots.
+  PRIVSAN_LOG(Warning)
+      << "simplex numerical failure; retrying with conservative settings";
+  SimplexOptions retry = options;
+  retry.basis_kind = SimplexOptions::BasisKind::kDense;
+  retry.refactor_max_updates = 20;
+  retry.bland_trigger = 8;
+  retry.pivot_tol = 1e-8;
+  retry.partial_pricing = false;
+  LpSolution second = SolveImpl(model, retry);
+  second.iterations += first.iterations;
+  second.refactorizations += first.refactorizations;
+  return second;
+}
+
+LpSolution ColdSolve(const LpModel& model, const SimplexOptions& options) {
+  if (!options.presolve) return SolveWithRetry(model, options);
+  LpModel reduced;
+  PresolveInfo info = BuildPresolve(model, &reduced);
+  if (info.infeasible) {
+    LpSolution solution;
+    solution.status = SolveStatus::kInfeasible;
+    return solution;
+  }
+  if (info.NoOp()) return SolveWithRetry(model, options);
+  LpSolution solution = SolveWithRetry(reduced, options);
+  PostsolveSolution(model, info, &solution);
+  return solution;
+}
+
 }  // namespace
 
 SimplexSolver::SimplexSolver(SimplexOptions options) : options_(options) {}
 
 LpSolution SimplexSolver::Solve(const LpModel& model) const {
-  LpSolution solution = SolveImpl(model, options_);
-  if (solution.status != SolveStatus::kNumericalFailure) return solution;
-  // One conservative retry: refactorize aggressively, lean on Bland's rule
-  // early, and demand larger pivots.
-  PRIVSAN_LOG(Warning)
-      << "simplex numerical failure; retrying with conservative settings";
-  SimplexOptions retry = options_;
-  retry.refactor_interval = 200;
-  retry.bland_trigger = 8;
-  retry.pivot_tol = 1e-8;
-  LpSolution second = SolveImpl(model, retry);
-  second.iterations += solution.iterations;
-  second.refactorizations += solution.refactorizations;
-  return second;
+  return Solve(model, nullptr);
+}
+
+LpSolution SimplexSolver::Solve(const LpModel& model,
+                                const Basis* hint) const {
+  int64_t warm_iterations = 0;
+  int64_t warm_dual_iterations = 0;
+  int warm_refactorizations = 0;
+  if (hint != nullptr && !hint->empty()) {
+    bool fallback = false;
+    LpSolution warm = WarmSolveImpl(model, options_, *hint, fallback);
+    if (!fallback) return warm;
+    warm_iterations = warm.iterations;
+    warm_dual_iterations = warm.dual_iterations;
+    warm_refactorizations = warm.refactorizations;
+  }
+  LpSolution cold = ColdSolve(model, options_);
+  cold.iterations += warm_iterations;
+  cold.dual_iterations += warm_dual_iterations;
+  cold.refactorizations += warm_refactorizations;
+  return cold;
 }
 
 }  // namespace lp

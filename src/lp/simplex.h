@@ -1,20 +1,43 @@
-// Two-phase revised primal simplex with bounded variables.
+// Two-phase sparse revised primal simplex with bounded variables, a
+// product-form (eta-file) basis, partial pricing, presolve, and a
+// dual-simplex warm start.
 //
 // This is the LP engine behind all three utility-maximizing problems:
 // O-UMP and F-UMP are solved directly as LPs (with linear relaxation, as in
-// Section 5 of the paper), and branch & bound uses it per node for D-UMP.
+// Section 5 of the paper), and branch & bound uses it per node for D-UMP —
+// warm-starting every child node from its parent's optimal basis.
 //
-// Implementation notes:
-//  * every constraint row gets a slack variable with bounds chosen by sense
-//    (<=: [0, inf), >=: (-inf, 0], =: [0, 0]), turning rows into equalities;
-//  * rows whose initial slack value violates its bounds get an artificial
-//    variable; phase 1 minimizes the sum of artificials (zero iff feasible);
-//  * the basis inverse is kept as a dense m x m matrix updated by
-//    Gauss-Jordan pivots, with periodic full refactorization;
-//  * pricing is Dantzig (most-negative reduced cost) with an automatic
-//    switch to Bland's rule after a run of degenerate pivots, which
-//    guarantees termination;
-//  * bounded nonbasic variables may "bound flip" without a basis change.
+// Architecture:
+//
+//  * Rows become equalities: every constraint row gets a slack variable with
+//    bounds chosen by sense (<=: [0, inf), >=: (-inf, 0], =: [0, 0]); rows
+//    whose initial slack value violates its bounds get an artificial
+//    variable, and phase 1 minimizes the sum of artificials.
+//  * Basis representation (lp/eta_file.h): the basis inverse is held as a
+//    product form of the inverse — a sparse eta file built by sparse
+//    Gaussian elimination at refactorization time and extended by one eta
+//    vector per pivot. FTRAN/BTRAN cost O(nnz of the eta file) instead of
+//    the dense O(m^2). A dense explicit-inverse representation is kept as
+//    the numerical fallback (used on retry) and as the test oracle.
+//  * Refactorization is triggered by eta-file growth or by numerical drift
+//    (the residual |b - A x| is checked on a cadence and on breach the
+//    basis is refactorized), not by a fixed iteration schedule.
+//  * Pricing is candidate-list partial pricing (multiple pricing): a full
+//    Dantzig scan refills a small candidate list, minor iterations price
+//    only the candidates, and optimality is only declared after a full
+//    scan finds no improving column. A run of degenerate pivots switches
+//    to Bland's rule (full scan, lowest improving index), which guarantees
+//    termination.
+//  * Presolve (lp/presolve.h) strips fixed variables, empty and singleton
+//    rows, and bound-implied empty columns before phase 1 and maps the
+//    reduced solution (primal, duals, and basis) back afterward.
+//  * Warm start: Solve(model, hint) starts from a caller-supplied basis —
+//    typically the parent node's optimal basis in branch & bound. Bound
+//    changes are restored dual-simplex style (the parent basis stays dual
+//    feasible under bound changes), followed by a primal cleanup phase.
+//    Stale or singular hints fall back to a cold solve.
+//  * Bounded nonbasic variables may "bound flip" without a basis change,
+//    in both the primal and the dual ratio test.
 #ifndef PRIVSAN_LP_SIMPLEX_H_
 #define PRIVSAN_LP_SIMPLEX_H_
 
@@ -37,19 +60,72 @@ enum class SolveStatus {
 
 const char* SolveStatusToString(SolveStatus status);
 
+// Status of one variable in a basis snapshot.
+enum class VarStatus : int8_t {
+  kBasic = 0,
+  kAtLower = 1,
+  kAtUpper = 2,
+  kFree = 3,
+};
+
+// A simplex basis over the structural + slack variables of a model with
+// n structural variables and m rows: `state` has n + m entries, exactly m
+// of them kBasic, and `basic` lists the basic variables (slot order is
+// irrelevant — warm starts refactorize and re-assign slots).
+struct Basis {
+  std::vector<int> basic;         // size m
+  std::vector<VarStatus> state;   // size n + m
+  bool empty() const { return basic.empty(); }
+};
+
 struct SimplexOptions {
   // Reduced-cost optimality tolerance.
   double optimality_tol = 1e-7;
   // Pivot magnitude below which a ratio-test row is skipped.
   double pivot_tol = 1e-9;
+  // Ratio-test pivots below this are considered numerically unstable: when
+  // the tie-break window offers nothing larger, the solver refactorizes and
+  // re-prices instead of pivoting (a "pivot" that is pure factorization
+  // noise silently makes the basis singular).
+  double stable_pivot_tol = 1e-7;
   // Phase-1 objective above this value means infeasible.
   double feasibility_tol = 1e-6;
-  // Combined iteration budget across both phases.
+  // Combined iteration budget across phases (primal and dual).
   int64_t max_iterations = 500000;
   // Degenerate pivots in a row before switching to Bland's rule.
   int bland_trigger = 64;
-  // Full refactorization cadence (iterations).
-  int refactor_interval = 2000;
+
+  // Basis representation: eta file (sparse, default) or dense inverse
+  // (numerical fallback / test oracle).
+  enum class BasisKind { kEtaFile, kDense };
+  BasisKind basis_kind = BasisKind::kEtaFile;
+
+  // Refactorization triggers (there is no fixed iteration cadence):
+  // pivots since the last refactorization (this also bounds the staleness
+  // of the incrementally-maintained reduced costs — keep it <= a few
+  // hundred)...
+  int refactor_max_updates = 100;
+  // ...eta-file nonzeros versus the fresh factorization...
+  double refactor_growth = 8.0;
+  // ...and numerical drift: every `drift_check_interval` iterations the
+  // residual |b - A x| is measured and a breach of `drift_tol`
+  // (relative to 1 + |b|_inf) forces a refactorization.
+  int drift_check_interval = 64;
+  double drift_tol = 1e-6;
+
+  // Candidate-list partial pricing; disable for pure Dantzig scans.
+  bool partial_pricing = true;
+  int candidate_list_size = 64;
+
+  // Presolve before cold solves (never applied to warm starts).
+  bool presolve = true;
+
+  // When a warm-started dual simplex concludes "primal infeasible",
+  // re-derive the verdict with a cold phase-1 solve. Costs extra work on
+  // infeasible nodes but makes branch & bound pruning immune to a stale
+  // warm basis.
+  bool confirm_warm_infeasible = true;
+
   // Deterministic multiplicative cost perturbation (~1e-9 relative) that
   // breaks the massive dual degeneracy of uniform-cost objectives like
   // O-UMP. The reported objective and duals use the exact costs.
@@ -65,8 +141,16 @@ struct LpSolution {
   // Row duals of the internal minimization; negated for maximize models so
   // they price the *original* objective.
   std::vector<double> duals;
+  // Optimal basis (structural + slack variables), usable as a warm-start
+  // hint for a re-solve after bound changes. Populated when kOptimal.
+  Basis basis;
   int64_t iterations = 0;
+  // Dual-simplex pivots spent restoring a warm basis (subset of the work;
+  // also counted in `iterations`).
+  int64_t dual_iterations = 0;
   int refactorizations = 0;
+  // Whether this solve ran from a warm basis (no phase 1).
+  bool warm_started = false;
 };
 
 class SimplexSolver {
@@ -76,6 +160,11 @@ class SimplexSolver {
   // Solves the LP relaxation of `model` (integrality flags ignored).
   // The model must already be Validate()d.
   LpSolution Solve(const LpModel& model) const;
+
+  // Same, warm-starting from `hint` — a basis of a structurally identical
+  // model (same variables and rows; bounds and rhs may differ). Falls back
+  // to a cold solve when the hint is empty, stale, or singular.
+  LpSolution Solve(const LpModel& model, const Basis* hint) const;
 
  private:
   SimplexOptions options_;

@@ -1,5 +1,7 @@
 // Compressed sparse column matrix used by the simplex solver for fast
-// column access (FTRAN and pricing both walk columns).
+// column access (FTRAN and pricing both walk columns), with a parallel
+// CSR view: the dual simplex prices rows (alpha = A^T rho with rho sparse),
+// which walks rows instead.
 #ifndef PRIVSAN_LP_SPARSE_MATRIX_H_
 #define PRIVSAN_LP_SPARSE_MATRIX_H_
 
@@ -21,8 +23,8 @@ struct SparseEntry {
   double value = 0.0;
 };
 
-// Immutable CSC matrix. Duplicate triplets are summed during construction;
-// explicit zeros are dropped.
+// Immutable CSC + CSR matrix. Duplicate triplets are summed during
+// construction; explicit zeros are dropped.
 class SparseMatrix {
  public:
   SparseMatrix() = default;
@@ -37,6 +39,12 @@ class SparseMatrix {
     return {entries_.data() + offsets_[j], offsets_[j + 1] - offsets_[j]};
   }
 
+  // The entries of row i, sorted by column index.
+  std::span<const SparseEntry> Row(int i) const {
+    return {row_entries_.data() + row_offsets_[i],
+            row_offsets_[i + 1] - row_offsets_[i]};
+  }
+
   // y += alpha * A[:, j]
   void AddColumnTo(int j, double alpha, std::vector<double>& y) const;
 
@@ -48,6 +56,8 @@ class SparseMatrix {
   int cols_ = 0;
   std::vector<size_t> offsets_;  // size cols_+1
   std::vector<SparseEntry> entries_;
+  std::vector<size_t> row_offsets_;  // size rows_+1
+  std::vector<SparseEntry> row_entries_;
 };
 
 }  // namespace lp

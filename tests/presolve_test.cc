@@ -1,0 +1,223 @@
+// Presolve reductions and their postsolve inverses: the reduced model must
+// be smaller but equivalent, and the mapped-back solution must carry a
+// valid primal point, duals, and basis for the *original* model.
+#include "lp/presolve.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace privsan {
+namespace lp {
+namespace {
+
+TEST(PresolveTest, FixedVariableSubstituted) {
+  // max x + y, x fixed at 2, x + y <= 5. Substituting x makes the row a
+  // singleton (y <= 3), which becomes a bound; y is then an empty column
+  // pinned to it — presolve solves the whole model.
+  LpModel model(ObjectiveSense::kMaximize);
+  int x = model.AddVariable(2.0, 2.0, 1.0);
+  int y = model.AddVariable(0.0, kInfinity, 1.0);
+  int r = model.AddConstraint(ConstraintSense::kLessEqual, 5.0);
+  model.AddCoefficient(r, x, 1.0);
+  model.AddCoefficient(r, y, 1.0);
+  ASSERT_TRUE(model.Validate().ok());
+
+  LpModel reduced;
+  PresolveInfo info = BuildPresolve(model, &reduced);
+  EXPECT_FALSE(info.infeasible);
+  EXPECT_EQ(info.reduced_vars, 0);
+  EXPECT_EQ(info.reduced_rows, 0);
+  EXPECT_EQ(info.var_map[x], -1);
+  EXPECT_DOUBLE_EQ(info.removed_value[x], 2.0);
+  EXPECT_DOUBLE_EQ(info.removed_value[y], 3.0);
+
+  SimplexSolver solver;
+  LpSolution solution = solver.Solve(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 5.0, 1e-9);
+  EXPECT_NEAR(solution.x[x], 2.0, 1e-9);
+  EXPECT_NEAR(solution.x[y], 3.0, 1e-9);
+}
+
+TEST(PresolveTest, SingletonRowBecomesBound) {
+  // max x + y with rows: 2x <= 6 (singleton -> x <= 3), x + y <= 10.
+  LpModel model(ObjectiveSense::kMaximize);
+  int x = model.AddVariable(0.0, kInfinity, 1.0);
+  int y = model.AddVariable(0.0, 4.0, 1.0);
+  int r1 = model.AddConstraint(ConstraintSense::kLessEqual, 6.0);
+  model.AddCoefficient(r1, x, 2.0);
+  int r2 = model.AddConstraint(ConstraintSense::kLessEqual, 10.0);
+  model.AddCoefficient(r2, x, 1.0);
+  model.AddCoefficient(r2, y, 1.0);
+  ASSERT_TRUE(model.Validate().ok());
+
+  LpModel reduced;
+  PresolveInfo info = BuildPresolve(model, &reduced);
+  EXPECT_FALSE(info.infeasible);
+  EXPECT_EQ(info.reduced_rows, 1);  // the singleton row is gone
+  ASSERT_EQ(info.singleton_rows.size(), 1u);
+  EXPECT_EQ(info.singleton_rows[0].row, r1);
+  const int rx = info.var_map[x];
+  ASSERT_GE(rx, 0);
+  EXPECT_DOUBLE_EQ(reduced.variable(rx).upper, 3.0);
+}
+
+TEST(PresolveTest, SingletonInfeasibilityDetected) {
+  // x >= 5 (via row) conflicts with x <= 2 (bound).
+  LpModel model(ObjectiveSense::kMinimize);
+  int x = model.AddVariable(0.0, 2.0, 1.0);
+  int r = model.AddConstraint(ConstraintSense::kGreaterEqual, 5.0);
+  model.AddCoefficient(r, x, 1.0);
+  ASSERT_TRUE(model.Validate().ok());
+
+  LpModel reduced;
+  PresolveInfo info = BuildPresolve(model, &reduced);
+  EXPECT_TRUE(info.infeasible);
+  // And the full solver path reports it.
+  SimplexSolver solver;
+  EXPECT_EQ(solver.Solve(model).status, SolveStatus::kInfeasible);
+}
+
+TEST(PresolveTest, EmptyRowChecked) {
+  LpModel feasible(ObjectiveSense::kMinimize);
+  feasible.AddVariable(0.0, 1.0, 1.0);
+  feasible.AddConstraint(ConstraintSense::kLessEqual, 2.0);  // 0 <= 2
+  ASSERT_TRUE(feasible.Validate().ok());
+  LpModel reduced;
+  EXPECT_FALSE(BuildPresolve(feasible, &reduced).infeasible);
+  EXPECT_EQ(reduced.num_constraints(), 0);
+
+  LpModel infeasible(ObjectiveSense::kMinimize);
+  infeasible.AddVariable(0.0, 1.0, 1.0);
+  infeasible.AddConstraint(ConstraintSense::kGreaterEqual, 2.0);  // 0 >= 2
+  ASSERT_TRUE(infeasible.Validate().ok());
+  EXPECT_TRUE(BuildPresolve(infeasible, &reduced).infeasible);
+}
+
+TEST(PresolveTest, EmptyColumnPinnedToFavorableBound) {
+  // max 3z with z in [0, 7] and no rows: presolve pins z = 7.
+  LpModel model(ObjectiveSense::kMaximize);
+  int z = model.AddVariable(0.0, 7.0, 3.0);
+  ASSERT_TRUE(model.Validate().ok());
+  LpModel reduced;
+  PresolveInfo info = BuildPresolve(model, &reduced);
+  EXPECT_EQ(info.reduced_vars, 0);
+  EXPECT_DOUBLE_EQ(info.removed_value[z], 7.0);
+}
+
+TEST(PresolveTest, UnboundedColumnKept) {
+  // max z with z unbounded above: the column must survive so the solver
+  // itself reports kUnbounded.
+  LpModel model(ObjectiveSense::kMaximize);
+  model.AddVariable(0.0, kInfinity, 1.0);
+  ASSERT_TRUE(model.Validate().ok());
+  LpModel reduced;
+  PresolveInfo info = BuildPresolve(model, &reduced);
+  EXPECT_EQ(info.reduced_vars, 1);
+  SimplexSolver solver;
+  EXPECT_EQ(solver.Solve(model).status, SolveStatus::kUnbounded);
+}
+
+// End-to-end: a model exercising every reduction at once still produces the
+// right optimum, a full-length primal/dual pair, and complementarity on the
+// dropped singleton row.
+TEST(PresolveTest, PostsolveRestoresPrimalAndDuals) {
+  LpModel model(ObjectiveSense::kMaximize);
+  int fixed = model.AddVariable(1.5, 1.5, 2.0);           // removed: fixed
+  int x = model.AddVariable(0.0, kInfinity, 3.0);         // kept
+  int y = model.AddVariable(0.0, kInfinity, 2.0);         // kept
+  int lonely = model.AddVariable(0.0, 4.0, 1.0);          // removed: no rows
+  int r_single = model.AddConstraint(ConstraintSense::kLessEqual, 8.0);
+  model.AddCoefficient(r_single, x, 2.0);                 // x <= 4
+  int r_main = model.AddConstraint(ConstraintSense::kLessEqual, 10.0);
+  model.AddCoefficient(r_main, fixed, 1.0);
+  model.AddCoefficient(r_main, x, 1.0);
+  model.AddCoefficient(r_main, y, 1.0);
+  int r_empty = model.AddConstraint(ConstraintSense::kLessEqual, 1.0);
+  (void)r_empty;
+  ASSERT_TRUE(model.Validate().ok());
+
+  SimplexSolver solver;
+  LpSolution solution = solver.Solve(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  // Optimum: x = 4 (singleton cap), y = 10 - 1.5 - 4 = 4.5, lonely = 4.
+  // Objective = 2*1.5 + 3*4 + 2*4.5 + 4 = 28.
+  EXPECT_NEAR(solution.objective, 28.0, 1e-7);
+  ASSERT_EQ(solution.x.size(), 4u);
+  EXPECT_NEAR(solution.x[fixed], 1.5, 1e-9);
+  EXPECT_NEAR(solution.x[x], 4.0, 1e-7);
+  EXPECT_NEAR(solution.x[y], 4.5, 1e-7);
+  EXPECT_NEAR(solution.x[lonely], 4.0, 1e-9);
+
+  ASSERT_EQ(solution.duals.size(), 3u);
+  // r_main binds with dual = c_y = 2; the singleton row's recovered dual
+  // zeroes x's reduced cost: 3 - y_main - 2*y_single = 0 -> y_single = 0.5.
+  EXPECT_NEAR(solution.duals[r_main], 2.0, 1e-6);
+  EXPECT_NEAR(solution.duals[r_single], 0.5, 1e-6);
+  EXPECT_NEAR(solution.duals[2], 0.0, 1e-9);
+
+  // The exported basis must be a valid warm-start hint for the original
+  // model: structurally sized and re-solvable.
+  ASSERT_EQ(solution.basis.basic.size(), 3u);
+  ASSERT_EQ(solution.basis.state.size(), 4u + 3u);
+  LpSolution warm = solver.Solve(model, &solution.basis);
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(warm.objective, 28.0, 1e-7);
+}
+
+// Presolve must be transparent: on random-ish models, presolve on and off
+// agree on status and objective.
+TEST(PresolveTest, TransparentOnMixedModels) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    LpModel model(ObjectiveSense::kMaximize);
+    uint64_t state = seed * 977;
+    auto next = [&]() {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      return static_cast<double>((state >> 33) % 1000) / 1000.0;
+    };
+    const int n = 12;
+    for (int j = 0; j < n; ++j) {
+      const double lb = next() < 0.2 ? 1.0 : 0.0;
+      const double ub = next() < 0.2 ? lb : (next() < 0.5 ? 5.0 : kInfinity);
+      model.AddVariable(lb, ub, 0.5 + next());
+    }
+    for (int r = 0; r < 8; ++r) {
+      const double roll = next();
+      const int row =
+          model.AddConstraint(ConstraintSense::kLessEqual, 4.0 + 4.0 * next());
+      if (roll < 0.3) {
+        // Singleton row.
+        model.AddCoefficient(row, static_cast<int>(next() * n), 1.0 + next());
+        continue;
+      }
+      for (int j = 0; j < n; ++j) {
+        if (next() < 0.4) model.AddCoefficient(row, j, 0.2 + next());
+      }
+    }
+    ASSERT_TRUE(model.Validate().ok());
+
+    LpModel reduced;
+    PresolveInfo info = BuildPresolve(model, &reduced);
+    if (!info.infeasible) {
+      EXPECT_LE(reduced.num_nonzeros(), model.num_nonzeros())
+          << "presolve must never add coefficients, seed " << seed;
+    }
+
+    SimplexOptions with, without;
+    without.presolve = false;
+    LpSolution a = SimplexSolver(with).Solve(model);
+    LpSolution b = SimplexSolver(without).Solve(model);
+    ASSERT_EQ(a.status, b.status) << "seed " << seed;
+    if (a.status == SolveStatus::kOptimal) {
+      EXPECT_NEAR(a.objective, b.objective, 1e-6) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lp
+}  // namespace privsan

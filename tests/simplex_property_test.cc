@@ -135,6 +135,31 @@ TEST_P(SimplexPropertyTest, OptimumCarriesKktCertificate) {
   ExpectKktCertificate(model, solution);
 }
 
+// Dense-vs-eta equivalence harness: the eta-file and the dense explicit
+// inverse are two representations of the same basis algebra, so the solver
+// must reach the same status and optimal objective under either (and the
+// eta-file optimum must itself carry a KKT certificate).
+TEST_P(SimplexPropertyTest, DenseAndEtaRepresentationsAgree) {
+  LpModel model = MakeRandomPackingLp(GetParam());
+  ASSERT_TRUE(model.Validate().ok());
+
+  SimplexOptions eta_options;
+  eta_options.basis_kind = SimplexOptions::BasisKind::kEtaFile;
+  SimplexOptions dense_options;
+  dense_options.basis_kind = SimplexOptions::BasisKind::kDense;
+
+  LpSolution eta = SimplexSolver(eta_options).Solve(model);
+  LpSolution dense = SimplexSolver(dense_options).Solve(model);
+  ASSERT_EQ(eta.status, dense.status);
+  if (eta.status == SolveStatus::kUnbounded) {
+    GTEST_SKIP() << "generated LP was unbounded (uncovered column)";
+  }
+  ASSERT_EQ(eta.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(eta.objective, dense.objective, 1e-6);
+  ExpectKktCertificate(model, eta);
+  ExpectKktCertificate(model, dense);
+}
+
 std::vector<RandomLpSpec> MakeSpecs() {
   std::vector<RandomLpSpec> specs;
   uint64_t seed = 1000;

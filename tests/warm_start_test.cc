@@ -1,0 +1,160 @@
+// Warm starts: a re-solve from a near-optimal basis must (a) agree exactly
+// with the cold solve on status and objective and (b) do strictly less
+// work. Covers the SimplexSolver::Solve(model, hint) API directly and the
+// branch & bound rewiring that rides on it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/branch_and_bound.h"
+#include "lp/model.h"
+#include "lp/simplex.h"
+#include "rng/random.h"
+
+namespace privsan {
+namespace lp {
+namespace {
+
+// A packing LP with bounded variables, dense enough that a cold solve
+// takes a meaningful number of iterations.
+LpModel MakePackingLp(uint64_t seed, int n, int m) {
+  Rng rng(seed);
+  LpModel model(ObjectiveSense::kMaximize);
+  for (int j = 0; j < n; ++j) {
+    model.AddVariable(0.0, rng.NextDouble(0.5, 3.0), rng.NextDouble(0.5, 2.0));
+  }
+  for (int r = 0; r < m; ++r) {
+    int row = model.AddConstraint(ConstraintSense::kLessEqual,
+                                  rng.NextDouble(3.0, 8.0));
+    for (int j = 0; j < n; ++j) {
+      if (rng.NextBool(0.5)) {
+        model.AddCoefficient(row, j, rng.NextDouble(0.2, 1.5));
+      }
+    }
+  }
+  return model;
+}
+
+TEST(WarmStartTest, ReSolveFromOwnBasisIsCheap) {
+  LpModel model = MakePackingLp(3, 60, 30);
+  ASSERT_TRUE(model.Validate().ok());
+  SimplexSolver solver;
+  LpSolution cold = solver.Solve(model);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+  ASSERT_FALSE(cold.basis.empty());
+
+  LpSolution warm = solver.Solve(model, &cold.basis);
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-7);
+  // Re-solving an unchanged model from its optimal basis needs no pivots
+  // at all — only the optimality proof scan.
+  EXPECT_LT(warm.iterations, std::max<int64_t>(cold.iterations / 4, 4));
+}
+
+TEST(WarmStartTest, BoundTighteningUsesFewerIterations) {
+  LpModel model = MakePackingLp(7, 80, 40);
+  ASSERT_TRUE(model.Validate().ok());
+  SimplexSolver solver;
+  LpSolution root = solver.Solve(model);
+  ASSERT_EQ(root.status, SolveStatus::kOptimal);
+
+  // Tighten the bound of a variable that is strictly between its bounds at
+  // the optimum (a branching step in all but name).
+  int branch = -1;
+  for (int j = 0; j < model.num_variables(); ++j) {
+    const Variable& v = model.variable(j);
+    if (root.x[j] > v.lower + 0.1 && root.x[j] < v.upper - 0.1) {
+      branch = j;
+      break;
+    }
+  }
+  ASSERT_GE(branch, 0) << "test model has no interior variable";
+  model.mutable_variable(branch).upper = root.x[branch] * 0.5;
+
+  LpSolution cold = solver.Solve(model);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+  LpSolution warm = solver.Solve(model, &root.basis);
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-6);
+  EXPECT_LT(warm.iterations, cold.iterations)
+      << "warm start must beat the cold re-solve";
+}
+
+TEST(WarmStartTest, StaleHintFallsBackToColdSolve) {
+  LpModel model = MakePackingLp(9, 20, 10);
+  ASSERT_TRUE(model.Validate().ok());
+  SimplexSolver solver;
+
+  Basis nonsense;
+  nonsense.basic.assign(10, 0);  // duplicate basics: structurally invalid
+  nonsense.state.assign(20 + 10, VarStatus::kAtLower);
+  LpSolution solution = solver.Solve(model, &nonsense);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(solution.warm_started);
+
+  LpSolution reference = solver.Solve(model);
+  EXPECT_NEAR(solution.objective, reference.objective, 1e-8);
+}
+
+TEST(WarmStartTest, InfeasibleChildDetected) {
+  // Parent: x + y <= 4 with x,y in [0,3]; child forces x >= 3, y >= 3 —
+  // infeasible. The warm path must agree with the cold path.
+  LpModel model(ObjectiveSense::kMaximize);
+  int x = model.AddVariable(0.0, 3.0, 1.0);
+  int y = model.AddVariable(0.0, 3.0, 1.0);
+  int r = model.AddConstraint(ConstraintSense::kLessEqual, 4.0);
+  model.AddCoefficient(r, x, 1.0);
+  model.AddCoefficient(r, y, 1.0);
+  ASSERT_TRUE(model.Validate().ok());
+  SimplexSolver solver;
+  LpSolution parent = solver.Solve(model);
+  ASSERT_EQ(parent.status, SolveStatus::kOptimal);
+
+  model.mutable_variable(x).lower = 3.0;
+  model.mutable_variable(y).lower = 3.0;
+  EXPECT_EQ(solver.Solve(model, &parent.basis).status,
+            SolveStatus::kInfeasible);
+  EXPECT_EQ(solver.Solve(model).status, SolveStatus::kInfeasible);
+}
+
+// The branch & bound regression the warm start exists for: same tree, same
+// incumbent, strictly fewer simplex iterations than cold re-solves.
+TEST(WarmStartTest, BranchAndBoundWarmBeatsCold) {
+  Rng rng(41);
+  LpModel model(ObjectiveSense::kMaximize);
+  const int n = 24;
+  int r1 = model.AddConstraint(ConstraintSense::kLessEqual, 9.0);
+  int r2 = model.AddConstraint(ConstraintSense::kLessEqual, 7.5);
+  for (int j = 0; j < n; ++j) {
+    int v = model.AddVariable(0, 1, rng.NextDouble(1.0, 6.0), "", true);
+    model.AddCoefficient(r1, v, rng.NextDouble(0.3, 3.0));
+    model.AddCoefficient(r2, v, rng.NextDouble(0.3, 3.0));
+  }
+  ASSERT_TRUE(model.Validate().ok());
+
+  BnbOptions warm_options;
+  warm_options.warm_start = true;
+  BnbOptions cold_options;
+  cold_options.warm_start = false;
+
+  BnbResult warm = SolveBranchAndBound(model, warm_options);
+  BnbResult cold = SolveBranchAndBound(model, cold_options);
+  ASSERT_TRUE(warm.has_incumbent);
+  ASSERT_TRUE(cold.has_incumbent);
+  ASSERT_TRUE(warm.proven_optimal);
+  ASSERT_TRUE(cold.proven_optimal);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-6);
+
+  EXPECT_GT(warm.warm_solves, 0);
+  EXPECT_GT(warm.lp_dual_iterations, 0);
+  EXPECT_LT(warm.lp_iterations, cold.lp_iterations)
+      << "warm-started tree must spend fewer total simplex iterations "
+         "(warm: "
+      << warm.lp_iterations << ", cold: " << cold.lp_iterations << ")";
+}
+
+}  // namespace
+}  // namespace lp
+}  // namespace privsan
