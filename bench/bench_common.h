@@ -9,6 +9,8 @@
 #ifndef PRIVSAN_BENCH_BENCH_COMMON_H_
 #define PRIVSAN_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -19,6 +21,8 @@
 #include <vector>
 
 #include "core/privacy_params.h"
+#include "core/session.h"
+#include "core/ump.h"
 #include "log/preprocess.h"
 #include "log/search_log.h"
 #include "synth/generator.h"
@@ -99,6 +103,81 @@ inline std::string Shorten(double value, int precision = 4) {
   return FormatDouble(value, precision);
 }
 
+// One UmpQuery per (e^ε, δ) cell, row-major over `e_epsilons` x `deltas` —
+// the shape of the paper's Table 4/7 sweeps, ready for
+// SanitizerSession::SweepBudgets.
+inline std::vector<UmpQuery> BudgetGrid(const std::vector<double>& e_epsilons,
+                                        const std::vector<double>& deltas) {
+  std::vector<UmpQuery> grid;
+  grid.reserve(e_epsilons.size() * deltas.size());
+  for (double e_eps : e_epsilons) {
+    for (double delta : deltas) {
+      UmpQuery query;
+      query.privacy = PrivacyParams::FromEEpsilon(e_eps, delta);
+      grid.push_back(query);
+    }
+  }
+  return grid;
+}
+
+// Number of cells whose objective differs between two sweeps of the same
+// grid (warm starts must only change the path, never the optimum).
+inline int ObjectiveMismatches(const SweepResult& a, const SweepResult& b,
+                               double rel_tol = 1e-6) {
+  int mismatches = 0;
+  const size_t n = std::min(a.cells.size(), b.cells.size());
+  for (size_t i = 0; i < n; ++i) {
+    const double va = a.cells[i].objective_value;
+    const double vb = b.cells[i].objective_value;
+    const double scale = std::max({1.0, std::abs(va), std::abs(vb)});
+    if (std::abs(va - vb) > rel_tol * scale) ++mismatches;
+  }
+  return mismatches;
+}
+
+// ObjectiveMismatches for D-UMP sweeps. Only path-independent cells compare
+// strictly: the LP-free heuristics (SPE, greedy — no simplex iterations)
+// and branch & bound runs that proved optimality. LP-rounding outputs and
+// budget-truncated B&B incumbents legitimately depend on which optimal
+// vertex / search path the (massively degenerate) solve happened to take,
+// so a warm-vs-cold difference there is not a regression.
+inline int DumpObjectiveMismatches(const SweepResult& warm,
+                                   const SweepResult& cold) {
+  int mismatches = 0;
+  const size_t n = std::min(warm.cells.size(), cold.cells.size());
+  for (size_t i = 0; i < n; ++i) {
+    const UmpSolution& w = warm.cells[i];
+    const UmpSolution& c = cold.cells[i];
+    const bool comparable = (w.stats.simplex_iterations == 0 &&
+                             c.stats.simplex_iterations == 0) ||
+                            (w.proven_optimal && c.proven_optimal);
+    if (comparable && w.output_size != c.output_size) ++mismatches;
+  }
+  return mismatches;
+}
+
+// Paired per-cell-cold baseline + warm-started run of one grid through one
+// session. Cold runs first — cold solves never touch the session's stored
+// bases, so the warm sweep still chains from a clean slate.
+struct WarmColdSweeps {
+  SweepResult cold;
+  SweepResult warm;
+};
+
+inline Result<WarmColdSweeps> RunWarmColdSweeps(
+    SanitizerSession& session, UtilityObjective objective,
+    const std::vector<UmpQuery>& grid, SweepOptions sweep = {}) {
+  WarmColdSweeps out;
+  SweepOptions cold_options = sweep;
+  cold_options.warm_start = false;
+  PRIVSAN_ASSIGN_OR_RETURN(
+      out.cold, session.SweepBudgets(objective, grid, cold_options));
+  sweep.warm_start = true;
+  PRIVSAN_ASSIGN_OR_RETURN(out.warm,
+                           session.SweepBudgets(objective, grid, sweep));
+  return out;
+}
+
 // Machine-readable companion to the human tables: collects flat records of
 // (key, value) fields and writes `BENCH_<name>.json` into the working
 // directory on destruction, so the perf trajectory (wall time, iterations,
@@ -163,6 +242,35 @@ class JsonRecord {
 
   std::vector<std::pair<std::string, std::string>> fields_;
 };
+
+// Aggregate record comparing a warm-started SweepBudgets run against its
+// per-cell cold baseline over the same grid: cross-cell warm starts are
+// working when warm_solves > 0, total simplex iterations are strictly below
+// the cold sum, and objective_mismatches is 0.
+// `mismatches` overrides the strict per-cell objective comparison when the
+// caller has a more meaningful count (e.g. table 7 skips budget-truncated
+// branch & bound cells, whose incumbents are path-dependent by design).
+inline JsonRecord SweepComparisonRecord(const std::string& label,
+                                        const SweepResult& warm,
+                                        const SweepResult& cold,
+                                        int mismatches = -1) {
+  JsonRecord record;
+  record.Add("record", "sweep_aggregate")
+      .Add("label", label)
+      .Add("cells", static_cast<int64_t>(warm.cells.size()))
+      .Add("warm_solves", warm.warm_solves)
+      .Add("warm_total_simplex_iterations", warm.total_simplex_iterations)
+      .Add("cold_total_simplex_iterations", cold.total_simplex_iterations)
+      .Add("warm_total_dual_iterations", warm.total_dual_iterations)
+      .Add("cold_total_dual_iterations", cold.total_dual_iterations)
+      .Add("warm_root_iterations", warm.total_root_iterations)
+      .Add("cold_root_iterations", cold.total_root_iterations)
+      .Add("warm_seconds", warm.wall_seconds)
+      .Add("cold_seconds", cold.wall_seconds)
+      .Add("objective_mismatches",
+           mismatches >= 0 ? mismatches : ObjectiveMismatches(warm, cold));
+  return record;
+}
 
 class JsonReport {
  public:

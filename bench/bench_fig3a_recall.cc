@@ -20,6 +20,7 @@ using namespace privsan;
 
 int main() {
   bench::BenchDataset dataset = bench::LoadDataset();
+  bench::JsonReport report("fig3a_recall");
   const double min_support = 1.0 / 500;
   const std::vector<double> deltas = {0.01, 0.1, 0.5, 0.8};
 
@@ -67,6 +68,14 @@ int main() {
       PrecisionRecall pr =
           FrequentPairMetrics(dataset.log, result->x, min_support);
       row.push_back(bench::Shorten(pr.recall, 4));
+      bench::JsonRecord record;
+      record.Add("e_eps", e_eps)
+          .Add("delta", delta)
+          .Add("lambda", lambda_cell.lambda)
+          .Add("output_size", options.output_size)
+          .Add("recall", pr.recall)
+          .Add("precision", pr.precision);
+      report.Add(std::move(record));
     }
     table.AddRow(std::move(row));
   }

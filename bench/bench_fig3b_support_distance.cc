@@ -16,6 +16,7 @@ using namespace privsan;
 
 int main() {
   bench::BenchDataset dataset = bench::LoadDataset();
+  bench::JsonReport report("fig3b_support_distance");
   const double min_support = 1.0 / 500;
   const std::vector<double> deltas = {0.01, 0.1, 0.5, 0.8};
 
@@ -64,8 +65,15 @@ int main() {
         row.push_back("err");
         continue;
       }
-      row.push_back(bench::Shorten(
-          SupportDistanceSum(dataset.log, result->x, min_support), 4));
+      const double distance =
+          SupportDistanceSum(dataset.log, result->x, min_support);
+      row.push_back(bench::Shorten(distance, 4));
+      bench::JsonRecord record;
+      record.Add("e_eps", e_eps)
+          .Add("delta", delta)
+          .Add("output_size", options.output_size)
+          .Add("distance_sum", distance);
+      report.Add(std::move(record));
     }
     table.AddRow(std::move(row));
   }

@@ -17,6 +17,7 @@ using namespace privsan;
 
 int main() {
   bench::BenchDataset dataset = bench::LoadDataset();
+  bench::JsonReport report("fig3c_avg_distance");
   PrivacyParams params = PrivacyParams::FromEEpsilon(2.0, 0.5);
 
   OumpResult oump = SolveOump(dataset.log, params).value();
@@ -53,8 +54,14 @@ int main() {
         row.push_back("err");
         continue;
       }
-      row.push_back(bench::Shorten(
-          SupportDistanceAverage(dataset.log, result->x, support), 5));
+      const double avg =
+          SupportDistanceAverage(dataset.log, result->x, support);
+      row.push_back(bench::Shorten(avg, 5));
+      bench::JsonRecord record;
+      record.Add("support", support)
+          .Add("output_size", size)
+          .Add("avg_distance", avg);
+      report.Add(std::move(record));
     }
     table.AddRow(std::move(row));
   }

@@ -13,6 +13,7 @@ using namespace privsan;
 
 int main() {
   bench::BenchDataset dataset = bench::LoadDataset();
+  bench::JsonReport report("fig4_diversity");
   const std::vector<double> deltas = {0.01, 0.1, 0.5, 0.8};
 
   TablePrinter table(
@@ -33,6 +34,15 @@ int main() {
       row.push_back(result.ok()
                         ? bench::Percent(result->diversity_ratio, 2)
                         : "err");
+      if (result.ok()) {
+        bench::JsonRecord record;
+        record.Add("e_eps", e_eps)
+            .Add("delta", delta)
+            .Add("retained", result->retained)
+            .Add("diversity_ratio", result->diversity_ratio)
+            .Add("seconds", result->wall_seconds);
+        report.Add(std::move(record));
+      }
     }
     table.AddRow(std::move(row));
   }

@@ -21,6 +21,7 @@ using namespace privsan;
 
 int main() {
   bench::BenchDataset dataset = bench::LoadDataset();
+  bench::JsonReport report("fig6_diffratio");
   PrivacyParams params = PrivacyParams::FromEEpsilon(2.0, 0.5);
   const double min_support = 1.0 / 500;
   constexpr int kSamples = 10;
@@ -67,6 +68,10 @@ int main() {
     std::cout << "fraction of triplets below 40%: "
               << bench::Percent(histogram->fraction_below(0.4), 1)
               << "  (paper: ~75% at the smaller size, ~90% at the larger)\n\n";
+    bench::JsonRecord record;
+    record.Add("output_size", size)
+        .Add("fraction_below_40", histogram->fraction_below(0.4));
+    report.Add(std::move(record));
 
     // Equation 10 compares *global supports*, which differ by the factor
     // |D|/|O| between input and output; under equation-faithful budgets

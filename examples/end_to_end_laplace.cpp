@@ -23,10 +23,21 @@ int main() {
   config.num_events = 1200;
   config.num_users = 25;
   config.num_queries = 150;
-  SearchLog log = RemoveUniquePairs(GenerateSearchLog(config).value()).log;
+  Result<SearchLog> generated = GenerateSearchLog(config);
+  if (!generated.ok()) {
+    std::cerr << "failed to generate workload: " << generated.status()
+              << std::endl;
+    return 1;
+  }
+  SearchLog log = RemoveUniquePairs(*generated).log;
   PrivacyParams params = PrivacyParams::FromEEpsilon(2.0, 0.5);
 
-  OumpResult base = SolveOump(log, params).value();
+  Result<OumpResult> solved = SolveOump(log, params);
+  if (!solved.ok()) {
+    std::cerr << "O-UMP solve failed: " << solved.status() << std::endl;
+    return 1;
+  }
+  OumpResult base = std::move(solved).value();
   std::cout << "workload: " << log.num_pairs() << " pairs, "
             << log.num_users() << " users; noise-free lambda = "
             << base.lambda << "\n\n";

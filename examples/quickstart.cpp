@@ -30,7 +30,13 @@ int main(int argc, char** argv) {
     config.num_events = 4000;
     config.num_users = 80;
     config.num_queries = 500;
-    input = GenerateSearchLog(config).value();
+    Result<SearchLog> generated = GenerateSearchLog(config);
+    if (!generated.ok()) {
+      std::cerr << "failed to generate workload: " << generated.status()
+                << std::endl;
+      return 1;
+    }
+    input = std::move(generated).value();
   }
   std::cout << "input:  " << ComputeCharacteristics(input).ToString()
             << "\n";

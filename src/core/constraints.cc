@@ -8,9 +8,14 @@ namespace privsan {
 Result<DpConstraintSystem> DpConstraintSystem::Build(
     const SearchLog& log, const PrivacyParams& params) {
   PRIVSAN_RETURN_IF_ERROR(params.Validate());
-
-  DpConstraintSystem system;
+  PRIVSAN_ASSIGN_OR_RETURN(DpConstraintSystem system, BuildRows(log));
   system.budget_ = params.Budget();
+  return system;
+}
+
+Result<DpConstraintSystem> DpConstraintSystem::BuildRows(const SearchLog& log) {
+  DpConstraintSystem system;
+  system.budget_ = 0.0;
   system.num_pairs_ = log.num_pairs();
 
   for (UserId u = 0; u < log.num_users(); ++u) {

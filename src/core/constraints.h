@@ -35,6 +35,13 @@ class DpConstraintSystem {
   static Result<DpConstraintSystem> Build(const SearchLog& log,
                                           const PrivacyParams& params);
 
+  // The rows depend only on the log — the t_ijk coefficients never involve
+  // (ε, δ) — so a cached system can serve every budget cell of a sweep.
+  // BuildRows builds the rows once with budget 0; SetBudget rebinds the
+  // shared right-hand side without touching the rows.
+  static Result<DpConstraintSystem> BuildRows(const SearchLog& log);
+  void SetBudget(double budget) { budget_ = budget; }
+
   size_t num_rows() const { return rows_.size(); }
   size_t num_pairs() const { return num_pairs_; }
   double budget() const { return budget_; }

@@ -1,32 +1,15 @@
 #include "core/dump.h"
 
-#include "core/spe.h"
-#include "util/timer.h"
+#include <memory>
+#include <utility>
 
 namespace privsan {
 
-const char* DumpSolverKindToString(DumpSolverKind kind) {
-  switch (kind) {
-    case DumpSolverKind::kSpe:
-      return "SPE";
-    case DumpSolverKind::kGreedy:
-      return "Greedy";
-    case DumpSolverKind::kLpRounding:
-      return "LP-round";
-    case DumpSolverKind::kBranchAndBound:
-      return "B&B";
-  }
-  return "?";
-}
-
-Result<lp::BipProblem> BuildDumpBip(const SearchLog& log,
-                                    const PrivacyParams& params) {
-  PRIVSAN_ASSIGN_OR_RETURN(DpConstraintSystem system,
-                           DpConstraintSystem::Build(log, params));
+lp::BipProblem BipFromConstraintRows(const DpConstraintSystem& system) {
   lp::BipProblem problem;
   problem.num_rows = static_cast<int>(system.num_rows());
   problem.rhs.assign(system.num_rows(), system.budget());
-  problem.columns.resize(log.num_pairs());
+  problem.columns.assign(system.num_pairs(), {});
   for (size_t r = 0; r < system.num_rows(); ++r) {
     for (const DpConstraintEntry& e : system.Row(r)) {
       problem.columns[e.pair].push_back(
@@ -36,61 +19,43 @@ Result<lp::BipProblem> BuildDumpBip(const SearchLog& log,
   return problem;
 }
 
+Result<lp::BipProblem> BuildDumpBip(const SearchLog& log,
+                                    const PrivacyParams& params) {
+  PRIVSAN_ASSIGN_OR_RETURN(DpConstraintSystem system,
+                           DpConstraintSystem::Build(log, params));
+  return BipFromConstraintRows(system);
+}
+
 Result<DumpResult> SolveDump(const SearchLog& log, const PrivacyParams& params,
                              const DumpOptions& options) {
-  PRIVSAN_ASSIGN_OR_RETURN(lp::BipProblem problem,
-                           BuildDumpBip(log, params));
-  WallTimer timer;
+  PRIVSAN_ASSIGN_OR_RETURN(DpConstraintSystem system,
+                           DpConstraintSystem::BuildRows(log));
+  DumpSpec spec;
+  spec.solver = options.solver;
+  spec.bnb = options.bnb;
+  spec.integer_presolve = options.integer_presolve;
+  PRIVSAN_ASSIGN_OR_RETURN(
+      std::unique_ptr<UmpProblem> problem,
+      MakeDumpProblem(log, &system, spec, options.simplex));
+  UmpQuery query;
+  query.privacy = params;
+  PRIVSAN_ASSIGN_OR_RETURN(UmpSolution solution, problem->Solve(query));
+
   DumpResult result;
-
-  std::vector<uint8_t> y;
-  switch (options.solver) {
-    case DumpSolverKind::kSpe: {
-      PRIVSAN_ASSIGN_OR_RETURN(lp::BipSolution s, SolveSpe(problem));
-      y = std::move(s.y);
-      break;
-    }
-    case DumpSolverKind::kGreedy: {
-      PRIVSAN_ASSIGN_OR_RETURN(lp::BipSolution s, SolveBipGreedy(problem));
-      y = std::move(s.y);
-      break;
-    }
-    case DumpSolverKind::kLpRounding: {
-      PRIVSAN_ASSIGN_OR_RETURN(lp::BipSolution s,
-                               SolveBipLpRounding(problem, options.simplex));
-      y = std::move(s.y);
-      result.lp_iterations = s.lp_iterations;
-      result.lp_refactorizations = s.lp_refactorizations;
-      break;
-    }
-    case DumpSolverKind::kBranchAndBound: {
-      lp::LpModel model = problem.ToLpModel();
-      PRIVSAN_RETURN_IF_ERROR(model.Validate());
-      lp::BnbResult bnb = SolveBranchAndBound(model, options.bnb);
-      if (!bnb.has_incumbent) {
-        return Status::Internal("branch & bound found no incumbent");
-      }
-      y.resize(problem.num_vars());
-      for (int j = 0; j < problem.num_vars(); ++j) {
-        y[j] = bnb.x[j] > 0.5 ? 1 : 0;
-      }
-      result.proven_optimal = bnb.proven_optimal;
-      result.lp_iterations = bnb.lp_iterations;
-      result.lp_refactorizations = bnb.lp_refactorizations;
-      result.nodes_explored = bnb.nodes_explored;
-      result.warm_solves = bnb.warm_solves;
-      break;
-    }
-  }
-
-  result.wall_seconds = timer.ElapsedSeconds();
-  result.x.assign(y.begin(), y.end());
-  for (uint64_t v : result.x) result.retained += static_cast<int64_t>(v);
+  result.x = std::move(solution.x);
+  result.retained = static_cast<int64_t>(solution.output_size);
   result.diversity_ratio =
       log.num_pairs() == 0
           ? 0.0
           : static_cast<double>(result.retained) /
                 static_cast<double>(log.num_pairs());
+  result.wall_seconds = solution.stats.wall_seconds;
+  result.proven_optimal = solution.proven_optimal;
+  result.lp_iterations = solution.stats.simplex_iterations;
+  result.lp_refactorizations = solution.stats.refactorizations;
+  result.nodes_explored = solution.stats.nodes_explored;
+  result.warm_solves = solution.stats.warm_solves;
+  result.integer_fixed = solution.stats.integer_fixed;
   return result;
 }
 

@@ -21,6 +21,7 @@
 
 #include "core/constraints.h"
 #include "core/privacy_params.h"
+#include "core/ump.h"
 #include "log/search_log.h"
 #include "lp/bip_heuristics.h"
 #include "lp/branch_and_bound.h"
@@ -28,19 +29,17 @@
 
 namespace privsan {
 
-enum class DumpSolverKind {
-  kSpe,             // Algorithm 2 (paper's heuristic)
-  kGreedy,          // constructive greedy (lp/bip_heuristics.h)
-  kLpRounding,      // LP relaxation + rounding (feaspump stand-in)
-  kBranchAndBound,  // budgeted exact solver (bintprog/scip/qsopt_ex stand-in)
-};
-
-const char* DumpSolverKindToString(DumpSolverKind kind);
+// DumpSolverKind and DumpSolverKindToString now live in core/ump.h (shared
+// with the unified UmpProblem interface); this header re-exports them.
 
 struct DumpOptions {
   DumpSolverKind solver = DumpSolverKind::kSpe;
   lp::SimplexOptions simplex;  // used by kLpRounding
-  lp::BnbOptions bnb;          // used by kBranchAndBound
+  lp::BnbOptions bnb;          // used by kBranchAndBound (node LPs run on
+                               // bnb.simplex, as before the UmpProblem port)
+  // Fix y_j = 0 before branch & bound when some w_j > B (see
+  // DumpSpec::integer_presolve in core/ump.h).
+  bool integer_presolve = true;
 };
 
 struct DumpResult {
@@ -58,13 +57,25 @@ struct DumpResult {
   int lp_refactorizations = 0;
   int64_t nodes_explored = 0;
   int64_t warm_solves = 0;
+  // Variables fixed to 0 by the integer presolve (branch & bound only).
+  int integer_fixed = 0;
 };
 
 // Builds the Equation-8 BIP from the DP constraint system of `log`.
 Result<lp::BipProblem> BuildDumpBip(const SearchLog& log,
                                     const PrivacyParams& params);
 
+// The same transform from an already-built constraint system (row rhs =
+// system.budget()). Shared by BuildDumpBip and the cached D-UMP UmpProblem.
+lp::BipProblem BipFromConstraintRows(const DpConstraintSystem& system);
+
 // `log` must be preprocessed (no unique pairs).
+//
+// DEPRECATED: one-shot compatibility wrapper over MakeDumpProblem
+// (core/ump.h). It rebuilds the DP rows and the BIP on every call; use
+// UmpProblem / SanitizerSession (core/session.h) for repeated solves and
+// warm-started budget sweeps.
+PRIVSAN_DEPRECATED("use MakeDumpProblem / SanitizerSession (core/ump.h)")
 Result<DumpResult> SolveDump(const SearchLog& log, const PrivacyParams& params,
                              const DumpOptions& options = {});
 

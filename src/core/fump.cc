@@ -1,10 +1,7 @@
 #include "core/fump.h"
 
-#include <algorithm>
-#include <cmath>
-#include <numeric>
-
-#include "lp/model.h"
+#include <memory>
+#include <utility>
 
 namespace privsan {
 
@@ -16,214 +13,33 @@ std::vector<PairId> FrequentPairs(const SearchLog& log, double min_support) {
   return frequent;
 }
 
-namespace {
-
-// Largest x an infrequent pair may take while staying strictly below
-// support `s` of an output of size `total`: x < s * total.
-uint64_t InfrequentCap(double min_support, double total) {
-  const double threshold = min_support * total;
-  double cap = std::ceil(threshold) - 1.0;
-  if (std::floor(threshold) == threshold) cap = threshold - 1.0;
-  return cap <= 0.0 ? 0 : static_cast<uint64_t>(cap);
-}
-
-// Builds and solves the F-UMP LP; `cap` (if nonzero-size) gives per-pair
-// upper bounds for infrequent pairs.
-lp::LpSolution SolveLp(const SearchLog& log, const DpConstraintSystem& system,
-                       const std::vector<PairId>& frequent,
-                       const FumpOptions& options, bool with_caps) {
-  const double output_size = static_cast<double>(options.output_size);
-  const double inv_output = 1.0 / output_size;
-  const double total = static_cast<double>(log.total_clicks());
-
-  std::vector<bool> is_frequent(log.num_pairs(), false);
-  for (PairId f : frequent) is_frequent[f] = true;
-  const double infrequent_cap = static_cast<double>(
-      InfrequentCap(options.min_support, output_size));
-
-  lp::LpModel model(lp::ObjectiveSense::kMinimize);
-  // x variables, one per pair.
-  for (PairId p = 0; p < log.num_pairs(); ++p) {
-    const double upper =
-        (with_caps && !is_frequent[p]) ? infrequent_cap : lp::kInfinity;
-    model.AddVariable(0.0, upper, 0.0);
-  }
-  // y variables, one per frequent pair; objective = sum y_f.
-  std::vector<int> y_var(log.num_pairs(), -1);
-  for (PairId f : frequent) {
-    y_var[f] = model.AddVariable(0.0, lp::kInfinity, 1.0);
-  }
-
-  // DP rows (Equation 4).
-  for (size_t r = 0; r < system.num_rows(); ++r) {
-    const int row =
-        model.AddConstraint(lp::ConstraintSense::kLessEqual, system.budget());
-    for (const DpConstraintEntry& e : system.Row(r)) {
-      model.AddCoefficient(row, static_cast<int>(e.pair), e.log_t);
-    }
-  }
-  // sum_ij x_ij = |O|.
-  {
-    const int row = model.AddConstraint(lp::ConstraintSense::kEqual,
-                                        output_size, "output_size");
-    for (PairId p = 0; p < log.num_pairs(); ++p) {
-      model.AddCoefficient(row, static_cast<int>(p), 1.0);
-    }
-  }
-  // Absolute-value split per frequent pair f with support s_f = c_f / |D|:
-  //   x_f/|O| − y_f <= s_f     and     x_f/|O| + y_f >= s_f.
-  for (PairId f : frequent) {
-    const double support = static_cast<double>(log.pair_total(f)) / total;
-    int row = model.AddConstraint(lp::ConstraintSense::kLessEqual, support);
-    model.AddCoefficient(row, static_cast<int>(f), inv_output);
-    model.AddCoefficient(row, y_var[f], -1.0);
-    row = model.AddConstraint(lp::ConstraintSense::kGreaterEqual, support);
-    model.AddCoefficient(row, static_cast<int>(f), inv_output);
-    model.AddCoefficient(row, y_var[f], 1.0);
-  }
-  Status status = model.Validate();
-  if (!status.ok()) {
-    lp::LpSolution failed;
-    failed.status = lp::SolveStatus::kNumericalFailure;
-    return failed;
-  }
-  lp::SimplexSolver solver(options.simplex);
-  return solver.Solve(model);
-}
-
-}  // namespace
-
 Result<FumpResult> SolveFump(const SearchLog& log, const PrivacyParams& params,
                              const FumpOptions& options) {
   if (options.output_size == 0) {
     return Status::InvalidArgument("F-UMP requires output_size > 0");
   }
-  if (!(options.min_support > 0.0) || options.min_support > 1.0) {
-    return Status::InvalidArgument("min_support must lie in (0, 1]");
-  }
-  if (log.total_clicks() == 0) {
-    return Status::InvalidArgument("input log is empty");
-  }
   PRIVSAN_ASSIGN_OR_RETURN(DpConstraintSystem system,
-                           DpConstraintSystem::Build(log, params));
+                           DpConstraintSystem::BuildRows(log));
+  FumpSpec spec;
+  spec.min_support = options.min_support;
+  spec.enforce_precision = options.enforce_precision;
+  PRIVSAN_ASSIGN_OR_RETURN(
+      std::unique_ptr<UmpProblem> problem,
+      MakeFumpProblem(log, &system, spec, options.simplex));
+  UmpQuery query;
+  query.privacy = params;
+  query.output_size = options.output_size;
+  PRIVSAN_ASSIGN_OR_RETURN(UmpSolution solution, problem->Solve(query));
 
   FumpResult result;
-  result.frequent_pairs = FrequentPairs(log, options.min_support);
-
-  // Solve with precision caps first; fall back to the paper's plain
-  // formulation if the caps make the fixed output size unreachable.
-  lp::LpSolution lp;
-  if (options.enforce_precision) {
-    lp = SolveLp(log, system, result.frequent_pairs, options,
-                 /*with_caps=*/true);
-    result.used_precision_caps = lp.status == lp::SolveStatus::kOptimal;
-  }
-  if (!result.used_precision_caps) {
-    lp = SolveLp(log, system, result.frequent_pairs, options,
-                 /*with_caps=*/false);
-  }
-  if (lp.status == lp::SolveStatus::kInfeasible) {
-    return Status::Infeasible(
-        "F-UMP infeasible: requested output_size exceeds the maximum "
-        "output size lambda for these privacy parameters");
-  }
-  if (lp.status != lp::SolveStatus::kOptimal) {
-    return Status::Internal(std::string("F-UMP LP solve failed: ") +
-                            lp::SolveStatusToString(lp.status));
-  }
-
-  result.support_distance_sum = lp.objective;
-  result.simplex_iterations = lp.iterations;
-  result.simplex_refactorizations = lp.refactorizations;
-  result.x_relaxed.assign(lp.x.begin(), lp.x.begin() + log.num_pairs());
-
-  // Round: floor, then distribute the lost mass by largest fractional
-  // remainder while the DP rows keep fitting (flooring freed row slack, so
-  // most increments are admissible). Caps on infrequent pairs stay honored.
-  std::vector<bool> is_frequent(log.num_pairs(), false);
-  for (PairId f : result.frequent_pairs) is_frequent[f] = true;
-  const uint64_t lp_cap =
-      InfrequentCap(options.min_support,
-                    static_cast<double>(options.output_size));
-
-  result.x.resize(log.num_pairs());
-  std::vector<double> remainder(log.num_pairs());
-  uint64_t floored_total = 0;
-  for (PairId p = 0; p < log.num_pairs(); ++p) {
-    const double value = std::max(0.0, result.x_relaxed[p]);
-    const double floored = std::floor(value + 1e-7);
-    result.x[p] = static_cast<uint64_t>(floored);
-    remainder[p] = value - floored;
-    floored_total += result.x[p];
-  }
-
-  if (floored_total < options.output_size) {
-    std::vector<double> row_lhs(system.num_rows(), 0.0);
-    for (size_t r = 0; r < system.num_rows(); ++r) {
-      row_lhs[r] = system.RowLhs(r, std::span<const uint64_t>(result.x));
-    }
-    // Row membership per pair for incremental feasibility checks.
-    std::vector<std::vector<std::pair<size_t, double>>> pair_rows(
-        log.num_pairs());
-    for (size_t r = 0; r < system.num_rows(); ++r) {
-      for (const DpConstraintEntry& e : system.Row(r)) {
-        pair_rows[e.pair].emplace_back(r, e.log_t);
-      }
-    }
-    std::vector<PairId> order(log.num_pairs());
-    std::iota(order.begin(), order.end(), 0);
-    std::stable_sort(order.begin(), order.end(), [&](PairId a, PairId b) {
-      if (is_frequent[a] != is_frequent[b]) {
-        return static_cast<bool>(is_frequent[a]);
-      }
-      return remainder[a] > remainder[b];
-    });
-    uint64_t deficit = options.output_size - floored_total;
-    for (PairId p : order) {
-      if (deficit == 0) break;
-      if (remainder[p] <= 1e-9) continue;  // only top up rounded-down mass
-      if (result.used_precision_caps && !is_frequent[p] &&
-          result.x[p] + 1 > lp_cap) {
-        continue;
-      }
-      bool fits = true;
-      for (const auto& [r, weight] : pair_rows[p]) {
-        if (row_lhs[r] + weight > system.budget() + 1e-12) {
-          fits = false;
-          break;
-        }
-      }
-      if (!fits) continue;
-      for (const auto& [r, weight] : pair_rows[p]) row_lhs[r] += weight;
-      ++result.x[p];
-      --deficit;
-    }
-  }
-
-  // Precision enforcement on the realized size: clamp any infrequent pair
-  // still at/over the threshold of the realized output. Clamping shrinks
-  // the realized size, so iterate to a fixpoint (total strictly decreases,
-  // hence terminates).
-  if (options.enforce_precision) {
-    while (true) {
-      const uint64_t realized = std::accumulate(
-          result.x.begin(), result.x.end(), static_cast<uint64_t>(0));
-      if (realized == 0) break;
-      const uint64_t cap =
-          InfrequentCap(options.min_support, static_cast<double>(realized));
-      bool changed = false;
-      for (PairId p = 0; p < log.num_pairs(); ++p) {
-        if (!is_frequent[p] && result.x[p] > cap) {
-          result.x[p] = cap;
-          changed = true;
-        }
-      }
-      if (!changed) break;
-    }
-  }
-
-  result.realized_output_size = std::accumulate(
-      result.x.begin(), result.x.end(), static_cast<uint64_t>(0));
+  result.x = std::move(solution.x);
+  result.x_relaxed = std::move(solution.x_relaxed);
+  result.realized_output_size = solution.output_size;
+  result.support_distance_sum = solution.objective_value;
+  result.frequent_pairs = std::move(solution.frequent_pairs);
+  result.simplex_iterations = solution.stats.simplex_iterations;
+  result.simplex_refactorizations = solution.stats.refactorizations;
+  result.used_precision_caps = solution.used_precision_caps;
   return result;
 }
 

@@ -19,6 +19,7 @@
 
 #include "core/constraints.h"
 #include "core/privacy_params.h"
+#include "core/ump.h"
 #include "log/search_log.h"
 #include "lp/simplex.h"
 #include "util/result.h"
@@ -58,6 +59,12 @@ struct FumpResult {
 };
 
 // `log` must be preprocessed (no unique pairs).
+//
+// DEPRECATED: one-shot compatibility wrapper over MakeFumpProblem
+// (core/ump.h). It rebuilds the DP rows, the frequent set and the LP model
+// on every call; use UmpProblem / SanitizerSession (core/session.h) for
+// repeated solves and (ε, δ, |O|) sweeps.
+PRIVSAN_DEPRECATED("use MakeFumpProblem / SanitizerSession (core/ump.h)")
 Result<FumpResult> SolveFump(const SearchLog& log, const PrivacyParams& params,
                              const FumpOptions& options);
 

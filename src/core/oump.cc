@@ -1,59 +1,33 @@
 #include "core/oump.h"
 
 #include <cmath>
+#include <memory>
+#include <utility>
 
 #include "core/rounding.h"
-#include "lp/model.h"
 
 namespace privsan {
 
 Result<OumpResult> SolveOump(const SearchLog& log, const PrivacyParams& params,
                              const OumpOptions& options) {
   PRIVSAN_ASSIGN_OR_RETURN(DpConstraintSystem system,
-                           DpConstraintSystem::Build(log, params));
-
-  lp::LpModel model(lp::ObjectiveSense::kMaximize);
-  for (PairId p = 0; p < log.num_pairs(); ++p) {
-    const double upper = options.cap_counts_at_input
-                             ? static_cast<double>(log.pair_total(p))
-                             : lp::kInfinity;
-    model.AddVariable(0.0, upper, 1.0);
-  }
-  for (size_t r = 0; r < system.num_rows(); ++r) {
-    const int row =
-        model.AddConstraint(lp::ConstraintSense::kLessEqual, system.budget());
-    for (const DpConstraintEntry& e : system.Row(r)) {
-      model.AddCoefficient(row, static_cast<int>(e.pair), e.log_t);
-    }
-  }
-  PRIVSAN_RETURN_IF_ERROR(model.Validate());
-
-  lp::SimplexSolver solver(options.simplex);
-  lp::LpSolution lp = solver.Solve(model);
-  if (lp.status != lp::SolveStatus::kOptimal) {
-    return Status::Internal(std::string("O-UMP LP solve failed: ") +
-                            lp::SolveStatusToString(lp.status));
-  }
+                           DpConstraintSystem::BuildRows(log));
+  OumpSpec spec;
+  spec.cap_counts_at_input = options.cap_counts_at_input;
+  PRIVSAN_ASSIGN_OR_RETURN(
+      std::unique_ptr<UmpProblem> problem,
+      MakeOumpProblem(log, &system, spec, options.simplex));
+  UmpQuery query;
+  query.privacy = params;
+  PRIVSAN_ASSIGN_OR_RETURN(UmpSolution solution, problem->Solve(query));
 
   OumpResult result;
-  result.x_relaxed = lp.x;
-  result.lp_objective = lp.objective;
-  result.simplex_iterations = lp.iterations;
-  result.simplex_refactorizations = lp.refactorizations;
-
-  // Round toward the ILP optimum: floor, largest-remainder repair, then
-  // greedy fill (core/rounding.h). The result stays below the LP bound.
-  RoundingOptions rounding;
-  std::vector<uint64_t> caps;
-  if (options.cap_counts_at_input) {
-    caps.resize(log.num_pairs());
-    for (PairId p = 0; p < log.num_pairs(); ++p) {
-      caps[p] = log.pair_total(p);
-    }
-    rounding.caps = caps;
-  }
-  result.x = RoundCounts(system, lp.x, rounding);
-  for (uint64_t v : result.x) result.lambda += v;
+  result.x = std::move(solution.x);
+  result.x_relaxed = std::move(solution.x_relaxed);
+  result.lambda = solution.output_size;
+  result.lp_objective = solution.objective_value;
+  result.simplex_iterations = solution.stats.simplex_iterations;
+  result.simplex_refactorizations = solution.stats.refactorizations;
   return result;
 }
 

@@ -16,6 +16,7 @@
 
 #include "core/constraints.h"
 #include "core/privacy_params.h"
+#include "core/ump.h"
 #include "log/search_log.h"
 #include "lp/simplex.h"
 #include "util/result.h"
@@ -44,6 +45,11 @@ struct OumpResult {
 
 // `log` must be preprocessed (no unique pairs). Fails with
 // FailedPrecondition otherwise.
+//
+// DEPRECATED: one-shot compatibility wrapper over MakeOumpProblem
+// (core/ump.h). It rebuilds the DP rows and the LP model on every call;
+// use UmpProblem / SanitizerSession (core/session.h) for repeated solves.
+PRIVSAN_DEPRECATED("use MakeOumpProblem / SanitizerSession (core/ump.h)")
 Result<OumpResult> SolveOump(const SearchLog& log, const PrivacyParams& params,
                              const OumpOptions& options = {});
 

@@ -1,119 +1,28 @@
 #include "core/sanitizer.h"
 
-#include <algorithm>
-#include <numeric>
-
-#include "core/sampler.h"
-#include "util/timer.h"
+#include <utility>
 
 namespace privsan {
 
-const char* UtilityObjectiveToString(UtilityObjective objective) {
-  switch (objective) {
-    case UtilityObjective::kOutputSize:
-      return "O-UMP";
-    case UtilityObjective::kFrequentPairs:
-      return "F-UMP";
-    case UtilityObjective::kDiversity:
-      return "D-UMP";
-  }
-  return "?";
+SessionOptions SanitizerConfig::ToSessionOptions() const {
+  SessionOptions options;
+  options.objective = objective;
+  options.seed = seed;
+  options.fump.min_support = min_support;
+  options.output_size = output_size;
+  options.dump.solver = dump_solver;
+  options.dump.bnb = bnb;
+  options.simplex = simplex;
+  options.laplace = laplace;
+  return options;
 }
 
 Result<SanitizeReport> Sanitizer::Sanitize(const SearchLog& input) const {
   PRIVSAN_RETURN_IF_ERROR(config_.privacy.Validate());
-  WallTimer timer;
-
-  SanitizeReport report;
-
-  // 1. Condition-1 preprocessing.
-  PreprocessResult preprocessed = RemoveUniquePairs(input);
-  report.preprocess_stats = preprocessed.stats;
-  report.preprocessed_input = std::move(preprocessed.log);
-  const SearchLog& log = report.preprocessed_input;
-  if (log.num_pairs() == 0) {
-    return Status::FailedPrecondition(
-        "nothing to sanitize: every query-url pair is unique to one user");
-  }
-
-  // 2. Optimal counts for the chosen objective.
-  std::vector<double> relaxed;
-  switch (config_.objective) {
-    case UtilityObjective::kOutputSize: {
-      OumpOptions options;
-      options.simplex = config_.simplex;
-      PRIVSAN_ASSIGN_OR_RETURN(OumpResult r,
-                               SolveOump(log, config_.privacy, options));
-      report.optimal_counts = std::move(r.x);
-      relaxed = std::move(r.x_relaxed);
-      break;
-    }
-    case UtilityObjective::kFrequentPairs: {
-      // F-UMP needs |O| in (0, λ]; compute λ and clamp the request so a
-      // too-ambitious output size degrades gracefully instead of failing.
-      OumpOptions oump_options;
-      oump_options.simplex = config_.simplex;
-      PRIVSAN_ASSIGN_OR_RETURN(
-          OumpResult o, SolveOump(log, config_.privacy, oump_options));
-      if (o.lambda == 0) {
-        return Status::Infeasible(
-            "privacy budget too tight: the maximum output size lambda is 0");
-      }
-      FumpOptions options;
-      options.min_support = config_.min_support;
-      options.simplex = config_.simplex;
-      options.output_size = config_.output_size == 0
-                                ? o.lambda
-                                : std::min(config_.output_size, o.lambda);
-      PRIVSAN_ASSIGN_OR_RETURN(FumpResult r,
-                               SolveFump(log, config_.privacy, options));
-      report.optimal_counts = std::move(r.x);
-      relaxed = std::move(r.x_relaxed);
-      break;
-    }
-    case UtilityObjective::kDiversity: {
-      DumpOptions options;
-      options.solver = config_.dump_solver;
-      options.simplex = config_.simplex;
-      options.bnb = config_.bnb;
-      PRIVSAN_ASSIGN_OR_RETURN(DumpResult r,
-                               SolveDump(log, config_.privacy, options));
-      report.optimal_counts = std::move(r.x);
-      relaxed.assign(report.optimal_counts.begin(),
-                     report.optimal_counts.end());
-      break;
-    }
-  }
-
-  // 3. Optional end-to-end Laplace noise on the counts.
-  if (config_.laplace.has_value()) {
-    PRIVSAN_ASSIGN_OR_RETURN(
-        LaplaceStepResult noisy,
-        AddLaplaceNoise(log, config_.privacy, relaxed, *config_.laplace));
-    report.optimal_counts = std::move(noisy.x);
-  }
-
-  report.output_size = std::accumulate(report.optimal_counts.begin(),
-                                       report.optimal_counts.end(),
-                                       static_cast<uint64_t>(0));
-
-  // 4. Multinomial user-ID sampling.
   PRIVSAN_ASSIGN_OR_RETURN(
-      report.output, SampleOutput(log, report.optimal_counts, config_.seed));
-
-  // 5. Audit against Theorem 1.
-  PRIVSAN_ASSIGN_OR_RETURN(
-      report.audit,
-      AuditSolution(log, config_.privacy, report.optimal_counts));
-  if (!report.audit.satisfies_privacy && !config_.laplace.has_value()) {
-    // Without noise the solvers guarantee feasibility; a failed audit means
-    // a bug, so surface it loudly rather than returning a bad log.
-    return Status::Internal("privacy audit failed on noise-free counts: " +
-                            report.audit.ToString());
-  }
-
-  report.solve_seconds = timer.ElapsedSeconds();
-  return report;
+      SanitizerSession session,
+      SanitizerSession::Create(input, config_.ToSessionOptions()));
+  return session.Sanitize(config_.privacy);
 }
 
 }  // namespace privsan

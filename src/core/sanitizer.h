@@ -1,4 +1,4 @@
-// The top-level sanitization pipeline — Algorithm 1 of the paper.
+// The one-shot sanitization entry point — Algorithm 1 of the paper.
 //
 //   Sanitizer sanitizer(config);
 //   Result<SanitizeReport> report = sanitizer.Sanitize(input_log);
@@ -12,6 +12,11 @@
 //   5. audit the final counts against Theorem 1.
 //
 // The output search log has exactly the input's schema.
+//
+// Sanitizer is a thin compatibility wrapper: every call builds a fresh
+// SanitizerSession (core/session.h) and discards it. Callers that sanitize
+// the same (growing) log repeatedly — appended user logs, (ε, δ) sweeps —
+// should hold a session instead and get warm-started re-solves for free.
 #ifndef PRIVSAN_CORE_SANITIZER_H_
 #define PRIVSAN_CORE_SANITIZER_H_
 
@@ -25,19 +30,16 @@
 #include "core/laplace_step.h"
 #include "core/oump.h"
 #include "core/privacy_params.h"
+#include "core/session.h"
+#include "core/ump.h"
 #include "log/preprocess.h"
 #include "log/search_log.h"
 #include "util/result.h"
 
 namespace privsan {
 
-enum class UtilityObjective {
-  kOutputSize,     // O-UMP (§5.1): maximize |O|
-  kFrequentPairs,  // F-UMP (§5.2): preserve frequent-pair supports
-  kDiversity,      // D-UMP (§5.3): maximize distinct retained pairs
-};
-
-const char* UtilityObjectiveToString(UtilityObjective objective);
+// UtilityObjective and SanitizeReport now live in core/ump.h and
+// core/session.h respectively; this header re-exports them.
 
 struct SanitizerConfig {
   PrivacyParams privacy;
@@ -58,18 +60,9 @@ struct SanitizerConfig {
 
   lp::SimplexOptions simplex;
   lp::BnbOptions bnb;
-};
 
-struct SanitizeReport {
-  SearchLog output;
-  // The preprocessed input the UMP ran on; optimal_counts is indexed by its
-  // PairIds.
-  SearchLog preprocessed_input;
-  PreprocessStats preprocess_stats;
-  std::vector<uint64_t> optimal_counts;
-  uint64_t output_size = 0;  // sum of optimal_counts
-  AuditReport audit;
-  double solve_seconds = 0.0;
+  // The equivalent stateful-session options.
+  SessionOptions ToSessionOptions() const;
 };
 
 class Sanitizer {
@@ -78,6 +71,8 @@ class Sanitizer {
 
   const SanitizerConfig& config() const { return config_; }
 
+  // DEPRECATED for repeated use: builds and discards a SanitizerSession per
+  // call. Hold a session for warm-started incremental sanitization.
   Result<SanitizeReport> Sanitize(const SearchLog& input) const;
 
  private:

@@ -1,0 +1,356 @@
+#include "core/session.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "core/sampler.h"
+#include "util/timer.h"
+
+namespace privsan {
+
+namespace {
+
+constexpr int kNumObjectives = 3;
+
+int Index(UtilityObjective objective) {
+  return static_cast<int>(objective);
+}
+
+// Maps a basis of the old (log, system) model onto the grown one: surviving
+// pairs and user rows keep their status under their new indices, appended
+// pairs enter nonbasic at zero, appended users' slack rows enter basic.
+// Valid for the models whose structural variables are exactly the pairs in
+// PairId order and whose rows are the DP rows (O-UMP and the D-UMP
+// relaxation). Returns an empty basis when the mapping breaks down — the
+// next solve then simply runs cold.
+lp::Basis RemapBasis(const lp::Basis& old_basis, const SearchLog& old_log,
+                     const DpConstraintSystem& old_system,
+                     const SearchLog& new_log,
+                     const DpConstraintSystem& new_system) {
+  const size_t n_old = old_log.num_pairs();
+  const size_t m_old = old_system.num_rows();
+  const size_t n_new = new_log.num_pairs();
+  const size_t m_new = new_system.num_rows();
+  if (old_basis.state.size() != n_old + m_old ||
+      old_basis.basic.size() != m_old) {
+    return {};
+  }
+
+  // Appending clicks never turns a shared pair unique, so every old pair
+  // survives preprocessing; defend anyway.
+  std::vector<int> pair_map(n_old, -1);
+  for (PairId p = 0; p < n_old; ++p) {
+    Result<PairId> found =
+        new_log.FindPair(old_log.query_name(old_log.pair_query(p)),
+                         old_log.url_name(old_log.pair_url(p)));
+    if (!found.ok()) return {};
+    pair_map[p] = static_cast<int>(*found);
+  }
+  std::unordered_map<std::string, int> new_row_of_user;
+  new_row_of_user.reserve(m_new);
+  for (size_t r = 0; r < m_new; ++r) {
+    new_row_of_user[new_log.user_name(new_system.RowUser(r))] =
+        static_cast<int>(r);
+  }
+  std::vector<int> row_map(m_old, -1);
+  for (size_t r = 0; r < m_old; ++r) {
+    auto it =
+        new_row_of_user.find(old_log.user_name(old_system.RowUser(r)));
+    if (it == new_row_of_user.end()) return {};
+    row_map[r] = it->second;
+  }
+
+  lp::Basis basis;
+  basis.state.assign(n_new + m_new, lp::VarStatus::kAtLower);
+  for (size_t r = 0; r < m_new; ++r) {
+    basis.state[n_new + r] = lp::VarStatus::kBasic;
+  }
+  for (size_t j = 0; j < n_old; ++j) {
+    basis.state[pair_map[j]] = old_basis.state[j];
+  }
+  for (size_t r = 0; r < m_old; ++r) {
+    basis.state[n_new + row_map[r]] = old_basis.state[n_old + r];
+  }
+  for (size_t j = 0; j < basis.state.size(); ++j) {
+    if (basis.state[j] == lp::VarStatus::kBasic) {
+      basis.basic.push_back(static_cast<int>(j));
+    }
+  }
+  if (basis.basic.size() != m_new) return {};
+  return basis;
+}
+
+}  // namespace
+
+struct SanitizerSession::State {
+  SessionOptions options;
+  SearchLog raw;   // accumulated raw input (pre-Condition-1)
+  SearchLog log;   // preprocessed
+  PreprocessStats stats;
+  DpConstraintSystem system;  // shared rows; budget rebound per solve
+  std::unique_ptr<UmpProblem> problems[kNumObjectives];
+  lp::Basis last_basis[kNumObjectives];
+  // The support the next F-UMP solve should use (SweepOptions can override
+  // it for the duration of a sweep) and the support the cached F-UMP
+  // problem was actually built with (-1 = no cached problem). SolveInternal
+  // rebuilds lazily when they disagree, so switching back and forth between
+  // supports only rebuilds when a solve actually needs the other model.
+  double fump_min_support = 0.0;
+  double fump_problem_support = -1.0;
+};
+
+SanitizerSession::SanitizerSession(std::unique_ptr<State> state)
+    : state_(std::move(state)) {}
+SanitizerSession::SanitizerSession(SanitizerSession&&) noexcept = default;
+SanitizerSession& SanitizerSession::operator=(SanitizerSession&&) noexcept =
+    default;
+SanitizerSession::~SanitizerSession() = default;
+
+const SessionOptions& SanitizerSession::options() const {
+  return state_->options;
+}
+const SearchLog& SanitizerSession::raw_log() const { return state_->raw; }
+const SearchLog& SanitizerSession::log() const { return state_->log; }
+const PreprocessStats& SanitizerSession::preprocess_stats() const {
+  return state_->stats;
+}
+
+Result<SanitizerSession> SanitizerSession::Create(const SearchLog& input,
+                                                  SessionOptions options) {
+  auto state = std::make_unique<State>();
+  state->options = std::move(options);
+  state->fump_min_support = state->options.fump.min_support;
+  state->raw = input;
+  SanitizerSession session(std::move(state));
+  PRIVSAN_RETURN_IF_ERROR(session.RebuildFromRaw(/*remap_bases=*/false));
+  return session;
+}
+
+Status SanitizerSession::RebuildFromRaw(bool remap_bases) {
+  State& s = *state_;
+  SearchLog old_log;
+  DpConstraintSystem old_system;
+  const bool have_bases =
+      remap_bases &&
+      std::any_of(std::begin(s.last_basis), std::end(s.last_basis),
+                  [](const lp::Basis& b) { return !b.empty(); });
+  if (have_bases) {
+    old_log = std::move(s.log);
+    old_system = std::move(s.system);
+  }
+
+  PreprocessResult preprocessed = RemoveUniquePairs(s.raw);
+  s.log = std::move(preprocessed.log);
+  s.stats = preprocessed.stats;
+  PRIVSAN_ASSIGN_OR_RETURN(s.system, DpConstraintSystem::BuildRows(s.log));
+  for (auto& problem : s.problems) problem.reset();
+  s.fump_problem_support = -1.0;
+
+  // Carry the O-UMP / D-UMP optimal bases over to the grown model. The
+  // F-UMP basis is dropped: its frequent set (hence its variable and row
+  // layout) changes with the appended clicks.
+  for (UtilityObjective objective :
+       {UtilityObjective::kOutputSize, UtilityObjective::kDiversity}) {
+    lp::Basis& basis = s.last_basis[Index(objective)];
+    if (have_bases && !basis.empty()) {
+      basis = RemapBasis(basis, old_log, old_system, s.log, s.system);
+    } else {
+      basis = {};
+    }
+  }
+  s.last_basis[Index(UtilityObjective::kFrequentPairs)] = {};
+  return Status::OK();
+}
+
+Status SanitizerSession::AppendUsers(const SearchLog& more) {
+  State& s = *state_;
+  SearchLogBuilder builder;
+  const auto add_all = [&builder](const SearchLog& src) {
+    for (UserId u = 0; u < src.num_users(); ++u) {
+      for (const PairCount& cell : src.UserLogOf(u)) {
+        builder.Add(src.user_name(u),
+                    src.query_name(src.pair_query(cell.pair)),
+                    src.url_name(src.pair_url(cell.pair)), cell.count);
+      }
+    }
+  };
+  add_all(s.raw);
+  add_all(more);
+  s.raw = builder.Build();
+  return RebuildFromRaw(/*remap_bases=*/true);
+}
+
+Result<UmpSolution> SanitizerSession::SolveInternal(
+    UtilityObjective objective, const UmpQuery& query, bool warm) {
+  State& s = *state_;
+  if (s.log.num_pairs() == 0) {
+    return Status::FailedPrecondition(
+        "nothing to sanitize: every query-url pair is unique to one user");
+  }
+
+  UmpQuery effective = query;
+  if (objective == UtilityObjective::kFrequentPairs &&
+      effective.output_size == 0) {
+    // Resolve |O| = λ through the cached (and warm-started) O-UMP.
+    PRIVSAN_ASSIGN_OR_RETURN(
+        UmpSolution oump,
+        SolveInternal(UtilityObjective::kOutputSize, {query.privacy}, warm));
+    if (oump.output_size == 0) {
+      return Status::Infeasible(
+          "privacy budget too tight: the maximum output size lambda is 0");
+    }
+    effective.output_size = oump.output_size;
+  }
+
+  const int i = Index(objective);
+  if (objective == UtilityObjective::kFrequentPairs &&
+      s.problems[i] != nullptr &&
+      s.fump_problem_support != s.fump_min_support) {
+    // The cached model was shaped by a different frequent set.
+    s.problems[i].reset();
+    s.last_basis[i] = {};
+  }
+  if (s.problems[i] == nullptr) {
+    switch (objective) {
+      case UtilityObjective::kOutputSize: {
+        PRIVSAN_ASSIGN_OR_RETURN(
+            s.problems[i], MakeOumpProblem(s.log, &s.system, s.options.oump,
+                                           s.options.simplex));
+        break;
+      }
+      case UtilityObjective::kFrequentPairs: {
+        FumpSpec spec = s.options.fump;
+        spec.min_support = s.fump_min_support;
+        PRIVSAN_ASSIGN_OR_RETURN(
+            s.problems[i],
+            MakeFumpProblem(s.log, &s.system, spec, s.options.simplex));
+        s.fump_problem_support = s.fump_min_support;
+        break;
+      }
+      case UtilityObjective::kDiversity: {
+        PRIVSAN_ASSIGN_OR_RETURN(
+            s.problems[i], MakeDumpProblem(s.log, &s.system, s.options.dump,
+                                           s.options.simplex));
+        break;
+      }
+    }
+  }
+
+  WarmStartHint hint;
+  const WarmStartHint* hint_ptr = nullptr;
+  if (warm && !s.last_basis[i].empty()) {
+    hint.basis = s.last_basis[i];
+    hint_ptr = &hint;
+  }
+  PRIVSAN_ASSIGN_OR_RETURN(UmpSolution solution,
+                           s.problems[i]->Solve(effective, hint_ptr));
+  if (warm && !solution.basis.empty()) {
+    s.last_basis[i] = solution.basis;
+  }
+  return solution;
+}
+
+Result<UmpSolution> SanitizerSession::Solve(UtilityObjective objective,
+                                            const UmpQuery& query) {
+  return SolveInternal(objective, query, /*warm=*/true);
+}
+
+Result<SweepResult> SanitizerSession::SweepBudgets(
+    UtilityObjective objective, const std::vector<UmpQuery>& grid,
+    const SweepOptions& sweep) {
+  WallTimer timer;
+  State& s = *state_;
+  // The min-support override is scoped to this sweep: the session's own
+  // support is restored on every exit path. Rebuilding is lazy (keyed on
+  // fump_problem_support in SolveInternal), so repeated sweeps at the same
+  // override reuse the cached model.
+  const double saved_support = s.fump_min_support;
+  if (sweep.min_support.has_value()) s.fump_min_support = *sweep.min_support;
+
+  SweepResult result;
+  result.cells.reserve(grid.size());
+  Status error = Status::OK();
+  for (const UmpQuery& query : grid) {
+    Result<UmpSolution> cell = SolveInternal(objective, query,
+                                             sweep.warm_start);
+    if (!cell.ok()) {
+      error = cell.status();
+      break;
+    }
+    result.total_simplex_iterations += cell->stats.simplex_iterations;
+    result.total_dual_iterations += cell->stats.dual_iterations;
+    result.total_root_iterations += cell->stats.root_iterations;
+    if (cell->stats.warm_started) ++result.warm_solves;
+    result.cells.push_back(std::move(*cell));
+  }
+  s.fump_min_support = saved_support;
+  PRIVSAN_RETURN_IF_ERROR(error);
+  result.wall_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+Result<SanitizeReport> SanitizerSession::Sanitize(
+    const PrivacyParams& privacy) {
+  State& s = *state_;
+  PRIVSAN_RETURN_IF_ERROR(privacy.Validate());
+  WallTimer timer;
+
+  UmpQuery query;
+  query.privacy = privacy;
+  if (s.options.objective == UtilityObjective::kFrequentPairs) {
+    // F-UMP needs |O| in (0, λ]; compute λ and clamp the request so a
+    // too-ambitious output size degrades gracefully instead of failing.
+    PRIVSAN_ASSIGN_OR_RETURN(
+        UmpSolution oump,
+        SolveInternal(UtilityObjective::kOutputSize, {privacy}, true));
+    if (oump.output_size == 0) {
+      return Status::Infeasible(
+          "privacy budget too tight: the maximum output size lambda is 0");
+    }
+    query.output_size = s.options.output_size == 0
+                            ? oump.output_size
+                            : std::min(s.options.output_size,
+                                       oump.output_size);
+  }
+  PRIVSAN_ASSIGN_OR_RETURN(UmpSolution solution,
+                           Solve(s.options.objective, query));
+
+  SanitizeReport report;
+  report.preprocessed_input = s.log;
+  report.preprocess_stats = s.stats;
+  report.optimal_counts = std::move(solution.x);
+
+  // Optional end-to-end Laplace noise on the counts (§4.2).
+  if (s.options.laplace.has_value()) {
+    PRIVSAN_ASSIGN_OR_RETURN(
+        LaplaceStepResult noisy,
+        AddLaplaceNoise(s.log, privacy, solution.x_relaxed,
+                        *s.options.laplace));
+    report.optimal_counts = std::move(noisy.x);
+  }
+
+  report.output_size = std::accumulate(report.optimal_counts.begin(),
+                                       report.optimal_counts.end(),
+                                       static_cast<uint64_t>(0));
+
+  PRIVSAN_ASSIGN_OR_RETURN(
+      report.output,
+      SampleOutput(s.log, report.optimal_counts, s.options.seed));
+
+  PRIVSAN_ASSIGN_OR_RETURN(
+      report.audit, AuditSolution(s.log, privacy, report.optimal_counts));
+  if (!report.audit.satisfies_privacy && !s.options.laplace.has_value()) {
+    // Without noise the solvers guarantee feasibility; a failed audit means
+    // a bug, so surface it loudly rather than returning a bad log.
+    return Status::Internal("privacy audit failed on noise-free counts: " +
+                            report.audit.ToString());
+  }
+
+  report.solve_seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace privsan

@@ -1,0 +1,160 @@
+// SanitizerSession: the stateful, incremental face of the sanitizer.
+//
+// A session owns everything that is reusable across solves of the same
+// (growing) search log:
+//
+//   * the accumulated raw input and its Condition-1 preprocessed form;
+//   * the shared DP constraint rows (built once per preprocessed log — the
+//     coefficients never depend on (ε, δ));
+//   * one cached UmpProblem per objective (LP/BIP models built once, only
+//     right-hand sides rebound per query);
+//   * the last optimal basis per objective, chained as a warm-start hint
+//     into the next solve.
+//
+// On top of plain Solve() it offers:
+//
+//   * SweepBudgets(grid): solves a whole (ε, δ[, |O|]) grid, dual-warm-
+//     starting every cell from the previous cell's basis — only the rhs
+//     changes between cells, which is exactly the case the warm-start dual
+//     simplex restores in a handful of pivots (Tables 4–7 of the paper are
+//     such sweeps);
+//   * AppendUsers(logs): appends user logs and remaps the previous optimal
+//     basis onto the grown model (appended users become basic slack rows,
+//     new pairs enter nonbasic at zero) so the next solve warm-starts from
+//     the prior optimum instead of cold-solving — the ROADMAP's serve-path
+//     primitive. The *solve* is incremental; preprocessing and the DP rows
+//     are currently rebuilt over the whole accumulated log per append
+//     (O(log size) — patching only changed rows is a ROADMAP follow-up);
+//   * Sanitize(privacy): the full Algorithm-1 pipeline (solve → optional
+//     Laplace noise → multinomial sampling → Theorem-1 audit) on the
+//     session's cached state.
+//
+// Warm starts are a pure optimization: a stale or unusable basis falls
+// back to a cold solve inside the simplex, never to a different answer.
+// Sessions are single-threaded; shard across sessions for parallelism.
+#ifndef PRIVSAN_CORE_SESSION_H_
+#define PRIVSAN_CORE_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/audit.h"
+#include "core/laplace_step.h"
+#include "core/ump.h"
+#include "log/preprocess.h"
+#include "log/search_log.h"
+#include "util/result.h"
+
+namespace privsan {
+
+struct SessionOptions {
+  // Objective used by Sanitize(); Solve()/SweepBudgets() name theirs.
+  UtilityObjective objective = UtilityObjective::kOutputSize;
+  uint64_t seed = 42;
+
+  OumpSpec oump;
+  FumpSpec fump;
+  DumpSpec dump;
+  lp::SimplexOptions simplex;
+
+  // F-UMP output size used by Sanitize(); 0 = use λ (the O-UMP optimum,
+  // solved through the session's cached O-UMP problem).
+  uint64_t output_size = 0;
+
+  // Optional end-to-end DP noise on the computed counts (§4.2), applied by
+  // Sanitize().
+  std::optional<LaplaceStepOptions> laplace;
+};
+
+// Result of the full pipeline (formerly declared in core/sanitizer.h).
+struct SanitizeReport {
+  SearchLog output;
+  // The preprocessed input the UMP ran on; optimal_counts is indexed by its
+  // PairIds.
+  SearchLog preprocessed_input;
+  PreprocessStats preprocess_stats;
+  std::vector<uint64_t> optimal_counts;
+  uint64_t output_size = 0;  // sum of optimal_counts
+  AuditReport audit;
+  double solve_seconds = 0.0;
+};
+
+struct SweepOptions {
+  // Chain each cell's solve from the previous cell's optimal basis. Off =
+  // the per-cell cold baseline (what the one-shot wrappers do).
+  bool warm_start = true;
+  // F-UMP only: structural min-support override for this sweep. Changing it
+  // rebuilds the cached F-UMP problem (the frequent set shapes the model).
+  std::optional<double> min_support;
+};
+
+struct SweepResult {
+  std::vector<UmpSolution> cells;  // one per grid entry, in order
+  // Aggregates across all cells.
+  int64_t total_simplex_iterations = 0;
+  int64_t total_dual_iterations = 0;
+  // Main/root-LP iterations only — the cleanest cross-cell warm-start
+  // signal (branch & bound tree totals vary with the search order).
+  int64_t total_root_iterations = 0;
+  int64_t warm_solves = 0;  // cells whose main/root LP ran from a warm basis
+  double wall_seconds = 0.0;
+};
+
+class SanitizerSession {
+ public:
+  // Preprocesses `input` (Condition 1) and builds the shared DP rows. An
+  // input with no shared pairs is allowed — a session may start empty and
+  // be populated through AppendUsers; Solve/Sanitize fail until then.
+  static Result<SanitizerSession> Create(const SearchLog& input,
+                                         SessionOptions options = {});
+
+  SanitizerSession(SanitizerSession&&) noexcept;
+  SanitizerSession& operator=(SanitizerSession&&) noexcept;
+  ~SanitizerSession();
+
+  const SessionOptions& options() const;
+  const SearchLog& raw_log() const;
+  // The preprocessed log all solutions are indexed against.
+  const SearchLog& log() const;
+  const PreprocessStats& preprocess_stats() const;
+
+  // Solves `objective` at `query`, warm-starting from the last optimal
+  // basis of the same objective when one exists. query.output_size == 0
+  // for F-UMP resolves to λ via the cached O-UMP problem.
+  Result<UmpSolution> Solve(UtilityObjective objective, const UmpQuery& query);
+
+  // Solves every grid cell in order, chaining warm starts across cells
+  // (sweep.warm_start). Objective values are identical to per-cell cold
+  // solves — warm starts only change the path, not the optimum.
+  Result<SweepResult> SweepBudgets(UtilityObjective objective,
+                                   const std::vector<UmpQuery>& grid,
+                                   const SweepOptions& sweep = {});
+
+  // Appends the user logs of `more` to the session's raw input (same-name
+  // users merge), re-preprocesses, rebuilds the DP rows, and remaps the
+  // stored optimal bases onto the grown problem so the next Solve warm-
+  // starts from the prior optimum. The result of a post-append solve is
+  // identical to a from-scratch solve on the concatenated log.
+  Status AppendUsers(const SearchLog& more);
+
+  // Algorithm 1 end to end at `privacy`, using options().objective: solve
+  // (warm-started) → optional Laplace noise → multinomial sampling →
+  // Theorem-1 audit.
+  Result<SanitizeReport> Sanitize(const PrivacyParams& privacy);
+
+ private:
+  struct State;
+  SanitizerSession(std::unique_ptr<State> state);
+
+  Result<UmpSolution> SolveInternal(UtilityObjective objective,
+                                    const UmpQuery& query, bool warm);
+  Status RebuildFromRaw(bool remap_bases);
+
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace privsan
+
+#endif  // PRIVSAN_CORE_SESSION_H_

@@ -1,0 +1,194 @@
+// The unified utility-maximizing-problem (UMP) interface.
+//
+// The paper frames O-UMP (§5.1), F-UMP (§5.2) and D-UMP (§5.3) as one
+// family of programs over the same DP constraint matrix (Equation 4):
+// only the objective differs; the feasible region {Wx <= B·1, x >= 0} is
+// shared, and the coefficients of W depend only on the (preprocessed) log —
+// never on (ε, δ). A UmpProblem captures that structure:
+//
+//   * it is bound to one preprocessed log and one shared DpConstraintSystem
+//     whose rows are built once and reused by every solve;
+//   * its LP / BIP model is built once and cached; a new query rebinds only
+//     the right-hand sides and bounds (the privacy budget B, and for F-UMP
+//     the output size |O| — the F-UMP LP here is formulated with scaled
+//     deviation variables y'_f = |O|·y_f precisely so that |O| never
+//     appears in a coefficient);
+//   * Solve() accepts an optional WarmStartHint (the optimal basis of a
+//     previous solve of the same problem) and returns the new optimal basis
+//     in the solution, so budget sweeps and incremental re-solves chain
+//     dual-simplex warm starts instead of cold phase-1 solves;
+//   * every objective reports the same UmpStats block.
+//
+// SanitizerSession (core/session.h) owns the shared state and the
+// basis-chaining policy; the free functions SolveOump / SolveFump /
+// SolveDump (core/oump.h etc.) remain as deprecated one-shot wrappers.
+#ifndef PRIVSAN_CORE_UMP_H_
+#define PRIVSAN_CORE_UMP_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/constraints.h"
+#include "core/privacy_params.h"
+#include "log/search_log.h"
+#include "lp/branch_and_bound.h"
+#include "lp/simplex.h"
+#include "util/result.h"
+
+// Compatibility entry points (SolveOump / SolveFump / SolveDump and the
+// one-shot Sanitizer) are tagged with this macro. Builds stay quiet by
+// default; define PRIVSAN_WARN_DEPRECATED to surface [[deprecated]]
+// warnings while migrating to UmpProblem / SanitizerSession.
+#ifdef PRIVSAN_WARN_DEPRECATED
+#define PRIVSAN_DEPRECATED(msg) [[deprecated(msg)]]
+#else
+#define PRIVSAN_DEPRECATED(msg)
+#endif
+
+namespace privsan {
+
+enum class UtilityObjective {
+  kOutputSize,     // O-UMP (§5.1): maximize |O|
+  kFrequentPairs,  // F-UMP (§5.2): preserve frequent-pair supports
+  kDiversity,      // D-UMP (§5.3): maximize distinct retained pairs
+};
+
+const char* UtilityObjectiveToString(UtilityObjective objective);
+
+enum class DumpSolverKind {
+  kSpe,             // Algorithm 2 (paper's heuristic)
+  kGreedy,          // constructive greedy (lp/bip_heuristics.h)
+  kLpRounding,      // LP relaxation + rounding (feaspump stand-in)
+  kBranchAndBound,  // budgeted exact solver (bintprog/scip/qsopt_ex stand-in)
+};
+
+const char* DumpSolverKindToString(DumpSolverKind kind);
+
+// Structural (model-shaping) parameters, fixed for the lifetime of one
+// UmpProblem instance. Everything that can change between Solve() calls
+// without invalidating a warm-start basis lives in UmpQuery instead.
+struct OumpSpec {
+  // Optional ablation (not in the paper): additionally require
+  // x_ij <= c_ij, i.e. never emit a pair more often than the input saw it.
+  bool cap_counts_at_input = false;
+};
+
+struct FumpSpec {
+  // Minimum support s; a pair is frequent iff c_ij / |D| >= s. The frequent
+  // set shapes the model (one deviation variable + two rows per frequent
+  // pair), so s is structural.
+  double min_support = 1.0 / 500;
+  // Realize the paper's empirical "Precision = 1" finding structurally (see
+  // core/fump.h for the full story). Falls back to the uncapped formulation
+  // when the caps make the requested |O| unreachable.
+  bool enforce_precision = true;
+};
+
+struct DumpSpec {
+  DumpSolverKind solver = DumpSolverKind::kSpe;
+  lp::BnbOptions bnb;  // used by kBranchAndBound
+  // Integer presolve: a DP entry w_j = log t_ijk with w_j > B makes
+  // y_j = 1 infeasible on its own, so the *integer* y_j is fixed to 0
+  // before branch & bound even though the LP relaxation cannot see it.
+  bool integer_presolve = true;
+};
+
+// Per-solve parameters. Only right-hand sides and variable bounds of the
+// cached model depend on a query, so any previous basis of the same
+// UmpProblem stays a valid warm-start hint across queries.
+struct UmpQuery {
+  PrivacyParams privacy;
+  // F-UMP only: the fixed output size |O| in (0, λ]. Must be > 0 there
+  // (SanitizerSession resolves 0 to λ by solving its cached O-UMP first).
+  uint64_t output_size = 0;
+  // D-UMP only: overrides DumpSpec::solver for this query.
+  std::optional<DumpSolverKind> solver;
+};
+
+// A warm-start hint: the optimal basis of a previous Solve() of the same
+// UmpProblem instance (or of a structurally identical one — same log, same
+// spec). Stale or singular hints cost a fallback cold solve, never a wrong
+// answer.
+struct WarmStartHint {
+  lp::Basis basis;
+  bool empty() const { return basis.empty(); }
+};
+
+// Uniform solver effort block, comparable across objectives.
+struct UmpStats {
+  int64_t simplex_iterations = 0;    // primal + dual pivots, all LP solves
+  int64_t dual_iterations = 0;       // dual pivots (warm-start restores)
+  int refactorizations = 0;
+  int64_t nodes_explored = 0;        // branch & bound only
+  int64_t warm_solves = 0;           // LP solves that ran from a warm basis
+  bool warm_started = false;         // the main/root LP ran from the hint
+  // Iterations of the main LP alone (for D-UMP branch & bound: the root
+  // relaxation) — the part a cross-cell WarmStartHint shrinks directly.
+  int64_t root_iterations = 0;
+  int integer_fixed = 0;             // D-UMP presolve: y_j fixed to 0
+  double wall_seconds = 0.0;
+};
+
+struct UmpSolution {
+  UtilityObjective objective = UtilityObjective::kOutputSize;
+  // Rounded optimal counts per PairId, feasible for the DP rows.
+  std::vector<uint64_t> x;
+  // The LP-relaxed optimum (for D-UMP: the 0/1 counts themselves).
+  std::vector<double> x_relaxed;
+  // The objective in the problem's own units: relaxed λ (O-UMP), minimal
+  // support-distance sum (F-UMP), retained pairs (D-UMP).
+  double objective_value = 0.0;
+  // sum of x — λ for O-UMP, the realized output size for F-UMP, the number
+  // of retained pairs for D-UMP.
+  uint64_t output_size = 0;
+  // Optimal basis for warm-starting the next solve (empty for the LP-free
+  // D-UMP heuristics).
+  lp::Basis basis;
+  UmpStats stats;
+
+  // Objective-specific extras.
+  std::vector<PairId> frequent_pairs;  // F-UMP: the input's frequent set S0
+  bool used_precision_caps = false;    // F-UMP
+  bool proven_optimal = false;         // D-UMP branch & bound
+};
+
+// A utility-maximizing problem bound to one preprocessed log. Instances are
+// created by the factories below; `log` and `system` must outlive the
+// problem. The shared `system`'s budget is rebound on every Solve, so one
+// DpConstraintSystem can back several problems (as SanitizerSession does) —
+// single-threaded use only.
+class UmpProblem {
+ public:
+  virtual ~UmpProblem() = default;
+
+  virtual UtilityObjective objective() const = 0;
+  virtual size_t num_pairs() const = 0;
+
+  // Solves at the query's privacy budget. `hint` (optional) warm-starts
+  // from a previous solution's basis.
+  virtual Result<UmpSolution> Solve(const UmpQuery& query,
+                                    const WarmStartHint* hint) = 0;
+  Result<UmpSolution> Solve(const UmpQuery& query) {
+    return Solve(query, nullptr);
+  }
+};
+
+// Factories. `system` must hold the rows of `log` (DpConstraintSystem::
+// BuildRows); its budget is rebound per query.
+Result<std::unique_ptr<UmpProblem>> MakeOumpProblem(
+    const SearchLog& log, DpConstraintSystem* system, OumpSpec spec = {},
+    lp::SimplexOptions simplex = {});
+
+Result<std::unique_ptr<UmpProblem>> MakeFumpProblem(
+    const SearchLog& log, DpConstraintSystem* system, FumpSpec spec = {},
+    lp::SimplexOptions simplex = {});
+
+Result<std::unique_ptr<UmpProblem>> MakeDumpProblem(
+    const SearchLog& log, DpConstraintSystem* system, DumpSpec spec = {},
+    lp::SimplexOptions simplex = {});
+
+}  // namespace privsan
+
+#endif  // PRIVSAN_CORE_UMP_H_

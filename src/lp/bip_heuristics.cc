@@ -111,12 +111,13 @@ Result<BipSolution> SolveBipGreedy(const BipProblem& problem) {
 }
 
 Result<BipSolution> SolveBipLpRounding(const BipProblem& problem,
-                                       const SimplexOptions& options) {
+                                       const SimplexOptions& options,
+                                       const Basis* hint) {
   PRIVSAN_RETURN_IF_ERROR(problem.Validate());
   LpModel model = problem.ToLpModel();
   PRIVSAN_RETURN_IF_ERROR(model.Validate());
   SimplexSolver solver(options);
-  LpSolution lp = solver.Solve(model);
+  LpSolution lp = solver.Solve(model, hint);
   if (lp.status == SolveStatus::kInfeasible ||
       lp.status == SolveStatus::kUnbounded) {
     // Cannot happen for a validated BIP relaxation (y = 0 is feasible and
@@ -133,6 +134,7 @@ Result<BipSolution> SolveBipLpRounding(const BipProblem& problem,
     Result<BipSolution> greedy = SolveBipGreedy(problem);
     if (greedy.ok()) {
       greedy->lp_iterations = lp.iterations;
+      greedy->lp_dual_iterations = lp.dual_iterations;
       greedy->lp_refactorizations = lp.refactorizations;
     }
     return greedy;
@@ -146,7 +148,10 @@ Result<BipSolution> SolveBipLpRounding(const BipProblem& problem,
   Result<BipSolution> rounded = AdmitGreedily(problem, order);
   if (rounded.ok()) {
     rounded->lp_iterations = lp.iterations;
+    rounded->lp_dual_iterations = lp.dual_iterations;
     rounded->lp_refactorizations = lp.refactorizations;
+    rounded->basis = std::move(lp.basis);
+    rounded->lp_warm_started = lp.warm_started;
   }
   return rounded;
 }

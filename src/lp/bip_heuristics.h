@@ -53,13 +53,23 @@ struct BipSolution {
   int64_t selected = 0;  // objective: number of y_j == 1
   // LP effort behind the solution (zero for the pure greedy).
   int64_t lp_iterations = 0;
+  int64_t lp_dual_iterations = 0;
   int lp_refactorizations = 0;
+  // Optimal basis of the LP relaxation (empty for the pure greedy and when
+  // the LP fell back), reusable as a warm-start hint for the next solve of
+  // a structurally identical relaxation.
+  Basis basis;
+  bool lp_warm_started = false;
 };
 
 Result<BipSolution> SolveBipGreedy(const BipProblem& problem);
 
+// `hint` (optional) warm-starts the LP relaxation from a basis of a
+// structurally identical relaxation — e.g. the previous cell of a budget
+// sweep, where only the rhs changed.
 Result<BipSolution> SolveBipLpRounding(const BipProblem& problem,
-                                       const SimplexOptions& options = {});
+                                       const SimplexOptions& options = {},
+                                       const Basis* hint = nullptr);
 
 }  // namespace lp
 }  // namespace privsan

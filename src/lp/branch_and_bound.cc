@@ -102,8 +102,13 @@ BnbResult SolveBranchAndBound(const LpModel& model,
       v.lower = std::max(v.lower, lo);
       v.upper = std::min(v.upper, hi);
     }
-    LpSolution lp = solver.Solve(
-        scratch, options.warm_start ? node->warm.get() : nullptr);
+    const bool is_root = node->bound_changes.empty();
+    const Basis* hint = nullptr;
+    if (options.warm_start) {
+      hint = node->warm.get();
+      if (hint == nullptr && is_root) hint = options.root_hint;
+    }
+    LpSolution lp = solver.Solve(scratch, hint);
     // Restore bounds.
     for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
       Variable& v = scratch.mutable_variable(std::get<0>(*it));
@@ -114,6 +119,11 @@ BnbResult SolveBranchAndBound(const LpModel& model,
     result.lp_dual_iterations += lp.dual_iterations;
     result.lp_refactorizations += lp.refactorizations;
     if (lp.warm_started) ++result.warm_solves;
+    if (is_root) {
+      result.root_warm_started = lp.warm_started;
+      result.root_lp_iterations = lp.iterations;
+      if (lp.status == SolveStatus::kOptimal) result.root_basis = lp.basis;
+    }
 
     if (lp.status == SolveStatus::kInfeasible) continue;
     if (lp.status == SolveStatus::kUnbounded) {

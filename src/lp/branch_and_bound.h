@@ -28,6 +28,10 @@ struct BnbOptions {
   // Re-solve child nodes from the parent's optimal basis (dual-simplex
   // bound restoration) instead of from scratch.
   bool warm_start = true;
+  // Optional warm-start basis for the root LP — typically the optimal root
+  // basis of a structurally identical model solved at a different rhs (a
+  // neighbouring (ε, δ) cell in a budget sweep). Not owned; may be null.
+  const Basis* root_hint = nullptr;
 };
 
 struct BnbResult {
@@ -47,6 +51,16 @@ struct BnbResult {
   int lp_refactorizations = 0;
   // Node LPs that ran from the parent basis (vs cold phase-1 solves).
   int64_t warm_solves = 0;
+  // Iterations of the root relaxation alone — the part a `root_hint` from a
+  // neighbouring budget cell shrinks (tree totals are not comparable across
+  // runs, since a different root vertex reorders the search).
+  int64_t root_lp_iterations = 0;
+  // Optimal basis of the root relaxation, reusable as `root_hint` for the
+  // next solve of a structurally identical model. Empty if the root LP did
+  // not reach optimality.
+  Basis root_basis;
+  // Whether the root LP itself ran from `root_hint`.
+  bool root_warm_started = false;
 };
 
 // Solves `model` honoring Variable::is_integer flags. The model must be

@@ -65,6 +65,11 @@ class LpModel {
   // duplicates are summed at Validate()/solve time.
   void AddCoefficient(int row, int col, double value);
 
+  // Rebinds row r's right-hand side in place. The sparsity pattern is
+  // untouched, so a model stays Validate()d across rhs changes — the cached
+  // UMP models rebind the privacy budget this way between solves.
+  void set_constraint_rhs(int r, double rhs) { constraints_[r].rhs = rhs; }
+
   int num_variables() const { return static_cast<int>(variables_.size()); }
   int num_constraints() const { return static_cast<int>(constraints_.size()); }
   // Total coefficient entries across all rows (exact after Validate(),

@@ -1083,9 +1083,13 @@ LpSolution WarmSolveImpl(const LpModel& model, const SimplexOptions& options_,
   if (options_.perturb_costs) PerturbCosts(phase2_cost);
 
   // Dual feasibility repair: bound changes never move reduced costs, but a
-  // state flip above (or a hint from a perturbed sibling) can leave a
-  // nonbasic variable on the wrong side. Flip it to its other bound when
-  // one exists; otherwise the hint is unusable.
+  // state flip above (or a hint from a structurally shifted model — new
+  // columns, changed coefficients after AppendUsers) can leave a nonbasic
+  // variable on the wrong side. Flip it to its other bound when one exists;
+  // otherwise shift its cost so its reduced cost is zero — the dual phase
+  // then runs on the shifted costs, and the concluding primal phase (which
+  // prices the true costs) pulls the shifted columns into the basis.
+  std::vector<double> dual_cost = phase2_cost;
   {
     std::vector<double> reduced;
     ComputeReducedCosts(w, phase2_cost, reduced);
@@ -1096,24 +1100,23 @@ LpSolution WarmSolveImpl(const LpModel& model, const SimplexOptions& options_,
       if (st == kBasic || w.lb[j] == w.ub[j]) continue;
       const double d = reduced[j];
       if (st == kAtLower && d < -dual_tol) {
-        if (!std::isfinite(w.ub[j])) {
-          fallback = true;
-          return failed;
+        if (std::isfinite(w.ub[j])) {
+          w.state[j] = kAtUpper;
+          w.x[j] = w.ub[j];
+          flipped = true;
+        } else {
+          dual_cost[j] -= d;
         }
-        w.state[j] = kAtUpper;
-        w.x[j] = w.ub[j];
-        flipped = true;
       } else if (st == kAtUpper && d > dual_tol) {
-        if (!std::isfinite(w.lb[j])) {
-          fallback = true;
-          return failed;
+        if (std::isfinite(w.lb[j])) {
+          w.state[j] = kAtLower;
+          w.x[j] = w.lb[j];
+          flipped = true;
+        } else {
+          dual_cost[j] -= d;
         }
-        w.state[j] = kAtLower;
-        w.x[j] = w.lb[j];
-        flipped = true;
       } else if (st == kFree && std::abs(d) > dual_tol) {
-        fallback = true;
-        return failed;
+        dual_cost[j] -= d;
       }
     }
     if (flipped) RecomputeBasics(w);
@@ -1133,7 +1136,7 @@ LpSolution WarmSolveImpl(const LpModel& model, const SimplexOptions& options_,
     return failed;
   };
 
-  switch (RunDualPhase(w, phase2_cost, options_)) {
+  switch (RunDualPhase(w, dual_cost, options_)) {
     case DualStatus::kOptimal:
       break;
     case DualStatus::kPrimalInfeasible:

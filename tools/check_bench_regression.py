@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Diff BENCH_*.json artifacts against committed baselines.
+
+Usage:
+    check_bench_regression.py --baseline-dir bench/baselines BENCH_*.json
+
+Each bench JSON holds flat records; records are matched between the new run
+and the baseline by their identity fields (solver, grid coordinates, label,
+...). For every shared numeric metric the check fails when the new value
+regresses by more than the metric's tolerance relative to the baseline:
+
+  * lower-is-better metrics (iterations, nodes, refactorizations) fail when
+    new > baseline * (1 + tol);
+  * higher-is-better metrics (retained, recall, lambda, diversity) fail
+    when new < baseline * (1 - tol);
+  * wall-clock metrics use a much looser tolerance — CI machines vary — and
+    objective_mismatches must stay 0.
+
+Baselines are recorded at small scale (PRIVSAN_BENCH_SCALE=small); a run at
+a different scale is skipped, not compared. Records present in only one
+side are reported but do not fail the check (grids grow across PRs).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Fields that identify a record rather than measure it.
+IDENTITY_FIELDS = {
+    "record", "label", "solver", "part", "mode", "e_eps", "delta", "support",
+    "output_size", "pairs", "users", "cells",
+}
+
+DEFAULT_TOL = 0.25
+# metric -> (direction, tolerance); direction "low" = lower is better.
+METRIC_RULES = {
+    "seconds": ("low", 3.0),
+    "warm_seconds": ("low", 3.0),
+    "cold_seconds": ("low", 3.0),
+    "lambda": ("high", DEFAULT_TOL),
+    "retained": ("high", DEFAULT_TOL),
+    "cold_retained": ("high", DEFAULT_TOL),
+    "warm_retained": ("high", DEFAULT_TOL),
+    "recall": ("high", DEFAULT_TOL),
+    "precision": ("high", DEFAULT_TOL),
+    "diversity_ratio": ("high", DEFAULT_TOL),
+    "warm_solves": ("high", DEFAULT_TOL),
+    # Distances: smaller is better utility-wise.
+    "distance_sum": ("low", DEFAULT_TOL),
+    "distance_sum_lp": ("low", DEFAULT_TOL),
+    "distance_sum_rounded": ("low", DEFAULT_TOL),
+    "avg_distance": ("low", DEFAULT_TOL),
+    "objective_mismatches": ("low", 0.0),
+}
+# Everything else numeric (iterations, nodes, refactorizations, ...) is
+# treated as lower-is-better effort at the default tolerance.
+DEFAULT_RULE = ("low", DEFAULT_TOL)
+
+# Reported but never gated: proven_optimal flips with the B&B wall-clock
+# budget, so on a slower runner a drop is machine variance, not regression.
+IGNORED_METRICS = {"proven_optimal"}
+
+# Effort metrics can legitimately be tiny; skip noise-dominated comparisons.
+ABSOLUTE_FLOOR = 64
+
+
+def record_key(record):
+    return tuple(sorted(
+        (k, v) for k, v in record.items() if k in IDENTITY_FIELDS))
+
+
+def compare_metric(name, baseline, new):
+    """Returns an error string, or None if the metric is within tolerance."""
+    direction, tol = METRIC_RULES.get(name, DEFAULT_RULE)
+    if name == "objective_mismatches":
+        if new > baseline:
+            return f"{name}: {new:g} vs baseline {baseline:g} (must not grow)"
+        return None
+    # Additive slack around the baseline: the relative tolerance, plus an
+    # absolute floor so near-zero baselines (FP noise, tiny effort counts)
+    # don't produce spurious or impossible limits.
+    slack = tol * abs(baseline)
+    if name.endswith("seconds"):
+        slack += 0.25  # sub-second cells are timer noise on shared runners
+    else:
+        slack += ABSOLUTE_FLOOR if name not in METRIC_RULES else 1e-6
+    if direction == "low":
+        limit = baseline + slack
+        if new > limit:
+            return (f"{name}: {new:g} vs baseline {baseline:g} "
+                    f"(limit {limit:g})")
+    else:
+        limit = baseline - slack
+        if new < limit:
+            return (f"{name}: {new:g} vs baseline {baseline:g} "
+                    f"(limit {limit:g})")
+    return None
+
+
+def check_file(new_path, baseline_path):
+    with open(new_path) as f:
+        new_doc = json.load(f)
+    with open(baseline_path) as f:
+        base_doc = json.load(f)
+
+    if new_doc.get("scale") != base_doc.get("scale"):
+        print(f"  SKIP {new_path}: scale {new_doc.get('scale')!r} vs "
+              f"baseline {base_doc.get('scale')!r}")
+        return []
+
+    base_records = {record_key(r): r for r in base_doc.get("records", [])}
+    errors = []
+    matched = 0
+    for record in new_doc.get("records", []):
+        base = base_records.get(record_key(record))
+        if base is None:
+            continue
+        matched += 1
+        for name, value in record.items():
+            if name in IDENTITY_FIELDS or name in IGNORED_METRICS \
+                    or name not in base:
+                continue
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            error = compare_metric(name, float(base[name]), float(value))
+            if error:
+                errors.append(f"{os.path.basename(new_path)} "
+                              f"{dict(record_key(record))}: {error}")
+    print(f"  {os.path.basename(new_path)}: {matched} records matched, "
+          f"{len(errors)} regressions")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", required=True)
+    parser.add_argument("bench_json", nargs="+")
+    args = parser.parse_args()
+
+    all_errors = []
+    compared = 0
+    for new_path in args.bench_json:
+        baseline_path = os.path.join(args.baseline_dir,
+                                     os.path.basename(new_path))
+        if not os.path.exists(baseline_path):
+            print(f"  NEW {new_path}: no baseline, skipping")
+            continue
+        compared += 1
+        all_errors.extend(check_file(new_path, baseline_path))
+
+    if all_errors:
+        print(f"\n{len(all_errors)} bench regression(s) beyond tolerance:")
+        for error in all_errors:
+            print(f"  REGRESSION {error}")
+        return 1
+    print(f"\nbench check OK ({compared} file(s) compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
