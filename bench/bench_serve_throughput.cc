@@ -1,0 +1,263 @@
+// Serve-path throughput: what the SanitizerService layer buys over naive
+// re-solving.
+//
+// Part 1 — append-flush latency. A publisher receiving K append batches
+// can (a) cold re-solve after every batch — rebuild preprocessing, DP rows
+// and the LP from scratch each time (what the one-shot wrappers do) — or
+// (b) enqueue all K batches in the service and let one flush coalesce them
+// into a single incremental re-preprocess + DP-row patch + basis remap,
+// then solve warm. Same final state, one warm solve instead of K cold ones.
+//
+// Part 2 — multi-tenant solves/sec. T client threads, each owning a tenant,
+// sweep a budget grid through the shared service twice: the first pass
+// solves (warm-started within each tenant), the second is pure result-cache
+// hits.
+//
+// Part 3 — snapshot/restore. Solve, snapshot to disk, restore into a fresh
+// service ("restart"), re-solve: the restored session must warm-start from
+// the remapped basis (reported warm iterations << cold) with an identical
+// objective.
+#include <atomic>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+#include "util/timer.h"
+
+using namespace privsan;
+
+namespace {
+
+UmpQuery Query(double e_eps, double delta) {
+  UmpQuery query;
+  query.privacy = PrivacyParams::FromEEpsilon(e_eps, delta);
+  return query;
+}
+
+}  // namespace
+
+int main() {
+  bench::JsonReport report("serve_throughput");
+  const bench::BenchDataset dataset = bench::LoadDataset();
+  const SearchLog& raw = dataset.raw;
+  const UmpQuery query = Query(2.0, 0.5);
+
+  // ---- Part 1: per-append cold re-solves vs one batched warm flush ------
+  // The serve shape: an established base (90% of users) receiving a stream
+  // of small batches. The naive baseline pays a full rebuild + cold solve
+  // per batch on an almost-full log; the service pays one coalesced
+  // incremental append + one warm solve for the same final state.
+  const int kBatches = 12;
+  const UserId cut = raw.num_users() * 9 / 10;
+  const UserId per_batch =
+      (raw.num_users() - cut + kBatches - 1) / kBatches;
+
+  std::cout << "== append-flush latency (" << kBatches << " batches of ~"
+            << per_batch << " users onto a " << cut << "-user base) ==\n";
+
+  // (a) The naive loop: every batch triggers a full rebuild + cold solve.
+  WallTimer cold_timer;
+  int64_t cold_root_iterations = 0;
+  uint64_t cold_final_lambda = 0;
+  for (int b = 1; b <= kBatches; ++b) {
+    const UserId end =
+        std::min<UserId>(raw.num_users(), cut + b * per_batch);
+    SanitizerSession session =
+        SanitizerSession::Create(UserSlice(raw, 0, end)).value();
+    const UmpSolution solution =
+        session.Solve(UtilityObjective::kOutputSize, query).value();
+    cold_root_iterations += solution.stats.root_iterations;
+    cold_final_lambda = solution.output_size;
+  }
+  const double cold_seconds = cold_timer.ElapsedSeconds();
+
+  // (b) The serve path: prime a tenant on the base, enqueue all batches,
+  // flush once (coalesced incremental append), solve warm.
+  serve::SanitizerService service;
+  service.CreateTenant("publisher", UserSlice(raw, 0, cut));
+  const UmpSolution primed =
+      service.Solve("publisher", UtilityObjective::kOutputSize, query)
+          .value();
+  (void)primed;  // prime the basis; not part of the append loop below
+
+  WallTimer warm_timer;
+  for (int b = 0; b < kBatches; ++b) {
+    const UserId begin = cut + b * per_batch;
+    const UserId end = std::min<UserId>(raw.num_users(), begin + per_batch);
+    service.Append("publisher", UserSlice(raw, begin, end));
+  }
+  const UmpSolution warm_solution =
+      service.Solve("publisher", UtilityObjective::kOutputSize, query)
+          .value();
+  const double warm_seconds = warm_timer.ElapsedSeconds();
+  const serve::TenantStats publisher_stats =
+      service.Stats("publisher").value();
+
+  const int mismatches =
+      warm_solution.output_size == cold_final_lambda ? 0 : 1;
+  const double speedup = warm_seconds > 0 ? cold_seconds / warm_seconds : 0;
+  std::cout << "per-append cold: " << cold_seconds << " s ("
+            << cold_root_iterations << " root iterations)\n"
+            << "batched warm:    " << warm_seconds << " s ("
+            << warm_solution.stats.root_iterations << " root iterations, "
+            << publisher_stats.flushes << " flush, rows copied/rebuilt "
+            << publisher_stats.rows_copied << "/"
+            << publisher_stats.rows_rebuilt << ")\n"
+            << "speedup: " << speedup << "x, objective mismatches: "
+            << mismatches << "\n\n";
+
+  {
+    bench::JsonRecord record;
+    record.Add("record", "append_flush")
+        .Add("mode", "per_append_cold")
+        .Add("batches", static_cast<int64_t>(kBatches))
+        .Add("seconds", cold_seconds)
+        .Add("root_iterations", cold_root_iterations);
+    report.Add(std::move(record));
+  }
+  {
+    bench::JsonRecord record;
+    record.Add("record", "append_flush")
+        .Add("mode", "batched_warm")
+        .Add("batches", static_cast<int64_t>(kBatches))
+        .Add("seconds", warm_seconds)
+        .Add("root_iterations", warm_solution.stats.root_iterations)
+        .Add("rows_copied", static_cast<int64_t>(publisher_stats.rows_copied))
+        .Add("rows_rebuilt",
+             static_cast<int64_t>(publisher_stats.rows_rebuilt));
+    report.Add(std::move(record));
+  }
+  {
+    bench::JsonRecord record;
+    record.Add("record", "append_speedup")
+        .Add("batches", static_cast<int64_t>(kBatches))
+        .Add("speedup", speedup)
+        .Add("objective_mismatches", static_cast<int64_t>(mismatches));
+    report.Add(std::move(record));
+  }
+
+  // ---- Part 1b: steady-state small append (the row-patch fast path) -----
+  // One new user clicking one existing tail pair — the common steady-state
+  // event. Most pair totals are untouched, so most DP rows are copied, not
+  // recomputed; this record is what gates PatchRows in CI (the bulk append
+  // above legitimately rebuilds every row).
+  {
+    SanitizerSession session = SanitizerSession::Create(raw).value();
+    const SearchLog& log = session.log();
+    PairId target = 0;
+    for (PairId p = 1; p < log.num_pairs(); ++p) {
+      if (log.PairUserCount(p) < log.PairUserCount(target)) target = p;
+    }
+    SearchLogBuilder one_user;
+    one_user.Add("steady_state_user", log.query_name(log.pair_query(target)),
+                 log.url_name(log.pair_url(target)), 1);
+    WallTimer append_timer;
+    if (!session.AppendUsers(one_user.Build()).ok()) return 1;
+    const AppendStats& append_stats = session.last_append_stats();
+    std::cout << "single-user append: " << append_timer.ElapsedSeconds()
+              << " s, rows copied/rebuilt " << append_stats.rows_copied
+              << "/" << append_stats.rows_rebuilt << "\n\n";
+    bench::JsonRecord record;
+    record.Add("record", "small_append")
+        .Add("seconds", append_stats.seconds)
+        .Add("rows_copied", static_cast<int64_t>(append_stats.rows_copied))
+        .Add("rows_rebuilt",
+             static_cast<int64_t>(append_stats.rows_rebuilt));
+    report.Add(std::move(record));
+  }
+
+  // ---- Part 2: multi-tenant solves/sec ----------------------------------
+  const int kTenants = 4;
+  std::vector<UmpQuery> grid =
+      bench::BudgetGrid(bench::EEpsilonGrid(), {1e-3, 1e-1, 0.5});
+  std::cout << "== multi-tenant throughput (" << kTenants
+            << " tenants x " << grid.size() << "-cell grid) ==\n";
+  for (int t = 0; t < kTenants; ++t) {
+    // Distinct per-tenant logs: disjoint user slices of the dataset.
+    const UserId lo = raw.num_users() * t / kTenants;
+    const UserId hi = raw.num_users() * (t + 1) / kTenants;
+    service.CreateTenant("tenant" + std::to_string(t),
+                         UserSlice(raw, lo, hi));
+  }
+  for (const char* mode : {"warm", "cached"}) {
+    WallTimer timer;
+    std::atomic<int64_t> solved{0};
+    std::vector<std::thread> clients;
+    for (int t = 0; t < kTenants; ++t) {
+      clients.emplace_back([&service, &grid, &solved, t] {
+        const std::string name = "tenant" + std::to_string(t);
+        for (const UmpQuery& cell : grid) {
+          if (service.Solve(name, UtilityObjective::kOutputSize, cell)
+                  .ok()) {
+            solved.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+    const double seconds = timer.ElapsedSeconds();
+    const double rate = seconds > 0 ? solved.load() / seconds : 0;
+    std::cout << mode << " pass: " << solved.load() << " solves in "
+              << seconds << " s = " << rate << " solves/sec\n";
+    bench::JsonRecord record;
+    record.Add("record", "throughput")
+        .Add("mode", mode)
+        .Add("tenants", static_cast<int64_t>(kTenants))
+        .Add("solves", solved.load())
+        .Add("seconds", seconds)
+        .Add("solves_per_sec", rate);
+    report.Add(std::move(record));
+  }
+  std::cout << "\n";
+
+  // ---- Part 3: snapshot / restore ---------------------------------------
+  std::cout << "== snapshot / restore ==\n";
+  const std::string path = "bench_serve_snapshot.bin";
+  WallTimer save_timer;
+  service.SaveSnapshot("publisher", path);
+  const double save_seconds = save_timer.ElapsedSeconds();
+
+  // Cold reference: a fresh session on the same final log.
+  SanitizerSession cold_session = SanitizerSession::Create(raw).value();
+  const UmpSolution cold_solution =
+      cold_session.Solve(UtilityObjective::kOutputSize, query).value();
+
+  serve::SanitizerService restarted;
+  WallTimer restore_timer;
+  restarted.RestoreTenant("publisher", path);
+  const double restore_seconds = restore_timer.ElapsedSeconds();
+  const UmpSolution restored_solution =
+      restarted.Solve("publisher", UtilityObjective::kOutputSize, query)
+          .value();
+  std::remove(path.c_str());
+
+  const int snapshot_mismatches =
+      restored_solution.output_size == warm_solution.output_size ? 0 : 1;
+  std::cout << "cold solve:           " << cold_solution.stats.root_iterations
+            << " root iterations\n"
+            << "restored warm solve:  "
+            << restored_solution.stats.root_iterations
+            << " root iterations (warm_started="
+            << (restored_solution.stats.warm_started ? 1 : 0) << ")\n"
+            << "save " << save_seconds << " s, restore " << restore_seconds
+            << " s, objective mismatches: " << snapshot_mismatches << "\n";
+  bench::JsonRecord record;
+  record.Add("record", "snapshot")
+      .Add("cold_root_iterations", cold_solution.stats.root_iterations)
+      .Add("restored_root_iterations",
+           restored_solution.stats.root_iterations)
+      .Add("restored_warm_started",
+           static_cast<int64_t>(restored_solution.stats.warm_started ? 1 : 0))
+      .Add("save_seconds", save_seconds)
+      .Add("restore_seconds", restore_seconds)
+      .Add("objective_mismatches", static_cast<int64_t>(snapshot_mismatches));
+  report.Add(std::move(record));
+
+  // Warm-vs-cold equivalence is a correctness gate, not a perf number.
+  return mismatches == 0 && snapshot_mismatches == 0 ? 0 : 1;
+}

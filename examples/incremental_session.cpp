@@ -15,22 +15,6 @@
 
 using namespace privsan;
 
-namespace {
-
-// Splits `log` by user into [0, cut) and [cut, num_users).
-SearchLog UserSlice(const SearchLog& log, UserId begin, UserId end) {
-  SearchLogBuilder builder;
-  for (UserId u = begin; u < end && u < log.num_users(); ++u) {
-    for (const PairCount& cell : log.UserLogOf(u)) {
-      builder.Add(log.user_name(u), log.query_name(log.pair_query(cell.pair)),
-                  log.url_name(log.pair_url(cell.pair)), cell.count);
-    }
-  }
-  return builder.Build();
-}
-
-}  // namespace
-
 int main() {
   SyntheticLogConfig config = TinyConfig();
   config.num_events = 6000;

@@ -6,7 +6,11 @@
 #include <unordered_map>
 #include <utility>
 
+#include "core/fump.h"
 #include "core/sampler.h"
+#include "lp/basis_io.h"
+#include "serve/thread_pool.h"
+#include "util/concurrency_check.h"
 #include "util/timer.h"
 
 namespace privsan {
@@ -19,6 +23,51 @@ int Index(UtilityObjective objective) {
   return static_cast<int>(objective);
 }
 
+// Old->new index maps shared by every per-objective basis remap of one
+// append (name-keyed: PairIds and row order may permute arbitrarily across
+// the re-preprocess, and FindPair/FindUser are linear scans). Built once
+// per RebuildFromRaw — the serve path appends continuously.
+struct RemapMaps {
+  bool ok = false;
+  std::vector<int> pair_map;  // old PairId -> new PairId
+  std::vector<int> row_map;   // old row -> new row
+};
+
+RemapMaps BuildRemapMaps(const SearchLog& old_log,
+                         const DpConstraintSystem& old_system,
+                         const SearchLog& new_log,
+                         const DpConstraintSystem& new_system) {
+  RemapMaps maps;
+  // Appending clicks never turns a shared pair unique, so every old pair
+  // survives preprocessing; defend anyway.
+  std::unordered_map<std::string, PairId> new_pair;
+  new_pair.reserve(new_log.num_pairs());
+  for (PairId p = 0; p < new_log.num_pairs(); ++p) {
+    new_pair.emplace(new_log.PairNameKey(p), p);
+  }
+  maps.pair_map.assign(old_log.num_pairs(), -1);
+  for (PairId p = 0; p < old_log.num_pairs(); ++p) {
+    const auto it = new_pair.find(old_log.PairNameKey(p));
+    if (it == new_pair.end()) return maps;
+    maps.pair_map[p] = static_cast<int>(it->second);
+  }
+  std::unordered_map<std::string, int> new_row_of_user;
+  new_row_of_user.reserve(new_system.num_rows());
+  for (size_t r = 0; r < new_system.num_rows(); ++r) {
+    new_row_of_user[new_log.user_name(new_system.RowUser(r))] =
+        static_cast<int>(r);
+  }
+  maps.row_map.assign(old_system.num_rows(), -1);
+  for (size_t r = 0; r < old_system.num_rows(); ++r) {
+    const auto it =
+        new_row_of_user.find(old_log.user_name(old_system.RowUser(r)));
+    if (it == new_row_of_user.end()) return maps;
+    maps.row_map[r] = it->second;
+  }
+  maps.ok = true;
+  return maps;
+}
+
 // Maps a basis of the old (log, system) model onto the grown one: surviving
 // pairs and user rows keep their status under their new indices, appended
 // pairs enter nonbasic at zero, appended users' slack rows enter basic.
@@ -26,41 +75,13 @@ int Index(UtilityObjective objective) {
 // PairId order and whose rows are the DP rows (O-UMP and the D-UMP
 // relaxation). Returns an empty basis when the mapping breaks down — the
 // next solve then simply runs cold.
-lp::Basis RemapBasis(const lp::Basis& old_basis, const SearchLog& old_log,
-                     const DpConstraintSystem& old_system,
-                     const SearchLog& new_log,
-                     const DpConstraintSystem& new_system) {
-  const size_t n_old = old_log.num_pairs();
-  const size_t m_old = old_system.num_rows();
-  const size_t n_new = new_log.num_pairs();
-  const size_t m_new = new_system.num_rows();
-  if (old_basis.state.size() != n_old + m_old ||
+lp::Basis RemapBasis(const lp::Basis& old_basis, const RemapMaps& maps,
+                     size_t n_new, size_t m_new) {
+  const size_t n_old = maps.pair_map.size();
+  const size_t m_old = maps.row_map.size();
+  if (!maps.ok || old_basis.state.size() != n_old + m_old ||
       old_basis.basic.size() != m_old) {
     return {};
-  }
-
-  // Appending clicks never turns a shared pair unique, so every old pair
-  // survives preprocessing; defend anyway.
-  std::vector<int> pair_map(n_old, -1);
-  for (PairId p = 0; p < n_old; ++p) {
-    Result<PairId> found =
-        new_log.FindPair(old_log.query_name(old_log.pair_query(p)),
-                         old_log.url_name(old_log.pair_url(p)));
-    if (!found.ok()) return {};
-    pair_map[p] = static_cast<int>(*found);
-  }
-  std::unordered_map<std::string, int> new_row_of_user;
-  new_row_of_user.reserve(m_new);
-  for (size_t r = 0; r < m_new; ++r) {
-    new_row_of_user[new_log.user_name(new_system.RowUser(r))] =
-        static_cast<int>(r);
-  }
-  std::vector<int> row_map(m_old, -1);
-  for (size_t r = 0; r < m_old; ++r) {
-    auto it =
-        new_row_of_user.find(old_log.user_name(old_system.RowUser(r)));
-    if (it == new_row_of_user.end()) return {};
-    row_map[r] = it->second;
   }
 
   lp::Basis basis;
@@ -69,10 +90,10 @@ lp::Basis RemapBasis(const lp::Basis& old_basis, const SearchLog& old_log,
     basis.state[n_new + r] = lp::VarStatus::kBasic;
   }
   for (size_t j = 0; j < n_old; ++j) {
-    basis.state[pair_map[j]] = old_basis.state[j];
+    basis.state[maps.pair_map[j]] = old_basis.state[j];
   }
   for (size_t r = 0; r < m_old; ++r) {
-    basis.state[n_new + row_map[r]] = old_basis.state[n_old + r];
+    basis.state[n_new + maps.row_map[r]] = old_basis.state[n_old + r];
   }
   for (size_t j = 0; j < basis.state.size(); ++j) {
     if (basis.state[j] == lp::VarStatus::kBasic) {
@@ -81,6 +102,23 @@ lp::Basis RemapBasis(const lp::Basis& old_basis, const SearchLog& old_log,
   }
   if (basis.basic.size() != m_new) return {};
   return basis;
+}
+
+// Whether `basis` has the shape of the objective's model over (log,
+// system). F-UMP adds one deviation variable and two rows per frequent
+// pair plus the output-size row; O-UMP and the D-UMP relaxation are the
+// pairs over the DP rows.
+bool BasisShapeMatches(const lp::Basis& basis, UtilityObjective objective,
+                       const SearchLog& log, const DpConstraintSystem& system,
+                       double fump_min_support) {
+  size_t n = log.num_pairs();
+  size_t m = system.num_rows();
+  if (objective == UtilityObjective::kFrequentPairs) {
+    const size_t f = FrequentPairs(log, fump_min_support).size();
+    n += f;
+    m += 1 + 2 * f;
+  }
+  return lp::ValidateBasisShape(basis, n, m).ok();
 }
 
 }  // namespace
@@ -93,6 +131,8 @@ struct SanitizerSession::State {
   DpConstraintSystem system;  // shared rows; budget rebound per solve
   std::unique_ptr<UmpProblem> problems[kNumObjectives];
   lp::Basis last_basis[kNumObjectives];
+  AppendStats append_stats;
+  internal::NonConcurrentChecker checker;
   // The support the next F-UMP solve should use (SweepOptions can override
   // it for the duration of a sweep) and the support the cached F-UMP
   // problem was actually built with (-1 = no cached problem). SolveInternal
@@ -117,6 +157,9 @@ const SearchLog& SanitizerSession::log() const { return state_->log; }
 const PreprocessStats& SanitizerSession::preprocess_stats() const {
   return state_->stats;
 }
+const AppendStats& SanitizerSession::last_append_stats() const {
+  return state_->append_stats;
+}
 
 Result<SanitizerSession> SanitizerSession::Create(const SearchLog& input,
                                                   SessionOptions options) {
@@ -129,34 +172,93 @@ Result<SanitizerSession> SanitizerSession::Create(const SearchLog& input,
   return session;
 }
 
+SessionSnapshot SanitizerSession::Snapshot() const {
+  internal::NonConcurrentScope scope(&state_->checker);
+  SessionSnapshot snapshot;
+  snapshot.raw = state_->raw;
+  snapshot.log = state_->log;
+  snapshot.stats = state_->stats;
+  snapshot.system = state_->system;
+  snapshot.bases.assign(std::begin(state_->last_basis),
+                        std::end(state_->last_basis));
+  return snapshot;
+}
+
+Result<SanitizerSession> SanitizerSession::FromSnapshot(
+    SessionSnapshot snapshot, SessionOptions options) {
+  if (snapshot.system.num_pairs() != snapshot.log.num_pairs()) {
+    return Status::InvalidArgument(
+        "snapshot DP system does not match its preprocessed log (" +
+        std::to_string(snapshot.system.num_pairs()) + " vs " +
+        std::to_string(snapshot.log.num_pairs()) + " pairs)");
+  }
+  auto state = std::make_unique<State>();
+  state->options = std::move(options);
+  state->fump_min_support = state->options.fump.min_support;
+  state->raw = std::move(snapshot.raw);
+  state->log = std::move(snapshot.log);
+  state->stats = snapshot.stats;
+  state->system = std::move(snapshot.system);
+  for (int i = 0; i < kNumObjectives; ++i) {
+    if (static_cast<size_t>(i) >= snapshot.bases.size()) break;
+    lp::Basis& basis = snapshot.bases[i];
+    if (basis.empty() ||
+        !BasisShapeMatches(basis, static_cast<UtilityObjective>(i),
+                           state->log, state->system,
+                           state->fump_min_support)) {
+      continue;  // warm start lost, correctness kept
+    }
+    state->last_basis[i] = std::move(basis);
+  }
+  return SanitizerSession(std::move(state));
+}
+
 Status SanitizerSession::RebuildFromRaw(bool remap_bases) {
   State& s = *state_;
   SearchLog old_log;
   DpConstraintSystem old_system;
-  const bool have_bases =
-      remap_bases &&
-      std::any_of(std::begin(s.last_basis), std::end(s.last_basis),
-                  [](const lp::Basis& b) { return !b.empty(); });
-  if (have_bases) {
+  if (remap_bases) {
     old_log = std::move(s.log);
     old_system = std::move(s.system);
   }
 
-  PreprocessResult preprocessed = RemoveUniquePairs(s.raw);
+  PreprocessResult preprocessed = RemoveUniquePairs(s.raw, s.options.pool);
   s.log = std::move(preprocessed.log);
   s.stats = preprocessed.stats;
-  PRIVSAN_ASSIGN_OR_RETURN(s.system, DpConstraintSystem::BuildRows(s.log));
+  if (remap_bases) {
+    // Incremental re-derive: copy the rows whose users saw no click-total
+    // movement, recompute the rest. Bit-identical to a full BuildRows.
+    PRIVSAN_ASSIGN_OR_RETURN(
+        DpRowPatch patched,
+        DpConstraintSystem::PatchRows(s.log, old_log, old_system,
+                                      s.options.pool));
+    s.system = std::move(patched.system);
+    s.append_stats.rows_copied = patched.rows_copied;
+    s.append_stats.rows_rebuilt = patched.rows_rebuilt;
+  } else {
+    PRIVSAN_ASSIGN_OR_RETURN(s.system,
+                             DpConstraintSystem::BuildRows(s.log,
+                                                           s.options.pool));
+  }
   for (auto& problem : s.problems) problem.reset();
   s.fump_problem_support = -1.0;
 
-  // Carry the O-UMP / D-UMP optimal bases over to the grown model. The
-  // F-UMP basis is dropped: its frequent set (hence its variable and row
-  // layout) changes with the appended clicks.
+  // Carry the O-UMP / D-UMP optimal bases over to the grown model (the
+  // index maps are shared across objectives). The F-UMP basis is dropped:
+  // its frequent set (hence its variable and row layout) changes with the
+  // appended clicks.
+  const bool have_bases =
+      remap_bases &&
+      std::any_of(std::begin(s.last_basis), std::end(s.last_basis),
+                  [](const lp::Basis& b) { return !b.empty(); });
+  const RemapMaps maps =
+      have_bases ? BuildRemapMaps(old_log, old_system, s.log, s.system)
+                 : RemapMaps{};
   for (UtilityObjective objective :
        {UtilityObjective::kOutputSize, UtilityObjective::kDiversity}) {
     lp::Basis& basis = s.last_basis[Index(objective)];
     if (have_bases && !basis.empty()) {
-      basis = RemapBasis(basis, old_log, old_system, s.log, s.system);
+      basis = RemapBasis(basis, maps, s.log.num_pairs(), s.system.num_rows());
     } else {
       basis = {};
     }
@@ -166,21 +268,18 @@ Status SanitizerSession::RebuildFromRaw(bool remap_bases) {
 }
 
 Status SanitizerSession::AppendUsers(const SearchLog& more) {
+  internal::NonConcurrentScope scope(&state_->checker);
+  WallTimer timer;
   State& s = *state_;
   SearchLogBuilder builder;
-  const auto add_all = [&builder](const SearchLog& src) {
-    for (UserId u = 0; u < src.num_users(); ++u) {
-      for (const PairCount& cell : src.UserLogOf(u)) {
-        builder.Add(src.user_name(u),
-                    src.query_name(src.pair_query(cell.pair)),
-                    src.url_name(src.pair_url(cell.pair)), cell.count);
-      }
-    }
-  };
-  add_all(s.raw);
-  add_all(more);
+  builder.AddAll(s.raw);
+  builder.AddAll(more);
   s.raw = builder.Build();
-  return RebuildFromRaw(/*remap_bases=*/true);
+  s.append_stats = {};
+  s.append_stats.appended_users = more.num_users();
+  PRIVSAN_RETURN_IF_ERROR(RebuildFromRaw(/*remap_bases=*/true));
+  s.append_stats.seconds = timer.ElapsedSeconds();
+  return Status::OK();
 }
 
 Result<UmpSolution> SanitizerSession::SolveInternal(
@@ -255,12 +354,14 @@ Result<UmpSolution> SanitizerSession::SolveInternal(
 
 Result<UmpSolution> SanitizerSession::Solve(UtilityObjective objective,
                                             const UmpQuery& query) {
+  internal::NonConcurrentScope scope(&state_->checker);
   return SolveInternal(objective, query, /*warm=*/true);
 }
 
 Result<SweepResult> SanitizerSession::SweepBudgets(
     UtilityObjective objective, const std::vector<UmpQuery>& grid,
     const SweepOptions& sweep) {
+  internal::NonConcurrentScope scope(&state_->checker);
   WallTimer timer;
   State& s = *state_;
   // The min-support override is scoped to this sweep: the session's own
@@ -294,6 +395,7 @@ Result<SweepResult> SanitizerSession::SweepBudgets(
 
 Result<SanitizeReport> SanitizerSession::Sanitize(
     const PrivacyParams& privacy) {
+  internal::NonConcurrentScope scope(&state_->checker);
   State& s = *state_;
   PRIVSAN_RETURN_IF_ERROR(privacy.Validate());
   WallTimer timer;
@@ -316,7 +418,7 @@ Result<SanitizeReport> SanitizerSession::Sanitize(
                                        oump.output_size);
   }
   PRIVSAN_ASSIGN_OR_RETURN(UmpSolution solution,
-                           Solve(s.options.objective, query));
+                           SolveInternal(s.options.objective, query, true));
 
   SanitizeReport report;
   report.preprocessed_input = s.log;

@@ -21,17 +21,24 @@
 //   * AppendUsers(logs): appends user logs and remaps the previous optimal
 //     basis onto the grown model (appended users become basic slack rows,
 //     new pairs enter nonbasic at zero) so the next solve warm-starts from
-//     the prior optimum instead of cold-solving — the ROADMAP's serve-path
-//     primitive. The *solve* is incremental; preprocessing and the DP rows
-//     are currently rebuilt over the whole accumulated log per append
-//     (O(log size) — patching only changed rows is a ROADMAP follow-up);
+//     the prior optimum instead of cold-solving — the serve-path primitive.
+//     The DP rows are patched incrementally (DpConstraintSystem::PatchRows):
+//     only rows of users holding a pair whose click total moved are
+//     recomputed, the rest are copied with remapped PairIds;
 //   * Sanitize(privacy): the full Algorithm-1 pipeline (solve → optional
 //     Laplace noise → multinomial sampling → Theorem-1 audit) on the
 //     session's cached state.
 //
 // Warm starts are a pure optimization: a stale or unusable basis falls
 // back to a cold solve inside the simplex, never to a different answer.
-// Sessions are single-threaded; shard across sessions for parallelism.
+//
+// Thread-compatibility contract: a session mutates cached problems and the
+// shared DP system in place, so all methods — including the const accessors
+// while a solve is running — are single-threaded. Debug builds assert
+// overlapping calls. For cross-thread use, serialize access per session or
+// go through serve::SanitizerService (the only concurrency-safe entry
+// point); parallelism *within* one session's preprocessing comes from
+// SessionOptions::pool instead.
 #ifndef PRIVSAN_CORE_SESSION_H_
 #define PRIVSAN_CORE_SESSION_H_
 
@@ -48,6 +55,10 @@
 #include "util/result.h"
 
 namespace privsan {
+
+namespace serve {
+class ThreadPool;
+}  // namespace serve
 
 struct SessionOptions {
   // Objective used by Sanitize(); Solve()/SweepBudgets() name theirs.
@@ -66,6 +77,33 @@ struct SessionOptions {
   // Optional end-to-end DP noise on the computed counts (§4.2), applied by
   // Sanitize().
   std::optional<LaplaceStepOptions> laplace;
+
+  // Shards Condition-1 preprocessing and DP-row construction (Create and
+  // AppendUsers) across this pool; nullptr = serial. Not owned — must
+  // outlive the session. Sharding never changes results, only wall time.
+  serve::ThreadPool* pool = nullptr;
+};
+
+// What the last AppendUsers actually did — the serve path's hot-spot
+// telemetry (rows_copied should dominate once a log is large and appends
+// are small).
+struct AppendStats {
+  size_t appended_users = 0;   // raw users added (pre-merge duplicates)
+  size_t rows_copied = 0;      // DP rows reused from the previous system
+  size_t rows_rebuilt = 0;     // DP rows recomputed (changed or new users)
+  double seconds = 0.0;
+};
+
+// A session's reusable state, detached for snapshot/restore
+// (serve/snapshot.h): the raw and preprocessed logs, the DP rows and the
+// last optimal basis per objective. Restoring skips preprocessing and row
+// construction entirely and resumes warm from the stored bases.
+struct SessionSnapshot {
+  SearchLog raw;
+  SearchLog log;  // preprocessed
+  PreprocessStats stats;
+  DpConstraintSystem system;  // rows only; the budget is rebound per solve
+  std::vector<lp::Basis> bases;  // indexed by UtilityObjective
 };
 
 // Result of the full pipeline (formerly declared in core/sanitizer.h).
@@ -133,16 +171,31 @@ class SanitizerSession {
                                    const SweepOptions& sweep = {});
 
   // Appends the user logs of `more` to the session's raw input (same-name
-  // users merge), re-preprocesses, rebuilds the DP rows, and remaps the
-  // stored optimal bases onto the grown problem so the next Solve warm-
-  // starts from the prior optimum. The result of a post-append solve is
-  // identical to a from-scratch solve on the concatenated log.
+  // users merge), re-preprocesses, patches the DP rows incrementally (only
+  // rows whose users' pairs changed are recomputed), and remaps the stored
+  // optimal bases onto the grown problem so the next Solve warm-starts from
+  // the prior optimum. The result of a post-append solve is identical to a
+  // from-scratch solve on the concatenated log.
   Status AppendUsers(const SearchLog& more);
+
+  // What the most recent AppendUsers did; zeros before the first append.
+  const AppendStats& last_append_stats() const;
 
   // Algorithm 1 end to end at `privacy`, using options().objective: solve
   // (warm-started) → optional Laplace noise → multinomial sampling →
   // Theorem-1 audit.
   Result<SanitizeReport> Sanitize(const PrivacyParams& privacy);
+
+  // Copies the reusable state out for snapshot/restore (serve/snapshot.h).
+  SessionSnapshot Snapshot() const;
+
+  // Rebuilds a session from snapshot state without re-preprocessing or
+  // re-deriving the DP rows. Stored bases whose shape does not match the
+  // models implied by (log, options) are dropped — the next solve then runs
+  // cold, never wrong. `options` is the caller's (snapshots store data, not
+  // configuration).
+  static Result<SanitizerSession> FromSnapshot(SessionSnapshot snapshot,
+                                               SessionOptions options = {});
 
  private:
   struct State;

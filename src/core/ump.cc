@@ -93,8 +93,8 @@ class OumpProblem final : public UmpProblem {
   }
   size_t num_pairs() const override { return log_->num_pairs(); }
 
-  Result<UmpSolution> Solve(const UmpQuery& query,
-                            const WarmStartHint* hint) override {
+  Result<UmpSolution> DoSolve(const UmpQuery& query,
+                              const WarmStartHint* hint) override {
     PRIVSAN_RETURN_IF_ERROR(query.privacy.Validate());
     WallTimer timer;
     const double budget = query.privacy.Budget();
@@ -231,8 +231,8 @@ class FumpProblem final : public UmpProblem {
   }
   size_t num_pairs() const override { return log_->num_pairs(); }
 
-  Result<UmpSolution> Solve(const UmpQuery& query,
-                            const WarmStartHint* hint) override {
+  Result<UmpSolution> DoSolve(const UmpQuery& query,
+                              const WarmStartHint* hint) override {
     PRIVSAN_RETURN_IF_ERROR(query.privacy.Validate());
     if (query.output_size == 0) {
       return Status::InvalidArgument("F-UMP requires output_size > 0");
@@ -441,8 +441,8 @@ class DumpProblem final : public UmpProblem {
   }
   size_t num_pairs() const override { return log_->num_pairs(); }
 
-  Result<UmpSolution> Solve(const UmpQuery& query,
-                            const WarmStartHint* hint) override {
+  Result<UmpSolution> DoSolve(const UmpQuery& query,
+                              const WarmStartHint* hint) override {
     PRIVSAN_RETURN_IF_ERROR(query.privacy.Validate());
     WallTimer timer;
     const double budget = query.privacy.Budget();

@@ -35,6 +35,7 @@
 #include "log/search_log.h"
 #include "lp/branch_and_bound.h"
 #include "lp/simplex.h"
+#include "util/concurrency_check.h"
 #include "util/result.h"
 
 // Compatibility entry points (SolveOump / SolveFump / SolveDump and the
@@ -157,8 +158,13 @@ struct UmpSolution {
 // A utility-maximizing problem bound to one preprocessed log. Instances are
 // created by the factories below; `log` and `system` must outlive the
 // problem. The shared `system`'s budget is rebound on every Solve, so one
-// DpConstraintSystem can back several problems (as SanitizerSession does) —
-// single-threaded use only.
+// DpConstraintSystem can back several problems (as SanitizerSession does).
+//
+// Thread-compatibility contract: a UmpProblem mutates its cached model (and
+// the shared system's budget) in place, so concurrent Solve calls on one
+// instance — or on two instances sharing a DpConstraintSystem — are data
+// races. Serialize access (debug builds assert overlapping calls), or go
+// through serve::SanitizerService, the only concurrency-safe entry point.
 class UmpProblem {
  public:
   virtual ~UmpProblem() = default;
@@ -168,11 +174,21 @@ class UmpProblem {
 
   // Solves at the query's privacy budget. `hint` (optional) warm-starts
   // from a previous solution's basis.
-  virtual Result<UmpSolution> Solve(const UmpQuery& query,
-                                    const WarmStartHint* hint) = 0;
+  Result<UmpSolution> Solve(const UmpQuery& query,
+                            const WarmStartHint* hint) {
+    internal::NonConcurrentScope scope(&checker_);
+    return DoSolve(query, hint);
+  }
   Result<UmpSolution> Solve(const UmpQuery& query) {
     return Solve(query, nullptr);
   }
+
+ protected:
+  virtual Result<UmpSolution> DoSolve(const UmpQuery& query,
+                                      const WarmStartHint* hint) = 0;
+
+ private:
+  internal::NonConcurrentChecker checker_;
 };
 
 // Factories. `system` must hold the rows of `log` (DpConstraintSystem::

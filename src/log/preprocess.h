@@ -19,6 +19,10 @@
 
 namespace privsan {
 
+namespace serve {
+class ThreadPool;
+}  // namespace serve
+
 struct PreprocessStats {
   size_t pairs_removed = 0;    // unique query-url pairs dropped
   size_t pairs_retained = 0;
@@ -37,7 +41,13 @@ struct PreprocessResult {
 bool IsUniquePair(const SearchLog& log, PairId p);
 
 // Drops all unique pairs (Condition 1) and rebuilds the log.
+//
+// The shard-aware overload classifies pairs across `pool` (nullptr =
+// serial); the rebuild itself stays serial because pair and user ids are
+// assigned by insertion order. Output is bit-identical to the serial path.
 PreprocessResult RemoveUniquePairs(const SearchLog& log);
+PreprocessResult RemoveUniquePairs(const SearchLog& log,
+                                   serve::ThreadPool* pool);
 
 }  // namespace privsan
 

@@ -32,6 +32,29 @@ uint32_t SearchLogBuilder::InternUrl(std::string_view name) {
   return Intern(name, urls_, url_index_);
 }
 
+void SearchLogBuilder::AddAll(const SearchLog& log) {
+  for (UserId u = 0; u < log.num_users(); ++u) {
+    for (const PairCount& cell : log.UserLogOf(u)) {
+      Add(log.user_name(u), log.query_name(log.pair_query(cell.pair)),
+          log.url_name(log.pair_url(cell.pair)), cell.count);
+    }
+  }
+}
+
+void SearchLogBuilder::DeclareUser(std::string_view user) {
+  InternUser(user);
+}
+
+void SearchLogBuilder::DeclarePair(std::string_view query,
+                                   std::string_view url) {
+  QueryId q = InternQuery(query);
+  UrlId r = InternUrl(url);
+  uint64_t pair_key = PackKey(q, r);
+  auto [it, inserted] =
+      pair_index_.emplace(pair_key, static_cast<PairId>(pairs_.size()));
+  if (inserted) pairs_.emplace_back(q, r);
+}
+
 void SearchLogBuilder::Add(std::string_view user, std::string_view query,
                            std::string_view url, uint64_t count) {
   if (count == 0) return;
@@ -154,6 +177,23 @@ Result<PairId> SearchLog::FindPair(std::string_view query,
   }
   return Status::NotFound("pair not found: (" + std::string(query) + ", " +
                           std::string(url) + ")");
+}
+
+std::string SearchLog::PairNameKey(PairId p) const {
+  const std::string& query = query_names_[pair_defs_[p].first];
+  const std::string& url = url_names_[pair_defs_[p].second];
+  return std::to_string(query.size()) + ':' + query + url;
+}
+
+SearchLog UserSlice(const SearchLog& log, UserId begin, UserId end) {
+  SearchLogBuilder builder;
+  for (UserId u = begin; u < end && u < log.num_users(); ++u) {
+    for (const PairCount& cell : log.UserLogOf(u)) {
+      builder.Add(log.user_name(u), log.query_name(log.pair_query(cell.pair)),
+                  log.url_name(log.pair_url(cell.pair)), cell.count);
+    }
+  }
+  return builder.Build();
 }
 
 double SearchLog::PairSupport(PairId p) const {

@@ -64,6 +64,17 @@ class SearchLogBuilder {
   void Add(std::string_view user, std::string_view query,
            std::string_view url, uint64_t count);
 
+  // Adds every tuple of `log` (the append/coalesce merge primitive:
+  // same-name users and pairs accumulate).
+  void AddAll(const SearchLog& log);
+
+  // Pre-intern ids without adding any clicks. Ids are assigned by first
+  // appearance, so a deserializer (serve/snapshot.cc) reproduces a log's
+  // exact id assignment by declaring users, then pairs, in their original
+  // id order before Add-ing the tuples.
+  void DeclareUser(std::string_view user);
+  void DeclarePair(std::string_view query, std::string_view url);
+
   // Finalizes. The builder is left empty.
   SearchLog Build();
 
@@ -130,6 +141,12 @@ class SearchLog {
   // The pair's support c_ij / |D| (Section 5.2).
   double PairSupport(PairId p) const;
 
+  // Canonical composite name key of pair p, collision-free for arbitrary
+  // byte content (the query is length-prefixed, so no separator byte can be
+  // forged by a crafted name). Basis remapping and DP-row patching both
+  // match pairs across logs by this key — they must agree on it.
+  std::string PairNameKey(PairId p) const;
+
  private:
   friend class SearchLogBuilder;
 
@@ -148,6 +165,10 @@ class SearchLog {
 
   uint64_t total_clicks_ = 0;
 };
+
+// Users [begin, end) of `log`, as a standalone SearchLog — the split /
+// append primitive shared by the serve benches, tests and examples.
+SearchLog UserSlice(const SearchLog& log, UserId begin, UserId end);
 
 }  // namespace privsan
 

@@ -1,0 +1,86 @@
+#include "lp/basis_io.h"
+
+#include <cstdint>
+#include <string>
+
+#include "util/binary_io.h"
+
+namespace privsan {
+namespace lp {
+
+namespace {
+// Far above any model this repo builds; bounds allocations on corrupt input.
+constexpr uint64_t kMaxBasisEntries = 1ull << 28;
+}  // namespace
+
+void WriteBasis(std::ostream& out, const Basis& basis) {
+  binary_io::WriteScalar<uint64_t>(out, basis.basic.size());
+  binary_io::WriteScalar<uint64_t>(out, basis.state.size());
+  for (int j : basis.basic) {
+    binary_io::WriteScalar<int32_t>(out, static_cast<int32_t>(j));
+  }
+  for (VarStatus status : basis.state) {
+    binary_io::WriteScalar<int8_t>(out, static_cast<int8_t>(status));
+  }
+}
+
+Result<Basis> ReadBasis(std::istream& in) {
+  PRIVSAN_ASSIGN_OR_RETURN(uint64_t num_basic,
+                           binary_io::ReadCount(in, kMaxBasisEntries));
+  PRIVSAN_ASSIGN_OR_RETURN(uint64_t num_state,
+                           binary_io::ReadCount(in, kMaxBasisEntries));
+  if (num_basic > num_state) {
+    return Status::IoError("basis corrupt: more basic entries than variables");
+  }
+  Basis basis;
+  basis.basic.resize(num_basic);
+  for (uint64_t i = 0; i < num_basic; ++i) {
+    int32_t j = 0;
+    PRIVSAN_RETURN_IF_ERROR(binary_io::ReadScalar(in, &j));
+    if (j < 0 || static_cast<uint64_t>(j) >= num_state) {
+      return Status::IoError("basis corrupt: basic index out of range");
+    }
+    basis.basic[i] = j;
+  }
+  basis.state.resize(num_state);
+  uint64_t basic_flags = 0;
+  for (uint64_t i = 0; i < num_state; ++i) {
+    int8_t raw = 0;
+    PRIVSAN_RETURN_IF_ERROR(binary_io::ReadScalar(in, &raw));
+    if (raw < static_cast<int8_t>(VarStatus::kBasic) ||
+        raw > static_cast<int8_t>(VarStatus::kFree)) {
+      return Status::IoError("basis corrupt: unknown variable status " +
+                             std::to_string(raw));
+    }
+    basis.state[i] = static_cast<VarStatus>(raw);
+    if (basis.state[i] == VarStatus::kBasic) ++basic_flags;
+  }
+  if (basic_flags != num_basic) {
+    return Status::IoError(
+        "basis corrupt: basic list and status flags disagree");
+  }
+  for (int j : basis.basic) {
+    if (basis.state[j] != VarStatus::kBasic) {
+      return Status::IoError(
+          "basis corrupt: listed basic variable not flagged basic");
+    }
+  }
+  return basis;
+}
+
+Status ValidateBasisShape(const Basis& basis, size_t num_structural,
+                          size_t num_rows) {
+  if (basis.empty()) return Status::OK();
+  if (basis.state.size() != num_structural + num_rows ||
+      basis.basic.size() != num_rows) {
+    return Status::InvalidArgument(
+        "basis shape mismatch: " + std::to_string(basis.state.size()) +
+        " states / " + std::to_string(basis.basic.size()) +
+        " basic vs model with " + std::to_string(num_structural) +
+        " structurals and " + std::to_string(num_rows) + " rows");
+  }
+  return Status::OK();
+}
+
+}  // namespace lp
+}  // namespace privsan

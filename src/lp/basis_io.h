@@ -1,0 +1,33 @@
+// Binary (de)serialization of simplex bases — the piece of LP state worth
+// persisting across a service restart. A restored basis is only ever used
+// as a warm-start hint, so the contract is the same as WarmStartHint's: a
+// stale or mismatched basis costs a cold solve, never a wrong answer.
+// ReadBasis validates internal consistency (status codes in range, basic
+// list and state flags agreeing); shape-vs-model validation is the
+// caller's job (ValidateBasisShape).
+#ifndef PRIVSAN_LP_BASIS_IO_H_
+#define PRIVSAN_LP_BASIS_IO_H_
+
+#include <istream>
+#include <ostream>
+
+#include "lp/simplex.h"
+#include "util/result.h"
+
+namespace privsan {
+namespace lp {
+
+void WriteBasis(std::ostream& out, const Basis& basis);
+
+Result<Basis> ReadBasis(std::istream& in);
+
+// Whether `basis` fits a model with `num_structural` variables and
+// `num_rows` constraints. An empty basis fits everything (it means "no
+// warm start").
+Status ValidateBasisShape(const Basis& basis, size_t num_structural,
+                          size_t num_rows);
+
+}  // namespace lp
+}  // namespace privsan
+
+#endif  // PRIVSAN_LP_BASIS_IO_H_

@@ -1,0 +1,204 @@
+#include "serve/service.h"
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+
+#include "serve/snapshot.h"
+
+namespace privsan {
+namespace serve {
+
+namespace {
+
+// Canonical cache key: the exact solver inputs that pick a solution on a
+// fixed log state. Doubles are keyed by their bit patterns — two budgets
+// are "the same query" only when they are bitwise equal.
+std::string CacheKey(UtilityObjective objective, const UmpQuery& query) {
+  uint64_t eps_bits = 0, delta_bits = 0;
+  static_assert(sizeof(double) == sizeof(uint64_t));
+  std::memcpy(&eps_bits, &query.privacy.epsilon, sizeof(double));
+  std::memcpy(&delta_bits, &query.privacy.delta, sizeof(double));
+  std::string key = std::to_string(static_cast<int>(objective));
+  key += '|';
+  key += std::to_string(eps_bits);
+  key += '|';
+  key += std::to_string(delta_bits);
+  key += '|';
+  key += std::to_string(query.output_size);
+  key += '|';
+  key += query.solver.has_value()
+             ? std::to_string(static_cast<int>(*query.solver))
+             : std::string("-");
+  return key;
+}
+
+}  // namespace
+
+SanitizerService::SanitizerService(ServiceOptions options)
+    : options_(std::move(options)), pool_(options_.num_threads) {}
+
+SessionOptions SanitizerService::WithPool(SessionOptions options) {
+  options.pool = &pool_;
+  return options;
+}
+
+Status SanitizerService::CreateTenant(const std::string& tenant,
+                                      const SearchLog& initial) {
+  return CreateTenant(tenant, initial, options_.session);
+}
+
+Status SanitizerService::CreateTenant(const std::string& tenant,
+                                      const SearchLog& initial,
+                                      SessionOptions options) {
+  // Fail duplicate names before the expensive preprocess + row build; the
+  // registry re-checks under its lock, so a racing create still loses
+  // cleanly there.
+  if (manager_.Has(tenant)) {
+    return Status::FailedPrecondition("tenant already exists: " + tenant);
+  }
+  PRIVSAN_ASSIGN_OR_RETURN(
+      SanitizerSession session,
+      SanitizerSession::Create(initial, WithPool(std::move(options))));
+  PRIVSAN_RETURN_IF_ERROR(
+      manager_.Create(tenant, std::move(session)).status());
+  return Status::OK();
+}
+
+Status SanitizerService::DropTenant(const std::string& tenant) {
+  return manager_.Remove(tenant);
+}
+
+std::vector<std::string> SanitizerService::Tenants() const {
+  return manager_.Names();
+}
+
+Status SanitizerService::Append(const std::string& tenant,
+                                const SearchLog& logs) {
+  PRIVSAN_ASSIGN_OR_RETURN(std::shared_ptr<Tenant> t, manager_.Get(tenant));
+  std::lock_guard<std::mutex> lock(t->mu);
+  t->pending.push_back(logs);
+  ++t->stats.appends_enqueued;
+  return Status::OK();
+}
+
+Status SanitizerService::FlushLocked(Tenant& tenant) {
+  if (tenant.pending.empty()) return Status::OK();
+  // Coalesce the whole queue into one log: K queued appends become a
+  // single merge + incremental re-preprocess + row patch + basis remap.
+  SearchLogBuilder builder;
+  for (const SearchLog& log : tenant.pending) builder.AddAll(log);
+  const size_t coalesced = tenant.pending.size();
+  tenant.pending.clear();
+  PRIVSAN_RETURN_IF_ERROR(tenant.session.AppendUsers(builder.Build()));
+  ++tenant.stats.flushes;
+  tenant.stats.appends_coalesced += coalesced;
+  tenant.stats.rows_copied = tenant.session.last_append_stats().rows_copied;
+  tenant.stats.rows_rebuilt =
+      tenant.session.last_append_stats().rows_rebuilt;
+  // The log changed: every cached solution is stale.
+  tenant.cache.clear();
+  tenant.cache_order.clear();
+  return Status::OK();
+}
+
+Status SanitizerService::Flush(const std::string& tenant) {
+  PRIVSAN_ASSIGN_OR_RETURN(std::shared_ptr<Tenant> t, manager_.Get(tenant));
+  std::lock_guard<std::mutex> lock(t->mu);
+  return FlushLocked(*t);
+}
+
+Result<UmpSolution> SanitizerService::Solve(const std::string& tenant,
+                                            UtilityObjective objective,
+                                            const UmpQuery& query) {
+  PRIVSAN_ASSIGN_OR_RETURN(std::shared_ptr<Tenant> t, manager_.Get(tenant));
+  std::lock_guard<std::mutex> lock(t->mu);
+  PRIVSAN_RETURN_IF_ERROR(FlushLocked(*t));
+
+  const bool cache_enabled = options_.result_cache_capacity > 0;
+  std::string key;
+  if (cache_enabled) {
+    key = CacheKey(objective, query);
+    auto it = t->cache.find(key);
+    if (it != t->cache.end()) {
+      ++t->stats.cache_hits;
+      return it->second;
+    }
+    ++t->stats.cache_misses;
+  }
+
+  PRIVSAN_ASSIGN_OR_RETURN(UmpSolution solution,
+                           t->session.Solve(objective, query));
+  ++t->stats.solves;
+  if (cache_enabled) {
+    if (t->cache_order.size() >= options_.result_cache_capacity) {
+      t->cache.erase(t->cache_order.front());
+      t->cache_order.erase(t->cache_order.begin());
+    }
+    t->cache.emplace(key, solution);
+    t->cache_order.push_back(std::move(key));
+  }
+  return solution;
+}
+
+Result<SweepResult> SanitizerService::Sweep(const std::string& tenant,
+                                            UtilityObjective objective,
+                                            const std::vector<UmpQuery>& grid,
+                                            const SweepOptions& sweep) {
+  PRIVSAN_ASSIGN_OR_RETURN(std::shared_ptr<Tenant> t, manager_.Get(tenant));
+  std::lock_guard<std::mutex> lock(t->mu);
+  PRIVSAN_RETURN_IF_ERROR(FlushLocked(*t));
+  PRIVSAN_ASSIGN_OR_RETURN(SweepResult result,
+                           t->session.SweepBudgets(objective, grid, sweep));
+  t->stats.solves += result.cells.size();
+  return result;
+}
+
+Result<SanitizeReport> SanitizerService::Sanitize(
+    const std::string& tenant, const PrivacyParams& privacy) {
+  PRIVSAN_ASSIGN_OR_RETURN(std::shared_ptr<Tenant> t, manager_.Get(tenant));
+  std::lock_guard<std::mutex> lock(t->mu);
+  PRIVSAN_RETURN_IF_ERROR(FlushLocked(*t));
+  PRIVSAN_ASSIGN_OR_RETURN(SanitizeReport report,
+                           t->session.Sanitize(privacy));
+  ++t->stats.solves;
+  return report;
+}
+
+Result<TenantStats> SanitizerService::Stats(const std::string& tenant) const {
+  PRIVSAN_ASSIGN_OR_RETURN(std::shared_ptr<Tenant> t, manager_.Get(tenant));
+  std::lock_guard<std::mutex> lock(t->mu);
+  return t->stats;
+}
+
+Status SanitizerService::SaveSnapshot(const std::string& tenant,
+                                      const std::string& path) {
+  PRIVSAN_ASSIGN_OR_RETURN(std::shared_ptr<Tenant> t, manager_.Get(tenant));
+  std::lock_guard<std::mutex> lock(t->mu);
+  // Queued appends are part of the tenant's logical state — land them
+  // before persisting.
+  PRIVSAN_RETURN_IF_ERROR(FlushLocked(*t));
+  return serve::SaveSnapshot(t->session, path);
+}
+
+Status SanitizerService::RestoreTenant(const std::string& tenant,
+                                       const std::string& path) {
+  return RestoreTenant(tenant, path, options_.session);
+}
+
+Status SanitizerService::RestoreTenant(const std::string& tenant,
+                                       const std::string& path,
+                                       SessionOptions options) {
+  if (manager_.Has(tenant)) {
+    return Status::FailedPrecondition("tenant already exists: " + tenant);
+  }
+  PRIVSAN_ASSIGN_OR_RETURN(
+      SanitizerSession session,
+      RestoreSession(path, WithPool(std::move(options))));
+  PRIVSAN_RETURN_IF_ERROR(
+      manager_.Create(tenant, std::move(session)).status());
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace privsan

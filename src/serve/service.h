@@ -1,0 +1,113 @@
+// SanitizerService: the long-running, concurrency-safe face of privsan.
+//
+// The paper's sanitizer is a one-shot batch algorithm; PR 2's
+// SanitizerSession made it stateful and incremental but single-threaded.
+// This facade lifts sessions into a serving layer:
+//
+//   * Multi-tenant. Each tenant (one logical search-log publisher, or one
+//     consumer at its own privacy posture) owns a SanitizerSession behind
+//     its own lock; distinct tenants solve fully in parallel. One shared
+//     ThreadPool shards each tenant's preprocessing and DP-row builds.
+//   * Batched appends. Append() only enqueues; the queue is coalesced into
+//     a single merge + incremental re-preprocess + row patch + basis remap
+//     per flush (explicitly via Flush, or automatically before a solve).
+//     K queued appends cost one AppendUsers, not K.
+//   * Result cache. Solves are cached per tenant under a canonical
+//     (objective, ε, δ, |O|, solver) key — repeated queries at the same
+//     budget are O(1) — and the cache is invalidated by the next flush
+//     that actually changes the log.
+//   * Snapshot/restore. SaveSnapshot persists a tenant's preprocessed log,
+//     DP rows and last optimal bases (serve/snapshot.h); RestoreTenant
+//     resumes warm after a restart — the first solve dual-warm-starts from
+//     the stored basis instead of cold-solving.
+//
+// Every public method is safe to call from any thread at any time.
+#ifndef PRIVSAN_SERVE_SERVICE_H_
+#define PRIVSAN_SERVE_SERVICE_H_
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "core/ump.h"
+#include "serve/session_manager.h"
+#include "serve/thread_pool.h"
+#include "util/result.h"
+
+namespace privsan {
+namespace serve {
+
+struct ServiceOptions {
+  // Worker threads for sharded preprocessing / DP-row builds.
+  // <= 0 picks std::thread::hardware_concurrency().
+  int num_threads = 0;
+  // Cached solutions per tenant; FIFO eviction; 0 disables caching.
+  size_t result_cache_capacity = 128;
+  // Defaults for tenants created without explicit options.
+  SessionOptions session;
+};
+
+class SanitizerService {
+ public:
+  explicit SanitizerService(ServiceOptions options = {});
+  ~SanitizerService() = default;
+
+  SanitizerService(const SanitizerService&) = delete;
+  SanitizerService& operator=(const SanitizerService&) = delete;
+
+  // --- Tenant lifecycle ---------------------------------------------------
+  // `initial` may be empty (grow the tenant through Append). Options
+  // default to ServiceOptions::session; the service's pool is injected
+  // either way.
+  Status CreateTenant(const std::string& tenant, const SearchLog& initial);
+  Status CreateTenant(const std::string& tenant, const SearchLog& initial,
+                      SessionOptions options);
+  Status DropTenant(const std::string& tenant);
+  std::vector<std::string> Tenants() const;
+
+  // --- Appends ------------------------------------------------------------
+  // Enqueues user logs; returns immediately. Queued appends coalesce into
+  // one incremental AppendUsers at the next flush.
+  Status Append(const std::string& tenant, const SearchLog& logs);
+  // Drains the tenant's queue now (no-op when empty).
+  Status Flush(const std::string& tenant);
+
+  // --- Queries (auto-flush any queued appends first) ----------------------
+  Result<UmpSolution> Solve(const std::string& tenant,
+                            UtilityObjective objective, const UmpQuery& query);
+  Result<SweepResult> Sweep(const std::string& tenant,
+                            UtilityObjective objective,
+                            const std::vector<UmpQuery>& grid,
+                            const SweepOptions& sweep = {});
+  Result<SanitizeReport> Sanitize(const std::string& tenant,
+                                  const PrivacyParams& privacy);
+
+  Result<TenantStats> Stats(const std::string& tenant) const;
+
+  // --- Snapshot / restore -------------------------------------------------
+  // Flushes queued appends, then persists the tenant's session state.
+  Status SaveSnapshot(const std::string& tenant, const std::string& path);
+  // Creates `tenant` from a snapshot file; fails if the name exists.
+  Status RestoreTenant(const std::string& tenant, const std::string& path);
+  Status RestoreTenant(const std::string& tenant, const std::string& path,
+                       SessionOptions options);
+
+  ThreadPool* pool() { return &pool_; }
+
+ private:
+  // Drains the pending queue of a locked tenant.
+  Status FlushLocked(Tenant& tenant);
+  SessionOptions WithPool(SessionOptions options);
+
+  ServiceOptions options_;
+  ThreadPool pool_;
+  SessionManager manager_;
+};
+
+}  // namespace serve
+}  // namespace privsan
+
+#endif  // PRIVSAN_SERVE_SERVICE_H_

@@ -1,0 +1,87 @@
+// Multi-tenant session registry.
+//
+// A Tenant bundles one SanitizerSession with the serve-path state the
+// facade (serve/service.h) keeps around it: the append queue, the
+// budget-keyed result cache, and counters. All of it is guarded by the
+// tenant's own mutex — sessions are single-threaded by contract
+// (core/session.h), so the lock *is* the concurrency story for one tenant,
+// and distinct tenants proceed fully in parallel.
+//
+// SessionManager itself is a thread-safe name -> Tenant map. It hands out
+// shared_ptrs so a tenant being dropped mid-operation stays alive until
+// the last operation on it returns.
+#ifndef PRIVSAN_SERVE_SESSION_MANAGER_H_
+#define PRIVSAN_SERVE_SESSION_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/session.h"
+#include "core/ump.h"
+#include "util/result.h"
+
+namespace privsan {
+namespace serve {
+
+// Serve-path counters for one tenant, all monotonic.
+struct TenantStats {
+  uint64_t appends_enqueued = 0;   // Append() calls accepted into the queue
+  uint64_t flushes = 0;            // AppendUsers calls actually performed
+  uint64_t appends_coalesced = 0;  // queued appends merged into those flushes
+  uint64_t solves = 0;             // solves executed (cache misses + sweeps)
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  // From the session's last flush (core/session.h AppendStats).
+  uint64_t rows_copied = 0;
+  uint64_t rows_rebuilt = 0;
+};
+
+struct Tenant {
+  explicit Tenant(SanitizerSession session_in)
+      : session(std::move(session_in)) {}
+
+  std::mutex mu;
+  // Everything below is guarded by `mu`.
+  SanitizerSession session;
+  std::vector<SearchLog> pending;  // queued appends, coalesced on flush
+  // Budget-keyed result cache: canonical query key -> solution. Insertion
+  // order drives FIFO eviction; the whole cache is invalidated on flush.
+  std::map<std::string, UmpSolution> cache;
+  std::vector<std::string> cache_order;
+  TenantStats stats;
+};
+
+class SessionManager {
+ public:
+  SessionManager() = default;
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  // Registers a tenant; fails with FailedPrecondition if the name exists.
+  Result<std::shared_ptr<Tenant>> Create(const std::string& name,
+                                         SanitizerSession session);
+
+  // NotFound if absent.
+  Result<std::shared_ptr<Tenant>> Get(const std::string& name) const;
+
+  bool Has(const std::string& name) const;
+
+  Status Remove(const std::string& name);
+
+  std::vector<std::string> Names() const;  // sorted
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Tenant>> tenants_;
+};
+
+}  // namespace serve
+}  // namespace privsan
+
+#endif  // PRIVSAN_SERVE_SESSION_MANAGER_H_

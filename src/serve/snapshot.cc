@@ -1,0 +1,218 @@
+#include "serve/snapshot.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "lp/basis_io.h"
+#include "util/binary_io.h"
+
+namespace privsan {
+namespace serve {
+
+namespace {
+
+using binary_io::ReadCount;
+using binary_io::ReadScalar;
+using binary_io::ReadString;
+using binary_io::WriteScalar;
+using binary_io::WriteString;
+
+constexpr char kMagic[8] = {'P', 'S', 'A', 'N', 'S', 'N', 'P', '\x01'};
+// Cap on element counts read from disk, so a corrupted length field fails
+// with IoError instead of attempting a multi-gigabyte allocation. Full
+// scale is ~10^5 users and ~10^6 tuples; 2^26 leaves two orders of
+// magnitude of headroom while keeping the worst corrupt allocation small.
+constexpr uint64_t kMaxElements = 1ull << 26;
+
+void WriteLog(std::ostream& out, const SearchLog& log) {
+  WriteScalar<uint64_t>(out, log.num_users());
+  for (UserId u = 0; u < log.num_users(); ++u) {
+    WriteString(out, log.user_name(u));
+  }
+  WriteScalar<uint64_t>(out, log.num_pairs());
+  for (PairId p = 0; p < log.num_pairs(); ++p) {
+    WriteString(out, log.query_name(log.pair_query(p)));
+    WriteString(out, log.url_name(log.pair_url(p)));
+  }
+  uint64_t num_tuples = 0;
+  for (UserId u = 0; u < log.num_users(); ++u) {
+    num_tuples += log.UserLogOf(u).size();
+  }
+  WriteScalar<uint64_t>(out, num_tuples);
+  for (UserId u = 0; u < log.num_users(); ++u) {
+    for (const PairCount& cell : log.UserLogOf(u)) {
+      WriteScalar<uint32_t>(out, u);
+      WriteScalar<uint32_t>(out, cell.pair);
+      WriteScalar<uint64_t>(out, cell.count);
+    }
+  }
+}
+
+Result<SearchLog> ReadLog(std::istream& in) {
+  PRIVSAN_ASSIGN_OR_RETURN(uint64_t num_users, ReadCount(in, kMaxElements));
+  std::vector<std::string> users(num_users);
+  for (uint64_t u = 0; u < num_users; ++u) {
+    PRIVSAN_ASSIGN_OR_RETURN(users[u], ReadString(in));
+  }
+  PRIVSAN_ASSIGN_OR_RETURN(uint64_t num_pairs, ReadCount(in, kMaxElements));
+  std::vector<std::pair<std::string, std::string>> pairs(num_pairs);
+  for (uint64_t p = 0; p < num_pairs; ++p) {
+    PRIVSAN_ASSIGN_OR_RETURN(pairs[p].first, ReadString(in));
+    PRIVSAN_ASSIGN_OR_RETURN(pairs[p].second, ReadString(in));
+  }
+
+  // Pin the id assignment before replaying tuples: users then pairs, in
+  // their original id order (see SearchLogBuilder::DeclareUser).
+  SearchLogBuilder builder;
+  for (const std::string& user : users) builder.DeclareUser(user);
+  for (const auto& [query, url] : pairs) builder.DeclarePair(query, url);
+
+  PRIVSAN_ASSIGN_OR_RETURN(uint64_t num_tuples, ReadCount(in, kMaxElements));
+  for (uint64_t i = 0; i < num_tuples; ++i) {
+    uint32_t user = 0, pair = 0;
+    uint64_t count = 0;
+    PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &user));
+    PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &pair));
+    PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &count));
+    if (user >= num_users || pair >= num_pairs || count == 0) {
+      return Status::IoError("snapshot corrupt: tuple out of range");
+    }
+    builder.Add(users[user], pairs[pair].first, pairs[pair].second, count);
+  }
+  SearchLog log = builder.Build();
+  if (log.num_users() != num_users || log.num_pairs() != num_pairs) {
+    // Tuples skipped a declared user/pair entirely, or duplicated ids —
+    // either way the stored ids would not round-trip.
+    return Status::IoError(
+        "snapshot corrupt: replayed log does not match its header");
+  }
+  return log;
+}
+
+void WriteSystem(std::ostream& out, const DpConstraintSystem& system) {
+  WriteScalar<uint64_t>(out, system.num_pairs());
+  WriteScalar<uint64_t>(out, system.num_rows());
+  for (size_t r = 0; r < system.num_rows(); ++r) {
+    WriteScalar<uint32_t>(out, system.RowUser(r));
+    const auto row = system.Row(r);
+    WriteScalar<uint64_t>(out, row.size());
+    for (const DpConstraintEntry& e : row) {
+      WriteScalar<uint32_t>(out, e.pair);
+      WriteScalar<double>(out, e.log_t);
+    }
+  }
+}
+
+// `num_users` bounds the stored row users — a row naming a user outside
+// the preprocessed log would index out of bounds on the next append.
+Result<DpConstraintSystem> ReadSystem(std::istream& in, uint64_t num_users) {
+  PRIVSAN_ASSIGN_OR_RETURN(uint64_t num_pairs, ReadCount(in, kMaxElements));
+  PRIVSAN_ASSIGN_OR_RETURN(uint64_t num_rows, ReadCount(in, num_users));
+  std::vector<std::vector<DpConstraintEntry>> rows(num_rows);
+  std::vector<UserId> row_users(num_rows);
+  for (uint64_t r = 0; r < num_rows; ++r) {
+    PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &row_users[r]));
+    if (row_users[r] >= num_users) {
+      return Status::IoError("snapshot corrupt: DP row user out of range");
+    }
+    PRIVSAN_ASSIGN_OR_RETURN(uint64_t entries, ReadCount(in, num_pairs));
+    rows[r].resize(entries);
+    for (uint64_t i = 0; i < entries; ++i) {
+      PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &rows[r][i].pair));
+      PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &rows[r][i].log_t));
+      if (rows[r][i].pair >= num_pairs || !(rows[r][i].log_t > 0.0)) {
+        return Status::IoError("snapshot corrupt: bad DP row entry");
+      }
+    }
+  }
+  return DpConstraintSystem::FromRows(std::move(rows), std::move(row_users),
+                                      num_pairs);
+}
+
+}  // namespace
+
+Status WriteSnapshot(std::ostream& out, const SessionSnapshot& snapshot) {
+  out.write(kMagic, sizeof(kMagic));
+  WriteLog(out, snapshot.raw);
+  WriteLog(out, snapshot.log);
+  WriteScalar<uint64_t>(out, snapshot.stats.pairs_removed);
+  WriteScalar<uint64_t>(out, snapshot.stats.pairs_retained);
+  WriteScalar<uint64_t>(out, snapshot.stats.users_dropped);
+  WriteScalar<uint64_t>(out, snapshot.stats.clicks_removed);
+  WriteScalar<uint64_t>(out, snapshot.stats.clicks_retained);
+  WriteSystem(out, snapshot.system);
+  WriteScalar<uint64_t>(out, snapshot.bases.size());
+  for (const lp::Basis& basis : snapshot.bases) {
+    lp::WriteBasis(out, basis);
+  }
+  if (!out.good()) return Status::IoError("snapshot write failed");
+  return Status::OK();
+}
+
+Result<SessionSnapshot> ReadSnapshot(std::istream& in) {
+  char magic[sizeof(kMagic)] = {};
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IoError(
+        "not a privsan snapshot (bad magic or unsupported version)");
+  }
+  SessionSnapshot snapshot;
+  PRIVSAN_ASSIGN_OR_RETURN(snapshot.raw, ReadLog(in));
+  PRIVSAN_ASSIGN_OR_RETURN(snapshot.log, ReadLog(in));
+  uint64_t stat = 0;
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &stat));
+  snapshot.stats.pairs_removed = stat;
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &stat));
+  snapshot.stats.pairs_retained = stat;
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &stat));
+  snapshot.stats.users_dropped = stat;
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &stat));
+  snapshot.stats.clicks_removed = stat;
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &stat));
+  snapshot.stats.clicks_retained = stat;
+  PRIVSAN_ASSIGN_OR_RETURN(snapshot.system,
+                           ReadSystem(in, snapshot.log.num_users()));
+  PRIVSAN_ASSIGN_OR_RETURN(uint64_t num_bases, ReadCount(in, 16));
+  snapshot.bases.resize(num_bases);
+  for (uint64_t i = 0; i < num_bases; ++i) {
+    PRIVSAN_ASSIGN_OR_RETURN(snapshot.bases[i], lp::ReadBasis(in));
+  }
+  return snapshot;
+}
+
+Status SaveSnapshot(const SanitizerSession& session,
+                    const std::string& path) {
+  // Write-then-rename so a crash mid-write never destroys the previous
+  // good snapshot at `path` (periodic checkpointing overwrites in place).
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open snapshot file: " + tmp);
+    PRIVSAN_RETURN_IF_ERROR(WriteSnapshot(out, session.Snapshot()));
+    out.close();
+    if (!out.good()) {
+      std::remove(tmp.c_str());
+      return Status::IoError("snapshot write failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot move snapshot into place: " + path);
+  }
+  return Status::OK();
+}
+
+Result<SanitizerSession> RestoreSession(const std::string& path,
+                                        SessionOptions options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open snapshot file: " + path);
+  PRIVSAN_ASSIGN_OR_RETURN(SessionSnapshot snapshot, ReadSnapshot(in));
+  return SanitizerSession::FromSnapshot(std::move(snapshot),
+                                        std::move(options));
+}
+
+}  // namespace serve
+}  // namespace privsan

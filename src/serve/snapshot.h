@@ -1,0 +1,47 @@
+// Binary snapshot/restore of a sanitizer session.
+//
+// A SessionSnapshot (core/session.h) holds everything a restart would
+// otherwise recompute: the accumulated raw log, its Condition-1
+// preprocessed form, the DP constraint rows, and the last optimal basis
+// per objective. Writing it to disk and restoring resumes *warm*: the
+// first post-restore solve dual-warm-starts from the stored basis instead
+// of cold-solving, and its objective is identical to the pre-snapshot one.
+//
+// The restored state is bit-identical: the raw and preprocessed logs are
+// reconstructed with their exact user/pair id assignment (via the
+// SearchLogBuilder Declare methods), and DP-row coefficients and bases are
+// round-tripped as raw doubles/bytes. The format is versioned but
+// native-endian — a restart artifact, not an interchange format.
+//
+// Corrupt or truncated files fail with IoError; a snapshot whose stored
+// bases do not fit the models implied by the restore-time SessionOptions
+// silently drops those bases (first solve runs cold, never wrong).
+#ifndef PRIVSAN_SERVE_SNAPSHOT_H_
+#define PRIVSAN_SERVE_SNAPSHOT_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "core/session.h"
+#include "util/result.h"
+
+namespace privsan {
+namespace serve {
+
+// Stream-level codec.
+Status WriteSnapshot(std::ostream& out, const SessionSnapshot& snapshot);
+Result<SessionSnapshot> ReadSnapshot(std::istream& in);
+
+// File-level convenience: snapshot a live session / restore one from disk.
+// SaveSnapshot writes atomically enough for a single writer (temp file +
+// rename is the caller's concern; SanitizerService snapshots under the
+// tenant lock).
+Status SaveSnapshot(const SanitizerSession& session, const std::string& path);
+Result<SanitizerSession> RestoreSession(const std::string& path,
+                                        SessionOptions options = {});
+
+}  // namespace serve
+}  // namespace privsan
+
+#endif  // PRIVSAN_SERVE_SNAPSHOT_H_

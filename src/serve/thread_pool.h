@@ -1,0 +1,72 @@
+// A fixed-size worker pool for the serve path.
+//
+// The solver is no longer the only hot spot at full scale: per-user DP-row
+// construction and Condition-1 preprocessing are embarrassingly parallel
+// over users / pairs, and a long-running SanitizerService hosts many
+// tenants whose flushes overlap. One shared ThreadPool backs all of them.
+//
+// Design constraints, in order:
+//
+//   * Determinism. ParallelFor partitions [0, n) into fixed contiguous
+//     shards; which worker runs a shard never affects where its results
+//     land, so a sharded computation is bit-identical to the serial one.
+//   * No deadlocks under nesting. The calling thread participates in its
+//     own loop (it claims shards like any worker), so ParallelFor makes
+//     progress even when every worker is busy with other tenants' work.
+//   * Concurrency-safe. Any number of threads may call ParallelFor / Submit
+//     on one pool concurrently; each loop tracks its own completion.
+//
+// Tasks must not throw — exceptions never cross privsan API boundaries.
+#ifndef PRIVSAN_SERVE_THREAD_POOL_H_
+#define PRIVSAN_SERVE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace privsan {
+namespace serve {
+
+class ThreadPool {
+ public:
+  // num_threads <= 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues a fire-and-forget task.
+  void Submit(std::function<void()> task);
+
+  // Runs body(begin, end) over a fixed partition of [0, n) and blocks until
+  // every shard finished. The calling thread claims shards too. `body` must
+  // be safe to invoke concurrently on disjoint ranges.
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool shutdown_ = false;
+};
+
+// Serial fallback: body(0, n) when pool is nullptr, sharded otherwise. The
+// shard-aware entry points (DpConstraintSystem::BuildRows, the parallel
+// RemoveUniquePairs) take an optional pool through this helper.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t, size_t)>& body);
+
+}  // namespace serve
+}  // namespace privsan
+
+#endif  // PRIVSAN_SERVE_THREAD_POOL_H_

@@ -1,0 +1,65 @@
+// Fixed-width binary stream primitives for snapshot files (lp/basis_io,
+// serve/snapshot). Values are written in native byte order — snapshots are
+// same-machine restart artifacts, not an interchange format.
+#ifndef PRIVSAN_UTIL_BINARY_IO_H_
+#define PRIVSAN_UTIL_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "util/result.h"
+
+namespace privsan {
+namespace binary_io {
+
+template <typename T>
+void WriteScalar(std::ostream& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+Status ReadScalar(std::istream& in, T* value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  if (!in.good()) {
+    return Status::IoError("snapshot truncated while reading a scalar");
+  }
+  return Status::OK();
+}
+
+inline void WriteString(std::ostream& out, const std::string& value) {
+  WriteScalar<uint64_t>(out, value.size());
+  out.write(value.data(), static_cast<std::streamsize>(value.size()));
+}
+
+// Guards element counts before any resize, so a corrupted length field
+// fails cleanly instead of attempting a multi-gigabyte allocation.
+inline Result<uint64_t> ReadCount(std::istream& in, uint64_t max_count) {
+  uint64_t count = 0;
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &count));
+  if (count > max_count) {
+    return Status::IoError("snapshot corrupt: implausible element count " +
+                           std::to_string(count));
+  }
+  return count;
+}
+
+inline Result<std::string> ReadString(std::istream& in) {
+  PRIVSAN_ASSIGN_OR_RETURN(uint64_t size,
+                           ReadCount(in, /*max_count=*/1ull << 24));
+  std::string value(size, '\0');
+  in.read(value.data(), static_cast<std::streamsize>(size));
+  if (!in.good() && size > 0) {
+    return Status::IoError("snapshot truncated while reading a string");
+  }
+  return value;
+}
+
+}  // namespace binary_io
+}  // namespace privsan
+
+#endif  // PRIVSAN_UTIL_BINARY_IO_H_

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "test_fixtures.h"
 
@@ -139,6 +141,40 @@ TEST(ConstraintsTest, EmptyLogYieldsNoRows) {
   EXPECT_EQ(system.num_rows(), 0u);
   std::vector<uint64_t> empty;
   EXPECT_TRUE(system.IsSatisfied(empty));
+}
+
+
+TEST(ConstraintsTest, FromRowsRoundTripsParts) {
+  const SearchLog log = Figure1Preprocessed();
+  const DpConstraintSystem original =
+      DpConstraintSystem::BuildRows(log).value();
+  std::vector<std::vector<DpConstraintEntry>> rows;
+  std::vector<UserId> row_users;
+  for (size_t r = 0; r < original.num_rows(); ++r) {
+    rows.emplace_back(original.Row(r).begin(), original.Row(r).end());
+    row_users.push_back(original.RowUser(r));
+  }
+  const DpConstraintSystem rebuilt = DpConstraintSystem::FromRows(
+      std::move(rows), std::move(row_users), original.num_pairs());
+  ASSERT_EQ(rebuilt.num_rows(), original.num_rows());
+  EXPECT_EQ(rebuilt.num_pairs(), original.num_pairs());
+  for (size_t r = 0; r < original.num_rows(); ++r) {
+    EXPECT_EQ(rebuilt.RowUser(r), original.RowUser(r));
+    ASSERT_EQ(rebuilt.Row(r).size(), original.Row(r).size());
+    for (size_t i = 0; i < original.Row(r).size(); ++i) {
+      EXPECT_EQ(rebuilt.Row(r)[i], original.Row(r)[i]);
+    }
+  }
+}
+
+TEST(ConstraintsTest, PatchRowsRejectsMismatchedOldState) {
+  const SearchLog log = Figure1Preprocessed();
+  const DpConstraintSystem system =
+      DpConstraintSystem::BuildRows(log).value();
+  const SearchLog empty;
+  // old_system claims rows over `log` but old_log is empty.
+  const auto result = DpConstraintSystem::PatchRows(log, empty, system);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -1,0 +1,316 @@
+// serve subsystem foundations: ThreadPool semantics, and the shard-aware
+// entry points (RemoveUniquePairs, DpConstraintSystem::BuildRows/PatchRows)
+// being bit-identical to their serial counterparts.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/constraints.h"
+#include "log/preprocess.h"
+#include "log/search_log.h"
+#include "serve/thread_pool.h"
+#include "synth/generator.h"
+#include "test_fixtures.h"
+
+namespace privsan {
+namespace {
+
+
+SearchLog Synthetic(uint64_t seed = 11, size_t users = 80,
+                    size_t events = 4000) {
+  SyntheticLogConfig config = TinyConfig();
+  config.seed = seed;
+  config.num_users = users;
+  config.num_events = events;
+  return GenerateSearchLog(config).value();
+}
+
+std::vector<std::tuple<std::string, std::string, std::string, uint64_t>>
+Tuples(const SearchLog& log) {
+  std::vector<std::tuple<std::string, std::string, std::string, uint64_t>>
+      out;
+  for (UserId u = 0; u < log.num_users(); ++u) {
+    for (const PairCount& cell : log.UserLogOf(u)) {
+      out.emplace_back(log.user_name(u),
+                       log.query_name(log.pair_query(cell.pair)),
+                       log.url_name(log.pair_url(cell.pair)), cell.count);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Bitwise row-by-row comparison of two DP systems.
+void ExpectSystemsIdentical(const DpConstraintSystem& a,
+                            const DpConstraintSystem& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_pairs(), b.num_pairs());
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    EXPECT_EQ(a.RowUser(r), b.RowUser(r)) << "row " << r;
+    const auto row_a = a.Row(r);
+    const auto row_b = b.Row(r);
+    ASSERT_EQ(row_a.size(), row_b.size()) << "row " << r;
+    for (size_t i = 0; i < row_a.size(); ++i) {
+      EXPECT_EQ(row_a[i], row_b[i]) << "row " << r << " entry " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  serve::ThreadPool pool(4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> visits(kN);
+  pool.ParallelFor(kN, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      visits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesTinyAndEmptyRanges) {
+  serve::ThreadPool pool(3);
+  int calls = 0;
+  pool.ParallelFor(0, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) sum.fetch_add(i + 1);
+  });
+  EXPECT_EQ(sum.load(), 1u);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForsFromManyThreads) {
+  serve::ThreadPool pool(2);  // fewer workers than client threads
+  constexpr int kClients = 6;
+  constexpr size_t kN = 2000;
+  std::vector<uint64_t> sums(kClients, 0);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&pool, &sums, c] {
+      std::atomic<uint64_t> sum{0};
+      pool.ParallelFor(kN, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          sum.fetch_add(i, std::memory_order_relaxed);
+        }
+      });
+      sums[c] = sum.load();
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(sums[c], kN * (kN - 1) / 2) << "client " << c;
+  }
+}
+
+TEST(ThreadPoolTest, SubmitRunsTasks) {
+  serve::ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit([&] {
+      if (ran.fetch_add(1) + 1 == 32) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return ran.load() == 32; });
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPoolTest, FreeParallelForFallsBackSerial) {
+  uint64_t sum = 0;  // no atomics needed: must run on this thread
+  serve::ParallelFor(nullptr, 100, [&](size_t begin, size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 100u);
+    for (size_t i = begin; i < end; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ShardedPreprocessTest, MatchesSerialBitForBit) {
+  const SearchLog raw = Synthetic();
+  serve::ThreadPool pool(4);
+  const PreprocessResult serial = RemoveUniquePairs(raw);
+  const PreprocessResult sharded = RemoveUniquePairs(raw, &pool);
+
+  EXPECT_EQ(serial.stats.pairs_removed, sharded.stats.pairs_removed);
+  EXPECT_EQ(serial.stats.pairs_retained, sharded.stats.pairs_retained);
+  EXPECT_EQ(serial.stats.users_dropped, sharded.stats.users_dropped);
+  EXPECT_EQ(serial.stats.clicks_removed, sharded.stats.clicks_removed);
+  EXPECT_EQ(serial.stats.clicks_retained, sharded.stats.clicks_retained);
+  // Same tuples AND same id assignment: pair p must name the same pair.
+  EXPECT_EQ(Tuples(serial.log), Tuples(sharded.log));
+  ASSERT_EQ(serial.log.num_pairs(), sharded.log.num_pairs());
+  for (PairId p = 0; p < serial.log.num_pairs(); ++p) {
+    EXPECT_EQ(serial.log.query_name(serial.log.pair_query(p)),
+              sharded.log.query_name(sharded.log.pair_query(p)));
+    EXPECT_EQ(serial.log.url_name(serial.log.pair_url(p)),
+              sharded.log.url_name(sharded.log.pair_url(p)));
+  }
+}
+
+TEST(ShardedBuildRowsTest, MatchesSerialBitForBit) {
+  const SearchLog log = RemoveUniquePairs(Synthetic()).log;
+  serve::ThreadPool pool(4);
+  const DpConstraintSystem serial =
+      DpConstraintSystem::BuildRows(log).value();
+  const DpConstraintSystem sharded =
+      DpConstraintSystem::BuildRows(log, &pool).value();
+  ExpectSystemsIdentical(serial, sharded);
+}
+
+TEST(ShardedBuildRowsTest, UniquePairStillFails) {
+  serve::ThreadPool pool(4);
+  SearchLogBuilder builder;
+  builder.Add("alice", "q", "u", 3);  // unique: only alice holds (q, u)
+  builder.Add("alice", "q2", "u2", 1);
+  builder.Add("bob", "q2", "u2", 2);
+  const SearchLog log = builder.Build();
+  const auto result = DpConstraintSystem::BuildRows(log, &pool);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// Replays `base` then `extra` through one builder — the same merge
+// AppendUsers performs — and preprocesses the result.
+SearchLog MergedPreprocessed(const SearchLog& base, const SearchLog& extra) {
+  SearchLogBuilder builder;
+  builder.AddAll(base);
+  builder.AddAll(extra);
+  return RemoveUniquePairs(builder.Build()).log;
+}
+
+TEST(PatchRowsTest, MatchesFullRebuildBitForBitAndCopiesRows) {
+  const SearchLog full = Synthetic(/*seed=*/23, /*users=*/120,
+                                   /*events=*/6000);
+  const UserId cut = full.num_users() * 3 / 4;
+  const SearchLog base = UserSlice(full, 0, cut);
+  const SearchLog extra = UserSlice(full, cut, full.num_users());
+
+  const SearchLog old_log = RemoveUniquePairs(base).log;
+  const DpConstraintSystem old_system =
+      DpConstraintSystem::BuildRows(old_log).value();
+  const SearchLog new_log = MergedPreprocessed(base, extra);
+
+  serve::ThreadPool pool(4);
+  const DpRowPatch patch =
+      DpConstraintSystem::PatchRows(new_log, old_log, old_system, &pool)
+          .value();
+  const DpConstraintSystem rebuilt =
+      DpConstraintSystem::BuildRows(new_log).value();
+  ExpectSystemsIdentical(rebuilt, patch.system);
+  EXPECT_EQ(patch.rows_copied + patch.rows_rebuilt, rebuilt.num_rows());
+  EXPECT_GT(patch.rows_rebuilt, 0u);  // appended users at minimum
+}
+
+TEST(PatchRowsTest, SmallAppendCopiesUntouchedRows) {
+  // One new user clicking one existing pair: only that pair's holders (and
+  // the new user) are rebuilt; in a Zipf log most rows are untouched.
+  const SearchLog base = Synthetic(/*seed=*/29, /*users=*/100,
+                                   /*events=*/5000);
+  const SearchLog old_log = RemoveUniquePairs(base).log;
+  const DpConstraintSystem old_system =
+      DpConstraintSystem::BuildRows(old_log).value();
+  // The least-shared pair keeps the blast radius small.
+  PairId target = 0;
+  for (PairId p = 1; p < old_log.num_pairs(); ++p) {
+    if (old_log.PairUserCount(p) < old_log.PairUserCount(target)) target = p;
+  }
+  SearchLogBuilder extra;
+  extra.Add("fresh_user", old_log.query_name(old_log.pair_query(target)),
+            old_log.url_name(old_log.pair_url(target)), 1);
+  const SearchLog new_log = MergedPreprocessed(base, extra.Build());
+
+  const DpRowPatch patch =
+      DpConstraintSystem::PatchRows(new_log, old_log, old_system).value();
+  const DpConstraintSystem rebuilt =
+      DpConstraintSystem::BuildRows(new_log).value();
+  ExpectSystemsIdentical(rebuilt, patch.system);
+  // holders(target) + the new user change; everyone else is copied.
+  EXPECT_EQ(patch.rows_rebuilt, old_log.PairUserCount(target) + 1);
+  EXPECT_GT(patch.rows_copied, patch.rows_rebuilt);
+}
+
+TEST(PatchRowsTest, AppendingToExistingUserRebuildsOnlyTouchedRows) {
+  // bob gains clicks on (q1, u1): exactly bob's and alice's rows depend on
+  // that pair's total; carol's row must be copied.
+  SearchLogBuilder base_builder;
+  base_builder.Add("alice", "q1", "u1", 2);
+  base_builder.Add("bob", "q1", "u1", 3);
+  base_builder.Add("carol", "q2", "u2", 1);
+  base_builder.Add("dave", "q2", "u2", 4);
+  const SearchLog base = base_builder.Build();
+  const SearchLog old_log = RemoveUniquePairs(base).log;
+  const DpConstraintSystem old_system =
+      DpConstraintSystem::BuildRows(old_log).value();
+
+  SearchLogBuilder extra_builder;
+  extra_builder.Add("bob", "q1", "u1", 5);
+  const SearchLog new_log = MergedPreprocessed(base, extra_builder.Build());
+
+  const DpRowPatch patch =
+      DpConstraintSystem::PatchRows(new_log, old_log, old_system).value();
+  const DpConstraintSystem rebuilt =
+      DpConstraintSystem::BuildRows(new_log).value();
+  ExpectSystemsIdentical(rebuilt, patch.system);
+  EXPECT_EQ(patch.rows_rebuilt, 2u);  // alice and bob
+  EXPECT_EQ(patch.rows_copied, 2u);   // carol and dave
+}
+
+TEST(PatchRowsTest, NewlySharedPairRebuildsItsHolders) {
+  // (q3, u3) is unique to alice in the base log (dropped by preprocessing);
+  // erin's append makes it shared, so alice's row changes shape.
+  SearchLogBuilder base_builder;
+  base_builder.Add("alice", "q1", "u1", 2);
+  base_builder.Add("bob", "q1", "u1", 3);
+  base_builder.Add("alice", "q3", "u3", 7);
+  const SearchLog base = base_builder.Build();
+  const SearchLog old_log = RemoveUniquePairs(base).log;
+  const DpConstraintSystem old_system =
+      DpConstraintSystem::BuildRows(old_log).value();
+  ASSERT_EQ(old_log.num_pairs(), 1u);
+
+  SearchLogBuilder extra_builder;
+  extra_builder.Add("erin", "q3", "u3", 1);
+  const SearchLog new_log = MergedPreprocessed(base, extra_builder.Build());
+  ASSERT_EQ(new_log.num_pairs(), 2u);
+
+  const DpRowPatch patch =
+      DpConstraintSystem::PatchRows(new_log, old_log, old_system).value();
+  const DpConstraintSystem rebuilt =
+      DpConstraintSystem::BuildRows(new_log).value();
+  ExpectSystemsIdentical(rebuilt, patch.system);
+  // alice (new pair in her log), erin (new user); bob untouched.
+  EXPECT_EQ(patch.rows_rebuilt, 2u);
+  EXPECT_EQ(patch.rows_copied, 1u);
+}
+
+TEST(PatchRowsTest, EmptyOldStateDegeneratesToFullBuild) {
+  const SearchLog new_log = RemoveUniquePairs(Synthetic()).log;
+  const SearchLog empty;
+  const DpConstraintSystem empty_system =
+      DpConstraintSystem::BuildRows(empty).value();
+  const DpRowPatch patch =
+      DpConstraintSystem::PatchRows(new_log, empty, empty_system).value();
+  const DpConstraintSystem rebuilt =
+      DpConstraintSystem::BuildRows(new_log).value();
+  ExpectSystemsIdentical(rebuilt, patch.system);
+  EXPECT_EQ(patch.rows_copied, 0u);
+  EXPECT_EQ(patch.rows_rebuilt, rebuilt.num_rows());
+}
+
+}  // namespace
+}  // namespace privsan

@@ -31,18 +31,6 @@ SearchLog SmallSyntheticRaw(uint64_t seed = 7) {
   return GenerateSearchLog(config).value();
 }
 
-// Users [begin, end) of `log`, as a standalone SearchLog.
-SearchLog UserSlice(const SearchLog& log, UserId begin, UserId end) {
-  SearchLogBuilder builder;
-  for (UserId u = begin; u < end && u < log.num_users(); ++u) {
-    for (const PairCount& cell : log.UserLogOf(u)) {
-      builder.Add(log.user_name(u), log.query_name(log.pair_query(cell.pair)),
-                  log.url_name(log.pair_url(cell.pair)), cell.count);
-    }
-  }
-  return builder.Build();
-}
-
 // Flattens to sorted (user, query, url, count) tuples so two logs can be
 // compared independently of internal id assignment.
 std::vector<std::tuple<std::string, std::string, std::string, uint64_t>>

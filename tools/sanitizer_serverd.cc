@@ -1,0 +1,248 @@
+// sanitizer_serverd — line-protocol driver for serve::SanitizerService.
+//
+// Reads commands from stdin, one per line, and answers on stdout with a
+// single "OK ..." or "ERR ..." line per command (blank lines and #-comments
+// are ignored), so a whole serving session can be scripted through a pipe:
+//
+//   CREATE <tenant>                         new empty tenant
+//   GEN <tenant> <users> <events> <seed>    enqueue a synthetic append batch
+//   APPEND <tenant> <user> <query> <url> <count>   enqueue one click tuple
+//   FLUSH <tenant>                          coalesce + apply queued appends
+//   SOLVE <tenant> <OUMP|FUMP|DUMP> <e_eps> <delta> [output_size]
+//   SWEEP <tenant> <OUMP|FUMP|DUMP> <delta> <e_eps...>   warm-started sweep
+//   SNAPSHOT <tenant> <path>                persist session state
+//   RESTORE <tenant> <path>                 create tenant from a snapshot
+//   STATS <tenant>                          serve-path counters
+//   TENANTS                                 list tenants
+//   QUIT
+//
+// Appends are only *queued* by APPEND/GEN — a later FLUSH (or the implicit
+// flush before a solve) lands the whole queue as one incremental
+// re-preprocess + DP-row patch + basis remap. That batching, plus the
+// per-tenant result cache and warm-started re-solves, is what
+// bench_serve_throughput measures.
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/privacy_params.h"
+#include "serve/service.h"
+#include "synth/generator.h"
+
+namespace {
+
+using namespace privsan;
+
+std::optional<UtilityObjective> ParseObjective(const std::string& token) {
+  if (token == "OUMP" || token == "O-UMP" || token == "oump") {
+    return UtilityObjective::kOutputSize;
+  }
+  if (token == "FUMP" || token == "F-UMP" || token == "fump") {
+    return UtilityObjective::kFrequentPairs;
+  }
+  if (token == "DUMP" || token == "D-UMP" || token == "dump") {
+    return UtilityObjective::kDiversity;
+  }
+  return std::nullopt;
+}
+
+void Err(const std::string& message) { std::cout << "ERR " << message << "\n"; }
+
+}  // namespace
+
+int main() {
+  serve::SanitizerService service;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string command;
+    if (!(in >> command) || command[0] == '#') continue;
+
+    if (command == "QUIT") {
+      std::cout << "OK bye\n";
+      break;
+    }
+    if (command == "TENANTS") {
+      std::cout << "OK";
+      for (const std::string& name : service.Tenants()) {
+        std::cout << ' ' << name;
+      }
+      std::cout << "\n";
+      continue;
+    }
+
+    std::string tenant;
+    if (!(in >> tenant)) {
+      Err("usage: " + command + " <tenant> ...");
+      continue;
+    }
+
+    if (command == "CREATE") {
+      Status status = service.CreateTenant(tenant, SearchLog());
+      if (!status.ok()) {
+        Err(status.ToString());
+        continue;
+      }
+      std::cout << "OK created " << tenant << "\n";
+    } else if (command == "GEN") {
+      uint64_t users = 0, events = 0, seed = 0;
+      if (!(in >> users >> events >> seed)) {
+        Err("usage: GEN <tenant> <users> <events> <seed>");
+        continue;
+      }
+      SyntheticLogConfig config = TinyConfig();
+      config.num_users = users;
+      config.num_events = events;
+      config.seed = seed;
+      Result<SearchLog> log = GenerateSearchLog(config);
+      if (!log.ok()) {
+        Err(log.status().ToString());
+        continue;
+      }
+      Status status = service.Append(tenant, *log);
+      if (!status.ok()) {
+        Err(status.ToString());
+        continue;
+      }
+      std::cout << "OK queued users=" << log->num_users()
+                << " clicks=" << log->total_clicks() << "\n";
+    } else if (command == "APPEND") {
+      std::string user, query, url;
+      uint64_t count = 0;
+      if (!(in >> user >> query >> url >> count) || count == 0) {
+        Err("usage: APPEND <tenant> <user> <query> <url> <count>");
+        continue;
+      }
+      SearchLogBuilder builder;
+      builder.Add(user, query, url, count);
+      Status status = service.Append(tenant, builder.Build());
+      if (!status.ok()) {
+        Err(status.ToString());
+        continue;
+      }
+      std::cout << "OK queued 1 tuple\n";
+    } else if (command == "FLUSH") {
+      Status status = service.Flush(tenant);
+      if (!status.ok()) {
+        Err(status.ToString());
+        continue;
+      }
+      Result<serve::TenantStats> stats = service.Stats(tenant);
+      std::cout << "OK flushes=" << stats->flushes
+                << " coalesced=" << stats->appends_coalesced
+                << " rows_copied=" << stats->rows_copied
+                << " rows_rebuilt=" << stats->rows_rebuilt << "\n";
+    } else if (command == "SOLVE") {
+      std::string objective_token;
+      double e_eps = 0.0, delta = 0.0;
+      if (!(in >> objective_token >> e_eps >> delta)) {
+        Err("usage: SOLVE <tenant> <OUMP|FUMP|DUMP> <e_eps> <delta> "
+            "[output_size]");
+        continue;
+      }
+      const auto objective = ParseObjective(objective_token);
+      if (!objective.has_value()) {
+        Err("unknown objective: " + objective_token);
+        continue;
+      }
+      UmpQuery query;
+      query.privacy = PrivacyParams::FromEEpsilon(e_eps, delta);
+      in >> query.output_size;  // optional; stays 0 when absent
+      const uint64_t hits_before =
+          service.Stats(tenant).ok() ? service.Stats(tenant)->cache_hits : 0;
+      Result<UmpSolution> solution =
+          service.Solve(tenant, *objective, query);
+      if (!solution.ok()) {
+        Err(solution.status().ToString());
+        continue;
+      }
+      Result<serve::TenantStats> stats = service.Stats(tenant);
+      std::cout << "OK objective=" << solution->objective_value
+                << " output_size=" << solution->output_size
+                << " warm=" << (solution->stats.warm_started ? 1 : 0)
+                << " cached="
+                << (stats.ok() && stats->cache_hits > hits_before ? 1 : 0)
+                << " root_iterations=" << solution->stats.root_iterations
+                << "\n";
+    } else if (command == "SWEEP") {
+      std::string objective_token;
+      double delta = 0.0;
+      if (!(in >> objective_token >> delta)) {
+        Err("usage: SWEEP <tenant> <OUMP|FUMP|DUMP> <delta> <e_eps...>");
+        continue;
+      }
+      const auto objective = ParseObjective(objective_token);
+      if (!objective.has_value()) {
+        Err("unknown objective: " + objective_token);
+        continue;
+      }
+      std::vector<UmpQuery> grid;
+      double e_eps = 0.0;
+      while (in >> e_eps) {
+        UmpQuery query;
+        query.privacy = PrivacyParams::FromEEpsilon(e_eps, delta);
+        grid.push_back(query);
+      }
+      if (grid.empty()) {
+        Err("SWEEP needs at least one e_eps value");
+        continue;
+      }
+      Result<SweepResult> sweep = service.Sweep(tenant, *objective, grid);
+      if (!sweep.ok()) {
+        Err(sweep.status().ToString());
+        continue;
+      }
+      std::cout << "OK cells=" << sweep->cells.size()
+                << " warm_solves=" << sweep->warm_solves
+                << " simplex_iterations=" << sweep->total_simplex_iterations
+                << " objectives=";
+      for (size_t i = 0; i < sweep->cells.size(); ++i) {
+        std::cout << (i > 0 ? "," : "") << sweep->cells[i].objective_value;
+      }
+      std::cout << "\n";
+    } else if (command == "SNAPSHOT") {
+      std::string path;
+      if (!(in >> path)) {
+        Err("usage: SNAPSHOT <tenant> <path>");
+        continue;
+      }
+      Status status = service.SaveSnapshot(tenant, path);
+      if (!status.ok()) {
+        Err(status.ToString());
+        continue;
+      }
+      std::cout << "OK wrote " << path << "\n";
+    } else if (command == "RESTORE") {
+      std::string path;
+      if (!(in >> path)) {
+        Err("usage: RESTORE <tenant> <path>");
+        continue;
+      }
+      Status status = service.RestoreTenant(tenant, path);
+      if (!status.ok()) {
+        Err(status.ToString());
+        continue;
+      }
+      std::cout << "OK restored " << tenant << "\n";
+    } else if (command == "STATS") {
+      Result<serve::TenantStats> stats = service.Stats(tenant);
+      if (!stats.ok()) {
+        Err(stats.status().ToString());
+        continue;
+      }
+      std::cout << "OK appends_enqueued=" << stats->appends_enqueued
+                << " flushes=" << stats->flushes
+                << " appends_coalesced=" << stats->appends_coalesced
+                << " solves=" << stats->solves
+                << " cache_hits=" << stats->cache_hits
+                << " cache_misses=" << stats->cache_misses
+                << " rows_copied=" << stats->rows_copied
+                << " rows_rebuilt=" << stats->rows_rebuilt << "\n";
+    } else {
+      Err("unknown command: " + command);
+    }
+  }
+  return 0;
+}
