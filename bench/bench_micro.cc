@@ -9,7 +9,11 @@
 #include "core/rounding.h"
 #include "core/sampler.h"
 #include "core/spe.h"
+#include "bench_factorization_common.h"
 #include "log/preprocess.h"
+#include "lp/eta_file.h"
+#include "lp/lu_factorization.h"
+#include "lp/sparse_matrix.h"
 #include "rng/alias_table.h"
 #include "rng/distributions.h"
 #include "synth/generator.h"
@@ -100,6 +104,59 @@ void BM_OumpSolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OumpSolve);
+
+// ---- Basis factorization kernels (see bench_micro_factorization for the
+// ---- JSON-reported eta-vs-LU fill sweep gated in CI). ----------------------
+
+template <typename Rep>
+void RunRefactorize(benchmark::State& state, Rep rep) {
+  const int m = static_cast<int>(state.range(0));
+  Rng rng(1234);
+  const lp::SparseMatrix A = bench::MakeBasisBenchMatrix(rng, m, 0, 0.03);
+  for (auto _ : state) {
+    std::vector<int> basis(m);
+    for (int i = 0; i < m; ++i) basis[i] = i;
+    benchmark::DoNotOptimize(rep.Refactorize(A, basis));
+  }
+}
+
+template <typename Rep>
+void RunFtran(benchmark::State& state, Rep rep) {
+  const int m = static_cast<int>(state.range(0));
+  Rng rng(1234);
+  const lp::SparseMatrix A = bench::MakeBasisBenchMatrix(rng, m, 0, 0.03);
+  std::vector<int> basis(m);
+  for (int i = 0; i < m; ++i) basis[i] = i;
+  rep.Refactorize(A, basis);
+  Rng vec_rng(7);
+  std::vector<double> v(m);
+  for (double& x : v) x = vec_rng.NextDouble(-2.0, 2.0);
+  for (auto _ : state) {
+    std::vector<double> x = v;
+    rep.Ftran(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+
+void BM_EtaRefactorize(benchmark::State& state) {
+  RunRefactorize(state, lp::EtaFile(100, 8.0));
+}
+BENCHMARK(BM_EtaRefactorize)->Arg(100)->Arg(400);
+
+void BM_LuRefactorize(benchmark::State& state) {
+  RunRefactorize(state, lp::LuFactorization(100, 8.0));
+}
+BENCHMARK(BM_LuRefactorize)->Arg(100)->Arg(400);
+
+void BM_EtaFtran(benchmark::State& state) {
+  RunFtran(state, lp::EtaFile(100, 8.0));
+}
+BENCHMARK(BM_EtaFtran)->Arg(100)->Arg(400);
+
+void BM_LuFtran(benchmark::State& state) {
+  RunFtran(state, lp::LuFactorization(100, 8.0));
+}
+BENCHMARK(BM_LuFtran)->Arg(100)->Arg(400);
 
 void BM_SampleOutput(benchmark::State& state) {
   const SearchLog& log = MicroLog();

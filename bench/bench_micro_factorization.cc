@@ -1,0 +1,200 @@
+// Factorization microbench: the basis-kernel primitives under the simplex
+// — Refactorize, FTRAN, BTRAN — for the Markowitz LU against the
+// product-form eta file (and, at small sizes, the dense inverse oracle),
+// on random sparse bases of growing density ("growing fill" is exactly the
+// regime the LU was built for: the eta file's product-form fill compounds
+// with density, the LU's Markowitz ordering contains it).
+//
+// Per (m, density, kind) record:
+//   refactor_seconds      one Refactorize of the basis
+//   ftran_seconds         one FTRAN, averaged over many random vectors
+//   btran_seconds         one BTRAN, ditto
+//   ftran_updated_seconds one FTRAN after `updates` simplex pivots
+//   nnz                   factor nonzeros right after Refactorize
+//   updated_nnz           factor + update-eta nonzeros after the pivots
+//
+// Emits BENCH_micro_factorization.json; CI diffs it against the committed
+// small-scale baseline (tools/check_bench_regression.py), so a fill
+// regression in the LU (nnz) or a kernel slowdown fails the build.
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_factorization_common.h"
+#include "lp/eta_file.h"
+#include "lp/lu_factorization.h"
+#include "lp/sparse_matrix.h"
+#include "rng/random.h"
+#include "util/timer.h"
+
+using namespace privsan;
+using lp::BasisRep;
+using lp::DenseBasis;
+using lp::EtaFile;
+using lp::LuFactorization;
+using lp::SparseEntry;
+using lp::SparseMatrix;
+
+namespace {
+
+struct KernelTimes {
+  double refactor_seconds = 0.0;
+  double ftran_seconds = 0.0;
+  double btran_seconds = 0.0;
+  double ftran_updated_seconds = 0.0;
+  size_t nnz = 0;
+  size_t updated_nnz = 0;
+  int updates_applied = 0;
+};
+
+size_t Nonzeros(const BasisRep& rep, const EtaFile* eta,
+                const LuFactorization* lu) {
+  if (eta != nullptr) return eta->eta_nonzeros();
+  if (lu != nullptr) return lu->total_nonzeros();
+  (void)rep;
+  return 0;
+}
+
+KernelTimes Measure(BasisRep& rep, const EtaFile* eta,
+                    const LuFactorization* lu, const SparseMatrix& A, int m,
+                    int updates, Rng& rng) {
+  KernelTimes times;
+  std::vector<int> basis(m);
+  for (int i = 0; i < m; ++i) basis[i] = i;
+
+  {
+    WallTimer timer;
+    if (!rep.Refactorize(A, basis)) {
+      std::cerr << "# unexpected singular bench basis\n";
+      return times;
+    }
+    times.refactor_seconds = timer.ElapsedSeconds();
+  }
+  times.nnz = Nonzeros(rep, eta, lu);
+
+  // Solve timings, averaged over distinct random vectors so no
+  // factorization path gets to cache one solve.
+  const int reps = 50;
+  std::vector<std::vector<double>> vectors(reps, std::vector<double>(m));
+  for (auto& v : vectors) {
+    for (double& x : v) x = rng.NextDouble(-2.0, 2.0);
+  }
+  {
+    WallTimer timer;
+    double sink = 0.0;
+    for (const auto& v : vectors) {
+      std::vector<double> x = v;
+      rep.Ftran(x);
+      sink += x[0];
+    }
+    times.ftran_seconds = timer.ElapsedSeconds() / reps;
+    if (std::isnan(sink)) std::cerr << "# nan\n";
+  }
+  {
+    WallTimer timer;
+    double sink = 0.0;
+    for (const auto& v : vectors) {
+      std::vector<double> x = v;
+      rep.Btran(x);
+      sink += x[0];
+    }
+    times.btran_seconds = timer.ElapsedSeconds() / reps;
+    if (std::isnan(sink)) std::cerr << "# nan\n";
+  }
+
+  // Simplex-shaped updates: FTRAN an entering column, pivot at its largest
+  // component (guaranteed stable), register the update.
+  std::vector<double> w(m, 0.0);
+  for (int k = 0; k < updates; ++k) {
+    const int entering = m + k;
+    std::fill(w.begin(), w.end(), 0.0);
+    for (const SparseEntry& e : A.Column(entering)) w[e.index] = e.value;
+    rep.Ftran(w);
+    int slot = 0;
+    for (int i = 1; i < m; ++i) {
+      if (std::abs(w[i]) > std::abs(w[slot])) slot = i;
+    }
+    if (!rep.Update(w, slot, 1e-9)) break;
+    basis[slot] = entering;
+    ++times.updates_applied;
+  }
+  times.updated_nnz = Nonzeros(rep, eta, lu);
+  {
+    WallTimer timer;
+    double sink = 0.0;
+    for (const auto& v : vectors) {
+      std::vector<double> x = v;
+      rep.Ftran(x);
+      sink += x[0];
+    }
+    times.ftran_updated_seconds = timer.ElapsedSeconds() / reps;
+    if (std::isnan(sink)) std::cerr << "# nan\n";
+  }
+  return times;
+}
+
+void Report(bench::JsonReport& report, const std::string& label,
+            const std::string& kind, int m, double density,
+            const KernelTimes& times) {
+  bench::JsonRecord record;
+  record.Add("record", "factorization")
+      .Add("label", label)
+      .Add("mode", kind)
+      .Add("rows", static_cast<int64_t>(m))
+      .Add("refactor_seconds", times.refactor_seconds)
+      .Add("ftran_seconds", times.ftran_seconds)
+      .Add("btran_seconds", times.btran_seconds)
+      .Add("ftran_updated_seconds", times.ftran_updated_seconds)
+      .Add("nnz", static_cast<int64_t>(times.nnz))
+      .Add("updated_nnz", static_cast<int64_t>(times.updated_nnz));
+  report.Add(std::move(record));
+  std::cout << "  " << label << " " << kind << ": refactor "
+            << bench::Shorten(times.refactor_seconds * 1e3) << " ms, ftran "
+            << bench::Shorten(times.ftran_seconds * 1e6) << " us, btran "
+            << bench::Shorten(times.btran_seconds * 1e6) << " us, nnz "
+            << times.nnz << " -> " << times.updated_nnz << " after "
+            << times.updates_applied << " updates\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::JsonReport report("micro_factorization");
+  const std::string scale = bench::BenchScaleName();
+  const int m = scale == "full" ? 1000 : scale == "medium" ? 400 : 120;
+  const int updates = 40;
+
+  std::cout << "== factorization kernels (m = " << m
+            << ", growing fill) ==\n";
+  for (double density : {0.01, 0.03, 0.08}) {
+    Rng rng(1234);
+    const SparseMatrix A =
+        bench::MakeBasisBenchMatrix(rng, m, updates, density);
+    const std::string label =
+        "m" + std::to_string(m) + "_d" + bench::Shorten(density, 2);
+
+    {
+      Rng solve_rng(7);
+      EtaFile eta(/*max_updates=*/updates + 1, /*growth_limit=*/1e9);
+      Report(report, label, "eta", m, density,
+             Measure(eta, &eta, nullptr, A, m, updates, solve_rng));
+    }
+    {
+      Rng solve_rng(7);
+      LuFactorization lu(updates + 1, 1e9);
+      Report(report, label, "lu", m, density,
+             Measure(lu, nullptr, &lu, A, m, updates, solve_rng));
+    }
+    if (m <= 200) {
+      // The dense oracle is O(m^3) to refactorize; only worth timing small.
+      Rng solve_rng(7);
+      DenseBasis dense(updates + 1);
+      Report(report, label, "dense", m, density,
+             Measure(dense, nullptr, nullptr, A, m, updates, solve_rng));
+    }
+  }
+  return 0;
+}

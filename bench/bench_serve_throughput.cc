@@ -107,7 +107,8 @@ int main() {
             << warm_solution.stats.root_iterations << " root iterations, "
             << publisher_stats.flushes << " flush, rows copied/rebuilt "
             << publisher_stats.rows_copied << "/"
-            << publisher_stats.rows_rebuilt << ")\n"
+            << publisher_stats.rows_rebuilt << ", repair_aborted "
+            << publisher_stats.repair_aborted << ")\n"
             << "speedup: " << speedup << "x, objective mismatches: "
             << mismatches << "\n\n";
 
@@ -127,6 +128,9 @@ int main() {
         .Add("batches", static_cast<int64_t>(kBatches))
         .Add("seconds", warm_seconds)
         .Add("root_iterations", warm_solution.stats.root_iterations)
+        .Add("repair_aborted", publisher_stats.repair_aborted)
+        .Add("basis_repairs",
+             static_cast<int64_t>(warm_solution.stats.basis_repairs))
         .Add("rows_copied", static_cast<int64_t>(publisher_stats.rows_copied))
         .Add("rows_rebuilt",
              static_cast<int64_t>(publisher_stats.rows_rebuilt));

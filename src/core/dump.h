@@ -34,9 +34,11 @@ namespace privsan {
 
 struct DumpOptions {
   DumpSolverKind solver = DumpSolverKind::kSpe;
-  lp::SimplexOptions simplex;  // used by kLpRounding
-  lp::BnbOptions bnb;          // used by kBranchAndBound (node LPs run on
-                               // bnb.simplex, as before the UmpProblem port)
+  // LP kernel configuration for every LP this solve runs — kLpRounding's
+  // relaxation AND the branch & bound node LPs (one source of truth since
+  // the PR-4 kernel rethreading; bnb.simplex is overridden).
+  lp::SimplexOptions simplex;
+  lp::BnbOptions bnb;          // used by kBranchAndBound
   // Fix y_j = 0 before branch & bound when some w_j > B (see
   // DumpSpec::integer_presolve in core/ump.h).
   bool integer_presolve = true;

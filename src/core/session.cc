@@ -384,6 +384,7 @@ Result<SweepResult> SanitizerSession::SweepBudgets(
     result.total_simplex_iterations += cell->stats.simplex_iterations;
     result.total_dual_iterations += cell->stats.dual_iterations;
     result.total_root_iterations += cell->stats.root_iterations;
+    result.repair_aborted += cell->stats.repair_aborted;
     if (cell->stats.warm_started) ++result.warm_solves;
     result.cells.push_back(std::move(*cell));
   }

@@ -137,6 +137,9 @@ struct SweepResult {
   // signal (branch & bound tree totals vary with the search order).
   int64_t total_root_iterations = 0;
   int64_t warm_solves = 0;  // cells whose main/root LP ran from a warm basis
+  // Warm solves whose dual repair hit the configured pivot cap and fell
+  // back cold (UmpStats::repair_aborted summed across cells).
+  int64_t repair_aborted = 0;
   double wall_seconds = 0.0;
 };
 

@@ -47,6 +47,8 @@ void FillLpStats(const lp::LpSolution& lp, UmpStats* stats) {
   stats->simplex_iterations += lp.iterations;
   stats->dual_iterations += lp.dual_iterations;
   stats->refactorizations += lp.refactorizations;
+  stats->basis_repairs += lp.basis_repairs;
+  if (lp.repair_aborted) ++stats->repair_aborted;
   if (lp.warm_started) ++stats->warm_solves;
 }
 
@@ -422,6 +424,12 @@ class DumpProblem final : public UmpProblem {
       : log_(&log), system_(system), spec_(spec), simplex_(simplex) {}
 
   Status Build() {
+    // One source of truth for the LP kernel configuration: the node LPs of
+    // branch & bound run on the problem-level simplex options
+    // (factorization, pricing, repair policy), not on whatever
+    // DumpSpec::bnb.simplex defaulted to — so B&B children ride the same
+    // kernel as every other solve of this session.
+    spec_.bnb.simplex = simplex_;
     bip_ = BipFromConstraintRows(*system_);
     bip_.rhs.assign(bip_.num_rows, 1.0);  // rebound per query
     col_max_weight_.resize(log_->num_pairs());
@@ -475,6 +483,8 @@ class DumpProblem final : public UmpProblem {
         solution.stats.simplex_iterations = s.lp_iterations;
         solution.stats.dual_iterations = s.lp_dual_iterations;
         solution.stats.refactorizations = s.lp_refactorizations;
+        solution.stats.basis_repairs = s.lp_basis_repairs;
+        if (s.lp_repair_aborted) solution.stats.repair_aborted = 1;
         solution.stats.root_iterations = s.lp_iterations;
         solution.stats.warm_started = s.lp_warm_started;
         if (s.lp_warm_started) solution.stats.warm_solves = 1;
@@ -510,6 +520,8 @@ class DumpProblem final : public UmpProblem {
         solution.stats.simplex_iterations = bnb.lp_iterations;
         solution.stats.dual_iterations = bnb.lp_dual_iterations;
         solution.stats.refactorizations = bnb.lp_refactorizations;
+        solution.stats.basis_repairs = bnb.lp_basis_repairs;
+        solution.stats.repair_aborted = bnb.repair_aborted;
         solution.stats.nodes_explored = bnb.nodes_explored;
         solution.stats.warm_solves = bnb.warm_solves;
         solution.stats.warm_started = bnb.root_warm_started;

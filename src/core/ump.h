@@ -122,6 +122,13 @@ struct UmpStats {
   int64_t simplex_iterations = 0;    // primal + dual pivots, all LP solves
   int64_t dual_iterations = 0;       // dual pivots (warm-start restores)
   int refactorizations = 0;
+  // Singular refactorizations repaired in place (dependent columns swapped
+  // for row slacks) instead of failing over to a cold solve.
+  int basis_repairs = 0;
+  // Warm solves whose dual repair exceeded the configured pivot cap
+  // (SimplexOptions::warm_repair_pivot_cap) and fell back to a cold solve
+  // — the serve path's "this append was too large to repair" signal.
+  int64_t repair_aborted = 0;
   int64_t nodes_explored = 0;        // branch & bound only
   int64_t warm_solves = 0;           // LP solves that ran from a warm basis
   bool warm_started = false;         // the main/root LP ran from the hint

@@ -136,6 +136,8 @@ Result<BipSolution> SolveBipLpRounding(const BipProblem& problem,
       greedy->lp_iterations = lp.iterations;
       greedy->lp_dual_iterations = lp.dual_iterations;
       greedy->lp_refactorizations = lp.refactorizations;
+      greedy->lp_basis_repairs = lp.basis_repairs;
+      greedy->lp_repair_aborted = lp.repair_aborted;
     }
     return greedy;
   }
@@ -150,6 +152,8 @@ Result<BipSolution> SolveBipLpRounding(const BipProblem& problem,
     rounded->lp_iterations = lp.iterations;
     rounded->lp_dual_iterations = lp.dual_iterations;
     rounded->lp_refactorizations = lp.refactorizations;
+    rounded->lp_basis_repairs = lp.basis_repairs;
+    rounded->lp_repair_aborted = lp.repair_aborted;
     rounded->basis = std::move(lp.basis);
     rounded->lp_warm_started = lp.warm_started;
   }

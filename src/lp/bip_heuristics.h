@@ -55,6 +55,8 @@ struct BipSolution {
   int64_t lp_iterations = 0;
   int64_t lp_dual_iterations = 0;
   int lp_refactorizations = 0;
+  int lp_basis_repairs = 0;
+  bool lp_repair_aborted = false;
   // Optimal basis of the LP relaxation (empty for the pure greedy and when
   // the LP fell back), reusable as a warm-start hint for the next solve of
   // a structurally identical relaxation.

@@ -118,6 +118,8 @@ BnbResult SolveBranchAndBound(const LpModel& model,
     result.lp_iterations += lp.iterations;
     result.lp_dual_iterations += lp.dual_iterations;
     result.lp_refactorizations += lp.refactorizations;
+    result.lp_basis_repairs += lp.basis_repairs;
+    if (lp.repair_aborted) ++result.repair_aborted;
     if (lp.warm_started) ++result.warm_solves;
     if (is_root) {
       result.root_warm_started = lp.warm_started;

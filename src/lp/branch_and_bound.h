@@ -49,6 +49,12 @@ struct BnbResult {
   int64_t lp_iterations = 0;
   int64_t lp_dual_iterations = 0;
   int lp_refactorizations = 0;
+  // Singular bases repaired in place across node solves (swap dependent
+  // columns for row slacks, lp/simplex.h RepairPolicy).
+  int lp_basis_repairs = 0;
+  // Node warm starts whose dual repair hit warm_repair_pivot_cap and fell
+  // back to a cold solve.
+  int64_t repair_aborted = 0;
   // Node LPs that ran from the parent basis (vs cold phase-1 solves).
   int64_t warm_solves = 0;
   // Iterations of the root relaxation alone — the part a `root_hint` from a

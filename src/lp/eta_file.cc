@@ -14,27 +14,62 @@ namespace {
 constexpr double kSingularTol = 1e-11;
 }  // namespace
 
-// ---- EtaFile ----------------------------------------------------------------
+// ---- EtaSequence ------------------------------------------------------------
 
-void EtaFile::Append(const std::vector<double>& w, int slot) {
+void EtaSequence::Append(const std::vector<double>& w, int slot) {
   Eta eta;
   eta.slot = slot;
   eta.pivot = w[slot];
-  for (int i = 0; i < m_; ++i) {
+  const int m = static_cast<int>(w.size());
+  for (int i = 0; i < m; ++i) {
     if (i != slot && w[i] != 0.0) eta.off.push_back(SparseEntry{i, w[i]});
   }
-  nnz_ += eta.off.size() + 1;
-  etas_.push_back(std::move(eta));
+  Push(std::move(eta));
 }
 
-bool EtaFile::Refactorize(const SparseMatrix& A, std::vector<int>& basis) {
-  m_ = A.rows();
-  etas_.clear();
-  updates_ = 0;
-  nnz_ = 0;
+void EtaSequence::Ftran(std::vector<double>& v) const {
+  for (const Eta& eta : etas_) {
+    const double t = v[eta.slot];
+    if (t == 0.0) continue;
+    const double scaled = t / eta.pivot;
+    v[eta.slot] = scaled;
+    for (const SparseEntry& e : eta.off) v[e.index] -= e.value * scaled;
+  }
+}
 
-  const int m = m_;
+void EtaSequence::FtranTracked(std::vector<double>& v,
+                               std::vector<int>& touched) const {
+  for (const Eta& eta : etas_) {
+    const double t = v[eta.slot];
+    if (t == 0.0) continue;
+    const double scaled = t / eta.pivot;
+    v[eta.slot] = scaled;
+    for (const SparseEntry& e : eta.off) {
+      if (v[e.index] == 0.0) touched.push_back(e.index);
+      v[e.index] -= e.value * scaled;
+    }
+  }
+}
+
+void EtaSequence::Btran(std::vector<double>& v) const {
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    double s = v[it->slot];
+    for (const SparseEntry& e : it->off) s -= e.value * v[e.index];
+    v[it->slot] = s / it->pivot;
+  }
+}
+
+// ---- EtaFile ----------------------------------------------------------------
+
+bool EtaFile::Refactorize(const SparseMatrix& A, std::vector<int>& basis) {
+  const int m = A.rows();
   PRIVSAN_CHECK(static_cast<int>(basis.size()) == m);
+  singular_info_.Clear();
+
+  // Build into locals and commit only on success: a failed refactorization
+  // must leave the previous factorization (and `basis`) untouched so the
+  // caller can repair the basis and retry deterministically.
+  EtaSequence etas;
 
   // Process columns by ascending nonzero count: slack and singleton columns
   // pivot without fill, leaving only the structural "bump" to eliminate.
@@ -57,16 +92,7 @@ bool EtaFile::Refactorize(const SparseMatrix& A, std::vector<int>& basis) {
       w[e.index] = e.value;
       touched.push_back(e.index);
     }
-    for (const Eta& eta : etas_) {
-      const double t = w[eta.slot];
-      if (t == 0.0) continue;
-      const double scaled = t / eta.pivot;
-      w[eta.slot] = scaled;
-      for (const SparseEntry& e : eta.off) {
-        if (w[e.index] == 0.0) touched.push_back(e.index);
-        w[e.index] -= e.value * scaled;
-      }
-    }
+    etas.FtranTracked(w, touched);
 
     // Partial pivoting restricted to unassigned slots.
     int slot = -1;
@@ -80,9 +106,12 @@ bool EtaFile::Refactorize(const SparseMatrix& A, std::vector<int>& basis) {
       }
     }
     if (slot < 0) {
-      // Reset w before bailing out.
+      // Numerically dependent on the columns processed so far. Record it,
+      // reset w, and keep going so the failure report names *every*
+      // dependent column of this basis.
+      singular_info_.dependent_columns.push_back(basis[k]);
       for (int idx : touched) w[idx] = 0.0;
-      return false;
+      continue;
     }
 
     const double pivot = w[slot];
@@ -95,40 +124,35 @@ bool EtaFile::Refactorize(const SparseMatrix& A, std::vector<int>& basis) {
       w[idx] = 0.0;  // reset as we harvest; also dedupes repeated indices
     }
     w[slot] = 0.0;
-    nnz_ += eta.off.size() + 1;
-    etas_.push_back(std::move(eta));
+    etas.Push(std::move(eta));
 
     used[slot] = true;
     new_basis[slot] = basis[k];
   }
 
+  if (!singular_info_.empty()) {
+    for (int r = 0; r < m; ++r) {
+      if (!used[r]) singular_info_.unpivoted_rows.push_back(r);
+    }
+    return false;  // previous factorization and `basis` left untouched
+  }
+
+  m_ = m;
+  etas_.swap(etas);
+  updates_ = 0;
+  base_nnz_ = etas_.nonzeros();
   basis = std::move(new_basis);
-  base_nnz_ = nnz_;
   return true;
 }
 
-void EtaFile::Ftran(std::vector<double>& v) const {
-  for (const Eta& eta : etas_) {
-    const double t = v[eta.slot];
-    if (t == 0.0) continue;
-    const double scaled = t / eta.pivot;
-    v[eta.slot] = scaled;
-    for (const SparseEntry& e : eta.off) v[e.index] -= e.value * scaled;
-  }
-}
+void EtaFile::Ftran(std::vector<double>& v) const { etas_.Ftran(v); }
 
-void EtaFile::Btran(std::vector<double>& v) const {
-  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
-    double s = v[it->slot];
-    for (const SparseEntry& e : it->off) s -= e.value * v[e.index];
-    v[it->slot] = s / it->pivot;
-  }
-}
+void EtaFile::Btran(std::vector<double>& v) const { etas_.Btran(v); }
 
 bool EtaFile::Update(const std::vector<double>& w, int slot,
                      double pivot_tol) {
   if (std::abs(w[slot]) <= pivot_tol) return false;
-  Append(w, slot);
+  etas_.Append(w, slot);
   ++updates_;
   return true;
 }
@@ -136,15 +160,15 @@ bool EtaFile::Update(const std::vector<double>& w, int slot,
 bool EtaFile::ShouldRefactor() const {
   if (updates_ >= max_updates_) return true;
   const size_t base = std::max(base_nnz_, static_cast<size_t>(m_));
-  return nnz_ > static_cast<size_t>(growth_limit_ * static_cast<double>(base));
+  return etas_.nonzeros() >
+         static_cast<size_t>(growth_limit_ * static_cast<double>(base));
 }
 
 // ---- DenseBasis -------------------------------------------------------------
 
 bool DenseBasis::Refactorize(const SparseMatrix& A, std::vector<int>& basis) {
-  m_ = A.rows();
-  updates_ = 0;
-  const int m = m_;
+  const int m = A.rows();
+  singular_info_.Clear();  // dense pivoting cannot attribute dependencies
 
   std::vector<double> dense(static_cast<size_t>(m) * m, 0.0);
   for (int i = 0; i < m; ++i) {
@@ -152,8 +176,9 @@ bool DenseBasis::Refactorize(const SparseMatrix& A, std::vector<int>& basis) {
       dense[static_cast<size_t>(e.index) * m + i] = e.value;
     }
   }
-  binv_.assign(static_cast<size_t>(m) * m, 0.0);
-  for (int i = 0; i < m; ++i) binv_[static_cast<size_t>(i) * m + i] = 1.0;
+  // Invert into a local and commit on success only (failure contract).
+  std::vector<double> binv(static_cast<size_t>(m) * m, 0.0);
+  for (int i = 0; i < m; ++i) binv[static_cast<size_t>(i) * m + i] = 1.0;
 
   for (int col = 0; col < m; ++col) {
     int pivot_row = col;
@@ -170,14 +195,14 @@ bool DenseBasis::Refactorize(const SparseMatrix& A, std::vector<int>& basis) {
       for (int k = 0; k < m; ++k) {
         std::swap(dense[static_cast<size_t>(pivot_row) * m + k],
                   dense[static_cast<size_t>(col) * m + k]);
-        std::swap(binv_[static_cast<size_t>(pivot_row) * m + k],
-                  binv_[static_cast<size_t>(col) * m + k]);
+        std::swap(binv[static_cast<size_t>(pivot_row) * m + k],
+                  binv[static_cast<size_t>(col) * m + k]);
       }
     }
     const double inv_pivot = 1.0 / dense[static_cast<size_t>(col) * m + col];
     for (int k = 0; k < m; ++k) {
       dense[static_cast<size_t>(col) * m + k] *= inv_pivot;
-      binv_[static_cast<size_t>(col) * m + k] *= inv_pivot;
+      binv[static_cast<size_t>(col) * m + k] *= inv_pivot;
     }
     for (int r = 0; r < m; ++r) {
       if (r == col) continue;
@@ -186,11 +211,14 @@ bool DenseBasis::Refactorize(const SparseMatrix& A, std::vector<int>& basis) {
       for (int k = 0; k < m; ++k) {
         dense[static_cast<size_t>(r) * m + k] -=
             factor * dense[static_cast<size_t>(col) * m + k];
-        binv_[static_cast<size_t>(r) * m + k] -=
-            factor * binv_[static_cast<size_t>(col) * m + k];
+        binv[static_cast<size_t>(r) * m + k] -=
+            factor * binv[static_cast<size_t>(col) * m + k];
       }
     }
   }
+  m_ = m;
+  binv_ = std::move(binv);
+  updates_ = 0;
   return true;
 }
 

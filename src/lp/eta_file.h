@@ -7,24 +7,34 @@
 //   BTRAN:  v := B^-T v        (duals, dual-simplex row)
 //   UPDATE: replace the column in one basis slot after a pivot
 //
-// `BasisRep` abstracts those; two implementations exist:
+// `BasisRep` abstracts those; three implementations exist:
 //
-//   * EtaFile — the production representation: a product form of the
-//     inverse. Refactorize() runs sparse Gaussian elimination in product
-//     form (columns ordered by ascending fill, so slack/singleton columns
-//     pivot for free) and every simplex pivot appends one eta vector.
-//     FTRAN/BTRAN cost O(nnz of the eta file), not O(m^2).
+//   * LuFactorization (lp/lu_factorization.h) — the production
+//     representation: sparse LU with Markowitz pivot ordering and threshold
+//     partial pivoting, updated in product form on top of the factors.
+//   * EtaFile — a pure product form of the inverse. Refactorize() runs
+//     sparse Gaussian elimination in product form (columns ordered by
+//     ascending fill, so slack/singleton columns pivot for free) and every
+//     simplex pivot appends one eta vector. Kept as a selectable fallback
+//     and as the reference oracle for the LU-vs-eta equivalence tests.
 //   * DenseBasis — the legacy explicit dense m x m inverse updated by
-//     Gauss-Jordan pivots. Kept as the numerical fallback and as the
-//     reference oracle for the dense-vs-eta equivalence tests.
+//     Gauss-Jordan pivots. The numerical fallback of last resort and the
+//     dense oracle for the property tests.
 //
 // Refactorization policy lives with the representation: ShouldRefactor()
 // reports growth of the update file; the solver additionally refactorizes
 // on numerical drift (residual breach), not on a fixed iteration cadence.
+//
+// Failure contract shared by every implementation: a Refactorize() that
+// returns false leaves BOTH the previous factorization and the `basis`
+// argument untouched, so the caller can repair the basis (swap the
+// dependent columns reported in singular_info() for row slacks,
+// lp/simplex.cc) and retry deterministically.
 #ifndef PRIVSAN_LP_ETA_FILE_H_
 #define PRIVSAN_LP_ETA_FILE_H_
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "lp/sparse_matrix.h"
@@ -32,13 +42,83 @@
 namespace privsan {
 namespace lp {
 
+// One product-form eta: the inverse of an elementary matrix that differs
+// from the identity only in column `slot`.
+struct Eta {
+  int slot = 0;        // pivot position
+  double pivot = 0.0;  // w[slot]
+  std::vector<SparseEntry> off;  // (i, w[i]) for i != slot
+};
+
+// An ordered sequence of product-form etas with the FTRAN/BTRAN loops
+// shared by the eta file (which is nothing but one such sequence) and the
+// LU factorization (which stacks one on top of its factors for updates).
+class EtaSequence {
+ public:
+  void Clear() {
+    etas_.clear();
+    nnz_ = 0;
+  }
+
+  // Appends the eta formed by the FTRAN image `w` pivoting at `slot`.
+  void Append(const std::vector<double>& w, int slot);
+
+  // Appends an already-harvested eta (refactorization builds them in place).
+  void Push(Eta eta) {
+    nnz_ += eta.off.size() + 1;
+    etas_.push_back(std::move(eta));
+  }
+
+  // v := E_k^-1 ... E_1^-1 v (application order = append order).
+  void Ftran(std::vector<double>& v) const;
+
+  // Ftran that appends every newly filled index to `touched`, so sparse
+  // callers (refactorization) avoid an O(m) scan for the nonzeros. An index
+  // may appear twice after an exact cancellation mid-product; callers must
+  // tolerate duplicates.
+  void FtranTracked(std::vector<double>& v, std::vector<int>& touched) const;
+
+  // v := E_1^-T ... E_k^-T v (reverse order).
+  void Btran(std::vector<double>& v) const;
+
+  size_t size() const { return etas_.size(); }
+  size_t nonzeros() const { return nnz_; }
+
+  void swap(EtaSequence& other) {
+    etas_.swap(other.etas_);
+    std::swap(nnz_, other.nnz_);
+  }
+
+ private:
+  std::vector<Eta> etas_;
+  size_t nnz_ = 0;  // total eta entries (off + pivots)
+};
+
 class BasisRep {
  public:
+  // What a failed Refactorize() found: the rows left without a pivot and
+  // the basis variables that could not be pivoted in (numerically
+  // dependent on the others), paired by count. The solver uses this to
+  // repair the basis in place — dependent columns leave for the uncovered
+  // rows' slacks — instead of falling back to a cold solve.
+  struct SingularInfo {
+    std::vector<int> unpivoted_rows;
+    std::vector<int> dependent_columns;  // variable ids from `basis`
+    bool empty() const { return dependent_columns.empty(); }
+    void Clear() {
+      unpivoted_rows.clear();
+      dependent_columns.clear();
+    }
+  };
+
   virtual ~BasisRep() = default;
 
   // Factorizes the basis formed by columns `basis` of A. May permute
   // `basis` (slot re-assignment); callers must recompute basic values
-  // afterwards. Returns false if the basis is numerically singular.
+  // afterwards. Returns false if the basis is numerically singular — then
+  // `basis`, the previous factorization, and all counters are left exactly
+  // as they were, and singular_info() describes the dependency (when the
+  // representation can attribute it; DenseBasis cannot).
   virtual bool Refactorize(const SparseMatrix& A, std::vector<int>& basis) = 0;
 
   // v := B^-1 v. v has dimension m.
@@ -59,6 +139,13 @@ class BasisRep {
   // Whether the update file has grown enough that refactorizing is cheaper
   // than continuing to apply it.
   virtual bool ShouldRefactor() const = 0;
+
+  // Valid after the most recent Refactorize() returned false; empty after
+  // a success (or when the representation cannot attribute the failure).
+  const SingularInfo& singular_info() const { return singular_info_; }
+
+ protected:
+  SingularInfo singular_info_;
 };
 
 // Product-form-of-the-inverse eta file.
@@ -78,22 +165,13 @@ class EtaFile : public BasisRep {
   int updates_since_refactor() const override { return updates_; }
   bool ShouldRefactor() const override;
 
-  size_t eta_nonzeros() const { return nnz_; }
+  size_t eta_nonzeros() const { return etas_.nonzeros(); }
 
  private:
-  struct Eta {
-    int slot = 0;        // pivot position
-    double pivot = 0.0;  // w[slot]
-    std::vector<SparseEntry> off;  // (i, w[i]) for i != slot
-  };
-
-  void Append(const std::vector<double>& w, int slot);
-
   int m_ = 0;
-  std::vector<Eta> etas_;  // factorization etas, then update etas
+  EtaSequence etas_;  // factorization etas, then update etas
   int updates_ = 0;
-  size_t nnz_ = 0;       // total eta entries (off + pivots)
-  size_t base_nnz_ = 0;  // nnz_ right after Refactorize()
+  size_t base_nnz_ = 0;  // nonzeros right after Refactorize()
   int max_updates_;
   double growth_limit_;
 };

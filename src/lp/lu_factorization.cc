@@ -1,0 +1,339 @@
+#include "lp/lu_factorization.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace privsan {
+namespace lp {
+
+namespace {
+// Pivot magnitude below which a factorization declares the basis singular.
+constexpr double kSingularTol = 1e-11;
+// Candidate columns examined per elimination step before settling for the
+// best Markowitz count seen (a full scan only runs when none of them has a
+// numerically acceptable pivot).
+constexpr int kColumnCandidates = 8;
+}  // namespace
+
+bool LuFactorization::Refactorize(const SparseMatrix& A,
+                                  std::vector<int>& basis) {
+  const int m = A.rows();
+  PRIVSAN_CHECK(static_cast<int>(basis.size()) == m);
+  singular_info_.Clear();
+
+  // The active submatrix, row-major and exact: rows[r] holds (slot column,
+  // value) for every nonzero of row r over the not-yet-eliminated columns.
+  // col_rows is the column-major *pattern* only — it may hold stale rows
+  // (eliminated, or holding a cancelled entry); gathers re-validate against
+  // the row data, deduped with a stamp.
+  std::vector<std::vector<SparseEntry>> rows(m);
+  std::vector<int> col_count(m, 0), row_count(m, 0);
+  std::vector<std::vector<int>> col_rows(m);
+  for (int c = 0; c < m; ++c) {
+    for (const SparseEntry& e : A.Column(basis[c])) {
+      rows[e.index].push_back(SparseEntry{c, e.value});
+    }
+  }
+  for (int r = 0; r < m; ++r) {
+    row_count[r] = static_cast<int>(rows[r].size());
+    for (const SparseEntry& e : rows[r]) {
+      ++col_count[e.index];
+      col_rows[e.index].push_back(r);
+    }
+  }
+
+  std::vector<char> row_active(m, 1), col_active(m, 1);
+  std::vector<int> gather_stamp(m, -1);
+
+  // Scratch for the rank-1 row updates.
+  std::vector<double> work(m, 0.0);
+  std::vector<char> in_work(m, 0);
+  std::vector<int> touched;
+  touched.reserve(64);
+
+  std::vector<LStep> lsteps;
+  lsteps.reserve(m);
+  std::vector<URow> urows;
+  urows.reserve(m);
+  std::vector<int> pivot_rows;  // step -> pivot row
+  pivot_rows.reserve(m);
+  std::vector<int> step_of_col(m, -1);
+  std::vector<int> new_basis(m, -1);
+  size_t factor_nnz = 0;
+
+  // Entries of one candidate pivot column over the active rows.
+  struct ColEntry {
+    int row;
+    double value;
+  };
+  std::vector<ColEntry> col_entries, pivot_entries;
+  int stamp = 0;
+
+  // Validated gather of column c; returns the column's max magnitude.
+  auto gather_column = [&](int c) -> double {
+    col_entries.clear();
+    ++stamp;
+    double colmax = 0.0;
+    for (int r : col_rows[c]) {
+      if (!row_active[r] || gather_stamp[r] == stamp) continue;
+      gather_stamp[r] = stamp;
+      for (const SparseEntry& e : rows[r]) {
+        if (e.index == c) {
+          col_entries.push_back(ColEntry{r, e.value});
+          colmax = std::max(colmax, std::abs(e.value));
+          break;
+        }
+      }
+    }
+    return colmax;
+  };
+
+  // Best threshold-acceptable pivot of column c by Markowitz count; returns
+  // false when the column is numerically empty. On success fills
+  // (row, value, cost).
+  auto best_in_column = [&](int c, int& prow, double& pval,
+                            size_t& cost) -> bool {
+    const double colmax = gather_column(c);
+    if (colmax < kSingularTol) return false;
+    const double accept =
+        std::max(markowitz_threshold_ * colmax, kSingularTol);
+    prow = -1;
+    cost = std::numeric_limits<size_t>::max();
+    double pmag = 0.0;
+    for (const ColEntry& e : col_entries) {
+      const double mag = std::abs(e.value);
+      if (mag < accept) continue;
+      const size_t c_cost = static_cast<size_t>(col_count[c] - 1) *
+                            static_cast<size_t>(row_count[e.row] - 1);
+      const bool better =
+          c_cost < cost || (c_cost == cost && mag > pmag) ||
+          (c_cost == cost && mag == pmag && (prow < 0 || e.row < prow));
+      if (better) {
+        cost = c_cost;
+        prow = e.row;
+        pval = e.value;
+        pmag = mag;
+      }
+    }
+    return prow >= 0;
+  };
+
+  for (int step = 0; step < m; ++step) {
+    // --- Markowitz pivot search over the cheapest candidate columns. ------
+    // Keep the kColumnCandidates active columns with the smallest counts
+    // (ties by lower index), then take the best threshold-acceptable pivot
+    // among them; fall back to a full column scan only when every candidate
+    // is numerically empty.
+    struct Cand {
+      int count;
+      int col;
+    };
+    const auto cheaper = [](const Cand& a, const Cand& b) {
+      if (a.count != b.count) return a.count < b.count;
+      return a.col < b.col;
+    };
+    std::vector<Cand> cands;  // max-heap under `cheaper`: front = costliest
+    for (int c = 0; c < m; ++c) {
+      if (!col_active[c]) continue;
+      if (static_cast<int>(cands.size()) < kColumnCandidates) {
+        cands.push_back(Cand{col_count[c], c});
+        std::push_heap(cands.begin(), cands.end(), cheaper);
+      } else if (col_count[c] < cands.front().count) {
+        std::pop_heap(cands.begin(), cands.end(), cheaper);
+        cands.back() = Cand{col_count[c], c};
+        std::push_heap(cands.begin(), cands.end(), cheaper);
+      }
+    }
+    std::sort(cands.begin(), cands.end(), cheaper);
+
+    int pivot_col = -1, pivot_row = -1;
+    double pivot_value = 0.0;
+    size_t best_cost = std::numeric_limits<size_t>::max();
+    for (const Cand& cand : cands) {
+      int prow;
+      double pval;
+      size_t cost;
+      if (!best_in_column(cand.col, prow, pval, cost)) continue;
+      if (cost < best_cost) {
+        best_cost = cost;
+        pivot_col = cand.col;
+        pivot_row = prow;
+        pivot_value = pval;
+        pivot_entries = col_entries;
+      }
+      // A later candidate column has count >= this one, so its Markowitz
+      // cost is at least (count - 1) * 0 = 0 — only a zero-cost pivot can
+      // still win, and we already have one.
+      if (best_cost == 0) break;
+    }
+    if (pivot_col < 0) {
+      // None of the cheap candidates was numerically usable; scan them all.
+      for (int c = 0; c < m && pivot_col < 0; ++c) {
+        if (!col_active[c]) continue;
+        int prow;
+        double pval;
+        size_t cost;
+        if (best_in_column(c, prow, pval, cost)) {
+          pivot_col = c;
+          pivot_row = prow;
+          pivot_value = pval;
+          pivot_entries = col_entries;
+        }
+      }
+    }
+    if (pivot_col < 0) {
+      // The remaining active columns are numerically dependent on the
+      // eliminated ones. Report them (and the rows left uncovered) so the
+      // solver can swap in row slacks; previous state stays untouched.
+      for (int c = 0; c < m; ++c) {
+        if (col_active[c]) singular_info_.dependent_columns.push_back(basis[c]);
+      }
+      for (int r = 0; r < m; ++r) {
+        if (row_active[r]) singular_info_.unpivoted_rows.push_back(r);
+      }
+      return false;
+    }
+
+    // --- Eliminate (pivot_row, pivot_col). --------------------------------
+    LStep lstep;
+    lstep.pivot_row = pivot_row;
+    URow urow;
+    urow.pivot_row = pivot_row;
+    urow.pivot = pivot_value;
+    for (const SparseEntry& e : rows[pivot_row]) {
+      if (e.index != pivot_col) urow.entries.push_back(e);  // cols, for now
+    }
+
+    for (const ColEntry& entry : pivot_entries) {
+      const int r = entry.row;
+      if (r == pivot_row) continue;
+      const double f = entry.value / pivot_value;
+      lstep.multipliers.push_back(SparseEntry{r, f});
+
+      // rows[r] -= f * rows[pivot_row], via the dense scratch.
+      touched.clear();
+      for (const SparseEntry& e : rows[r]) {
+        work[e.index] = e.value;
+        in_work[e.index] = 1;
+        touched.push_back(e.index);
+      }
+      for (const SparseEntry& e : rows[pivot_row]) {
+        if (e.index == pivot_col) continue;
+        if (!in_work[e.index]) {
+          // Fill: a brand-new nonzero in row r.
+          work[e.index] = 0.0;
+          in_work[e.index] = 1;
+          touched.push_back(e.index);
+          ++col_count[e.index];
+          col_rows[e.index].push_back(r);
+        }
+        work[e.index] -= f * e.value;
+      }
+      std::vector<SparseEntry>& row = rows[r];
+      row.clear();
+      for (int c : touched) {
+        if (c == pivot_col) {
+          // Eliminated; its count is zeroed when the column deactivates.
+        } else if (work[c] == 0.0) {
+          --col_count[c];  // exact cancellation
+        } else {
+          row.push_back(SparseEntry{c, work[c]});
+        }
+        in_work[c] = 0;
+      }
+      row_count[r] = static_cast<int>(row.size());
+    }
+
+    // Deactivate the pivot row and column.
+    row_active[pivot_row] = 0;
+    for (const SparseEntry& e : rows[pivot_row]) {
+      if (e.index != pivot_col) --col_count[e.index];
+    }
+    col_active[pivot_col] = 0;
+    col_count[pivot_col] = 0;
+
+    factor_nnz += 1 + lstep.multipliers.size() + urow.entries.size();
+    step_of_col[pivot_col] = step;
+    pivot_rows.push_back(pivot_row);
+    new_basis[pivot_row] = basis[pivot_col];
+    lsteps.push_back(std::move(lstep));
+    urows.push_back(std::move(urow));
+  }
+
+  // Translate U entries from slot columns to the pivot rows of the steps
+  // that own them, so the substitution passes index the work vector
+  // directly.
+  for (URow& urow : urows) {
+    for (SparseEntry& e : urow.entries) {
+      e.index = pivot_rows[step_of_col[e.index]];
+    }
+  }
+
+  m_ = m;
+  lsteps_ = std::move(lsteps);
+  urows_ = std::move(urows);
+  factor_nnz_ = factor_nnz;
+  updates_seq_.Clear();
+  updates_ = 0;
+  basis = std::move(new_basis);
+  return true;
+}
+
+void LuFactorization::Ftran(std::vector<double>& v) const {
+  // L: forward-apply the multipliers in elimination order.
+  for (const LStep& step : lsteps_) {
+    const double t = v[step.pivot_row];
+    if (t == 0.0) continue;
+    for (const SparseEntry& e : step.multipliers) {
+      v[e.index] -= e.value * t;
+    }
+  }
+  // U: back-substitute in reverse elimination order.
+  for (auto it = urows_.rbegin(); it != urows_.rend(); ++it) {
+    double s = v[it->pivot_row];
+    for (const SparseEntry& e : it->entries) s -= e.value * v[e.index];
+    v[it->pivot_row] = s / it->pivot;
+  }
+  // Product-form updates on top.
+  updates_seq_.Ftran(v);
+}
+
+void LuFactorization::Btran(std::vector<double>& v) const {
+  updates_seq_.Btran(v);
+  // U^T: forward-substitute in elimination order.
+  for (const URow& urow : urows_) {
+    const double y = v[urow.pivot_row] / urow.pivot;
+    v[urow.pivot_row] = y;
+    if (y == 0.0) continue;
+    for (const SparseEntry& e : urow.entries) v[e.index] -= e.value * y;
+  }
+  // L^T: apply the multiplier columns transposed, in reverse order.
+  for (auto it = lsteps_.rbegin(); it != lsteps_.rend(); ++it) {
+    double s = v[it->pivot_row];
+    for (const SparseEntry& e : it->multipliers) s -= e.value * v[e.index];
+    v[it->pivot_row] = s;
+  }
+}
+
+bool LuFactorization::Update(const std::vector<double>& w, int slot,
+                             double pivot_tol) {
+  if (std::abs(w[slot]) <= pivot_tol) return false;
+  updates_seq_.Append(w, slot);
+  ++updates_;
+  return true;
+}
+
+bool LuFactorization::ShouldRefactor() const {
+  if (updates_ >= max_updates_) return true;
+  const size_t base = std::max(factor_nnz_, static_cast<size_t>(m_));
+  return total_nonzeros() >
+         static_cast<size_t>(growth_limit_ * static_cast<double>(base));
+}
+
+}  // namespace lp
+}  // namespace privsan

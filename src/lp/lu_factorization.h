@@ -1,0 +1,102 @@
+// Sparse LU basis factorization with Markowitz pivot ordering.
+//
+// The eta file (lp/eta_file.h) is a product form of the inverse: every
+// factorization eta carries the *whole* transformed column, above and below
+// the pivot, and its static column ordering (ascending nonzero count)
+// ignores what elimination does to the rows. On the dense "bumps" the UMP
+// bases grow into at scale, that fill compounds — FTRAN/BTRAN cost is the
+// eta-file nonzero count, so fill is time.
+//
+// LuFactorization replaces it with a right-looking sparse LU:
+//
+//   * Markowitz pivot ordering — each elimination step picks the pivot
+//     (i, j) minimizing the fill bound (r_i - 1)(c_j - 1) over the active
+//     submatrix (candidate columns searched in ascending column count),
+//   * threshold partial pivoting — a pivot must also satisfy
+//     |a_ij| >= markowitz_threshold * max_k |a_kj|, trading a bounded
+//     amount of stability for the freedom to chase sparsity,
+//   * product-form updates on top of the factors — each simplex pivot
+//     appends one eta to a sequence applied after L/U in FTRAN (and before
+//     them, reversed, in BTRAN), exactly the eta file's update rule, so
+//     the two representations stay drop-in interchangeable.
+//
+// Solves (B = P^T L U with the permutations carried in the step order):
+//   FTRAN  v := B^-1 v :  forward-apply the L multipliers in elimination
+//                         order, back-substitute U in reverse order, then
+//                         the update etas;
+//   BTRAN  v := B^-T v :  update etas reversed, forward-substitute U^T,
+//                         then the L multipliers transposed in reverse.
+//
+// Shares the BasisRep failure contract: a singular Refactorize() leaves
+// the previous factorization and `basis` untouched and reports the
+// unpivoted rows / dependent columns in singular_info(), which is what
+// lets the solver repair the basis in place (lp/simplex.cc) instead of
+// cold-solving.
+#ifndef PRIVSAN_LP_LU_FACTORIZATION_H_
+#define PRIVSAN_LP_LU_FACTORIZATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "lp/eta_file.h"
+#include "lp/sparse_matrix.h"
+
+namespace privsan {
+namespace lp {
+
+class LuFactorization : public BasisRep {
+ public:
+  // `max_updates` / `growth_limit`: the refactorization policy, as in
+  // EtaFile (growth is measured as total nonzeros — factors plus update
+  // etas — against the fresh factors). `markowitz_threshold` in (0, 1]:
+  // larger is more stable, smaller is sparser; 0.1 is the textbook default.
+  LuFactorization(int max_updates, double growth_limit,
+                  double markowitz_threshold = 0.1)
+      : max_updates_(max_updates),
+        growth_limit_(growth_limit),
+        markowitz_threshold_(markowitz_threshold) {}
+
+  bool Refactorize(const SparseMatrix& A, std::vector<int>& basis) override;
+  void Ftran(std::vector<double>& v) const override;
+  void Btran(std::vector<double>& v) const override;
+  bool Update(const std::vector<double>& w, int slot,
+              double pivot_tol) override;
+  int updates_since_refactor() const override { return updates_; }
+  bool ShouldRefactor() const override;
+
+  // Nonzeros of the L + U factors alone (the fill the Markowitz ordering
+  // minimizes; excludes update etas).
+  size_t factor_nonzeros() const { return factor_nnz_; }
+  // Factors plus the update etas — what FTRAN/BTRAN actually traverse.
+  size_t total_nonzeros() const { return factor_nnz_ + updates_seq_.nonzeros(); }
+
+ private:
+  // One elimination step's L column: v[row] -= multiplier * v[pivot_row].
+  struct LStep {
+    int pivot_row = 0;
+    std::vector<SparseEntry> multipliers;  // (row, l_row) below the pivot
+  };
+  // One elimination step's U row. Entries point at the pivot *rows* of the
+  // later steps owning those columns (translated once at factorization
+  // end), so both substitution passes index the work vector directly.
+  struct URow {
+    int pivot_row = 0;
+    double pivot = 0.0;
+    std::vector<SparseEntry> entries;  // (pivot_row of owning step, u)
+  };
+
+  int m_ = 0;
+  std::vector<LStep> lsteps_;  // in elimination order
+  std::vector<URow> urows_;    // in elimination order
+  size_t factor_nnz_ = 0;
+  EtaSequence updates_seq_;    // product-form updates on top of the factors
+  int updates_ = 0;
+  int max_updates_;
+  double growth_limit_;
+  double markowitz_threshold_;
+};
+
+}  // namespace lp
+}  // namespace privsan
+
+#endif  // PRIVSAN_LP_LU_FACTORIZATION_H_

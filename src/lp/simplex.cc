@@ -4,9 +4,13 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <utility>
 
 #include "lp/eta_file.h"
+#include "lp/lu_factorization.h"
 #include "lp/presolve.h"
+#include "lp/pricing.h"
+#include "lp/ratio_test.h"
 #include "lp/sparse_matrix.h"
 #include "util/logging.h"
 
@@ -57,6 +61,7 @@ struct Work {
   int64_t iterations = 0;
   int64_t dual_iterations = 0;
   int refactorizations = 0;
+  int basis_repairs = 0;
 };
 
 enum class PhaseStatus { kOptimal, kUnbounded, kIterationLimit, kSingular };
@@ -64,15 +69,23 @@ enum class DualStatus {
   kOptimal,  // primal feasibility restored
   kPrimalInfeasible,
   kIterationLimit,
+  kRepairAborted,  // warm_repair_pivot_cap exhausted (stale hint)
   kSingular,
 };
 
 std::unique_ptr<BasisRep> MakeBasisRep(const SimplexOptions& options) {
-  if (options.basis_kind == SimplexOptions::BasisKind::kDense) {
-    return std::make_unique<DenseBasis>(options.refactor_max_updates);
+  switch (options.basis_kind) {
+    case SimplexOptions::BasisKind::kDense:
+      return std::make_unique<DenseBasis>(options.refactor_max_updates);
+    case SimplexOptions::BasisKind::kEtaFile:
+      return std::make_unique<EtaFile>(options.refactor_max_updates,
+                                       options.refactor_growth);
+    case SimplexOptions::BasisKind::kLu:
+      break;
   }
-  return std::make_unique<EtaFile>(options.refactor_max_updates,
-                                   options.refactor_growth);
+  return std::make_unique<LuFactorization>(options.refactor_max_updates,
+                                           options.refactor_growth,
+                                           options.markowitz_threshold);
 }
 
 double InitialNonbasicValue(double lower, double upper, VarStatus& state) {
@@ -99,13 +112,70 @@ void RecomputeBasics(Work& w) {
   for (int i = 0; i < w.m; ++i) w.x[w.basis[i]] = effective[i];
 }
 
-// Refactorizes the current basis and recomputes the basic values from the
-// nonbasic ones. Returns false if the basis matrix is numerically singular.
-bool FactorizeAndRecompute(Work& w) {
-  if (!w.rep->Refactorize(w.cols, w.basis)) return false;
-  ++w.refactorizations;
-  RecomputeBasics(w);
+// Repairs a singular basis in place from the factorization's failure
+// report: every dependent column leaves the basis (nonbasic at a usable
+// bound) and an uncovered row's slack takes its slot. Returns false when
+// the report is unusable (or a needed slack is itself already basic — then
+// the dependency is not of the "column duplicates columns" shape this
+// repair handles) and the caller should fail over as before.
+bool RepairSingularBasis(Work& w) {
+  const BasisRep::SingularInfo& info = w.rep->singular_info();
+  if (info.empty() ||
+      info.dependent_columns.size() != info.unpivoted_rows.size()) {
+    return false;
+  }
+  // Replacement slacks: one uncovered row's slack per dependent column,
+  // skipping slacks that are already basic.
+  std::vector<int> slacks;
+  slacks.reserve(info.unpivoted_rows.size());
+  for (int r : info.unpivoted_rows) {
+    const int slack = w.n_struct + r;
+    if (slack < w.n_total && w.state[slack] != kBasic) slacks.push_back(slack);
+  }
+  if (slacks.size() < info.dependent_columns.size()) return false;
+
+  // Match each dependent variable to a basis slot (the basis was left
+  // unpermuted). A slot is consumed at most once so a report that names
+  // the same variable twice — possible only for a corrupt caller-supplied
+  // hint holding duplicate columns — still repairs every listed slot.
+  std::vector<char> slot_taken(w.m, 0);
+  for (size_t k = 0; k < info.dependent_columns.size(); ++k) {
+    const int dropped = info.dependent_columns[k];
+    int slot = -1;
+    for (int i = 0; i < w.m; ++i) {
+      if (!slot_taken[i] && w.basis[i] == dropped) {
+        slot = i;
+        break;
+      }
+    }
+    if (slot < 0) return false;  // defensive; report names a nonbasic var
+    slot_taken[slot] = 1;
+    const int slack = slacks[k];
+    w.basis[slot] = slack;
+    w.state[slack] = kBasic;
+    w.x[dropped] = InitialNonbasicValue(w.lb[dropped], w.ub[dropped],
+                                        w.state[dropped]);
+  }
   return true;
+}
+
+// Refactorizes the current basis and recomputes the basic values from the
+// nonbasic ones. A singular basis is repaired in place (dependent columns
+// swapped for row slacks) under the repair policy; returns false only when
+// the basis stays numerically singular after the allowed repair attempts.
+bool FactorizeAndRecompute(Work& w, const SimplexOptions& options) {
+  for (int attempt = 0;; ++attempt) {
+    if (w.rep->Refactorize(w.cols, w.basis)) {
+      ++w.refactorizations;
+      RecomputeBasics(w);
+      return true;
+    }
+    if (options.repair_policy == SimplexOptions::RepairPolicy::kNone ||
+        attempt >= options.max_basis_repairs || !RepairSingularBasis(w)) {
+      return false;
+    }
+    ++w.basis_repairs;
+  }
 }
 
 // |rhs - A x|_inf over every variable — the drift monitor. The incremental
@@ -123,7 +193,7 @@ double ResidualInfNorm(const Work& w) {
 enum class RefactorCheck { kNone, kDone, kSingular };
 
 // The shared refactorization policy of both simplex phases: refactorize on
-// eta-file growth or on numerical drift (residual breach, checked every
+// update-file growth or on numerical drift (residual breach, checked every
 // drift_check_interval iterations) — never on a fixed cadence. Callers
 // must refresh their maintained reduced costs on kDone.
 RefactorCheck MaybeRefactor(Work& w, const SimplexOptions& options,
@@ -134,8 +204,8 @@ RefactorCheck MaybeRefactor(Work& w, const SimplexOptions& options,
     if (ResidualInfNorm(w) > options.drift_tol * w.rhs_scale) need = true;
   }
   if (!need) return RefactorCheck::kNone;
-  return FactorizeAndRecompute(w) ? RefactorCheck::kDone
-                                  : RefactorCheck::kSingular;
+  return FactorizeAndRecompute(w, options) ? RefactorCheck::kDone
+                                           : RefactorCheck::kSingular;
 }
 
 // Exact reduced costs of every variable against the current basis:
@@ -184,7 +254,9 @@ void ComputePivotRow(const Work& w, int slot, std::vector<double>& rho,
 
 // One simplex phase: minimize `cost` over the current basis until optimal.
 // In phase 1 `cost` is 1 on artificials; unboundedness there indicates a
-// numerical problem and is reported as kSingular.
+// numerical problem and is reported as kSingular. The pricing and ratio
+// test live in lp/pricing.h and lp/ratio_test.h; this loop owns the state
+// updates, the reduced-cost maintenance, and the refactorization policy.
 PhaseStatus RunPhase(Work& w, const std::vector<double>& cost, bool phase1,
                      const SimplexOptions& options) {
   const int m = w.m;
@@ -197,89 +269,29 @@ PhaseStatus RunPhase(Work& w, const std::vector<double>& cost, bool phase1,
   // the Devex weight update) and recomputed exactly at refactorizations and
   // before optimality is declared.
   std::vector<double> d(w.n_total);
-  // Devex reference weights: pricing by d^2 / gamma approximates steepest
-  // edge and avoids the long degenerate churns Dantzig pricing falls into.
-  std::vector<double> gamma(w.n_total, 1.0);
+  PrimalPricer pricer(w.n_total, options);
   std::vector<double> alpha(w.n_total, 0.0);
   std::vector<int> alpha_touched;
   std::vector<uint8_t> alpha_seen(w.n_total, 0);
-  std::vector<int> candidates;
-  double refill_best_score = 0.0;  // best Devex score at the last refill
-  int minor_iterations = 0;        // pivots since the last refill
   int stall = 0;
   bool bland = false;
   int update_failures = 0;
   int drift_countdown = options.drift_check_interval;
 
+  const PricingView view{d, w.state, w.lb, w.ub, options.optimality_tol};
+
   // Exact reduced costs; also resets the Devex reference framework (the
   // weights' reference point moved).
   auto refresh_reduced = [&]() {
     ComputeReducedCosts(w, cost, d);
-    std::fill(gamma.begin(), gamma.end(), 1.0);
+    pricer.ResetReference();
   };
   refresh_reduced();
 
   auto factorize = [&]() {
-    if (!FactorizeAndRecompute(w)) return false;
+    if (!FactorizeAndRecompute(w, options)) return false;
     refresh_reduced();
     return true;
-  };
-
-  // Pricing off the maintained reduced cost; sign=+1 means the entering
-  // variable increases, -1 decreases; 0 means not improving.
-  auto price = [&](int j, int& sign) -> double {
-    sign = 0;
-    const VarStatus st = w.state[j];
-    if (st == kBasic || w.lb[j] == w.ub[j]) return 0.0;
-    const double reduced = d[j];
-    if ((st == kAtLower || st == kFree) &&
-        reduced < -options.optimality_tol) {
-      sign = +1;
-      return -reduced;
-    }
-    if ((st == kAtUpper || st == kFree) && reduced > options.optimality_tol) {
-      sign = -1;
-      return reduced;
-    }
-    return 0.0;
-  };
-
-  // Full scan by Devex score; refills the candidate list with the top
-  // scorers and returns the best.
-  auto refill = [&](int& entering, int& direction_sign) {
-    struct Cand {
-      double score;
-      int j;
-      int sign;
-    };
-    std::vector<Cand> found;
-    entering = -1;
-    direction_sign = 0;
-    double best = 0.0;
-    for (int j = 0; j < w.n_total; ++j) {
-      int sign = 0;
-      const double violation = price(j, sign);
-      if (sign == 0) continue;
-      const double score = violation * violation / gamma[j];
-      found.push_back(Cand{score, j, sign});
-      if (score > best) {
-        best = score;
-        entering = j;
-        direction_sign = sign;
-      }
-    }
-    const size_t keep =
-        static_cast<size_t>(std::max(8, options.candidate_list_size));
-    if (found.size() > keep) {
-      std::nth_element(
-          found.begin(), found.begin() + keep, found.end(),
-          [](const Cand& a, const Cand& b) { return a.score > b.score; });
-      found.resize(keep);
-    }
-    candidates.clear();
-    for (const Cand& c : found) candidates.push_back(c.j);
-    refill_best_score = best;
-    minor_iterations = 0;
   };
 
   while (true) {
@@ -301,58 +313,20 @@ PhaseStatus RunPhase(Work& w, const std::vector<double>& cost, bool phase1,
     // Pricing. Candidate-list partial pricing is only productive while
     // pivots make progress; under a degenerate stall the stale candidates
     // churn, so fall back to full scans until the stall clears.
-    const bool partial = options.partial_pricing &&
-                         stall < std::max(8, options.bland_trigger / 4);
-    int entering = -1;
-    int direction_sign = 0;  // +1: entering increases, -1: decreases
-    if (bland) {
-      // First improving index — guarantees termination under degeneracy.
-      for (int j = 0; j < w.n_total; ++j) {
-        int sign = 0;
-        if (price(j, sign) > 0.0) {
-          entering = j;
-          direction_sign = sign;
-          break;
-        }
-      }
-    } else if (partial) {
-      // Minor iteration: re-price only the candidate list. Refill when the
-      // list drains, after candidate_list_size pivots (classic multiple
-      // pricing), or when the surviving candidates' scores have decayed to
-      // noise next to what the last full scan saw — stale candidates under
-      // degeneracy are worse than the O(n) scan they save.
-      double best = 0.0;
-      size_t out = 0;
-      for (size_t k = 0; k < candidates.size(); ++k) {
-        const int j = candidates[k];
-        int sign = 0;
-        const double violation = price(j, sign);
-        if (sign == 0) continue;
-        candidates[out++] = j;
-        const double score = violation * violation / gamma[j];
-        if (score > best) {
-          best = score;
-          entering = j;
-          direction_sign = sign;
-        }
-      }
-      candidates.resize(out);
-      ++minor_iterations;
-      if (entering < 0 ||
-          minor_iterations >= std::max(8, options.candidate_list_size) ||
-          best < 0.05 * refill_best_score) {
-        refill(entering, direction_sign);
-      }
-    } else {
-      refill(entering, direction_sign);
-    }
-    if (entering < 0) {
+    const bool allow_partial =
+        options.partial_pricing &&
+        stall < std::max(8, options.bland_trigger / 4);
+    PrimalPricer::Choice choice =
+        pricer.ChooseEntering(view, allow_partial, bland);
+    if (choice.entering < 0) {
       // The maintained reduced costs say optimal; prove it from exact ones
       // before declaring.
       refresh_reduced();
-      refill(entering, direction_sign);
-      if (entering < 0) return PhaseStatus::kOptimal;
+      choice = pricer.ChooseEntering(view, /*allow_partial=*/false, bland);
+      if (choice.entering < 0) return PhaseStatus::kOptimal;
     }
+    const int entering = choice.entering;
+    const int direction_sign = choice.sign;
 
     // FTRAN: direction = B^-1 A_entering.
     std::fill(direction.begin(), direction.end(), 0.0);
@@ -361,13 +335,6 @@ PhaseStatus RunPhase(Work& w, const std::vector<double>& cost, bool phase1,
     }
     w.rep->Ftran(direction);
 
-    // Ratio test, two-pass Harris style. The entering variable moves by
-    // t * direction_sign >= 0; basic variable in slot i changes by
-    // -direction_sign * t * direction[i]. Pass 1 finds the tightest step
-    // t_row_min over the slots; pass 2 re-scans slots whose ratio lies
-    // within a small window above t_row_min and keeps the one with the
-    // largest pivot magnitude (numerical stability) — or, under Bland's
-    // rule, the smallest basic variable index (termination).
     // How far the entering variable can move before hitting its own bound
     // in the travel direction (finite even for a free-state variable with
     // finite bounds — presolve postsolve can produce those).
@@ -378,61 +345,28 @@ PhaseStatus RunPhase(Work& w, const std::vector<double>& cost, bool phase1,
         std::isfinite(entering_bound)
             ? std::abs(entering_bound - w.x[entering])
             : kInf;
-    auto row_ratio = [&](int i) -> double {
-      const double delta = direction_sign * direction[i];
-      const int bv = w.basis[i];
-      if (delta > options.pivot_tol) {
-        if (!std::isfinite(w.lb[bv])) return kInf;
-        return std::max((w.x[bv] - w.lb[bv]) / delta, 0.0);
-      }
-      if (delta < -options.pivot_tol) {
-        if (!std::isfinite(w.ub[bv])) return kInf;
-        return std::max((w.ub[bv] - w.x[bv]) / (-delta), 0.0);
-      }
-      return kInf;
-    };
+    const PrimalRatioChoice ratio =
+        PrimalRatioTest(direction, direction_sign, bound_flip_t, w.basis,
+                        w.x, w.lb, w.ub, bland, options);
 
-    double t_row_min = kInf;
-    for (int i = 0; i < m; ++i) t_row_min = std::min(t_row_min, row_ratio(i));
-
-    if (!std::isfinite(t_row_min) && !std::isfinite(bound_flip_t)) {
+    if (ratio.unbounded) {
       if (phase1) return PhaseStatus::kSingular;
       // Unboundedness was derived from the maintained reduced costs;
       // re-verify against exact ones before declaring (a stale entering
       // choice plus an unblocked direction must not abort the solve).
       refresh_reduced();
       int sign = 0;
-      if (price(entering, sign) > 0.0 && sign == direction_sign) {
+      if (PriceColumn(view, entering, sign) > 0.0 && sign == direction_sign) {
         return PhaseStatus::kUnbounded;
       }
       continue;  // maintained d was stale; re-price
     }
-
-    int leaving_row = -1;
-    bool leaving_at_upper = false;
-    double best_t = bound_flip_t;
-    if (t_row_min <= bound_flip_t) {
-      const double window = t_row_min + std::max(1e-10, 1e-7 * t_row_min);
-      double best_pivot = 0.0;
-      int best_bv = std::numeric_limits<int>::max();
-      for (int i = 0; i < m; ++i) {
-        const double t = row_ratio(i);
-        if (t > window) continue;
-        const double pivot = std::abs(direction[i]);
-        const bool take = bland ? w.basis[i] < best_bv : pivot > best_pivot;
-        if (leaving_row < 0 || take) {
-          leaving_row = i;
-          best_pivot = pivot;
-          best_bv = w.basis[i];
-          leaving_at_upper = direction_sign * direction[i] < 0.0;
-          best_t = std::min(t, bound_flip_t);
-        }
-      }
-    }
+    const int leaving_row = ratio.leaving_row;
+    const double best_t = ratio.step;
 
     // An unstable pivot right after a refactorization is as good as the
     // arithmetic gets; otherwise refactorize and re-price — tiny window
-    // pivots are usually eta-file noise, and treating noise as a pivot
+    // pivots are usually update-file noise, and treating noise as a pivot
     // corrupts the basis (it becomes singular in exact arithmetic).
     if (leaving_row >= 0 &&
         std::abs(direction[leaving_row]) < options.stable_pivot_tol &&
@@ -482,7 +416,7 @@ PhaseStatus RunPhase(Work& w, const std::vector<double>& cost, bool phase1,
 
     const int leaving_var = w.basis[leaving_row];
     // Snap the leaving variable exactly onto the bound it reached.
-    if (leaving_at_upper) {
+    if (ratio.leaving_at_upper) {
       w.x[leaving_var] = w.ub[leaving_var];
       w.state[leaving_var] = kAtUpper;
     } else {
@@ -495,18 +429,13 @@ PhaseStatus RunPhase(Work& w, const std::vector<double>& cost, bool phase1,
     // Reduced-cost and Devex updates along the alpha row.
     const double pivot = direction[leaving_row];
     const double theta_d = d[entering] / pivot;
-    const double gamma_q = gamma[entering];
-    const double inv_pivot_sq = 1.0 / (pivot * pivot);
     for (int j : alpha_touched) {
       if (w.state[j] == kBasic) continue;
       d[j] -= theta_d * alpha[j];
-      const double candidate_weight =
-          alpha[j] * alpha[j] * inv_pivot_sq * gamma_q;
-      if (candidate_weight > gamma[j]) gamma[j] = candidate_weight;
     }
     d[leaving_var] = -theta_d;
-    gamma[leaving_var] = std::max(gamma_q * inv_pivot_sq, 1.0);
     d[entering] = 0.0;
+    pricer.OnPivot(view, entering, leaving_var, pivot, alpha_touched, alpha);
   }
 }
 
@@ -515,7 +444,9 @@ PhaseStatus RunPhase(Work& w, const std::vector<double>& cost, bool phase1,
 // node's bound tightening leaves the parent's reduced costs intact, so the
 // parent basis is dual feasible for the child). Maintains dual feasibility
 // by a min-ratio test; "no eligible entering column" is a Farkas
-// certificate of primal infeasibility.
+// certificate of primal infeasibility. The leaving row is picked by
+// DualPricer (dual Devex by default); the entering column and the bound
+// flips by DualRatioTest.
 DualStatus RunDualPhase(Work& w, const std::vector<double>& cost,
                         const SimplexOptions& options) {
   const int m = w.m;
@@ -524,7 +455,9 @@ DualStatus RunDualPhase(Work& w, const std::vector<double>& cost,
   // AppendUsers costs more pivots than a fresh cold solve, so bailing out
   // here is the right call there too — small appends repair well within
   // this budget.)
-  const int64_t budget = 4 * static_cast<int64_t>(m) + 1000;
+  const int64_t budget = options.warm_repair_pivot_cap > 0
+                             ? options.warm_repair_pivot_cap
+                             : 4 * static_cast<int64_t>(m) + 1000;
   std::vector<double> rho(m), direction(m);
   std::vector<double> alpha(w.n_total, 0.0);
   std::vector<int> alpha_touched;
@@ -532,40 +465,30 @@ DualStatus RunDualPhase(Work& w, const std::vector<double>& cost,
   // Reduced costs, maintained incrementally across pivots off the same
   // alpha row that drives the ratio test; recomputed at refactorizations.
   std::vector<double> d(w.n_total);
+  DualPricer pricer(m, options);
   int update_failures = 0;
 
-  auto refresh_reduced = [&]() { ComputeReducedCosts(w, cost, d); };
+  auto refresh_reduced = [&]() {
+    ComputeReducedCosts(w, cost, d);
+    pricer.ResetReference();
+  };
   refresh_reduced();
 
   auto factorize = [&]() {
-    if (!FactorizeAndRecompute(w)) return false;
+    if (!FactorizeAndRecompute(w, options)) return false;
     refresh_reduced();
     return true;
   };
   int drift_countdown = options.drift_check_interval;
-
-  auto bound_violation = [&](int slot, bool& below) -> double {
-    const int bv = w.basis[slot];
-    const double v = w.x[bv];
-    if (v < w.lb[bv] - 1e-9 * (1.0 + std::abs(w.lb[bv]))) {
-      below = true;
-      return w.lb[bv] - v;
-    }
-    if (v > w.ub[bv] + 1e-9 * (1.0 + std::abs(w.ub[bv]))) {
-      below = false;
-      return v - w.ub[bv];
-    }
-    return 0.0;
-  };
 
   for (int64_t iter = 0; iter < budget; ++iter) {
     if (w.iterations >= options.max_iterations) {
       return DualStatus::kIterationLimit;
     }
 
-    // bound_violation reads the incrementally-updated x, so drifted
-    // basics would silently mis-drive the leaving choice and the final
-    // "primal feasible" verdict.
+    // ChooseLeaving reads the incrementally-updated x, so drifted basics
+    // would silently mis-drive the leaving choice and the final "primal
+    // feasible" verdict.
     switch (MaybeRefactor(w, options, drift_countdown)) {
       case RefactorCheck::kNone:
         break;
@@ -576,20 +499,11 @@ DualStatus RunDualPhase(Work& w, const std::vector<double>& cost,
         return DualStatus::kSingular;
     }
 
-    // Leaving: the basic variable with the largest bound violation.
-    int leaving_slot = -1;
-    bool below = false;
-    double worst = 0.0;
-    for (int i = 0; i < m; ++i) {
-      bool b = false;
-      const double viol = bound_violation(i, b);
-      if (viol > worst) {
-        worst = viol;
-        below = b;
-        leaving_slot = i;
-      }
-    }
-    if (leaving_slot < 0) return DualStatus::kOptimal;
+    const DualPricer::Leaving leaving =
+        pricer.ChooseLeaving(w.x, w.basis, w.lb, w.ub);
+    if (leaving.slot < 0) return DualStatus::kOptimal;
+    const int leaving_slot = leaving.slot;
+    const bool below = leaving.below;
 
     ++w.iterations;
     ++w.dual_iterations;
@@ -598,65 +512,12 @@ DualStatus RunDualPhase(Work& w, const std::vector<double>& cost,
     // reduced-cost update.
     ComputePivotRow(w, leaving_slot, rho, alpha, alpha_touched, alpha_seen);
 
-    // Bound-flip ratio test: walk the sign-eligible columns in ascending
-    // ratio |d_j / alpha_j| order. A candidate whose whole range cannot
-    // absorb the violation is queued to bound-flip (its reduced cost will
-    // cross zero at the eventual dual step, so the flip keeps dual
-    // feasibility); the first candidate that can absorb what remains
-    // enters the basis. Without this, degenerate instances thrash for
-    // thousands of iterations flipping one sliver at a time.
-    struct DualCand {
-      double ratio;
-      double abs_alpha;
-      int j;
-    };
-    std::vector<DualCand> eligible;
-    for (int j : alpha_touched) {
-      const VarStatus st = w.state[j];
-      if (st == kBasic || w.lb[j] == w.ub[j]) continue;
-      const double a = alpha[j];
-      if (std::abs(a) <= options.pivot_tol) continue;
-      bool ok;
-      if (st == kFree) {
-        ok = true;
-      } else if (below) {
-        // x_B[r] must increase: dx = -a * dt with dt >= 0 from lower
-        // (need a < 0) or dt <= 0 from upper (need a > 0).
-        ok = st == kAtLower ? a < 0.0 : a > 0.0;
-      } else {
-        ok = st == kAtLower ? a > 0.0 : a < 0.0;
-      }
-      if (!ok) continue;
-      eligible.push_back(DualCand{std::abs(d[j]) / std::abs(a),
-                                  std::abs(a), j});
-    }
-    if (eligible.empty()) return DualStatus::kPrimalInfeasible;
-    std::sort(eligible.begin(), eligible.end(),
-              [](const DualCand& a, const DualCand& b) {
-                if (a.ratio != b.ratio) return a.ratio < b.ratio;
-                return a.abs_alpha > b.abs_alpha;
-              });
-    int entering = -1;
-    double remaining = worst;
-    size_t flip_end = 0;  // eligible[0..flip_end) bound-flip
-    for (size_t k = 0; k < eligible.size(); ++k) {
-      const int j = eligible[k].j;
-      const double capacity = w.state[j] == kFree
-                                  ? std::numeric_limits<double>::infinity()
-                                  : eligible[k].abs_alpha *
-                                        (w.ub[j] - w.lb[j]);
-      if (capacity < remaining) {
-        remaining -= capacity;
-        flip_end = k + 1;
-      } else {
-        entering = j;
-        break;
-      }
-    }
-    if (entering < 0) {
-      // Even flipping every eligible column cannot absorb the violation.
-      return DualStatus::kPrimalInfeasible;
-    }
+    const DualRatioChoice ratio =
+        DualRatioTest(alpha_touched, alpha, d, w.state, w.lb, w.ub, below,
+                      leaving.violation, options);
+    if (ratio.entering < 0) return DualStatus::kPrimalInfeasible;
+    const int entering = ratio.entering;
+
     // FTRAN the entering column and validate its pivot BEFORE applying
     // the queued flips: a rejected pivot must leave the point untouched —
     // stranded flips without the matching dual step would silently break
@@ -677,12 +538,11 @@ DualStatus RunDualPhase(Work& w, const std::vector<double>& cost,
       continue;
     }
 
-    if (flip_end > 0) {
+    if (!ratio.bound_flips.empty()) {
       // Apply all queued flips with a single combined FTRAN. Flips do not
       // change the basis, so `direction` above stays valid.
       std::vector<double> flip_delta(m, 0.0);
-      for (size_t k = 0; k < flip_end; ++k) {
-        const int j = eligible[k].j;
+      for (int j : ratio.bound_flips) {
         const double delta =
             w.state[j] == kAtLower ? w.ub[j] - w.lb[j] : w.lb[j] - w.ub[j];
         for (const SparseEntry& e : w.cols.Column(j)) {
@@ -709,6 +569,9 @@ DualStatus RunDualPhase(Work& w, const std::vector<double>& cost,
     }
     update_failures = 0;
 
+    // Dual Devex weights ride the same FTRAN column the pivot consumes.
+    pricer.OnPivot(direction, leaving_slot);
+
     for (int i = 0; i < m; ++i) {
       if (direction[i] != 0.0) w.x[w.basis[i]] -= dt * direction[i];
     }
@@ -728,7 +591,7 @@ DualStatus RunDualPhase(Work& w, const std::vector<double>& cost,
     d[leaving_var] = -theta_d;
     d[entering] = 0.0;
   }
-  return DualStatus::kIterationLimit;
+  return DualStatus::kRepairAborted;
 }
 
 // Deterministic hash-based uniform in [0, 1) for cost perturbation.
@@ -844,6 +707,7 @@ LpSolution BuildSolution(const Work& w, const LpModel& model,
   solution.iterations = w.iterations;
   solution.dual_iterations = w.dual_iterations;
   solution.refactorizations = w.refactorizations;
+  solution.basis_repairs = w.basis_repairs;
   if (status != SolveStatus::kOptimal) return solution;
 
   solution.x.assign(w.x.begin(), w.x.begin() + w.n_struct);
@@ -930,7 +794,7 @@ LpSolution SolveImpl(const LpModel& model, const SimplexOptions& options_) {
   auto finish = [&](SolveStatus status) {
     return BuildSolution(w, model, status, maximize);
   };
-  if (!FactorizeAndRecompute(w)) {
+  if (!FactorizeAndRecompute(w, options_)) {
     return finish(SolveStatus::kNumericalFailure);
   }
 
@@ -1078,8 +942,12 @@ LpSolution WarmSolveImpl(const LpModel& model, const SimplexOptions& options_,
   }
 
   w.rep = MakeBasisRep(options_);
-  if (!FactorizeAndRecompute(w)) {
+  // A singular hint is repaired in place under the repair policy (the
+  // dependent columns leave for row slacks — still a warm start); only an
+  // unrepairable one falls back to a cold solve.
+  if (!FactorizeAndRecompute(w, options_)) {
     fallback = true;
+    failed.basis_repairs = w.basis_repairs;
     return failed;
   }
 
@@ -1132,11 +1000,13 @@ LpSolution WarmSolveImpl(const LpModel& model, const SimplexOptions& options_,
     return solution;
   };
   // The caller folds these counters into the cold solve it runs next.
-  auto fall_back = [&]() {
+  auto fall_back = [&](bool repair_aborted = false) {
     fallback = true;
     failed.iterations = w.iterations;
     failed.dual_iterations = w.dual_iterations;
     failed.refactorizations = w.refactorizations;
+    failed.basis_repairs = w.basis_repairs;
+    failed.repair_aborted = repair_aborted;
     return failed;
   };
 
@@ -1146,6 +1016,8 @@ LpSolution WarmSolveImpl(const LpModel& model, const SimplexOptions& options_,
     case DualStatus::kPrimalInfeasible:
       if (options_.confirm_warm_infeasible) return fall_back();
       return finish(SolveStatus::kInfeasible);
+    case DualStatus::kRepairAborted:
+      return fall_back(/*repair_aborted=*/true);
     case DualStatus::kIterationLimit:
     case DualStatus::kSingular:
       return fall_back();
@@ -1182,6 +1054,7 @@ LpSolution SolveWithRetry(const LpModel& model,
   LpSolution second = SolveImpl(model, retry);
   second.iterations += first.iterations;
   second.refactorizations += first.refactorizations;
+  second.basis_repairs += first.basis_repairs;
   return second;
 }
 
@@ -1210,21 +1083,19 @@ LpSolution SimplexSolver::Solve(const LpModel& model) const {
 
 LpSolution SimplexSolver::Solve(const LpModel& model,
                                 const Basis* hint) const {
-  int64_t warm_iterations = 0;
-  int64_t warm_dual_iterations = 0;
-  int warm_refactorizations = 0;
+  LpSolution warm_counters;
   if (hint != nullptr && !hint->empty()) {
     bool fallback = false;
     LpSolution warm = WarmSolveImpl(model, options_, *hint, fallback);
     if (!fallback) return warm;
-    warm_iterations = warm.iterations;
-    warm_dual_iterations = warm.dual_iterations;
-    warm_refactorizations = warm.refactorizations;
+    warm_counters = std::move(warm);
   }
   LpSolution cold = ColdSolve(model, options_);
-  cold.iterations += warm_iterations;
-  cold.dual_iterations += warm_dual_iterations;
-  cold.refactorizations += warm_refactorizations;
+  cold.iterations += warm_counters.iterations;
+  cold.dual_iterations += warm_counters.dual_iterations;
+  cold.refactorizations += warm_counters.refactorizations;
+  cold.basis_repairs += warm_counters.basis_repairs;
+  cold.repair_aborted = warm_counters.repair_aborted;
   return cold;
 }
 

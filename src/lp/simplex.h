@@ -1,43 +1,44 @@
 // Two-phase sparse revised primal simplex with bounded variables, a
-// product-form (eta-file) basis, partial pricing, presolve, and a
-// dual-simplex warm start.
+// sparse LU (or eta-file) basis, Devex pricing in both phases, presolve,
+// and a dual-simplex warm start.
 //
 // This is the LP engine behind all three utility-maximizing problems:
 // O-UMP and F-UMP are solved directly as LPs (with linear relaxation, as in
 // Section 5 of the paper), and branch & bound uses it per node for D-UMP —
 // warm-starting every child node from its parent's optimal basis.
 //
-// Architecture:
+// The engine is split into four modules; this file's SimplexSolver is the
+// iteration driver tying them together:
 //
-//  * Rows become equalities: every constraint row gets a slack variable with
-//    bounds chosen by sense (<=: [0, inf), >=: (-inf, 0], =: [0, 0]); rows
-//    whose initial slack value violates its bounds get an artificial
-//    variable, and phase 1 minimizes the sum of artificials.
-//  * Basis representation (lp/eta_file.h): the basis inverse is held as a
-//    product form of the inverse — a sparse eta file built by sparse
-//    Gaussian elimination at refactorization time and extended by one eta
-//    vector per pivot. FTRAN/BTRAN cost O(nnz of the eta file) instead of
-//    the dense O(m^2). A dense explicit-inverse representation is kept as
-//    the numerical fallback (used on retry) and as the test oracle.
-//  * Refactorization is triggered by eta-file growth or by numerical drift
-//    (the residual |b - A x| is checked on a cadence and on breach the
-//    basis is refactorized), not by a fixed iteration schedule.
-//  * Pricing is candidate-list partial pricing (multiple pricing): a full
-//    Dantzig scan refills a small candidate list, minor iterations price
-//    only the candidates, and optimality is only declared after a full
-//    scan finds no improving column. A run of degenerate pivots switches
-//    to Bland's rule (full scan, lowest improving index), which guarantees
-//    termination.
+//  * Factorization (lp/lu_factorization.h, lp/eta_file.h): FTRAN/BTRAN/
+//    UPDATE behind the BasisRep interface. The default is a sparse LU with
+//    Markowitz ordering and threshold partial pivoting, updated in product
+//    form; the pure product-form eta file remains selectable (fallback and
+//    test oracle), and a dense explicit inverse is the retry of last
+//    resort. Refactorization triggers on update-file growth or numerical
+//    drift (residual breach), never on a fixed iteration schedule. A
+//    *singular* refactorization no longer forces a cold solve: the
+//    dependent columns are swapped for the uncovered rows' slacks and the
+//    solve continues (SimplexOptions::repair_policy).
+//  * Pricing (lp/pricing.h): primal Devex over candidate-list partial
+//    pricing (full scans refill a small candidate list; optimality is only
+//    declared after a full scan of exact reduced costs), and dual Devex
+//    reference weights for the dual phase's leaving-row choice. A run of
+//    degenerate pivots switches the primal to Bland's rule, which
+//    guarantees termination.
+//  * Ratio tests (lp/ratio_test.h): Harris-style two-pass tolerancing with
+//    bound flips in the primal, and the bound-flip dual ratio test that
+//    keeps degenerate dual repairs from thrashing.
 //  * Presolve (lp/presolve.h) strips fixed variables, empty and singleton
 //    rows, and bound-implied empty columns before phase 1 and maps the
 //    reduced solution (primal, duals, and basis) back afterward.
-//  * Warm start: Solve(model, hint) starts from a caller-supplied basis —
-//    typically the parent node's optimal basis in branch & bound. Bound
-//    changes are restored dual-simplex style (the parent basis stays dual
-//    feasible under bound changes), followed by a primal cleanup phase.
-//    Stale or singular hints fall back to a cold solve.
-//  * Bounded nonbasic variables may "bound flip" without a basis change,
-//    in both the primal and the dual ratio test.
+//
+// Warm start: Solve(model, hint) starts from a caller-supplied basis —
+// typically the parent node's optimal basis in branch & bound. Bound
+// changes are restored dual-simplex style (the parent basis stays dual
+// feasible under bound changes), followed by a primal cleanup phase. Stale
+// hints fall back to a cold solve; singular hints are repaired in place
+// when the repair policy allows.
 #ifndef PRIVSAN_LP_SIMPLEX_H_
 #define PRIVSAN_LP_SIMPLEX_H_
 
@@ -95,10 +96,39 @@ struct SimplexOptions {
   // Degenerate pivots in a row before switching to Bland's rule.
   int bland_trigger = 64;
 
-  // Basis representation: eta file (sparse, default) or dense inverse
-  // (numerical fallback / test oracle).
-  enum class BasisKind { kEtaFile, kDense };
-  BasisKind basis_kind = BasisKind::kEtaFile;
+  // Basis representation: sparse LU with Markowitz ordering (default),
+  // product-form eta file (fallback / test oracle), or dense inverse
+  // (numerical retry of last resort).
+  enum class BasisKind { kEtaFile, kDense, kLu };
+  BasisKind basis_kind = BasisKind::kLu;
+
+  // Threshold partial pivoting parameter of the LU factorization, in
+  // (0, 1]: a pivot must be at least this fraction of its column's largest
+  // magnitude. Larger is more stable, smaller is sparser.
+  double markowitz_threshold = 0.1;
+
+  // Dual-phase leaving-row rule: dual Devex (default — violation^2 over a
+  // steepest-edge-approximating row weight) or the legacy largest
+  // violation. Devex cuts the pivot count of long dual repairs (deep B&B
+  // children, post-append warm starts).
+  enum class DualPricing { kLargestViolation, kDevex };
+  DualPricing dual_pricing = DualPricing::kDevex;
+
+  // What to do when a refactorization finds the basis singular. kRowSlacks
+  // (default) swaps the dependent columns for the uncovered rows' slack
+  // variables and continues the solve in place; kNone restores the old
+  // behavior (numerical failure -> cold solve / dense retry).
+  enum class RepairPolicy { kNone, kRowSlacks };
+  RepairPolicy repair_policy = RepairPolicy::kRowSlacks;
+  // Repair-and-refactorize attempts per factorization before giving up
+  // (each attempt can expose further dependencies).
+  int max_basis_repairs = 3;
+
+  // Pivot budget of the warm-start dual repair phase: a warm basis is
+  // near-optimal, so a long dual run signals a stale hint and the solver
+  // bails out to a cold solve (reported as LpSolution::repair_aborted).
+  // <= 0 picks the measured default of 4 * rows + 1000.
+  int64_t warm_repair_pivot_cap = 0;
 
   // Refactorization triggers (there is no fixed iteration cadence):
   // pivots since the last refactorization (this also bounds the staleness
@@ -149,8 +179,14 @@ struct LpSolution {
   // also counted in `iterations`).
   int64_t dual_iterations = 0;
   int refactorizations = 0;
+  // Singular refactorizations repaired in place (dependent columns swapped
+  // for row slacks) instead of aborting the solve.
+  int basis_repairs = 0;
   // Whether this solve ran from a warm basis (no phase 1).
   bool warm_started = false;
+  // The warm-start dual repair exceeded warm_repair_pivot_cap and the
+  // solver fell back to a cold solve (whose effort is included above).
+  bool repair_aborted = false;
 };
 
 class SimplexSolver {

@@ -130,6 +130,8 @@ Result<UmpSolution> SanitizerService::Solve(const std::string& tenant,
   PRIVSAN_ASSIGN_OR_RETURN(UmpSolution solution,
                            t->session.Solve(objective, query));
   ++t->stats.solves;
+  t->stats.repair_aborted +=
+      static_cast<uint64_t>(solution.stats.repair_aborted);
   if (cache_enabled) {
     if (t->cache_order.size() >= options_.result_cache_capacity) {
       t->cache.erase(t->cache_order.front());
@@ -151,6 +153,7 @@ Result<SweepResult> SanitizerService::Sweep(const std::string& tenant,
   PRIVSAN_ASSIGN_OR_RETURN(SweepResult result,
                            t->session.SweepBudgets(objective, grid, sweep));
   t->stats.solves += result.cells.size();
+  t->stats.repair_aborted += static_cast<uint64_t>(result.repair_aborted);
   return result;
 }
 

@@ -36,6 +36,10 @@ struct TenantStats {
   uint64_t solves = 0;             // solves executed (cache misses + sweeps)
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  // Warm solves whose dual repair hit SimplexOptions::warm_repair_pivot_cap
+  // and fell back cold — sustained growth means this tenant's appends are
+  // too large to repair and the cap (or flush cadence) needs tuning.
+  uint64_t repair_aborted = 0;
   // From the session's last flush (core/session.h AppendStats).
   uint64_t rows_copied = 0;
   uint64_t rows_rebuilt = 0;

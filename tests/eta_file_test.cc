@@ -172,6 +172,50 @@ TEST(EtaFileTest, SingularBasisDetected) {
   EXPECT_FALSE(dense.Refactorize(A, basis));
 }
 
+TEST(EtaFileTest, FailedRefactorizeLeavesFactorizationUntouched) {
+  // Regression: a singular Refactorize() used to clobber the eta file (and
+  // its nonzero counters) before bailing out, so a repair-and-retry saw a
+  // half-built factorization. Failure must leave everything — the etas,
+  // the counters, and the basis argument — exactly as before the call.
+  Rng rng(15);
+  const int m = 8;
+  SparseMatrix A = MakeMatrix(rng, m, m + 6, 0.4);
+  std::vector<int> good(m);
+  for (int i = 0; i < m; ++i) good[i] = i;
+
+  EtaFile eta(10, 8.0);
+  ASSERT_TRUE(eta.Refactorize(A, good));
+  const size_t nnz_before = eta.eta_nonzeros();
+  const bool should_refactor_before = eta.ShouldRefactor();
+  std::vector<double> probe = RandomVector(rng, m);
+  std::vector<double> reference = probe;
+  eta.Ftran(reference);
+
+  // Same column twice -> singular.
+  std::vector<int> singular = good;
+  singular[1] = singular[0];
+  const std::vector<int> singular_copy = singular;
+  ASSERT_FALSE(eta.Refactorize(A, singular));
+
+  EXPECT_EQ(singular, singular_copy) << "failed refactorize permuted basis";
+  EXPECT_EQ(eta.eta_nonzeros(), nnz_before);
+  EXPECT_EQ(eta.ShouldRefactor(), should_refactor_before);
+  EXPECT_EQ(eta.updates_since_refactor(), 0);
+  std::vector<double> again = probe;
+  eta.Ftran(again);
+  ExpectNear(again, reference, 0.0);  // bit-identical: old factors intact
+
+  // The failure is attributed so the solver can repair: one dependent
+  // column per uncovered row.
+  const BasisRep::SingularInfo& info = eta.singular_info();
+  ASSERT_FALSE(info.empty());
+  EXPECT_EQ(info.dependent_columns.size(), info.unpivoted_rows.size());
+
+  // And the retry is deterministic: the original basis factorizes again.
+  std::vector<int> retry = good;
+  EXPECT_TRUE(eta.Refactorize(A, retry));
+}
+
 TEST(EtaFileTest, GrowthTriggersRefactor) {
   Rng rng(14);
   const int m = 10;

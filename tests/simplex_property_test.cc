@@ -135,29 +135,62 @@ TEST_P(SimplexPropertyTest, OptimumCarriesKktCertificate) {
   ExpectKktCertificate(model, solution);
 }
 
-// Dense-vs-eta equivalence harness: the eta-file and the dense explicit
-// inverse are two representations of the same basis algebra, so the solver
-// must reach the same status and optimal objective under either (and the
-// eta-file optimum must itself carry a KKT certificate).
-TEST_P(SimplexPropertyTest, DenseAndEtaRepresentationsAgree) {
+// Representation-equivalence harness: the Markowitz LU, the eta file, and
+// the dense explicit inverse are three representations of the same basis
+// algebra, so the solver must reach the same status and optimal objective
+// under each (and every optimum must itself carry a KKT certificate).
+// Covers LU-vs-dense and LU-vs-eta in one sweep over the random LP grid.
+TEST_P(SimplexPropertyTest, LuEtaAndDenseRepresentationsAgree) {
   LpModel model = MakeRandomPackingLp(GetParam());
   ASSERT_TRUE(model.Validate().ok());
 
+  SimplexOptions lu_options;
+  lu_options.basis_kind = SimplexOptions::BasisKind::kLu;
   SimplexOptions eta_options;
   eta_options.basis_kind = SimplexOptions::BasisKind::kEtaFile;
   SimplexOptions dense_options;
   dense_options.basis_kind = SimplexOptions::BasisKind::kDense;
 
+  LpSolution lu = SimplexSolver(lu_options).Solve(model);
   LpSolution eta = SimplexSolver(eta_options).Solve(model);
   LpSolution dense = SimplexSolver(dense_options).Solve(model);
-  ASSERT_EQ(eta.status, dense.status);
-  if (eta.status == SolveStatus::kUnbounded) {
+  ASSERT_EQ(lu.status, eta.status);
+  ASSERT_EQ(lu.status, dense.status);
+  if (lu.status == SolveStatus::kUnbounded) {
     GTEST_SKIP() << "generated LP was unbounded (uncovered column)";
   }
-  ASSERT_EQ(eta.status, SolveStatus::kOptimal);
-  EXPECT_NEAR(eta.objective, dense.objective, 1e-6);
+  ASSERT_EQ(lu.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(lu.objective, eta.objective, 1e-6);
+  EXPECT_NEAR(lu.objective, dense.objective, 1e-6);
+  ExpectKktCertificate(model, lu);
   ExpectKktCertificate(model, eta);
   ExpectKktCertificate(model, dense);
+}
+
+// The identical pivot policy runs on both sides, so LU and eta do not just
+// agree on the objective: on these well-conditioned instances the primal
+// solution vectors agree to tight tolerance too.
+TEST_P(SimplexPropertyTest, LuMatchesEtaSolutionVector) {
+  LpModel model = MakeRandomPackingLp(GetParam());
+  ASSERT_TRUE(model.Validate().ok());
+
+  SimplexOptions lu_options;
+  lu_options.basis_kind = SimplexOptions::BasisKind::kLu;
+  SimplexOptions eta_options;
+  eta_options.basis_kind = SimplexOptions::BasisKind::kEtaFile;
+
+  LpSolution lu = SimplexSolver(lu_options).Solve(model);
+  LpSolution eta = SimplexSolver(eta_options).Solve(model);
+  ASSERT_EQ(lu.status, eta.status);
+  if (lu.status != SolveStatus::kOptimal) {
+    GTEST_SKIP() << "instance not optimal under both representations";
+  }
+  // The perturbed costs make the optimal vertex unique in all but
+  // pathological ties, so the representations land on the same point.
+  ASSERT_EQ(lu.x.size(), eta.x.size());
+  for (size_t j = 0; j < lu.x.size(); ++j) {
+    EXPECT_NEAR(lu.x[j], eta.x[j], 1e-5) << "x component " << j;
+  }
 }
 
 std::vector<RandomLpSpec> MakeSpecs() {

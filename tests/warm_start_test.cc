@@ -4,6 +4,7 @@
 // branch & bound rewiring that rides on it.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "lp/branch_and_bound.h"
@@ -117,6 +118,158 @@ TEST(WarmStartTest, InfeasibleChildDetected) {
   EXPECT_EQ(solver.Solve(model, &parent.basis).status,
             SolveStatus::kInfeasible);
   EXPECT_EQ(solver.Solve(model).status, SolveStatus::kInfeasible);
+}
+
+// Dual Devex is a pricing change, not a math change: warm re-solves under
+// dual Devex and under the legacy largest-violation rule must agree with
+// the cold objective on every re-solve of a bound-tightening chain.
+TEST(WarmStartTest, DualDevexMatchesLargestViolationObjectives) {
+  LpModel model = MakePackingLp(11, 70, 35);
+  ASSERT_TRUE(model.Validate().ok());
+
+  SimplexOptions devex_options;
+  devex_options.dual_pricing = SimplexOptions::DualPricing::kDevex;
+  SimplexOptions legacy_options;
+  legacy_options.dual_pricing = SimplexOptions::DualPricing::kLargestViolation;
+  SimplexSolver devex_solver(devex_options);
+  SimplexSolver legacy_solver(legacy_options);
+
+  LpSolution root = devex_solver.Solve(model);
+  ASSERT_EQ(root.status, SolveStatus::kOptimal);
+  Basis devex_basis = root.basis;
+  Basis legacy_basis = root.basis;
+
+  int64_t devex_dual = 0, legacy_dual = 0;
+  int resolves = 0;
+  std::vector<double> current_x = root.x;
+  for (int round = 0; round < 6; ++round) {
+    // Tighten the bound of a variable sitting strictly above its lower
+    // bound at the current optimum — a branching step in all but name that
+    // forces real dual repair work from both pricers.
+    int j = -1;
+    for (int k = 0; k < model.num_variables(); ++k) {
+      const Variable& v = model.variable(k);
+      if (current_x[k] > v.lower + 0.1 && v.upper > v.lower + 1e-6) {
+        j = k;
+        break;
+      }
+    }
+    if (j < 0) break;
+    Variable& v = model.mutable_variable(j);
+    v.upper = v.lower + (current_x[j] - v.lower) * 0.5;
+
+    LpSolution cold = legacy_solver.Solve(model);
+    LpSolution devex = devex_solver.Solve(model, &devex_basis);
+    LpSolution legacy = legacy_solver.Solve(model, &legacy_basis);
+    ASSERT_EQ(devex.status, cold.status);
+    ASSERT_EQ(legacy.status, cold.status);
+    if (cold.status != SolveStatus::kOptimal) break;
+    EXPECT_NEAR(devex.objective, cold.objective, 1e-6)
+        << "dual Devex changed the optimum on round " << round;
+    EXPECT_NEAR(legacy.objective, cold.objective, 1e-6)
+        << "largest-violation changed the optimum on round " << round;
+    EXPECT_TRUE(devex.warm_started);
+    EXPECT_TRUE(legacy.warm_started);
+    devex_dual += devex.dual_iterations;
+    legacy_dual += legacy.dual_iterations;
+    devex_basis = devex.basis;
+    legacy_basis = legacy.basis;
+    current_x = cold.x;
+    ++resolves;
+  }
+  ASSERT_GT(resolves, 0);
+  // Both repaired something across the chain, and Devex did not blow the
+  // pivot count up (on most instances it strictly shrinks it; asserting a
+  // generous factor keeps the test robust without losing the signal).
+  EXPECT_GT(legacy_dual, 0);
+  EXPECT_LE(devex_dual, 2 * legacy_dual + 16);
+}
+
+// The warm-repair budget is a knob now: a cap of one pivot cannot finish
+// any real repair, so the solve must report the abort and fall back to a
+// cold solve with the right answer.
+TEST(WarmStartTest, WarmRepairPivotCapAbortsToCold) {
+  LpModel model = MakePackingLp(13, 60, 30);
+  ASSERT_TRUE(model.Validate().ok());
+  SimplexSolver solver;
+  LpSolution root = solver.Solve(model);
+  ASSERT_EQ(root.status, SolveStatus::kOptimal);
+
+  // Tighten several bounds so the repair genuinely needs pivots.
+  int tightened = 0;
+  for (int j = 0; j < model.num_variables() && tightened < 8; ++j) {
+    const Variable& v = model.variable(j);
+    if (root.x[j] > v.lower + 0.05) {
+      model.mutable_variable(j).upper = v.lower + (root.x[j] - v.lower) * 0.3;
+      ++tightened;
+    }
+  }
+  ASSERT_GT(tightened, 0);
+
+  SimplexOptions capped_options;
+  capped_options.warm_repair_pivot_cap = 1;
+  SimplexSolver capped(capped_options);
+  LpSolution aborted = capped.Solve(model, &root.basis);
+  LpSolution cold = solver.Solve(model);
+  ASSERT_EQ(aborted.status, SolveStatus::kOptimal);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(aborted.repair_aborted) << "cap of 1 pivot must abort";
+  EXPECT_FALSE(aborted.warm_started);
+  EXPECT_NEAR(aborted.objective, cold.objective, 1e-7);
+
+  // The default cap finishes the same repair warm — and reports no abort.
+  LpSolution warm = solver.Solve(model, &root.basis);
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(warm.repair_aborted);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-7);
+}
+
+// Basis repair on singular refactorization: a warm-start hint whose basis
+// is singular (here: two variables with identical columns, both marked
+// basic) used to force a cold solve. Under the default repair policy the
+// dependent column is swapped for a row slack and the solve stays warm.
+TEST(WarmStartTest, SingularHintRepairedWithoutColdFallback) {
+  LpModel model(ObjectiveSense::kMaximize);
+  const int x0 = model.AddVariable(0.0, 5.0, 1.0);
+  const int x1 = model.AddVariable(0.0, 5.0, 1.0);  // column == x0's column
+  const int x2 = model.AddVariable(0.0, 5.0, 2.0);
+  const int r0 = model.AddConstraint(ConstraintSense::kLessEqual, 4.0);
+  const int r1 = model.AddConstraint(ConstraintSense::kLessEqual, 6.0);
+  model.AddCoefficient(r0, x0, 1.0);
+  model.AddCoefficient(r0, x1, 1.0);
+  model.AddCoefficient(r0, x2, 1.0);
+  model.AddCoefficient(r1, x0, 2.0);
+  model.AddCoefficient(r1, x1, 2.0);
+  ASSERT_TRUE(model.Validate().ok());
+
+  // Structurally valid hint (m basics, no duplicates) whose basis matrix
+  // is singular: x0 and x1 carry identical columns.
+  Basis singular;
+  singular.basic = {x0, x1};
+  singular.state.assign(3 + 2, VarStatus::kAtLower);
+  singular.state[x0] = VarStatus::kBasic;
+  singular.state[x1] = VarStatus::kBasic;
+
+  SimplexSolver repairing;  // default policy: kRowSlacks
+  LpSolution cold = repairing.Solve(model);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+
+  LpSolution repaired = repairing.Solve(model, &singular);
+  ASSERT_EQ(repaired.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(repaired.warm_started)
+      << "singular hint must be repaired in place, not cold-solved";
+  EXPECT_GE(repaired.basis_repairs, 1);
+  EXPECT_NEAR(repaired.objective, cold.objective, 1e-8);
+
+  // With the repair disabled the old behavior returns: cold fallback,
+  // same answer.
+  SimplexOptions no_repair;
+  no_repair.repair_policy = SimplexOptions::RepairPolicy::kNone;
+  LpSolution fallback = SimplexSolver(no_repair).Solve(model, &singular);
+  ASSERT_EQ(fallback.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(fallback.warm_started);
+  EXPECT_NEAR(fallback.objective, cold.objective, 1e-8);
 }
 
 // The branch & bound regression the warm start exists for: same tree, same

@@ -29,7 +29,7 @@ import sys
 # Fields that identify a record rather than measure it.
 IDENTITY_FIELDS = {
     "record", "label", "solver", "part", "mode", "e_eps", "delta", "support",
-    "output_size", "pairs", "users", "cells", "tenants", "batches",
+    "output_size", "pairs", "users", "cells", "tenants", "batches", "rows",
 }
 
 DEFAULT_TOL = 0.25
@@ -53,6 +53,16 @@ METRIC_RULES = {
     "speedup": ("high", 0.6),
     "rows_copied": ("high", DEFAULT_TOL),
     "restored_warm_started": ("high", 0.0),
+    # A warm repair aborting to a cold solve at small scale means the
+    # warm-start path regressed outright (the cap is 4m + 1000 there);
+    # zero tolerance. (basis_repairs intentionally has no rule: a repair
+    # firing is the feature working, not a regression.)
+    "repair_aborted": ("low", 0.0),
+    # Factorization microbench (bench_micro_factorization): fill is
+    # deterministic for the fixed rng seed, so a growing LU nnz is a real
+    # ordering regression, not noise.
+    "nnz": ("low", DEFAULT_TOL),
+    "updated_nnz": ("low", DEFAULT_TOL),
     # Distances: smaller is better utility-wise.
     "distance_sum": ("low", DEFAULT_TOL),
     "distance_sum_lp": ("low", DEFAULT_TOL),

@@ -238,6 +238,7 @@ int main() {
                 << " solves=" << stats->solves
                 << " cache_hits=" << stats->cache_hits
                 << " cache_misses=" << stats->cache_misses
+                << " repair_aborted=" << stats->repair_aborted
                 << " rows_copied=" << stats->rows_copied
                 << " rows_rebuilt=" << stats->rows_rebuilt << "\n";
     } else {
