@@ -235,4 +235,13 @@ bool DpConstraintSystem::IsSatisfied(std::span<const uint64_t> x,
   return true;
 }
 
+size_t DpConstraintSystem::ResidentBytes() const {
+  size_t bytes = rows_.capacity() * sizeof(rows_[0]) +
+                 row_users_.capacity() * sizeof(UserId);
+  for (const auto& row : rows_) {
+    bytes += row.capacity() * sizeof(DpConstraintEntry);
+  }
+  return bytes;
+}
+
 }  // namespace privsan

@@ -100,6 +100,9 @@ class DpConstraintSystem {
   // Whether all rows satisfy LHS <= budget + tol.
   bool IsSatisfied(std::span<const uint64_t> x, double tol = 1e-9) const;
 
+  // Estimated heap footprint of the rows (serve-layer memory accounting).
+  size_t ResidentBytes() const;
+
  private:
   std::vector<std::vector<DpConstraintEntry>> rows_;
   std::vector<UserId> row_users_;

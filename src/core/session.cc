@@ -140,6 +140,22 @@ struct SanitizerSession::State {
   // supports only rebuilds when a solve actually needs the other model.
   double fump_min_support = 0.0;
   double fump_problem_support = -1.0;
+  // Which objectives had a built model before the last rebuild — the set
+  // PrewarmProblems() restores so a flusher can move model construction
+  // off the query path.
+  bool had_problem[kNumObjectives] = {false, false, false};
+  // Cached by RecomputeResidentBase(): bytes of raw + log + system, the
+  // parts whose measurement walks every dictionary string. Refreshed on
+  // every rebuild/restore; bases and models are added per ResidentBytes()
+  // call (they are cheap to size).
+  size_t resident_base_bytes = 0;
+  size_t system_bytes = 0;
+
+  void RecomputeResidentBase() {
+    system_bytes = system.ResidentBytes();
+    resident_base_bytes =
+        raw.ResidentBytes() + log.ResidentBytes() + system_bytes;
+  }
 };
 
 SanitizerSession::SanitizerSession(std::unique_ptr<State> state)
@@ -159,6 +175,21 @@ const PreprocessStats& SanitizerSession::preprocess_stats() const {
 }
 const AppendStats& SanitizerSession::last_append_stats() const {
   return state_->append_stats;
+}
+
+size_t SanitizerSession::ResidentBytes() const {
+  const State& s = *state_;
+  size_t bytes = s.resident_base_bytes;
+  for (const lp::Basis& basis : s.last_basis) {
+    bytes += basis.basic.capacity() * sizeof(int) +
+             basis.state.capacity() * sizeof(lp::VarStatus);
+  }
+  for (const auto& problem : s.problems) {
+    // Each built model carries (roughly) its own copy of the DP rows as an
+    // LP constraint matrix; one system's worth per problem is the estimate.
+    if (problem != nullptr) bytes += s.system_bytes;
+  }
+  return bytes;
 }
 
 Result<SanitizerSession> SanitizerSession::Create(const SearchLog& input,
@@ -210,6 +241,7 @@ Result<SanitizerSession> SanitizerSession::FromSnapshot(
     }
     state->last_basis[i] = std::move(basis);
   }
+  state->RecomputeResidentBase();
   return SanitizerSession(std::move(state));
 }
 
@@ -240,7 +272,10 @@ Status SanitizerSession::RebuildFromRaw(bool remap_bases) {
                              DpConstraintSystem::BuildRows(s.log,
                                                            s.options.pool));
   }
-  for (auto& problem : s.problems) problem.reset();
+  for (int i = 0; i < kNumObjectives; ++i) {
+    s.had_problem[i] = s.problems[i] != nullptr;
+    s.problems[i].reset();
+  }
   s.fump_problem_support = -1.0;
 
   // Carry the O-UMP / D-UMP optimal bases over to the grown model (the
@@ -264,6 +299,7 @@ Status SanitizerSession::RebuildFromRaw(bool remap_bases) {
     }
   }
   s.last_basis[Index(UtilityObjective::kFrequentPairs)] = {};
+  s.RecomputeResidentBase();
   return Status::OK();
 }
 
@@ -312,31 +348,7 @@ Result<UmpSolution> SanitizerSession::SolveInternal(
     s.problems[i].reset();
     s.last_basis[i] = {};
   }
-  if (s.problems[i] == nullptr) {
-    switch (objective) {
-      case UtilityObjective::kOutputSize: {
-        PRIVSAN_ASSIGN_OR_RETURN(
-            s.problems[i], MakeOumpProblem(s.log, &s.system, s.options.oump,
-                                           s.options.simplex));
-        break;
-      }
-      case UtilityObjective::kFrequentPairs: {
-        FumpSpec spec = s.options.fump;
-        spec.min_support = s.fump_min_support;
-        PRIVSAN_ASSIGN_OR_RETURN(
-            s.problems[i],
-            MakeFumpProblem(s.log, &s.system, spec, s.options.simplex));
-        s.fump_problem_support = s.fump_min_support;
-        break;
-      }
-      case UtilityObjective::kDiversity: {
-        PRIVSAN_ASSIGN_OR_RETURN(
-            s.problems[i], MakeDumpProblem(s.log, &s.system, s.options.dump,
-                                           s.options.simplex));
-        break;
-      }
-    }
-  }
+  PRIVSAN_RETURN_IF_ERROR(EnsureProblem(objective));
 
   WarmStartHint hint;
   const WarmStartHint* hint_ptr = nullptr;
@@ -350,6 +362,48 @@ Result<UmpSolution> SanitizerSession::SolveInternal(
     s.last_basis[i] = solution.basis;
   }
   return solution;
+}
+
+Status SanitizerSession::EnsureProblem(UtilityObjective objective) {
+  State& s = *state_;
+  const int i = Index(objective);
+  if (s.problems[i] != nullptr) return Status::OK();
+  switch (objective) {
+    case UtilityObjective::kOutputSize: {
+      PRIVSAN_ASSIGN_OR_RETURN(
+          s.problems[i], MakeOumpProblem(s.log, &s.system, s.options.oump,
+                                         s.options.simplex));
+      break;
+    }
+    case UtilityObjective::kFrequentPairs: {
+      FumpSpec spec = s.options.fump;
+      spec.min_support = s.fump_min_support;
+      PRIVSAN_ASSIGN_OR_RETURN(
+          s.problems[i],
+          MakeFumpProblem(s.log, &s.system, spec, s.options.simplex));
+      s.fump_problem_support = s.fump_min_support;
+      break;
+    }
+    case UtilityObjective::kDiversity: {
+      PRIVSAN_ASSIGN_OR_RETURN(
+          s.problems[i], MakeDumpProblem(s.log, &s.system, s.options.dump,
+                                         s.options.simplex));
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Status SanitizerSession::PrewarmProblems() {
+  internal::NonConcurrentScope scope(&state_->checker);
+  State& s = *state_;
+  if (s.log.num_pairs() == 0) return Status::OK();
+  for (int i = 0; i < kNumObjectives; ++i) {
+    if (!s.had_problem[i] || s.problems[i] != nullptr) continue;
+    PRIVSAN_RETURN_IF_ERROR(
+        EnsureProblem(static_cast<UtilityObjective>(i)));
+  }
+  return Status::OK();
 }
 
 Result<UmpSolution> SanitizerSession::Solve(UtilityObjective objective,

@@ -184,6 +184,23 @@ class SanitizerSession {
   // What the most recent AppendUsers did; zeros before the first append.
   const AppendStats& last_append_stats() const;
 
+  // Rebuilds the cached solver models that the last AppendUsers
+  // invalidated (only objectives that had a built model before the
+  // append). Model construction depends on the rows alone — never on the
+  // query — so a flusher can run it off the query path: the next Solve
+  // then only rebinds the budget and dual-repairs the remapped basis
+  // instead of paying the model build. Purely an optimization; Solve
+  // builds lazily either way.
+  Status PrewarmProblems();
+
+  // Estimated resident heap footprint of the session: the raw and
+  // preprocessed logs, the DP rows, the stored bases, plus one DP-system's
+  // worth per cached solver model (the LP constraint matrix mirrors the
+  // rows and dominates the model's memory). The log/system part is cached
+  // at rebuild time, so this is O(#objectives) per call — the serve layer
+  // reads it after every state change to enforce its global memory budget.
+  size_t ResidentBytes() const;
+
   // Algorithm 1 end to end at `privacy`, using options().objective: solve
   // (warm-started) → optional Laplace noise → multinomial sampling →
   // Theorem-1 audit.
@@ -206,6 +223,8 @@ class SanitizerSession {
 
   Result<UmpSolution> SolveInternal(UtilityObjective objective,
                                     const UmpQuery& query, bool warm);
+  // Builds the objective's UmpProblem if not cached.
+  Status EnsureProblem(UtilityObjective objective);
   Status RebuildFromRaw(bool remap_bases);
 
   std::unique_ptr<State> state_;

@@ -185,6 +185,25 @@ std::string SearchLog::PairNameKey(PairId p) const {
   return std::to_string(query.size()) + ':' + query + url;
 }
 
+size_t SearchLog::ResidentBytes() const {
+  auto strings = [](const std::vector<std::string>& names) {
+    size_t bytes = names.capacity() * sizeof(std::string);
+    for (const std::string& name : names) {
+      // Short strings live inside the std::string object (already counted);
+      // longer ones own a heap buffer of capacity()+1.
+      if (name.capacity() >= sizeof(std::string)) bytes += name.capacity() + 1;
+    }
+    return bytes;
+  };
+  return strings(user_names_) + strings(query_names_) + strings(url_names_) +
+         pair_defs_.capacity() * sizeof(pair_defs_[0]) +
+         pair_totals_.capacity() * sizeof(uint64_t) +
+         pair_offsets_.capacity() * sizeof(size_t) +
+         triplet_users_.capacity() * sizeof(UserCount) +
+         user_offsets_.capacity() * sizeof(size_t) +
+         user_pairs_.capacity() * sizeof(PairCount);
+}
+
 SearchLog UserSlice(const SearchLog& log, UserId begin, UserId end) {
   SearchLogBuilder builder;
   for (UserId u = begin; u < end && u < log.num_users(); ++u) {

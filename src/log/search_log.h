@@ -147,6 +147,11 @@ class SearchLog {
   // match pairs across logs by this key — they must agree on it.
   std::string PairNameKey(PairId p) const;
 
+  // Estimated heap footprint of this log (dictionaries + CSR layouts), the
+  // per-tenant accounting unit of the serve layer's global memory budget.
+  // An O(names) walk — callers cache it per state change, not per query.
+  size_t ResidentBytes() const;
+
  private:
   friend class SearchLogBuilder;
 

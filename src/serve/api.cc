@@ -1,0 +1,28 @@
+#include "serve/api.h"
+
+namespace privsan {
+namespace serve {
+
+const std::string& RequestTenant(const ServeRequest& request) {
+  return std::visit(
+      [](const auto& r) -> const std::string& { return r.tenant; }, request);
+}
+
+const char* RequestName(const ServeRequest& request) {
+  struct Namer {
+    const char* operator()(const CreateTenantRequest&) { return "CreateTenant"; }
+    const char* operator()(const AppendRequest&) { return "Append"; }
+    const char* operator()(const FlushRequest&) { return "Flush"; }
+    const char* operator()(const SolveRequest&) { return "Solve"; }
+    const char* operator()(const SweepRequest&) { return "Sweep"; }
+    const char* operator()(const SanitizeRequest&) { return "Sanitize"; }
+    const char* operator()(const StatsRequest&) { return "Stats"; }
+    const char* operator()(const SaveSnapshotRequest&) { return "SaveSnapshot"; }
+    const char* operator()(const RestoreTenantRequest&) { return "RestoreTenant"; }
+    const char* operator()(const DropTenantRequest&) { return "DropTenant"; }
+  };
+  return std::visit(Namer{}, request);
+}
+
+}  // namespace serve
+}  // namespace privsan

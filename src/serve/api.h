@@ -1,0 +1,179 @@
+// The typed serve API: every operation the serving layer offers, expressed
+// as one ServeRequest value answered by one ServeResponse value.
+//
+// The request family mirrors the verbs of serve::SanitizerService; a
+// request names its tenant and carries exactly the inputs of the matching
+// blocking method. SanitizerService::Submit(request) enqueues it and
+// returns a std::future<ServeResponse> immediately:
+//
+//   * Requests addressed to one tenant land on that tenant's FIFO work
+//     queue and execute in submission order — "append then solve" through
+//     Submit means the solve sees the append, exactly as with the blocking
+//     calls. Distinct tenants' queues drain in parallel on the service's
+//     worker pool.
+//   * CreateTenant / RestoreTenant register the tenant name synchronously
+//     inside Submit (duplicate names fail the future immediately) and run
+//     the expensive construction as the first job on the new tenant's
+//     queue, so a pipelined CREATE -> APPEND -> SOLVE burst keeps FIFO
+//     semantics without waiting on any future in between.
+//   * Append's future resolves once the batch is accepted into the
+//     tenant's pending queue — the merge/re-preprocess/row-patch work is
+//     deferred to the next flush (explicit, pre-solve, or background).
+//
+// A ServeResponse is a Status plus the payload of the verb that produced
+// it: Solve -> UmpSolution, Sweep -> SweepResult, Sanitize ->
+// SanitizeReport, Stats -> TenantStats, everything else -> no payload.
+#ifndef PRIVSAN_SERVE_API_H_
+#define PRIVSAN_SERVE_API_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/privacy_params.h"
+#include "core/session.h"
+#include "core/ump.h"
+#include "log/search_log.h"
+#include "util/result.h"
+
+namespace privsan {
+namespace serve {
+
+// --- Requests --------------------------------------------------------------
+
+// `options` overrides ServiceOptions::session for this tenant only.
+struct CreateTenantRequest {
+  std::string tenant;
+  SearchLog initial;
+  std::optional<SessionOptions> options;
+};
+
+// Enqueues user logs; they coalesce into one incremental AppendUsers at the
+// tenant's next flush.
+struct AppendRequest {
+  std::string tenant;
+  SearchLog logs;
+};
+
+// Drains the tenant's pending-append queue now (no-op when empty).
+struct FlushRequest {
+  std::string tenant;
+};
+
+struct SolveRequest {
+  std::string tenant;
+  UtilityObjective objective = UtilityObjective::kOutputSize;
+  UmpQuery query;
+};
+
+struct SweepRequest {
+  std::string tenant;
+  UtilityObjective objective = UtilityObjective::kOutputSize;
+  std::vector<UmpQuery> grid;
+  SweepOptions sweep;
+};
+
+struct SanitizeRequest {
+  std::string tenant;
+  PrivacyParams privacy;
+};
+
+struct StatsRequest {
+  std::string tenant;
+};
+
+// Flushes queued appends, then persists the tenant's session state.
+struct SaveSnapshotRequest {
+  std::string tenant;
+  std::string path;
+};
+
+// Creates `tenant` from a snapshot file; fails if the name exists.
+struct RestoreTenantRequest {
+  std::string tenant;
+  std::string path;
+  std::optional<SessionOptions> options;
+};
+
+struct DropTenantRequest {
+  std::string tenant;
+};
+
+using ServeRequest =
+    std::variant<CreateTenantRequest, AppendRequest, FlushRequest,
+                 SolveRequest, SweepRequest, SanitizeRequest, StatsRequest,
+                 SaveSnapshotRequest, RestoreTenantRequest,
+                 DropTenantRequest>;
+
+// The tenant a request addresses (every request names exactly one).
+const std::string& RequestTenant(const ServeRequest& request);
+
+// Stable verb name for logs and error messages ("Solve", "Append", ...).
+const char* RequestName(const ServeRequest& request);
+
+// --- Responses -------------------------------------------------------------
+
+// Serve-path counters for one tenant. All counters are monotonic;
+// resident_bytes is a gauge refreshed whenever the tenant's state changes.
+struct TenantStats {
+  uint64_t appends_enqueued = 0;   // Append() calls accepted into the queue
+  uint64_t flushes = 0;            // AppendUsers calls actually performed
+  uint64_t appends_coalesced = 0;  // queued appends merged into those flushes
+  // Flushes initiated by the service's maintenance thread (queue depth or
+  // age trigger) rather than by an explicit Flush or a pre-solve flush.
+  uint64_t maintenance_flushes = 0;
+  uint64_t solves = 0;  // solves executed (cache misses + sweeps)
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  // Warm solves whose dual repair hit SimplexOptions::warm_repair_pivot_cap
+  // and fell back cold — sustained growth means this tenant's appends are
+  // too large to repair and the cap (or flush cadence) needs tuning.
+  uint64_t repair_aborted = 0;
+  // From the session's last flush (core/session.h AppendStats).
+  uint64_t rows_copied = 0;
+  uint64_t rows_rebuilt = 0;
+  // Hot-query refreshes: after a background flush, the most recent solve
+  // query is re-solved off the query path so the repeated-budget query
+  // stays a cache hit and the stored basis is re-optimized.
+  uint64_t refresh_solves = 0;
+  // Global-memory-budget lifecycle: times this tenant was spilled to its
+  // eviction snapshot, and times it was transparently reloaded on access.
+  uint64_t evictions = 0;
+  uint64_t reloads = 0;
+  // Estimated resident footprint (session state + result cache); 0 while
+  // evicted. The sum across tenants is what the maintenance thread holds
+  // under ServiceOptions::memory_budget_bytes.
+  uint64_t resident_bytes = 0;
+};
+
+using ServePayload = std::variant<std::monostate, UmpSolution, SweepResult,
+                                  SanitizeReport, TenantStats>;
+
+struct ServeResponse {
+  Status status;
+  ServePayload payload;
+
+  bool ok() const { return status.ok(); }
+
+  // Typed payload accessors; nullptr when the response carries a different
+  // payload (or failed).
+  const UmpSolution* solution() const {
+    return std::get_if<UmpSolution>(&payload);
+  }
+  const SweepResult* sweep() const {
+    return std::get_if<SweepResult>(&payload);
+  }
+  const SanitizeReport* report() const {
+    return std::get_if<SanitizeReport>(&payload);
+  }
+  const TenantStats* stats() const {
+    return std::get_if<TenantStats>(&payload);
+  }
+};
+
+}  // namespace serve
+}  // namespace privsan
+
+#endif  // PRIVSAN_SERVE_API_H_

@@ -1,6 +1,9 @@
 #include "serve/service.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
@@ -33,53 +36,196 @@ std::string CacheKey(UtilityObjective objective, const UmpQuery& query) {
   return key;
 }
 
+uint64_t EstimateCacheEntryBytes(const std::string& key,
+                                 const UmpSolution& solution) {
+  return key.size() + solution.x.capacity() * sizeof(uint64_t) +
+         solution.x_relaxed.capacity() * sizeof(double) +
+         solution.basis.basic.capacity() * sizeof(int) +
+         solution.basis.state.capacity() +
+         solution.frequent_pairs.capacity() * sizeof(PairId) +
+         sizeof(UmpSolution) + 96;  // map-node + bookkeeping overhead
+}
+
+std::future<ServeResponse> ImmediateResponse(Status status) {
+  std::promise<ServeResponse> promise;
+  promise.set_value(ServeResponse{std::move(status), {}});
+  return promise.get_future();
+}
+
+// The lifecycle gate every queued job passes before touching the session.
+// Does NOT reload an evicted session — that is EnsureLive's job, so pure
+// bookkeeping requests (Append, Stats, Drop) leave cold tenants cold.
+Status CheckLifecycle(const Tenant& tenant) {
+  if (tenant.dropped) {
+    return Status::NotFound("no such tenant: " + tenant.name);
+  }
+  if (!tenant.initialized) {
+    // Jobs are FIFO behind the create/restore job; reaching here means the
+    // queue discipline broke.
+    return Status::Internal("tenant not initialized: " + tenant.name);
+  }
+  if (!tenant.init_error.ok()) return tenant.init_error;
+  return Status::OK();
+}
+
 }  // namespace
 
 SanitizerService::SanitizerService(ServiceOptions options)
-    : options_(std::move(options)), pool_(options_.num_threads) {}
+    : options_(std::move(options)),
+      pool_(std::make_unique<ThreadPool>(options_.num_threads)) {
+  if (options_.maintenance_interval_ms > 0) {
+    maintenance_ = std::thread([this] { MaintenanceLoop(); });
+  }
+}
+
+SanitizerService::~SanitizerService() {
+  {
+    std::lock_guard<std::mutex> lock(maintenance_mu_);
+    stopping_ = true;
+  }
+  maintenance_cv_.notify_all();
+  if (maintenance_.joinable()) maintenance_.join();
+  // Drain the workers: they finish every queued job — resolving all
+  // outstanding futures — before joining. Only then is it safe to sweep
+  // the eviction spill files (a queued job may still reload from one):
+  // they hold the tenants' raw input logs and must not outlive the
+  // service that is supposed to be protecting them.
+  pool_.reset();
+  for (const std::shared_ptr<Tenant>& tenant : manager_.All()) {
+    std::lock_guard<std::mutex> lock(tenant->mu);
+    if (tenant->evicted) std::remove(tenant->spill_path.c_str());
+  }
+}
 
 SessionOptions SanitizerService::WithPool(SessionOptions options) {
-  options.pool = &pool_;
+  options.pool = pool_.get();
   return options;
 }
 
-Status SanitizerService::CreateTenant(const std::string& tenant,
-                                      const SearchLog& initial) {
-  return CreateTenant(tenant, initial, options_.session);
-}
-
-Status SanitizerService::CreateTenant(const std::string& tenant,
-                                      const SearchLog& initial,
-                                      SessionOptions options) {
-  // Fail duplicate names before the expensive preprocess + row build; the
-  // registry re-checks under its lock, so a racing create still loses
-  // cleanly there.
-  if (manager_.Has(tenant)) {
-    return Status::FailedPrecondition("tenant already exists: " + tenant);
+std::string SanitizerService::SpillPath(const std::string& tenant) const {
+  std::string safe;
+  safe.reserve(tenant.size());
+  for (char c : tenant) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '-' ||
+                    c == '_';
+    safe += ok ? c : '_';
   }
-  PRIVSAN_ASSIGN_OR_RETURN(
-      SanitizerSession session,
-      SanitizerSession::Create(initial, WithPool(std::move(options))));
-  PRIVSAN_RETURN_IF_ERROR(
-      manager_.Create(tenant, std::move(session)).status());
+  // The hash keeps sanitized collisions ("a/b" vs "a_b") apart.
+  const uint64_t h = std::hash<std::string>{}(tenant);
+  return options_.spill_directory + "/privsan_spill_" + safe + "_" +
+         std::to_string(h) + ".snap";
+}
+
+// --- Submission ------------------------------------------------------------
+
+std::future<ServeResponse> SanitizerService::Submit(ServeRequest request) {
+  if (std::holds_alternative<CreateTenantRequest>(request) ||
+      std::holds_alternative<RestoreTenantRequest>(request)) {
+    return SubmitCreate(std::move(request));
+  }
+  Result<std::shared_ptr<Tenant>> tenant =
+      manager_.Get(RequestTenant(request));
+  if (!tenant.ok()) return ImmediateResponse(tenant.status());
+  return Enqueue(*tenant, std::move(request), /*maintenance=*/false);
+}
+
+std::future<ServeResponse> SanitizerService::SubmitCreate(
+    ServeRequest request) {
+  // Register the name synchronously so later requests in a pipelined burst
+  // find the tenant and queue FIFO behind the construction job.
+  Result<std::shared_ptr<Tenant>> tenant =
+      manager_.Create(RequestTenant(request));
+  if (!tenant.ok()) return ImmediateResponse(tenant.status());
+  return Enqueue(*tenant, std::move(request), /*maintenance=*/false);
+}
+
+std::future<ServeResponse> SanitizerService::Enqueue(
+    const std::shared_ptr<Tenant>& tenant, ServeRequest request,
+    bool maintenance) {
+  ServeJob job;
+  job.request = std::move(request);
+  job.promise = std::make_shared<std::promise<ServeResponse>>();
+  job.maintenance = maintenance;
+  std::future<ServeResponse> future = job.promise->get_future();
+  bool start = false;
+  {
+    std::lock_guard<std::mutex> lock(tenant->qmu);
+    if (!maintenance) tenant->last_access = std::chrono::steady_clock::now();
+    tenant->jobs.push_back(std::move(job));
+    if (!tenant->draining) {
+      tenant->draining = true;
+      start = true;
+    }
+  }
+  if (start) {
+    pool_->Submit([this, tenant] { DrainQueue(tenant); });
+  }
+  return future;
+}
+
+void SanitizerService::DrainQueue(std::shared_ptr<Tenant> tenant) {
+  while (true) {
+    ServeJob job;
+    {
+      std::lock_guard<std::mutex> lock(tenant->qmu);
+      if (tenant->jobs.empty()) {
+        tenant->draining = false;
+        return;
+      }
+      job = std::move(tenant->jobs.front());
+      tenant->jobs.pop_front();
+    }
+    ServeResponse response;
+    {
+      std::lock_guard<std::mutex> lock(tenant->mu);
+      response = Execute(*tenant, job.request, job.maintenance);
+    }
+    if (job.maintenance) {
+      std::lock_guard<std::mutex> lock(tenant->qmu);
+      tenant->flush_scheduled = false;
+    }
+    job.promise->set_value(std::move(response));
+  }
+}
+
+// --- Execution (under tenant.mu) -------------------------------------------
+
+Status SanitizerService::EnsureLive(Tenant& tenant) {
+  PRIVSAN_RETURN_IF_ERROR(CheckLifecycle(tenant));
+  if (tenant.session != nullptr) return Status::OK();
+  if (!tenant.evicted) {
+    return Status::Internal("tenant has no live session: " + tenant.name);
+  }
+  // Transparent reload: the eviction snapshot stores the preprocessed log,
+  // DP rows and last optimal bases, so the tenant resumes warm.
+  Result<SanitizerSession> restored =
+      RestoreSession(tenant.spill_path, tenant.session_options);
+  if (!restored.ok()) return restored.status();
+  tenant.session = std::make_unique<SanitizerSession>(std::move(*restored));
+  std::remove(tenant.spill_path.c_str());
+  tenant.spill_path.clear();
+  tenant.evicted = false;
+  ++tenant.stats.reloads;
+  RefreshResidentBytes(tenant);
   return Status::OK();
 }
 
-Status SanitizerService::DropTenant(const std::string& tenant) {
-  return manager_.Remove(tenant);
+void SanitizerService::InvalidateCache(Tenant& tenant) {
+  tenant.cache.clear();
+  tenant.cache_order.clear();
+  tenant.cache_bytes = 0;
 }
 
-std::vector<std::string> SanitizerService::Tenants() const {
-  return manager_.Names();
-}
-
-Status SanitizerService::Append(const std::string& tenant,
-                                const SearchLog& logs) {
-  PRIVSAN_ASSIGN_OR_RETURN(std::shared_ptr<Tenant> t, manager_.Get(tenant));
-  std::lock_guard<std::mutex> lock(t->mu);
-  t->pending.push_back(logs);
-  ++t->stats.appends_enqueued;
-  return Status::OK();
+void SanitizerService::RefreshResidentBytes(Tenant& tenant) {
+  // Pending appends count too: a burst parked in the queue (especially on
+  // an evicted tenant, which Append deliberately leaves cold) is real
+  // memory the budget must see. Such tenants are not directly evictable,
+  // but the depth/age flush lands the queue and makes them evictable on a
+  // following tick.
+  tenant.stats.resident_bytes =
+      (tenant.session != nullptr ? tenant.session->ResidentBytes() : 0) +
+      tenant.cache_bytes + tenant.pending_bytes;
 }
 
 Status SanitizerService::FlushLocked(Tenant& tenant) {
@@ -90,117 +236,450 @@ Status SanitizerService::FlushLocked(Tenant& tenant) {
   for (const SearchLog& log : tenant.pending) builder.AddAll(log);
   const size_t coalesced = tenant.pending.size();
   tenant.pending.clear();
-  PRIVSAN_RETURN_IF_ERROR(tenant.session.AppendUsers(builder.Build()));
+  tenant.pending_bytes = 0;
+  PRIVSAN_RETURN_IF_ERROR(tenant.session->AppendUsers(builder.Build()));
   ++tenant.stats.flushes;
   tenant.stats.appends_coalesced += coalesced;
-  tenant.stats.rows_copied = tenant.session.last_append_stats().rows_copied;
+  tenant.stats.rows_copied = tenant.session->last_append_stats().rows_copied;
   tenant.stats.rows_rebuilt =
-      tenant.session.last_append_stats().rows_rebuilt;
+      tenant.session->last_append_stats().rows_rebuilt;
   // The log changed: every cached solution is stale.
-  tenant.cache.clear();
-  tenant.cache_order.clear();
+  InvalidateCache(tenant);
+  RefreshResidentBytes(tenant);
   return Status::OK();
 }
 
+ServeResponse SanitizerService::Execute(Tenant& tenant, ServeRequest& request,
+                                        bool maintenance) {
+  if (auto* create = std::get_if<CreateTenantRequest>(&request)) {
+    return ExecuteCreate(tenant, *create);
+  }
+  if (auto* restore = std::get_if<RestoreTenantRequest>(&request)) {
+    return ExecuteRestore(tenant, *restore);
+  }
+
+  if (auto* append = std::get_if<AppendRequest>(&request)) {
+    if (Status gate = CheckLifecycle(tenant); !gate.ok()) return {gate, {}};
+    if (tenant.pending.empty()) {
+      tenant.oldest_pending = std::chrono::steady_clock::now();
+    }
+    tenant.pending_bytes += append->logs.ResidentBytes();
+    tenant.pending.push_back(std::move(append->logs));
+    ++tenant.stats.appends_enqueued;
+    RefreshResidentBytes(tenant);
+    return {Status::OK(), {}};
+  }
+
+  if (std::get_if<FlushRequest>(&request) != nullptr) {
+    const uint64_t flushes_before = tenant.stats.flushes;
+    if (Status live = EnsureLive(tenant); !live.ok()) return {live, {}};
+    if (Status flushed = FlushLocked(tenant); !flushed.ok()) {
+      return {flushed, {}};
+    }
+    // A maintenance-initiated job that actually landed appends is what the
+    // background-flusher counter measures (DrainQueue owns the flag reset).
+    if (maintenance && tenant.stats.flushes > flushes_before) {
+      ++tenant.stats.maintenance_flushes;
+      // Only maintenance flushes prewarm and refresh: this work is an
+      // optimization precisely because it runs off the query path — an
+      // inline pre-solve flush must not pay model builds for objectives
+      // the pending solve does not need.
+      //
+      // Rebuild the solver models the append invalidated, then re-solve
+      // the last served query (hot-query refresh): the flush-invalidated
+      // cache entry is repopulated and the remapped basis re-optimized
+      // before the next client solve. Best-effort — a failure leaves the
+      // lazy solve path intact.
+      (void)tenant.session->PrewarmProblems();
+      if (options_.refresh_hot_query_after_flush &&
+          tenant.last_solve_query.has_value()) {
+        const auto [objective, query] = *tenant.last_solve_query;
+        if (ExecuteSolve(tenant, objective, query).ok()) {
+          ++tenant.stats.refresh_solves;
+        }
+      }
+      RefreshResidentBytes(tenant);
+    }
+    return {Status::OK(), {}};
+  }
+
+  if (auto* solve = std::get_if<SolveRequest>(&request)) {
+    if (Status live = EnsureLive(tenant); !live.ok()) return {live, {}};
+    if (Status flushed = FlushLocked(tenant); !flushed.ok()) {
+      return {flushed, {}};
+    }
+    ServeResponse response =
+        ExecuteSolve(tenant, solve->objective, solve->query);
+    // Only successful solves become the hot-query-refresh target — a
+    // failing query must not be retried after every background flush.
+    if (response.ok()) {
+      tenant.last_solve_query = {solve->objective, solve->query};
+    }
+    return response;
+  }
+
+  if (auto* sweep = std::get_if<SweepRequest>(&request)) {
+    if (Status live = EnsureLive(tenant); !live.ok()) return {live, {}};
+    if (Status flushed = FlushLocked(tenant); !flushed.ok()) {
+      return {flushed, {}};
+    }
+    Result<SweepResult> result = tenant.session->SweepBudgets(
+        sweep->objective, sweep->grid, sweep->sweep);
+    if (!result.ok()) return {result.status(), {}};
+    tenant.stats.solves += result->cells.size();
+    tenant.stats.repair_aborted +=
+        static_cast<uint64_t>(result->repair_aborted);
+    RefreshResidentBytes(tenant);
+    return {Status::OK(), std::move(*result)};
+  }
+
+  if (auto* sanitize = std::get_if<SanitizeRequest>(&request)) {
+    if (Status live = EnsureLive(tenant); !live.ok()) return {live, {}};
+    if (Status flushed = FlushLocked(tenant); !flushed.ok()) {
+      return {flushed, {}};
+    }
+    Result<SanitizeReport> report =
+        tenant.session->Sanitize(sanitize->privacy);
+    if (!report.ok()) return {report.status(), {}};
+    ++tenant.stats.solves;
+    RefreshResidentBytes(tenant);
+    return {Status::OK(), std::move(*report)};
+  }
+
+  if (std::get_if<StatsRequest>(&request) != nullptr) {
+    // Stats never reloads an evicted tenant — monitoring must not defeat
+    // the memory budget.
+    if (Status gate = CheckLifecycle(tenant); !gate.ok()) return {gate, {}};
+    return {Status::OK(), tenant.stats};
+  }
+
+  if (auto* save = std::get_if<SaveSnapshotRequest>(&request)) {
+    if (Status live = EnsureLive(tenant); !live.ok()) return {live, {}};
+    // Queued appends are part of the tenant's logical state — land them
+    // before persisting.
+    if (Status flushed = FlushLocked(tenant); !flushed.ok()) {
+      return {flushed, {}};
+    }
+    return {serve::SaveSnapshot(*tenant.session, save->path), {}};
+  }
+
+  if (std::get_if<DropTenantRequest>(&request) != nullptr) {
+    if (tenant.dropped) {
+      return {Status::NotFound("no such tenant: " + tenant.name), {}};
+    }
+    if (tenant.evicted) std::remove(tenant.spill_path.c_str());
+    tenant.session.reset();
+    tenant.evicted = false;
+    tenant.dropped = true;
+    tenant.pending.clear();
+    tenant.pending_bytes = 0;
+    InvalidateCache(tenant);
+    RefreshResidentBytes(tenant);
+    return {manager_.Remove(tenant.name), {}};
+  }
+
+  return {Status::Internal("unhandled serve request"), {}};
+}
+
+ServeResponse SanitizerService::ExecuteSolve(Tenant& tenant,
+                                             UtilityObjective objective,
+                                             const UmpQuery& query) {
+  const bool cache_enabled = options_.result_cache_capacity > 0;
+  std::string key;
+  if (cache_enabled) {
+    key = CacheKey(objective, query);
+    auto it = tenant.cache.find(key);
+    if (it != tenant.cache.end()) {
+      ++tenant.stats.cache_hits;
+      return {Status::OK(), it->second};
+    }
+    ++tenant.stats.cache_misses;
+  }
+  Result<UmpSolution> solution = tenant.session->Solve(objective, query);
+  if (!solution.ok()) return {solution.status(), {}};
+  ++tenant.stats.solves;
+  tenant.stats.repair_aborted +=
+      static_cast<uint64_t>(solution->stats.repair_aborted);
+  if (cache_enabled) {
+    if (tenant.cache_order.size() >= options_.result_cache_capacity) {
+      const std::string& oldest = tenant.cache_order.front();
+      auto it = tenant.cache.find(oldest);
+      if (it != tenant.cache.end()) {
+        const uint64_t bytes = EstimateCacheEntryBytes(oldest, it->second);
+        tenant.cache_bytes -= std::min(tenant.cache_bytes, bytes);
+        tenant.cache.erase(it);
+      }
+      tenant.cache_order.erase(tenant.cache_order.begin());
+    }
+    tenant.cache_bytes += EstimateCacheEntryBytes(key, *solution);
+    tenant.cache.emplace(key, *solution);
+    tenant.cache_order.push_back(std::move(key));
+  }
+  RefreshResidentBytes(tenant);
+  return {Status::OK(), std::move(*solution)};
+}
+
+ServeResponse SanitizerService::ExecuteCreate(Tenant& tenant,
+                                              CreateTenantRequest& request) {
+  if (tenant.initialized) {
+    return {Status::Internal("tenant already initialized: " + tenant.name),
+            {}};
+  }
+  tenant.initialized = true;
+  tenant.session_options =
+      WithPool(request.options.value_or(options_.session));
+  Result<SanitizerSession> session =
+      SanitizerSession::Create(request.initial, tenant.session_options);
+  if (!session.ok()) {
+    // Release the name so a corrected create can reuse it; jobs already
+    // queued behind this one answer with the construction error.
+    tenant.init_error = session.status();
+    (void)manager_.Remove(tenant.name);
+    return {session.status(), {}};
+  }
+  tenant.session = std::make_unique<SanitizerSession>(std::move(*session));
+  RefreshResidentBytes(tenant);
+  return {Status::OK(), {}};
+}
+
+ServeResponse SanitizerService::ExecuteRestore(Tenant& tenant,
+                                               RestoreTenantRequest& request) {
+  if (tenant.initialized) {
+    return {Status::Internal("tenant already initialized: " + tenant.name),
+            {}};
+  }
+  tenant.initialized = true;
+  tenant.session_options =
+      WithPool(request.options.value_or(options_.session));
+  Result<SanitizerSession> session =
+      RestoreSession(request.path, tenant.session_options);
+  if (!session.ok()) {
+    tenant.init_error = session.status();
+    (void)manager_.Remove(tenant.name);
+    return {session.status(), {}};
+  }
+  tenant.session = std::make_unique<SanitizerSession>(std::move(*session));
+  RefreshResidentBytes(tenant);
+  return {Status::OK(), {}};
+}
+
+// --- Maintenance -----------------------------------------------------------
+
+void SanitizerService::MaintenanceLoop() {
+  const auto interval =
+      std::chrono::milliseconds(options_.maintenance_interval_ms);
+  std::unique_lock<std::mutex> lock(maintenance_mu_);
+  while (!stopping_) {
+    maintenance_cv_.wait_for(lock, interval, [this] { return stopping_; });
+    if (stopping_) return;
+    lock.unlock();
+    MaintenanceTick();
+    lock.lock();
+  }
+}
+
+void SanitizerService::MaintenanceTick() {
+  const auto now = std::chrono::steady_clock::now();
+  const auto max_age = std::chrono::milliseconds(options_.flush_max_age_ms);
+  std::vector<std::shared_ptr<Tenant>> tenants = manager_.All();
+
+  uint64_t total_resident = 0;
+  for (const std::shared_ptr<Tenant>& tenant : tenants) {
+    bool want_flush = false;
+    {
+      // Never wait behind a running solve; a busy tenant flushes itself
+      // (pre-solve) or is revisited next tick.
+      std::unique_lock<std::mutex> mu(tenant->mu, std::try_to_lock);
+      if (!mu.owns_lock()) continue;
+      total_resident += tenant->stats.resident_bytes;
+      if (!tenant->pending.empty()) {
+        want_flush = tenant->pending.size() >= options_.flush_queue_depth ||
+                     now - tenant->oldest_pending >= max_age;
+      }
+    }
+    if (!want_flush) continue;
+    bool schedule = false;
+    {
+      std::lock_guard<std::mutex> lock(tenant->qmu);
+      if (!tenant->flush_scheduled) {
+        tenant->flush_scheduled = true;
+        schedule = true;
+      }
+    }
+    if (schedule) {
+      Enqueue(tenant, FlushRequest{tenant->name}, /*maintenance=*/true);
+    }
+  }
+
+  if (options_.memory_budget_bytes == 0 ||
+      total_resident <= options_.memory_budget_bytes) {
+    return;
+  }
+  // Over budget: evict idle tenants coldest-first until back under.
+  struct Candidate {
+    std::shared_ptr<Tenant> tenant;
+    std::chrono::steady_clock::time_point access;
+  };
+  std::vector<Candidate> candidates;
+  for (const std::shared_ptr<Tenant>& tenant : tenants) {
+    std::lock_guard<std::mutex> lock(tenant->qmu);
+    if (tenant->draining || !tenant->jobs.empty()) continue;
+    candidates.push_back({tenant, tenant->last_access});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.access < b.access;
+            });
+  for (const Candidate& candidate : candidates) {
+    if (total_resident <= options_.memory_budget_bytes) break;
+    const uint64_t freed = TryEvict(candidate.tenant);
+    total_resident -= std::min(total_resident, freed);
+  }
+}
+
+uint64_t SanitizerService::TryEvict(const std::shared_ptr<Tenant>& tenant) {
+  // Reserve the tenant's queue by claiming the draining flag — exactly how
+  // a drain worker does — so no job can start while the (slow) spill write
+  // runs, yet Submit never waits on qmu for longer than a queue push.
+  {
+    std::lock_guard<std::mutex> lock(tenant->qmu);
+    if (tenant->draining || !tenant->jobs.empty()) return 0;
+    tenant->draining = true;
+  }
+  uint64_t freed = 0;
+  {
+    // Uncontended: jobs only run under the draining reservation we hold.
+    std::lock_guard<std::mutex> lock(tenant->mu);
+    if (tenant->session != nullptr && !tenant->dropped &&
+        tenant->pending.empty()) {
+      const std::string path = SpillPath(tenant->name);
+      if (serve::SaveSnapshot(*tenant->session, path).ok()) {
+        freed = tenant->stats.resident_bytes;
+        tenant->session.reset();
+        tenant->evicted = true;
+        tenant->spill_path = path;
+        InvalidateCache(*tenant);
+        ++tenant->stats.evictions;
+        RefreshResidentBytes(*tenant);
+      }
+      // On a failed spill (disk full, bad directory) keep the tenant
+      // resident rather than lose state; the budget stays over until the
+      // next tick.
+    }
+  }
+  // Release the reservation. Jobs submitted during the eviction found
+  // draining == true and did not schedule a worker — that is now on us.
+  bool start = false;
+  {
+    std::lock_guard<std::mutex> lock(tenant->qmu);
+    if (tenant->jobs.empty()) {
+      tenant->draining = false;
+    } else {
+      start = true;  // keep the reservation; hand it to a drain worker
+    }
+  }
+  if (start) {
+    pool_->Submit([this, tenant] { DrainQueue(tenant); });
+  }
+  return freed;
+}
+
+// --- Blocking wrappers ------------------------------------------------------
+
+Status SanitizerService::CreateTenant(const std::string& tenant,
+                                      const SearchLog& initial) {
+  return Submit(CreateTenantRequest{tenant, initial, std::nullopt})
+      .get()
+      .status;
+}
+
+Status SanitizerService::CreateTenant(const std::string& tenant,
+                                      const SearchLog& initial,
+                                      SessionOptions options) {
+  return Submit(CreateTenantRequest{tenant, initial, std::move(options)})
+      .get()
+      .status;
+}
+
+Status SanitizerService::DropTenant(const std::string& tenant) {
+  return Submit(DropTenantRequest{tenant}).get().status;
+}
+
+std::vector<std::string> SanitizerService::Tenants() const {
+  return manager_.Names();
+}
+
+Status SanitizerService::Append(const std::string& tenant,
+                                const SearchLog& logs) {
+  return Submit(AppendRequest{tenant, logs}).get().status;
+}
+
 Status SanitizerService::Flush(const std::string& tenant) {
-  PRIVSAN_ASSIGN_OR_RETURN(std::shared_ptr<Tenant> t, manager_.Get(tenant));
-  std::lock_guard<std::mutex> lock(t->mu);
-  return FlushLocked(*t);
+  return Submit(FlushRequest{tenant}).get().status;
 }
 
 Result<UmpSolution> SanitizerService::Solve(const std::string& tenant,
                                             UtilityObjective objective,
                                             const UmpQuery& query) {
-  PRIVSAN_ASSIGN_OR_RETURN(std::shared_ptr<Tenant> t, manager_.Get(tenant));
-  std::lock_guard<std::mutex> lock(t->mu);
-  PRIVSAN_RETURN_IF_ERROR(FlushLocked(*t));
-
-  const bool cache_enabled = options_.result_cache_capacity > 0;
-  std::string key;
-  if (cache_enabled) {
-    key = CacheKey(objective, query);
-    auto it = t->cache.find(key);
-    if (it != t->cache.end()) {
-      ++t->stats.cache_hits;
-      return it->second;
-    }
-    ++t->stats.cache_misses;
+  ServeResponse response =
+      Submit(SolveRequest{tenant, objective, query}).get();
+  PRIVSAN_RETURN_IF_ERROR(response.status);
+  if (auto* solution = std::get_if<UmpSolution>(&response.payload)) {
+    return std::move(*solution);
   }
-
-  PRIVSAN_ASSIGN_OR_RETURN(UmpSolution solution,
-                           t->session.Solve(objective, query));
-  ++t->stats.solves;
-  t->stats.repair_aborted +=
-      static_cast<uint64_t>(solution.stats.repair_aborted);
-  if (cache_enabled) {
-    if (t->cache_order.size() >= options_.result_cache_capacity) {
-      t->cache.erase(t->cache_order.front());
-      t->cache_order.erase(t->cache_order.begin());
-    }
-    t->cache.emplace(key, solution);
-    t->cache_order.push_back(std::move(key));
-  }
-  return solution;
+  return Status::Internal("Solve returned no solution payload");
 }
 
 Result<SweepResult> SanitizerService::Sweep(const std::string& tenant,
                                             UtilityObjective objective,
                                             const std::vector<UmpQuery>& grid,
                                             const SweepOptions& sweep) {
-  PRIVSAN_ASSIGN_OR_RETURN(std::shared_ptr<Tenant> t, manager_.Get(tenant));
-  std::lock_guard<std::mutex> lock(t->mu);
-  PRIVSAN_RETURN_IF_ERROR(FlushLocked(*t));
-  PRIVSAN_ASSIGN_OR_RETURN(SweepResult result,
-                           t->session.SweepBudgets(objective, grid, sweep));
-  t->stats.solves += result.cells.size();
-  t->stats.repair_aborted += static_cast<uint64_t>(result.repair_aborted);
-  return result;
+  ServeResponse response =
+      Submit(SweepRequest{tenant, objective, grid, sweep}).get();
+  PRIVSAN_RETURN_IF_ERROR(response.status);
+  if (auto* result = std::get_if<SweepResult>(&response.payload)) {
+    return std::move(*result);
+  }
+  return Status::Internal("Sweep returned no sweep payload");
 }
 
 Result<SanitizeReport> SanitizerService::Sanitize(
     const std::string& tenant, const PrivacyParams& privacy) {
-  PRIVSAN_ASSIGN_OR_RETURN(std::shared_ptr<Tenant> t, manager_.Get(tenant));
-  std::lock_guard<std::mutex> lock(t->mu);
-  PRIVSAN_RETURN_IF_ERROR(FlushLocked(*t));
-  PRIVSAN_ASSIGN_OR_RETURN(SanitizeReport report,
-                           t->session.Sanitize(privacy));
-  ++t->stats.solves;
-  return report;
+  ServeResponse response = Submit(SanitizeRequest{tenant, privacy}).get();
+  PRIVSAN_RETURN_IF_ERROR(response.status);
+  if (auto* report = std::get_if<SanitizeReport>(&response.payload)) {
+    return std::move(*report);
+  }
+  return Status::Internal("Sanitize returned no report payload");
 }
 
-Result<TenantStats> SanitizerService::Stats(const std::string& tenant) const {
-  PRIVSAN_ASSIGN_OR_RETURN(std::shared_ptr<Tenant> t, manager_.Get(tenant));
-  std::lock_guard<std::mutex> lock(t->mu);
-  return t->stats;
+Result<TenantStats> SanitizerService::Stats(const std::string& tenant) {
+  ServeResponse response = Submit(StatsRequest{tenant}).get();
+  PRIVSAN_RETURN_IF_ERROR(response.status);
+  if (auto* stats = std::get_if<TenantStats>(&response.payload)) {
+    return *stats;
+  }
+  return Status::Internal("Stats returned no stats payload");
 }
 
 Status SanitizerService::SaveSnapshot(const std::string& tenant,
                                       const std::string& path) {
-  PRIVSAN_ASSIGN_OR_RETURN(std::shared_ptr<Tenant> t, manager_.Get(tenant));
-  std::lock_guard<std::mutex> lock(t->mu);
-  // Queued appends are part of the tenant's logical state — land them
-  // before persisting.
-  PRIVSAN_RETURN_IF_ERROR(FlushLocked(*t));
-  return serve::SaveSnapshot(t->session, path);
+  return Submit(SaveSnapshotRequest{tenant, path}).get().status;
 }
 
 Status SanitizerService::RestoreTenant(const std::string& tenant,
                                        const std::string& path) {
-  return RestoreTenant(tenant, path, options_.session);
+  return Submit(RestoreTenantRequest{tenant, path, std::nullopt})
+      .get()
+      .status;
 }
 
 Status SanitizerService::RestoreTenant(const std::string& tenant,
                                        const std::string& path,
                                        SessionOptions options) {
-  if (manager_.Has(tenant)) {
-    return Status::FailedPrecondition("tenant already exists: " + tenant);
-  }
-  PRIVSAN_ASSIGN_OR_RETURN(
-      SanitizerSession session,
-      RestoreSession(path, WithPool(std::move(options))));
-  PRIVSAN_RETURN_IF_ERROR(
-      manager_.Create(tenant, std::move(session)).status());
-  return Status::OK();
+  return Submit(RestoreTenantRequest{tenant, path, std::move(options)})
+      .get()
+      .status;
 }
 
 }  // namespace serve

@@ -2,37 +2,57 @@
 //
 // The paper's sanitizer is a one-shot batch algorithm; PR 2's
 // SanitizerSession made it stateful and incremental but single-threaded.
-// This facade lifts sessions into a serving layer:
+// This facade lifts sessions into an asynchronous serving layer built
+// around the typed request pipeline of serve/api.h:
 //
-//   * Multi-tenant. Each tenant (one logical search-log publisher, or one
-//     consumer at its own privacy posture) owns a SanitizerSession behind
-//     its own lock; distinct tenants solve fully in parallel. One shared
-//     ThreadPool shards each tenant's preprocessing and DP-row builds.
-//   * Batched appends. Append() only enqueues; the queue is coalesced into
-//     a single merge + incremental re-preprocess + row patch + basis remap
-//     per flush (explicitly via Flush, or automatically before a solve).
-//     K queued appends cost one AppendUsers, not K.
+//   * Submit(ServeRequest) -> std::future<ServeResponse>. Requests land on
+//     per-tenant FIFO work queues drained by the service's worker pool:
+//     one tenant's requests execute in submission order, distinct tenants
+//     execute fully in parallel. Append's future resolves once the batch
+//     is accepted into the pending queue; Solve futures resolve when the
+//     result is ready. CreateTenant/RestoreTenant register the name
+//     synchronously inside Submit and run construction as the tenant's
+//     first job, so pipelined CREATE -> APPEND -> SOLVE keeps FIFO
+//     semantics.
+//   * Batched appends. Appends only enqueue; the queue is coalesced into a
+//     single merge + incremental re-preprocess + row patch + basis remap
+//     per flush (explicit Flush, automatic before a solve, or — with
+//     maintenance enabled — in the background on queue depth/age, taking
+//     the coalescing work off the query path entirely).
+//   * Background maintenance + global memory budget. A service-owned
+//     maintenance thread (ServiceOptions::maintenance_interval_ms > 0)
+//     flushes aging append queues and enforces
+//     ServiceOptions::memory_budget_bytes across all tenants: when the
+//     summed resident size exceeds the budget, idle tenants are evicted
+//     coldest-first (LRU) to spill snapshots on disk and transparently
+//     reloaded — resuming warm from the stored bases — on their next
+//     request.
 //   * Result cache. Solves are cached per tenant under a canonical
-//     (objective, ε, δ, |O|, solver) key — repeated queries at the same
-//     budget are O(1) — and the cache is invalidated by the next flush
-//     that actually changes the log.
+//     (objective, ε, δ, |O|, solver) key and invalidated by the next flush
+//     that changes the log.
 //   * Snapshot/restore. SaveSnapshot persists a tenant's preprocessed log,
-//     DP rows and last optimal bases (serve/snapshot.h); RestoreTenant
-//     resumes warm after a restart — the first solve dual-warm-starts from
-//     the stored basis instead of cold-solving.
+//     DP rows and last optimal bases; RestoreTenant resumes warm after a
+//     restart.
 //
-// Every public method is safe to call from any thread at any time.
+// The blocking per-verb methods are thin Submit(...).get() wrappers kept
+// for source compatibility. Every public method is safe to call from any
+// thread at any time.
 #ifndef PRIVSAN_SERVE_SERVICE_H_
 #define PRIVSAN_SERVE_SERVICE_H_
 
+#include <condition_variable>
 #include <cstddef>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/session.h"
 #include "core/ump.h"
+#include "serve/api.h"
 #include "serve/session_manager.h"
 #include "serve/thread_pool.h"
 #include "util/result.h"
@@ -41,41 +61,64 @@ namespace privsan {
 namespace serve {
 
 struct ServiceOptions {
-  // Worker threads for sharded preprocessing / DP-row builds.
-  // <= 0 picks std::thread::hardware_concurrency().
+  // Worker threads for the request queues and sharded preprocessing /
+  // DP-row builds. <= 0 picks std::thread::hardware_concurrency().
   int num_threads = 0;
   // Cached solutions per tenant; FIFO eviction; 0 disables caching.
   size_t result_cache_capacity = 128;
   // Defaults for tenants created without explicit options.
   SessionOptions session;
+
+  // --- Background maintenance ---------------------------------------------
+  // Tick period of the maintenance thread; 0 disables the thread (flushes
+  // then happen only explicitly or before a solve, and the memory budget
+  // is not enforced — the pre-PR-5 behavior).
+  int maintenance_interval_ms = 0;
+  // Flush a tenant's pending appends in the background once the queue
+  // holds at least this many batches ...
+  size_t flush_queue_depth = 8;
+  // ... or once the oldest queued batch is older than this.
+  int flush_max_age_ms = 50;
+  // After a background flush, re-solve the tenant's most recent solve
+  // query off the query path: the flush-invalidated cache entry is
+  // repopulated (a repeated-budget query stays O(1) across appends) and
+  // the remapped basis is re-optimized, so the next client solve — at any
+  // budget — dual-warm-starts from an optimum instead of paying the
+  // append's repair pivots inline.
+  bool refresh_hot_query_after_flush = true;
+  // Global cap on the summed resident size of all tenants (sessions +
+  // result caches, as reported by TenantStats::resident_bytes); 0 = no
+  // cap. Enforced by the maintenance thread via LRU eviction of idle
+  // tenants to spill snapshots.
+  uint64_t memory_budget_bytes = 0;
+  // Directory for eviction spill snapshots (must exist and be writable).
+  std::string spill_directory = ".";
 };
 
 class SanitizerService {
  public:
   explicit SanitizerService(ServiceOptions options = {});
-  ~SanitizerService() = default;
+  ~SanitizerService();
 
   SanitizerService(const SanitizerService&) = delete;
   SanitizerService& operator=(const SanitizerService&) = delete;
 
-  // --- Tenant lifecycle ---------------------------------------------------
-  // `initial` may be empty (grow the tenant through Append). Options
-  // default to ServiceOptions::session; the service's pool is injected
-  // either way.
+  // --- The asynchronous pipeline ------------------------------------------
+  // Enqueues `request` on its tenant's FIFO queue and returns immediately.
+  // The future resolves with the verb's payload (see serve/api.h); a
+  // request naming an unknown tenant resolves NotFound without queueing.
+  std::future<ServeResponse> Submit(ServeRequest request);
+
+  // --- Blocking wrappers (Submit + get) -----------------------------------
   Status CreateTenant(const std::string& tenant, const SearchLog& initial);
   Status CreateTenant(const std::string& tenant, const SearchLog& initial,
                       SessionOptions options);
   Status DropTenant(const std::string& tenant);
   std::vector<std::string> Tenants() const;
 
-  // --- Appends ------------------------------------------------------------
-  // Enqueues user logs; returns immediately. Queued appends coalesce into
-  // one incremental AppendUsers at the next flush.
   Status Append(const std::string& tenant, const SearchLog& logs);
-  // Drains the tenant's queue now (no-op when empty).
   Status Flush(const std::string& tenant);
 
-  // --- Queries (auto-flush any queued appends first) ----------------------
   Result<UmpSolution> Solve(const std::string& tenant,
                             UtilityObjective objective, const UmpQuery& query);
   Result<SweepResult> Sweep(const std::string& tenant,
@@ -85,26 +128,62 @@ class SanitizerService {
   Result<SanitizeReport> Sanitize(const std::string& tenant,
                                   const PrivacyParams& privacy);
 
-  Result<TenantStats> Stats(const std::string& tenant) const;
+  Result<TenantStats> Stats(const std::string& tenant);
 
-  // --- Snapshot / restore -------------------------------------------------
-  // Flushes queued appends, then persists the tenant's session state.
   Status SaveSnapshot(const std::string& tenant, const std::string& path);
-  // Creates `tenant` from a snapshot file; fails if the name exists.
   Status RestoreTenant(const std::string& tenant, const std::string& path);
   Status RestoreTenant(const std::string& tenant, const std::string& path,
                        SessionOptions options);
 
-  ThreadPool* pool() { return &pool_; }
+  ThreadPool* pool() { return pool_.get(); }
 
  private:
-  // Drains the pending queue of a locked tenant.
+  // Registers the tenant shell and queues `request` as its first job.
+  std::future<ServeResponse> SubmitCreate(ServeRequest request);
+  // Enqueues a job and wakes a drain worker if none is active.
+  std::future<ServeResponse> Enqueue(const std::shared_ptr<Tenant>& tenant,
+                                     ServeRequest request, bool maintenance);
+  // Pops and executes jobs until the tenant's queue is empty.
+  void DrainQueue(std::shared_ptr<Tenant> tenant);
+  // Executes one request under tenant->mu. `maintenance` marks jobs the
+  // maintenance thread enqueued (background flushes).
+  ServeResponse Execute(Tenant& tenant, ServeRequest& request,
+                        bool maintenance);
+  // The shared solve path (cache lookup, session solve, cache fill); used
+  // by SolveRequest execution and hot-query refresh.
+  ServeResponse ExecuteSolve(Tenant& tenant, UtilityObjective objective,
+                             const UmpQuery& query);
+  ServeResponse ExecuteCreate(Tenant& tenant, CreateTenantRequest& request);
+  ServeResponse ExecuteRestore(Tenant& tenant, RestoreTenantRequest& request);
+  // Reloads an evicted session from its spill snapshot; checks lifecycle.
+  Status EnsureLive(Tenant& tenant);
+  // Drains the pending-append queue of a locked tenant.
   Status FlushLocked(Tenant& tenant);
+  void InvalidateCache(Tenant& tenant);
+  void RefreshResidentBytes(Tenant& tenant);
   SessionOptions WithPool(SessionOptions options);
+  std::string SpillPath(const std::string& tenant) const;
+
+  void MaintenanceLoop();
+  void MaintenanceTick();
+  // Spills one idle tenant to disk; returns bytes freed (0 = not evicted).
+  // Reserves the tenant's queue (draining flag) for the duration, so
+  // Submit stays wait-free while the snapshot writes.
+  uint64_t TryEvict(const std::shared_ptr<Tenant>& tenant);
 
   ServiceOptions options_;
-  ThreadPool pool_;
   SessionManager manager_;
+
+  std::mutex maintenance_mu_;
+  std::condition_variable maintenance_cv_;
+  bool stopping_ = false;
+  std::thread maintenance_;
+
+  // Owned indirectly so the destructor can drain it explicitly (workers
+  // finish every queued job, resolving all futures) and then clean up
+  // eviction spill files — which hold raw input logs and must not outlive
+  // the service — while the registry is still alive.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace serve

@@ -4,13 +4,12 @@ namespace privsan {
 namespace serve {
 
 Result<std::shared_ptr<Tenant>> SessionManager::Create(
-    const std::string& name, SanitizerSession session) {
+    const std::string& name) {
   if (name.empty()) {
     return Status::InvalidArgument("tenant name must be non-empty");
   }
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] =
-      tenants_.emplace(name, std::make_shared<Tenant>(std::move(session)));
+  auto [it, inserted] = tenants_.emplace(name, std::make_shared<Tenant>(name));
   if (!inserted) {
     return Status::FailedPrecondition("tenant already exists: " + name);
   }
@@ -46,6 +45,14 @@ std::vector<std::string> SessionManager::Names() const {
   names.reserve(tenants_.size());
   for (const auto& [name, tenant] : tenants_) names.push_back(name);
   return names;  // std::map iterates sorted
+}
+
+std::vector<std::shared_ptr<Tenant>> SessionManager::All() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<Tenant>> all;
+  all.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) all.push_back(tenant);
+  return all;
 }
 
 size_t SessionManager::size() const {

@@ -1,11 +1,23 @@
 // Multi-tenant session registry.
 //
 // A Tenant bundles one SanitizerSession with the serve-path state the
-// facade (serve/service.h) keeps around it: the append queue, the
-// budget-keyed result cache, and counters. All of it is guarded by the
-// tenant's own mutex — sessions are single-threaded by contract
-// (core/session.h), so the lock *is* the concurrency story for one tenant,
-// and distinct tenants proceed fully in parallel.
+// facade (serve/service.h) keeps around it: the typed-request work queue,
+// the pending-append queue, the budget-keyed result cache, counters, and
+// the eviction lifecycle. Two mutexes split the state by latency class:
+//
+//   * `qmu` guards the cheap scheduling state — the FIFO work queue, the
+//     draining flag, and the LRU timestamp. Submit only ever takes qmu, so
+//     enqueueing never waits behind a running solve.
+//   * `mu` guards the heavy state — the session itself, the pending
+//     appends, the result cache and the counters. Exactly one queue job
+//     holds mu at a time (the drain loop pops under qmu, executes under
+//     mu), so the lock *is* the concurrency story for one tenant, and
+//     distinct tenants proceed fully in parallel.
+//
+// The two are never held together: a drain worker pops under qmu, then
+// executes under mu; the eviction path claims the draining flag under qmu
+// (exactly like a worker would), releases it, and only then takes mu for
+// the spill write — so Submit never waits behind a snapshot.
 //
 // SessionManager itself is a thread-safe name -> Tenant map. It hands out
 // shared_ptrs so a tenant being dropped mid-operation stays alive until
@@ -13,50 +25,77 @@
 #ifndef PRIVSAN_SERVE_SESSION_MANAGER_H_
 #define PRIVSAN_SERVE_SESSION_MANAGER_H_
 
+#include <chrono>
 #include <cstdint>
+#include <deque>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/session.h"
 #include "core/ump.h"
+#include "serve/api.h"
 #include "util/result.h"
 
 namespace privsan {
 namespace serve {
 
-// Serve-path counters for one tenant, all monotonic.
-struct TenantStats {
-  uint64_t appends_enqueued = 0;   // Append() calls accepted into the queue
-  uint64_t flushes = 0;            // AppendUsers calls actually performed
-  uint64_t appends_coalesced = 0;  // queued appends merged into those flushes
-  uint64_t solves = 0;             // solves executed (cache misses + sweeps)
-  uint64_t cache_hits = 0;
-  uint64_t cache_misses = 0;
-  // Warm solves whose dual repair hit SimplexOptions::warm_repair_pivot_cap
-  // and fell back cold — sustained growth means this tenant's appends are
-  // too large to repair and the cap (or flush cadence) needs tuning.
-  uint64_t repair_aborted = 0;
-  // From the session's last flush (core/session.h AppendStats).
-  uint64_t rows_copied = 0;
-  uint64_t rows_rebuilt = 0;
+// One queued request plus the promise its Submit handed out. The promise
+// is shared so jobs can travel through std::function (which requires
+// copyable callables) on the worker pool.
+struct ServeJob {
+  ServeRequest request;
+  std::shared_ptr<std::promise<ServeResponse>> promise;
+  // Enqueued by the maintenance thread (background flush); clears the
+  // tenant's flush_scheduled flag when it completes.
+  bool maintenance = false;
 };
 
 struct Tenant {
-  explicit Tenant(SanitizerSession session_in)
-      : session(std::move(session_in)) {}
+  explicit Tenant(std::string name_in) : name(std::move(name_in)) {}
 
+  const std::string name;
+
+  // --- Scheduling state, guarded by `qmu` --------------------------------
+  std::mutex qmu;
+  std::deque<ServeJob> jobs;  // per-tenant FIFO work queue
+  bool draining = false;      // a worker is draining `jobs`
+  bool flush_scheduled = false;  // a maintenance flush is queued/in flight
+  std::chrono::steady_clock::time_point last_access{};  // LRU clock
+
+  // --- Session state, guarded by `mu` ------------------------------------
   std::mutex mu;
-  // Everything below is guarded by `mu`.
-  SanitizerSession session;
+  // nullptr while the create/restore job has not run yet, after a failed
+  // construction, while evicted, and after DropTenant.
+  std::unique_ptr<SanitizerSession> session;
+  // Options to rebuild the session with on reload after eviction.
+  SessionOptions session_options;
+  // Construction outcome: jobs queued behind a failed create/restore
+  // answer with this status instead of executing.
+  Status init_error = Status::OK();
+  bool initialized = false;  // the create/restore job has run (ok or not)
+  bool dropped = false;      // DropTenant executed; later jobs -> NotFound
+  // Eviction lifecycle: when evicted, `spill_path` names the snapshot the
+  // next request transparently reloads from.
+  bool evicted = false;
+  std::string spill_path;
   std::vector<SearchLog> pending;  // queued appends, coalesced on flush
+  uint64_t pending_bytes = 0;      // estimated footprint of `pending`
+  // When the oldest entry of `pending` was enqueued (age-triggered flush).
+  std::chrono::steady_clock::time_point oldest_pending{};
   // Budget-keyed result cache: canonical query key -> solution. Insertion
   // order drives FIFO eviction; the whole cache is invalidated on flush.
   std::map<std::string, UmpSolution> cache;
   std::vector<std::string> cache_order;
+  uint64_t cache_bytes = 0;  // estimated footprint of `cache`
+  // The most recent Solve's inputs — what a background flush re-solves
+  // (hot-query refresh) so the repair work lands off the query path.
+  std::optional<std::pair<UtilityObjective, UmpQuery>> last_solve_query;
   TenantStats stats;
 };
 
@@ -66,9 +105,9 @@ class SessionManager {
   SessionManager(const SessionManager&) = delete;
   SessionManager& operator=(const SessionManager&) = delete;
 
-  // Registers a tenant; fails with FailedPrecondition if the name exists.
-  Result<std::shared_ptr<Tenant>> Create(const std::string& name,
-                                         SanitizerSession session);
+  // Registers an empty tenant shell (the caller queues the construction
+  // job); fails with FailedPrecondition if the name exists.
+  Result<std::shared_ptr<Tenant>> Create(const std::string& name);
 
   // NotFound if absent.
   Result<std::shared_ptr<Tenant>> Get(const std::string& name) const;
@@ -78,6 +117,8 @@ class SessionManager {
   Status Remove(const std::string& name);
 
   std::vector<std::string> Names() const;  // sorted
+  // The live tenant set in one pass (the maintenance thread's scan).
+  std::vector<std::shared_ptr<Tenant>> All() const;
   size_t size() const;
 
  private:

@@ -20,7 +20,15 @@ using binary_io::ReadString;
 using binary_io::WriteScalar;
 using binary_io::WriteString;
 
-constexpr char kMagic[8] = {'P', 'S', 'A', 'N', 'S', 'N', 'P', '\x01'};
+// Header: a 7-byte magic identifying the file as a privsan snapshot,
+// followed by a 1-byte format version. Splitting the two gives distinct
+// failure modes: a foreign file fails "not a privsan snapshot", while a
+// stale- or future-format snapshot fails with both versions named instead
+// of surfacing as generic corruption. The byte layout matches the pre-
+// versioned header ("PSANSNP" + 0x01), so version-1 files written by older
+// builds still read.
+constexpr char kMagic[7] = {'P', 'S', 'A', 'N', 'S', 'N', 'P'};
+constexpr uint8_t kSnapshotVersion = 1;
 // Cap on element counts read from disk, so a corrupted length field fails
 // with IoError instead of attempting a multi-gigabyte allocation. Full
 // scale is ~10^5 users and ~10^6 tuples; 2^26 leaves two orders of
@@ -136,6 +144,7 @@ Result<DpConstraintSystem> ReadSystem(std::istream& in, uint64_t num_users) {
 
 Status WriteSnapshot(std::ostream& out, const SessionSnapshot& snapshot) {
   out.write(kMagic, sizeof(kMagic));
+  WriteScalar<uint8_t>(out, kSnapshotVersion);
   WriteLog(out, snapshot.raw);
   WriteLog(out, snapshot.log);
   WriteScalar<uint64_t>(out, snapshot.stats.pairs_removed);
@@ -156,8 +165,15 @@ Result<SessionSnapshot> ReadSnapshot(std::istream& in) {
   char magic[sizeof(kMagic)] = {};
   in.read(magic, sizeof(magic));
   if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IoError("not a privsan snapshot (bad magic)");
+  }
+  uint8_t version = 0;
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &version));
+  if (version != kSnapshotVersion) {
     return Status::IoError(
-        "not a privsan snapshot (bad magic or unsupported version)");
+        "unsupported snapshot format version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kSnapshotVersion) +
+        "); re-snapshot the session with the current build");
   }
   SessionSnapshot snapshot;
   PRIVSAN_ASSIGN_OR_RETURN(snapshot.raw, ReadLog(in));

@@ -10,12 +10,15 @@
 // The restored state is bit-identical: the raw and preprocessed logs are
 // reconstructed with their exact user/pair id assignment (via the
 // SearchLogBuilder Declare methods), and DP-row coefficients and bases are
-// round-tripped as raw doubles/bytes. The format is versioned but
-// native-endian — a restart artifact, not an interchange format.
+// round-tripped as raw doubles/bytes. The header is a 7-byte magic plus a
+// 1-byte format version; the payload is native-endian — a restart
+// artifact, not an interchange format.
 //
-// Corrupt or truncated files fail with IoError; a snapshot whose stored
-// bases do not fit the models implied by the restore-time SessionOptions
-// silently drops those bases (first solve runs cold, never wrong).
+// Corrupt or truncated files fail with IoError; a file with the right
+// magic but another format version fails with an IoError naming both
+// versions (not as generic corruption); a snapshot whose stored bases do
+// not fit the models implied by the restore-time SessionOptions silently
+// drops those bases (first solve runs cold, never wrong).
 #ifndef PRIVSAN_SERVE_SNAPSHOT_H_
 #define PRIVSAN_SERVE_SNAPSHOT_H_
 

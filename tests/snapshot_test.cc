@@ -214,6 +214,39 @@ TEST(SnapshotTest, CorruptAndTruncatedFilesFailCleanly) {
             StatusCode::kIoError);
 }
 
+TEST(SnapshotTest, VersionMismatchNamesBothVersions) {
+  SanitizerSession session = SanitizerSession::Create(Synthetic()).value();
+  std::stringstream stream;
+  ASSERT_TRUE(serve::WriteSnapshot(stream, session.Snapshot()).ok());
+  std::string bytes = stream.str();
+
+  // Header layout: 7-byte magic "PSANSNP" + 1-byte format version.
+  ASSERT_GT(bytes.size(), 8u);
+  ASSERT_EQ(bytes.substr(0, 7), "PSANSNP");
+  ASSERT_EQ(bytes[7], '\x01');  // current version — old files stay readable
+
+  // A future-format file must fail with a version message, not as generic
+  // corruption (and not as a foreign file).
+  bytes[7] = '\x02';
+  std::stringstream future_version(bytes);
+  const auto result = serve::ReadSnapshot(future_version);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  EXPECT_NE(result.status().message().find("version 2"), std::string::npos)
+      << result.status();
+  EXPECT_NE(result.status().message().find("version 1"), std::string::npos)
+      << result.status();
+
+  // A wrong magic stays a distinct failure mode.
+  bytes[0] = 'X';
+  std::stringstream foreign(bytes);
+  const auto foreign_result = serve::ReadSnapshot(foreign);
+  ASSERT_FALSE(foreign_result.ok());
+  EXPECT_NE(foreign_result.status().message().find("bad magic"),
+            std::string::npos)
+      << foreign_result.status();
+}
+
 TEST(SnapshotTest, MismatchedOptionsDropOnlyTheBases) {
   SanitizerSession session = SanitizerSession::Create(Synthetic()).value();
   (void)session.Solve(UtilityObjective::kFrequentPairs, Query(2.0, 0.5))

@@ -1,4 +1,5 @@
-// sanitizer_serverd — line-protocol driver for serve::SanitizerService.
+// sanitizer_serverd — pipelined line-protocol codec over the typed serve
+// API (serve/api.h).
 //
 // Reads commands from stdin, one per line, and answers on stdout with a
 // single "OK ..." or "ERR ..." line per command (blank lines and #-comments
@@ -16,11 +17,25 @@
 //   TENANTS                                 list tenants
 //   QUIT
 //
-// Appends are only *queued* by APPEND/GEN — a later FLUSH (or the implicit
-// flush before a solve) lands the whole queue as one incremental
-// re-preprocess + DP-row patch + basis remap. That batching, plus the
-// per-tenant result cache and warm-started re-solves, is what
-// bench_serve_throughput measures.
+// The daemon is now a thin codec: each line parses into one or more
+// ServeRequests handed to SanitizerService::Submit, and the reply line is
+// formatted from the resolved futures. Because Submit returns immediately
+// and per-tenant queues preserve submission order, the protocol is
+// *pipelined*: issue N commands without waiting, then read N replies in
+// order — commands for distinct tenants execute in parallel, commands for
+// one tenant in their submitted order. (SOLVE's `cached=` flag rides the
+// same ordering: it is computed from Stats requests submitted immediately
+// before and after the solve on the same tenant queue.)
+//
+// Flags (all optional):
+//   --maintenance-ms=N    maintenance thread tick (default 0 = off)
+//   --flush-depth=N       background flush at queue depth N
+//   --flush-age-ms=N      background flush at queue age N ms
+//   --memory-budget=N     global resident budget in bytes (0 = unlimited)
+//   --spill-dir=PATH      eviction snapshot directory (default ".")
+#include <deque>
+#include <functional>
+#include <future>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -28,6 +43,7 @@
 #include <vector>
 
 #include "core/privacy_params.h"
+#include "serve/api.h"
 #include "serve/service.h"
 #include "synth/generator.h"
 
@@ -48,202 +64,334 @@ std::optional<UtilityObjective> ParseObjective(const std::string& token) {
   return std::nullopt;
 }
 
-void Err(const std::string& message) { std::cout << "ERR " << message << "\n"; }
+// One in-flight reply: the futures it formats from (in submit order) and
+// the formatter producing its single output line.
+struct PendingReply {
+  std::vector<std::future<serve::ServeResponse>> futures;
+  std::function<std::string(std::vector<serve::ServeResponse>&)> format;
+
+  bool Ready() const {
+    for (const auto& future : futures) {
+      if (future.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::string Resolve() {
+    std::vector<serve::ServeResponse> responses;
+    responses.reserve(futures.size());
+    for (auto& future : futures) responses.push_back(future.get());
+    return format(responses);
+  }
+};
+
+std::string ErrLine(const Status& status) {
+  return "ERR " + status.ToString();
+}
+
+// The default formatter for ack-only commands.
+PendingReply AckReply(std::future<serve::ServeResponse> future,
+                      std::string ok_line) {
+  PendingReply reply;
+  reply.futures.push_back(std::move(future));
+  reply.format = [ok_line =
+                      std::move(ok_line)](auto& responses) -> std::string {
+    return responses[0].ok() ? ok_line : ErrLine(responses[0].status);
+  };
+  return reply;
+}
+
+PendingReply ImmediateReply(std::string line) {
+  PendingReply reply;
+  reply.format = [line = std::move(line)](auto&) { return line; };
+  return reply;
+}
+
+std::string FormatStats(const serve::TenantStats& stats) {
+  std::ostringstream out;
+  out << "OK appends_enqueued=" << stats.appends_enqueued
+      << " flushes=" << stats.flushes
+      << " appends_coalesced=" << stats.appends_coalesced
+      << " maintenance_flushes=" << stats.maintenance_flushes
+      << " solves=" << stats.solves << " cache_hits=" << stats.cache_hits
+      << " cache_misses=" << stats.cache_misses
+      << " repair_aborted=" << stats.repair_aborted
+      << " rows_copied=" << stats.rows_copied
+      << " rows_rebuilt=" << stats.rows_rebuilt
+      << " evictions=" << stats.evictions << " reloads=" << stats.reloads
+      << " resident_bytes=" << stats.resident_bytes;
+  return out.str();
+}
+
+uint64_t ParseFlagValue(const std::string& arg, size_t eq) {
+  return std::stoull(arg.substr(eq + 1));
+}
 
 }  // namespace
 
-int main() {
-  serve::SanitizerService service;
+int main(int argc, char** argv) {
+  serve::ServiceOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return 2;
+    }
+    const std::string name = arg.substr(0, eq);
+    try {
+      if (name == "--maintenance-ms") {
+        options.maintenance_interval_ms =
+            static_cast<int>(ParseFlagValue(arg, eq));
+      } else if (name == "--flush-depth") {
+        options.flush_queue_depth = ParseFlagValue(arg, eq);
+      } else if (name == "--flush-age-ms") {
+        options.flush_max_age_ms = static_cast<int>(ParseFlagValue(arg, eq));
+      } else if (name == "--memory-budget") {
+        options.memory_budget_bytes = ParseFlagValue(arg, eq);
+      } else if (name == "--spill-dir") {
+        options.spill_directory = arg.substr(eq + 1);
+      } else {
+        std::cerr << "unknown flag: " << name << "\n";
+        return 2;
+      }
+    } catch (const std::exception&) {
+      std::cerr << "bad value for " << name << "\n";
+      return 2;
+    }
+  }
+
+  serve::SanitizerService service(options);
+
+  // Replies print strictly in command order; a bounded window keeps memory
+  // flat if a script floods commands faster than solves complete.
+  constexpr size_t kMaxPipelineDepth = 256;
+  std::deque<PendingReply> pipeline;
+
+  auto flush_ready = [&pipeline](bool drain_all) {
+    while (!pipeline.empty() &&
+           (drain_all || pipeline.size() >= kMaxPipelineDepth ||
+            pipeline.front().Ready())) {
+      std::cout << pipeline.front().Resolve() << "\n";
+      if (drain_all) std::cout.flush();
+      pipeline.pop_front();
+    }
+    std::cout.flush();
+  };
+
   std::string line;
-  while (std::getline(std::cin, line)) {
+  bool quit = false;
+  while (!quit && std::getline(std::cin, line)) {
     std::istringstream in(line);
     std::string command;
     if (!(in >> command) || command[0] == '#') continue;
 
     if (command == "QUIT") {
-      std::cout << "OK bye\n";
-      break;
-    }
-    if (command == "TENANTS") {
-      std::cout << "OK";
-      for (const std::string& name : service.Tenants()) {
-        std::cout << ' ' << name;
-      }
-      std::cout << "\n";
-      continue;
-    }
-
-    std::string tenant;
-    if (!(in >> tenant)) {
-      Err("usage: " + command + " <tenant> ...");
-      continue;
-    }
-
-    if (command == "CREATE") {
-      Status status = service.CreateTenant(tenant, SearchLog());
-      if (!status.ok()) {
-        Err(status.ToString());
-        continue;
-      }
-      std::cout << "OK created " << tenant << "\n";
-    } else if (command == "GEN") {
-      uint64_t users = 0, events = 0, seed = 0;
-      if (!(in >> users >> events >> seed)) {
-        Err("usage: GEN <tenant> <users> <events> <seed>");
-        continue;
-      }
-      SyntheticLogConfig config = TinyConfig();
-      config.num_users = users;
-      config.num_events = events;
-      config.seed = seed;
-      Result<SearchLog> log = GenerateSearchLog(config);
-      if (!log.ok()) {
-        Err(log.status().ToString());
-        continue;
-      }
-      Status status = service.Append(tenant, *log);
-      if (!status.ok()) {
-        Err(status.ToString());
-        continue;
-      }
-      std::cout << "OK queued users=" << log->num_users()
-                << " clicks=" << log->total_clicks() << "\n";
-    } else if (command == "APPEND") {
-      std::string user, query, url;
-      uint64_t count = 0;
-      if (!(in >> user >> query >> url >> count) || count == 0) {
-        Err("usage: APPEND <tenant> <user> <query> <url> <count>");
-        continue;
-      }
-      SearchLogBuilder builder;
-      builder.Add(user, query, url, count);
-      Status status = service.Append(tenant, builder.Build());
-      if (!status.ok()) {
-        Err(status.ToString());
-        continue;
-      }
-      std::cout << "OK queued 1 tuple\n";
-    } else if (command == "FLUSH") {
-      Status status = service.Flush(tenant);
-      if (!status.ok()) {
-        Err(status.ToString());
-        continue;
-      }
-      Result<serve::TenantStats> stats = service.Stats(tenant);
-      std::cout << "OK flushes=" << stats->flushes
-                << " coalesced=" << stats->appends_coalesced
-                << " rows_copied=" << stats->rows_copied
-                << " rows_rebuilt=" << stats->rows_rebuilt << "\n";
-    } else if (command == "SOLVE") {
-      std::string objective_token;
-      double e_eps = 0.0, delta = 0.0;
-      if (!(in >> objective_token >> e_eps >> delta)) {
-        Err("usage: SOLVE <tenant> <OUMP|FUMP|DUMP> <e_eps> <delta> "
-            "[output_size]");
-        continue;
-      }
-      const auto objective = ParseObjective(objective_token);
-      if (!objective.has_value()) {
-        Err("unknown objective: " + objective_token);
-        continue;
-      }
-      UmpQuery query;
-      query.privacy = PrivacyParams::FromEEpsilon(e_eps, delta);
-      in >> query.output_size;  // optional; stays 0 when absent
-      const uint64_t hits_before =
-          service.Stats(tenant).ok() ? service.Stats(tenant)->cache_hits : 0;
-      Result<UmpSolution> solution =
-          service.Solve(tenant, *objective, query);
-      if (!solution.ok()) {
-        Err(solution.status().ToString());
-        continue;
-      }
-      Result<serve::TenantStats> stats = service.Stats(tenant);
-      std::cout << "OK objective=" << solution->objective_value
-                << " output_size=" << solution->output_size
-                << " warm=" << (solution->stats.warm_started ? 1 : 0)
-                << " cached="
-                << (stats.ok() && stats->cache_hits > hits_before ? 1 : 0)
-                << " root_iterations=" << solution->stats.root_iterations
-                << "\n";
-    } else if (command == "SWEEP") {
-      std::string objective_token;
-      double delta = 0.0;
-      if (!(in >> objective_token >> delta)) {
-        Err("usage: SWEEP <tenant> <OUMP|FUMP|DUMP> <delta> <e_eps...>");
-        continue;
-      }
-      const auto objective = ParseObjective(objective_token);
-      if (!objective.has_value()) {
-        Err("unknown objective: " + objective_token);
-        continue;
-      }
-      std::vector<UmpQuery> grid;
-      double e_eps = 0.0;
-      while (in >> e_eps) {
-        UmpQuery query;
-        query.privacy = PrivacyParams::FromEEpsilon(e_eps, delta);
-        grid.push_back(query);
-      }
-      if (grid.empty()) {
-        Err("SWEEP needs at least one e_eps value");
-        continue;
-      }
-      Result<SweepResult> sweep = service.Sweep(tenant, *objective, grid);
-      if (!sweep.ok()) {
-        Err(sweep.status().ToString());
-        continue;
-      }
-      std::cout << "OK cells=" << sweep->cells.size()
-                << " warm_solves=" << sweep->warm_solves
-                << " simplex_iterations=" << sweep->total_simplex_iterations
-                << " objectives=";
-      for (size_t i = 0; i < sweep->cells.size(); ++i) {
-        std::cout << (i > 0 ? "," : "") << sweep->cells[i].objective_value;
-      }
-      std::cout << "\n";
-    } else if (command == "SNAPSHOT") {
-      std::string path;
-      if (!(in >> path)) {
-        Err("usage: SNAPSHOT <tenant> <path>");
-        continue;
-      }
-      Status status = service.SaveSnapshot(tenant, path);
-      if (!status.ok()) {
-        Err(status.ToString());
-        continue;
-      }
-      std::cout << "OK wrote " << path << "\n";
-    } else if (command == "RESTORE") {
-      std::string path;
-      if (!(in >> path)) {
-        Err("usage: RESTORE <tenant> <path>");
-        continue;
-      }
-      Status status = service.RestoreTenant(tenant, path);
-      if (!status.ok()) {
-        Err(status.ToString());
-        continue;
-      }
-      std::cout << "OK restored " << tenant << "\n";
-    } else if (command == "STATS") {
-      Result<serve::TenantStats> stats = service.Stats(tenant);
-      if (!stats.ok()) {
-        Err(stats.status().ToString());
-        continue;
-      }
-      std::cout << "OK appends_enqueued=" << stats->appends_enqueued
-                << " flushes=" << stats->flushes
-                << " appends_coalesced=" << stats->appends_coalesced
-                << " solves=" << stats->solves
-                << " cache_hits=" << stats->cache_hits
-                << " cache_misses=" << stats->cache_misses
-                << " repair_aborted=" << stats->repair_aborted
-                << " rows_copied=" << stats->rows_copied
-                << " rows_rebuilt=" << stats->rows_rebuilt << "\n";
+      pipeline.push_back(ImmediateReply("OK bye"));
+      quit = true;
+    } else if (command == "TENANTS") {
+      // Registry listing is synchronous (tenant names register inside
+      // Submit), so this reply needs no future.
+      std::string reply = "OK";
+      for (const std::string& name : service.Tenants()) reply += ' ' + name;
+      pipeline.push_back(ImmediateReply(std::move(reply)));
     } else {
-      Err("unknown command: " + command);
+      std::string tenant;
+      if (!(in >> tenant)) {
+        pipeline.push_back(
+            ImmediateReply("ERR usage: " + command + " <tenant> ..."));
+        flush_ready(false);
+        continue;
+      }
+
+      if (command == "CREATE") {
+        pipeline.push_back(AckReply(
+            service.Submit(serve::CreateTenantRequest{tenant, SearchLog(),
+                                                      std::nullopt}),
+            "OK created " + tenant));
+      } else if (command == "GEN") {
+        uint64_t users = 0, events = 0, seed = 0;
+        if (!(in >> users >> events >> seed)) {
+          pipeline.push_back(
+              ImmediateReply("ERR usage: GEN <tenant> <users> <events> "
+                             "<seed>"));
+        } else {
+          SyntheticLogConfig config = TinyConfig();
+          config.num_users = users;
+          config.num_events = events;
+          config.seed = seed;
+          // The generator shards over the service's own worker pool —
+          // bit-identical to the serial path for the given seed.
+          Result<SearchLog> log = GenerateSearchLog(config, service.pool());
+          if (!log.ok()) {
+            pipeline.push_back(ImmediateReply(ErrLine(log.status())));
+          } else {
+            std::string ok_line =
+                "OK queued users=" + std::to_string(log->num_users()) +
+                " clicks=" + std::to_string(log->total_clicks());
+            pipeline.push_back(AckReply(
+                service.Submit(serve::AppendRequest{tenant, std::move(*log)}),
+                std::move(ok_line)));
+          }
+        }
+      } else if (command == "APPEND") {
+        std::string user, query, url;
+        uint64_t count = 0;
+        if (!(in >> user >> query >> url >> count) || count == 0) {
+          pipeline.push_back(
+              ImmediateReply("ERR usage: APPEND <tenant> <user> <query> "
+                             "<url> <count>"));
+        } else {
+          SearchLogBuilder builder;
+          builder.Add(user, query, url, count);
+          pipeline.push_back(AckReply(
+              service.Submit(serve::AppendRequest{tenant, builder.Build()}),
+              "OK queued 1 tuple"));
+        }
+      } else if (command == "FLUSH") {
+        // Flush + Stats on the same tenant queue: the stats snapshot is
+        // guaranteed to reflect the finished flush.
+        PendingReply reply;
+        reply.futures.push_back(
+            service.Submit(serve::FlushRequest{tenant}));
+        reply.futures.push_back(
+            service.Submit(serve::StatsRequest{tenant}));
+        reply.format = [](auto& responses) -> std::string {
+          if (!responses[0].ok()) return ErrLine(responses[0].status);
+          if (!responses[1].ok()) return ErrLine(responses[1].status);
+          const serve::TenantStats& stats = *responses[1].stats();
+          std::ostringstream out;
+          out << "OK flushes=" << stats.flushes
+              << " coalesced=" << stats.appends_coalesced
+              << " rows_copied=" << stats.rows_copied
+              << " rows_rebuilt=" << stats.rows_rebuilt;
+          return out.str();
+        };
+        pipeline.push_back(std::move(reply));
+      } else if (command == "SOLVE") {
+        std::string objective_token;
+        double e_eps = 0.0, delta = 0.0;
+        if (!(in >> objective_token >> e_eps >> delta)) {
+          pipeline.push_back(
+              ImmediateReply("ERR usage: SOLVE <tenant> <OUMP|FUMP|DUMP> "
+                             "<e_eps> <delta> [output_size]"));
+        } else if (auto objective = ParseObjective(objective_token);
+                   !objective.has_value()) {
+          pipeline.push_back(
+              ImmediateReply("ERR unknown objective: " + objective_token));
+        } else {
+          UmpQuery query;
+          query.privacy = PrivacyParams::FromEEpsilon(e_eps, delta);
+          in >> query.output_size;  // optional; stays 0 when absent
+          // Stats before + solve + stats after, all FIFO on the tenant
+          // queue: `cached=` is exact even mid-pipeline.
+          PendingReply reply;
+          reply.futures.push_back(
+              service.Submit(serve::StatsRequest{tenant}));
+          reply.futures.push_back(service.Submit(
+              serve::SolveRequest{tenant, *objective, query}));
+          reply.futures.push_back(
+              service.Submit(serve::StatsRequest{tenant}));
+          reply.format = [](auto& responses) -> std::string {
+            if (!responses[1].ok()) return ErrLine(responses[1].status);
+            const UmpSolution& solution = *responses[1].solution();
+            const uint64_t hits_before =
+                responses[0].ok() ? responses[0].stats()->cache_hits : 0;
+            const uint64_t hits_after =
+                responses[2].ok() ? responses[2].stats()->cache_hits : 0;
+            std::ostringstream out;
+            out << "OK objective=" << solution.objective_value
+                << " output_size=" << solution.output_size
+                << " warm=" << (solution.stats.warm_started ? 1 : 0)
+                << " cached=" << (hits_after > hits_before ? 1 : 0)
+                << " root_iterations=" << solution.stats.root_iterations;
+            return out.str();
+          };
+          pipeline.push_back(std::move(reply));
+        }
+      } else if (command == "SWEEP") {
+        std::string objective_token;
+        double delta = 0.0;
+        if (!(in >> objective_token >> delta)) {
+          pipeline.push_back(
+              ImmediateReply("ERR usage: SWEEP <tenant> <OUMP|FUMP|DUMP> "
+                             "<delta> <e_eps...>"));
+        } else if (auto objective = ParseObjective(objective_token);
+                   !objective.has_value()) {
+          pipeline.push_back(
+              ImmediateReply("ERR unknown objective: " + objective_token));
+        } else {
+          std::vector<UmpQuery> grid;
+          double e_eps = 0.0;
+          while (in >> e_eps) {
+            UmpQuery query;
+            query.privacy = PrivacyParams::FromEEpsilon(e_eps, delta);
+            grid.push_back(query);
+          }
+          if (grid.empty()) {
+            pipeline.push_back(
+                ImmediateReply("ERR SWEEP needs at least one e_eps value"));
+          } else {
+            PendingReply reply;
+            reply.futures.push_back(service.Submit(serve::SweepRequest{
+                tenant, *objective, std::move(grid), SweepOptions{}}));
+            reply.format = [](auto& responses) -> std::string {
+              if (!responses[0].ok()) return ErrLine(responses[0].status);
+              const SweepResult& sweep = *responses[0].sweep();
+              std::ostringstream out;
+              out << "OK cells=" << sweep.cells.size()
+                  << " warm_solves=" << sweep.warm_solves
+                  << " simplex_iterations="
+                  << sweep.total_simplex_iterations << " objectives=";
+              for (size_t i = 0; i < sweep.cells.size(); ++i) {
+                out << (i > 0 ? "," : "")
+                    << sweep.cells[i].objective_value;
+              }
+              return out.str();
+            };
+            pipeline.push_back(std::move(reply));
+          }
+        }
+      } else if (command == "SNAPSHOT") {
+        std::string path;
+        if (!(in >> path)) {
+          pipeline.push_back(
+              ImmediateReply("ERR usage: SNAPSHOT <tenant> <path>"));
+        } else {
+          pipeline.push_back(AckReply(
+              service.Submit(serve::SaveSnapshotRequest{tenant, path}),
+              "OK wrote " + path));
+        }
+      } else if (command == "RESTORE") {
+        std::string path;
+        if (!(in >> path)) {
+          pipeline.push_back(
+              ImmediateReply("ERR usage: RESTORE <tenant> <path>"));
+        } else {
+          pipeline.push_back(AckReply(
+              service.Submit(serve::RestoreTenantRequest{tenant, path,
+                                                         std::nullopt}),
+              "OK restored " + tenant));
+        }
+      } else if (command == "STATS") {
+        PendingReply reply;
+        reply.futures.push_back(
+            service.Submit(serve::StatsRequest{tenant}));
+        reply.format = [](auto& responses) -> std::string {
+          if (!responses[0].ok()) return ErrLine(responses[0].status);
+          return FormatStats(*responses[0].stats());
+        };
+        pipeline.push_back(std::move(reply));
+      } else {
+        pipeline.push_back(
+            ImmediateReply("ERR unknown command: " + command));
+      }
     }
+    flush_ready(false);
   }
+  flush_ready(true);
   return 0;
 }
