@@ -16,8 +16,24 @@
 // Emits BENCH_micro_factorization.json; CI diffs it against the committed
 // small-scale baseline (tools/check_bench_regression.py), so a fill
 // regression in the LU (nnz) or a kernel slowdown fails the build.
+//
+// The update-run section measures the update schemes head to head: K
+// consecutive simplex-shaped Update() calls (K growing to 50), then FTRAN,
+// for Forrest–Tomlin (ft) vs product-form LU updates (pfi) vs the eta file
+// (eta). Per record it emits
+//   u_nnz           update-file growth: nonzeros added on top of the fresh
+//                   factorization by the K updates (FT: U fill + row-eta
+//                   terms, minus deleted columns; PFI/eta: eta entries)
+//   update_run_len  updates the default refactorization policy (growth
+//                   limit 8x) would have sustained before refactorizing
+// CI gates u_nnz (lower is better) and update_run_len (higher is better):
+// FT's whole point is u_nnz growing slower than the PFI eta count and the
+// runs stretching further. `--update=ft|pfi|eta` restricts the section to
+// one scheme (the CI smoke job runs --update=ft for a quick signal before
+// the full sweep).
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -35,6 +51,7 @@ using lp::BasisRep;
 using lp::DenseBasis;
 using lp::EtaFile;
 using lp::LuFactorization;
+using lp::LuUpdateKind;
 using lp::SparseEntry;
 using lp::SparseMatrix;
 
@@ -159,9 +176,89 @@ void Report(bench::JsonReport& report, const std::string& label,
             << times.updates_applied << " updates\n";
 }
 
+// One update run: Refactorize, apply up to `k_updates` simplex-shaped
+// pivots, FTRAN. `run_len` is where the default growth policy (8x the
+// fresh nonzeros) would have refactorized; the run itself continues to
+// k_updates so every scheme's fill is compared over the same pivots.
+struct UpdateRunTimes {
+  double update_seconds = 0.0;  // total across the run
+  double ftran_updated_seconds = 0.0;
+  int64_t u_nnz = 0;  // nonzeros the run added on top of the fresh factors
+  int updates_applied = 0;
+  int run_len = 0;
+};
+
+UpdateRunTimes MeasureUpdateRun(BasisRep& rep, size_t fresh_nnz,
+                                const SparseMatrix& A, int m, int k_updates,
+                                Rng& rng) {
+  UpdateRunTimes times;
+  const double growth_limit = 8.0 * static_cast<double>(fresh_nnz);
+  std::vector<double> w(m, 0.0);
+  WallTimer update_timer;
+  for (int k = 0; k < k_updates; ++k) {
+    const int entering = m + k;
+    std::fill(w.begin(), w.end(), 0.0);
+    for (const SparseEntry& e : A.Column(entering)) w[e.index] = e.value;
+    rep.Ftran(w);
+    int slot = 0;
+    for (int i = 1; i < m; ++i) {
+      if (std::abs(w[i]) > std::abs(w[slot])) slot = i;
+    }
+    if (!rep.Update(w, slot, 1e-9)) break;
+    ++times.updates_applied;
+    if (static_cast<double>(rep.nonzeros()) <= growth_limit) {
+      times.run_len = times.updates_applied;
+    }
+  }
+  times.update_seconds = update_timer.ElapsedSeconds();
+  times.u_nnz = static_cast<int64_t>(rep.nonzeros()) -
+                static_cast<int64_t>(fresh_nnz);
+
+  const int reps = 50;
+  WallTimer timer;
+  double sink = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    std::vector<double> x(m);
+    for (double& v : x) v = rng.NextDouble(-2.0, 2.0);
+    rep.Ftran(x);
+    sink += x[0];
+  }
+  times.ftran_updated_seconds = timer.ElapsedSeconds() / reps;
+  if (std::isnan(sink)) std::cerr << "# nan\n";
+  return times;
+}
+
+void ReportUpdateRun(bench::JsonReport& report, const std::string& label,
+                     const std::string& kind, int m,
+                     const UpdateRunTimes& times) {
+  bench::JsonRecord record;
+  record.Add("record", "update_run")
+      .Add("label", label)
+      .Add("mode", kind)
+      .Add("rows", static_cast<int64_t>(m))
+      .Add("update_seconds", times.update_seconds)
+      .Add("ftran_updated_seconds", times.ftran_updated_seconds)
+      .Add("u_nnz", times.u_nnz)
+      .Add("update_run_len", static_cast<int64_t>(times.run_len));
+  report.Add(std::move(record));
+  std::cout << "  " << label << " " << kind << ": " << times.updates_applied
+            << " updates in " << bench::Shorten(times.update_seconds * 1e3)
+            << " ms, ftran " << bench::Shorten(times.ftran_updated_seconds * 1e6)
+            << " us, +" << times.u_nnz << " nnz, run_len " << times.run_len
+            << "\n";
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --update=ft|pfi|eta restricts the update-run section to one scheme.
+  std::string update_filter;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--update=", 9) == 0) {
+      update_filter = argv[i] + 9;
+    }
+  }
+
   bench::JsonReport report("micro_factorization");
   const std::string scale = bench::BenchScaleName();
   const int m = scale == "full" ? 1000 : scale == "medium" ? 400 : 120;
@@ -194,6 +291,46 @@ int main() {
       DenseBasis dense(updates + 1);
       Report(report, label, "dense", m, density,
              Measure(dense, nullptr, nullptr, A, m, updates, solve_rng));
+    }
+  }
+
+  // --- Update runs: FT vs PFI vs eta over growing K. -----------------------
+  const int max_k = 50;
+  std::cout << "== update runs (m = " << m << ", K up to " << max_k
+            << ") ==\n";
+  {
+    Rng rng(4321);
+    const double density = 0.03;
+    const SparseMatrix A = bench::MakeBasisBenchMatrix(rng, m, max_k, density);
+    for (int k_updates : {10, 25, max_k}) {
+      const std::string label = "m" + std::to_string(m) + "_k" +
+                                std::to_string(k_updates);
+      std::vector<int> basis(m);
+      auto run = [&](const std::string& kind, BasisRep& rep) {
+        if (!update_filter.empty() && update_filter != kind) return;
+        for (int i = 0; i < m; ++i) basis[i] = i;
+        if (!rep.Refactorize(A, basis)) {
+          std::cerr << "# unexpected singular bench basis\n";
+          return;
+        }
+        Rng solve_rng(7);
+        ReportUpdateRun(
+            report, label, kind, m,
+            MeasureUpdateRun(rep, rep.nonzeros(), A, m, k_updates,
+                             solve_rng));
+      };
+      {
+        LuFactorization ft(max_k + 1, 1e9, 0.1, LuUpdateKind::kForrestTomlin);
+        run("ft", ft);
+      }
+      {
+        LuFactorization pfi(max_k + 1, 1e9, 0.1, LuUpdateKind::kProductForm);
+        run("pfi", pfi);
+      }
+      {
+        EtaFile eta(max_k + 1, 1e9);
+        run("eta", eta);
+      }
     }
   }
   return 0;

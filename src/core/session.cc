@@ -440,6 +440,9 @@ Result<SweepResult> SanitizerSession::SweepBudgets(
     result.total_root_iterations += cell->stats.root_iterations;
     result.repair_aborted += cell->stats.repair_aborted;
     if (cell->stats.warm_started) ++result.warm_solves;
+    result.factor_nnz = std::max(result.factor_nnz, cell->stats.factor_nnz);
+    result.max_update_run =
+        std::max(result.max_update_run, cell->stats.max_update_run);
     result.cells.push_back(std::move(*cell));
   }
   s.fump_min_support = saved_support;

@@ -140,6 +140,10 @@ struct SweepResult {
   // Warm solves whose dual repair hit the configured pivot cap and fell
   // back cold (UmpStats::repair_aborted summed across cells).
   int64_t repair_aborted = 0;
+  // Peak factorization fill and longest update run between
+  // refactorizations, maxed across cells (UmpStats carries them per cell).
+  size_t factor_nnz = 0;
+  int max_update_run = 0;
   double wall_seconds = 0.0;
 };
 

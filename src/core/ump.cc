@@ -50,6 +50,10 @@ void FillLpStats(const lp::LpSolution& lp, UmpStats* stats) {
   stats->basis_repairs += lp.basis_repairs;
   if (lp.repair_aborted) ++stats->repair_aborted;
   if (lp.warm_started) ++stats->warm_solves;
+  // Peaks, not sums: the fill and update-run figures compare against the
+  // problem size, so the worst solve is the meaningful one.
+  stats->factor_nnz = std::max(stats->factor_nnz, lp.factor_nnz);
+  stats->max_update_run = std::max(stats->max_update_run, lp.max_update_run);
 }
 
 // Appends one <= row per DP constraint (rhs rebound per query) and records

@@ -136,6 +136,12 @@ struct UmpStats {
   // relaxation) — the part a cross-cell WarmStartHint shrinks directly.
   int64_t root_iterations = 0;
   int integer_fixed = 0;             // D-UMP presolve: y_j fixed to 0
+  // Peak basis-factorization nonzeros any FTRAN/BTRAN traversed (factors +
+  // update file) — the fill the simplex kernel's work is proportional to.
+  size_t factor_nnz = 0;
+  // Longest run of basis updates between refactorizations across all LP
+  // solves — how far apart the Forrest–Tomlin scheme pushes them.
+  int max_update_run = 0;
   double wall_seconds = 0.0;
 };
 

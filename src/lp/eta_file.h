@@ -140,6 +140,10 @@ class BasisRep {
   // than continuing to apply it.
   virtual bool ShouldRefactor() const = 0;
 
+  // Nonzeros one FTRAN/BTRAN traverses — factors plus update file. The
+  // solver exports this as the factorization-fill statistic.
+  virtual size_t nonzeros() const = 0;
+
   // Valid after the most recent Refactorize() returned false; empty after
   // a success (or when the representation cannot attribute the failure).
   const SingularInfo& singular_info() const { return singular_info_; }
@@ -164,6 +168,7 @@ class EtaFile : public BasisRep {
               double pivot_tol) override;
   int updates_since_refactor() const override { return updates_; }
   bool ShouldRefactor() const override;
+  size_t nonzeros() const override { return etas_.nonzeros(); }
 
   size_t eta_nonzeros() const { return etas_.nonzeros(); }
 
@@ -188,6 +193,9 @@ class DenseBasis : public BasisRep {
               double pivot_tol) override;
   int updates_since_refactor() const override { return updates_; }
   bool ShouldRefactor() const override { return updates_ >= max_updates_; }
+  size_t nonzeros() const override {
+    return static_cast<size_t>(m_) * static_cast<size_t>(m_);
+  }
 
  private:
   int m_ = 0;

@@ -50,6 +50,41 @@ bool LuFactorization::Refactorize(const SparseMatrix& A,
   std::vector<char> row_active(m, 1), col_active(m, 1);
   std::vector<int> gather_stamp(m, -1);
 
+  // Count-indexed bucket lists over the active columns: bucket_head[k] is
+  // the first active column with col_count == k, threaded through
+  // bucket_next/bucket_prev. Every count change relinks the column, so the
+  // per-step candidate search walks the cheapest buckets instead of
+  // scanning all m columns — its cost tracks fill, not dimension.
+  // min_count is a forward-moving floor hint, reset whenever a column is
+  // filed below it (cancellation can lower counts).
+  std::vector<int> bucket_head(m + 1, -1);
+  std::vector<int> bucket_next(m, -1), bucket_prev(m, -1);
+  int min_count = m;
+  auto bucket_insert = [&](int c) {
+    const int count = col_count[c];
+    bucket_prev[c] = -1;
+    bucket_next[c] = bucket_head[count];
+    if (bucket_head[count] >= 0) bucket_prev[bucket_head[count]] = c;
+    bucket_head[count] = c;
+    if (count < min_count) min_count = count;
+  };
+  auto bucket_remove = [&](int c) {
+    const int count = col_count[c];
+    if (bucket_prev[c] >= 0) {
+      bucket_next[bucket_prev[c]] = bucket_next[c];
+    } else {
+      bucket_head[count] = bucket_next[c];
+    }
+    if (bucket_next[c] >= 0) bucket_prev[bucket_next[c]] = bucket_prev[c];
+  };
+  // Call around any col_count change of an active column.
+  auto count_changed = [&](int c, int delta) {
+    bucket_remove(c);
+    col_count[c] += delta;
+    bucket_insert(c);
+  };
+  for (int c = 0; c < m; ++c) bucket_insert(c);
+
   // Scratch for the rank-1 row updates.
   std::vector<double> work(m, 0.0);
   std::vector<char> in_work(m, 0);
@@ -64,7 +99,7 @@ bool LuFactorization::Refactorize(const SparseMatrix& A,
   pivot_rows.reserve(m);
   std::vector<int> step_of_col(m, -1);
   std::vector<int> new_basis(m, -1);
-  size_t factor_nnz = 0;
+  size_t l_nnz = 0, u_nnz = 0;
 
   // Entries of one candidate pivot column over the active rows.
   struct ColEntry {
@@ -123,33 +158,40 @@ bool LuFactorization::Refactorize(const SparseMatrix& A,
     return prow >= 0;
   };
 
+  struct Cand {
+    int count;
+    int col;
+  };
+  const auto cheaper = [](const Cand& a, const Cand& b) {
+    if (a.count != b.count) return a.count < b.count;
+    return a.col < b.col;
+  };
+  std::vector<Cand> cands;
+  cands.reserve(2 * kColumnCandidates);
+
   for (int step = 0; step < m; ++step) {
     // --- Markowitz pivot search over the cheapest candidate columns. ------
-    // Keep the kColumnCandidates active columns with the smallest counts
-    // (ties by lower index), then take the best threshold-acceptable pivot
-    // among them; fall back to a full column scan only when every candidate
-    // is numerically empty.
-    struct Cand {
-      int count;
-      int col;
-    };
-    const auto cheaper = [](const Cand& a, const Cand& b) {
-      if (a.count != b.count) return a.count < b.count;
-      return a.col < b.col;
-    };
-    std::vector<Cand> cands;  // max-heap under `cheaper`: front = costliest
-    for (int c = 0; c < m; ++c) {
-      if (!col_active[c]) continue;
-      if (static_cast<int>(cands.size()) < kColumnCandidates) {
-        cands.push_back(Cand{col_count[c], c});
-        std::push_heap(cands.begin(), cands.end(), cheaper);
-      } else if (col_count[c] < cands.front().count) {
-        std::pop_heap(cands.begin(), cands.end(), cheaper);
-        cands.back() = Cand{col_count[c], c};
-        std::push_heap(cands.begin(), cands.end(), cheaper);
+    // Gather whole buckets in ascending count order until the pool holds at
+    // least kColumnCandidates columns (or every active column), then keep
+    // the kColumnCandidates cheapest by (count, col): exactly the candidate
+    // set a full scan would keep, at O(candidates) cost. The best
+    // threshold-acceptable pivot among them wins; a full column scan runs
+    // only when every candidate is numerically empty.
+    const int active_cols = m - step;
+    while (min_count < m && bucket_head[min_count] < 0) ++min_count;
+    cands.clear();
+    for (int count = min_count;
+         count <= m && static_cast<int>(cands.size()) < kColumnCandidates &&
+         static_cast<int>(cands.size()) < active_cols;
+         ++count) {
+      for (int c = bucket_head[count]; c >= 0; c = bucket_next[c]) {
+        cands.push_back(Cand{count, c});
       }
     }
     std::sort(cands.begin(), cands.end(), cheaper);
+    if (static_cast<int>(cands.size()) > kColumnCandidates) {
+      cands.resize(kColumnCandidates);
+    }
 
     int pivot_col = -1, pivot_row = -1;
     double pivot_value = 0.0;
@@ -229,7 +271,7 @@ bool LuFactorization::Refactorize(const SparseMatrix& A,
           work[e.index] = 0.0;
           in_work[e.index] = 1;
           touched.push_back(e.index);
-          ++col_count[e.index];
+          count_changed(e.index, +1);
           col_rows[e.index].push_back(r);
         }
         work[e.index] -= f * e.value;
@@ -240,7 +282,7 @@ bool LuFactorization::Refactorize(const SparseMatrix& A,
         if (c == pivot_col) {
           // Eliminated; its count is zeroed when the column deactivates.
         } else if (work[c] == 0.0) {
-          --col_count[c];  // exact cancellation
+          count_changed(c, -1);  // exact cancellation
         } else {
           row.push_back(SparseEntry{c, work[c]});
         }
@@ -252,12 +294,14 @@ bool LuFactorization::Refactorize(const SparseMatrix& A,
     // Deactivate the pivot row and column.
     row_active[pivot_row] = 0;
     for (const SparseEntry& e : rows[pivot_row]) {
-      if (e.index != pivot_col) --col_count[e.index];
+      if (e.index != pivot_col) count_changed(e.index, -1);
     }
+    bucket_remove(pivot_col);
     col_active[pivot_col] = 0;
     col_count[pivot_col] = 0;
 
-    factor_nnz += 1 + lstep.multipliers.size() + urow.entries.size();
+    l_nnz += lstep.multipliers.size();
+    u_nnz += 1 + urow.entries.size();
     step_of_col[pivot_col] = step;
     pivot_rows.push_back(pivot_row);
     new_basis[pivot_row] = basis[pivot_col];
@@ -267,19 +311,33 @@ bool LuFactorization::Refactorize(const SparseMatrix& A,
 
   // Translate U entries from slot columns to the pivot rows of the steps
   // that own them, so the substitution passes index the work vector
-  // directly.
+  // directly. Record the column occupancy for the FT update's deletions.
+  u_col_rows_.assign(m, {});
   for (URow& urow : urows) {
     for (SparseEntry& e : urow.entries) {
       e.index = pivot_rows[step_of_col[e.index]];
+      u_col_rows_[e.index].push_back(urow.pivot_row);
     }
   }
 
   m_ = m;
   lsteps_ = std::move(lsteps);
   urows_ = std::move(urows);
-  factor_nnz_ = factor_nnz;
+  row_pos_.assign(m, -1);
+  for (int k = 0; k < m; ++k) row_pos_[urows_[k].pivot_row] = k;
+  ft_etas_.clear();
+  l_nnz_ = l_nnz;
+  fresh_u_nnz_ = u_nnz;
+  u_nnz_ = u_nnz;
+  ft_nnz_ = 0;
   updates_seq_.Clear();
   updates_ = 0;
+  uhat_.assign(m, 0.0);
+  spike_.assign(m, 0.0);
+  for (int s : {0, 1}) {
+    ftran_partial_[s].clear();
+    ftran_result_[s].clear();
+  }
   basis = std::move(new_basis);
   return true;
 }
@@ -293,24 +351,45 @@ void LuFactorization::Ftran(std::vector<double>& v) const {
       v[e.index] -= e.value * t;
     }
   }
-  // U: back-substitute in reverse elimination order.
+  // Forrest–Tomlin row etas, in append order.
+  for (const RowEta& eta : ft_etas_) {
+    double s = v[eta.row];
+    for (const SparseEntry& e : eta.terms) s -= e.value * v[e.index];
+    v[eta.row] = s;
+  }
+  // Memo for UpdateForrestTomlin: v right here is the partial image U^-1
+  // still owes — exactly the û a pivot on this column would spike in.
+  const bool memo = update_kind_ == LuUpdateKind::kForrestTomlin;
+  if (memo) {
+    ftran_slot_ ^= 1;
+    ftran_partial_[ftran_slot_] = v;
+  }
+  // U: back-substitute in reverse of the current step order (Forrest–Tomlin
+  // updates reorder the rows but keep them triangular in that order).
   for (auto it = urows_.rbegin(); it != urows_.rend(); ++it) {
     double s = v[it->pivot_row];
     for (const SparseEntry& e : it->entries) s -= e.value * v[e.index];
     v[it->pivot_row] = s / it->pivot;
   }
+  if (memo) ftran_result_[ftran_slot_] = v;
   // Product-form updates on top.
   updates_seq_.Ftran(v);
 }
 
 void LuFactorization::Btran(std::vector<double>& v) const {
   updates_seq_.Btran(v);
-  // U^T: forward-substitute in elimination order.
+  // U^T: forward-substitute in the current step order.
   for (const URow& urow : urows_) {
     const double y = v[urow.pivot_row] / urow.pivot;
     v[urow.pivot_row] = y;
     if (y == 0.0) continue;
     for (const SparseEntry& e : urow.entries) v[e.index] -= e.value * y;
+  }
+  // Forrest–Tomlin row etas transposed, in reverse append order.
+  for (auto it = ft_etas_.rbegin(); it != ft_etas_.rend(); ++it) {
+    const double t = v[it->row];
+    if (t == 0.0) continue;
+    for (const SparseEntry& e : it->terms) v[e.index] -= e.value * t;
   }
   // L^T: apply the multiplier columns transposed, in reverse order.
   for (auto it = lsteps_.rbegin(); it != lsteps_.rend(); ++it) {
@@ -323,14 +402,133 @@ void LuFactorization::Btran(std::vector<double>& v) const {
 bool LuFactorization::Update(const std::vector<double>& w, int slot,
                              double pivot_tol) {
   if (std::abs(w[slot]) <= pivot_tol) return false;
+  if (update_kind_ == LuUpdateKind::kForrestTomlin) {
+    return UpdateForrestTomlin(w, slot, pivot_tol);
+  }
   updates_seq_.Append(w, slot);
+  ++updates_;
+  return true;
+}
+
+// Forrest–Tomlin: replace the column of U in basis slot `slot` by the
+// entering column's partial FTRAN image û = U w (recovered from the full
+// image `w` by one sparse row-wise product — exact, since the solver's w is
+// B^-1 a_q under the current factors), cyclically permute the leaving step
+// to the last position, and eliminate the row spike it leaves behind
+// against the later U rows. The eliminated spike vanishes entirely — the
+// new last row is the single diagonal d — and the multipliers form one row
+// eta applied with L. Elimination writes only scratch until d is known, so
+// a too-small d rejects with the factors untouched and the caller
+// refactorizes cleanly.
+bool LuFactorization::UpdateForrestTomlin(const std::vector<double>& w,
+                                          int slot, double pivot_tol) {
+  const int n = static_cast<int>(urows_.size());
+  const int t = row_pos_[slot];
+  PRIVSAN_CHECK(t >= 0 && t < n);
+
+  // û: reuse the partial image memoized by the Ftran that produced w —
+  // the common case: the simplex pivots on the column it just FTRANed,
+  // and the one FTRAN the dual phase interleaves (its combined bound-flip
+  // delta) still leaves w's image in the other memo slot. No match in
+  // either slot recovers û = U w by one row-wise product (exact: w is
+  // B^-1 a_q under the current factors, so U w is the image after L and
+  // the row etas). Every pivot row is written, so uhat_ needs no clearing.
+  int hit = -1;
+  for (int s : {ftran_slot_, ftran_slot_ ^ 1}) {
+    if (ftran_result_[s] == w) {
+      hit = s;
+      break;
+    }
+  }
+  if (hit >= 0) {
+    uhat_.swap(ftran_partial_[hit]);
+    ftran_result_[hit].clear();  // memo consumed
+  } else {
+    for (int k = 0; k < n; ++k) {
+      const URow& row = urows_[k];
+      double s = row.pivot * w[row.pivot_row];
+      for (const SparseEntry& e : row.entries) s += e.value * w[e.index];
+      uhat_[row.pivot_row] = s;
+    }
+  }
+
+  // Eliminate the leaving row's spike against the rows at later positions,
+  // in position order (spike entries and their fill only ever sit in
+  // columns owned by still-later rows, so one forward sweep empties it).
+  // d accumulates the new diagonal: row j's entry in the entering column
+  // is û[pivot_row_j].
+  std::vector<int> spike_touched;
+  for (const SparseEntry& e : urows_[t].entries) {
+    spike_[e.index] = e.value;
+    spike_touched.push_back(e.index);
+  }
+  double d = uhat_[slot];
+  std::vector<SparseEntry> terms;
+  for (int j = t + 1; j < n; ++j) {
+    const URow& row = urows_[j];
+    const double sj = spike_[row.pivot_row];
+    if (sj == 0.0) continue;
+    const double r = sj / row.pivot;
+    spike_[row.pivot_row] = 0.0;
+    for (const SparseEntry& e : row.entries) {
+      if (spike_[e.index] == 0.0) spike_touched.push_back(e.index);
+      spike_[e.index] -= r * e.value;
+    }
+    d -= r * uhat_[row.pivot_row];
+    terms.push_back(SparseEntry{row.pivot_row, r});
+  }
+  for (int idx : spike_touched) spike_[idx] = 0.0;
+
+  if (std::abs(d) <= pivot_tol) return false;  // nothing mutated yet
+
+  // Commit. Drop the leaving column's entries from the earlier rows — the
+  // occupancy list names them directly (validated: it may carry rows whose
+  // entry is gone, e.g. a row replaced by a later update).
+  for (int pr : u_col_rows_[slot]) {
+    if (pr == slot) continue;
+    std::vector<SparseEntry>& es = urows_[row_pos_[pr]].entries;
+    for (size_t i = 0; i < es.size(); ++i) {
+      if (es[i].index == slot) {
+        es[i] = es.back();
+        es.pop_back();
+        --u_nnz_;
+        break;
+      }
+    }
+  }
+  u_col_rows_[slot].clear();
+
+  // Remove the leaving row; later rows shift down one position.
+  u_nnz_ -= 1 + urows_[t].entries.size();
+  urows_.erase(urows_.begin() + t);
+  for (int k = t; k < n - 1; ++k) row_pos_[urows_[k].pivot_row] = k;
+
+  // Append the new row (bare diagonal — the spike eliminated away) and
+  // spread the entering column û over the surviving rows.
+  urows_.push_back(URow{slot, d, {}});
+  row_pos_[slot] = n - 1;
+  ++u_nnz_;
+  for (int k = 0; k < n - 1; ++k) {
+    const int pr = urows_[k].pivot_row;
+    const double val = uhat_[pr];
+    if (val != 0.0) {
+      urows_[k].entries.push_back(SparseEntry{slot, val});
+      u_col_rows_[slot].push_back(pr);
+      ++u_nnz_;
+    }
+  }
+
+  if (!terms.empty()) {
+    ft_nnz_ += terms.size();
+    ft_etas_.push_back(RowEta{slot, std::move(terms)});
+  }
   ++updates_;
   return true;
 }
 
 bool LuFactorization::ShouldRefactor() const {
   if (updates_ >= max_updates_) return true;
-  const size_t base = std::max(factor_nnz_, static_cast<size_t>(m_));
+  const size_t base = std::max(factor_nonzeros(), static_cast<size_t>(m_));
   return total_nonzeros() >
          static_cast<size_t>(growth_limit_ * static_cast<double>(base));
 }

@@ -126,13 +126,13 @@ PrimalPricer::Choice PrimalPricer::ChooseEntering(const PricingView& view,
 void PrimalPricer::OnPivot(const PricingView& view, int entering,
                            int leaving_var, double pivot,
                            std::span<const int> alpha_touched,
-                           const std::vector<double>& alpha) {
+                           const std::vector<SparseAccumCell>& alpha) {
   const double gamma_q = gamma_[entering];
   const double inv_pivot_sq = 1.0 / (pivot * pivot);
   for (int j : alpha_touched) {
     if (view.state[j] == VarStatus::kBasic) continue;
     const double candidate_weight =
-        alpha[j] * alpha[j] * inv_pivot_sq * gamma_q;
+        alpha[j].value * alpha[j].value * inv_pivot_sq * gamma_q;
     if (candidate_weight > gamma_[j]) gamma_[j] = candidate_weight;
   }
   gamma_[leaving_var] = std::max(gamma_q * inv_pivot_sq, 1.0);

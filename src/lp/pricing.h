@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "lp/simplex.h"
+#include "lp/sparse_matrix.h"
 
 namespace privsan {
 namespace lp {
@@ -68,7 +69,7 @@ class PrimalPricer {
   // post-pivot statuses.
   void OnPivot(const PricingView& view, int entering, int leaving_var,
                double pivot, std::span<const int> alpha_touched,
-               const std::vector<double>& alpha);
+               const std::vector<SparseAccumCell>& alpha);
 
  private:
   Choice Refill(const PricingView& view);

@@ -70,7 +70,7 @@ PrimalRatioChoice PrimalRatioTest(const std::vector<double>& direction,
 }
 
 DualRatioChoice DualRatioTest(std::span<const int> alpha_touched,
-                              const std::vector<double>& alpha,
+                              const std::vector<SparseAccumCell>& alpha,
                               std::span<const double> reduced_costs,
                               std::span<const VarStatus> state,
                               std::span<const double> lower,
@@ -86,7 +86,7 @@ DualRatioChoice DualRatioTest(std::span<const int> alpha_touched,
   for (int j : alpha_touched) {
     const VarStatus st = state[j];
     if (st == VarStatus::kBasic || lower[j] == upper[j]) continue;
-    const double a = alpha[j];
+    const double a = alpha[j].value;
     if (std::abs(a) <= options.pivot_tol) continue;
     bool ok;
     if (st == VarStatus::kFree) {

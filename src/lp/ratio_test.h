@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "lp/simplex.h"
+#include "lp/sparse_matrix.h"
 
 namespace privsan {
 namespace lp {
@@ -66,7 +67,7 @@ struct DualRatioChoice {
 // pivot row; `below` and `violation` describe the leaving variable's bound
 // violation (from DualPricer::ChooseLeaving).
 DualRatioChoice DualRatioTest(std::span<const int> alpha_touched,
-                              const std::vector<double>& alpha,
+                              const std::vector<SparseAccumCell>& alpha,
                               std::span<const double> reduced_costs,
                               std::span<const VarStatus> state,
                               std::span<const double> lower,

@@ -1,0 +1,79 @@
+#include "lp/scaling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace privsan {
+namespace lp {
+
+namespace {
+
+constexpr double kMinScale = 1.0 / 16.0;
+constexpr double kMaxScale = 16.0;
+
+// Nearest power of two to 1/g, clamped so the cumulative factor stays in
+// [kMinScale, kMaxScale]. Powers of two make the multiply exact, so the
+// scaled solve and the unscaled report see the same numbers bit for bit.
+double SnappedInverse(double g, double current) {
+  if (!(g > 0.0) || !std::isfinite(g)) return 1.0;
+  double factor = std::exp2(std::round(-std::log2(g)));
+  const double lo = kMinScale / current, hi = kMaxScale / current;
+  return std::min(std::max(factor, lo), hi);
+}
+
+}  // namespace
+
+ScalingFactors ComputeEquilibration(int m, int n_struct,
+                                    const std::vector<Triplet>& triplets,
+                                    int passes) {
+  ScalingFactors s;
+  s.row.assign(m, 1.0);
+  s.col.assign(n_struct, 1.0);
+
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> lo(std::max(m, n_struct)), hi(std::max(m, n_struct));
+
+  for (int pass = 0; pass < passes; ++pass) {
+    // Rows: divide by sqrt(min * max) of the current scaled magnitudes.
+    std::fill(lo.begin(), lo.begin() + m, kInf);
+    std::fill(hi.begin(), hi.begin() + m, 0.0);
+    for (const Triplet& t : triplets) {
+      if (t.col >= n_struct) continue;
+      const double mag = std::abs(t.value) * s.row[t.row] * s.col[t.col];
+      if (mag == 0.0) continue;
+      lo[t.row] = std::min(lo[t.row], mag);
+      hi[t.row] = std::max(hi[t.row], mag);
+    }
+    for (int r = 0; r < m; ++r) {
+      if (hi[r] == 0.0) continue;  // slack-only row
+      s.row[r] *= SnappedInverse(std::sqrt(lo[r] * hi[r]), s.row[r]);
+    }
+
+    // Columns, against the freshly scaled rows.
+    std::fill(lo.begin(), lo.begin() + n_struct, kInf);
+    std::fill(hi.begin(), hi.begin() + n_struct, 0.0);
+    for (const Triplet& t : triplets) {
+      if (t.col >= n_struct) continue;
+      const double mag = std::abs(t.value) * s.row[t.row] * s.col[t.col];
+      if (mag == 0.0) continue;
+      lo[t.col] = std::min(lo[t.col], mag);
+      hi[t.col] = std::max(hi[t.col], mag);
+    }
+    for (int c = 0; c < n_struct; ++c) {
+      if (hi[c] == 0.0) continue;  // empty column
+      s.col[c] *= SnappedInverse(std::sqrt(lo[c] * hi[c]), s.col[c]);
+    }
+  }
+
+  for (double f : s.row) {
+    if (f != 1.0) s.any = true;
+  }
+  for (double f : s.col) {
+    if (f != 1.0) s.any = true;
+  }
+  return s;
+}
+
+}  // namespace lp
+}  // namespace privsan

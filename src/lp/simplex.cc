@@ -11,6 +11,7 @@
 #include "lp/presolve.h"
 #include "lp/pricing.h"
 #include "lp/ratio_test.h"
+#include "lp/scaling.h"
 #include "lp/sparse_matrix.h"
 #include "util/logging.h"
 
@@ -58,11 +59,27 @@ struct Work {
   std::vector<VarStatus> state;   // variable -> status
   std::unique_ptr<BasisRep> rep;  // basis factorization
 
+  // Equilibration factors when options.scaling applied them (row empty
+  // otherwise); the solve runs scaled, BuildSolution maps back.
+  ScalingFactors scaling;
+
   int64_t iterations = 0;
   int64_t dual_iterations = 0;
   int refactorizations = 0;
   int basis_repairs = 0;
+  size_t factor_nnz = 0;   // peak rep->nonzeros() observed
+  int max_update_run = 0;  // longest update run between refactorizations
 };
+
+// The update file is largest right before a refactorization wipes it, so
+// sampling there (and once more at the end of the solve) captures both the
+// peak traversal cost and the longest update run.
+void SampleRepStats(Work& w) {
+  if (w.rep == nullptr) return;
+  w.max_update_run =
+      std::max(w.max_update_run, w.rep->updates_since_refactor());
+  w.factor_nnz = std::max(w.factor_nnz, w.rep->nonzeros());
+}
 
 enum class PhaseStatus { kOptimal, kUnbounded, kIterationLimit, kSingular };
 enum class DualStatus {
@@ -83,9 +100,17 @@ std::unique_ptr<BasisRep> MakeBasisRep(const SimplexOptions& options) {
     case SimplexOptions::BasisKind::kLu:
       break;
   }
-  return std::make_unique<LuFactorization>(options.refactor_max_updates,
-                                           options.refactor_growth,
-                                           options.markowitz_threshold);
+  const bool ft =
+      options.update_kind == SimplexOptions::UpdateKind::kForrestTomlin;
+  // Forrest–Tomlin keeps U's fill near the data's, so the pivot-count cap
+  // stops being the binding trigger: raise it 4x and let the measured
+  // nonzero growth (ShouldRefactor) govern. Product form keeps the
+  // original tuning — its eta file grows a column per pivot.
+  const int max_updates =
+      ft ? 4 * options.refactor_max_updates : options.refactor_max_updates;
+  return std::make_unique<LuFactorization>(
+      max_updates, options.refactor_growth, options.markowitz_threshold,
+      ft ? LuUpdateKind::kForrestTomlin : LuUpdateKind::kProductForm);
 }
 
 double InitialNonbasicValue(double lower, double upper, VarStatus& state) {
@@ -164,6 +189,7 @@ bool RepairSingularBasis(Work& w) {
 // swapped for row slacks) under the repair policy; returns false only when
 // the basis stays numerically singular after the allowed repair attempts.
 bool FactorizeAndRecompute(Work& w, const SimplexOptions& options) {
+  SampleRepStats(w);
   for (int attempt = 0;; ++attempt) {
     if (w.rep->Refactorize(w.cols, w.basis)) {
       ++w.refactorizations;
@@ -224,17 +250,16 @@ void ComputeReducedCosts(const Work& w, const std::vector<double>& cost,
 
 // The pivot row alpha = e_slot^T B^-1 A via BTRAN of e_slot and the CSR
 // view (only rows where rho is nonzero contribute). `touched` lists the
-// distinct columns with a computed entry — `seen` (size n_total, zeroed
-// between calls via `touched`) guards against duplicates when a partial
-// sum cancels to exactly 0.0 mid-accumulation; a duplicate would make the
-// incremental reduced-cost update fire twice for that column.
+// distinct columns with a computed entry. The accumulator cells carry
+// their own epoch mark (see SparseAccumCell): bumping `epoch` invalidates
+// the previous row wholesale, the mark doubles as the duplicate guard
+// (a partial sum cancelling to exactly 0.0 must not re-enter `touched` —
+// the incremental reduced-cost update would fire twice), and each matrix
+// entry costs a single random cache access.
 void ComputePivotRow(const Work& w, int slot, std::vector<double>& rho,
-                     std::vector<double>& alpha, std::vector<int>& touched,
-                     std::vector<uint8_t>& seen) {
-  for (int idx : touched) {
-    alpha[idx] = 0.0;
-    seen[idx] = 0;
-  }
+                     std::vector<SparseAccumCell>& alpha,
+                     std::vector<int>& touched, int64_t& epoch) {
+  ++epoch;
   touched.clear();
   std::fill(rho.begin(), rho.end(), 0.0);
   rho[slot] = 1.0;
@@ -243,11 +268,13 @@ void ComputePivotRow(const Work& w, int slot, std::vector<double>& rho,
     const double r = rho[i];
     if (r == 0.0) continue;
     for (const SparseEntry& e : w.cols.Row(i)) {
-      if (!seen[e.index]) {
-        seen[e.index] = 1;
+      SparseAccumCell& cell = alpha[e.index];
+      if (cell.epoch != epoch) {
+        cell.epoch = epoch;
+        cell.value = 0.0;
         touched.push_back(e.index);
       }
-      alpha[e.index] += r * e.value;
+      cell.value += r * e.value;
     }
   }
 }
@@ -270,9 +297,9 @@ PhaseStatus RunPhase(Work& w, const std::vector<double>& cost, bool phase1,
   // before optimality is declared.
   std::vector<double> d(w.n_total);
   PrimalPricer pricer(w.n_total, options);
-  std::vector<double> alpha(w.n_total, 0.0);
+  std::vector<SparseAccumCell> alpha(w.n_total);
   std::vector<int> alpha_touched;
-  std::vector<uint8_t> alpha_seen(w.n_total, 0);
+  int64_t alpha_epoch = 0;
   int stall = 0;
   bool bland = false;
   int update_failures = 0;
@@ -397,7 +424,7 @@ PhaseStatus RunPhase(Work& w, const std::vector<double>& cost, bool phase1,
 
     // alpha = e_r^T B^-1 A (the pivot row) — it feeds both the
     // reduced-cost update and the Devex weights.
-    ComputePivotRow(w, leaving_row, rho, alpha, alpha_touched, alpha_seen);
+    ComputePivotRow(w, leaving_row, rho, alpha, alpha_touched, alpha_epoch);
 
     // Register the pivot before touching x/state so a failed update leaves
     // a consistent point to refactorize from.
@@ -431,7 +458,7 @@ PhaseStatus RunPhase(Work& w, const std::vector<double>& cost, bool phase1,
     const double theta_d = d[entering] / pivot;
     for (int j : alpha_touched) {
       if (w.state[j] == kBasic) continue;
-      d[j] -= theta_d * alpha[j];
+      d[j] -= theta_d * alpha[j].value;
     }
     d[leaving_var] = -theta_d;
     d[entering] = 0.0;
@@ -459,9 +486,9 @@ DualStatus RunDualPhase(Work& w, const std::vector<double>& cost,
                              ? options.warm_repair_pivot_cap
                              : 4 * static_cast<int64_t>(m) + 1000;
   std::vector<double> rho(m), direction(m);
-  std::vector<double> alpha(w.n_total, 0.0);
+  std::vector<SparseAccumCell> alpha(w.n_total);
   std::vector<int> alpha_touched;
-  std::vector<uint8_t> alpha_seen(w.n_total, 0);
+  int64_t alpha_epoch = 0;
   // Reduced costs, maintained incrementally across pivots off the same
   // alpha row that drives the ratio test; recomputed at refactorizations.
   std::vector<double> d(w.n_total);
@@ -510,7 +537,7 @@ DualStatus RunDualPhase(Work& w, const std::vector<double>& cost,
 
     // The pivot row: feeds eligibility, the ratio test, and the
     // reduced-cost update.
-    ComputePivotRow(w, leaving_slot, rho, alpha, alpha_touched, alpha_seen);
+    ComputePivotRow(w, leaving_slot, rho, alpha, alpha_touched, alpha_epoch);
 
     const DualRatioChoice ratio =
         DualRatioTest(alpha_touched, alpha, d, w.state, w.lb, w.ub, below,
@@ -586,7 +613,7 @@ DualStatus RunDualPhase(Work& w, const std::vector<double>& cost,
     const double theta_d = d[entering] / pivot;
     for (int j : alpha_touched) {
       if (w.state[j] == kBasic) continue;
-      d[j] -= theta_d * alpha[j];
+      d[j] -= theta_d * alpha[j].value;
     }
     d[leaving_var] = -theta_d;
     d[entering] = 0.0;
@@ -668,6 +695,37 @@ void SetupVarsAndSlacks(const LpModel& model, bool maximize, Work& w,
   }
 }
 
+// Equilibrates the assembled solve data in place (triplets still hold the
+// structural + slack columns; artificials, added later in the cold path,
+// live in the already-scaled space). Column j of the scaled system is
+// C_j * original; slack columns take C = 1/R_r, which keeps their
+// coefficient exactly 1.0 and their bound signs intact. Bounds divide by
+// C, costs and rhs multiply — all by powers of two, so every transform is
+// exact and BuildSolution's inverse mapping reproduces the unscaled
+// numbers bit for bit.
+void ApplyScaling(Work& w, std::vector<Triplet>& triplets) {
+  const ScalingFactors& s = w.scaling;
+  auto col_scale = [&](int j) {
+    return j < w.n_struct ? s.col[j] : 1.0 / s.row[j - w.n_struct];
+  };
+  for (Triplet& t : triplets) {
+    t.value *= s.row[t.row] * col_scale(t.col);
+  }
+  const int nb = w.n_struct + w.m;
+  for (int j = 0; j < nb; ++j) {
+    const double c = col_scale(j);
+    // +-inf and 0 divide exactly; finite bounds divide by a power of two.
+    w.lb[j] /= c;
+    w.ub[j] /= c;
+    w.cost[j] *= c;
+  }
+  w.rhs_scale = 1.0;
+  for (int r = 0; r < w.m; ++r) {
+    w.rhs[r] *= s.row[r];
+    w.rhs_scale = std::max(w.rhs_scale, 1.0 + std::abs(w.rhs[r]));
+  }
+}
+
 // The optimal basis over structural + slack variables. Degenerate basic
 // artificials are swapped for their row's slack so the snapshot is usable
 // as a warm-start hint.
@@ -700,23 +758,31 @@ Basis ExportBasis(const Work& w) {
   return basis;
 }
 
-LpSolution BuildSolution(const Work& w, const LpModel& model,
-                         SolveStatus status, bool maximize) {
+LpSolution BuildSolution(Work& w, const LpModel& model, SolveStatus status,
+                         bool maximize) {
+  SampleRepStats(w);  // the final update run ended here, not at a refactor
   LpSolution solution;
   solution.status = status;
   solution.iterations = w.iterations;
   solution.dual_iterations = w.dual_iterations;
   solution.refactorizations = w.refactorizations;
   solution.basis_repairs = w.basis_repairs;
+  solution.factor_nnz = w.factor_nnz;
+  solution.max_update_run = w.max_update_run;
   if (status != SolveStatus::kOptimal) return solution;
 
   solution.x.assign(w.x.begin(), w.x.begin() + w.n_struct);
-  solution.objective = model.ObjectiveValue(solution.x);
   // Final duals priced on the exact phase-2 costs.
   std::vector<double> cb(w.m);
   for (int i = 0; i < w.m; ++i) cb[i] = w.cost[w.basis[i]];
   solution.duals = cb;
   w.rep->Btran(solution.duals);
+  // Undo the equilibration: x = C x', y = R y' (exact — powers of two).
+  if (!w.scaling.row.empty()) {
+    for (int j = 0; j < w.n_struct; ++j) solution.x[j] *= w.scaling.col[j];
+    for (int r = 0; r < w.m; ++r) solution.duals[r] *= w.scaling.row[r];
+  }
+  solution.objective = model.ObjectiveValue(solution.x);
   if (maximize) {
     for (double& d : solution.duals) d = -d;
   }
@@ -733,6 +799,14 @@ LpSolution SolveImpl(const LpModel& model, const SimplexOptions& options_) {
   Work w;
   std::vector<Triplet> triplets;
   SetupVarsAndSlacks(model, maximize, w, triplets);
+  if (options_.scaling == SimplexOptions::Scaling::kEquilibrate) {
+    w.scaling = ComputeEquilibration(m, n_struct, triplets);
+    if (w.scaling.any) {
+      ApplyScaling(w, triplets);
+    } else {
+      w.scaling = ScalingFactors{};  // all-ones; skip the back-mapping
+    }
+  }
 
   // --- Initial point: structurals at a bound, slacks basic. ----------------
   w.state.assign(n_struct + m, kBasic);
@@ -741,9 +815,14 @@ LpSolution SolveImpl(const LpModel& model, const SimplexOptions& options_) {
   for (int j = 0; j < n_struct; ++j) {
     w.x[j] = InitialNonbasicValue(w.lb[j], w.ub[j], w.state[j]);
   }
+  const bool scaled = !w.scaling.row.empty();
   for (int r = 0; r < m; ++r) {
     for (const Coefficient& e : model.constraint(r).entries) {
-      residual[r] -= e.value * w.x[e.variable];
+      // The residual lives in the scaled space the solve runs in.
+      const double v = scaled ? e.value * w.scaling.row[r] *
+                                    w.scaling.col[e.variable]
+                              : e.value;
+      residual[r] -= v * w.x[e.variable];
     }
   }
 
@@ -874,6 +953,17 @@ LpSolution WarmSolveImpl(const LpModel& model, const SimplexOptions& options_,
   Work w;
   std::vector<Triplet> triplets;
   SetupVarsAndSlacks(model, maximize, w, triplets);
+  // Equilibration and warm starts compose transparently: the factors
+  // depend only on the (identical) matrix coefficients, and the hint holds
+  // only scale-invariant statuses.
+  if (options_.scaling == SimplexOptions::Scaling::kEquilibrate) {
+    w.scaling = ComputeEquilibration(m, n_struct, triplets);
+    if (w.scaling.any) {
+      ApplyScaling(w, triplets);
+    } else {
+      w.scaling = ScalingFactors{};
+    }
+  }
   w.n_total = n_struct + m;
   w.artificial_begin = w.n_total;
   w.cols = SparseMatrix(m, w.n_total, std::move(triplets));
@@ -1002,11 +1092,14 @@ LpSolution WarmSolveImpl(const LpModel& model, const SimplexOptions& options_,
   // The caller folds these counters into the cold solve it runs next.
   auto fall_back = [&](bool repair_aborted = false) {
     fallback = true;
+    SampleRepStats(w);
     failed.iterations = w.iterations;
     failed.dual_iterations = w.dual_iterations;
     failed.refactorizations = w.refactorizations;
     failed.basis_repairs = w.basis_repairs;
     failed.repair_aborted = repair_aborted;
+    failed.factor_nnz = w.factor_nnz;
+    failed.max_update_run = w.max_update_run;
     return failed;
   };
 
@@ -1055,6 +1148,9 @@ LpSolution SolveWithRetry(const LpModel& model,
   second.iterations += first.iterations;
   second.refactorizations += first.refactorizations;
   second.basis_repairs += first.basis_repairs;
+  second.factor_nnz = std::max(second.factor_nnz, first.factor_nnz);
+  second.max_update_run = std::max(second.max_update_run,
+                                   first.max_update_run);
   return second;
 }
 
@@ -1096,6 +1192,9 @@ LpSolution SimplexSolver::Solve(const LpModel& model,
   cold.refactorizations += warm_counters.refactorizations;
   cold.basis_repairs += warm_counters.basis_repairs;
   cold.repair_aborted = warm_counters.repair_aborted;
+  cold.factor_nnz = std::max(cold.factor_nnz, warm_counters.factor_nnz);
+  cold.max_update_run =
+      std::max(cold.max_update_run, warm_counters.max_update_run);
   return cold;
 }
 

@@ -107,6 +107,23 @@ struct SimplexOptions {
   // magnitude. Larger is more stable, smaller is sparser.
   double markowitz_threshold = 0.1;
 
+  // How the LU basis folds simplex pivots into the factors: Forrest–Tomlin
+  // (default — U updated in place plus one row eta per pivot, fill grows
+  // with the data, refactorizations spread far apart) or product-form
+  // (one whole-column eta per pivot; the update oracle). Ignored by the
+  // eta-file and dense representations.
+  enum class UpdateKind { kForrestTomlin, kProductForm };
+  UpdateKind update_kind = UpdateKind::kForrestTomlin;
+
+  // Row/column equilibration (lp/scaling.h): iterative geometric-mean
+  // scaling of the constraint matrix into roughly [1/16, 16] with
+  // power-of-two factors (exact in floating point), applied inside the
+  // solver — costs, bounds, rhs, and the solution are mapped back exactly,
+  // and basis hints are scale-invariant, so warm starts are unaffected.
+  // Lets markowitz_threshold chase sparsity on badly scaled rows.
+  enum class Scaling { kNone, kEquilibrate };
+  Scaling scaling = Scaling::kEquilibrate;
+
   // Dual-phase leaving-row rule: dual Devex (default — violation^2 over a
   // steepest-edge-approximating row weight) or the legacy largest
   // violation. Devex cuts the pivot count of long dual repairs (deep B&B
@@ -133,9 +150,10 @@ struct SimplexOptions {
   // Refactorization triggers (there is no fixed iteration cadence):
   // pivots since the last refactorization (this also bounds the staleness
   // of the incrementally-maintained reduced costs — keep it <= a few
-  // hundred)...
+  // hundred). Under Forrest–Tomlin updates the count is a safety net only:
+  // the cap is raised 4x and measured fill growth governs instead.
   int refactor_max_updates = 100;
-  // ...eta-file nonzeros versus the fresh factorization...
+  // ...update-file nonzeros versus the fresh factorization...
   double refactor_growth = 8.0;
   // ...and numerical drift: every `drift_check_interval` iterations the
   // residual |b - A x| is measured and a breach of `drift_tol`
@@ -187,6 +205,12 @@ struct LpSolution {
   // The warm-start dual repair exceeded warm_repair_pivot_cap and the
   // solver fell back to a cold solve (whose effort is included above).
   bool repair_aborted = false;
+  // Peak nonzeros one FTRAN/BTRAN traversed (factors + update file) across
+  // the solve — the fill the kernel work is proportional to.
+  size_t factor_nnz = 0;
+  // Longest run of basis updates between consecutive refactorizations —
+  // how far apart the update scheme pushes them.
+  int max_update_run = 0;
 };
 
 class SimplexSolver {

@@ -6,6 +6,7 @@
 #define PRIVSAN_LP_SPARSE_MATRIX_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -21,6 +22,18 @@ struct Triplet {
 struct SparseEntry {
   int index = 0;  // row index (CSC) or column index (CSR)
   double value = 0.0;
+};
+
+// Cell of an epoch-validated sparse accumulator (alpha = A^T rho in the
+// simplex pivot row): `value` is live only when `epoch` matches the
+// accumulation round's counter, so clearing between rounds is a counter
+// bump instead of a pass over the touched indices. Value and mark share a
+// 16-byte cell deliberately — the accumulation's random access per matrix
+// entry then costs one cache line, not two (a measured hot spot: the pivot
+// row visits most of the matrix on every simplex iteration).
+struct SparseAccumCell {
+  double value = 0.0;
+  int64_t epoch = 0;
 };
 
 // Immutable CSC + CSR matrix. Duplicate triplets are summed during

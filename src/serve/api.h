@@ -131,6 +131,14 @@ struct TenantStats {
   // and fell back cold — sustained growth means this tenant's appends are
   // too large to repair and the cap (or flush cadence) needs tuning.
   uint64_t repair_aborted = 0;
+  // Simplex kernel health, maxed over this tenant's solves: basis
+  // refactorization count, peak factorization fill (nonzeros an FTRAN
+  // traverses), and the longest update run between refactorizations. A
+  // shrinking update run or ballooning fill flags the tenant whose DP
+  // systems degrade the Forrest–Tomlin update scheme.
+  uint64_t refactorizations = 0;
+  uint64_t factor_nnz = 0;
+  uint64_t max_update_run = 0;
   // From the session's last flush (core/session.h AppendStats).
   uint64_t rows_copied = 0;
   uint64_t rows_rebuilt = 0;

@@ -329,6 +329,16 @@ ServeResponse SanitizerService::Execute(Tenant& tenant, ServeRequest& request,
     tenant.stats.solves += result->cells.size();
     tenant.stats.repair_aborted +=
         static_cast<uint64_t>(result->repair_aborted);
+    for (const UmpSolution& cell : result->cells) {
+      tenant.stats.refactorizations +=
+          static_cast<uint64_t>(cell.stats.refactorizations);
+    }
+    tenant.stats.factor_nnz =
+        std::max(tenant.stats.factor_nnz,
+                 static_cast<uint64_t>(result->factor_nnz));
+    tenant.stats.max_update_run =
+        std::max(tenant.stats.max_update_run,
+                 static_cast<uint64_t>(result->max_update_run));
     RefreshResidentBytes(tenant);
     return {Status::OK(), std::move(*result)};
   }
@@ -400,6 +410,14 @@ ServeResponse SanitizerService::ExecuteSolve(Tenant& tenant,
   ++tenant.stats.solves;
   tenant.stats.repair_aborted +=
       static_cast<uint64_t>(solution->stats.repair_aborted);
+  tenant.stats.refactorizations +=
+      static_cast<uint64_t>(solution->stats.refactorizations);
+  tenant.stats.factor_nnz = std::max(
+      tenant.stats.factor_nnz,
+      static_cast<uint64_t>(solution->stats.factor_nnz));
+  tenant.stats.max_update_run = std::max(
+      tenant.stats.max_update_run,
+      static_cast<uint64_t>(solution->stats.max_update_run));
   if (cache_enabled) {
     if (tenant.cache_order.size() >= options_.result_cache_capacity) {
       const std::string& oldest = tenant.cache_order.front();

@@ -287,6 +287,159 @@ TEST(LuFactorizationTest, RandomizedSingularBasesRepairWithRowSlacks) {
   }
 }
 
+TEST(LuFactorizationTest, ForrestTomlinMatchesProductFormAcrossUpdates) {
+  // The two update schemes absorb the same pivots into the same fresh
+  // factors; FTRAN and BTRAN must stay in lockstep across a long run.
+  Rng rng(28);
+  const int m = 30;
+  SparseMatrix A = MakeMatrixWithSlacks(rng, m, 20, 0.3);
+
+  std::vector<int> ft_basis(m), pfi_basis(m);
+  for (int i = 0; i < m; ++i) ft_basis[i] = pfi_basis[i] = i;
+
+  LuFactorization ft(100, 8.0, 0.1, LuUpdateKind::kForrestTomlin);
+  LuFactorization pfi(100, 8.0, 0.1, LuUpdateKind::kProductForm);
+  ASSERT_TRUE(ft.Refactorize(A, ft_basis));
+  ASSERT_TRUE(pfi.Refactorize(A, pfi_basis));
+
+  for (int pivot_round = 0; pivot_round < 15; ++pivot_round) {
+    const int entering = 2 * m + pivot_round;
+
+    std::vector<double> probe = RandomVector(rng, m);
+    std::vector<double> xf = probe, xp = probe;
+    ft.Ftran(xf);
+    pfi.Ftran(xp);
+    ExpectNear(BasisTimes(A, ft_basis, xf), BasisTimes(A, pfi_basis, xp),
+               1e-7);
+    std::vector<double> yf = probe, yp = probe;
+    ft.Btran(yf);
+    pfi.Btran(yp);
+    // BTRAN targets row space: same basis order here, so compare directly.
+    ExpectNear(yf, yp, 1e-7);
+
+    std::vector<double> wf(m, 0.0);
+    for (const SparseEntry& e : A.Column(entering)) wf[e.index] = e.value;
+    std::vector<double> wp = wf;
+    ft.Ftran(wf);
+    pfi.Ftran(wp);
+
+    int slot_f = 0;
+    for (int i = 1; i < m; ++i) {
+      if (std::abs(wf[i]) > std::abs(wf[slot_f])) slot_f = i;
+    }
+    const int leaving_var = ft_basis[slot_f];
+    int slot_p = -1;
+    for (int i = 0; i < m; ++i) {
+      if (pfi_basis[i] == leaving_var) slot_p = i;
+    }
+    ASSERT_GE(slot_p, 0);
+
+    ASSERT_TRUE(ft.Update(wf, slot_f, 1e-9));
+    ASSERT_TRUE(pfi.Update(wp, slot_p, 1e-9));
+    ft_basis[slot_f] = entering;
+    pfi_basis[slot_p] = entering;
+  }
+  EXPECT_EQ(ft.updates_since_refactor(), 15);
+  EXPECT_EQ(pfi.updates_since_refactor(), 15);
+}
+
+TEST(LuFactorizationTest, ForrestTomlinRejectsSmallSpikePivotUntouched) {
+  // det(B') = det(B) * w[slot] means the FT replacement diagonal is
+  // d = w[slot] * U_tt: with a small accepted pivot U_tt in the factors, a
+  // healthy-looking FTRAN pivot (|w[slot]| >> pivot_tol) can still produce
+  // |d| <= pivot_tol. The update must refuse in compute-then-commit
+  // fashion: report failure, mutate nothing, and keep accepting good
+  // updates afterwards.
+  const int m = 2;
+  std::vector<Triplet> triplets = {
+      Triplet{0, 0, 1.0},      // basis col 0 = e_0
+      Triplet{1, 1, 1e-4},     // basis col 1 = 1e-4 * e_1  (small U pivot)
+      Triplet{1, 2, 1e-6},     // entering col: d = 1e-2 * 1e-4 = 1e-6
+      Triplet{1, 3, 1.0},      // good entering col: d = 1e4 * 1e-4 = 1
+  };
+  SparseMatrix A(m, 4, std::move(triplets));
+  std::vector<int> basis = {0, 1};
+
+  LuFactorization lu(50, 8.0, 0.1, LuUpdateKind::kForrestTomlin);
+  ASSERT_TRUE(lu.Refactorize(A, basis));
+
+  std::vector<double> probe = {0.7, -1.3};
+  std::vector<double> reference = probe;
+  lu.Ftran(reference);
+
+  // FTRAN of column 2: w = B^-1 a = (0, 1e-2) — passes the |w[slot]| quick
+  // reject at pivot_tol = 1e-4, fails on the eliminated diagonal.
+  std::vector<double> w = {0.0, 0.0};
+  for (const SparseEntry& e : A.Column(2)) w[e.index] = e.value;
+  lu.Ftran(w);
+  ASSERT_GT(std::abs(w[1]), 1e-4);
+  EXPECT_FALSE(lu.Update(w, /*slot=*/1, /*pivot_tol=*/1e-4));
+
+  // Rejection left the factorization fully intact.
+  EXPECT_EQ(lu.updates_since_refactor(), 0);
+  std::vector<double> again = probe;
+  lu.Ftran(again);
+  ExpectNear(again, reference, 0.0);
+
+  // And a well-pivoted update still goes through and solves correctly.
+  std::fill(w.begin(), w.end(), 0.0);
+  for (const SparseEntry& e : A.Column(3)) w[e.index] = e.value;
+  lu.Ftran(w);
+  ASSERT_TRUE(lu.Update(w, /*slot=*/1, /*pivot_tol=*/1e-4));
+  basis[1] = 3;
+  std::vector<double> x = probe;
+  lu.Ftran(x);
+  ExpectNear(BasisTimes(A, basis, x), probe, 1e-9);
+}
+
+TEST(LuFactorizationTest, ForrestTomlinFillStaysBelowProductForm) {
+  // The point of FT: over a long update run the data an FTRAN traverses
+  // grows by (roughly) the spike fill, while product-form appends a whole
+  // eta column per pivot. Fill is deterministic for the fixed seed.
+  Rng rng(29);
+  const int m = 40;
+  SparseMatrix A = MakeMatrixWithSlacks(rng, m, 30, 0.3);
+  std::vector<int> ft_basis(m), pfi_basis(m);
+  for (int i = 0; i < m; ++i) ft_basis[i] = pfi_basis[i] = i;
+
+  LuFactorization ft(100, 1e9, 0.1, LuUpdateKind::kForrestTomlin);
+  LuFactorization pfi(100, 1e9, 0.1, LuUpdateKind::kProductForm);
+  ASSERT_TRUE(ft.Refactorize(A, ft_basis));
+  ASSERT_TRUE(pfi.Refactorize(A, pfi_basis));
+  const size_t fresh = ft.nonzeros();
+  ASSERT_EQ(pfi.nonzeros(), fresh);
+
+  std::vector<double> w(m);
+  for (int k = 0; k < 30; ++k) {
+    const int entering = 2 * m + k;
+    std::fill(w.begin(), w.end(), 0.0);
+    for (const SparseEntry& e : A.Column(entering)) w[e.index] = e.value;
+    std::vector<double> wp = w;
+    ft.Ftran(w);
+    pfi.Ftran(wp);
+    int slot = 0;
+    for (int i = 1; i < m; ++i) {
+      if (std::abs(w[i]) > std::abs(w[slot])) slot = i;
+    }
+    const int leaving_var = ft_basis[slot];
+    int slot_p = -1;
+    for (int i = 0; i < m; ++i) {
+      if (pfi_basis[i] == leaving_var) slot_p = i;
+    }
+    ASSERT_GE(slot_p, 0);
+    ASSERT_TRUE(ft.Update(w, slot, 1e-9));
+    ASSERT_TRUE(pfi.Update(wp, slot_p, 1e-9));
+    ft_basis[slot] = entering;
+    pfi_basis[slot_p] = entering;
+  }
+  const int64_t ft_growth = static_cast<int64_t>(ft.nonzeros()) -
+                            static_cast<int64_t>(fresh);
+  const int64_t pfi_growth = static_cast<int64_t>(pfi.nonzeros()) -
+                             static_cast<int64_t>(fresh);
+  EXPECT_LT(ft_growth, pfi_growth / 2)
+      << "FT fill " << ft_growth << " vs PFI eta growth " << pfi_growth;
+}
+
 TEST(LuFactorizationTest, GrowthTriggersRefactor) {
   Rng rng(27);
   const int m = 10;

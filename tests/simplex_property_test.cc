@@ -193,6 +193,46 @@ TEST_P(SimplexPropertyTest, LuMatchesEtaSolutionVector) {
   }
 }
 
+// Update-scheme equivalence: Forrest–Tomlin and product-form updates are
+// two ways of absorbing the same basis changes into the same Markowitz
+// factors, and the eta file is the update-only oracle. All three must march
+// the solver through the same pivots to the same vertex: equal status,
+// objective, and solution vector, with the FT optimum carrying its own KKT
+// certificate. This is the lockstep harness that pins the FT row-spike
+// elimination to the representations it replaced.
+TEST_P(SimplexPropertyTest, ForrestTomlinProductFormAndEtaLockstep) {
+  LpModel model = MakeRandomPackingLp(GetParam());
+  ASSERT_TRUE(model.Validate().ok());
+
+  SimplexOptions ft_options;
+  ft_options.basis_kind = SimplexOptions::BasisKind::kLu;
+  ft_options.update_kind = SimplexOptions::UpdateKind::kForrestTomlin;
+  SimplexOptions pfi_options;
+  pfi_options.basis_kind = SimplexOptions::BasisKind::kLu;
+  pfi_options.update_kind = SimplexOptions::UpdateKind::kProductForm;
+  SimplexOptions eta_options;
+  eta_options.basis_kind = SimplexOptions::BasisKind::kEtaFile;
+
+  LpSolution ft = SimplexSolver(ft_options).Solve(model);
+  LpSolution pfi = SimplexSolver(pfi_options).Solve(model);
+  LpSolution eta = SimplexSolver(eta_options).Solve(model);
+  ASSERT_EQ(ft.status, pfi.status);
+  ASSERT_EQ(ft.status, eta.status);
+  if (ft.status == SolveStatus::kUnbounded) {
+    GTEST_SKIP() << "generated LP was unbounded (uncovered column)";
+  }
+  ASSERT_EQ(ft.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(ft.objective, pfi.objective, 1e-6);
+  EXPECT_NEAR(ft.objective, eta.objective, 1e-6);
+  ASSERT_EQ(ft.x.size(), pfi.x.size());
+  ASSERT_EQ(ft.x.size(), eta.x.size());
+  for (size_t j = 0; j < ft.x.size(); ++j) {
+    EXPECT_NEAR(ft.x[j], pfi.x[j], 1e-5) << "x component " << j;
+    EXPECT_NEAR(ft.x[j], eta.x[j], 1e-5) << "x component " << j;
+  }
+  ExpectKktCertificate(model, ft);
+}
+
 std::vector<RandomLpSpec> MakeSpecs() {
   std::vector<RandomLpSpec> specs;
   uint64_t seed = 1000;

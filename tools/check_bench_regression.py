@@ -63,6 +63,14 @@ METRIC_RULES = {
     # ordering regression, not noise.
     "nnz": ("low", DEFAULT_TOL),
     "updated_nnz": ("low", DEFAULT_TOL),
+    # Update-run records (same bench): u_nnz is the nonzeros an update run
+    # adds on top of the fresh factors — the Forrest–Tomlin scheme exists
+    # to keep it below the product-form eta count, so growth is a real
+    # update-kernel regression. update_run_len is how many updates the
+    # default growth policy sustains before refactorizing; shrinking runs
+    # mean the retuned refactorization trigger lost its headroom.
+    "u_nnz": ("low", DEFAULT_TOL),
+    "update_run_len": ("high", DEFAULT_TOL),
     # Distances: smaller is better utility-wise.
     "distance_sum": ("low", DEFAULT_TOL),
     "distance_sum_lp": ("low", DEFAULT_TOL),

@@ -119,6 +119,9 @@ std::string FormatStats(const serve::TenantStats& stats) {
       << " solves=" << stats.solves << " cache_hits=" << stats.cache_hits
       << " cache_misses=" << stats.cache_misses
       << " repair_aborted=" << stats.repair_aborted
+      << " refactorizations=" << stats.refactorizations
+      << " factor_nnz=" << stats.factor_nnz
+      << " max_update_run=" << stats.max_update_run
       << " rows_copied=" << stats.rows_copied
       << " rows_rebuilt=" << stats.rows_rebuilt
       << " evictions=" << stats.evictions << " reloads=" << stats.reloads
