@@ -1,0 +1,601 @@
+// Distributed serving throughput: a real multi-process cluster.
+//
+// This bench fork/execs the actual daemons — M sanitizer_serverd
+// --listen backends plus one sanitizer_routerd front-end — and drives
+// them over the binary wire protocol with K client threads, exactly the
+// deployment shape README's "Distributed serving" section describes. It
+// measures three things:
+//
+//   1. Aggregate solve throughput through the router at M=1 and M=2
+//      backends, plus solve/append latency percentiles. The scaling
+//      ratio is reported always and gated (>= 1.5x) only when the
+//      machine has enough cores to actually run two backends in
+//      parallel; on small CI boxes it is informational.
+//   2. Tenant migration: tenants are created while one backend is up,
+//      a second backend is ADDed through the router's admin channel,
+//      and every tenant the ring re-homed must answer its next solve
+//      warm-started with the identical objective — the snapshot
+//      migration carried the solve basis across processes.
+//   3. Correctness throughout: every RPC must succeed, and the bench
+//      exits nonzero on any failed request, missing migration, cold
+//      post-migration solve, or objective mismatch.
+//
+// The daemons are located next to this binary (same build directory)
+// via /proc/self/exe, so the bench runs from any working directory; the
+// JSON artifact lands in the cwd as usual.
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "net/client.h"
+#include "net/router.h"
+#include "util/timer.h"
+
+using namespace privsan;
+
+namespace {
+
+UmpQuery Query(double e_eps, double delta) {
+  UmpQuery query;
+  query.privacy = PrivacyParams::FromEEpsilon(e_eps, delta);
+  return query;
+}
+
+double PercentileMs(std::vector<double> seconds, double q) {
+  if (seconds.empty()) return 0.0;
+  std::sort(seconds.begin(), seconds.end());
+  const double rank = q * static_cast<double>(seconds.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, seconds.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return 1e3 * (seconds[lo] * (1.0 - frac) + seconds[hi] * frac);
+}
+
+// ---- process plumbing -----------------------------------------------------
+
+// One forked daemon: its pid, a pipe into its stdin (the admin channel),
+// and a FILE* over its stdout for line-oriented READY/OK parsing.
+struct Child {
+  pid_t pid = -1;
+  int stdin_fd = -1;
+  FILE* stdout_file = nullptr;
+
+  bool ReadLine(std::string* line) {
+    char* buf = nullptr;
+    size_t cap = 0;
+    const ssize_t n = ::getline(&buf, &cap, stdout_file);
+    if (n < 0) {
+      ::free(buf);
+      return false;
+    }
+    line->assign(buf, static_cast<size_t>(n));
+    ::free(buf);
+    while (!line->empty() &&
+           (line->back() == '\n' || line->back() == '\r')) {
+      line->pop_back();
+    }
+    return true;
+  }
+
+  bool WriteLine(const std::string& line) {
+    const std::string bytes = line + "\n";
+    size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          ::write(stdin_fd, bytes.data() + off, bytes.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  void Terminate() {
+    if (pid < 0) return;
+    if (stdin_fd >= 0) ::close(stdin_fd);
+    stdin_fd = -1;
+    ::kill(pid, SIGTERM);
+    int status = 0;
+    for (int i = 0; i < 200; ++i) {  // ~2 s of grace, then SIGKILL
+      const pid_t done = ::waitpid(pid, &status, WNOHANG);
+      if (done == pid) {
+        pid = -1;
+        break;
+      }
+      ::usleep(10 * 1000);
+    }
+    if (pid >= 0) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+      pid = -1;
+    }
+    if (stdout_file != nullptr) ::fclose(stdout_file);
+    stdout_file = nullptr;
+  }
+};
+
+std::string ExeDir() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return ".";
+  buf[n] = '\0';
+  std::string path(buf);
+  const size_t slash = path.rfind('/');
+  return slash == std::string::npos ? "." : path.substr(0, slash);
+}
+
+// fork/exec `argv` with stdin and stdout piped to the parent. Inherited
+// descriptors above stderr are closed in the child so one daemon never
+// holds another's pipe ends open (which would swallow EOFs).
+bool Spawn(const std::vector<std::string>& argv, Child* child) {
+  int in_pipe[2] = {-1, -1};
+  int out_pipe[2] = {-1, -1};
+  if (::pipe(in_pipe) != 0) return false;
+  if (::pipe(out_pipe) != 0) {
+    ::close(in_pipe[0]);
+    ::close(in_pipe[1]);
+    return false;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) return false;
+  if (pid == 0) {
+    ::dup2(in_pipe[0], STDIN_FILENO);
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    for (int fd = 3; fd < 1024; ++fd) ::close(fd);
+    std::vector<char*> args;
+    for (const std::string& arg : argv) {
+      args.push_back(const_cast<char*>(arg.c_str()));
+    }
+    args.push_back(nullptr);
+    ::execv(args[0], args.data());
+    ::_exit(127);
+  }
+  ::close(in_pipe[0]);
+  ::close(out_pipe[1]);
+  child->pid = pid;
+  child->stdin_fd = in_pipe[1];
+  child->stdout_file = ::fdopen(out_pipe[0], "r");
+  if (child->stdout_file == nullptr) {
+    child->Terminate();
+    return false;
+  }
+  return true;
+}
+
+// Reads the daemon's stdout until the "READY port=N" banner.
+bool WaitReady(Child* child, uint16_t* port) {
+  std::string line;
+  while (child->ReadLine(&line)) {
+    if (line.rfind("READY port=", 0) == 0) {
+      *port = static_cast<uint16_t>(std::stoul(line.substr(11)));
+      return true;
+    }
+  }
+  return false;
+}
+
+// The whole deployment: M backends plus the router fronting them.
+struct Cluster {
+  std::vector<Child> backends;
+  std::vector<uint16_t> backend_ports;
+  Child router;
+  uint16_t router_port = 0;
+
+  ~Cluster() { Stop(); }
+
+  void Stop() {
+    if (router.pid >= 0) {
+      router.WriteLine("QUIT");  // clean path; Terminate is the backstop
+    }
+    router.Terminate();
+    for (Child& backend : backends) backend.Terminate();
+    backends.clear();
+  }
+};
+
+// Spawns one sanitizer_serverd --listen backend and waits for its port.
+bool SpawnBackend(Cluster* cluster) {
+  Child backend;
+  if (!Spawn({ExeDir() + "/sanitizer_serverd", "--listen=0", "--threads=2"},
+             &backend)) {
+    return false;
+  }
+  uint16_t port = 0;
+  if (!WaitReady(&backend, &port)) {
+    backend.Terminate();
+    return false;
+  }
+  cluster->backends.push_back(std::move(backend));
+  cluster->backend_ports.push_back(port);
+  return true;
+}
+
+// Spawns the router fronting the first `routed` backends of the cluster
+// (later backends stay spawned-but-unrouted until an ADD).
+bool SpawnRouter(Cluster* cluster, size_t routed) {
+  std::string list;
+  for (size_t i = 0; i < routed; ++i) {
+    if (!list.empty()) list += ',';
+    list += std::to_string(cluster->backend_ports[i]);
+  }
+  if (!Spawn({ExeDir() + "/sanitizer_routerd", "--backends=" + list},
+             &cluster->router)) {
+    return false;
+  }
+  return WaitReady(&cluster->router, &cluster->router_port);
+}
+
+bool StartCluster(int num_backends, Cluster* cluster) {
+  for (int i = 0; i < num_backends; ++i) {
+    if (!SpawnBackend(cluster)) return false;
+  }
+  return SpawnRouter(cluster, cluster->backends.size());
+}
+
+// ADDs an already-spawned backend through the router's admin channel;
+// returns the migrated tenant names.
+bool AdminAdd(Cluster* cluster, uint16_t port,
+              std::vector<std::string>* migrated) {
+  if (!cluster->router.WriteLine("ADD " + std::to_string(port))) {
+    return false;
+  }
+  std::string line;
+  while (cluster->router.ReadLine(&line)) {
+    if (line.rfind("MIGRATED ", 0) == 0) {
+      const size_t space = line.find(' ', 9);
+      migrated->push_back(line.substr(9, space - 9));
+    } else if (line.rfind("OK", 0) == 0) {
+      return true;
+    } else if (line.rfind("ERR", 0) == 0) {
+      std::cerr << "router admin: " << line << "\n";
+      return false;
+    }
+  }
+  return false;
+}
+
+// ---- the workload ---------------------------------------------------------
+
+struct TenantPlan {
+  std::string name;
+  SearchLog initial;
+  std::vector<SearchLog> round_batches;  // one small append per round
+};
+
+// Per-tenant slices of the dataset plus one single-user append batch per
+// round (a new user clicking the tenant's least-shared pair — the
+// steady-state event shape bench_serve_throughput uses).
+std::vector<TenantPlan> PlanTenants(const SearchLog& raw,
+                                    const std::vector<std::string>& names,
+                                    int rounds) {
+  const int tenants = static_cast<int>(names.size());
+  std::vector<TenantPlan> plans;
+  for (int t = 0; t < tenants; ++t) {
+    TenantPlan plan;
+    plan.name = names[t];
+    const UserId lo = raw.num_users() * t / tenants;
+    const UserId hi = raw.num_users() * (t + 1) / tenants;
+    plan.initial = UserSlice(raw, lo, hi);
+    const SearchLog base = RemoveUniquePairs(plan.initial).log;
+    PairId target = 0;
+    for (PairId p = 1; p < base.num_pairs(); ++p) {
+      if (base.PairUserCount(p) < base.PairUserCount(target)) target = p;
+    }
+    for (int r = 0; r < rounds; ++r) {
+      SearchLogBuilder one_user;
+      one_user.Add(plan.name + "_round" + std::to_string(r),
+                   base.query_name(base.pair_query(target)),
+                   base.url_name(base.pair_url(target)), 1);
+      plan.round_batches.push_back(one_user.Build());
+    }
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+struct WorkloadResult {
+  bool ok = false;
+  double seconds = 0.0;
+  int64_t solves = 0;
+  int64_t appends = 0;
+  std::vector<double> solve_seconds;
+  std::vector<double> append_seconds;
+  double solves_per_sec() const {
+    return seconds > 0 ? static_cast<double>(solves) / seconds : 0.0;
+  }
+};
+
+// Creates the tenants, primes one cold solve each (untimed), then runs
+// `rounds` of append+re-solve per tenant from `clients` concurrent
+// connections. Tenants partition across clients, so per-tenant request
+// order is preserved.
+WorkloadResult RunWorkload(uint16_t router_port,
+                           const std::vector<TenantPlan>& plans,
+                           int clients, int rounds) {
+  WorkloadResult result;
+  const UmpQuery query = Query(2.0, 0.5);
+  {
+    Result<net::NetClient> setup = net::NetClient::Connect(router_port);
+    if (!setup.ok()) return result;
+    for (const TenantPlan& plan : plans) {
+      Result<serve::ServeResponse> created = setup->Call(
+          serve::CreateTenantRequest{plan.name, plan.initial, std::nullopt});
+      if (!created.ok() || !created->ok()) return result;
+      Result<serve::ServeResponse> primed = setup->Call(serve::SolveRequest{
+          plan.name, UtilityObjective::kOutputSize, query});
+      if (!primed.ok() || !primed->ok()) return result;
+    }
+  }
+
+  std::atomic<bool> failed{false};
+  std::vector<std::vector<double>> solve_lat(clients), append_lat(clients);
+  WallTimer timer;
+  std::vector<std::thread> workers;
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      Result<net::NetClient> client = net::NetClient::Connect(router_port);
+      if (!client.ok()) {
+        failed.store(true);
+        return;
+      }
+      for (int r = 0; r < rounds && !failed.load(); ++r) {
+        for (size_t t = static_cast<size_t>(c); t < plans.size();
+             t += static_cast<size_t>(clients)) {
+          const TenantPlan& plan = plans[t];
+          WallTimer append_timer;
+          Result<serve::ServeResponse> appended = client->Call(
+              serve::AppendRequest{plan.name, plan.round_batches[r]});
+          if (!appended.ok() || !appended->ok()) {
+            failed.store(true);
+            return;
+          }
+          append_lat[c].push_back(append_timer.ElapsedSeconds());
+          // The append invalidated the cache; this is a warm re-solve
+          // through two processes (router + backend).
+          WallTimer solve_timer;
+          Result<serve::ServeResponse> solved =
+              client->Call(serve::SolveRequest{
+                  plan.name, UtilityObjective::kOutputSize, query});
+          if (!solved.ok() || !solved->ok() ||
+              solved->solution() == nullptr) {
+            failed.store(true);
+            return;
+          }
+          solve_lat[c].push_back(solve_timer.ElapsedSeconds());
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  result.seconds = timer.ElapsedSeconds();
+  if (failed.load()) return result;
+  for (int c = 0; c < clients; ++c) {
+    result.solve_seconds.insert(result.solve_seconds.end(),
+                                solve_lat[c].begin(), solve_lat[c].end());
+    result.append_seconds.insert(result.append_seconds.end(),
+                                 append_lat[c].begin(), append_lat[c].end());
+  }
+  result.solves = static_cast<int64_t>(result.solve_seconds.size());
+  result.appends = static_cast<int64_t>(result.append_seconds.size());
+  result.ok = true;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::JsonReport report("distributed_throughput");
+  const bench::BenchDataset dataset = bench::LoadDataset();
+  const SearchLog& raw = dataset.raw;
+
+  const std::string scale = bench::BenchScaleName();
+  const int kTenants = scale == "full" ? 8 : scale == "medium" ? 6 : 4;
+  const int kRounds = scale == "full" ? 12 : scale == "medium" ? 8 : 4;
+  const int kClients = scale == "small" ? 2 : 3;
+
+  // ---- Part 1: throughput scaling, M=1 vs M=2 backends ------------------
+  std::vector<std::string> tenant_names;
+  for (int t = 0; t < kTenants; ++t) {
+    tenant_names.push_back("tenant" + std::to_string(t));
+  }
+  const std::vector<TenantPlan> plans =
+      PlanTenants(raw, tenant_names, kRounds);
+  double rates[2] = {0.0, 0.0};
+  for (const int num_backends : {1, 2}) {
+    Cluster cluster;
+    if (!StartCluster(num_backends, &cluster)) {
+      std::cerr << "failed to start " << num_backends
+                << "-backend cluster\n";
+      return 1;
+    }
+    const WorkloadResult run =
+        RunWorkload(cluster.router_port, plans, kClients, kRounds);
+    if (!run.ok) {
+      std::cerr << "workload failed at " << num_backends << " backends\n";
+      return 1;
+    }
+    rates[num_backends - 1] = run.solves_per_sec();
+    std::cout << "backends=" << num_backends << ": " << run.solves
+              << " solves + " << run.appends << " appends in "
+              << run.seconds << " s = " << run.solves_per_sec()
+              << " solves/sec (solve p50 "
+              << PercentileMs(run.solve_seconds, 0.50) << " ms)\n";
+    bench::JsonRecord record;
+    record.Add("record", "distributed_throughput")
+        .Add("label", "backends=" + std::to_string(num_backends))
+        .Add("tenants", static_cast<int64_t>(kTenants))
+        .Add("batches", static_cast<int64_t>(kRounds))
+        .Add("clients", static_cast<int64_t>(kClients))
+        .Add("agg_solves_per_sec", run.solves_per_sec())
+        .Add("solve_ms_p50", PercentileMs(run.solve_seconds, 0.50))
+        .Add("solve_ms_p95", PercentileMs(run.solve_seconds, 0.95))
+        .Add("solve_ms_p99", PercentileMs(run.solve_seconds, 0.99))
+        .Add("append_ms_p50", PercentileMs(run.append_seconds, 0.50))
+        .Add("append_ms_p95", PercentileMs(run.append_seconds, 0.95))
+        .Add("append_ms_p99", PercentileMs(run.append_seconds, 0.99));
+    report.Add(std::move(record));
+  }
+  const double scaling_ratio = rates[0] > 0 ? rates[1] / rates[0] : 0.0;
+  const unsigned hw = std::thread::hardware_concurrency();
+  // Two backends with two solver threads each, the router's workers, and
+  // the client threads only overlap on a machine with real parallelism;
+  // below that the ratio measures the scheduler, so it is report-only.
+  const bool gate_scaling = hw >= 8;
+  std::cout << "scaling 1->2 backends: " << scaling_ratio << "x ("
+            << hw << " hardware threads, "
+            << (gate_scaling ? "gated" : "report-only") << ")\n\n";
+  {
+    bench::JsonRecord record;
+    record.Add("record", "distributed_scaling")
+        .Add("tenants", static_cast<int64_t>(kTenants))
+        .Add("scaling_ratio", scaling_ratio)
+        .Add("hardware_concurrency", static_cast<int64_t>(hw));
+    report.Add(std::move(record));
+  }
+  if (gate_scaling && scaling_ratio < 1.5) {
+    std::cerr << "scaling regression: " << scaling_ratio
+              << "x < 1.5x with " << hw << " hardware threads\n";
+    return 1;
+  }
+
+  // ---- Part 2: warm tenant migration on ADD ------------------------------
+  // Both backends are spawned up front (their ports are needed to pick
+  // tenant names) but the router starts with only the first; tenant names
+  // are chosen with a local HashRing so the grown ring re-homes exactly
+  // half of them — the migration set is deterministic, not luck.
+  Cluster cluster;
+  if (!SpawnBackend(&cluster) || !SpawnBackend(&cluster) ||
+      !SpawnRouter(&cluster, 1)) {
+    std::cerr << "failed to start migration cluster\n";
+    return 1;
+  }
+  const UmpQuery query = Query(2.0, 0.5);
+  Result<net::NetClient> client = net::NetClient::Connect(cluster.router_port);
+  if (!client.ok()) {
+    std::cerr << "connect failed: " << client.status().ToString() << "\n";
+    return 1;
+  }
+
+  const int kMigTenants = 4;
+  std::vector<std::string> movers, stayers;
+  {
+    const std::string key_a = std::to_string(cluster.backend_ports[0]);
+    const std::string key_b = std::to_string(cluster.backend_ports[1]);
+    net::HashRing grown;
+    grown.Add(key_a);
+    grown.Add(key_b);
+    for (int i = 0; i < 10000 && (movers.size() < 2 || stayers.size() < 2);
+         ++i) {
+      const std::string name = "mig" + std::to_string(i);
+      std::vector<std::string>& bucket =
+          grown.Locate(name) == key_b ? movers : stayers;
+      if (bucket.size() < 2) bucket.push_back(name);
+    }
+  }
+  if (movers.size() < 2 || stayers.size() < 2) {
+    std::cerr << "could not pick migration tenant names\n";
+    return 1;
+  }
+  std::vector<std::string> mig_names = movers;
+  mig_names.insert(mig_names.end(), stayers.begin(), stayers.end());
+  std::vector<TenantPlan> mig_plans =
+      PlanTenants(raw, mig_names, /*rounds=*/1);
+  std::vector<double> cold_objectives(mig_plans.size());
+  for (size_t t = 0; t < mig_plans.size(); ++t) {
+    Result<serve::ServeResponse> created = client->Call(
+        serve::CreateTenantRequest{mig_plans[t].name, mig_plans[t].initial,
+                                   std::nullopt});
+    if (!created.ok() || !created->ok()) {
+      std::cerr << "create failed for " << mig_plans[t].name << "\n";
+      return 1;
+    }
+    Result<serve::ServeResponse> cold = client->Call(serve::SolveRequest{
+        mig_plans[t].name, UtilityObjective::kOutputSize, query});
+    if (!cold.ok() || !cold->ok() || cold->solution() == nullptr) {
+      std::cerr << "cold solve failed for " << mig_plans[t].name << "\n";
+      return 1;
+    }
+    cold_objectives[t] = cold->solution()->objective_value;
+  }
+
+  std::vector<std::string> migrated;
+  if (!AdminAdd(&cluster, cluster.backend_ports[1], &migrated)) {
+    std::cerr << "ADD backend failed\n";
+    return 1;
+  }
+  std::cout << "== migration: ADD backend moved " << migrated.size() << "/"
+            << kMigTenants << " tenants ==\n";
+  if (migrated.size() != movers.size()) {
+    std::cerr << "expected " << movers.size() << " migrations, got "
+              << migrated.size() << " — ring rebalance is broken\n";
+    return 1;
+  }
+
+  int warm_after_migration = 0;
+  int objective_mismatches = 0;
+  for (const std::string& tenant : migrated) {
+    size_t index = mig_plans.size();
+    for (size_t t = 0; t < mig_plans.size(); ++t) {
+      if (mig_plans[t].name == tenant) index = t;
+    }
+    if (index == mig_plans.size()) continue;  // not one of ours
+    Result<serve::ServeResponse> warm = client->Call(serve::SolveRequest{
+        tenant, UtilityObjective::kOutputSize, query});
+    if (!warm.ok() || !warm->ok() || warm->solution() == nullptr) {
+      std::cerr << "post-migration solve failed for " << tenant << "\n";
+      return 1;
+    }
+    const UmpSolution& solution = *warm->solution();
+    if (solution.stats.warm_started) ++warm_after_migration;
+    const double cold_objective = cold_objectives[index];
+    const double tol =
+        1e-6 * std::max(1.0, std::abs(cold_objective));
+    if (std::abs(solution.objective_value - cold_objective) > tol) {
+      ++objective_mismatches;
+    }
+    std::cout << "  " << tenant << ": warm="
+              << (solution.stats.warm_started ? 1 : 0)
+              << " objective=" << solution.objective_value
+              << " (cold " << cold_objective << ")\n";
+  }
+  const bool all_warm =
+      warm_after_migration == static_cast<int>(migrated.size());
+  {
+    bench::JsonRecord record;
+    record.Add("record", "distributed_migration")
+        .Add("tenants", static_cast<int64_t>(kMigTenants))
+        .Add("migrated", static_cast<int64_t>(migrated.size()))
+        .Add("migrated_warm_started", all_warm ? 1.0 : 0.0)
+        .Add("objective_mismatches",
+             static_cast<int64_t>(objective_mismatches));
+    report.Add(std::move(record));
+  }
+  cluster.Stop();
+
+  if (!all_warm) {
+    std::cerr << "migrated tenants resumed cold ("
+              << warm_after_migration << "/" << migrated.size()
+              << " warm)\n";
+    return 1;
+  }
+  if (objective_mismatches > 0) {
+    std::cerr << objective_mismatches
+              << " migrated tenants changed objective\n";
+    return 1;
+  }
+  return 0;
+}

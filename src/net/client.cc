@@ -1,0 +1,139 @@
+#include "net/client.h"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "net/event_loop.h"
+
+namespace privsan {
+namespace net {
+
+NetClient::~NetClient() { Close(); }
+
+NetClient::NetClient(NetClient&& other) noexcept
+    : fd_(other.fd_),
+      next_id_(other.next_id_),
+      inflight_(std::move(other.inflight_)),
+      decoder_(std::move(other.decoder_)) {
+  other.fd_ = -1;
+}
+
+NetClient& NetClient::operator=(NetClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    next_id_ = other.next_id_;
+    inflight_ = std::move(other.inflight_);
+    decoder_ = std::move(other.decoder_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void NetClient::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  inflight_.clear();
+}
+
+Result<NetClient> NetClient::Connect(uint16_t port, ClientOptions options) {
+  int backoff = options.initial_backoff_ms;
+  Status last = Status::IoError("connect: no attempts configured");
+  for (int attempt = 0; attempt < options.connect_attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      backoff = std::min(backoff * 2, options.max_backoff_ms);
+    }
+    Result<int> fd = ConnectTcp(port);
+    if (fd.ok()) {
+      NetClient client;
+      client.fd_ = *fd;
+      return client;
+    }
+    last = fd.status();
+  }
+  return last;
+}
+
+Result<uint64_t> NetClient::Send(const serve::ServeRequest& request) {
+  PRIVSAN_ASSIGN_OR_RETURN(Frame frame,
+                           EncodeRequest(request, next_id_));
+  PRIVSAN_RETURN_IF_ERROR(SendFrame(frame));
+  inflight_.push_back(next_id_);
+  return next_id_++;
+}
+
+Result<serve::ServeResponse> NetClient::Receive() {
+  if (inflight_.empty()) {
+    return Status::FailedPrecondition("Receive with no request in flight");
+  }
+  const uint64_t expected = inflight_.front();
+  PRIVSAN_ASSIGN_OR_RETURN(Frame frame, ReceiveFrame());
+  inflight_.pop_front();
+  // Replies arrive in send order; a mismatched id means the stream (or
+  // the server) lost sync — fail loudly rather than misattribute.
+  if (frame.request_id != expected) {
+    Close();
+    return Status::Internal(
+        "response id " + std::to_string(frame.request_id) +
+        " does not match oldest in-flight request " +
+        std::to_string(expected));
+  }
+  return DecodeResponse(frame);
+}
+
+Result<serve::ServeResponse> NetClient::Call(
+    const serve::ServeRequest& request) {
+  PRIVSAN_RETURN_IF_ERROR(Send(request).status());
+  return Receive();
+}
+
+Status NetClient::SendFrame(const Frame& frame) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  const std::string wire = EncodeFrame(frame);
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::write(fd_, wire.data() + sent, wire.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status =
+          Status::IoError(std::string("write: ") + std::strerror(errno));
+      Close();
+      return status;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<Frame> NetClient::ReceiveFrame() {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  Frame frame;
+  while (true) {
+    PRIVSAN_ASSIGN_OR_RETURN(bool complete, decoder_.Next(&frame));
+    if (complete) return frame;
+    char buf[64 * 1024];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status =
+          Status::IoError(std::string("read: ") + std::strerror(errno));
+      Close();
+      return status;
+    }
+    if (n == 0) {
+      Close();
+      return Status::IoError("connection closed mid-response");
+    }
+    decoder_.Feed(buf, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace net
+}  // namespace privsan

@@ -1,0 +1,73 @@
+// The blocking, pipelined client side of the binary wire protocol.
+//
+// A NetClient owns one TCP connection to a NetServer (or a router, which
+// speaks the same frames). Send() encodes a request, assigns it the next
+// request id and returns immediately; Receive() blocks for the next
+// response, which the server guarantees arrives in send order — the id is
+// verified as a cross-check, so a desynchronized stream fails loudly
+// instead of mismatching replies. Call() is Send + Receive for the
+// unpipelined case.
+//
+// Connect() retries with exponential backoff, because the fleet's process
+// managers (the distributed bench, the CI cluster smoke) start clients
+// and servers concurrently. A NetClient is single-threaded; the router
+// serializes access per backend.
+#ifndef PRIVSAN_NET_CLIENT_H_
+#define PRIVSAN_NET_CLIENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "net/codec.h"
+#include "net/frame.h"
+#include "serve/api.h"
+#include "util/result.h"
+
+namespace privsan {
+namespace net {
+
+struct ClientOptions {
+  // Connect retry schedule: total attempts, doubling delay between them.
+  int connect_attempts = 30;
+  int initial_backoff_ms = 20;
+  int max_backoff_ms = 500;
+};
+
+class NetClient {
+ public:
+  NetClient() = default;  // disconnected; use Connect
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+  NetClient(NetClient&& other) noexcept;
+  NetClient& operator=(NetClient&& other) noexcept;
+
+  static Result<NetClient> Connect(uint16_t port, ClientOptions options = {});
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  // Pipelined typed API: Send returns the assigned request id; Receive
+  // blocks for the oldest in-flight request's response.
+  Result<uint64_t> Send(const serve::ServeRequest& request);
+  Result<serve::ServeResponse> Receive();
+  Result<serve::ServeResponse> Call(const serve::ServeRequest& request);
+  size_t pending() const { return inflight_.size(); }
+
+  // Raw frame path (the router's proxy hot path): the caller manages ids.
+  Status SendFrame(const Frame& frame);
+  Result<Frame> ReceiveFrame();
+
+ private:
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+  std::deque<uint64_t> inflight_;
+  FrameDecoder decoder_;
+};
+
+}  // namespace net
+}  // namespace privsan
+
+#endif  // PRIVSAN_NET_CLIENT_H_

@@ -1,0 +1,154 @@
+#include "net/event_loop.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace privsan {
+namespace net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+EventLoop::EventLoop() : epfd_(epoll_create1(EPOLL_CLOEXEC)) {}
+
+EventLoop::~EventLoop() {
+  if (epfd_ >= 0) ::close(epfd_);
+}
+
+Status EventLoop::Add(int fd, uint32_t events, uint64_t tag) {
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events;
+  ev.data.u64 = tag;
+  if (epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Errno("epoll_ctl(ADD)");
+  }
+  return Status::OK();
+}
+
+Status EventLoop::Modify(int fd, uint32_t events, uint64_t tag) {
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events;
+  ev.data.u64 = tag;
+  if (epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Errno("epoll_ctl(MOD)");
+  }
+  return Status::OK();
+}
+
+Status EventLoop::Remove(int fd) {
+  if (epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr) != 0) {
+    return Errno("epoll_ctl(DEL)");
+  }
+  return Status::OK();
+}
+
+Result<int> EventLoop::Poll(int timeout_ms, const Handler& handler) {
+  constexpr int kMaxEvents = 64;
+  struct epoll_event events[kMaxEvents];
+  int n;
+  do {
+    n = epoll_wait(epfd_, events, kMaxEvents, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return Errno("epoll_wait");
+  for (int i = 0; i < n; ++i) {
+    handler(events[i].data.u64, events[i].events);
+  }
+  return n;
+}
+
+WakeFd::WakeFd() : fd_(eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)) {}
+
+WakeFd::~WakeFd() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void WakeFd::Notify() {
+  const uint64_t one = 1;
+  // A full counter (EAGAIN) already guarantees a pending wakeup.
+  [[maybe_unused]] ssize_t n = ::write(fd_, &one, sizeof(one));
+}
+
+void WakeFd::Drain() {
+  uint64_t count = 0;
+  [[maybe_unused]] ssize_t n = ::read(fd_, &count, sizeof(count));
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+Result<int> ListenTcp(uint16_t port, uint16_t* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return Errno("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd, 128) != 0) {
+    ::close(fd);
+    return Errno("listen");
+  }
+  if (bound_port != nullptr) {
+    socklen_t len = sizeof(addr);
+    if (getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) !=
+        0) {
+      ::close(fd);
+      return Errno("getsockname");
+    }
+    *bound_port = ntohs(addr.sin_port);
+  }
+  return fd;
+}
+
+Result<int> ConnectTcp(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return Errno("connect 127.0.0.1:" + std::to_string(port));
+  }
+  // Request/response frames are latency-bound, not throughput-bound.
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace net
+}  // namespace privsan

@@ -1,0 +1,82 @@
+// A minimal epoll wrapper: the readiness core of the serving front-end.
+//
+// EventLoop owns one epoll instance. Callers register file descriptors
+// with an opaque u64 tag (typically the fd itself); Poll waits for
+// readiness and invokes a handler per ready descriptor. Single-threaded
+// by design — exactly one thread calls Poll — which is what makes the
+// server's connection state lock-free: all socket I/O happens on the loop
+// thread, and worker threads hand completed responses back through a
+// WakeFd (an eventfd the loop also polls).
+//
+// Everything here is Linux-specific (epoll, eventfd), like the rest of
+// the serving stack; the solver layers below stay portable.
+#ifndef PRIVSAN_NET_EVENT_LOOP_H_
+#define PRIVSAN_NET_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "util/result.h"
+
+namespace privsan {
+namespace net {
+
+class EventLoop {
+ public:
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // False when epoll_create failed (the constructor cannot report it).
+  bool valid() const { return epfd_ >= 0; }
+
+  // `events` is an EPOLLIN/EPOLLOUT/... mask; `tag` comes back in Poll.
+  Status Add(int fd, uint32_t events, uint64_t tag);
+  Status Modify(int fd, uint32_t events, uint64_t tag);
+  Status Remove(int fd);
+
+  using Handler = std::function<void(uint64_t tag, uint32_t events)>;
+
+  // Waits up to `timeout_ms` (-1 = forever), invokes `handler` once per
+  // ready descriptor, returns how many fired (0 on timeout). EINTR is
+  // retried internally.
+  Result<int> Poll(int timeout_ms, const Handler& handler);
+
+ private:
+  int epfd_ = -1;
+};
+
+// An eventfd wrapped for cross-thread wakeups: worker threads Notify(),
+// the loop polls fd() for EPOLLIN and Drain()s on wake. Notify is
+// async-signal-safe and never blocks (the counter saturates).
+class WakeFd {
+ public:
+  WakeFd();
+  ~WakeFd();
+
+  WakeFd(const WakeFd&) = delete;
+  WakeFd& operator=(const WakeFd&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Notify();
+  void Drain();
+
+ private:
+  int fd_ = -1;
+};
+
+// Shared fd helpers for the server, client and router.
+Status SetNonBlocking(int fd);
+// Creates a listening TCP socket bound to 127.0.0.1:`port` (0 picks an
+// ephemeral port); returns the fd and writes the bound port back.
+Result<int> ListenTcp(uint16_t port, uint16_t* bound_port);
+// Blocking connect to 127.0.0.1:`port` (one attempt; callers own retry).
+Result<int> ConnectTcp(uint16_t port);
+
+}  // namespace net
+}  // namespace privsan
+
+#endif  // PRIVSAN_NET_EVENT_LOOP_H_

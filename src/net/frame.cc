@@ -1,0 +1,127 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+namespace privsan {
+namespace net {
+
+namespace {
+
+template <typename T>
+void AppendScalar(std::string* out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T LoadScalar(const char* data) {
+  T value;
+  std::memcpy(&value, data, sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+const char* FrameVerbName(FrameVerb verb) {
+  switch (verb) {
+    case FrameVerb::kResponse:
+      return "Response";
+    case FrameVerb::kCreateTenant:
+      return "CreateTenant";
+    case FrameVerb::kAppend:
+      return "Append";
+    case FrameVerb::kFlush:
+      return "Flush";
+    case FrameVerb::kSolve:
+      return "Solve";
+    case FrameVerb::kSweep:
+      return "Sweep";
+    case FrameVerb::kSanitize:
+      return "Sanitize";
+    case FrameVerb::kStats:
+      return "Stats";
+    case FrameVerb::kSaveSnapshot:
+      return "SaveSnapshot";
+    case FrameVerb::kRestoreTenant:
+      return "RestoreTenant";
+    case FrameVerb::kDropTenant:
+      return "DropTenant";
+  }
+  return "Unknown";
+}
+
+void EncodeFrame(const Frame& frame, std::string* out) {
+  const uint32_t length =
+      kFrameHeaderBytes + static_cast<uint32_t>(frame.payload.size());
+  out->reserve(out->size() + sizeof(uint32_t) + length);
+  AppendScalar<uint32_t>(out, length);
+  AppendScalar<uint32_t>(out, kFrameMagic);
+  AppendScalar<uint8_t>(out, kProtocolVersion);
+  AppendScalar<uint8_t>(out, static_cast<uint8_t>(frame.verb));
+  AppendScalar<uint16_t>(out, frame.status);
+  AppendScalar<uint64_t>(out, frame.request_id);
+  out->append(frame.payload);
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  EncodeFrame(frame, &out);
+  return out;
+}
+
+Result<bool> FrameDecoder::Next(Frame* out) {
+  if (buffered() < sizeof(uint32_t)) return false;
+  const char* base = buffer_.data() + pos_;
+  const uint32_t length = LoadScalar<uint32_t>(base);
+  if (length < kFrameHeaderBytes) {
+    return Status::InvalidArgument(
+        "malformed frame: length " + std::to_string(length) +
+        " is shorter than the frame header");
+  }
+  if (length - kFrameHeaderBytes > max_payload_) {
+    return Status::InvalidArgument(
+        "malformed frame: payload of " +
+        std::to_string(length - kFrameHeaderBytes) +
+        " bytes exceeds the " + std::to_string(max_payload_) + "-byte cap");
+  }
+  if (buffered() < sizeof(uint32_t) + length) {
+    // Partial frame: compact the consumed prefix away once it dominates
+    // the buffer, so a long-lived connection does not grow it unboundedly.
+    if (pos_ > 4096 && pos_ > buffer_.size() / 2) {
+      buffer_.erase(0, pos_);
+      pos_ = 0;
+    }
+    return false;
+  }
+  base += sizeof(uint32_t);
+  if (LoadScalar<uint32_t>(base) != kFrameMagic) {
+    return Status::InvalidArgument(
+        "malformed frame: bad magic (not a privsan frame)");
+  }
+  const uint8_t version = LoadScalar<uint8_t>(base + 4);
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument(
+        "unsupported protocol version " + std::to_string(version) +
+        " (this build speaks version " + std::to_string(kProtocolVersion) +
+        ")");
+  }
+  const uint8_t verb = LoadScalar<uint8_t>(base + 5);
+  if (verb > kMaxFrameVerb) {
+    return Status::InvalidArgument("malformed frame: unknown verb " +
+                                   std::to_string(verb));
+  }
+  out->verb = static_cast<FrameVerb>(verb);
+  out->status = LoadScalar<uint16_t>(base + 6);
+  out->request_id = LoadScalar<uint64_t>(base + 8);
+  out->payload.assign(base + kFrameHeaderBytes,
+                      length - kFrameHeaderBytes);
+  pos_ += sizeof(uint32_t) + length;
+  if (pos_ == buffer_.size()) {
+    buffer_.clear();
+    pos_ = 0;
+  }
+  return true;
+}
+
+}  // namespace net
+}  // namespace privsan

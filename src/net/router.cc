@@ -1,0 +1,263 @@
+#include "net/router.h"
+
+#include <filesystem>
+#include <future>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace privsan {
+namespace net {
+
+uint64_t HashRing::Hash(const std::string& key) {
+  uint64_t hash = 14695981039346656037ull;  // FNV-1a offset basis
+  for (const char c : key) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  // Raw FNV-1a of short keys differing only in a trailing digit ("n#0"
+  // .. "n#63") clusters within a tiny arc, which collapses the ring onto
+  // one node. The murmur3 finalizer gives the missing avalanche.
+  hash ^= hash >> 33;
+  hash *= 0xff51afd7ed558ccdull;
+  hash ^= hash >> 33;
+  hash *= 0xc4ceb9fe1a85ec53ull;
+  hash ^= hash >> 33;
+  return hash;
+}
+
+void HashRing::Add(const std::string& node) {
+  for (int i = 0; i < virtual_nodes_; ++i) {
+    ring_[Hash(node + '#' + std::to_string(i))] = node;
+  }
+}
+
+void HashRing::Remove(const std::string& node) {
+  for (int i = 0; i < virtual_nodes_; ++i) {
+    auto it = ring_.find(Hash(node + '#' + std::to_string(i)));
+    if (it != ring_.end() && it->second == node) ring_.erase(it);
+  }
+}
+
+const std::string& HashRing::Locate(const std::string& key) const {
+  auto it = ring_.lower_bound(Hash(key));
+  if (it == ring_.end()) it = ring_.begin();  // clockwise wrap
+  return it->second;
+}
+
+Router::~Router() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, backend] : backends_) StopBackend(backend.get());
+}
+
+Status Router::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_ = HashRing(options_.virtual_nodes);
+  for (const uint16_t port : options_.backends) {
+    PRIVSAN_ASSIGN_OR_RETURN(std::shared_ptr<Backend> backend,
+                             ConnectBackend(port));
+    const std::string key = std::to_string(port);
+    backends_[key] = std::move(backend);
+    ring_.Add(key);
+  }
+  if (backends_.empty()) {
+    return Status::InvalidArgument("router needs at least one backend");
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Router::Backend>> Router::ConnectBackend(
+    uint16_t port) {
+  PRIVSAN_ASSIGN_OR_RETURN(NetClient client,
+                           NetClient::Connect(port, options_.client));
+  auto backend = std::make_shared<Backend>();
+  backend->port = port;
+  backend->client = std::move(client);
+  backend->worker = std::thread([this, raw = backend.get()] {
+    WorkerLoop(raw);
+  });
+  return backend;
+}
+
+void Router::StopBackend(Backend* backend) {
+  {
+    std::lock_guard<std::mutex> lock(backend->mu);
+    backend->stop = true;
+  }
+  backend->cv.notify_all();
+  if (backend->worker.joinable()) backend->worker.join();
+}
+
+void Router::Submit(serve::ServeRequest request,
+                    std::function<void(serve::ServeResponse)> respond) {
+  std::shared_ptr<Backend> backend;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (backends_.empty()) {
+      respond(serve::ServeResponse{
+          Status::FailedPrecondition("router has no backends"), {}});
+      return;
+    }
+    const std::string& tenant = serve::RequestTenant(request);
+    auto pin = pinned_.find(tenant);
+    if (pin == pinned_.end()) {
+      // First sighting: the ring chooses, the pin remembers.
+      pin = pinned_.emplace(tenant, ring_.Locate(tenant)).first;
+    }
+    backend = backends_.at(pin->second);
+  }
+  {
+    std::lock_guard<std::mutex> lock(backend->mu);
+    backend->queue.push_back(Job{std::move(request), std::move(respond)});
+  }
+  backend->cv.notify_one();
+}
+
+void Router::WorkerLoop(Backend* backend) {
+  // Responses owed by the backend, oldest first (its replies are FIFO).
+  std::deque<std::function<void(serve::ServeResponse)>> awaiting;
+  while (true) {
+    std::vector<Job> jobs;
+    {
+      std::unique_lock<std::mutex> lock(backend->mu);
+      if (awaiting.empty()) {
+        backend->cv.wait(lock, [backend] {
+          return backend->stop || !backend->queue.empty();
+        });
+      }
+      if (backend->stop && backend->queue.empty() && awaiting.empty()) {
+        return;
+      }
+      while (!backend->queue.empty()) {
+        jobs.push_back(std::move(backend->queue.front()));
+        backend->queue.pop_front();
+      }
+    }
+    if (!jobs.empty() && !backend->client.connected()) {
+      // The previous batch lost the connection; retry with backoff
+      // before failing this one.
+      Result<NetClient> reconnected =
+          NetClient::Connect(backend->port, options_.client);
+      if (reconnected.ok()) backend->client = std::move(*reconnected);
+    }
+    for (Job& job : jobs) {
+      Result<uint64_t> sent = backend->client.Send(job.request);
+      if (sent.ok()) {
+        awaiting.push_back(std::move(job.respond));
+      } else {
+        job.respond(serve::ServeResponse{sent.status(), {}});
+      }
+    }
+    if (!awaiting.empty()) {
+      Result<serve::ServeResponse> response = backend->client.Receive();
+      if (response.ok()) {
+        awaiting.front()(std::move(*response));
+        awaiting.pop_front();
+      } else {
+        // The connection died with requests in flight; their replies are
+        // unknowable. Fail them all with the transport error.
+        for (auto& respond : awaiting) {
+          respond(serve::ServeResponse{response.status(), {}});
+        }
+        awaiting.clear();
+      }
+    }
+  }
+}
+
+serve::ServeResponse Router::CallBackend(Backend* backend,
+                                         serve::ServeRequest request) {
+  std::promise<serve::ServeResponse> promise;
+  std::future<serve::ServeResponse> future = promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(backend->mu);
+    backend->queue.push_back(
+        Job{std::move(request), [&promise](serve::ServeResponse response) {
+              promise.set_value(std::move(response));
+            }});
+  }
+  backend->cv.notify_one();
+  return future.get();
+}
+
+std::vector<Migration> Router::MigrateLocked() {
+  std::vector<Migration> migrations;
+  for (auto& [tenant, pinned_key] : pinned_) {
+    const std::string& new_key = ring_.Locate(tenant);
+    if (new_key == pinned_key) continue;
+    Backend* from = backends_.at(pinned_key).get();
+    Backend* to = backends_.at(new_key).get();
+    const std::string path =
+        options_.migrate_dir + "/" + tenant + ".mig";
+    // The snapshot carries the whole session (pending appends are flushed
+    // first, the solve basis travels with it), so the tenant resumes warm
+    // on its new backend.
+    serve::ServeResponse saved =
+        CallBackend(from, serve::SaveSnapshotRequest{tenant, path});
+    if (saved.ok()) {
+      serve::ServeResponse restored = CallBackend(
+          to, serve::RestoreTenantRequest{tenant, path, std::nullopt});
+      if (restored.ok()) {
+        CallBackend(from, serve::DropTenantRequest{tenant});
+        migrations.push_back(Migration{tenant, from->port, to->port});
+        pinned_[tenant] = new_key;
+      }
+      // On failure the pin stays where the state is — the old backend.
+    }
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+  return migrations;
+}
+
+Result<std::vector<Migration>> Router::AddBackend(uint16_t port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string key = std::to_string(port);
+  if (backends_.count(key) > 0) {
+    return Status::InvalidArgument("backend " + key + " already routed");
+  }
+  PRIVSAN_ASSIGN_OR_RETURN(std::shared_ptr<Backend> backend,
+                           ConnectBackend(port));
+  backends_[key] = std::move(backend);
+  ring_.Add(key);
+  return MigrateLocked();
+}
+
+Result<std::vector<Migration>> Router::RemoveBackend(uint16_t port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string key = std::to_string(port);
+  auto it = backends_.find(key);
+  if (it == backends_.end()) {
+    return Status::NotFound("backend " + key + " is not routed");
+  }
+  if (backends_.size() == 1) {
+    for (const auto& [tenant, pinned_key] : pinned_) {
+      if (pinned_key == key) {
+        return Status::FailedPrecondition(
+            "backend " + key + " still hosts tenants and is the last one");
+      }
+    }
+  }
+  ring_.Remove(key);
+  std::vector<Migration> migrations = MigrateLocked();
+  for (const auto& [tenant, pinned_key] : pinned_) {
+    if (pinned_key == key) {
+      // A migration failed; the state is still on this backend. Put its
+      // ring points back and keep serving rather than strand the tenant.
+      ring_.Add(key);
+      return Status::Internal("backend " + key +
+                              " still hosts tenants after migration");
+    }
+  }
+  StopBackend(it->second.get());
+  backends_.erase(it);
+  return migrations;
+}
+
+size_t Router::backend_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return backends_.size();
+}
+
+}  // namespace net
+}  // namespace privsan

@@ -1,0 +1,135 @@
+// The epoll serving front-end: nonblocking accept/read/write on one loop
+// thread, request execution on the SanitizerService worker pool.
+//
+// Binary mode (the default protocol) speaks net/frame.h frames: each
+// decoded request becomes one SanitizerService::Submit(request, done)
+// call; the completion callback encodes the response frame on the worker
+// thread and hands it back to the loop through an eventfd. Replies are
+// written in per-connection request order — a slot is queued per request
+// at decode time, and only the contiguous done-prefix of the slot queue
+// flushes — so a pipelined client can match replies positionally, with
+// the echoed request_id as a cross-check.
+//
+// Text mode serves a line protocol instead: the owner supplies a handler
+// invoked on the loop thread for every complete input line, which must
+// call its `done(reply)` exactly once (from any thread). Replies flush in
+// line order through the same slot queue. sanitizer_serverd uses this for
+// --protocol=text compatibility with the stdin pipeline.
+//
+// Error containment, binary mode: a frame that parses at the frame layer
+// but fails request decoding answers an error frame (echoed request_id,
+// status in the header) and the connection continues; a frame-layer error
+// (bad magic/length — the stream has lost sync) answers one error frame
+// with request_id 0, then the connection drains its pending replies and
+// closes. EOF with requests still in flight likewise drains before
+// closing, so a client that sends a burst and shutdown(SHUT_WR) still
+// collects every reply.
+#ifndef PRIVSAN_NET_SERVER_H_
+#define PRIVSAN_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "net/frame.h"
+#include "serve/service.h"
+#include "util/result.h"
+
+namespace privsan {
+namespace net {
+
+struct ServerOptions {
+  // 0 = pick an ephemeral port (read it back with port() after Start).
+  uint16_t port = 0;
+  // Frame payload cap for binary mode (hostile lengths reject early).
+  size_t max_frame_payload = kMaxFramePayload;
+  // Line length cap for text mode.
+  size_t max_text_line = 1u << 20;
+};
+
+class NetServer {
+ public:
+  // Binary frame server over `service` (not owned; must outlive Serve()).
+  NetServer(serve::SanitizerService* service, ServerOptions options = {});
+
+  // Binary frame server over an arbitrary executor with the callback
+  // shape of SanitizerService::Submit — the router plugs in here, routing
+  // each decoded request to a backend instead of a local service. The
+  // handler runs on the loop thread and must not block; `respond` must be
+  // called exactly once, from any thread.
+  using FrameHandler = std::function<void(
+      serve::ServeRequest request,
+      std::function<void(serve::ServeResponse)> respond)>;
+  NetServer(FrameHandler handler, ServerOptions options = {});
+
+  // Text line server. `handler` runs on the loop thread per complete line
+  // (newline stripped) and must call done(reply) exactly once, from any
+  // thread; the reply is sent verbatim (include the trailing newline).
+  using TextDone = std::function<void(std::string reply)>;
+  using TextHandler = std::function<void(std::string line, TextDone done)>;
+  NetServer(TextHandler handler, ServerOptions options = {});
+
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  // Binds and listens; port() is valid afterwards.
+  Status Start();
+  uint16_t port() const { return port_; }
+
+  // The blocking serve loop; returns cleanly after Shutdown(). Calls
+  // Start() first if the caller did not.
+  Status Serve();
+
+  // Thread-safe; wakes the loop and makes Serve() return.
+  void Shutdown();
+
+ private:
+  struct Slot;
+  struct Connection;
+  // Completion state shared with worker-thread callbacks; outlives the
+  // server so a late callback never touches freed memory.
+  struct Shared;
+
+  void AcceptAll();
+  void ProcessReady();
+  void HandleConnectionEvent(int fd, uint32_t events);
+  void ReadInput(const std::shared_ptr<Connection>& conn);
+  void HandleFrame(const std::shared_ptr<Connection>& conn, Frame frame);
+  void HandleLine(const std::shared_ptr<Connection>& conn, std::string line);
+  // Moves the contiguous done-prefix of the slot queue into the out
+  // buffer, writes what the socket accepts, closes drained connections.
+  void FlushConnection(const std::shared_ptr<Connection>& conn);
+  void UpdateInterest(const std::shared_ptr<Connection>& conn);
+  void CloseConnection(const std::shared_ptr<Connection>& conn);
+  // A worker thread finished a reply: publish it and wake the loop.
+  // Static so completion callbacks can outlive the server (they hold the
+  // Shared state, not `this`).
+  static void Complete(const std::shared_ptr<Shared>& shared,
+                       const std::shared_ptr<Connection>& conn,
+                       const std::shared_ptr<Slot>& slot, std::string bytes);
+
+  FrameHandler frame_handler_;  // binary mode
+  TextHandler text_handler_;    // text mode
+  ServerOptions options_;
+
+  EventLoop loop_;
+  std::shared_ptr<Shared> shared_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::map<int, std::shared_ptr<Connection>> connections_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace net
+}  // namespace privsan
+
+#endif  // PRIVSAN_NET_SERVER_H_

@@ -1,0 +1,303 @@
+#include "net/text_protocol.h"
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "core/privacy_params.h"
+#include "synth/generator.h"
+
+namespace privsan {
+namespace net {
+
+namespace {
+
+std::optional<UtilityObjective> ParseObjective(const std::string& token) {
+  if (token == "OUMP" || token == "O-UMP" || token == "oump") {
+    return UtilityObjective::kOutputSize;
+  }
+  if (token == "FUMP" || token == "F-UMP" || token == "fump") {
+    return UtilityObjective::kFrequentPairs;
+  }
+  if (token == "DUMP" || token == "D-UMP" || token == "dump") {
+    return UtilityObjective::kDiversity;
+  }
+  return std::nullopt;
+}
+
+std::string ErrLine(const Status& status) {
+  return "ERR " + status.ToString();
+}
+
+std::string FormatStats(const serve::TenantStats& stats) {
+  std::ostringstream out;
+  out << "OK appends_enqueued=" << stats.appends_enqueued
+      << " flushes=" << stats.flushes
+      << " appends_coalesced=" << stats.appends_coalesced
+      << " maintenance_flushes=" << stats.maintenance_flushes
+      << " solves=" << stats.solves << " cache_hits=" << stats.cache_hits
+      << " cache_misses=" << stats.cache_misses
+      << " repair_aborted=" << stats.repair_aborted
+      << " refactorizations=" << stats.refactorizations
+      << " factor_nnz=" << stats.factor_nnz
+      << " max_update_run=" << stats.max_update_run
+      << " rows_copied=" << stats.rows_copied
+      << " rows_rebuilt=" << stats.rows_rebuilt
+      << " evictions=" << stats.evictions << " reloads=" << stats.reloads
+      << " fast_lane_hits=" << stats.fast_lane_hits
+      << " admission_rejected=" << stats.admission_rejected
+      << " resident_bytes=" << stats.resident_bytes;
+  return out.str();
+}
+
+}  // namespace
+
+void TextProtocol::SubmitMany(std::vector<serve::ServeRequest> requests,
+                              Formatter format, Done done) {
+  struct Batch {
+    std::mutex mu;
+    std::vector<serve::ServeResponse> responses;
+    size_t remaining = 0;
+    Formatter format;
+    Done done;
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->responses.resize(requests.size());
+  batch->remaining = requests.size();
+  batch->format = std::move(format);
+  batch->done = std::move(done);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    submit_(std::move(requests[i]),
+            [batch, i](serve::ServeResponse response) {
+              bool last = false;
+              {
+                std::lock_guard<std::mutex> lock(batch->mu);
+                batch->responses[i] = std::move(response);
+                last = (--batch->remaining == 0);
+              }
+              // The reply fires outside the lock; `done` may do I/O.
+              if (last) batch->done(batch->format(batch->responses));
+            });
+  }
+}
+
+bool TextProtocol::Handle(const std::string& line, Done done) {
+  std::istringstream in(line);
+  std::string command;
+  if (!(in >> command) || command[0] == '#') {
+    done("");  // blank/comment: nothing to print, but the slot resolves
+    return true;
+  }
+
+  if (command == "QUIT") {
+    done("OK bye");
+    return false;
+  }
+  if (command == "TENANTS") {
+    if (!list_tenants_) {
+      done("ERR TENANTS is not available over this transport");
+    } else {
+      std::string reply = "OK";
+      for (const std::string& name : list_tenants_()) reply += ' ' + name;
+      done(std::move(reply));
+    }
+    return true;
+  }
+
+  std::string tenant;
+  if (!(in >> tenant)) {
+    done("ERR usage: " + command + " <tenant> ...");
+    return true;
+  }
+
+  auto ack = [this, &done](serve::ServeRequest request,
+                           std::string ok_line) {
+    std::vector<serve::ServeRequest> requests;
+    requests.push_back(std::move(request));
+    SubmitMany(std::move(requests),
+               [ok_line = std::move(ok_line)](auto& responses) {
+                 return responses[0].ok() ? ok_line
+                                          : ErrLine(responses[0].status);
+               },
+               std::move(done));
+  };
+
+  if (command == "CREATE") {
+    ack(serve::CreateTenantRequest{tenant, SearchLog(), std::nullopt},
+        "OK created " + tenant);
+  } else if (command == "GEN") {
+    uint64_t users = 0, events = 0, seed = 0;
+    if (!(in >> users >> events >> seed)) {
+      done("ERR usage: GEN <tenant> <users> <events> <seed>");
+    } else if (users == 0 || users > kMaxGenUsers ||
+               events > kMaxGenEvents) {
+      // A count like "-1" parses as 2^64-1; reject it here instead of
+      // letting the generator throw and kill the whole pipeline.
+      done("ERR GEN counts out of range (users 1.." +
+           std::to_string(kMaxGenUsers) + ", events 0.." +
+           std::to_string(kMaxGenEvents) + ")");
+    } else {
+      SyntheticLogConfig config = TinyConfig();
+      config.num_users = users;
+      config.num_events = events;
+      config.seed = seed;
+      // Sharded over the backend's pool when one is available (nullptr =
+      // serial) — bit-identical to the serial path for the given seed.
+      Result<SearchLog> log = GenerateSearchLog(config, gen_pool_);
+      if (!log.ok()) {
+        done(ErrLine(log.status()));
+      } else {
+        std::string ok_line =
+            "OK queued users=" + std::to_string(log->num_users()) +
+            " clicks=" + std::to_string(log->total_clicks());
+        ack(serve::AppendRequest{tenant, std::move(*log)},
+            std::move(ok_line));
+      }
+    }
+  } else if (command == "APPEND") {
+    std::string user, query, url;
+    uint64_t count = 0;
+    if (!(in >> user >> query >> url >> count) || count == 0) {
+      done("ERR usage: APPEND <tenant> <user> <query> <url> <count>");
+    } else {
+      SearchLogBuilder builder;
+      builder.Add(user, query, url, count);
+      ack(serve::AppendRequest{tenant, builder.Build()},
+          "OK queued 1 tuple");
+    }
+  } else if (command == "FLUSH") {
+    // Flush + Stats on the same tenant queue: the stats snapshot is
+    // guaranteed to reflect the finished flush.
+    std::vector<serve::ServeRequest> requests;
+    requests.push_back(serve::FlushRequest{tenant});
+    requests.push_back(serve::StatsRequest{tenant});
+    SubmitMany(
+        std::move(requests),
+        [](auto& responses) -> std::string {
+          if (!responses[0].ok()) return ErrLine(responses[0].status);
+          if (!responses[1].ok()) return ErrLine(responses[1].status);
+          const serve::TenantStats& stats = *responses[1].stats();
+          std::ostringstream out;
+          out << "OK flushes=" << stats.flushes
+              << " coalesced=" << stats.appends_coalesced
+              << " rows_copied=" << stats.rows_copied
+              << " rows_rebuilt=" << stats.rows_rebuilt;
+          return out.str();
+        },
+        std::move(done));
+  } else if (command == "SOLVE") {
+    std::string objective_token;
+    double e_eps = 0.0, delta = 0.0;
+    if (!(in >> objective_token >> e_eps >> delta)) {
+      done("ERR usage: SOLVE <tenant> <OUMP|FUMP|DUMP> <e_eps> <delta> "
+           "[output_size]");
+    } else if (auto objective = ParseObjective(objective_token);
+               !objective.has_value()) {
+      done("ERR unknown objective: " + objective_token);
+    } else {
+      UmpQuery query;
+      query.privacy = PrivacyParams::FromEEpsilon(e_eps, delta);
+      in >> query.output_size;  // optional; stays 0 when absent
+      // Stats before + solve + stats after, all FIFO on the tenant
+      // queue: `cached=` is exact even mid-pipeline.
+      std::vector<serve::ServeRequest> requests;
+      requests.push_back(serve::StatsRequest{tenant});
+      requests.push_back(serve::SolveRequest{tenant, *objective, query});
+      requests.push_back(serve::StatsRequest{tenant});
+      SubmitMany(
+          std::move(requests),
+          [](auto& responses) -> std::string {
+            if (!responses[1].ok()) return ErrLine(responses[1].status);
+            const UmpSolution& solution = *responses[1].solution();
+            const uint64_t hits_before =
+                responses[0].ok() ? responses[0].stats()->cache_hits : 0;
+            const uint64_t hits_after =
+                responses[2].ok() ? responses[2].stats()->cache_hits : 0;
+            std::ostringstream out;
+            out << "OK objective=" << solution.objective_value
+                << " output_size=" << solution.output_size
+                << " warm=" << (solution.stats.warm_started ? 1 : 0)
+                << " cached=" << (hits_after > hits_before ? 1 : 0)
+                << " root_iterations=" << solution.stats.root_iterations;
+            return out.str();
+          },
+          std::move(done));
+    }
+  } else if (command == "SWEEP") {
+    std::string objective_token;
+    double delta = 0.0;
+    if (!(in >> objective_token >> delta)) {
+      done("ERR usage: SWEEP <tenant> <OUMP|FUMP|DUMP> <delta> "
+           "<e_eps...>");
+    } else if (auto objective = ParseObjective(objective_token);
+               !objective.has_value()) {
+      done("ERR unknown objective: " + objective_token);
+    } else {
+      std::vector<UmpQuery> grid;
+      double e_eps = 0.0;
+      while (in >> e_eps) {
+        UmpQuery query;
+        query.privacy = PrivacyParams::FromEEpsilon(e_eps, delta);
+        grid.push_back(query);
+      }
+      if (grid.empty()) {
+        done("ERR SWEEP needs at least one e_eps value");
+      } else {
+        std::vector<serve::ServeRequest> requests;
+        requests.push_back(serve::SweepRequest{
+            tenant, *objective, std::move(grid), SweepOptions{}});
+        SubmitMany(
+            std::move(requests),
+            [](auto& responses) -> std::string {
+              if (!responses[0].ok()) return ErrLine(responses[0].status);
+              const SweepResult& sweep = *responses[0].sweep();
+              std::ostringstream out;
+              out << "OK cells=" << sweep.cells.size()
+                  << " warm_solves=" << sweep.warm_solves
+                  << " simplex_iterations="
+                  << sweep.total_simplex_iterations << " objectives=";
+              for (size_t i = 0; i < sweep.cells.size(); ++i) {
+                out << (i > 0 ? "," : "") << sweep.cells[i].objective_value;
+              }
+              return out.str();
+            },
+            std::move(done));
+      }
+    }
+  } else if (command == "SNAPSHOT") {
+    std::string path;
+    if (!(in >> path)) {
+      done("ERR usage: SNAPSHOT <tenant> <path>");
+    } else {
+      ack(serve::SaveSnapshotRequest{tenant, path}, "OK wrote " + path);
+    }
+  } else if (command == "RESTORE") {
+    std::string path;
+    if (!(in >> path)) {
+      done("ERR usage: RESTORE <tenant> <path>");
+    } else {
+      ack(serve::RestoreTenantRequest{tenant, path, std::nullopt},
+          "OK restored " + tenant);
+    }
+  } else if (command == "DROP") {
+    ack(serve::DropTenantRequest{tenant}, "OK dropped " + tenant);
+  } else if (command == "STATS") {
+    std::vector<serve::ServeRequest> requests;
+    requests.push_back(serve::StatsRequest{tenant});
+    SubmitMany(
+        std::move(requests),
+        [](auto& responses) -> std::string {
+          if (!responses[0].ok()) return ErrLine(responses[0].status);
+          return FormatStats(*responses[0].stats());
+        },
+        std::move(done));
+  } else {
+    done("ERR unknown command: " + command);
+  }
+  return true;
+}
+
+}  // namespace net
+}  // namespace privsan

@@ -150,6 +150,13 @@ struct TenantStats {
   // eviction snapshot, and times it was transparently reloaded on access.
   uint64_t evictions = 0;
   uint64_t reloads = 0;
+  // Two-lane scheduling (ServiceOptions::fast_lane): read-only requests
+  // (Stats, cache-hit Solves) answered on the per-tenant fast lane without
+  // waiting behind the heavy queue.
+  uint64_t fast_lane_hits = 0;
+  // Admission control (ServiceOptions::max_queue_depth): requests rejected
+  // with kResourceExhausted because the tenant's queue was full.
+  uint64_t admission_rejected = 0;
   // Estimated resident footprint (session state + result cache); 0 while
   // evicted. The sum across tenants is what the maintenance thread holds
   // under ServiceOptions::memory_budget_bytes.

@@ -52,6 +52,16 @@ std::future<ServeResponse> ImmediateResponse(Status status) {
   return promise.get_future();
 }
 
+// Delivers a response through whichever channel the job's Submit chose:
+// the callback (network front-end) or the promise (future-based callers).
+void Finish(ServeJob& job, ServeResponse response) {
+  if (job.done) {
+    job.done(std::move(response));
+  } else {
+    job.promise->set_value(std::move(response));
+  }
+}
+
 // The lifecycle gate every queued job passes before touching the session.
 // Does NOT reload an evicted session — that is EnsureLive's job, so pure
 // bookkeeping requests (Append, Stats, Drop) leave cold tenants cold.
@@ -120,46 +130,110 @@ std::string SanitizerService::SpillPath(const std::string& tenant) const {
 // --- Submission ------------------------------------------------------------
 
 std::future<ServeResponse> SanitizerService::Submit(ServeRequest request) {
-  if (std::holds_alternative<CreateTenantRequest>(request) ||
-      std::holds_alternative<RestoreTenantRequest>(request)) {
-    return SubmitCreate(std::move(request));
-  }
-  Result<std::shared_ptr<Tenant>> tenant =
-      manager_.Get(RequestTenant(request));
-  if (!tenant.ok()) return ImmediateResponse(tenant.status());
-  return Enqueue(*tenant, std::move(request), /*maintenance=*/false);
+  return SubmitInternal(std::move(request), nullptr);
 }
 
-std::future<ServeResponse> SanitizerService::SubmitCreate(
-    ServeRequest request) {
-  // Register the name synchronously so later requests in a pipelined burst
-  // find the tenant and queue FIFO behind the construction job.
+void SanitizerService::Submit(ServeRequest request,
+                              std::function<void(ServeResponse)> done) {
+  SubmitInternal(std::move(request), std::move(done));
+}
+
+std::future<ServeResponse> SanitizerService::SubmitInternal(
+    ServeRequest request, std::function<void(ServeResponse)> done) {
+  // Create/Restore register the name synchronously so later requests in a
+  // pipelined burst find the tenant and queue FIFO behind the construction
+  // job.
+  const bool creates =
+      std::holds_alternative<CreateTenantRequest>(request) ||
+      std::holds_alternative<RestoreTenantRequest>(request);
   Result<std::shared_ptr<Tenant>> tenant =
-      manager_.Create(RequestTenant(request));
-  if (!tenant.ok()) return ImmediateResponse(tenant.status());
-  return Enqueue(*tenant, std::move(request), /*maintenance=*/false);
+      creates ? manager_.Create(RequestTenant(request))
+              : manager_.Get(RequestTenant(request));
+  if (!tenant.ok()) {
+    if (done) {
+      done(ServeResponse{tenant.status(), {}});
+      return {};
+    }
+    return ImmediateResponse(tenant.status());
+  }
+  return Enqueue(*tenant, std::move(request), /*maintenance=*/false,
+                 std::move(done));
+}
+
+bool SanitizerService::FastEligible(Tenant& tenant,
+                                    const ServeRequest& request) {
+  std::lock_guard<std::mutex> lock(tenant.cmu);
+  if (!tenant.fast_ready) return false;
+  if (std::holds_alternative<StatsRequest>(request)) return true;
+  if (const auto* solve = std::get_if<SolveRequest>(&request)) {
+    // Pending appends make a cached solution stale-in-flight (the heavy
+    // lane flushes before solving); a miss has real work to do. Both take
+    // the heavy lane.
+    return !tenant.fast_has_pending &&
+           tenant.cache.count(CacheKey(solve->objective, solve->query)) > 0;
+  }
+  return false;
 }
 
 std::future<ServeResponse> SanitizerService::Enqueue(
     const std::shared_ptr<Tenant>& tenant, ServeRequest request,
-    bool maintenance) {
+    bool maintenance, std::function<void(ServeResponse)> done) {
   ServeJob job;
   job.request = std::move(request);
-  job.promise = std::make_shared<std::promise<ServeResponse>>();
+  job.done = std::move(done);
   job.maintenance = maintenance;
-  std::future<ServeResponse> future = job.promise->get_future();
+  std::future<ServeResponse> future;
+  if (!job.done) {
+    job.promise = std::make_shared<std::promise<ServeResponse>>();
+    future = job.promise->get_future();
+  }
+  // Fast-lane routing decides before admission: fast jobs answer from
+  // cache/counter state in microseconds, so capping the heavy backlog must
+  // not reject them.
+  const bool fast = !maintenance && options_.fast_lane &&
+                    FastEligible(*tenant, job.request);
   bool start = false;
+  bool rejected = false;
   {
     std::lock_guard<std::mutex> lock(tenant->qmu);
     if (!maintenance) tenant->last_access = std::chrono::steady_clock::now();
-    tenant->jobs.push_back(std::move(job));
-    if (!tenant->draining) {
-      tenant->draining = true;
-      start = true;
+    if (fast) {
+      tenant->fast_jobs.push_back(std::move(job));
+      if (!tenant->fast_draining) {
+        tenant->fast_draining = true;
+        start = true;
+      }
+    } else if (options_.max_queue_depth > 0 && !maintenance &&
+               !std::holds_alternative<DropTenantRequest>(job.request) &&
+               tenant->jobs.size() >= options_.max_queue_depth) {
+      // Admission control. Maintenance jobs are exempt (background flushes
+      // shrink the backlog) and so is DropTenant (an operator must always
+      // be able to drop a flooded tenant).
+      rejected = true;
+    } else {
+      tenant->jobs.push_back(std::move(job));
+      if (!tenant->draining) {
+        tenant->draining = true;
+        start = true;
+      }
     }
   }
+  if (rejected) {
+    {
+      std::lock_guard<std::mutex> lock(tenant->cmu);
+      ++tenant->stats.admission_rejected;
+    }
+    Finish(job, ServeResponse{Status::ResourceExhausted(
+                                  "tenant queue full: " + tenant->name),
+                              {}});
+    return future;
+  }
   if (start) {
-    pool_->Submit([this, tenant] { DrainQueue(tenant); });
+    if (fast) {
+      pool_->Submit([this, tenant] { DrainFastQueue(tenant); });
+    } else {
+      pool_->Submit([this, tenant] { DrainQueue(tenant); });
+    }
   }
   return future;
 }
@@ -185,7 +259,63 @@ void SanitizerService::DrainQueue(std::shared_ptr<Tenant> tenant) {
       std::lock_guard<std::mutex> lock(tenant->qmu);
       tenant->flush_scheduled = false;
     }
-    job.promise->set_value(std::move(response));
+    Finish(job, std::move(response));
+  }
+}
+
+void SanitizerService::DrainFastQueue(std::shared_ptr<Tenant> tenant) {
+  while (true) {
+    ServeJob job;
+    {
+      std::lock_guard<std::mutex> lock(tenant->qmu);
+      if (tenant->fast_jobs.empty()) {
+        tenant->fast_draining = false;
+        return;
+      }
+      job = std::move(tenant->fast_jobs.front());
+      tenant->fast_jobs.pop_front();
+    }
+    ServeResponse response;
+    bool requeue = false;
+    {
+      std::lock_guard<std::mutex> lock(tenant->cmu);
+      if (!tenant->fast_gate.ok()) {
+        response = {tenant->fast_gate, {}};
+      } else if (std::get_if<StatsRequest>(&job.request) != nullptr) {
+        ++tenant->stats.fast_lane_hits;
+        response = {Status::OK(), tenant->stats};
+      } else if (auto* solve = std::get_if<SolveRequest>(&job.request)) {
+        auto it = tenant->cache.find(CacheKey(solve->objective, solve->query));
+        if (it != tenant->cache.end() && !tenant->fast_has_pending) {
+          ++tenant->stats.cache_hits;
+          ++tenant->stats.fast_lane_hits;
+          response = {Status::OK(), it->second};
+        } else {
+          // Lost the race with a flush/append since submit: the cached
+          // result is gone or stale. Fall back to the heavy lane.
+          requeue = true;
+        }
+      } else {
+        response = {Status::Internal("non-fast job on fast lane"), {}};
+      }
+    }
+    if (requeue) {
+      // Already admitted once — push straight onto the heavy queue.
+      bool start = false;
+      {
+        std::lock_guard<std::mutex> lock(tenant->qmu);
+        tenant->jobs.push_back(std::move(job));
+        if (!tenant->draining) {
+          tenant->draining = true;
+          start = true;
+        }
+      }
+      if (start) {
+        pool_->Submit([this, tenant] { DrainQueue(tenant); });
+      }
+      continue;
+    }
+    Finish(job, std::move(response));
   }
 }
 
@@ -206,12 +336,16 @@ Status SanitizerService::EnsureLive(Tenant& tenant) {
   std::remove(tenant.spill_path.c_str());
   tenant.spill_path.clear();
   tenant.evicted = false;
-  ++tenant.stats.reloads;
+  {
+    std::lock_guard<std::mutex> lock(tenant.cmu);
+    ++tenant.stats.reloads;
+  }
   RefreshResidentBytes(tenant);
   return Status::OK();
 }
 
 void SanitizerService::InvalidateCache(Tenant& tenant) {
+  std::lock_guard<std::mutex> lock(tenant.cmu);
   tenant.cache.clear();
   tenant.cache_order.clear();
   tenant.cache_bytes = 0;
@@ -223,9 +357,11 @@ void SanitizerService::RefreshResidentBytes(Tenant& tenant) {
   // memory the budget must see. Such tenants are not directly evictable,
   // but the depth/age flush lands the queue and makes them evictable on a
   // following tick.
+  const uint64_t session_bytes =
+      tenant.session != nullptr ? tenant.session->ResidentBytes() : 0;
+  std::lock_guard<std::mutex> lock(tenant.cmu);
   tenant.stats.resident_bytes =
-      (tenant.session != nullptr ? tenant.session->ResidentBytes() : 0) +
-      tenant.cache_bytes + tenant.pending_bytes;
+      session_bytes + tenant.cache_bytes + tenant.pending_bytes;
 }
 
 Status SanitizerService::FlushLocked(Tenant& tenant) {
@@ -237,12 +373,23 @@ Status SanitizerService::FlushLocked(Tenant& tenant) {
   const size_t coalesced = tenant.pending.size();
   tenant.pending.clear();
   tenant.pending_bytes = 0;
+  {
+    // Landing the queue un-stales cached solves for the fast lane even if
+    // the append itself fails below — the pending queue is empty either
+    // way, and the cache is invalidated right after.
+    std::lock_guard<std::mutex> lock(tenant.cmu);
+    tenant.fast_has_pending = false;
+  }
   PRIVSAN_RETURN_IF_ERROR(tenant.session->AppendUsers(builder.Build()));
-  ++tenant.stats.flushes;
-  tenant.stats.appends_coalesced += coalesced;
-  tenant.stats.rows_copied = tenant.session->last_append_stats().rows_copied;
-  tenant.stats.rows_rebuilt =
-      tenant.session->last_append_stats().rows_rebuilt;
+  {
+    std::lock_guard<std::mutex> lock(tenant.cmu);
+    ++tenant.stats.flushes;
+    tenant.stats.appends_coalesced += coalesced;
+    tenant.stats.rows_copied =
+        tenant.session->last_append_stats().rows_copied;
+    tenant.stats.rows_rebuilt =
+        tenant.session->last_append_stats().rows_rebuilt;
+  }
   // The log changed: every cached solution is stale.
   InvalidateCache(tenant);
   RefreshResidentBytes(tenant);
@@ -265,21 +412,30 @@ ServeResponse SanitizerService::Execute(Tenant& tenant, ServeRequest& request,
     }
     tenant.pending_bytes += append->logs.ResidentBytes();
     tenant.pending.push_back(std::move(append->logs));
-    ++tenant.stats.appends_enqueued;
+    {
+      std::lock_guard<std::mutex> lock(tenant.cmu);
+      ++tenant.stats.appends_enqueued;
+      tenant.fast_has_pending = true;
+    }
     RefreshResidentBytes(tenant);
     return {Status::OK(), {}};
   }
 
   if (std::get_if<FlushRequest>(&request) != nullptr) {
-    const uint64_t flushes_before = tenant.stats.flushes;
+    // Whether this flush actually landed appends decides the maintenance
+    // counter below; the queue can only change under mu, which we hold.
+    const bool had_pending = !tenant.pending.empty();
     if (Status live = EnsureLive(tenant); !live.ok()) return {live, {}};
     if (Status flushed = FlushLocked(tenant); !flushed.ok()) {
       return {flushed, {}};
     }
     // A maintenance-initiated job that actually landed appends is what the
     // background-flusher counter measures (DrainQueue owns the flag reset).
-    if (maintenance && tenant.stats.flushes > flushes_before) {
-      ++tenant.stats.maintenance_flushes;
+    if (maintenance && had_pending) {
+      {
+        std::lock_guard<std::mutex> lock(tenant.cmu);
+        ++tenant.stats.maintenance_flushes;
+      }
       // Only maintenance flushes prewarm and refresh: this work is an
       // optimization precisely because it runs off the query path — an
       // inline pre-solve flush must not pay model builds for objectives
@@ -295,6 +451,7 @@ ServeResponse SanitizerService::Execute(Tenant& tenant, ServeRequest& request,
           tenant.last_solve_query.has_value()) {
         const auto [objective, query] = *tenant.last_solve_query;
         if (ExecuteSolve(tenant, objective, query).ok()) {
+          std::lock_guard<std::mutex> lock(tenant.cmu);
           ++tenant.stats.refresh_solves;
         }
       }
@@ -326,19 +483,22 @@ ServeResponse SanitizerService::Execute(Tenant& tenant, ServeRequest& request,
     Result<SweepResult> result = tenant.session->SweepBudgets(
         sweep->objective, sweep->grid, sweep->sweep);
     if (!result.ok()) return {result.status(), {}};
-    tenant.stats.solves += result->cells.size();
-    tenant.stats.repair_aborted +=
-        static_cast<uint64_t>(result->repair_aborted);
-    for (const UmpSolution& cell : result->cells) {
-      tenant.stats.refactorizations +=
-          static_cast<uint64_t>(cell.stats.refactorizations);
+    {
+      std::lock_guard<std::mutex> lock(tenant.cmu);
+      tenant.stats.solves += result->cells.size();
+      tenant.stats.repair_aborted +=
+          static_cast<uint64_t>(result->repair_aborted);
+      for (const UmpSolution& cell : result->cells) {
+        tenant.stats.refactorizations +=
+            static_cast<uint64_t>(cell.stats.refactorizations);
+      }
+      tenant.stats.factor_nnz =
+          std::max(tenant.stats.factor_nnz,
+                   static_cast<uint64_t>(result->factor_nnz));
+      tenant.stats.max_update_run =
+          std::max(tenant.stats.max_update_run,
+                   static_cast<uint64_t>(result->max_update_run));
     }
-    tenant.stats.factor_nnz =
-        std::max(tenant.stats.factor_nnz,
-                 static_cast<uint64_t>(result->factor_nnz));
-    tenant.stats.max_update_run =
-        std::max(tenant.stats.max_update_run,
-                 static_cast<uint64_t>(result->max_update_run));
     RefreshResidentBytes(tenant);
     return {Status::OK(), std::move(*result)};
   }
@@ -351,7 +511,10 @@ ServeResponse SanitizerService::Execute(Tenant& tenant, ServeRequest& request,
     Result<SanitizeReport> report =
         tenant.session->Sanitize(sanitize->privacy);
     if (!report.ok()) return {report.status(), {}};
-    ++tenant.stats.solves;
+    {
+      std::lock_guard<std::mutex> lock(tenant.cmu);
+      ++tenant.stats.solves;
+    }
     RefreshResidentBytes(tenant);
     return {Status::OK(), std::move(*report)};
   }
@@ -360,6 +523,7 @@ ServeResponse SanitizerService::Execute(Tenant& tenant, ServeRequest& request,
     // Stats never reloads an evicted tenant — monitoring must not defeat
     // the memory budget.
     if (Status gate = CheckLifecycle(tenant); !gate.ok()) return {gate, {}};
+    std::lock_guard<std::mutex> lock(tenant.cmu);
     return {Status::OK(), tenant.stats};
   }
 
@@ -383,6 +547,13 @@ ServeResponse SanitizerService::Execute(Tenant& tenant, ServeRequest& request,
     tenant.dropped = true;
     tenant.pending.clear();
     tenant.pending_bytes = 0;
+    {
+      // Close the fast lane: jobs already queued there answer NotFound.
+      std::lock_guard<std::mutex> lock(tenant.cmu);
+      tenant.fast_ready = false;
+      tenant.fast_gate = Status::NotFound("no such tenant: " + tenant.name);
+      tenant.fast_has_pending = false;
+    }
     InvalidateCache(tenant);
     RefreshResidentBytes(tenant);
     return {manager_.Remove(tenant.name), {}};
@@ -398,6 +569,7 @@ ServeResponse SanitizerService::ExecuteSolve(Tenant& tenant,
   std::string key;
   if (cache_enabled) {
     key = CacheKey(objective, query);
+    std::lock_guard<std::mutex> lock(tenant.cmu);
     auto it = tenant.cache.find(key);
     if (it != tenant.cache.end()) {
       ++tenant.stats.cache_hits;
@@ -407,31 +579,34 @@ ServeResponse SanitizerService::ExecuteSolve(Tenant& tenant,
   }
   Result<UmpSolution> solution = tenant.session->Solve(objective, query);
   if (!solution.ok()) return {solution.status(), {}};
-  ++tenant.stats.solves;
-  tenant.stats.repair_aborted +=
-      static_cast<uint64_t>(solution->stats.repair_aborted);
-  tenant.stats.refactorizations +=
-      static_cast<uint64_t>(solution->stats.refactorizations);
-  tenant.stats.factor_nnz = std::max(
-      tenant.stats.factor_nnz,
-      static_cast<uint64_t>(solution->stats.factor_nnz));
-  tenant.stats.max_update_run = std::max(
-      tenant.stats.max_update_run,
-      static_cast<uint64_t>(solution->stats.max_update_run));
-  if (cache_enabled) {
-    if (tenant.cache_order.size() >= options_.result_cache_capacity) {
-      const std::string& oldest = tenant.cache_order.front();
-      auto it = tenant.cache.find(oldest);
-      if (it != tenant.cache.end()) {
-        const uint64_t bytes = EstimateCacheEntryBytes(oldest, it->second);
-        tenant.cache_bytes -= std::min(tenant.cache_bytes, bytes);
-        tenant.cache.erase(it);
+  {
+    std::lock_guard<std::mutex> lock(tenant.cmu);
+    ++tenant.stats.solves;
+    tenant.stats.repair_aborted +=
+        static_cast<uint64_t>(solution->stats.repair_aborted);
+    tenant.stats.refactorizations +=
+        static_cast<uint64_t>(solution->stats.refactorizations);
+    tenant.stats.factor_nnz = std::max(
+        tenant.stats.factor_nnz,
+        static_cast<uint64_t>(solution->stats.factor_nnz));
+    tenant.stats.max_update_run = std::max(
+        tenant.stats.max_update_run,
+        static_cast<uint64_t>(solution->stats.max_update_run));
+    if (cache_enabled) {
+      if (tenant.cache_order.size() >= options_.result_cache_capacity) {
+        const std::string& oldest = tenant.cache_order.front();
+        auto it = tenant.cache.find(oldest);
+        if (it != tenant.cache.end()) {
+          const uint64_t bytes = EstimateCacheEntryBytes(oldest, it->second);
+          tenant.cache_bytes -= std::min(tenant.cache_bytes, bytes);
+          tenant.cache.erase(it);
+        }
+        tenant.cache_order.erase(tenant.cache_order.begin());
       }
-      tenant.cache_order.erase(tenant.cache_order.begin());
+      tenant.cache_bytes += EstimateCacheEntryBytes(key, *solution);
+      tenant.cache.emplace(key, *solution);
+      tenant.cache_order.push_back(std::move(key));
     }
-    tenant.cache_bytes += EstimateCacheEntryBytes(key, *solution);
-    tenant.cache.emplace(key, *solution);
-    tenant.cache_order.push_back(std::move(key));
   }
   RefreshResidentBytes(tenant);
   return {Status::OK(), std::move(*solution)};
@@ -456,6 +631,10 @@ ServeResponse SanitizerService::ExecuteCreate(Tenant& tenant,
     return {session.status(), {}};
   }
   tenant.session = std::make_unique<SanitizerSession>(std::move(*session));
+  {
+    std::lock_guard<std::mutex> lock(tenant.cmu);
+    tenant.fast_ready = true;
+  }
   RefreshResidentBytes(tenant);
   return {Status::OK(), {}};
 }
@@ -477,6 +656,10 @@ ServeResponse SanitizerService::ExecuteRestore(Tenant& tenant,
     return {session.status(), {}};
   }
   tenant.session = std::make_unique<SanitizerSession>(std::move(*session));
+  {
+    std::lock_guard<std::mutex> lock(tenant.cmu);
+    tenant.fast_ready = true;
+  }
   RefreshResidentBytes(tenant);
   return {Status::OK(), {}};
 }
@@ -509,7 +692,10 @@ void SanitizerService::MaintenanceTick() {
       // (pre-solve) or is revisited next tick.
       std::unique_lock<std::mutex> mu(tenant->mu, std::try_to_lock);
       if (!mu.owns_lock()) continue;
-      total_resident += tenant->stats.resident_bytes;
+      {
+        std::lock_guard<std::mutex> cmu(tenant->cmu);
+        total_resident += tenant->stats.resident_bytes;
+      }
       if (!tenant->pending.empty()) {
         want_flush = tenant->pending.size() >= options_.flush_queue_depth ||
                      now - tenant->oldest_pending >= max_age;
@@ -525,7 +711,8 @@ void SanitizerService::MaintenanceTick() {
       }
     }
     if (schedule) {
-      Enqueue(tenant, FlushRequest{tenant->name}, /*maintenance=*/true);
+      Enqueue(tenant, FlushRequest{tenant->name}, /*maintenance=*/true,
+              nullptr);
     }
   }
 
@@ -572,12 +759,15 @@ uint64_t SanitizerService::TryEvict(const std::shared_ptr<Tenant>& tenant) {
         tenant->pending.empty()) {
       const std::string path = SpillPath(tenant->name);
       if (serve::SaveSnapshot(*tenant->session, path).ok()) {
-        freed = tenant->stats.resident_bytes;
         tenant->session.reset();
         tenant->evicted = true;
         tenant->spill_path = path;
         InvalidateCache(*tenant);
-        ++tenant->stats.evictions;
+        {
+          std::lock_guard<std::mutex> cmu(tenant->cmu);
+          freed = tenant->stats.resident_bytes;
+          ++tenant->stats.evictions;
+        }
         RefreshResidentBytes(*tenant);
       }
       // On a failed spill (disk full, bad directory) keep the tenant

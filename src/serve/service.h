@@ -42,6 +42,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -93,6 +94,24 @@ struct ServiceOptions {
   uint64_t memory_budget_bytes = 0;
   // Directory for eviction spill snapshots (must exist and be writable).
   std::string spill_directory = ".";
+
+  // --- Admission control and two-lane scheduling --------------------------
+  // Per-tenant queue-depth cap: a Submit that would queue job number
+  // max_queue_depth+1 on a tenant resolves immediately with
+  // kResourceExhausted instead of queueing unboundedly (0 = unlimited).
+  // Maintenance jobs and DropTenant are exempt — background flushes keep
+  // the backlog shrinking, and an operator can always drop a flooded
+  // tenant. Rejections count in TenantStats::admission_rejected.
+  size_t max_queue_depth = 0;
+  // Route Stats and cache-hit-eligible Solves onto a per-tenant read-only
+  // fast lane answered from the cache/counter state alone, so a
+  // multi-second Sweep cannot block a cheap probe. Opt-in because it
+  // relaxes the strict cross-verb FIFO contract: a fast-lane reply may
+  // overtake earlier heavy requests of the same tenant (fast-lane
+  // requests still answer in their own submission order, and a Solve
+  // whose result could be stale — pending appends, cache miss — always
+  // takes the heavy lane).
+  bool fast_lane = false;
 };
 
 class SanitizerService {
@@ -108,6 +127,13 @@ class SanitizerService {
   // The future resolves with the verb's payload (see serve/api.h); a
   // request naming an unknown tenant resolves NotFound without queueing.
   std::future<ServeResponse> Submit(ServeRequest request);
+
+  // Callback form for continuation-style callers (the network front-end):
+  // `done` runs exactly once with the response — on a worker thread when
+  // the job executes, or inline when the request fails before queueing
+  // (unknown tenant, admission rejection). `done` must not block for
+  // long and must not call back into the service synchronously.
+  void Submit(ServeRequest request, std::function<void(ServeResponse)> done);
 
   // --- Blocking wrappers (Submit + get) -----------------------------------
   Status CreateTenant(const std::string& tenant, const SearchLog& initial);
@@ -138,13 +164,23 @@ class SanitizerService {
   ThreadPool* pool() { return pool_.get(); }
 
  private:
-  // Registers the tenant shell and queues `request` as its first job.
-  std::future<ServeResponse> SubmitCreate(ServeRequest request);
-  // Enqueues a job and wakes a drain worker if none is active.
+  // The shared Submit body: exactly one of the return value (null `done`)
+  // or the callback (non-null) delivers the response.
+  std::future<ServeResponse> SubmitInternal(
+      ServeRequest request, std::function<void(ServeResponse)> done);
+  // Enqueues a job and wakes a drain worker if none is active. Applies
+  // max_queue_depth admission and fast-lane routing.
   std::future<ServeResponse> Enqueue(const std::shared_ptr<Tenant>& tenant,
-                                     ServeRequest request, bool maintenance);
+                                     ServeRequest request, bool maintenance,
+                                     std::function<void(ServeResponse)> done);
+  // True when the fast lane should take `request` right now (fast_lane on,
+  // tenant ready, Stats or cache-hit Solve with no pending appends).
+  bool FastEligible(Tenant& tenant, const ServeRequest& request);
   // Pops and executes jobs until the tenant's queue is empty.
   void DrainQueue(std::shared_ptr<Tenant> tenant);
+  // Same for the read-only fast lane (under cmu alone); a Solve whose
+  // cache entry disappeared since submit re-queues onto the heavy lane.
+  void DrainFastQueue(std::shared_ptr<Tenant> tenant);
   // Executes one request under tenant->mu. `maintenance` marks jobs the
   // maintenance thread enqueued (background flushes).
   ServeResponse Execute(Tenant& tenant, ServeRequest& request,

@@ -3,19 +3,25 @@
 // A Tenant bundles one SanitizerSession with the serve-path state the
 // facade (serve/service.h) keeps around it: the typed-request work queue,
 // the pending-append queue, the budget-keyed result cache, counters, and
-// the eviction lifecycle. Two mutexes split the state by latency class:
+// the eviction lifecycle. Three mutexes split the state by latency class:
 //
-//   * `qmu` guards the cheap scheduling state — the FIFO work queue, the
-//     draining flag, and the LRU timestamp. Submit only ever takes qmu, so
-//     enqueueing never waits behind a running solve.
-//   * `mu` guards the heavy state — the session itself, the pending
-//     appends, the result cache and the counters. Exactly one queue job
-//     holds mu at a time (the drain loop pops under qmu, executes under
-//     mu), so the lock *is* the concurrency story for one tenant, and
-//     distinct tenants proceed fully in parallel.
+//   * `qmu` guards the cheap scheduling state — the FIFO work queues (the
+//     heavy lane and, with ServiceOptions::fast_lane, the read-only fast
+//     lane), the draining flags, and the LRU timestamp. Submit only ever
+//     takes qmu, so enqueueing never waits behind a running solve.
+//   * `mu` guards the heavy state — the session itself and the pending
+//     appends. Exactly one heavy-queue job holds mu at a time (the drain
+//     loop pops under qmu, executes under mu), so the lock *is* the
+//     concurrency story for one tenant, and distinct tenants proceed
+//     fully in parallel.
+//   * `cmu` is the leaf lock for the read-mostly state — result cache,
+//     counters, lifecycle mirrors. Heavy jobs take it briefly inside mu
+//     for each cache/counter touch; fast-lane jobs take it alone, which
+//     is how a Stats probe answers while a Sweep holds mu for seconds.
 //
-// The two are never held together: a drain worker pops under qmu, then
-// executes under mu; the eviction path claims the draining flag under qmu
+// qmu and mu are never held together, and cmu is only ever acquired last:
+// a drain worker pops under qmu, then executes under mu, touching cmu per
+// counter update; the eviction path claims the draining flag under qmu
 // (exactly like a worker would), releases it, and only then takes mu for
 // the spill write — so Submit never waits behind a snapshot.
 //
@@ -28,6 +34,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -45,12 +52,15 @@
 namespace privsan {
 namespace serve {
 
-// One queued request plus the promise its Submit handed out. The promise
+// One queued request plus how to deliver its response: the promise its
+// Submit handed out, or — for the callback overload the network front-end
+// uses — a completion function invoked from the worker thread. The promise
 // is shared so jobs can travel through std::function (which requires
 // copyable callables) on the worker pool.
 struct ServeJob {
   ServeRequest request;
   std::shared_ptr<std::promise<ServeResponse>> promise;
+  std::function<void(ServeResponse)> done;
   // Enqueued by the maintenance thread (background flush); clears the
   // tenant's flush_scheduled flag when it completes.
   bool maintenance = false;
@@ -67,6 +77,11 @@ struct Tenant {
   bool draining = false;      // a worker is draining `jobs`
   bool flush_scheduled = false;  // a maintenance flush is queued/in flight
   std::chrono::steady_clock::time_point last_access{};  // LRU clock
+  // The read-only fast lane (ServiceOptions::fast_lane): Stats and
+  // cache-hit-eligible Solves queue here and are answered under `cmu`
+  // alone, so a slow Sweep holding `mu` cannot block a cheap probe.
+  std::deque<ServeJob> fast_jobs;
+  bool fast_draining = false;  // a worker is draining `fast_jobs`
 
   // --- Session state, guarded by `mu` ------------------------------------
   std::mutex mu;
@@ -88,15 +103,32 @@ struct Tenant {
   uint64_t pending_bytes = 0;      // estimated footprint of `pending`
   // When the oldest entry of `pending` was enqueued (age-triggered flush).
   std::chrono::steady_clock::time_point oldest_pending{};
+  // The most recent Solve's inputs — what a background flush re-solves
+  // (hot-query refresh) so the repair work lands off the query path.
+  std::optional<std::pair<UtilityObjective, UmpQuery>> last_solve_query;
+
+  // --- Read-mostly state, guarded by `cmu` -------------------------------
+  // The leaf lock of the tenant (acquired alone, or briefly inside `mu`,
+  // never the other way around). It guards exactly what the fast lane
+  // reads — the result cache, the counters, and a few mirror flags of the
+  // `mu` lifecycle — so Stats and cached Solves answer without waiting
+  // behind a running solve.
+  std::mutex cmu;
   // Budget-keyed result cache: canonical query key -> solution. Insertion
   // order drives FIFO eviction; the whole cache is invalidated on flush.
   std::map<std::string, UmpSolution> cache;
   std::vector<std::string> cache_order;
   uint64_t cache_bytes = 0;  // estimated footprint of `cache`
-  // The most recent Solve's inputs — what a background flush re-solves
-  // (hot-query refresh) so the repair work lands off the query path.
-  std::optional<std::pair<UtilityObjective, UmpQuery>> last_solve_query;
   TenantStats stats;
+  // Mirrors of the `mu` lifecycle, refreshed by the jobs that change it.
+  // fast_ready gates fast-lane eligibility at submit time (false until the
+  // create/restore job succeeded, false again after Drop); fast_gate is
+  // the status a fast job answers when the tenant went away under it;
+  // fast_has_pending mirrors !pending.empty() — queued appends make a
+  // cached solution stale-in-flight, so such Solves take the heavy lane.
+  bool fast_ready = false;
+  Status fast_gate = Status::OK();
+  bool fast_has_pending = false;
 };
 
 class SessionManager {

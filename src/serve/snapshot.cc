@@ -35,7 +35,9 @@ constexpr uint8_t kSnapshotVersion = 1;
 // magnitude of headroom while keeping the worst corrupt allocation small.
 constexpr uint64_t kMaxElements = 1ull << 26;
 
-void WriteLog(std::ostream& out, const SearchLog& log) {
+}  // namespace
+
+void WriteSearchLog(std::ostream& out, const SearchLog& log) {
   WriteScalar<uint64_t>(out, log.num_users());
   for (UserId u = 0; u < log.num_users(); ++u) {
     WriteString(out, log.user_name(u));
@@ -59,7 +61,7 @@ void WriteLog(std::ostream& out, const SearchLog& log) {
   }
 }
 
-Result<SearchLog> ReadLog(std::istream& in) {
+Result<SearchLog> ReadSearchLog(std::istream& in) {
   PRIVSAN_ASSIGN_OR_RETURN(uint64_t num_users, ReadCount(in, kMaxElements));
   std::vector<std::string> users(num_users);
   for (uint64_t u = 0; u < num_users; ++u) {
@@ -99,6 +101,8 @@ Result<SearchLog> ReadLog(std::istream& in) {
   }
   return log;
 }
+
+namespace {
 
 void WriteSystem(std::ostream& out, const DpConstraintSystem& system) {
   WriteScalar<uint64_t>(out, system.num_pairs());
@@ -145,8 +149,8 @@ Result<DpConstraintSystem> ReadSystem(std::istream& in, uint64_t num_users) {
 Status WriteSnapshot(std::ostream& out, const SessionSnapshot& snapshot) {
   out.write(kMagic, sizeof(kMagic));
   WriteScalar<uint8_t>(out, kSnapshotVersion);
-  WriteLog(out, snapshot.raw);
-  WriteLog(out, snapshot.log);
+  WriteSearchLog(out, snapshot.raw);
+  WriteSearchLog(out, snapshot.log);
   WriteScalar<uint64_t>(out, snapshot.stats.pairs_removed);
   WriteScalar<uint64_t>(out, snapshot.stats.pairs_retained);
   WriteScalar<uint64_t>(out, snapshot.stats.users_dropped);
@@ -176,8 +180,8 @@ Result<SessionSnapshot> ReadSnapshot(std::istream& in) {
         "); re-snapshot the session with the current build");
   }
   SessionSnapshot snapshot;
-  PRIVSAN_ASSIGN_OR_RETURN(snapshot.raw, ReadLog(in));
-  PRIVSAN_ASSIGN_OR_RETURN(snapshot.log, ReadLog(in));
+  PRIVSAN_ASSIGN_OR_RETURN(snapshot.raw, ReadSearchLog(in));
+  PRIVSAN_ASSIGN_OR_RETURN(snapshot.log, ReadSearchLog(in));
   uint64_t stat = 0;
   PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &stat));
   snapshot.stats.pairs_removed = stat;

@@ -36,6 +36,14 @@ namespace serve {
 Status WriteSnapshot(std::ostream& out, const SessionSnapshot& snapshot);
 Result<SessionSnapshot> ReadSnapshot(std::istream& in);
 
+// The SearchLog sub-codec on its own: users, pairs, then (user, pair,
+// count) tuples, reconstructed with the exact original id assignment.
+// Shared with the wire protocol (net/codec.h), which ships logs inside
+// CreateTenant/Append frames using the same byte layout as the snapshot
+// payload.
+void WriteSearchLog(std::ostream& out, const SearchLog& log);
+Result<SearchLog> ReadSearchLog(std::istream& in);
+
 // File-level convenience: snapshot a live session / restore one from disk.
 // SaveSnapshot writes atomically enough for a single writer (temp file +
 // rename is the caller's concern; SanitizerService snapshots under the

@@ -302,9 +302,13 @@ TEST(AsyncServiceTest, EvictedTenantRestoresTransparentlyAndWarm) {
   (void)service.Solve("b", UtilityObjective::kOutputSize, query).value();
 
   // Stats never reloads, so polling observes the eviction without undoing
-  // it.
-  ASSERT_TRUE(WaitFor([&] { return StatsOf(service, "a").evictions >= 1; }));
-  EXPECT_EQ(StatsOf(service, "a").resident_bytes, 0u);
+  // it. Poll for the evicted state (not just the counter): an eviction
+  // that landed before the solve was already undone by the solve's
+  // transparent reload, and the idle tenant re-evicts on a later tick.
+  ASSERT_TRUE(WaitFor([&] {
+    const serve::TenantStats stats = StatsOf(service, "a");
+    return stats.evictions >= 1 && stats.resident_bytes == 0;
+  }));
 
   const Result<UmpSolution> after =
       service.Solve("a", UtilityObjective::kOutputSize, query);
@@ -314,7 +318,9 @@ TEST(AsyncServiceTest, EvictedTenantRestoresTransparentlyAndWarm) {
   EXPECT_TRUE(after->stats.warm_started);
   const serve::TenantStats stats = StatsOf(service, "a");
   EXPECT_GE(stats.reloads, 1u);
-  EXPECT_GT(stats.resident_bytes, 0u);
+  // Resident again after the reload — unless the 1-byte budget already
+  // re-evicted the now-idle tenant on a subsequent maintenance tick.
+  EXPECT_TRUE(stats.resident_bytes > 0 || stats.evictions >= 2);
 }
 
 // Spill snapshots hold raw un-sanitized logs; shutting the service down
@@ -334,7 +340,11 @@ TEST(AsyncServiceTest, ShutdownRemovesSpillFiles) {
         .value();
     ASSERT_TRUE(
         WaitFor([&] { return StatsOf(service, "t").evictions >= 1; }));
-    EXPECT_FALSE(std::filesystem::is_empty(dir));  // spill file on disk
+    // The counter can be ahead of the disk: an eviction that landed before
+    // the solve was already undone by the solve's transparent reload. The
+    // tenant is idle now, so the next tick re-evicts; poll for the file.
+    ASSERT_TRUE(
+        WaitFor([&] { return !std::filesystem::is_empty(dir); }));
   }
   EXPECT_TRUE(std::filesystem::is_empty(dir));
   std::filesystem::remove_all(dir);
@@ -350,6 +360,139 @@ TEST(AsyncServiceTest, DropThroughTheQueueReleasesTheName) {
   // The name is reusable, and requests to the dropped tenant fail NotFound.
   EXPECT_EQ(service.Flush("t").code(), StatusCode::kNotFound);
   EXPECT_TRUE(service.CreateTenant("t", Synthetic(32)).ok());
+}
+
+// The callback Submit overload (the network front-end's path): delivered
+// from a worker on success, inline for pre-queue failures.
+TEST(AsyncServiceTest, CallbackSubmitDeliversExactlyOnce) {
+  serve::SanitizerService service;
+  ASSERT_TRUE(service.CreateTenant("t", Synthetic(51)).ok());
+
+  std::promise<serve::ServeResponse> solved;
+  service.Submit(
+      serve::SolveRequest{"t", UtilityObjective::kOutputSize,
+                          Query(2.0, 0.5)},
+      [&](serve::ServeResponse response) {
+        solved.set_value(std::move(response));
+      });
+  serve::ServeResponse response = solved.get_future().get();
+  ASSERT_TRUE(response.ok()) << response.status;
+  EXPECT_NE(response.solution(), nullptr);
+
+  // Unknown tenant: the callback still runs (inline), with NotFound.
+  std::promise<Status> missing;
+  service.Submit(serve::StatsRequest{"nope"},
+                 [&](serve::ServeResponse r) {
+                   missing.set_value(std::move(r.status));
+                 });
+  EXPECT_EQ(missing.get_future().get().code(), StatusCode::kNotFound);
+}
+
+// max_queue_depth: flooding one tenant's queue rejects the overflow with
+// kResourceExhausted; DropTenant stays admissible on a full queue.
+TEST(AsyncServiceTest, AdmissionControlRejectsFloodedTenant) {
+  serve::ServiceOptions options;
+  options.num_threads = 1;  // one worker: a slow job blocks the lane
+  options.max_queue_depth = 2;
+  serve::SanitizerService service(options);
+  ASSERT_TRUE(service.CreateTenant("t", Synthetic(52)).ok());
+
+  // Park the single worker in a sweep, then flood.
+  std::vector<UmpQuery> grid;
+  for (int i = 0; i < 6; ++i) grid.push_back(Query(1.5 + 0.2 * i, 0.5));
+  std::future<serve::ServeResponse> sweep = service.Submit(
+      serve::SweepRequest{"t", UtilityObjective::kOutputSize, grid, {}});
+
+  const SearchLog batch = Synthetic(53, /*users=*/10, /*events=*/200);
+  std::vector<std::future<serve::ServeResponse>> appends;
+  for (int i = 0; i < 10; ++i) {
+    appends.push_back(service.Submit(serve::AppendRequest{"t", batch}));
+  }
+  // Drop is exempt: it must queue even though the tenant is flooded.
+  std::future<serve::ServeResponse> drop =
+      service.Submit(serve::DropTenantRequest{"t"});
+
+  size_t rejected = 0;
+  for (std::future<serve::ServeResponse>& append : appends) {
+    const Status status = append.get().status;
+    if (status.code() == StatusCode::kResourceExhausted) {
+      ++rejected;
+    } else {
+      EXPECT_TRUE(status.ok()) << status;
+    }
+  }
+  // Depth 2 against a burst of 10 on a blocked lane: most must bounce.
+  EXPECT_GE(rejected, 7u);
+  EXPECT_TRUE(sweep.get().ok());
+  EXPECT_TRUE(drop.get().ok());
+}
+
+// The read-only fast lane: with fast_lane on, a Stats probe submitted
+// behind a multi-cell Sweep overtakes it instead of waiting out the queue.
+TEST(AsyncServiceTest, FastLaneStatsOvertakesHeavyQueue) {
+  serve::ServiceOptions options;
+  options.num_threads = 2;  // heavy lane + fast lane
+  options.fast_lane = true;
+  serve::SanitizerService service(options);
+  ASSERT_TRUE(
+      service.CreateTenant("t", Synthetic(54, /*users=*/120, /*events=*/6000))
+          .ok());
+
+  std::vector<UmpQuery> grid;
+  for (int i = 0; i < 12; ++i) grid.push_back(Query(1.3 + 0.1 * i, 0.5));
+  std::future<serve::ServeResponse> sweep = service.Submit(
+      serve::SweepRequest{"t", UtilityObjective::kOutputSize, grid, {}});
+
+  std::future<serve::ServeResponse> stats =
+      service.Submit(serve::StatsRequest{"t"});
+  serve::ServeResponse response = stats.get();
+  ASSERT_TRUE(response.ok()) << response.status;
+  ASSERT_NE(response.stats(), nullptr);
+  // The probe rode the fast lane (answered under cmu, not queued behind
+  // the sweep) — the counter is the deterministic witness.
+  EXPECT_GE(response.stats()->fast_lane_hits, 1u);
+  EXPECT_TRUE(sweep.get().ok());
+}
+
+// A cached Solve is fast-lane eligible; a pending append (stale-in-flight
+// cache) or a cache miss routes it back to the heavy lane, so results
+// always reflect every earlier append.
+TEST(AsyncServiceTest, FastLaneServesCachedSolvesAndYieldsOnAppends) {
+  serve::ServiceOptions options;
+  options.fast_lane = true;
+  serve::SanitizerService service(options);
+  ASSERT_TRUE(service.CreateTenant("t", Synthetic(55)).ok());
+  const UmpQuery query = Query(2.0, 0.5);
+
+  // Prime the cache on the heavy lane. Note every StatsOf below is itself
+  // one fast-lane hit (Stats rides the fast lane too), so the expected
+  // counts are exact arithmetic, not inequalities.
+  const uint64_t first =
+      service.Solve("t", UtilityObjective::kOutputSize, query)
+          .value()
+          .output_size;
+  const uint64_t fast_before = StatsOf(service, "t").fast_lane_hits;
+
+  // Same query again: eligible, served from the cache on the fast lane.
+  const Result<UmpSolution> again =
+      service.Solve("t", UtilityObjective::kOutputSize, query);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again->output_size, first);
+  // + the cached solve + this StatsOf.
+  EXPECT_EQ(StatsOf(service, "t").fast_lane_hits, fast_before + 2);
+
+  // Queue an append: the cached result is stale-in-flight, so the same
+  // query must take the heavy lane (flush first, then re-solve).
+  ASSERT_TRUE(
+      service.Append("t", Synthetic(56, /*users=*/10, /*events=*/400)).ok());
+  const uint64_t fast_mid = StatsOf(service, "t").fast_lane_hits;
+  const Result<UmpSolution> after =
+      service.Solve("t", UtilityObjective::kOutputSize, query);
+  ASSERT_TRUE(after.ok()) << after.status();
+  serve::TenantStats stats = StatsOf(service, "t");
+  // Only this StatsOf hit the fast lane — the solve took the heavy lane.
+  EXPECT_EQ(stats.fast_lane_hits, fast_mid + 1);
+  EXPECT_GE(stats.flushes, 1u);  // the append landed first
 }
 
 }  // namespace

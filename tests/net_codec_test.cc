@@ -1,0 +1,572 @@
+// The binary wire protocol: frame encode/decode under arbitrary stream
+// chunking, typed round trips of every ServeRequest/ServeResponse
+// alternative, router tenant peeking, and rejection of malformed frames —
+// bad magic/version/verb, hostile lengths, truncated and trailing-junk
+// payloads — with typed errors, never crashes or over-allocation.
+#include "net/codec.h"
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/frame.h"
+#include "serve/api.h"
+#include "synth/generator.h"
+#include "test_fixtures.h"
+
+namespace privsan {
+namespace {
+
+using net::Frame;
+using net::FrameDecoder;
+using net::FrameVerb;
+
+SearchLog Synthetic(uint64_t seed = 7) {
+  SyntheticLogConfig config = TinyConfig();
+  config.seed = seed;
+  config.num_users = 40;
+  config.num_events = 1500;
+  return GenerateSearchLog(config).value();
+}
+
+UmpQuery Query(double e_eps, double delta, uint64_t output_size = 0) {
+  UmpQuery query;
+  query.privacy = PrivacyParams::FromEEpsilon(e_eps, delta);
+  query.output_size = output_size;
+  return query;
+}
+
+// Id-sensitive log equality (the snapshot codec preserves ids exactly).
+void ExpectLogsIdentical(const SearchLog& a, const SearchLog& b) {
+  ASSERT_EQ(a.num_users(), b.num_users());
+  ASSERT_EQ(a.num_pairs(), b.num_pairs());
+  ASSERT_EQ(a.total_clicks(), b.total_clicks());
+  for (UserId u = 0; u < a.num_users(); ++u) {
+    EXPECT_EQ(a.user_name(u), b.user_name(u)) << "user " << u;
+  }
+  for (PairId p = 0; p < a.num_pairs(); ++p) {
+    EXPECT_EQ(a.pair_total(p), b.pair_total(p)) << "pair " << p;
+  }
+}
+
+// Encode -> decode of a request, through the frame layer byte stream.
+serve::ServeRequest RoundTripRequest(const serve::ServeRequest& request,
+                                     uint64_t request_id = 17) {
+  Frame frame = net::EncodeRequest(request, request_id).value();
+  FrameDecoder decoder;
+  decoder.Feed(net::EncodeFrame(frame));
+  Frame wire;
+  EXPECT_TRUE(decoder.Next(&wire).value());
+  EXPECT_EQ(wire.request_id, request_id);
+  EXPECT_EQ(static_cast<int>(wire.verb), static_cast<int>(frame.verb));
+  return net::DecodeRequest(wire).value();
+}
+
+serve::ServeResponse RoundTripResponse(const serve::ServeResponse& response,
+                                       uint64_t request_id = 23) {
+  Frame frame = net::EncodeResponse(response, request_id);
+  FrameDecoder decoder;
+  decoder.Feed(net::EncodeFrame(frame));
+  Frame wire;
+  EXPECT_TRUE(decoder.Next(&wire).value());
+  EXPECT_EQ(wire.request_id, request_id);
+  return net::DecodeResponse(wire).value();
+}
+
+// --- Frame layer -----------------------------------------------------------
+
+TEST(FrameTest, RoundTripsThroughArbitraryChunking) {
+  Frame frame;
+  frame.verb = FrameVerb::kSolve;
+  frame.status = 0;
+  frame.request_id = 0xDEADBEEFCAFEBABEull;
+  frame.payload = "solve payload bytes";
+  const std::string wire = net::EncodeFrame(frame);
+
+  // Feed one byte at a time: Next stays "need more" until the last byte.
+  FrameDecoder decoder;
+  Frame out;
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    decoder.Feed(wire.data() + i, 1);
+    EXPECT_FALSE(decoder.Next(&out).value()) << "byte " << i;
+  }
+  decoder.Feed(wire.data() + wire.size() - 1, 1);
+  ASSERT_TRUE(decoder.Next(&out).value());
+  EXPECT_EQ(static_cast<int>(out.verb), static_cast<int>(FrameVerb::kSolve));
+  EXPECT_EQ(out.request_id, frame.request_id);
+  EXPECT_EQ(out.payload, frame.payload);
+  EXPECT_FALSE(decoder.Next(&out).value());
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameTest, PopsPipelinedFramesFromOneChunk) {
+  std::string wire;
+  for (uint64_t id = 1; id <= 5; ++id) {
+    Frame frame;
+    frame.verb = FrameVerb::kStats;
+    frame.request_id = id;
+    frame.payload = std::string(id, 'x');
+    net::EncodeFrame(frame, &wire);
+  }
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  for (uint64_t id = 1; id <= 5; ++id) {
+    Frame out;
+    ASSERT_TRUE(decoder.Next(&out).value()) << "frame " << id;
+    EXPECT_EQ(out.request_id, id);
+    EXPECT_EQ(out.payload.size(), id);
+  }
+  Frame out;
+  EXPECT_FALSE(decoder.Next(&out).value());
+}
+
+TEST(FrameTest, EmptyPayloadFrame) {
+  Frame frame;
+  frame.verb = FrameVerb::kFlush;
+  frame.request_id = 3;
+  FrameDecoder decoder;
+  decoder.Feed(net::EncodeFrame(frame));
+  Frame out;
+  ASSERT_TRUE(decoder.Next(&out).value());
+  EXPECT_TRUE(out.payload.empty());
+}
+
+TEST(FrameTest, RejectsBadMagic) {
+  std::string wire = net::EncodeFrame(Frame{});
+  wire[4] ^= 0x5A;  // corrupt the magic
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  Frame out;
+  Result<bool> next = decoder.Next(&out);
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameTest, RejectsUnknownVersionAndVerb) {
+  {
+    std::string wire = net::EncodeFrame(Frame{});
+    wire[8] = 99;  // version byte
+    FrameDecoder decoder;
+    decoder.Feed(wire);
+    Frame out;
+    EXPECT_FALSE(decoder.Next(&out).ok());
+  }
+  {
+    std::string wire = net::EncodeFrame(Frame{});
+    wire[9] = net::kMaxFrameVerb + 1;  // verb byte
+    FrameDecoder decoder;
+    decoder.Feed(wire);
+    Frame out;
+    EXPECT_FALSE(decoder.Next(&out).ok());
+  }
+}
+
+// A hostile length field fails from the prefix alone — before the decoder
+// waits for (or allocates) the advertised bytes.
+TEST(FrameTest, RejectsHostileLengthsWithoutBuffering) {
+  {
+    // Length too small to hold the header.
+    std::string wire(4, '\0');
+    const uint32_t length = 8;
+    std::memcpy(wire.data(), &length, sizeof(length));
+    FrameDecoder decoder;
+    decoder.Feed(wire);
+    Frame out;
+    EXPECT_FALSE(decoder.Next(&out).ok());
+  }
+  {
+    // Length advertising a payload beyond the cap: only 4 bytes fed, the
+    // decoder must reject instead of waiting for 4 GiB.
+    std::string wire(4, '\0');
+    const uint32_t length = 0xF0000000u;
+    std::memcpy(wire.data(), &length, sizeof(length));
+    FrameDecoder decoder;
+    decoder.Feed(wire);
+    Frame out;
+    EXPECT_FALSE(decoder.Next(&out).ok());
+  }
+}
+
+TEST(FrameTest, HonorsCustomPayloadCap) {
+  Frame frame;
+  frame.verb = FrameVerb::kAppend;
+  frame.payload = std::string(1024, 'p');
+  FrameDecoder decoder(/*max_payload=*/512);
+  decoder.Feed(net::EncodeFrame(frame));
+  Frame out;
+  EXPECT_FALSE(decoder.Next(&out).ok());
+}
+
+// --- Request round trips ----------------------------------------------------
+
+TEST(CodecTest, RoundTripsCreateTenant) {
+  const SearchLog log = Synthetic(11);
+  serve::ServeRequest decoded = RoundTripRequest(
+      serve::CreateTenantRequest{"tenant-a", log, std::nullopt});
+  auto* create = std::get_if<serve::CreateTenantRequest>(&decoded);
+  ASSERT_NE(create, nullptr);
+  EXPECT_EQ(create->tenant, "tenant-a");
+  EXPECT_FALSE(create->options.has_value());
+  ExpectLogsIdentical(create->initial, log);
+}
+
+TEST(CodecTest, RoundTripsAppend) {
+  const SearchLog log = Synthetic(12);
+  serve::ServeRequest decoded =
+      RoundTripRequest(serve::AppendRequest{"t", log});
+  auto* append = std::get_if<serve::AppendRequest>(&decoded);
+  ASSERT_NE(append, nullptr);
+  ExpectLogsIdentical(append->logs, log);
+}
+
+TEST(CodecTest, RoundTripsTenantOnlyVerbs) {
+  {
+    serve::ServeRequest decoded =
+        RoundTripRequest(serve::FlushRequest{"flushed"});
+    auto* flush = std::get_if<serve::FlushRequest>(&decoded);
+    ASSERT_NE(flush, nullptr);
+    EXPECT_EQ(flush->tenant, "flushed");
+  }
+  {
+    serve::ServeRequest decoded =
+        RoundTripRequest(serve::StatsRequest{"stated"});
+    ASSERT_NE(std::get_if<serve::StatsRequest>(&decoded), nullptr);
+  }
+  {
+    serve::ServeRequest decoded =
+        RoundTripRequest(serve::DropTenantRequest{"dropped"});
+    auto* drop = std::get_if<serve::DropTenantRequest>(&decoded);
+    ASSERT_NE(drop, nullptr);
+    EXPECT_EQ(drop->tenant, "dropped");
+  }
+}
+
+TEST(CodecTest, RoundTripsSolveWithAndWithoutSolver) {
+  UmpQuery query = Query(0.12, 1e-5, 40);
+  query.solver = DumpSolverKind::kBranchAndBound;
+  serve::ServeRequest decoded = RoundTripRequest(
+      serve::SolveRequest{"t", UtilityObjective::kDiversity, query});
+  auto* solve = std::get_if<serve::SolveRequest>(&decoded);
+  ASSERT_NE(solve, nullptr);
+  EXPECT_EQ(solve->objective, UtilityObjective::kDiversity);
+  EXPECT_EQ(solve->query.privacy.epsilon, query.privacy.epsilon);
+  EXPECT_EQ(solve->query.privacy.delta, query.privacy.delta);
+  EXPECT_EQ(solve->query.output_size, 40u);
+  ASSERT_TRUE(solve->query.solver.has_value());
+  EXPECT_EQ(*solve->query.solver, DumpSolverKind::kBranchAndBound);
+
+  query.solver.reset();
+  decoded = RoundTripRequest(
+      serve::SolveRequest{"t", UtilityObjective::kOutputSize, query});
+  solve = std::get_if<serve::SolveRequest>(&decoded);
+  ASSERT_NE(solve, nullptr);
+  EXPECT_FALSE(solve->query.solver.has_value());
+}
+
+TEST(CodecTest, RoundTripsSweep) {
+  serve::SweepRequest request;
+  request.tenant = "sweeper";
+  request.objective = UtilityObjective::kFrequentPairs;
+  request.grid = {Query(0.05, 1e-4), Query(0.2, 1e-5, 10)};
+  request.sweep.warm_start = false;
+  request.sweep.min_support = 3.5;
+  serve::ServeRequest decoded = RoundTripRequest(request);
+  auto* sweep = std::get_if<serve::SweepRequest>(&decoded);
+  ASSERT_NE(sweep, nullptr);
+  EXPECT_EQ(sweep->objective, UtilityObjective::kFrequentPairs);
+  ASSERT_EQ(sweep->grid.size(), 2u);
+  EXPECT_EQ(sweep->grid[0].privacy.epsilon, request.grid[0].privacy.epsilon);
+  EXPECT_EQ(sweep->grid[1].output_size, 10u);
+  EXPECT_FALSE(sweep->sweep.warm_start);
+  ASSERT_TRUE(sweep->sweep.min_support.has_value());
+  EXPECT_EQ(*sweep->sweep.min_support, 3.5);
+}
+
+TEST(CodecTest, RoundTripsSanitizeAndSnapshotVerbs) {
+  {
+    const PrivacyParams privacy = PrivacyParams::FromEEpsilon(0.3, 1e-6);
+    serve::ServeRequest decoded =
+        RoundTripRequest(serve::SanitizeRequest{"t", privacy});
+    auto* sanitize = std::get_if<serve::SanitizeRequest>(&decoded);
+    ASSERT_NE(sanitize, nullptr);
+    EXPECT_EQ(sanitize->privacy.epsilon, privacy.epsilon);
+    EXPECT_EQ(sanitize->privacy.delta, privacy.delta);
+  }
+  {
+    serve::ServeRequest decoded = RoundTripRequest(
+        serve::SaveSnapshotRequest{"t", "/tmp/t.snap"});
+    auto* save = std::get_if<serve::SaveSnapshotRequest>(&decoded);
+    ASSERT_NE(save, nullptr);
+    EXPECT_EQ(save->path, "/tmp/t.snap");
+  }
+  {
+    serve::ServeRequest decoded = RoundTripRequest(
+        serve::RestoreTenantRequest{"t", "/tmp/t.snap", std::nullopt});
+    auto* restore = std::get_if<serve::RestoreTenantRequest>(&decoded);
+    ASSERT_NE(restore, nullptr);
+    EXPECT_EQ(restore->path, "/tmp/t.snap");
+    EXPECT_FALSE(restore->options.has_value());
+  }
+}
+
+TEST(CodecTest, RejectsSessionOptionsOverrides) {
+  SessionOptions options;
+  Result<Frame> frame = net::EncodeRequest(
+      serve::CreateTenantRequest{"t", SearchLog(), options}, 1);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+  frame = net::EncodeRequest(
+      serve::RestoreTenantRequest{"t", "p", options}, 1);
+  EXPECT_FALSE(frame.ok());
+}
+
+TEST(CodecTest, PeeksTenantWithoutFullDecode) {
+  const Frame frame =
+      net::EncodeRequest(serve::AppendRequest{"shard-key", Synthetic(13)}, 5)
+          .value();
+  EXPECT_EQ(net::PeekTenant(frame).value(), "shard-key");
+  // Response frames address no tenant.
+  EXPECT_FALSE(
+      net::PeekTenant(net::EncodeResponse({Status::OK(), {}}, 5)).ok());
+}
+
+// --- Response round trips ---------------------------------------------------
+
+TEST(CodecTest, RoundTripsErrorStatusResponse) {
+  serve::ServeResponse response;
+  response.status = Status::ResourceExhausted("tenant queue full: t");
+  // The status code rides the frame header, readable pre-decode.
+  const Frame frame = net::EncodeResponse(response, 9);
+  EXPECT_EQ(frame.status,
+            static_cast<uint16_t>(StatusCode::kResourceExhausted));
+  serve::ServeResponse decoded = RoundTripResponse(response);
+  EXPECT_EQ(decoded.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(decoded.status.message(), "tenant queue full: t");
+  EXPECT_EQ(decoded.solution(), nullptr);
+}
+
+TEST(CodecTest, RoundTripsSolutionPayload) {
+  UmpSolution solution;
+  solution.objective = UtilityObjective::kFrequentPairs;
+  solution.x = {3, 0, 7, 2};
+  solution.x_relaxed = {3.25, 0.0, 6.5, 2.0};
+  solution.objective_value = 12.75;
+  solution.output_size = 12;
+  solution.basis.state = {lp::VarStatus::kAtLower, lp::VarStatus::kBasic,
+                          lp::VarStatus::kAtUpper, lp::VarStatus::kBasic};
+  solution.basis.basic = {1, 3};
+  solution.stats.simplex_iterations = 41;
+  solution.stats.dual_iterations = 17;
+  solution.stats.refactorizations = 2;
+  solution.stats.warm_started = true;
+  solution.stats.factor_nnz = 999;
+  solution.stats.max_update_run = 12;
+  solution.stats.wall_seconds = 0.125;
+  solution.frequent_pairs = {0, 2};
+  solution.used_precision_caps = true;
+  solution.proven_optimal = true;
+
+  serve::ServeResponse decoded =
+      RoundTripResponse({Status::OK(), solution});
+  ASSERT_TRUE(decoded.ok());
+  const UmpSolution* out = decoded.solution();
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->objective, solution.objective);
+  EXPECT_EQ(out->x, solution.x);
+  EXPECT_EQ(out->x_relaxed, solution.x_relaxed);
+  EXPECT_EQ(out->objective_value, solution.objective_value);
+  EXPECT_EQ(out->output_size, solution.output_size);
+  EXPECT_EQ(out->basis.basic, solution.basis.basic);
+  ASSERT_EQ(out->basis.state.size(), solution.basis.state.size());
+  EXPECT_EQ(out->stats.simplex_iterations, 41);
+  EXPECT_EQ(out->stats.dual_iterations, 17);
+  EXPECT_EQ(out->stats.refactorizations, 2);
+  EXPECT_TRUE(out->stats.warm_started);
+  EXPECT_EQ(out->stats.factor_nnz, 999u);
+  EXPECT_EQ(out->stats.max_update_run, 12);
+  EXPECT_EQ(out->stats.wall_seconds, 0.125);
+  EXPECT_EQ(out->frequent_pairs, solution.frequent_pairs);
+  EXPECT_TRUE(out->used_precision_caps);
+  EXPECT_TRUE(out->proven_optimal);
+}
+
+TEST(CodecTest, RoundTripsSweepPayload) {
+  SweepResult sweep;
+  sweep.cells.resize(2);
+  sweep.cells[0].objective_value = 5.0;
+  sweep.cells[0].x = {1, 2};
+  sweep.cells[1].objective_value = 9.0;
+  sweep.cells[1].stats.warm_started = true;
+  sweep.total_simplex_iterations = 100;
+  sweep.total_dual_iterations = 40;
+  sweep.total_root_iterations = 60;
+  sweep.warm_solves = 1;
+  sweep.repair_aborted = 0;
+  sweep.factor_nnz = 512;
+  sweep.max_update_run = 8;
+  sweep.wall_seconds = 1.5;
+
+  serve::ServeResponse decoded = RoundTripResponse({Status::OK(), sweep});
+  const SweepResult* out = decoded.sweep();
+  ASSERT_NE(out, nullptr);
+  ASSERT_EQ(out->cells.size(), 2u);
+  EXPECT_EQ(out->cells[0].objective_value, 5.0);
+  EXPECT_EQ(out->cells[0].x, (std::vector<uint64_t>{1, 2}));
+  EXPECT_TRUE(out->cells[1].stats.warm_started);
+  EXPECT_EQ(out->total_simplex_iterations, 100);
+  EXPECT_EQ(out->factor_nnz, 512u);
+  EXPECT_EQ(out->wall_seconds, 1.5);
+}
+
+TEST(CodecTest, RoundTripsReportPayload) {
+  SanitizeReport report;
+  report.output = Synthetic(21);
+  report.preprocessed_input = Synthetic(22);
+  report.preprocess_stats.pairs_removed = 5;
+  report.preprocess_stats.pairs_retained = 30;
+  report.preprocess_stats.users_dropped = 2;
+  report.preprocess_stats.clicks_removed = 17;
+  report.preprocess_stats.clicks_retained = 400;
+  report.optimal_counts = {4, 0, 9};
+  report.output_size = 13;
+  report.audit.satisfies_privacy = true;
+  report.audit.condition1_ok = true;
+  report.audit.condition2_ok = false;
+  report.audit.condition3_ok = true;
+  report.audit.max_ratio = 1.75;
+  report.audit.max_leak_probability = 1e-6;
+  report.audit.worst_user = 19;
+  report.audit.max_row_lhs = 0.25;
+  report.audit.budget = 0.5;
+  report.solve_seconds = 2.5;
+
+  serve::ServeResponse decoded = RoundTripResponse({Status::OK(), report});
+  const SanitizeReport* out = decoded.report();
+  ASSERT_NE(out, nullptr);
+  ExpectLogsIdentical(out->output, report.output);
+  ExpectLogsIdentical(out->preprocessed_input, report.preprocessed_input);
+  EXPECT_EQ(out->preprocess_stats.pairs_removed, 5u);
+  EXPECT_EQ(out->preprocess_stats.users_dropped, 2u);
+  EXPECT_EQ(out->preprocess_stats.clicks_retained, 400u);
+  EXPECT_EQ(out->optimal_counts, report.optimal_counts);
+  EXPECT_EQ(out->output_size, 13u);
+  EXPECT_TRUE(out->audit.satisfies_privacy);
+  EXPECT_FALSE(out->audit.condition2_ok);
+  EXPECT_EQ(out->audit.max_ratio, 1.75);
+  EXPECT_EQ(out->audit.worst_user, 19u);
+  EXPECT_EQ(out->solve_seconds, 2.5);
+}
+
+TEST(CodecTest, RoundTripsStatsPayload) {
+  serve::TenantStats stats;
+  stats.appends_enqueued = 1;
+  stats.flushes = 2;
+  stats.appends_coalesced = 3;
+  stats.maintenance_flushes = 4;
+  stats.solves = 5;
+  stats.cache_hits = 6;
+  stats.cache_misses = 7;
+  stats.repair_aborted = 8;
+  stats.refactorizations = 9;
+  stats.factor_nnz = 10;
+  stats.max_update_run = 11;
+  stats.rows_copied = 12;
+  stats.rows_rebuilt = 13;
+  stats.refresh_solves = 14;
+  stats.evictions = 15;
+  stats.reloads = 16;
+  stats.fast_lane_hits = 17;
+  stats.admission_rejected = 18;
+  stats.resident_bytes = 1 << 20;
+
+  serve::ServeResponse decoded = RoundTripResponse({Status::OK(), stats});
+  const serve::TenantStats* out = decoded.stats();
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->appends_enqueued, 1u);
+  EXPECT_EQ(out->maintenance_flushes, 4u);
+  EXPECT_EQ(out->cache_misses, 7u);
+  EXPECT_EQ(out->rows_rebuilt, 13u);
+  EXPECT_EQ(out->reloads, 16u);
+  EXPECT_EQ(out->fast_lane_hits, 17u);
+  EXPECT_EQ(out->admission_rejected, 18u);
+  EXPECT_EQ(out->resident_bytes, uint64_t{1} << 20);
+}
+
+// --- Malformed payloads -----------------------------------------------------
+
+TEST(CodecTest, RejectsTruncatedPayloads) {
+  Frame frame =
+      net::EncodeRequest(serve::AppendRequest{"t", Synthetic(31)}, 1)
+          .value();
+  // Chop the payload at several depths: every prefix must fail cleanly.
+  for (size_t keep : {size_t{0}, size_t{1}, frame.payload.size() / 2,
+                      frame.payload.size() - 1}) {
+    Frame cut = frame;
+    cut.payload.resize(keep);
+    Result<serve::ServeRequest> decoded = net::DecodeRequest(cut);
+    EXPECT_FALSE(decoded.ok()) << "kept " << keep << " bytes";
+  }
+}
+
+TEST(CodecTest, RejectsTrailingBytes) {
+  Frame frame = net::EncodeRequest(serve::FlushRequest{"t"}, 1).value();
+  frame.payload += "junk";
+  Result<serve::ServeRequest> decoded = net::DecodeRequest(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CodecTest, RejectsOutOfRangeEnums) {
+  {
+    // Solve with an unknown objective byte.
+    Frame frame =
+        net::EncodeRequest(
+            serve::SolveRequest{"t", UtilityObjective::kOutputSize,
+                                Query(0.1, 1e-5)},
+            1)
+            .value();
+    // Payload: tenant string (u64 length + bytes), then the objective.
+    const size_t objective_at = sizeof(uint64_t) + 1;
+    frame.payload[objective_at] = 55;
+    EXPECT_FALSE(net::DecodeRequest(frame).ok());
+  }
+  {
+    // Response with an unknown payload kind.
+    Frame frame = net::EncodeResponse({Status::OK(), {}}, 1);
+    frame.payload.back() = 55;
+    EXPECT_FALSE(net::DecodeResponse(frame).ok());
+  }
+  {
+    // Response with an unknown status code in the header.
+    Frame frame = net::EncodeResponse({Status::OK(), {}}, 1);
+    frame.status = 200;
+    EXPECT_FALSE(net::DecodeResponse(frame).ok());
+  }
+}
+
+TEST(CodecTest, RejectsWrongFrameDirection) {
+  const Frame response = net::EncodeResponse({Status::OK(), {}}, 1);
+  EXPECT_FALSE(net::DecodeRequest(response).ok());
+  const Frame request =
+      net::EncodeRequest(serve::StatsRequest{"t"}, 1).value();
+  EXPECT_FALSE(net::DecodeResponse(request).ok());
+}
+
+// A hostile element count inside a well-framed payload must fail before
+// allocating: craft an Append whose log header claims 2^26 users.
+TEST(CodecTest, RejectsImplausibleElementCounts) {
+  Frame frame =
+      net::EncodeRequest(serve::AppendRequest{"t", SearchLog()}, 1).value();
+  // Payload: tenant "t" (u64 len + 1 byte), then num_users u64.
+  const size_t users_at = sizeof(uint64_t) + 1;
+  const uint64_t huge = 1ull << 40;
+  std::memcpy(frame.payload.data() + users_at, &huge, sizeof(huge));
+  // The ReadCount guard fires (typed error, no allocation).
+  EXPECT_FALSE(net::DecodeRequest(frame).ok());
+}
+
+}  // namespace
+}  // namespace privsan

@@ -30,6 +30,7 @@ import sys
 IDENTITY_FIELDS = {
     "record", "label", "solver", "part", "mode", "e_eps", "delta", "support",
     "output_size", "pairs", "users", "cells", "tenants", "batches", "rows",
+    "clients",
 }
 
 DEFAULT_TOL = 0.25
@@ -53,6 +54,12 @@ METRIC_RULES = {
     "speedup": ("high", 0.6),
     "rows_copied": ("high", DEFAULT_TOL),
     "restored_warm_started": ("high", 0.0),
+    # Distributed cluster bench (bench_distributed_throughput). The
+    # aggregate rate crosses two real processes, so it is noisier than the
+    # in-process rates — same loose tolerance as speedup. A migrated
+    # tenant resuming cold is a correctness regression, zero tolerance.
+    "agg_solves_per_sec": ("high", 0.6),
+    "migrated_warm_started": ("high", 0.0),
     # A warm repair aborting to a cold solve at small scale means the
     # warm-start path regressed outright (the cap is 4m + 1000 there);
     # zero tolerance. (basis_repairs intentionally has no rule: a repair
@@ -92,6 +99,10 @@ DEFAULT_RULE = ("low", DEFAULT_TOL)
 IGNORED_METRICS = {
     "proven_optimal", "solves_per_sec", "mean_first_solve_ms",
     "background_flush_speedup",
+    # scaling_ratio only means something with enough cores to run two
+    # backends in parallel; the bench itself gates it when the hardware
+    # suffices, so the checker treats both as machine facts, not metrics.
+    "scaling_ratio", "hardware_concurrency",
 }
 
 # Latency percentiles are reported-only: tail percentiles over a handful of

@@ -1,0 +1,163 @@
+// sanitizer_routerd — binary-frame front-end that consistent-hashes
+// tenants across sanitizer_serverd --listen backends (see net/router.h).
+//
+// Clients speak the exact same frame protocol as a single serverd, so
+// sanitizer_netclient (and the distributed bench) point at the router
+// unchanged; each tenant's requests land on one pinned backend and keep
+// their FIFO semantics.
+//
+// stdin is the admin channel, one command per line:
+//
+//   ADD <port>      connect a backend, rebalance the ring, migrate the
+//                   tenants whose ring position moved (snapshot restore —
+//                   they resume warm)
+//   REMOVE <port>   drain a backend's tenants onto the ring and drop it
+//   QUIT            shut down
+//
+// Every admin command answers "OK ..." or "ERR ...", preceded by one
+// "MIGRATED <tenant> <from_port> <to_port>" line per moved tenant. On
+// startup the daemon prints "READY port=N" once the listening socket is
+// bound — process supervisors parse it for the ephemeral port.
+//
+// Flags:
+//   --backends=p1,p2,...   initial backend ports (required)
+//   --port=N               listen port (default 0 = ephemeral)
+//   --migrate-dir=PATH     where migration snapshots are staged (default
+//                          "."); must be a filesystem the backends share
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/router.h"
+#include "net/server.h"
+
+namespace {
+
+using namespace privsan;
+
+void PrintMigrations(const std::vector<net::Migration>& migrations) {
+  for (const net::Migration& migration : migrations) {
+    std::cout << "MIGRATED " << migration.tenant << " " << migration.from
+              << " " << migration.to << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  net::Router::Options router_options;
+  uint16_t listen_port = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return 2;
+    }
+    const std::string name = arg.substr(0, eq);
+    try {
+      if (name == "--backends") {
+        std::istringstream in(arg.substr(eq + 1));
+        std::string token;
+        while (std::getline(in, token, ',')) {
+          if (!token.empty()) {
+            router_options.backends.push_back(
+                static_cast<uint16_t>(std::stoul(token)));
+          }
+        }
+      } else if (name == "--port") {
+        listen_port = static_cast<uint16_t>(std::stoul(arg.substr(eq + 1)));
+      } else if (name == "--migrate-dir") {
+        router_options.migrate_dir = arg.substr(eq + 1);
+      } else {
+        std::cerr << "unknown flag: " << name << "\n";
+        return 2;
+      }
+    } catch (const std::exception&) {
+      std::cerr << "bad value for " << name << "\n";
+      return 2;
+    }
+  }
+  if (router_options.backends.empty()) {
+    std::cerr << "usage: sanitizer_routerd --backends=p1,p2,...\n";
+    return 2;
+  }
+
+  net::Router router(std::move(router_options));
+  const Status started = router.Start();
+  if (!started.ok()) {
+    std::cerr << "backend connect failed: " << started.ToString() << "\n";
+    return 1;
+  }
+
+  net::ServerOptions server_options;
+  server_options.port = listen_port;
+  net::NetServer server(
+      net::NetServer::FrameHandler(
+          [&router](serve::ServeRequest request,
+                    std::function<void(serve::ServeResponse)> respond) {
+            router.Submit(std::move(request), std::move(respond));
+          }),
+      server_options);
+  const Status bound = server.Start();
+  if (!bound.ok()) {
+    std::cerr << "listen failed: " << bound.ToString() << "\n";
+    return 1;
+  }
+  std::thread serve_thread([&server] {
+    const Status served = server.Serve();
+    if (!served.ok()) {
+      std::cerr << "serve failed: " << served.ToString() << "\n";
+    }
+  });
+  std::cout << "READY port=" << server.port() << std::endl;
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string command;
+    if (!(in >> command) || command[0] == '#') continue;
+    if (command == "QUIT") {
+      std::cout << "OK bye" << std::endl;
+      break;
+    }
+    uint16_t port = 0;
+    if ((command == "ADD" || command == "REMOVE")) {
+      unsigned value = 0;
+      if (!(in >> value) || value == 0 || value > 65535) {
+        std::cout << "ERR usage: " << command << " <port>" << std::endl;
+        continue;
+      }
+      port = static_cast<uint16_t>(value);
+    }
+    if (command == "ADD") {
+      Result<std::vector<net::Migration>> migrated = router.AddBackend(port);
+      if (!migrated.ok()) {
+        std::cout << "ERR " << migrated.status().ToString() << std::endl;
+      } else {
+        PrintMigrations(*migrated);
+        std::cout << "OK backends=" << router.backend_count()
+                  << " migrated=" << migrated->size() << std::endl;
+      }
+    } else if (command == "REMOVE") {
+      Result<std::vector<net::Migration>> migrated =
+          router.RemoveBackend(port);
+      if (!migrated.ok()) {
+        std::cout << "ERR " << migrated.status().ToString() << std::endl;
+      } else {
+        PrintMigrations(*migrated);
+        std::cout << "OK backends=" << router.backend_count()
+                  << " migrated=" << migrated->size() << std::endl;
+      }
+    } else {
+      std::cout << "ERR unknown admin command: " << command << std::endl;
+    }
+  }
+
+  server.Shutdown();
+  serve_thread.join();
+  return 0;
+}

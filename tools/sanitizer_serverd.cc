@@ -1,9 +1,13 @@
-// sanitizer_serverd — pipelined line-protocol codec over the typed serve
-// API (serve/api.h).
+// sanitizer_serverd — the serving daemon, over stdin or TCP.
 //
-// Reads commands from stdin, one per line, and answers on stdout with a
-// single "OK ..." or "ERR ..." line per command (blank lines and #-comments
-// are ignored), so a whole serving session can be scripted through a pipe:
+// Default mode reads the line protocol from stdin and answers on stdout,
+// one "OK ..." or "ERR ..." line per command (blank lines and #-comments
+// are ignored), so a whole serving session can be scripted through a
+// pipe. With --listen the daemon serves TCP on loopback instead: binary
+// net/frame.h frames by default (what sanitizer_netclient and the router
+// speak), or the same text line protocol with --protocol=text.
+//
+// The command set (see net/text_protocol.h, shared by every transport):
 //
 //   CREATE <tenant>                         new empty tenant
 //   GEN <tenant> <users> <events> <seed>    enqueue a synthetic append batch
@@ -13,130 +17,113 @@
 //   SWEEP <tenant> <OUMP|FUMP|DUMP> <delta> <e_eps...>   warm-started sweep
 //   SNAPSHOT <tenant> <path>                persist session state
 //   RESTORE <tenant> <path>                 create tenant from a snapshot
+//   DROP <tenant>                           drop a tenant
 //   STATS <tenant>                          serve-path counters
 //   TENANTS                                 list tenants
 //   QUIT
 //
-// The daemon is now a thin codec: each line parses into one or more
-// ServeRequests handed to SanitizerService::Submit, and the reply line is
-// formatted from the resolved futures. Because Submit returns immediately
-// and per-tenant queues preserve submission order, the protocol is
-// *pipelined*: issue N commands without waiting, then read N replies in
-// order — commands for distinct tenants execute in parallel, commands for
-// one tenant in their submitted order. (SOLVE's `cached=` flag rides the
-// same ordering: it is computed from Stats requests submitted immediately
-// before and after the solve on the same tenant queue.)
+// Every transport is *pipelined*: issue N commands without waiting, then
+// read N replies in order — commands for distinct tenants execute in
+// parallel, commands for one tenant in their submitted order. A malformed
+// line (unknown command, counts out of range, bad numbers) answers ERR
+// and the pipeline continues; it never kills the daemon.
 //
 // Flags (all optional):
+//   --listen=PORT         serve TCP on 127.0.0.1:PORT (0 = ephemeral);
+//                         prints "READY port=N" on stdout when bound
+//   --protocol=binary|text   TCP framing (default binary)
+//   --threads=N           service worker threads (default: hardware)
+//   --max-queue-depth=N   per-tenant admission cap (0 = unlimited)
 //   --maintenance-ms=N    maintenance thread tick (default 0 = off)
 //   --flush-depth=N       background flush at queue depth N
 //   --flush-age-ms=N      background flush at queue age N ms
 //   --memory-budget=N     global resident budget in bytes (0 = unlimited)
 //   --spill-dir=PATH      eviction snapshot directory (default ".")
+#include <condition_variable>
 #include <deque>
-#include <functional>
-#include <future>
 #include <iostream>
-#include <optional>
-#include <sstream>
+#include <memory>
+#include <mutex>
 #include <string>
-#include <vector>
+#include <utility>
 
-#include "core/privacy_params.h"
+#include "net/server.h"
+#include "net/text_protocol.h"
 #include "serve/api.h"
 #include "serve/service.h"
-#include "synth/generator.h"
 
 namespace {
 
 using namespace privsan;
 
-std::optional<UtilityObjective> ParseObjective(const std::string& token) {
-  if (token == "OUMP" || token == "O-UMP" || token == "oump") {
-    return UtilityObjective::kOutputSize;
-  }
-  if (token == "FUMP" || token == "F-UMP" || token == "fump") {
-    return UtilityObjective::kFrequentPairs;
-  }
-  if (token == "DUMP" || token == "D-UMP" || token == "dump") {
-    return UtilityObjective::kDiversity;
-  }
-  return std::nullopt;
+uint64_t ParseFlagValue(const std::string& arg, size_t eq) {
+  return std::stoull(arg.substr(eq + 1));
 }
 
-// One in-flight reply: the futures it formats from (in submit order) and
-// the formatter producing its single output line.
-struct PendingReply {
-  std::vector<std::future<serve::ServeResponse>> futures;
-  std::function<std::string(std::vector<serve::ServeResponse>&)> format;
+// One stdin command awaiting its reply line; resolved from a service
+// worker thread, printed by the main loop in command order.
+struct LineSlot {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::string reply;
 
-  bool Ready() const {
-    for (const auto& future : futures) {
-      if (future.wait_for(std::chrono::seconds(0)) !=
-          std::future_status::ready) {
-        return false;
-      }
+  void Resolve(std::string text) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      reply = std::move(text);
+      done = true;
     }
-    return true;
+    cv.notify_one();
   }
-
-  std::string Resolve() {
-    std::vector<serve::ServeResponse> responses;
-    responses.reserve(futures.size());
-    for (auto& future : futures) responses.push_back(future.get());
-    return format(responses);
+  bool Ready() {
+    std::lock_guard<std::mutex> lock(mu);
+    return done;
+  }
+  std::string Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return done; });
+    return reply;
   }
 };
 
-std::string ErrLine(const Status& status) {
-  return "ERR " + status.ToString();
-}
+int RunStdin(net::TextProtocol& protocol) {
+  // Replies print strictly in command order; a bounded window keeps
+  // memory flat if a script floods commands faster than solves complete.
+  constexpr size_t kMaxPipelineDepth = 256;
+  std::deque<std::shared_ptr<LineSlot>> pipeline;
 
-// The default formatter for ack-only commands.
-PendingReply AckReply(std::future<serve::ServeResponse> future,
-                      std::string ok_line) {
-  PendingReply reply;
-  reply.futures.push_back(std::move(future));
-  reply.format = [ok_line =
-                      std::move(ok_line)](auto& responses) -> std::string {
-    return responses[0].ok() ? ok_line : ErrLine(responses[0].status);
+  auto flush_ready = [&pipeline](bool drain_all) {
+    while (!pipeline.empty() &&
+           (drain_all || pipeline.size() >= kMaxPipelineDepth ||
+            pipeline.front()->Ready())) {
+      const std::string reply = pipeline.front()->Wait();
+      if (!reply.empty()) std::cout << reply << "\n";
+      pipeline.pop_front();
+    }
+    std::cout.flush();
   };
-  return reply;
-}
 
-PendingReply ImmediateReply(std::string line) {
-  PendingReply reply;
-  reply.format = [line = std::move(line)](auto&) { return line; };
-  return reply;
-}
-
-std::string FormatStats(const serve::TenantStats& stats) {
-  std::ostringstream out;
-  out << "OK appends_enqueued=" << stats.appends_enqueued
-      << " flushes=" << stats.flushes
-      << " appends_coalesced=" << stats.appends_coalesced
-      << " maintenance_flushes=" << stats.maintenance_flushes
-      << " solves=" << stats.solves << " cache_hits=" << stats.cache_hits
-      << " cache_misses=" << stats.cache_misses
-      << " repair_aborted=" << stats.repair_aborted
-      << " refactorizations=" << stats.refactorizations
-      << " factor_nnz=" << stats.factor_nnz
-      << " max_update_run=" << stats.max_update_run
-      << " rows_copied=" << stats.rows_copied
-      << " rows_rebuilt=" << stats.rows_rebuilt
-      << " evictions=" << stats.evictions << " reloads=" << stats.reloads
-      << " resident_bytes=" << stats.resident_bytes;
-  return out.str();
-}
-
-uint64_t ParseFlagValue(const std::string& arg, size_t eq) {
-  return std::stoull(arg.substr(eq + 1));
+  std::string line;
+  bool quit = false;
+  while (!quit && std::getline(std::cin, line)) {
+    auto slot = std::make_shared<LineSlot>();
+    pipeline.push_back(slot);
+    quit = !protocol.Handle(
+        line, [slot](std::string reply) { slot->Resolve(std::move(reply)); });
+    flush_ready(false);
+  }
+  flush_ready(true);
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   serve::ServiceOptions options;
+  bool listen = false;
+  uint16_t listen_port = 0;
+  bool text_protocol = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const size_t eq = arg.find('=');
@@ -157,6 +144,23 @@ int main(int argc, char** argv) {
         options.memory_budget_bytes = ParseFlagValue(arg, eq);
       } else if (name == "--spill-dir") {
         options.spill_directory = arg.substr(eq + 1);
+      } else if (name == "--threads") {
+        options.num_threads = static_cast<int>(ParseFlagValue(arg, eq));
+      } else if (name == "--max-queue-depth") {
+        options.max_queue_depth = ParseFlagValue(arg, eq);
+      } else if (name == "--listen") {
+        listen = true;
+        listen_port = static_cast<uint16_t>(ParseFlagValue(arg, eq));
+      } else if (name == "--protocol") {
+        const std::string value = arg.substr(eq + 1);
+        if (value == "binary") {
+          text_protocol = false;
+        } else if (value == "text") {
+          text_protocol = true;
+        } else {
+          std::cerr << "bad value for --protocol (binary|text)\n";
+          return 2;
+        }
       } else {
         std::cerr << "unknown flag: " << name << "\n";
         return 2;
@@ -168,233 +172,47 @@ int main(int argc, char** argv) {
   }
 
   serve::SanitizerService service(options);
+  // NOTE: the fast lane stays off — the text SOLVE reply derives its
+  // `cached=` flag from a Stats/Solve/Stats sandwich, which needs strict
+  // cross-verb FIFO; keeping both transports on the heavy lane also keeps
+  // binary and text behaviorally identical for the same script.
+  net::TextProtocol protocol(
+      [&service](serve::ServeRequest request,
+                 std::function<void(serve::ServeResponse)> respond) {
+        service.Submit(std::move(request), std::move(respond));
+      },
+      [&service] { return service.Tenants(); }, service.pool());
 
-  // Replies print strictly in command order; a bounded window keeps memory
-  // flat if a script floods commands faster than solves complete.
-  constexpr size_t kMaxPipelineDepth = 256;
-  std::deque<PendingReply> pipeline;
+  if (!listen) return RunStdin(protocol);
 
-  auto flush_ready = [&pipeline](bool drain_all) {
-    while (!pipeline.empty() &&
-           (drain_all || pipeline.size() >= kMaxPipelineDepth ||
-            pipeline.front().Ready())) {
-      std::cout << pipeline.front().Resolve() << "\n";
-      if (drain_all) std::cout.flush();
-      pipeline.pop_front();
-    }
-    std::cout.flush();
-  };
-
-  std::string line;
-  bool quit = false;
-  while (!quit && std::getline(std::cin, line)) {
-    std::istringstream in(line);
-    std::string command;
-    if (!(in >> command) || command[0] == '#') continue;
-
-    if (command == "QUIT") {
-      pipeline.push_back(ImmediateReply("OK bye"));
-      quit = true;
-    } else if (command == "TENANTS") {
-      // Registry listing is synchronous (tenant names register inside
-      // Submit), so this reply needs no future.
-      std::string reply = "OK";
-      for (const std::string& name : service.Tenants()) reply += ' ' + name;
-      pipeline.push_back(ImmediateReply(std::move(reply)));
-    } else {
-      std::string tenant;
-      if (!(in >> tenant)) {
-        pipeline.push_back(
-            ImmediateReply("ERR usage: " + command + " <tenant> ..."));
-        flush_ready(false);
-        continue;
-      }
-
-      if (command == "CREATE") {
-        pipeline.push_back(AckReply(
-            service.Submit(serve::CreateTenantRequest{tenant, SearchLog(),
-                                                      std::nullopt}),
-            "OK created " + tenant));
-      } else if (command == "GEN") {
-        uint64_t users = 0, events = 0, seed = 0;
-        if (!(in >> users >> events >> seed)) {
-          pipeline.push_back(
-              ImmediateReply("ERR usage: GEN <tenant> <users> <events> "
-                             "<seed>"));
-        } else {
-          SyntheticLogConfig config = TinyConfig();
-          config.num_users = users;
-          config.num_events = events;
-          config.seed = seed;
-          // The generator shards over the service's own worker pool —
-          // bit-identical to the serial path for the given seed.
-          Result<SearchLog> log = GenerateSearchLog(config, service.pool());
-          if (!log.ok()) {
-            pipeline.push_back(ImmediateReply(ErrLine(log.status())));
-          } else {
-            std::string ok_line =
-                "OK queued users=" + std::to_string(log->num_users()) +
-                " clicks=" + std::to_string(log->total_clicks());
-            pipeline.push_back(AckReply(
-                service.Submit(serve::AppendRequest{tenant, std::move(*log)}),
-                std::move(ok_line)));
-          }
-        }
-      } else if (command == "APPEND") {
-        std::string user, query, url;
-        uint64_t count = 0;
-        if (!(in >> user >> query >> url >> count) || count == 0) {
-          pipeline.push_back(
-              ImmediateReply("ERR usage: APPEND <tenant> <user> <query> "
-                             "<url> <count>"));
-        } else {
-          SearchLogBuilder builder;
-          builder.Add(user, query, url, count);
-          pipeline.push_back(AckReply(
-              service.Submit(serve::AppendRequest{tenant, builder.Build()}),
-              "OK queued 1 tuple"));
-        }
-      } else if (command == "FLUSH") {
-        // Flush + Stats on the same tenant queue: the stats snapshot is
-        // guaranteed to reflect the finished flush.
-        PendingReply reply;
-        reply.futures.push_back(
-            service.Submit(serve::FlushRequest{tenant}));
-        reply.futures.push_back(
-            service.Submit(serve::StatsRequest{tenant}));
-        reply.format = [](auto& responses) -> std::string {
-          if (!responses[0].ok()) return ErrLine(responses[0].status);
-          if (!responses[1].ok()) return ErrLine(responses[1].status);
-          const serve::TenantStats& stats = *responses[1].stats();
-          std::ostringstream out;
-          out << "OK flushes=" << stats.flushes
-              << " coalesced=" << stats.appends_coalesced
-              << " rows_copied=" << stats.rows_copied
-              << " rows_rebuilt=" << stats.rows_rebuilt;
-          return out.str();
-        };
-        pipeline.push_back(std::move(reply));
-      } else if (command == "SOLVE") {
-        std::string objective_token;
-        double e_eps = 0.0, delta = 0.0;
-        if (!(in >> objective_token >> e_eps >> delta)) {
-          pipeline.push_back(
-              ImmediateReply("ERR usage: SOLVE <tenant> <OUMP|FUMP|DUMP> "
-                             "<e_eps> <delta> [output_size]"));
-        } else if (auto objective = ParseObjective(objective_token);
-                   !objective.has_value()) {
-          pipeline.push_back(
-              ImmediateReply("ERR unknown objective: " + objective_token));
-        } else {
-          UmpQuery query;
-          query.privacy = PrivacyParams::FromEEpsilon(e_eps, delta);
-          in >> query.output_size;  // optional; stays 0 when absent
-          // Stats before + solve + stats after, all FIFO on the tenant
-          // queue: `cached=` is exact even mid-pipeline.
-          PendingReply reply;
-          reply.futures.push_back(
-              service.Submit(serve::StatsRequest{tenant}));
-          reply.futures.push_back(service.Submit(
-              serve::SolveRequest{tenant, *objective, query}));
-          reply.futures.push_back(
-              service.Submit(serve::StatsRequest{tenant}));
-          reply.format = [](auto& responses) -> std::string {
-            if (!responses[1].ok()) return ErrLine(responses[1].status);
-            const UmpSolution& solution = *responses[1].solution();
-            const uint64_t hits_before =
-                responses[0].ok() ? responses[0].stats()->cache_hits : 0;
-            const uint64_t hits_after =
-                responses[2].ok() ? responses[2].stats()->cache_hits : 0;
-            std::ostringstream out;
-            out << "OK objective=" << solution.objective_value
-                << " output_size=" << solution.output_size
-                << " warm=" << (solution.stats.warm_started ? 1 : 0)
-                << " cached=" << (hits_after > hits_before ? 1 : 0)
-                << " root_iterations=" << solution.stats.root_iterations;
-            return out.str();
-          };
-          pipeline.push_back(std::move(reply));
-        }
-      } else if (command == "SWEEP") {
-        std::string objective_token;
-        double delta = 0.0;
-        if (!(in >> objective_token >> delta)) {
-          pipeline.push_back(
-              ImmediateReply("ERR usage: SWEEP <tenant> <OUMP|FUMP|DUMP> "
-                             "<delta> <e_eps...>"));
-        } else if (auto objective = ParseObjective(objective_token);
-                   !objective.has_value()) {
-          pipeline.push_back(
-              ImmediateReply("ERR unknown objective: " + objective_token));
-        } else {
-          std::vector<UmpQuery> grid;
-          double e_eps = 0.0;
-          while (in >> e_eps) {
-            UmpQuery query;
-            query.privacy = PrivacyParams::FromEEpsilon(e_eps, delta);
-            grid.push_back(query);
-          }
-          if (grid.empty()) {
-            pipeline.push_back(
-                ImmediateReply("ERR SWEEP needs at least one e_eps value"));
-          } else {
-            PendingReply reply;
-            reply.futures.push_back(service.Submit(serve::SweepRequest{
-                tenant, *objective, std::move(grid), SweepOptions{}}));
-            reply.format = [](auto& responses) -> std::string {
-              if (!responses[0].ok()) return ErrLine(responses[0].status);
-              const SweepResult& sweep = *responses[0].sweep();
-              std::ostringstream out;
-              out << "OK cells=" << sweep.cells.size()
-                  << " warm_solves=" << sweep.warm_solves
-                  << " simplex_iterations="
-                  << sweep.total_simplex_iterations << " objectives=";
-              for (size_t i = 0; i < sweep.cells.size(); ++i) {
-                out << (i > 0 ? "," : "")
-                    << sweep.cells[i].objective_value;
-              }
-              return out.str();
-            };
-            pipeline.push_back(std::move(reply));
-          }
-        }
-      } else if (command == "SNAPSHOT") {
-        std::string path;
-        if (!(in >> path)) {
-          pipeline.push_back(
-              ImmediateReply("ERR usage: SNAPSHOT <tenant> <path>"));
-        } else {
-          pipeline.push_back(AckReply(
-              service.Submit(serve::SaveSnapshotRequest{tenant, path}),
-              "OK wrote " + path));
-        }
-      } else if (command == "RESTORE") {
-        std::string path;
-        if (!(in >> path)) {
-          pipeline.push_back(
-              ImmediateReply("ERR usage: RESTORE <tenant> <path>"));
-        } else {
-          pipeline.push_back(AckReply(
-              service.Submit(serve::RestoreTenantRequest{tenant, path,
-                                                         std::nullopt}),
-              "OK restored " + tenant));
-        }
-      } else if (command == "STATS") {
-        PendingReply reply;
-        reply.futures.push_back(
-            service.Submit(serve::StatsRequest{tenant}));
-        reply.format = [](auto& responses) -> std::string {
-          if (!responses[0].ok()) return ErrLine(responses[0].status);
-          return FormatStats(*responses[0].stats());
-        };
-        pipeline.push_back(std::move(reply));
-      } else {
-        pipeline.push_back(
-            ImmediateReply("ERR unknown command: " + command));
-      }
-    }
-    flush_ready(false);
+  net::ServerOptions server_options;
+  server_options.port = listen_port;
+  std::unique_ptr<net::NetServer> server;
+  if (text_protocol) {
+    server = std::make_unique<net::NetServer>(
+        net::NetServer::TextHandler(
+            [&protocol](std::string line, net::NetServer::TextDone done) {
+              protocol.Handle(line, [done = std::move(done)](
+                                        std::string reply) {
+                done(reply.empty() ? std::string() : reply + "\n");
+              });
+            }),
+        server_options);
+  } else {
+    server = std::make_unique<net::NetServer>(&service, server_options);
   }
-  flush_ready(true);
+  const Status started = server->Start();
+  if (!started.ok()) {
+    std::cerr << "listen failed: " << started.ToString() << "\n";
+    return 1;
+  }
+  // Process supervisors (the distributed bench, CI cluster smokes) parse
+  // this line to learn the ephemeral port.
+  std::cout << "READY port=" << server->port() << std::endl;
+  const Status served = server->Serve();
+  if (!served.ok()) {
+    std::cerr << "serve failed: " << served.ToString() << "\n";
+    return 1;
+  }
   return 0;
 }
