@@ -1,6 +1,7 @@
 #include "net/client.h"
 
 #include <errno.h>
+#include <poll.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -18,6 +19,7 @@ NetClient::~NetClient() { Close(); }
 
 NetClient::NetClient(NetClient&& other) noexcept
     : fd_(other.fd_),
+      receive_timeout_ms_(other.receive_timeout_ms_),
       next_id_(other.next_id_),
       inflight_(std::move(other.inflight_)),
       decoder_(std::move(other.decoder_)) {
@@ -28,6 +30,7 @@ NetClient& NetClient::operator=(NetClient&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = other.fd_;
+    receive_timeout_ms_ = other.receive_timeout_ms_;
     next_id_ = other.next_id_;
     inflight_ = std::move(other.inflight_);
     decoder_ = std::move(other.decoder_);
@@ -54,6 +57,7 @@ Result<NetClient> NetClient::Connect(uint16_t port, ClientOptions options) {
     if (fd.ok()) {
       NetClient client;
       client.fd_ = *fd;
+      client.receive_timeout_ms_ = options.receive_timeout_ms;
       return client;
     }
     last = fd.status();
@@ -114,10 +118,39 @@ Status NetClient::SendFrame(const Frame& frame) {
 
 Result<Frame> NetClient::ReceiveFrame() {
   if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  const bool bounded = receive_timeout_ms_ > 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(bounded ? receive_timeout_ms_ : 0);
   Frame frame;
   while (true) {
     PRIVSAN_ASSIGN_OR_RETURN(bool complete, decoder_.Next(&frame));
     if (complete) return frame;
+    if (bounded) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now())
+              .count();
+      if (remaining <= 0) {
+        Close();
+        return Status::IoError(
+            "read timed out after " + std::to_string(receive_timeout_ms_) +
+            "ms waiting for a response");
+      }
+      struct pollfd pfd;
+      pfd.fd = fd_;
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      const int ready = ::poll(&pfd, 1, static_cast<int>(remaining));
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        const Status status =
+            Status::IoError(std::string("poll: ") + std::strerror(errno));
+        Close();
+        return status;
+      }
+      if (ready == 0) continue;  // the loop re-checks the deadline
+    }
     char buf[64 * 1024];
     const ssize_t n = ::read(fd_, buf, sizeof(buf));
     if (n < 0) {

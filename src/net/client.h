@@ -32,6 +32,12 @@ struct ClientOptions {
   int connect_attempts = 30;
   int initial_backoff_ms = 20;
   int max_backoff_ms = 500;
+  // Receive deadline: a server that hangs (rather than closing) fails the
+  // Receive with IoError after this long and closes the connection, so
+  // router workers — and migrations blocked on them — always terminate.
+  // <= 0 waits forever. Generous by default: it only needs to be longer
+  // than the slowest legitimate solve/sweep/migration reply.
+  int receive_timeout_ms = 120'000;
 };
 
 class NetClient {
@@ -62,6 +68,7 @@ class NetClient {
 
  private:
   int fd_ = -1;
+  int receive_timeout_ms_ = 0;  // set from ClientOptions in Connect
   uint64_t next_id_ = 1;
   std::deque<uint64_t> inflight_;
   FrameDecoder decoder_;

@@ -24,6 +24,36 @@ using binary_io::WriteString;
 // payload so corrupt frames fail before allocating.
 constexpr uint64_t kMaxElements = 1ull << 26;
 
+// Conservative lower bounds on the wire size of compound elements, for
+// ReadBoundedCount: well under the true encoded sizes, so legitimate
+// payloads always pass.
+constexpr uint64_t kMinSolutionWireBytes = 64;  // true minimum is ~124
+constexpr uint64_t kMinQueryWireBytes = 26;     // 2 doubles + u64 + 2 flags
+
+// Reads an element count and bounds it by the bytes actually remaining in
+// the payload stream. ReadCount's kMaxElements cap alone still lets a
+// hostile count in a tiny frame force a ~512MB up-front resize (2^26
+// 8-byte elements) that only fails afterwards on EOF; the payload length
+// is known, so a count the frame cannot possibly back fails first.
+Result<uint64_t> ReadBoundedCount(std::istream& in,
+                                  uint64_t min_bytes_per_element) {
+  PRIVSAN_ASSIGN_OR_RETURN(uint64_t count, ReadCount(in, kMaxElements));
+  const auto pos = in.tellg();
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  in.seekg(pos);
+  const uint64_t remaining =
+      (pos >= 0 && end > pos) ? static_cast<uint64_t>(end - pos) : 0;
+  // count <= 2^26 and element sizes are small: the product cannot wrap.
+  if (count * min_bytes_per_element > remaining) {
+    return Status::InvalidArgument(
+        "malformed frame payload: element count " + std::to_string(count) +
+        " exceeds the " + std::to_string(remaining) +
+        " bytes remaining in the frame");
+  }
+  return count;
+}
+
 Status CheckDrained(std::istringstream& in) {
   if (in.peek() != std::char_traits<char>::eof()) {
     return Status::InvalidArgument(
@@ -139,12 +169,13 @@ Result<UmpSolution> ReadSolution(std::istream& in) {
   UmpSolution solution;
   PRIVSAN_ASSIGN_OR_RETURN(UtilityObjective objective, ReadObjective(in));
   solution.objective = objective;
-  PRIVSAN_ASSIGN_OR_RETURN(uint64_t n, ReadCount(in, kMaxElements));
+  PRIVSAN_ASSIGN_OR_RETURN(uint64_t n,
+                           ReadBoundedCount(in, sizeof(uint64_t)));
   solution.x.resize(n);
   for (uint64_t i = 0; i < n; ++i) {
     PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &solution.x[i]));
   }
-  PRIVSAN_ASSIGN_OR_RETURN(n, ReadCount(in, kMaxElements));
+  PRIVSAN_ASSIGN_OR_RETURN(n, ReadBoundedCount(in, sizeof(double)));
   solution.x_relaxed.resize(n);
   for (uint64_t i = 0; i < n; ++i) {
     PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &solution.x_relaxed[i]));
@@ -153,7 +184,7 @@ Result<UmpSolution> ReadSolution(std::istream& in) {
   PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &solution.output_size));
   PRIVSAN_ASSIGN_OR_RETURN(solution.basis, lp::ReadBasis(in));
   PRIVSAN_RETURN_IF_ERROR(ReadStats(in, &solution.stats));
-  PRIVSAN_ASSIGN_OR_RETURN(n, ReadCount(in, kMaxElements));
+  PRIVSAN_ASSIGN_OR_RETURN(n, ReadBoundedCount(in, sizeof(uint32_t)));
   solution.frequent_pairs.resize(n);
   for (uint64_t i = 0; i < n; ++i) {
     PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &solution.frequent_pairs[i]));
@@ -181,7 +212,8 @@ void WriteSweep(std::ostream& out, const SweepResult& sweep) {
 
 Result<SweepResult> ReadSweep(std::istream& in) {
   SweepResult sweep;
-  PRIVSAN_ASSIGN_OR_RETURN(uint64_t cells, ReadCount(in, kMaxElements));
+  PRIVSAN_ASSIGN_OR_RETURN(uint64_t cells,
+                           ReadBoundedCount(in, kMinSolutionWireBytes));
   sweep.cells.reserve(cells);
   for (uint64_t i = 0; i < cells; ++i) {
     PRIVSAN_ASSIGN_OR_RETURN(UmpSolution cell, ReadSolution(in));
@@ -243,7 +275,8 @@ Result<SanitizeReport> ReadReport(std::istream& in) {
       ReadScalar(in, &report.preprocess_stats.clicks_removed));
   PRIVSAN_RETURN_IF_ERROR(
       ReadScalar(in, &report.preprocess_stats.clicks_retained));
-  PRIVSAN_ASSIGN_OR_RETURN(uint64_t n, ReadCount(in, kMaxElements));
+  PRIVSAN_ASSIGN_OR_RETURN(uint64_t n,
+                           ReadBoundedCount(in, sizeof(uint64_t)));
   report.optimal_counts.resize(n);
   for (uint64_t i = 0; i < n; ++i) {
     PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &report.optimal_counts[i]));
@@ -430,7 +463,8 @@ Result<serve::ServeRequest> DecodeRequest(const Frame& frame) {
     case FrameVerb::kSweep: {
       PRIVSAN_ASSIGN_OR_RETURN(UtilityObjective objective,
                                ReadObjective(in));
-      PRIVSAN_ASSIGN_OR_RETURN(uint64_t cells, ReadCount(in, kMaxElements));
+      PRIVSAN_ASSIGN_OR_RETURN(uint64_t cells,
+                               ReadBoundedCount(in, kMinQueryWireBytes));
       std::vector<UmpQuery> grid;
       grid.reserve(cells);
       for (uint64_t i = 0; i < cells; ++i) {
@@ -508,6 +542,20 @@ Frame EncodeResponse(const serve::ServeResponse& response,
     WriteScalar<uint8_t>(out, kPayloadNone);
   }
   frame.payload = std::move(out).str();
+  if (frame.payload.size() > kMaxFramePayload) {
+    // Larger than any frame the peer's decoder accepts: shipping it would
+    // be rejected as malformed and tear down the connection (failing every
+    // pipelined request with it). Substitute a typed error the client can
+    // decode and act on.
+    return EncodeResponse(
+        serve::ServeResponse{
+            Status::ResourceExhausted(
+                "response payload of " +
+                std::to_string(frame.payload.size()) + " bytes exceeds the " +
+                std::to_string(kMaxFramePayload) + "-byte frame cap"),
+            {}},
+        request_id);
+  }
   return frame;
 }
 

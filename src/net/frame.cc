@@ -51,6 +51,19 @@ const char* FrameVerbName(FrameVerb verb) {
 }
 
 void EncodeFrame(const Frame& frame, std::string* out) {
+  if (frame.payload.size() > kMaxFramePayload) {
+    // Defense in depth — the codecs cap payloads before framing
+    // (EncodeRequest/EncodeResponse), so this should be unreachable.
+    // Emitting the frame anyway would desync the peer's decoder, and a
+    // payload past 4 GiB would silently wrap the u32 length; ship a
+    // well-formed header-only error frame instead.
+    Frame error;
+    error.verb = frame.verb;
+    error.status = static_cast<uint16_t>(StatusCode::kResourceExhausted);
+    error.request_id = frame.request_id;
+    EncodeFrame(error, out);
+    return;
+  }
   const uint32_t length =
       kFrameHeaderBytes + static_cast<uint32_t>(frame.payload.size());
   out->reserve(out->size() + sizeof(uint32_t) + length);

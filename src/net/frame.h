@@ -73,7 +73,10 @@ struct Frame {
   std::string payload;
 };
 
-// Appends the encoded frame (length prefix included) to `out`.
+// Appends the encoded frame (length prefix included) to `out`. A payload
+// over kMaxFramePayload (which no peer would accept, and which could wrap
+// the u32 length) is replaced by a header-only kResourceExhausted error
+// frame; the codecs cap payloads first, so that is a last-resort guard.
 void EncodeFrame(const Frame& frame, std::string* out);
 std::string EncodeFrame(const Frame& frame);
 

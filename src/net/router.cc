@@ -4,6 +4,7 @@
 #include <future>
 #include <optional>
 #include <utility>
+#include <variant>
 #include <vector>
 
 namespace privsan {
@@ -90,7 +91,11 @@ void Router::StopBackend(Backend* backend) {
 
 void Router::Submit(serve::ServeRequest request,
                     std::function<void(serve::ServeResponse)> respond) {
+  const bool is_drop =
+      std::holds_alternative<serve::DropTenantRequest>(request);
   std::shared_ptr<Backend> backend;
+  std::string tenant;
+  std::string key;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (backends_.empty()) {
@@ -98,19 +103,55 @@ void Router::Submit(serve::ServeRequest request,
           Status::FailedPrecondition("router has no backends"), {}});
       return;
     }
-    const std::string& tenant = serve::RequestTenant(request);
+    tenant = serve::RequestTenant(request);
     auto pin = pinned_.find(tenant);
-    if (pin == pinned_.end()) {
-      // First sighting: the ring chooses, the pin remembers.
-      pin = pinned_.emplace(tenant, ring_.Locate(tenant)).first;
+    if (is_drop) {
+      // Route the drop to wherever the state lives, then forget the pin:
+      // a dropped tenant owns no state worth pinning, and a pin that
+      // outlives the state would block RemoveBackend forever (a phantom
+      // tenant can never migrate off). If the drop itself fails in
+      // transit, the next request re-pins via the ring, which still names
+      // this backend while the ring is unchanged.
+      key = pin != pinned_.end() ? pin->second : ring_.Locate(tenant);
+      if (pin != pinned_.end()) pinned_.erase(pin);
+    } else {
+      if (pin == pinned_.end()) {
+        // First sighting: the ring chooses, the pin remembers.
+        pin = pinned_.emplace(tenant, ring_.Locate(tenant)).first;
+      }
+      key = pin->second;
     }
-    backend = backends_.at(pin->second);
+    backend = backends_.at(key);
+  }
+  if (!is_drop) {
+    // A NotFound reply proves the tenant holds no state on `key`: unpin,
+    // so requests naming tenants that never existed cannot grow pinned_
+    // without bound.
+    respond = [this, tenant, key, inner = std::move(respond)](
+                  serve::ServeResponse response) {
+      if (response.status.code() == StatusCode::kNotFound) {
+        UnpinIfStale(tenant, key);
+      }
+      inner(std::move(response));
+    };
   }
   {
     std::lock_guard<std::mutex> lock(backend->mu);
     backend->queue.push_back(Job{std::move(request), std::move(respond)});
   }
   backend->cv.notify_one();
+}
+
+void Router::UnpinIfStale(const std::string& tenant,
+                          const std::string& key) {
+  // try_lock, not lock: this runs on a backend worker thread, and a ring
+  // change may hold mu_ while blocking on that same worker — waiting here
+  // would deadlock. A missed cleanup is retried on the next NotFound and
+  // swept by MigrateLocked / RemoveBackend anyway.
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return;
+  auto it = pinned_.find(tenant);
+  if (it != pinned_.end() && it->second == key) pinned_.erase(it);
 }
 
 void Router::WorkerLoop(Backend* backend) {
@@ -182,9 +223,14 @@ serve::ServeResponse Router::CallBackend(Backend* backend,
 
 std::vector<Migration> Router::MigrateLocked() {
   std::vector<Migration> migrations;
-  for (auto& [tenant, pinned_key] : pinned_) {
+  for (auto it = pinned_.begin(); it != pinned_.end();) {
+    const std::string& tenant = it->first;
+    const std::string& pinned_key = it->second;
     const std::string& new_key = ring_.Locate(tenant);
-    if (new_key == pinned_key) continue;
+    if (new_key == pinned_key) {
+      ++it;
+      continue;
+    }
     Backend* from = backends_.at(pinned_key).get();
     Backend* to = backends_.at(new_key).get();
     const std::string path =
@@ -200,9 +246,18 @@ std::vector<Migration> Router::MigrateLocked() {
       if (restored.ok()) {
         CallBackend(from, serve::DropTenantRequest{tenant});
         migrations.push_back(Migration{tenant, from->port, to->port});
-        pinned_[tenant] = new_key;
+        it->second = new_key;
       }
       // On failure the pin stays where the state is — the old backend.
+      ++it;
+    } else if (saved.status.code() == StatusCode::kNotFound) {
+      // A phantom pin: the backend holds no such tenant (a request named
+      // a tenant that never existed, or it was dropped behind the
+      // router's back). There is nothing to move — unpin, instead of
+      // wedging every future RemoveBackend on it.
+      it = pinned_.erase(it);
+    } else {
+      ++it;
     }
     std::error_code ec;
     std::filesystem::remove(path, ec);
@@ -231,11 +286,23 @@ Result<std::vector<Migration>> Router::RemoveBackend(uint16_t port) {
     return Status::NotFound("backend " + key + " is not routed");
   }
   if (backends_.size() == 1) {
-    for (const auto& [tenant, pinned_key] : pinned_) {
-      if (pinned_key == key) {
-        return Status::FailedPrecondition(
-            "backend " + key + " still hosts tenants and is the last one");
+    // No migration target exists, so MigrateLocked cannot sweep stale
+    // pins here. Probe each pin instead: a tenant the backend does not
+    // know (phantom name, or dropped behind the router's back) unpins; a
+    // live one genuinely blocks the removal.
+    for (auto pin = pinned_.begin(); pin != pinned_.end();) {
+      if (pin->second != key) {
+        ++pin;
+        continue;
       }
+      const serve::ServeResponse probed =
+          CallBackend(it->second.get(), serve::StatsRequest{pin->first});
+      if (probed.status.code() == StatusCode::kNotFound) {
+        pin = pinned_.erase(pin);
+        continue;
+      }
+      return Status::FailedPrecondition(
+          "backend " + key + " still hosts tenants and is the last one");
     }
   }
   ring_.Remove(key);

@@ -6,7 +6,11 @@
 // The first request that names a tenant pins it to the backend the ring
 // chooses at that moment; the pin — not the ring — is authoritative from
 // then on, so ring changes never silently strand a tenant's state on the
-// old backend.
+// old backend. A pin lives exactly as long as the tenant's backend state:
+// routing a DropTenant unpins, a NotFound reply unpins (the backend holds
+// no such tenant), and migration treats NotFound from SaveSnapshot as
+// "already gone" — so stale pins can neither block RemoveBackend nor grow
+// pinned_ without bound.
 //
 // Ring changes migrate state explicitly: AddBackend/RemoveBackend
 // recompute each pinned tenant's ring position and, for every tenant
@@ -127,8 +131,13 @@ class Router {
   serve::ServeResponse CallBackend(Backend* backend,
                                    serve::ServeRequest request);
   // Moves every pinned tenant whose ring position changed to its new
-  // home. Caller holds mu_.
+  // home; unpins tenants the old backend no longer knows. Caller holds
+  // mu_.
   std::vector<Migration> MigrateLocked();
+  // Erases the pin for `tenant` if it still names `key`; called from
+  // worker threads on NotFound replies, so it only try-locks mu_ (a
+  // migration blocked on that worker may hold it).
+  void UnpinIfStale(const std::string& tenant, const std::string& key);
   Result<std::shared_ptr<Backend>> ConnectBackend(uint16_t port);
   static void StopBackend(Backend* backend);
 

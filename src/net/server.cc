@@ -35,6 +35,7 @@ struct NetServer::Connection {
   // No more reads (EOF or unrecoverable decode error); the connection
   // closes once every pending reply has flushed.
   bool closing = false;
+  bool wants_read = true;    // EPOLLIN currently registered
   bool wants_write = false;  // EPOLLOUT currently registered
 };
 
@@ -166,7 +167,10 @@ void NetServer::HandleConnectionEvent(int fd, uint32_t events) {
 
 void NetServer::ReadInput(const std::shared_ptr<Connection>& conn) {
   char buf[64 * 1024];
-  while (!conn->closing) {
+  // Backpressured connections stop draining the socket: unread bytes stay
+  // in the kernel buffer (eventually stalling the peer's sends), and
+  // UpdateInterest below deregisters EPOLLIN until the backlog flushes.
+  while (!conn->closing && !Backpressured(*conn)) {
     const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
@@ -294,12 +298,30 @@ void NetServer::FlushConnection(const std::shared_ptr<Connection>& conn) {
   UpdateInterest(conn);
 }
 
+bool NetServer::Backpressured(const Connection& conn) const {
+  // `pending` and `outbuf` are structurally mutated on the loop thread
+  // only (workers touch Slot contents, under Shared::mu), so reading
+  // their sizes here needs no lock.
+  if (options_.max_pending_replies != 0 &&
+      conn.pending.size() >= options_.max_pending_replies) {
+    return true;
+  }
+  return options_.max_outbuf_bytes != 0 &&
+         conn.outbuf.size() - conn.outpos >= options_.max_outbuf_bytes;
+}
+
 void NetServer::UpdateInterest(const std::shared_ptr<Connection>& conn) {
   const bool want_write = !conn->outbuf.empty();
-  if (want_write == conn->wants_write) return;
+  const bool want_read = !conn->closing && !Backpressured(*conn);
+  if (want_write == conn->wants_write && want_read == conn->wants_read) {
+    return;
+  }
+  // With both cleared the connection waits on worker completions alone:
+  // the wake fd leads back to FlushConnection, which re-registers here.
   const uint32_t events =
-      EPOLLIN | (want_write ? EPOLLOUT : 0u);
+      (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
   if (loop_.Modify(conn->fd, events, static_cast<uint64_t>(conn->fd)).ok()) {
+    conn->wants_read = want_read;
     conn->wants_write = want_write;
   }
 }

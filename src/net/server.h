@@ -52,6 +52,14 @@ struct ServerOptions {
   size_t max_frame_payload = kMaxFramePayload;
   // Line length cap for text mode.
   size_t max_text_line = 1u << 20;
+  // Per-connection backpressure: once this many replies are pending, or
+  // the unflushed out-buffer backlog exceeds this many bytes, the
+  // connection stops reading (EPOLLIN unregistered) until the backlog
+  // drains — so a client that pipelines without reading cannot grow
+  // server-side queues without bound. 0 = unlimited. Soft caps: checked
+  // between read chunks, so a single chunk of tiny frames may overshoot.
+  size_t max_pending_replies = 1024;
+  size_t max_outbuf_bytes = 8u << 20;
 };
 
 class NetServer {
@@ -108,6 +116,9 @@ class NetServer {
   // Moves the contiguous done-prefix of the slot queue into the out
   // buffer, writes what the socket accepts, closes drained connections.
   void FlushConnection(const std::shared_ptr<Connection>& conn);
+  // True when the connection's reply backlog exceeds the ServerOptions
+  // backpressure caps (loop thread only).
+  bool Backpressured(const Connection& conn) const;
   void UpdateInterest(const std::shared_ptr<Connection>& conn);
   void CloseConnection(const std::shared_ptr<Connection>& conn);
   // A worker thread finished a reply: publish it and wake the loop.

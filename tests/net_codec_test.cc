@@ -190,6 +190,27 @@ TEST(FrameTest, RejectsHostileLengthsWithoutBuffering) {
   }
 }
 
+// Defense in depth at the frame layer: an oversized payload (which the
+// peer would reject as malformed, and which could wrap the u32 length) is
+// replaced by a well-formed header-only error frame, never a
+// stream-desyncing monster.
+TEST(FrameTest, OversizedPayloadEncodesHeaderOnlyErrorFrame) {
+  Frame frame;
+  frame.verb = FrameVerb::kAppend;
+  frame.request_id = 9;
+  frame.payload.assign(net::kMaxFramePayload + 1, 'x');
+  FrameDecoder decoder;
+  decoder.Feed(net::EncodeFrame(frame));
+  Frame out;
+  ASSERT_TRUE(decoder.Next(&out).value());
+  EXPECT_TRUE(out.payload.empty());
+  EXPECT_EQ(out.request_id, 9u);
+  EXPECT_EQ(out.status,
+            static_cast<uint16_t>(StatusCode::kResourceExhausted));
+  EXPECT_EQ(static_cast<int>(out.verb),
+            static_cast<int>(FrameVerb::kAppend));
+}
+
 TEST(FrameTest, HonorsCustomPayloadCap) {
   Frame frame;
   frame.verb = FrameVerb::kAppend;
@@ -553,6 +574,44 @@ TEST(CodecTest, RejectsWrongFrameDirection) {
   const Frame request =
       net::EncodeRequest(serve::StatsRequest{"t"}, 1).value();
   EXPECT_FALSE(net::DecodeResponse(request).ok());
+}
+
+// A response too large to frame (e.g. a report embedding a huge log) must
+// cross the wire as a typed error the client can decode — not as an
+// unparseable frame that tears down the connection and fails every
+// pipelined request with it.
+TEST(CodecTest, OversizedResponseBecomesTypedError) {
+  UmpSolution solution;
+  solution.x.assign(net::kMaxFramePayload / sizeof(uint64_t) + 1024, 7);
+  const Frame frame = net::EncodeResponse({Status::OK(), solution}, 33);
+  EXPECT_EQ(frame.status,
+            static_cast<uint16_t>(StatusCode::kResourceExhausted));
+  EXPECT_LE(frame.payload.size(), net::kMaxFramePayload);
+  FrameDecoder decoder;
+  decoder.Feed(net::EncodeFrame(frame));
+  Frame wire;
+  ASSERT_TRUE(decoder.Next(&wire).value());
+  EXPECT_EQ(wire.request_id, 33u);
+  const serve::ServeResponse decoded = net::DecodeResponse(wire).value();
+  EXPECT_EQ(decoded.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(decoded.solution(), nullptr);
+}
+
+// A count field that passes the absolute element cap but not the frame's
+// actual size must fail before resizing: 2^26-1 8-byte elements would be
+// a ~512MB up-front allocation conjured from a ~100-byte frame.
+TEST(CodecTest, RejectsCountsExceedingRemainingPayload) {
+  UmpSolution solution;
+  solution.x = {1, 2, 3};
+  Frame frame = net::EncodeResponse({Status::OK(), solution}, 1);
+  // Payload: status message (u64 length, empty), payload kind u8,
+  // objective u8, then the x element count.
+  const size_t count_at = sizeof(uint64_t) + 1 + 1;
+  const uint64_t huge = (1ull << 26) - 1;
+  std::memcpy(frame.payload.data() + count_at, &huge, sizeof(huge));
+  Result<serve::ServeResponse> decoded = net::DecodeResponse(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
 }
 
 // A hostile element count inside a well-framed payload must fail before

@@ -191,6 +191,58 @@ TEST(NetRouterTest, AddBackendMigratesTenantsWarm) {
   EXPECT_EQ(warm.solution()->output_size, cold.solution()->output_size);
 }
 
+// Pins must not outlive tenant state: a drop through the router unpins, a
+// NotFound reply unpins a phantom (never-created) tenant, and a tenant
+// dropped behind the router's back unpins at migration time or via the
+// last-backend probe — so RemoveBackend never wedges on tenants that no
+// longer exist.
+TEST(NetRouterTest, StalePinsDoNotBlockBackendRemoval) {
+  BackendProcess a;
+  BackendProcess b;
+  Router::Options options;
+  options.backends = {a.port(), b.port()};
+  Router router(options);
+  ASSERT_TRUE(router.Start().ok());
+
+  // Requests naming tenants that never existed fail NotFound and must not
+  // pin permanently.
+  for (int i = 0; i < 8; ++i) {
+    const serve::ServeResponse ghost =
+        Call(router, serve::StatsRequest{"ghost-" + std::to_string(i)});
+    EXPECT_EQ(ghost.status.code(), StatusCode::kNotFound);
+  }
+  // A real tenant created, solved, and dropped through the router.
+  ASSERT_TRUE(Call(router, serve::CreateTenantRequest{"doomed",
+                                                      Synthetic(77),
+                                                      std::nullopt})
+                  .ok());
+  ASSERT_TRUE(Call(router, serve::SolveRequest{
+                               "doomed", UtilityObjective::kOutputSize,
+                               Query(2.0, 0.5)})
+                  .ok());
+  ASSERT_TRUE(Call(router, serve::DropTenantRequest{"doomed"}).ok());
+  // A tenant dropped behind the router's back, directly on its backend.
+  ASSERT_TRUE(Call(router, serve::CreateTenantRequest{"vanished",
+                                                      Synthetic(78),
+                                                      std::nullopt})
+                  .ok());
+  for (auto* service : {&a.service, &b.service}) {
+    const std::vector<std::string> tenants = service->Tenants();
+    if (std::count(tenants.begin(), tenants.end(), "vanished") > 0) {
+      ASSERT_TRUE(service->DropTenant("vanished").ok());
+    }
+  }
+
+  // Both removals must go through: before the pin-lifecycle fixes the
+  // stale pins made RemoveBackend fail "still hosts tenants" forever.
+  Result<std::vector<Migration>> removed = router.RemoveBackend(a.port());
+  ASSERT_TRUE(removed.ok()) << removed.status();
+  EXPECT_EQ(router.backend_count(), 1u);
+  const Result<std::vector<Migration>> last = router.RemoveBackend(b.port());
+  EXPECT_TRUE(last.ok()) << last.status();
+  EXPECT_EQ(router.backend_count(), 0u);
+}
+
 TEST(NetRouterTest, RemoveBackendDrainsItsTenants) {
   BackendProcess a;
   BackendProcess b;

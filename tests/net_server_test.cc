@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -55,8 +56,9 @@ class ServerThread {
     server_ = std::make_unique<NetServer>(service);
     StartAndRun();
   }
-  explicit ServerThread(NetServer::TextHandler handler) {
-    server_ = std::make_unique<NetServer>(std::move(handler));
+  explicit ServerThread(NetServer::TextHandler handler,
+                        net::ServerOptions options = {}) {
+    server_ = std::make_unique<NetServer>(std::move(handler), options);
     StartAndRun();
   }
   ~ServerThread() {
@@ -284,6 +286,91 @@ TEST(NetServerTest, EofDrainsEveryPendingReply) {
     EXPECT_TRUE(response.ok()) << response.status;
   }
   ASSERT_NE(net::DecodeResponse(replies[2]).value().stats(), nullptr);
+}
+
+// A server that accepts but never replies must not wedge the client
+// forever (a hung backend would otherwise block a router worker — and any
+// migration waiting on it — indefinitely): Receive fails with a timeout
+// and closes the connection.
+TEST(NetClientTest, ReceiveTimesOutOnSilentServer) {
+  uint16_t port = 0;
+  const int listen_fd = net::ListenTcp(0, &port).value();
+  net::ClientOptions options;
+  options.receive_timeout_ms = 100;
+  NetClient client = NetClient::Connect(port, options).value();
+  ASSERT_TRUE(client.Send(serve::StatsRequest{"t"}).ok());
+  const auto start = std::chrono::steady_clock::now();
+  const Result<serve::ServeResponse> response = client.Receive();
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kIoError);
+  EXPECT_FALSE(client.connected());
+  EXPECT_GE(elapsed_ms, 90);  // poll may round the deadline down slightly
+  EXPECT_LT(elapsed_ms, 5000);
+  ::close(listen_fd);
+}
+
+// Backpressure: under tiny pending/outbuf caps, a connection pumping a
+// large pipelined burst pauses and resumes its reads rather than queueing
+// without bound — and still answers every line, in order.
+TEST(NetServerTest, BackpressurePausesReadsWithoutLosingReplies) {
+  net::ServerOptions options;
+  options.max_pending_replies = 4;
+  options.max_outbuf_bytes = 1u << 12;
+  ServerThread server(
+      NetServer::TextHandler([](std::string line, NetServer::TextDone done) {
+        done("ACK " + line + "\n");
+      }),
+      options);
+
+  const int kLines = 20000;
+  const int fd = net::ConnectTcp(server.port()).value();
+  // Writer on its own thread: with the server's reads paused the kernel
+  // buffers fill and the writes themselves block until the reader drains.
+  std::thread writer([fd] {
+    std::string chunk;
+    for (int i = 0; i < kLines; ++i) {
+      chunk += "line-" + std::to_string(i) + "-" + std::string(32, 'x') +
+               "\n";
+      if (chunk.size() > 32768 || i == kLines - 1) {
+        size_t sent = 0;
+        while (sent < chunk.size()) {
+          const ssize_t n =
+              ::write(fd, chunk.data() + sent, chunk.size() - sent);
+          ASSERT_GT(n, 0);
+          sent += static_cast<size_t>(n);
+        }
+        chunk.clear();
+      }
+    }
+    ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+  });
+  std::string out;
+  char buf[64 * 1024];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    ASSERT_GE(n, 0);
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  writer.join();
+  ::close(fd);
+  // Every line answered, in order.
+  int next = 0;
+  size_t at = 0;
+  while (at < out.size()) {
+    const std::string expected =
+        "ACK line-" + std::to_string(next) + "-" + std::string(32, 'x') +
+        "\n";
+    ASSERT_EQ(out.compare(at, expected.size(), expected), 0)
+        << "reply " << next;
+    at += expected.size();
+    ++next;
+  }
+  EXPECT_EQ(next, kLines);
 }
 
 // Text mode: lines in, handler replies out, in line order.
