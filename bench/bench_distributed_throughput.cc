@@ -41,6 +41,7 @@
 #include "bench_common.h"
 #include "net/client.h"
 #include "net/router.h"
+#include "obs/histogram.h"
 #include "util/timer.h"
 
 using namespace privsan;
@@ -53,14 +54,11 @@ UmpQuery Query(double e_eps, double delta) {
   return query;
 }
 
+// Exact interpolated percentile over raw samples, shared with the serving
+// histograms (obs/histogram.h) so bench numbers and scrape quantiles agree
+// on semantics.
 double PercentileMs(std::vector<double> seconds, double q) {
-  if (seconds.empty()) return 0.0;
-  std::sort(seconds.begin(), seconds.end());
-  const double rank = q * static_cast<double>(seconds.size() - 1);
-  const size_t lo = static_cast<size_t>(rank);
-  const size_t hi = std::min(lo + 1, seconds.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return 1e3 * (seconds[lo] * (1.0 - frac) + seconds[hi] * frac);
+  return obs::ExactPercentileMs(std::move(seconds), q);
 }
 
 // ---- process plumbing -----------------------------------------------------
@@ -432,8 +430,10 @@ int main() {
     std::cout << "backends=" << num_backends << ": " << run.solves
               << " solves + " << run.appends << " appends in "
               << run.seconds << " s = " << run.solves_per_sec()
-              << " solves/sec (solve p50 "
-              << PercentileMs(run.solve_seconds, 0.50) << " ms)\n";
+              << " solves/sec (solve p50/p95/p99 "
+              << PercentileMs(run.solve_seconds, 0.50) << "/"
+              << PercentileMs(run.solve_seconds, 0.95) << "/"
+              << PercentileMs(run.solve_seconds, 0.99) << " ms)\n";
     bench::JsonRecord record;
     record.Add("record", "distributed_throughput")
         .Add("label", "backends=" + std::to_string(num_backends))

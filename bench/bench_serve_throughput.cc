@@ -38,6 +38,7 @@
 #include "bench_common.h"
 #include "serve/service.h"
 #include "serve/snapshot.h"
+#include "obs/histogram.h"
 #include "util/timer.h"
 
 using namespace privsan;
@@ -50,14 +51,11 @@ UmpQuery Query(double e_eps, double delta) {
   return query;
 }
 
+// Exact interpolated percentile over raw samples, shared with the serving
+// histograms (obs/histogram.h) so bench numbers and scrape quantiles agree
+// on semantics.
 double PercentileMs(std::vector<double> seconds, double q) {
-  if (seconds.empty()) return 0.0;
-  std::sort(seconds.begin(), seconds.end());
-  const double rank = q * static_cast<double>(seconds.size() - 1);
-  const size_t lo = static_cast<size_t>(rank);
-  const size_t hi = std::min(lo + 1, seconds.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return 1e3 * (seconds[lo] * (1.0 - frac) + seconds[hi] * frac);
+  return obs::ExactPercentileMs(std::move(seconds), q);
 }
 
 double MeanMs(const std::vector<double>& seconds) {

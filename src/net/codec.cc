@@ -346,12 +346,62 @@ Status ReadTenantStats(std::istream& in, serve::TenantStats* stats) {
   return Status::OK();
 }
 
+void WriteSlowLogDump(std::ostream& out, const serve::SlowLogDump& dump) {
+  WriteScalar<uint64_t>(out, dump.records.size());
+  for (const obs::SlowRequestRecord& record : dump.records) {
+    WriteScalar<uint64_t>(out, record.sequence);
+    WriteString(out, record.tenant);
+    WriteString(out, record.verb);
+    WriteScalar<uint16_t>(out, record.status_code);
+    WriteScalar<double>(out, record.total_ms);
+    WriteScalar<double>(out, record.trace.queue_ms);
+    WriteScalar<double>(out, record.trace.flush_ms);
+    WriteScalar<double>(out, record.trace.solve_ms);
+    WriteScalar<double>(out, record.trace.cache_ms);
+    WriteScalar<uint64_t>(out, record.trace.repair_pivots);
+    WriteScalar<uint64_t>(out, record.trace.iterations);
+  }
+  WriteScalar<uint64_t>(out, dump.dropped);
+  WriteScalar<double>(out, dump.threshold_ms);
+}
+
+// Fixed fields of one slow record (sequence + status + 5 doubles + 2 u64
+// + two string length prefixes), a conservative floor for ReadBoundedCount.
+constexpr uint64_t kMinSlowRecordWireBytes = 82;
+
+Result<serve::SlowLogDump> ReadSlowLogDump(std::istream& in) {
+  serve::SlowLogDump dump;
+  PRIVSAN_ASSIGN_OR_RETURN(uint64_t n,
+                           ReadBoundedCount(in, kMinSlowRecordWireBytes));
+  dump.records.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    obs::SlowRequestRecord record;
+    PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &record.sequence));
+    PRIVSAN_ASSIGN_OR_RETURN(record.tenant, ReadString(in));
+    PRIVSAN_ASSIGN_OR_RETURN(record.verb, ReadString(in));
+    PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &record.status_code));
+    PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &record.total_ms));
+    PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &record.trace.queue_ms));
+    PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &record.trace.flush_ms));
+    PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &record.trace.solve_ms));
+    PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &record.trace.cache_ms));
+    PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &record.trace.repair_pivots));
+    PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &record.trace.iterations));
+    dump.records.push_back(std::move(record));
+  }
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &dump.dropped));
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &dump.threshold_ms));
+  return dump;
+}
+
 // Response payload kinds (the ServePayload variant, by index).
 constexpr uint8_t kPayloadNone = 0;
 constexpr uint8_t kPayloadSolution = 1;
 constexpr uint8_t kPayloadSweep = 2;
 constexpr uint8_t kPayloadReport = 3;
 constexpr uint8_t kPayloadStats = 4;
+constexpr uint8_t kPayloadMetrics = 5;
+constexpr uint8_t kPayloadSlowLog = 6;
 
 }  // namespace
 
@@ -415,6 +465,12 @@ Result<Frame> EncodeRequest(const serve::ServeRequest& request,
     WriteString(out, restore->path);
   } else if (std::get_if<serve::DropTenantRequest>(&request) != nullptr) {
     frame.verb = FrameVerb::kDropTenant;
+  } else if (std::get_if<serve::MetricsRequest>(&request) != nullptr) {
+    frame.verb = FrameVerb::kMetrics;
+  } else if (const auto* slowlog =
+                 std::get_if<serve::SlowLogRequest>(&request)) {
+    frame.verb = FrameVerb::kSlowLog;
+    WriteScalar<uint64_t>(out, slowlog->limit);
   } else {
     return Status::Internal("unhandled serve request alternative");
   }
@@ -508,6 +564,16 @@ Result<serve::ServeRequest> DecodeRequest(const Frame& frame) {
     case FrameVerb::kDropTenant:
       request = serve::DropTenantRequest{std::move(tenant)};
       break;
+    case FrameVerb::kMetrics:
+      request = serve::MetricsRequest{std::move(tenant)};
+      break;
+    case FrameVerb::kSlowLog: {
+      serve::SlowLogRequest slowlog;
+      slowlog.tenant = std::move(tenant);
+      PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &slowlog.limit));
+      request = std::move(slowlog);
+      break;
+    }
     case FrameVerb::kResponse:
       return Status::Internal("unreachable");
   }
@@ -538,6 +604,12 @@ Frame EncodeResponse(const serve::ServeResponse& response,
   } else if (const serve::TenantStats* stats = response.stats()) {
     WriteScalar<uint8_t>(out, kPayloadStats);
     WriteTenantStats(out, *stats);
+  } else if (const serve::MetricsText* metrics = response.metrics()) {
+    WriteScalar<uint8_t>(out, kPayloadMetrics);
+    WriteString(out, metrics->text);
+  } else if (const serve::SlowLogDump* slowlog = response.slow_log()) {
+    WriteScalar<uint8_t>(out, kPayloadSlowLog);
+    WriteSlowLogDump(out, *slowlog);
   } else {
     WriteScalar<uint8_t>(out, kPayloadNone);
   }
@@ -600,6 +672,17 @@ Result<serve::ServeResponse> DecodeResponse(const Frame& frame) {
       serve::TenantStats stats;
       PRIVSAN_RETURN_IF_ERROR(ReadTenantStats(in, &stats));
       response.payload = stats;
+      break;
+    }
+    case kPayloadMetrics: {
+      serve::MetricsText metrics;
+      PRIVSAN_ASSIGN_OR_RETURN(metrics.text, ReadString(in));
+      response.payload = std::move(metrics);
+      break;
+    }
+    case kPayloadSlowLog: {
+      PRIVSAN_ASSIGN_OR_RETURN(serve::SlowLogDump dump, ReadSlowLogDump(in));
+      response.payload = std::move(dump);
       break;
     }
     default:

@@ -46,6 +46,10 @@ const char* FrameVerbName(FrameVerb verb) {
       return "RestoreTenant";
     case FrameVerb::kDropTenant:
       return "DropTenant";
+    case FrameVerb::kMetrics:
+      return "Metrics";
+    case FrameVerb::kSlowLog:
+      return "SlowLog";
   }
   return "Unknown";
 }

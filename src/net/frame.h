@@ -61,8 +61,12 @@ enum class FrameVerb : uint8_t {
   kSaveSnapshot = 8,
   kRestoreTenant = 9,
   kDropTenant = 10,
+  // Observability verbs (PR 8). Tenant-less: the tenant string on the
+  // wire is empty, and the service answers inline without queueing.
+  kMetrics = 11,
+  kSlowLog = 12,
 };
-constexpr uint8_t kMaxFrameVerb = 10;
+constexpr uint8_t kMaxFrameVerb = 12;
 
 const char* FrameVerbName(FrameVerb verb);
 

@@ -1,5 +1,6 @@
 #include "net/router.h"
 
+#include <chrono>
 #include <filesystem>
 #include <future>
 #include <optional>
@@ -46,6 +47,34 @@ const std::string& HashRing::Locate(const std::string& key) const {
   return it->second;
 }
 
+Router::Router(Options options) : options_(std::move(options)) {
+  migrations_total_ = registry_.GetCounter(
+      "privsan_router_migrations_total",
+      "Tenants migrated between backends by ring changes.");
+  migration_duration_ = registry_.GetHistogram(
+      "privsan_router_migration_duration_seconds",
+      "Wall time of one warm tenant migration (save + restore + drop).");
+  // Ring state is read at scrape time instead of being tracked by yet
+  // another pair of counters the ring code would have to keep honest.
+  registry_.AddCollector([this](obs::PrometheusWriter* writer) {
+    size_t backends = 0;
+    size_t pinned = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      backends = backends_.size();
+      pinned = pinned_.size();
+    }
+    writer->Header("privsan_router_backends",
+                   "Backends currently in the ring.", "gauge");
+    writer->Value("privsan_router_backends", {},
+                  static_cast<double>(backends));
+    writer->Header("privsan_router_pinned_tenants",
+                   "Tenants pinned to a backend.", "gauge");
+    writer->Value("privsan_router_pinned_tenants", {},
+                  static_cast<double>(pinned));
+  });
+}
+
 Router::~Router() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [key, backend] : backends_) StopBackend(backend.get());
@@ -74,6 +103,26 @@ Result<std::shared_ptr<Router::Backend>> Router::ConnectBackend(
   auto backend = std::make_shared<Backend>();
   backend->port = port;
   backend->client = std::move(client);
+  // GetCounter/GetGauge are idempotent, so a backend re-added on the same
+  // port resumes its counter series instead of resetting it.
+  const obs::LabelSet labels = {{"backend", std::to_string(port)}};
+  backend->requests_total = registry_.GetCounter(
+      "privsan_router_requests_total",
+      "Requests enqueued toward a backend.", labels);
+  backend->failures_total = registry_.GetCounter(
+      "privsan_router_request_failures_total",
+      "Requests answered with a transport error instead of a reply.",
+      labels);
+  backend->reconnects_total = registry_.GetCounter(
+      "privsan_router_reconnects_total",
+      "Successful reconnects after a lost backend connection.", labels);
+  backend->fail_all_total = registry_.GetCounter(
+      "privsan_router_fail_all_total",
+      "Connection losses that failed every in-flight request at once.",
+      labels);
+  backend->inflight = registry_.GetGauge(
+      "privsan_router_inflight",
+      "Requests queued for or awaiting a reply from a backend.", labels);
   backend->worker = std::thread([this, raw = backend.get()] {
     WorkerLoop(raw);
   });
@@ -89,8 +138,45 @@ void Router::StopBackend(Backend* backend) {
   if (backend->worker.joinable()) backend->worker.join();
 }
 
+void Router::Enqueue(Backend* backend, Job job) {
+  backend->requests_total->Increment();
+  backend->inflight->Add(1.0);
+  // The gauge pointer outlives the backend (the registry owns it), so the
+  // decrement is safe even if the reply races a RemoveBackend.
+  job.respond = [inflight = backend->inflight,
+                 inner = std::move(job.respond)](
+                    serve::ServeResponse response) {
+    inflight->Add(-1.0);
+    inner(std::move(response));
+  };
+  {
+    std::lock_guard<std::mutex> lock(backend->mu);
+    backend->queue.push_back(std::move(job));
+  }
+  backend->cv.notify_one();
+}
+
 void Router::Submit(serve::ServeRequest request,
                     std::function<void(serve::ServeResponse)> respond) {
+  // Observability verbs never reach a backend. METRICS names no tenant, so
+  // routing it would both pin the empty string and answer from whichever
+  // backend the ring picked; the router is its own scrape target instead.
+  // SLOWLOG is inherently per-backend state — tell the operator to scrape
+  // the backend directly rather than return one backend's log as if it
+  // covered the fleet.
+  if (std::holds_alternative<serve::MetricsRequest>(request)) {
+    respond(serve::ServeResponse{Status::OK(),
+                                 serve::MetricsText{Metrics()}});
+    return;
+  }
+  if (std::holds_alternative<serve::SlowLogRequest>(request)) {
+    respond(serve::ServeResponse{
+        Status::InvalidArgument(
+            "SLOWLOG is per-backend state the router cannot aggregate; "
+            "scrape a backend directly"),
+        {}});
+    return;
+  }
   const bool is_drop =
       std::holds_alternative<serve::DropTenantRequest>(request);
   std::shared_ptr<Backend> backend;
@@ -135,11 +221,7 @@ void Router::Submit(serve::ServeRequest request,
       inner(std::move(response));
     };
   }
-  {
-    std::lock_guard<std::mutex> lock(backend->mu);
-    backend->queue.push_back(Job{std::move(request), std::move(respond)});
-  }
-  backend->cv.notify_one();
+  Enqueue(backend.get(), Job{std::move(request), std::move(respond)});
 }
 
 void Router::UnpinIfStale(const std::string& tenant,
@@ -179,13 +261,17 @@ void Router::WorkerLoop(Backend* backend) {
       // before failing this one.
       Result<NetClient> reconnected =
           NetClient::Connect(backend->port, options_.client);
-      if (reconnected.ok()) backend->client = std::move(*reconnected);
+      if (reconnected.ok()) {
+        backend->client = std::move(*reconnected);
+        backend->reconnects_total->Increment();
+      }
     }
     for (Job& job : jobs) {
       Result<uint64_t> sent = backend->client.Send(job.request);
       if (sent.ok()) {
         awaiting.push_back(std::move(job.respond));
       } else {
+        backend->failures_total->Increment();
         job.respond(serve::ServeResponse{sent.status(), {}});
       }
     }
@@ -197,6 +283,8 @@ void Router::WorkerLoop(Backend* backend) {
       } else {
         // The connection died with requests in flight; their replies are
         // unknowable. Fail them all with the transport error.
+        backend->fail_all_total->Increment();
+        backend->failures_total->Increment(awaiting.size());
         for (auto& respond : awaiting) {
           respond(serve::ServeResponse{response.status(), {}});
         }
@@ -210,14 +298,10 @@ serve::ServeResponse Router::CallBackend(Backend* backend,
                                          serve::ServeRequest request) {
   std::promise<serve::ServeResponse> promise;
   std::future<serve::ServeResponse> future = promise.get_future();
-  {
-    std::lock_guard<std::mutex> lock(backend->mu);
-    backend->queue.push_back(
-        Job{std::move(request), [&promise](serve::ServeResponse response) {
-              promise.set_value(std::move(response));
-            }});
-  }
-  backend->cv.notify_one();
+  Enqueue(backend,
+          Job{std::move(request), [&promise](serve::ServeResponse response) {
+                promise.set_value(std::move(response));
+              }});
   return future.get();
 }
 
@@ -238,6 +322,7 @@ std::vector<Migration> Router::MigrateLocked() {
     // The snapshot carries the whole session (pending appends are flushed
     // first, the solve basis travels with it), so the tenant resumes warm
     // on its new backend.
+    const auto migrate_start = std::chrono::steady_clock::now();
     serve::ServeResponse saved =
         CallBackend(from, serve::SaveSnapshotRequest{tenant, path});
     if (saved.ok()) {
@@ -247,6 +332,11 @@ std::vector<Migration> Router::MigrateLocked() {
         CallBackend(from, serve::DropTenantRequest{tenant});
         migrations.push_back(Migration{tenant, from->port, to->port});
         it->second = new_key;
+        migrations_total_->Increment();
+        migration_duration_->RecordSeconds(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          migrate_start)
+                .count());
       }
       // On failure the pin stays where the state is — the old backend.
       ++it;

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "net/client.h"
+#include "obs/registry.h"
 #include "serve/api.h"
 #include "util/result.h"
 
@@ -87,7 +88,7 @@ class Router {
     ClientOptions client;
   };
 
-  explicit Router(Options options) : options_(std::move(options)) {}
+  explicit Router(Options options);
   ~Router();
 
   Router(const Router&) = delete;
@@ -109,6 +110,12 @@ class Router {
 
   size_t backend_count() const;
 
+  // Router-side Prometheus scrape: per-backend in-flight / reconnect /
+  // fail-all counters, migration counts and durations, ring state. This
+  // is what a MetricsRequest submitted to the router answers (the verb is
+  // intercepted, not forwarded — each backend exports its own metrics).
+  std::string Metrics() const { return registry_.RenderPrometheusText(); }
+
  private:
   struct Job {
     serve::ServeRequest request;
@@ -123,9 +130,20 @@ class Router {
     std::deque<Job> queue;
     bool stop = false;
     std::thread worker;
+
+    // Registry-owned metric slots, labeled {backend="<port>"}; registered
+    // by ConnectBackend so the hot paths touch only atomics.
+    obs::Counter* requests_total = nullptr;
+    obs::Counter* failures_total = nullptr;
+    obs::Counter* reconnects_total = nullptr;
+    obs::Counter* fail_all_total = nullptr;
+    obs::Gauge* inflight = nullptr;
   };
 
   void WorkerLoop(Backend* backend);
+  // Queues one job on a backend, counting it and holding the in-flight
+  // gauge up until its respond fires. Every enqueue goes through here.
+  void Enqueue(Backend* backend, Job job);
   // Sends `request` to one specific backend and waits for its response —
   // the migration path (routing would re-hash).
   serve::ServeResponse CallBackend(Backend* backend,
@@ -142,6 +160,10 @@ class Router {
   static void StopBackend(Backend* backend);
 
   Options options_;
+
+  obs::MetricRegistry registry_;
+  obs::Counter* migrations_total_ = nullptr;
+  obs::LatencyHistogram* migration_duration_ = nullptr;
 
   mutable std::mutex mu_;  // ring + pins + backend set (not the queues)
   HashRing ring_{kVirtualNodes};

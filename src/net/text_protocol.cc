@@ -1,5 +1,6 @@
 #include "net/text_protocol.h"
 
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -45,6 +46,7 @@ std::string FormatStats(const serve::TenantStats& stats) {
       << " max_update_run=" << stats.max_update_run
       << " rows_copied=" << stats.rows_copied
       << " rows_rebuilt=" << stats.rows_rebuilt
+      << " refresh_solves=" << stats.refresh_solves
       << " evictions=" << stats.evictions << " reloads=" << stats.reloads
       << " fast_lane_hits=" << stats.fast_lane_hits
       << " admission_rejected=" << stats.admission_rejected
@@ -103,6 +105,55 @@ bool TextProtocol::Handle(const std::string& line, Done done) {
       for (const std::string& name : list_tenants_()) reply += ' ' + name;
       done(std::move(reply));
     }
+    return true;
+  }
+  if (command == "METRICS") {
+    // Tenant-less: one multi-line reply (the Prometheus scrape, ending
+    // with its "# EOF" marker) — identical bytes on every transport.
+    std::vector<serve::ServeRequest> requests;
+    requests.push_back(serve::MetricsRequest{});
+    SubmitMany(
+        std::move(requests),
+        [](auto& responses) -> std::string {
+          if (!responses[0].ok()) return ErrLine(responses[0].status);
+          const serve::MetricsText* metrics = responses[0].metrics();
+          if (metrics == nullptr) {
+            return ErrLine(Status::Internal("Metrics returned no payload"));
+          }
+          std::string text = metrics->text;
+          // The transport appends the line terminator.
+          while (!text.empty() && text.back() == '\n') text.pop_back();
+          return text;
+        },
+        std::move(done));
+    return true;
+  }
+  if (command == "SLOWLOG") {
+    serve::SlowLogRequest request;
+    in >> request.limit;  // optional; 0 (absent) dumps everything
+    std::vector<serve::ServeRequest> requests;
+    requests.push_back(std::move(request));
+    SubmitMany(
+        std::move(requests),
+        [](auto& responses) -> std::string {
+          if (!responses[0].ok()) return ErrLine(responses[0].status);
+          const serve::SlowLogDump* dump = responses[0].slow_log();
+          if (dump == nullptr) {
+            return ErrLine(Status::Internal("SlowLog returned no payload"));
+          }
+          std::ostringstream out;
+          char threshold[32];
+          std::snprintf(threshold, sizeof(threshold), "%.3f",
+                        dump->threshold_ms);
+          out << "OK slowlog entries=" << dump->records.size()
+              << " dropped=" << dump->dropped
+              << " threshold_ms=" << threshold;
+          for (const obs::SlowRequestRecord& record : dump->records) {
+            out << '\n' << obs::FormatSlowRecord(record);
+          }
+          return out.str();
+        },
+        std::move(done));
     return true;
   }
 

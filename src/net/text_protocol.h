@@ -3,9 +3,13 @@
 // its --protocol=text TCP mode, and sanitizer_netclient (which parses the
 // same scripts and executes them over binary frames).
 //
-// One input line maps to one reply line ("OK ..." or "ERR ..."); blank
+// One input line maps to one reply ("OK ..." or "ERR ..."); blank
 // lines and #-comments reply with the empty string, which transports
-// treat as "print nothing". Commands that need several ServeRequests to
+// treat as "print nothing". Two observability commands answer with one
+// multi-line reply instead of a single line: METRICS (the Prometheus
+// scrape, terminated by its "# EOF" comment) and SLOWLOG (an "OK
+// slowlog ..." summary followed by one "SLOW ..." line per record).
+// Commands that need several ServeRequests to
 // answer one line (SOLVE's cached= flag is a Stats/Solve/Stats sandwich
 // on the tenant's FIFO queue) aggregate their responses before
 // formatting, so the protocol stays pipelined: a driver may hand over N

@@ -1,0 +1,96 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace privsan {
+namespace obs {
+
+namespace {
+
+// Index of the smallest bucket whose upper bound covers `us`:
+// bucket i covers (2^(i-1), 2^i] us, bucket 0 covers [0, 1] us.
+int BucketIndex(uint64_t us) {
+  if (us <= 1) return 0;
+  int index = 0;
+  uint64_t bound = 1;
+  while (bound < us && index < kNumBuckets) {
+    bound <<= 1;
+    ++index;
+  }
+  return index;  // == kNumBuckets when `us` exceeds every finite bound
+}
+
+}  // namespace
+
+double HistogramSnapshot::BucketUpperUs(int i) {
+  return static_cast<double>(uint64_t{1} << i);
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  for (size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum_us += other.sum_us;
+}
+
+double HistogramSnapshot::QuantileUs(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (int i = 0; i <= kNumBuckets; ++i) {
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) >= target && buckets[i] > 0) {
+      if (i >= kNumBuckets) {
+        // Overflow bucket has no upper bound; report the largest finite
+        // bound so the estimate is a known floor rather than a guess.
+        return BucketUpperUs(kNumBuckets - 1);
+      }
+      const double lower = (i == 0) ? 0.0 : BucketUpperUs(i - 1);
+      const double upper = BucketUpperUs(i);
+      const double before = static_cast<double>(cumulative - buckets[i]);
+      const double within =
+          (target - before) / static_cast<double>(buckets[i]);
+      return lower + std::clamp(within, 0.0, 1.0) * (upper - lower);
+    }
+  }
+  return BucketUpperUs(kNumBuckets - 1);
+}
+
+void LatencyHistogram::RecordMicros(uint64_t us) {
+  buckets_[BucketIndex(us)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(us, std::memory_order_relaxed);
+}
+
+void LatencyHistogram::RecordSeconds(double seconds) {
+  if (!(seconds > 0)) {
+    RecordMicros(0);
+    return;
+  }
+  RecordMicros(static_cast<uint64_t>(std::llround(seconds * 1e6)));
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum_us = sum_us_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+double ExactPercentileMs(std::vector<double> seconds, double q) {
+  if (seconds.empty()) return 0.0;
+  std::sort(seconds.begin(), seconds.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(seconds.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, seconds.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return 1e3 * (seconds[lo] + frac * (seconds[hi] - seconds[lo]));
+}
+
+}  // namespace obs
+}  // namespace privsan

@@ -1,0 +1,79 @@
+// Lock-free latency histograms for the serving tier.
+//
+// LatencyHistogram holds a fixed set of log-spaced (power-of-two) buckets
+// over microseconds: bucket i counts samples with value <= 2^i us, the
+// final bucket catches overflow. Record() is a handful of relaxed atomic
+// increments — safe from any thread, cheap enough for the serve hot path
+// (one record per request). Snapshot() copies the counters into a plain
+// HistogramSnapshot, which supports merging (across threads, backends, or
+// scrape intervals) and bucket-interpolated quantiles.
+//
+// Bucket quantiles are approximations bounded by the bucket width (a
+// factor of two). Benches that hold every raw sample anyway should use
+// ExactPercentileMs() instead, which is the linear-interpolation
+// percentile the benches previously hand-rolled in two places.
+#ifndef PRIVSAN_OBS_HISTOGRAM_H_
+#define PRIVSAN_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace privsan {
+namespace obs {
+
+// Finite buckets: upper bounds 2^0 .. 2^(kNumBuckets-1) microseconds.
+// 2^27 us ~= 134 s, comfortably past the slowest legitimate sweep; the
+// extra slot past the finite buckets counts overflow.
+constexpr int kNumBuckets = 28;
+
+struct HistogramSnapshot {
+  // buckets[i] counts samples in (2^(i-1), 2^i] us (bucket 0: <= 1 us);
+  // buckets[kNumBuckets] counts overflow samples.
+  std::array<uint64_t, kNumBuckets + 1> buckets{};
+  uint64_t count = 0;
+  uint64_t sum_us = 0;
+
+  // Upper bound of finite bucket `i` in microseconds.
+  static double BucketUpperUs(int i);
+
+  void Merge(const HistogramSnapshot& other);
+
+  // Bucket-interpolated quantile in microseconds, q in [0, 1]. Returns 0
+  // for an empty histogram. Samples in the overflow bucket report the
+  // largest finite bound (a floor, not an estimate).
+  double QuantileUs(double q) const;
+  double QuantileMs(double q) const { return QuantileUs(q) / 1e3; }
+};
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  // Lock-free; relaxed ordering — counters are statistics, not
+  // synchronization. Negative durations (clock hiccups) clamp to zero.
+  void RecordMicros(uint64_t us);
+  void RecordSeconds(double seconds);
+  void RecordMillis(double ms) { RecordSeconds(ms / 1e3); }
+
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets + 1> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_us_{0};
+};
+
+// Exact linear-interpolated percentile over raw samples, returned in
+// milliseconds for samples given in seconds. q in [0, 1]; rank q*(n-1)
+// interpolated between neighbors — the same estimator the benches used.
+// Returns 0 on an empty sample set. Takes the vector by value: it sorts.
+double ExactPercentileMs(std::vector<double> seconds, double q);
+
+}  // namespace obs
+}  // namespace privsan
+
+#endif  // PRIVSAN_OBS_HISTOGRAM_H_

@@ -1,0 +1,208 @@
+#include "obs/registry.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace privsan {
+namespace obs {
+
+namespace {
+
+// Integral values render without a fractional part (counters stay
+// byte-stable across scrapes); everything else gets shortest-roundtrip-ish
+// %.10g, which Prometheus parses fine.
+std::string FormatValue(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+std::string LabelKey(const LabelSet& labels) {
+  std::string key;
+  for (const auto& [name, value] : labels) {
+    key += name;
+    key += '=';
+    key += value;
+    key += '\x1f';
+  }
+  return key;
+}
+
+void AppendLabels(std::string* out, const LabelSet& labels) {
+  if (labels.empty()) return;
+  out->push_back('{');
+  bool first = true;
+  for (const auto& [name, value] : labels) {
+    if (!first) out->push_back(',');
+    first = false;
+    *out += name;
+    *out += "=\"";
+    *out += PrometheusWriter::EscapeLabelValue(value);
+    *out += '"';
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+std::string PrometheusWriter::EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void PrometheusWriter::Header(const std::string& name, const std::string& help,
+                              const std::string& type) {
+  if (headers_emitted_[name]) return;
+  headers_emitted_[name] = true;
+  *out_ += "# HELP " + name + " " + help + "\n";
+  *out_ += "# TYPE " + name + " " + type + "\n";
+}
+
+void PrometheusWriter::Value(const std::string& name, const LabelSet& labels,
+                             double value) {
+  *out_ += name;
+  AppendLabels(out_, labels);
+  *out_ += ' ';
+  *out_ += FormatValue(value);
+  *out_ += '\n';
+}
+
+void PrometheusWriter::Histogram(const std::string& name,
+                                 const LabelSet& labels,
+                                 const HistogramSnapshot& snap) {
+  uint64_t cumulative = 0;
+  LabelSet bucket_labels = labels;
+  bucket_labels.emplace_back("le", "");
+  for (int i = 0; i <= kNumBuckets; ++i) {
+    cumulative += snap.buckets[i];
+    if (i < kNumBuckets) {
+      // Skip interior empty buckets to keep scrapes compact, but always
+      // emit the first bucket and +Inf so the shape stays parseable.
+      if (snap.buckets[i] == 0 && i != 0) continue;
+      // Bounds are exact powers of two in seconds' micro-units; render in
+      // seconds (the Prometheus base unit for durations).
+      char bound[32];
+      std::snprintf(bound, sizeof(bound), "%.9g",
+                    HistogramSnapshot::BucketUpperUs(i) / 1e6);
+      bucket_labels.back().second = bound;
+    } else {
+      bucket_labels.back().second = "+Inf";
+    }
+    Value(name + "_bucket", bucket_labels, static_cast<double>(cumulative));
+  }
+  Value(name + "_sum", labels, static_cast<double>(snap.sum_us) / 1e6);
+  Value(name + "_count", labels, static_cast<double>(snap.count));
+}
+
+MetricRegistry::Family* MetricRegistry::GetFamily(const std::string& name,
+                                                 const std::string& help,
+                                                 const std::string& type) {
+  Family& family = families_[name];
+  if (family.type.empty()) {
+    family.help = help;
+    family.type = type;
+  }
+  return &family;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name,
+                                    const std::string& help,
+                                    const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = GetFamily(name, help, "counter");
+  auto& slot = family->metrics[LabelKey(labels)];
+  if (!slot) {
+    slot = std::make_unique<Metric>();
+    slot->labels = labels;
+    slot->counter = std::make_unique<Counter>();
+  }
+  return slot->counter.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name,
+                                const std::string& help,
+                                const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = GetFamily(name, help, "gauge");
+  auto& slot = family->metrics[LabelKey(labels)];
+  if (!slot) {
+    slot = std::make_unique<Metric>();
+    slot->labels = labels;
+    slot->gauge = std::make_unique<Gauge>();
+  }
+  return slot->gauge.get();
+}
+
+LatencyHistogram* MetricRegistry::GetHistogram(const std::string& name,
+                                               const std::string& help,
+                                               const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = GetFamily(name, help, "histogram");
+  auto& slot = family->metrics[LabelKey(labels)];
+  if (!slot) {
+    slot = std::make_unique<Metric>();
+    slot->labels = labels;
+    slot->histogram = std::make_unique<LatencyHistogram>();
+  }
+  return slot->histogram.get();
+}
+
+void MetricRegistry::AddCollector(std::function<void(PrometheusWriter*)> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.push_back(std::move(fn));
+}
+
+std::string MetricRegistry::RenderPrometheusText() const {
+  std::string out;
+  PrometheusWriter writer(&out);
+  std::vector<std::function<void(PrometheusWriter*)>> collectors;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, family] : families_) {
+      writer.Header(name, family.help, family.type);
+      for (const auto& [key, metric] : family.metrics) {
+        if (metric->counter) {
+          writer.Value(name, metric->labels,
+                       static_cast<double>(metric->counter->Value()));
+        } else if (metric->gauge) {
+          writer.Value(name, metric->labels, metric->gauge->Value());
+        } else if (metric->histogram) {
+          writer.Histogram(name, metric->labels,
+                           metric->histogram->Snapshot());
+        }
+      }
+    }
+    collectors = collectors_;
+  }
+  // Collectors run outside the registry lock: they read service state
+  // behind their own (leaf) locks and must not deadlock against anyone
+  // registering metrics concurrently.
+  for (const auto& fn : collectors) fn(&writer);
+  out += "# EOF\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace privsan

@@ -1,0 +1,138 @@
+// Metric registry + Prometheus text exposition.
+//
+// A MetricRegistry owns named metric families (counter, gauge, histogram)
+// keyed by family name plus an ordered label set. Registration takes a
+// mutex; the returned pointers are stable for the registry's lifetime, so
+// hot paths register once (service construction) and then touch only the
+// atomics inside Counter/Gauge/LatencyHistogram.
+//
+// Values that are cheaper to compute at scrape time than to maintain
+// continuously — per-tenant queue depths, TenantStats counters — register
+// a collector callback instead: RenderPrometheusText() runs every
+// collector with a PrometheusWriter positioned after the static families.
+//
+// The registry is instantiable, not a process-global: SanitizerService
+// and Router each own one, so tests and multi-instance processes (a
+// router and a backend in one binary) never share counters.
+#ifndef PRIVSAN_OBS_REGISTRY_H_
+#define PRIVSAN_OBS_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace privsan {
+namespace obs {
+
+// Ordered (name, value) pairs; order is preserved in the rendered output.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+// Monotonic counter. Prometheus convention: family names end in _total.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-write-wins gauge.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Serializes samples into the Prometheus text exposition format. Header()
+// emits the # HELP / # TYPE pair once per family name per render.
+class PrometheusWriter {
+ public:
+  explicit PrometheusWriter(std::string* out) : out_(out) {}
+
+  void Header(const std::string& name, const std::string& help,
+              const std::string& type);
+  void Value(const std::string& name, const LabelSet& labels, double value);
+  // Expands a histogram into cumulative _bucket{le=...} samples plus
+  // _sum (in seconds) and _count, per Prometheus convention.
+  void Histogram(const std::string& name, const LabelSet& labels,
+                 const HistogramSnapshot& snap);
+
+  // Escapes \, ", and newline for use inside a label value.
+  static std::string EscapeLabelValue(const std::string& value);
+
+ private:
+  std::string* out_;
+  std::map<std::string, bool> headers_emitted_;
+};
+
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  // Idempotent: the same (name, labels) pair always returns the same
+  // metric. `help` is taken from the first registration.
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      const LabelSet& labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  const LabelSet& labels = {});
+  LatencyHistogram* GetHistogram(const std::string& name,
+                                 const std::string& help,
+                                 const LabelSet& labels = {});
+
+  // `fn` runs inside every RenderPrometheusText() call, after the static
+  // families. It must emit its own Header() lines and must not call back
+  // into the registry.
+  void AddCollector(std::function<void(PrometheusWriter*)> fn);
+
+  // Full scrape. Families render in name order; ends with a "# EOF"
+  // comment line so multi-scrape streams can be split mechanically.
+  std::string RenderPrometheusText() const;
+
+ private:
+  struct Family;
+  Family* GetFamily(const std::string& name, const std::string& help,
+                    const std::string& type);
+
+  struct Metric {
+    LabelSet labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LatencyHistogram> histogram;
+  };
+  struct Family {
+    std::string help;
+    std::string type;
+    // Keyed by the serialized label set; values are pointer-stable.
+    std::map<std::string, std::unique_ptr<Metric>> metrics;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+  std::vector<std::function<void(PrometheusWriter*)>> collectors_;
+};
+
+}  // namespace obs
+}  // namespace privsan
+
+#endif  // PRIVSAN_OBS_REGISTRY_H_

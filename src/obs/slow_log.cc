@@ -1,0 +1,58 @@
+#include "obs/slow_log.h"
+
+#include <cstdio>
+
+namespace privsan {
+namespace obs {
+
+void SlowRequestLog::MaybeRecord(const std::string& tenant,
+                                 const std::string& verb,
+                                 uint16_t status_code, double total_ms,
+                                 const RequestTrace& trace) {
+  if (capacity_ == 0) return;
+  if (threshold_ms_ > 0 && total_ms < threshold_ms_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  SlowRequestRecord record;
+  record.sequence = next_sequence_++;
+  record.tenant = tenant;
+  record.verb = verb;
+  record.status_code = status_code;
+  record.total_ms = total_ms;
+  record.trace = trace;
+  ring_.push_back(std::move(record));
+  if (ring_.size() > capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+}
+
+std::vector<SlowRequestRecord> SlowRequestLog::Snapshot(size_t limit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t begin = 0;
+  if (limit > 0 && limit < ring_.size()) begin = ring_.size() - limit;
+  return std::vector<SlowRequestRecord>(ring_.begin() + begin, ring_.end());
+}
+
+uint64_t SlowRequestLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string FormatSlowRecord(const SlowRequestRecord& record) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "SLOW seq=%llu verb=%s tenant=%s status=%u total_ms=%.3f "
+      "queue_ms=%.3f flush_ms=%.3f solve_ms=%.3f cache_ms=%.3f "
+      "repair_pivots=%llu iterations=%llu",
+      static_cast<unsigned long long>(record.sequence), record.verb.c_str(),
+      record.tenant.c_str(), static_cast<unsigned>(record.status_code),
+      record.total_ms, record.trace.queue_ms, record.trace.flush_ms,
+      record.trace.solve_ms, record.trace.cache_ms,
+      static_cast<unsigned long long>(record.trace.repair_pivots),
+      static_cast<unsigned long long>(record.trace.iterations));
+  return buf;
+}
+
+}  // namespace obs
+}  // namespace privsan

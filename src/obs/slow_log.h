@@ -1,0 +1,84 @@
+// Per-request stage tracing and the bounded slow-request log.
+//
+// A RequestTrace rides alongside one request through the service: each
+// stage the request passes (queue wait, pending-log flush, solve, result-
+// cache lookup) adds its wall time, and the solver contributes pivot and
+// iteration counts. After the response is finished the trace is folded
+// into the metric registry's stage histograms, and — when the total
+// latency crosses ServiceOptions::slow_request_threshold_ms — recorded in
+// the SlowRequestLog, a mutex-guarded ring buffer dumped by the SLOWLOG
+// verb. The ring keeps the newest `capacity` records; dropped() counts
+// evictions so a scraper can tell the window slid.
+#ifndef PRIVSAN_OBS_SLOW_LOG_H_
+#define PRIVSAN_OBS_SLOW_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace privsan {
+namespace obs {
+
+// Stage timings for one request, in milliseconds. Stages that a request
+// never enters stay 0 (e.g. cache_ms for an Append).
+struct RequestTrace {
+  double queue_ms = 0;  // enqueue -> start of execution
+  double flush_ms = 0;  // pending-log flush into the histogram/LP
+  double solve_ms = 0;  // LP solve (cell solves summed, for a Sweep)
+  double cache_ms = 0;  // result-cache probe
+  // Warm-start repair pivots and simplex iterations spent by the solver;
+  // the kernel exposes counts, not a separate repair timer, so pivots are
+  // reported as work units rather than a duration.
+  uint64_t repair_pivots = 0;
+  uint64_t iterations = 0;
+};
+
+struct SlowRequestRecord {
+  uint64_t sequence = 0;  // monotonic per service; dump is oldest-first
+  std::string tenant;
+  std::string verb;
+  uint16_t status_code = 0;  // StatusCode of the response
+  double total_ms = 0;
+  RequestTrace trace;
+};
+
+class SlowRequestLog {
+ public:
+  // threshold_ms <= 0 records every request (useful under test); a zero
+  // capacity disables the log entirely.
+  SlowRequestLog(double threshold_ms, size_t capacity)
+      : threshold_ms_(threshold_ms), capacity_(capacity) {}
+
+  // Appends when total_ms crosses the threshold, evicting the oldest
+  // record once the ring is full. Thread-safe.
+  void MaybeRecord(const std::string& tenant, const std::string& verb,
+                   uint16_t status_code, double total_ms,
+                   const RequestTrace& trace);
+
+  // Oldest-first copy of the ring; `limit` 0 returns everything,
+  // otherwise the newest `limit` records (still oldest-first).
+  std::vector<SlowRequestRecord> Snapshot(size_t limit = 0) const;
+
+  uint64_t dropped() const;
+  double threshold_ms() const { return threshold_ms_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const double threshold_ms_;
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<SlowRequestRecord> ring_;
+  uint64_t next_sequence_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+// One-line rendering used by the SLOWLOG verb and routerd admin output;
+// fixed 3-decimal millisecond fields so smoke tests can parse them.
+std::string FormatSlowRecord(const SlowRequestRecord& record);
+
+}  // namespace obs
+}  // namespace privsan
+
+#endif  // PRIVSAN_OBS_SLOW_LOG_H_

@@ -20,6 +20,8 @@ const char* RequestName(const ServeRequest& request) {
     const char* operator()(const SaveSnapshotRequest&) { return "SaveSnapshot"; }
     const char* operator()(const RestoreTenantRequest&) { return "RestoreTenant"; }
     const char* operator()(const DropTenantRequest&) { return "DropTenant"; }
+    const char* operator()(const MetricsRequest&) { return "Metrics"; }
+    const char* operator()(const SlowLogRequest&) { return "SlowLog"; }
   };
   return std::visit(Namer{}, request);
 }

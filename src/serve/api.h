@@ -36,6 +36,7 @@
 #include "core/session.h"
 #include "core/ump.h"
 #include "log/search_log.h"
+#include "obs/slow_log.h"
 #include "util/result.h"
 
 namespace privsan {
@@ -101,13 +102,31 @@ struct DropTenantRequest {
   std::string tenant;
 };
 
+// Observability verbs. Neither addresses a tenant (`tenant` stays empty —
+// RequestTenant returns it for uniformity); both are answered inline by
+// Submit without touching any tenant queue, so a scrape never waits
+// behind a sweep.
+
+// Full Prometheus text scrape of the service's metric registry.
+struct MetricsRequest {
+  std::string tenant;  // always empty; present for RequestTenant
+};
+
+// Dump of the slow-request ring buffer, oldest-first. `limit` 0 returns
+// everything; otherwise the newest `limit` records.
+struct SlowLogRequest {
+  std::string tenant;  // always empty; present for RequestTenant
+  uint64_t limit = 0;
+};
+
 using ServeRequest =
     std::variant<CreateTenantRequest, AppendRequest, FlushRequest,
                  SolveRequest, SweepRequest, SanitizeRequest, StatsRequest,
-                 SaveSnapshotRequest, RestoreTenantRequest,
-                 DropTenantRequest>;
+                 SaveSnapshotRequest, RestoreTenantRequest, DropTenantRequest,
+                 MetricsRequest, SlowLogRequest>;
 
-// The tenant a request addresses (every request names exactly one).
+// The tenant a request addresses (empty for the tenant-less observability
+// verbs Metrics and SlowLog).
 const std::string& RequestTenant(const ServeRequest& request);
 
 // Stable verb name for logs and error messages ("Solve", "Append", ...).
@@ -163,8 +182,22 @@ struct TenantStats {
   uint64_t resident_bytes = 0;
 };
 
-using ServePayload = std::variant<std::monostate, UmpSolution, SweepResult,
-                                  SanitizeReport, TenantStats>;
+// Metrics scrape payload: the registry rendered as Prometheus text.
+struct MetricsText {
+  std::string text;
+};
+
+// Slow-request log dump, oldest-first, plus ring bookkeeping so a scraper
+// can tell whether (and how far) the window slid since its last pull.
+struct SlowLogDump {
+  std::vector<obs::SlowRequestRecord> records;
+  uint64_t dropped = 0;
+  double threshold_ms = 0;
+};
+
+using ServePayload =
+    std::variant<std::monostate, UmpSolution, SweepResult, SanitizeReport,
+                 TenantStats, MetricsText, SlowLogDump>;
 
 struct ServeResponse {
   Status status;
@@ -185,6 +218,12 @@ struct ServeResponse {
   }
   const TenantStats* stats() const {
     return std::get_if<TenantStats>(&payload);
+  }
+  const MetricsText* metrics() const {
+    return std::get_if<MetricsText>(&payload);
+  }
+  const SlowLogDump* slow_log() const {
+    return std::get_if<SlowLogDump>(&payload);
   }
 };
 

@@ -8,11 +8,18 @@
 #include <utility>
 
 #include "serve/snapshot.h"
+#include "util/timer.h"
 
 namespace privsan {
 namespace serve {
 
 namespace {
+
+double ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
 
 // Canonical cache key: the exact solver inputs that pick a solution on a
 // fixed log state. Doubles are keyed by their bit patterns — two budgets
@@ -82,7 +89,10 @@ Status CheckLifecycle(const Tenant& tenant) {
 
 SanitizerService::SanitizerService(ServiceOptions options)
     : options_(std::move(options)),
+      slow_log_(options_.slow_request_threshold_ms,
+                options_.slow_log_capacity),
       pool_(std::make_unique<ThreadPool>(options_.num_threads)) {
+  RegisterMetrics();
   if (options_.maintenance_interval_ms > 0) {
     maintenance_ = std::thread([this] { MaintenanceLoop(); });
   }
@@ -140,6 +150,29 @@ void SanitizerService::Submit(ServeRequest request,
 
 std::future<ServeResponse> SanitizerService::SubmitInternal(
     ServeRequest request, std::function<void(ServeResponse)> done) {
+  // The tenant-less observability verbs answer inline: a scrape or a
+  // slow-log dump must never wait behind a sweep on some tenant's queue.
+  if (std::holds_alternative<MetricsRequest>(request) ||
+      std::holds_alternative<SlowLogRequest>(request)) {
+    ServeResponse response{Status::OK(), {}};
+    if (std::holds_alternative<MetricsRequest>(request)) {
+      response.payload = MetricsText{RenderMetrics()};
+    } else {
+      const auto& dump = std::get<SlowLogRequest>(request);
+      SlowLogDump payload;
+      payload.records = slow_log_.Snapshot(dump.limit);
+      payload.dropped = slow_log_.dropped();
+      payload.threshold_ms = slow_log_.threshold_ms();
+      response.payload = std::move(payload);
+    }
+    if (done) {
+      done(std::move(response));
+      return {};
+    }
+    std::promise<ServeResponse> promise;
+    promise.set_value(std::move(response));
+    return promise.get_future();
+  }
   // Create/Restore register the name synchronously so later requests in a
   // pipelined burst find the tenant and queue FIFO behind the construction
   // job.
@@ -182,6 +215,7 @@ std::future<ServeResponse> SanitizerService::Enqueue(
   job.request = std::move(request);
   job.done = std::move(done);
   job.maintenance = maintenance;
+  job.enqueued_at = std::chrono::steady_clock::now();
   std::future<ServeResponse> future;
   if (!job.done) {
     job.promise = std::make_shared<std::promise<ServeResponse>>();
@@ -250,15 +284,21 @@ void SanitizerService::DrainQueue(std::shared_ptr<Tenant> tenant) {
       job = std::move(tenant->jobs.front());
       tenant->jobs.pop_front();
     }
+    obs::RequestTrace trace;
+    trace.queue_ms = ElapsedMs(job.enqueued_at);
+    const auto exec_start = std::chrono::steady_clock::now();
     ServeResponse response;
     {
       std::lock_guard<std::mutex> lock(tenant->mu);
-      response = Execute(*tenant, job.request, job.maintenance);
+      response = Execute(*tenant, job.request, job.maintenance, &trace);
     }
     if (job.maintenance) {
       std::lock_guard<std::mutex> lock(tenant->qmu);
       tenant->flush_scheduled = false;
     }
+    const double total_ms = trace.queue_ms + ElapsedMs(exec_start);
+    RecordRequest(job.request.index(), tenant->name, response.status,
+                  total_ms, trace);
     Finish(job, std::move(response));
   }
 }
@@ -275,6 +315,9 @@ void SanitizerService::DrainFastQueue(std::shared_ptr<Tenant> tenant) {
       job = std::move(tenant->fast_jobs.front());
       tenant->fast_jobs.pop_front();
     }
+    obs::RequestTrace trace;
+    trace.queue_ms = ElapsedMs(job.enqueued_at);
+    const auto exec_start = std::chrono::steady_clock::now();
     ServeResponse response;
     bool requeue = false;
     {
@@ -300,7 +343,9 @@ void SanitizerService::DrainFastQueue(std::shared_ptr<Tenant> tenant) {
       }
     }
     if (requeue) {
-      // Already admitted once — push straight onto the heavy queue.
+      // Already admitted once — push straight onto the heavy queue. The
+      // job keeps its original enqueued_at, so its eventual trace charges
+      // both waits to the queue stage; it is recorded on the heavy lane.
       bool start = false;
       {
         std::lock_guard<std::mutex> lock(tenant->qmu);
@@ -315,6 +360,11 @@ void SanitizerService::DrainFastQueue(std::shared_ptr<Tenant> tenant) {
       }
       continue;
     }
+    // The fast lane is one cache/counter probe — charge it to the
+    // cache-lookup stage.
+    trace.cache_ms = ElapsedMs(exec_start);
+    RecordRequest(job.request.index(), tenant->name, response.status,
+                  trace.queue_ms + trace.cache_ms, trace);
     Finish(job, std::move(response));
   }
 }
@@ -364,8 +414,17 @@ void SanitizerService::RefreshResidentBytes(Tenant& tenant) {
       session_bytes + tenant.cache_bytes + tenant.pending_bytes;
 }
 
-Status SanitizerService::FlushLocked(Tenant& tenant) {
+Status SanitizerService::FlushLocked(Tenant& tenant,
+                                     obs::RequestTrace* trace) {
   if (tenant.pending.empty()) return Status::OK();
+  const auto flush_start = std::chrono::steady_clock::now();
+  struct StageGuard {
+    std::chrono::steady_clock::time_point start;
+    obs::RequestTrace* trace;
+    ~StageGuard() {
+      if (trace != nullptr) trace->flush_ms += ElapsedMs(start);
+    }
+  } guard{flush_start, trace};
   // Coalesce the whole queue into one log: K queued appends become a
   // single merge + incremental re-preprocess + row patch + basis remap.
   SearchLogBuilder builder;
@@ -397,7 +456,8 @@ Status SanitizerService::FlushLocked(Tenant& tenant) {
 }
 
 ServeResponse SanitizerService::Execute(Tenant& tenant, ServeRequest& request,
-                                        bool maintenance) {
+                                        bool maintenance,
+                                        obs::RequestTrace* trace) {
   if (auto* create = std::get_if<CreateTenantRequest>(&request)) {
     return ExecuteCreate(tenant, *create);
   }
@@ -426,7 +486,7 @@ ServeResponse SanitizerService::Execute(Tenant& tenant, ServeRequest& request,
     // counter below; the queue can only change under mu, which we hold.
     const bool had_pending = !tenant.pending.empty();
     if (Status live = EnsureLive(tenant); !live.ok()) return {live, {}};
-    if (Status flushed = FlushLocked(tenant); !flushed.ok()) {
+    if (Status flushed = FlushLocked(tenant, trace); !flushed.ok()) {
       return {flushed, {}};
     }
     // A maintenance-initiated job that actually landed appends is what the
@@ -450,7 +510,7 @@ ServeResponse SanitizerService::Execute(Tenant& tenant, ServeRequest& request,
       if (options_.refresh_hot_query_after_flush &&
           tenant.last_solve_query.has_value()) {
         const auto [objective, query] = *tenant.last_solve_query;
-        if (ExecuteSolve(tenant, objective, query).ok()) {
+        if (ExecuteSolve(tenant, objective, query, nullptr).ok()) {
           std::lock_guard<std::mutex> lock(tenant.cmu);
           ++tenant.stats.refresh_solves;
         }
@@ -462,11 +522,11 @@ ServeResponse SanitizerService::Execute(Tenant& tenant, ServeRequest& request,
 
   if (auto* solve = std::get_if<SolveRequest>(&request)) {
     if (Status live = EnsureLive(tenant); !live.ok()) return {live, {}};
-    if (Status flushed = FlushLocked(tenant); !flushed.ok()) {
+    if (Status flushed = FlushLocked(tenant, trace); !flushed.ok()) {
       return {flushed, {}};
     }
     ServeResponse response =
-        ExecuteSolve(tenant, solve->objective, solve->query);
+        ExecuteSolve(tenant, solve->objective, solve->query, trace);
     // Only successful solves become the hot-query-refresh target — a
     // failing query must not be retried after every background flush.
     if (response.ok()) {
@@ -477,11 +537,13 @@ ServeResponse SanitizerService::Execute(Tenant& tenant, ServeRequest& request,
 
   if (auto* sweep = std::get_if<SweepRequest>(&request)) {
     if (Status live = EnsureLive(tenant); !live.ok()) return {live, {}};
-    if (Status flushed = FlushLocked(tenant); !flushed.ok()) {
+    if (Status flushed = FlushLocked(tenant, trace); !flushed.ok()) {
       return {flushed, {}};
     }
+    const auto solve_start = std::chrono::steady_clock::now();
     Result<SweepResult> result = tenant.session->SweepBudgets(
         sweep->objective, sweep->grid, sweep->sweep);
+    if (trace != nullptr) trace->solve_ms += ElapsedMs(solve_start);
     if (!result.ok()) return {result.status(), {}};
     {
       std::lock_guard<std::mutex> lock(tenant.cmu);
@@ -491,6 +553,12 @@ ServeResponse SanitizerService::Execute(Tenant& tenant, ServeRequest& request,
       for (const UmpSolution& cell : result->cells) {
         tenant.stats.refactorizations +=
             static_cast<uint64_t>(cell.stats.refactorizations);
+        if (trace != nullptr) {
+          trace->iterations +=
+              static_cast<uint64_t>(cell.stats.simplex_iterations);
+          trace->repair_pivots +=
+              static_cast<uint64_t>(cell.stats.dual_iterations);
+        }
       }
       tenant.stats.factor_nnz =
           std::max(tenant.stats.factor_nnz,
@@ -505,11 +573,13 @@ ServeResponse SanitizerService::Execute(Tenant& tenant, ServeRequest& request,
 
   if (auto* sanitize = std::get_if<SanitizeRequest>(&request)) {
     if (Status live = EnsureLive(tenant); !live.ok()) return {live, {}};
-    if (Status flushed = FlushLocked(tenant); !flushed.ok()) {
+    if (Status flushed = FlushLocked(tenant, trace); !flushed.ok()) {
       return {flushed, {}};
     }
+    const auto solve_start = std::chrono::steady_clock::now();
     Result<SanitizeReport> report =
         tenant.session->Sanitize(sanitize->privacy);
+    if (trace != nullptr) trace->solve_ms += ElapsedMs(solve_start);
     if (!report.ok()) return {report.status(), {}};
     {
       std::lock_guard<std::mutex> lock(tenant.cmu);
@@ -531,7 +601,7 @@ ServeResponse SanitizerService::Execute(Tenant& tenant, ServeRequest& request,
     if (Status live = EnsureLive(tenant); !live.ok()) return {live, {}};
     // Queued appends are part of the tenant's logical state — land them
     // before persisting.
-    if (Status flushed = FlushLocked(tenant); !flushed.ok()) {
+    if (Status flushed = FlushLocked(tenant, trace); !flushed.ok()) {
       return {flushed, {}};
     }
     return {serve::SaveSnapshot(*tenant.session, save->path), {}};
@@ -564,21 +634,32 @@ ServeResponse SanitizerService::Execute(Tenant& tenant, ServeRequest& request,
 
 ServeResponse SanitizerService::ExecuteSolve(Tenant& tenant,
                                              UtilityObjective objective,
-                                             const UmpQuery& query) {
+                                             const UmpQuery& query,
+                                             obs::RequestTrace* trace) {
   const bool cache_enabled = options_.result_cache_capacity > 0;
   std::string key;
   if (cache_enabled) {
+    const auto cache_start = std::chrono::steady_clock::now();
     key = CacheKey(objective, query);
     std::lock_guard<std::mutex> lock(tenant.cmu);
     auto it = tenant.cache.find(key);
+    if (trace != nullptr) trace->cache_ms += ElapsedMs(cache_start);
     if (it != tenant.cache.end()) {
       ++tenant.stats.cache_hits;
       return {Status::OK(), it->second};
     }
     ++tenant.stats.cache_misses;
   }
+  const auto solve_start = std::chrono::steady_clock::now();
   Result<UmpSolution> solution = tenant.session->Solve(objective, query);
+  if (trace != nullptr) trace->solve_ms += ElapsedMs(solve_start);
   if (!solution.ok()) return {solution.status(), {}};
+  if (trace != nullptr) {
+    trace->iterations +=
+        static_cast<uint64_t>(solution->stats.simplex_iterations);
+    trace->repair_pivots +=
+        static_cast<uint64_t>(solution->stats.dual_iterations);
+  }
   {
     std::lock_guard<std::mutex> lock(tenant.cmu);
     ++tenant.stats.solves;
@@ -662,6 +743,194 @@ ServeResponse SanitizerService::ExecuteRestore(Tenant& tenant,
   }
   RefreshResidentBytes(tenant);
   return {Status::OK(), {}};
+}
+
+// --- Observability ---------------------------------------------------------
+
+namespace {
+
+// Stable verb names indexed by ServeRequest variant alternative.
+constexpr const char* kVerbNames[] = {
+    "CreateTenant", "Append",       "Flush",      "Solve",
+    "Sweep",        "Sanitize",     "Stats",      "SaveSnapshot",
+    "RestoreTenant", "DropTenant",  "Metrics",    "SlowLog"};
+static_assert(std::variant_size_v<ServeRequest> ==
+              sizeof(kVerbNames) / sizeof(kVerbNames[0]));
+
+// TenantStats fields exported per tenant at scrape time. Monotonic
+// counters get the _total suffix; point-in-time fields render as gauges.
+struct TenantStatField {
+  const char* name;
+  const char* help;
+  const char* type;
+  uint64_t TenantStats::* field;
+};
+constexpr TenantStatField kTenantStatFields[] = {
+    {"privsan_tenant_appends_enqueued_total",
+     "Append batches accepted into the pending queue", "counter",
+     &TenantStats::appends_enqueued},
+    {"privsan_tenant_flushes_total", "AppendUsers flushes performed",
+     "counter", &TenantStats::flushes},
+    {"privsan_tenant_appends_coalesced_total",
+     "Queued appends merged into flushes", "counter",
+     &TenantStats::appends_coalesced},
+    {"privsan_tenant_maintenance_flushes_total",
+     "Flushes initiated by the maintenance thread", "counter",
+     &TenantStats::maintenance_flushes},
+    {"privsan_tenant_solves_total", "LP solves executed (misses + sweeps)",
+     "counter", &TenantStats::solves},
+    {"privsan_tenant_cache_hits_total", "Result-cache hits", "counter",
+     &TenantStats::cache_hits},
+    {"privsan_tenant_cache_misses_total", "Result-cache misses", "counter",
+     &TenantStats::cache_misses},
+    {"privsan_tenant_repair_aborted_total",
+     "Warm solves whose dual repair hit the pivot cap and fell back cold",
+     "counter", &TenantStats::repair_aborted},
+    {"privsan_tenant_refactorizations_total",
+     "Basis refactorizations across this tenant's solves", "counter",
+     &TenantStats::refactorizations},
+    {"privsan_tenant_factor_nnz", "Peak basis-factorization nonzeros",
+     "gauge", &TenantStats::factor_nnz},
+    {"privsan_tenant_max_update_run",
+     "Longest Forrest-Tomlin update run between refactorizations", "gauge",
+     &TenantStats::max_update_run},
+    {"privsan_tenant_rows_copied", "Rows copied by the last flush", "gauge",
+     &TenantStats::rows_copied},
+    {"privsan_tenant_rows_rebuilt", "Rows rebuilt by the last flush",
+     "gauge", &TenantStats::rows_rebuilt},
+    {"privsan_tenant_refresh_solves_total",
+     "Hot-query refresh solves after background flushes", "counter",
+     &TenantStats::refresh_solves},
+    {"privsan_tenant_evictions_total",
+     "Times this tenant was spilled to its eviction snapshot", "counter",
+     &TenantStats::evictions},
+    {"privsan_tenant_reloads_total",
+     "Transparent reloads from the eviction snapshot", "counter",
+     &TenantStats::reloads},
+    {"privsan_tenant_fast_lane_hits_total",
+     "Requests answered on the read-only fast lane", "counter",
+     &TenantStats::fast_lane_hits},
+    {"privsan_tenant_admission_rejected_total",
+     "Requests rejected by the per-tenant queue-depth cap", "counter",
+     &TenantStats::admission_rejected},
+    {"privsan_tenant_resident_bytes",
+     "Estimated resident footprint (session + caches); 0 while evicted",
+     "gauge", &TenantStats::resident_bytes},
+};
+
+}  // namespace
+
+void SanitizerService::RegisterMetrics() {
+  constexpr size_t kNumVerbs = std::variant_size_v<ServeRequest>;
+  requests_total_.resize(kNumVerbs);
+  request_errors_total_.resize(kNumVerbs);
+  request_duration_.resize(kNumVerbs);
+  for (size_t i = 0; i < kNumVerbs; ++i) {
+    const obs::LabelSet labels = {{"verb", kVerbNames[i]}};
+    requests_total_[i] = registry_.GetCounter(
+        "privsan_requests_total", "Requests finished, by verb", labels);
+    request_errors_total_[i] = registry_.GetCounter(
+        "privsan_request_errors_total",
+        "Requests finished with a non-OK status, by verb", labels);
+    request_duration_[i] = registry_.GetHistogram(
+        "privsan_request_duration_seconds",
+        "End-to-end request latency (queue wait included), by verb",
+        labels);
+  }
+  const auto stage = [this](const char* name) {
+    return registry_.GetHistogram(
+        "privsan_stage_duration_seconds",
+        "Per-request stage latency (queue_wait, flush, solve, "
+        "cache_lookup)",
+        {{"stage", name}});
+  };
+  stage_queue_wait_ = stage("queue_wait");
+  stage_flush_ = stage("flush");
+  stage_solve_ = stage("solve");
+  stage_cache_lookup_ = stage("cache_lookup");
+  simplex_iterations_total_ = registry_.GetCounter(
+      "privsan_simplex_iterations_total",
+      "Simplex iterations (primal + dual) spent by all solves");
+  repair_pivots_total_ = registry_.GetCounter(
+      "privsan_repair_pivots_total",
+      "Dual pivots spent repairing warm bases after appends");
+  slow_requests_total_ = registry_.GetCounter(
+      "privsan_slow_requests_total",
+      "Requests at or above the slow-request threshold");
+
+  // Per-tenant values are computed at scrape time from TenantStats and the
+  // queue state: cheaper than maintaining labeled metrics on every
+  // counter bump, and tenants that come and go never leak registry slots.
+  registry_.AddCollector([this](obs::PrometheusWriter* writer) {
+    const std::vector<std::shared_ptr<Tenant>> tenants = manager_.All();
+    writer->Header("privsan_tenants", "Registered tenants", "gauge");
+    writer->Value("privsan_tenants", {},
+                  static_cast<double>(tenants.size()));
+    writer->Header("privsan_tenant_queue_depth",
+                   "Queued jobs per tenant and lane", "gauge");
+    for (const std::shared_ptr<Tenant>& tenant : tenants) {
+      size_t heavy = 0, fast = 0;
+      {
+        std::lock_guard<std::mutex> lock(tenant->qmu);
+        heavy = tenant->jobs.size();
+        fast = tenant->fast_jobs.size();
+      }
+      writer->Value("privsan_tenant_queue_depth",
+                    {{"tenant", tenant->name}, {"lane", "heavy"}},
+                    static_cast<double>(heavy));
+      writer->Value("privsan_tenant_queue_depth",
+                    {{"tenant", tenant->name}, {"lane", "fast"}},
+                    static_cast<double>(fast));
+    }
+    for (const TenantStatField& field : kTenantStatFields) {
+      writer->Header(field.name, field.help, field.type);
+      for (const std::shared_ptr<Tenant>& tenant : tenants) {
+        uint64_t value = 0;
+        {
+          std::lock_guard<std::mutex> lock(tenant->cmu);
+          value = tenant->stats.*(field.field);
+        }
+        writer->Value(field.name, {{"tenant", tenant->name}},
+                      static_cast<double>(value));
+      }
+    }
+    writer->Header("privsan_slowlog_dropped_total",
+                   "Slow-log records evicted by the ring buffer",
+                   "counter");
+    writer->Value("privsan_slowlog_dropped_total", {},
+                  static_cast<double>(slow_log_.dropped()));
+  });
+}
+
+void SanitizerService::RecordRequest(size_t verb_index,
+                                     const std::string& tenant,
+                                     const Status& status, double total_ms,
+                                     const obs::RequestTrace& trace) {
+  if (verb_index >= requests_total_.size()) return;
+  requests_total_[verb_index]->Increment();
+  if (!status.ok()) request_errors_total_[verb_index]->Increment();
+  request_duration_[verb_index]->RecordMillis(total_ms);
+  stage_queue_wait_->RecordMillis(trace.queue_ms);
+  if (trace.flush_ms > 0) stage_flush_->RecordMillis(trace.flush_ms);
+  if (trace.solve_ms > 0) stage_solve_->RecordMillis(trace.solve_ms);
+  if (trace.cache_ms > 0) stage_cache_lookup_->RecordMillis(trace.cache_ms);
+  if (trace.iterations > 0) {
+    simplex_iterations_total_->Increment(trace.iterations);
+  }
+  if (trace.repair_pivots > 0) {
+    repair_pivots_total_->Increment(trace.repair_pivots);
+  }
+  if (options_.slow_request_threshold_ms <= 0 ||
+      total_ms >= options_.slow_request_threshold_ms) {
+    slow_requests_total_->Increment();
+  }
+  slow_log_.MaybeRecord(tenant, kVerbNames[verb_index],
+                        static_cast<uint16_t>(status.code()), total_ms,
+                        trace);
+}
+
+std::string SanitizerService::RenderMetrics() const {
+  return registry_.RenderPrometheusText();
 }
 
 // --- Maintenance -----------------------------------------------------------

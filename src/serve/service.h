@@ -53,6 +53,8 @@
 
 #include "core/session.h"
 #include "core/ump.h"
+#include "obs/registry.h"
+#include "obs/slow_log.h"
 #include "serve/api.h"
 #include "serve/session_manager.h"
 #include "serve/thread_pool.h"
@@ -112,6 +114,14 @@ struct ServiceOptions {
   // whose result could be stale — pending appends, cache miss — always
   // takes the heavy lane).
   bool fast_lane = false;
+
+  // --- Observability ------------------------------------------------------
+  // A request whose total latency (queue wait + execution) reaches this
+  // threshold lands in the slow-request ring buffer, dumped by the
+  // SlowLog verb. <= 0 records every request (useful in tests/smokes).
+  double slow_request_threshold_ms = 100.0;
+  // Ring capacity; 0 disables the slow log.
+  size_t slow_log_capacity = 128;
 };
 
 class SanitizerService {
@@ -161,6 +171,17 @@ class SanitizerService {
   Status RestoreTenant(const std::string& tenant, const std::string& path,
                        SessionOptions options);
 
+  // --- Observability ------------------------------------------------------
+  // Full Prometheus text scrape (what a MetricsRequest answers): the
+  // static per-verb/per-stage families plus scrape-time per-tenant
+  // collectors (queue depths, TenantStats counters).
+  std::string RenderMetrics() const;
+  // Oldest-first slow-request records (what a SlowLogRequest answers).
+  std::vector<obs::SlowRequestRecord> SlowLog(size_t limit = 0) const {
+    return slow_log_.Snapshot(limit);
+  }
+  obs::MetricRegistry* registry() { return &registry_; }
+
   ThreadPool* pool() { return pool_.get(); }
 
  private:
@@ -182,19 +203,21 @@ class SanitizerService {
   // cache entry disappeared since submit re-queues onto the heavy lane.
   void DrainFastQueue(std::shared_ptr<Tenant> tenant);
   // Executes one request under tenant->mu. `maintenance` marks jobs the
-  // maintenance thread enqueued (background flushes).
+  // maintenance thread enqueued (background flushes). `trace` accumulates
+  // the request's stage timings (never null on the drain paths).
   ServeResponse Execute(Tenant& tenant, ServeRequest& request,
-                        bool maintenance);
+                        bool maintenance, obs::RequestTrace* trace);
   // The shared solve path (cache lookup, session solve, cache fill); used
   // by SolveRequest execution and hot-query refresh.
   ServeResponse ExecuteSolve(Tenant& tenant, UtilityObjective objective,
-                             const UmpQuery& query);
+                             const UmpQuery& query, obs::RequestTrace* trace);
   ServeResponse ExecuteCreate(Tenant& tenant, CreateTenantRequest& request);
   ServeResponse ExecuteRestore(Tenant& tenant, RestoreTenantRequest& request);
   // Reloads an evicted session from its spill snapshot; checks lifecycle.
   Status EnsureLive(Tenant& tenant);
-  // Drains the pending-append queue of a locked tenant.
-  Status FlushLocked(Tenant& tenant);
+  // Drains the pending-append queue of a locked tenant; flush wall time
+  // adds to trace->flush_ms when a trace is supplied.
+  Status FlushLocked(Tenant& tenant, obs::RequestTrace* trace = nullptr);
   void InvalidateCache(Tenant& tenant);
   void RefreshResidentBytes(Tenant& tenant);
   SessionOptions WithPool(SessionOptions options);
@@ -207,8 +230,35 @@ class SanitizerService {
   // Submit stays wait-free while the snapshot writes.
   uint64_t TryEvict(const std::shared_ptr<Tenant>& tenant);
 
+  // Folds one finished request into the registry (per-verb counters +
+  // latency histogram, per-stage histograms) and the slow log.
+  // `verb_index` is the ServeRequest variant index; `total_ms` includes
+  // the queue wait already stored in `trace`.
+  void RecordRequest(size_t verb_index, const std::string& tenant,
+                     const Status& status, double total_ms,
+                     const obs::RequestTrace& trace);
+  // Registers the static metric families and the per-tenant scrape-time
+  // collector; runs once from the constructor.
+  void RegisterMetrics();
+
   ServiceOptions options_;
   SessionManager manager_;
+
+  // --- Observability state ------------------------------------------------
+  obs::MetricRegistry registry_;
+  obs::SlowRequestLog slow_log_;
+  // Indexed by ServeRequest variant alternative; registered once so the
+  // hot path touches only atomics.
+  std::vector<obs::Counter*> requests_total_;
+  std::vector<obs::Counter*> request_errors_total_;
+  std::vector<obs::LatencyHistogram*> request_duration_;
+  obs::LatencyHistogram* stage_queue_wait_ = nullptr;
+  obs::LatencyHistogram* stage_flush_ = nullptr;
+  obs::LatencyHistogram* stage_solve_ = nullptr;
+  obs::LatencyHistogram* stage_cache_lookup_ = nullptr;
+  obs::Counter* simplex_iterations_total_ = nullptr;
+  obs::Counter* repair_pivots_total_ = nullptr;
+  obs::Counter* slow_requests_total_ = nullptr;
 
   std::mutex maintenance_mu_;
   std::condition_variable maintenance_cv_;

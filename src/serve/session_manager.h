@@ -64,6 +64,9 @@ struct ServeJob {
   // Enqueued by the maintenance thread (background flush); clears the
   // tenant's flush_scheduled flag when it completes.
   bool maintenance = false;
+  // When Enqueue accepted the job; the drain loop turns this into the
+  // queue-wait stage of the request's trace (obs/slow_log.h).
+  std::chrono::steady_clock::time_point enqueued_at{};
 };
 
 struct Tenant {

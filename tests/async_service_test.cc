@@ -495,5 +495,55 @@ TEST(AsyncServiceTest, FastLaneServesCachedSolvesAndYieldsOnAppends) {
   EXPECT_GE(stats.flushes, 1u);  // the append landed first
 }
 
+// A Solve queued behind a multi-cell Sweep on a single worker must show up
+// in the slow log with the wait charged to the queue stage and the work to
+// the solve stage — the trace decomposition the SLOWLOG verb exists for.
+TEST(AsyncServiceTest, QueuedSolveTracesNonzeroQueueWait) {
+  serve::ServiceOptions options;
+  options.num_threads = 1;  // one worker: the sweep blocks the lane
+  options.slow_request_threshold_ms = 0;  // record every request
+  serve::SanitizerService service(options);
+  ASSERT_TRUE(
+      service.CreateTenant("t", Synthetic(91, /*users=*/80, /*events=*/4000))
+          .ok());
+
+  std::vector<UmpQuery> grid;
+  for (int i = 0; i < 8; ++i) grid.push_back(Query(1.4 + 0.15 * i, 0.5));
+  std::future<serve::ServeResponse> sweep = service.Submit(
+      serve::SweepRequest{"t", UtilityObjective::kOutputSize, grid, {}});
+  // Uncached solve, queued while the worker is inside the sweep.
+  std::future<serve::ServeResponse> solve = service.Submit(
+      serve::SolveRequest{"t", UtilityObjective::kDiversity, Query(3.0, 0.5)});
+
+  // A metrics scrape answers inline even with the only worker parked.
+  const serve::ServeResponse scrape =
+      service.Submit(serve::MetricsRequest{}).get();
+  ASSERT_TRUE(scrape.ok()) << scrape.status;
+  ASSERT_NE(scrape.metrics(), nullptr);
+  EXPECT_NE(scrape.metrics()->text.find("privsan_requests_total"),
+            std::string::npos);
+
+  ASSERT_TRUE(sweep.get().ok());
+  ASSERT_TRUE(solve.get().ok());
+
+  bool found = false;
+  for (const obs::SlowRequestRecord& record : service.SlowLog()) {
+    if (record.verb != "Solve") continue;
+    found = true;
+    EXPECT_GT(record.trace.queue_ms, 0.0);
+    EXPECT_GT(record.trace.solve_ms, 0.0);
+    EXPECT_GE(record.total_ms,
+              record.trace.queue_ms + record.trace.solve_ms);
+  }
+  EXPECT_TRUE(found) << "no Solve record in the slow log";
+
+  // The SlowLog verb round-trips the same records through Submit.
+  const serve::ServeResponse dump =
+      service.Submit(serve::SlowLogRequest{}).get();
+  ASSERT_TRUE(dump.ok()) << dump.status;
+  ASSERT_NE(dump.slow_log(), nullptr);
+  EXPECT_EQ(dump.slow_log()->records.size(), service.SlowLog().size());
+}
+
 }  // namespace
 }  // namespace privsan

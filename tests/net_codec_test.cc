@@ -627,5 +627,87 @@ TEST(CodecTest, RejectsImplausibleElementCounts) {
   EXPECT_FALSE(net::DecodeRequest(frame).ok());
 }
 
+// --- Observability verbs (PR 8) ---------------------------------------------
+
+TEST(CodecTest, RoundTripsMetricsAndSlowLogRequests) {
+  {
+    serve::ServeRequest decoded = RoundTripRequest(serve::MetricsRequest{});
+    ASSERT_TRUE(std::holds_alternative<serve::MetricsRequest>(decoded));
+  }
+  {
+    serve::ServeRequest decoded =
+        RoundTripRequest(serve::SlowLogRequest{"", 25});
+    ASSERT_TRUE(std::holds_alternative<serve::SlowLogRequest>(decoded));
+    EXPECT_EQ(std::get<serve::SlowLogRequest>(decoded).limit, 25u);
+  }
+}
+
+TEST(CodecTest, RoundTripsMetricsTextPayload) {
+  serve::MetricsText metrics;
+  metrics.text = "# HELP a_total A.\n# TYPE a_total counter\na_total 3\n";
+  serve::ServeResponse decoded =
+      RoundTripResponse({Status::OK(), metrics});
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_NE(decoded.metrics(), nullptr);
+  EXPECT_EQ(decoded.metrics()->text, metrics.text);
+}
+
+TEST(CodecTest, RoundTripsSlowLogDumpPayload) {
+  serve::SlowLogDump dump;
+  dump.dropped = 5;
+  dump.threshold_ms = 12.5;
+  obs::SlowRequestRecord record;
+  record.sequence = 42;
+  record.tenant = "acme";
+  record.verb = "Sweep";
+  record.status_code = 8;
+  record.total_ms = 1234.5;
+  record.trace.queue_ms = 1.5;
+  record.trace.flush_ms = 2.5;
+  record.trace.solve_ms = 1200.0;
+  record.trace.cache_ms = 0.25;
+  record.trace.repair_pivots = 7;
+  record.trace.iterations = 910;
+  dump.records.push_back(record);
+  dump.records.push_back(obs::SlowRequestRecord{});
+
+  serve::ServeResponse decoded = RoundTripResponse({Status::OK(), dump});
+  ASSERT_TRUE(decoded.ok());
+  const serve::SlowLogDump* out = decoded.slow_log();
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->dropped, 5u);
+  EXPECT_EQ(out->threshold_ms, 12.5);
+  ASSERT_EQ(out->records.size(), 2u);
+  const obs::SlowRequestRecord& first = out->records[0];
+  EXPECT_EQ(first.sequence, 42u);
+  EXPECT_EQ(first.tenant, "acme");
+  EXPECT_EQ(first.verb, "Sweep");
+  EXPECT_EQ(first.status_code, 8);
+  EXPECT_EQ(first.total_ms, 1234.5);
+  EXPECT_EQ(first.trace.queue_ms, 1.5);
+  EXPECT_EQ(first.trace.flush_ms, 2.5);
+  EXPECT_EQ(first.trace.solve_ms, 1200.0);
+  EXPECT_EQ(first.trace.cache_ms, 0.25);
+  EXPECT_EQ(first.trace.repair_pivots, 7u);
+  EXPECT_EQ(first.trace.iterations, 910u);
+}
+
+// A hostile record count in a SlowLog dump must fail before allocating
+// (each wire record needs at least its fixed-size fields).
+TEST(CodecTest, RejectsImplausibleSlowLogRecordCount) {
+  Frame frame = net::EncodeResponse({Status::OK(), serve::SlowLogDump{}}, 1);
+  // Payload: status message (u64 length, empty), payload kind u8, then
+  // the record count u64.
+  const size_t count_at = sizeof(uint64_t) + 1;
+  // Under ReadCount's global element cap (so that earlier kIoError guard
+  // passes), but far more records than the tiny frame can possibly back:
+  // this must trip ReadBoundedCount's bytes-remaining check.
+  const uint64_t huge = 1ull << 20;
+  std::memcpy(frame.payload.data() + count_at, &huge, sizeof(huge));
+  Result<serve::ServeResponse> decoded = net::DecodeResponse(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace privsan

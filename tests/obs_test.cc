@@ -1,0 +1,289 @@
+// The observability layer in isolation: lock-free histogram recording
+// (exact counts under concurrency — the ThreadSanitizer CI job runs this
+// file), bucket-quantile edge cases, the slow-request ring buffer, and
+// the Prometheus text renderer. Service-level integration (stage traces,
+// METRICS/SLOWLOG verbs) lives in async_service_test and net tests.
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/histogram.h"
+#include "obs/registry.h"
+#include "obs/slow_log.h"
+
+namespace privsan {
+namespace obs {
+namespace {
+
+TEST(LatencyHistogramTest, CountsAndSumAreExact) {
+  LatencyHistogram histogram;
+  histogram.RecordMicros(1);
+  histogram.RecordMicros(100);
+  histogram.RecordMicros(100);
+  histogram.RecordMicros(5000);
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum_us, 1u + 100 + 100 + 5000);
+  // 100 us lands in the (64, 128] bucket; both samples share it.
+  EXPECT_EQ(snap.buckets[7], 2u);
+}
+
+TEST(LatencyHistogramTest, EmptyQuantileIsZero) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.Snapshot().QuantileUs(0.5), 0.0);
+  EXPECT_EQ(histogram.Snapshot().QuantileMs(0.99), 0.0);
+}
+
+TEST(LatencyHistogramTest, SingleSampleQuantileStaysInItsBucket) {
+  LatencyHistogram histogram;
+  histogram.RecordMicros(100);
+  const HistogramSnapshot snap = histogram.Snapshot();
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    // q=0 interpolates to the bucket's lower bound exactly; the rest land
+    // strictly inside (64, 128].
+    const double estimate = snap.QuantileUs(q);
+    EXPECT_GE(estimate, 64.0) << "q=" << q;
+    EXPECT_LE(estimate, 128.0) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, OverflowReportsLargestFiniteBoundAsFloor) {
+  LatencyHistogram histogram;
+  histogram.RecordMicros(uint64_t{1} << 40);  // past every finite bucket
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.buckets[kNumBuckets], 1u);
+  EXPECT_EQ(snap.QuantileUs(0.5),
+            HistogramSnapshot::BucketUpperUs(kNumBuckets - 1));
+}
+
+TEST(LatencyHistogramTest, NegativeAndZeroSecondsClampToZero) {
+  LatencyHistogram histogram;
+  histogram.RecordSeconds(-1.0);  // clock hiccup
+  histogram.RecordSeconds(0.0);
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.buckets[0], 2u);
+  EXPECT_EQ(snap.sum_us, 0u);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordingLosesNothing) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  LatencyHistogram histogram;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.RecordMicros(static_cast<uint64_t>((t + 1) * 10));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t bucketed = 0;
+  for (uint64_t b : snap.buckets) bucketed += b;
+  EXPECT_EQ(bucketed, snap.count);
+  uint64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    expected_sum += static_cast<uint64_t>((t + 1) * 10) * kPerThread;
+  }
+  EXPECT_EQ(snap.sum_us, expected_sum);
+}
+
+TEST(LatencyHistogramTest, MergeAddsEveryField) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.RecordMicros(10);
+  a.RecordMicros(1000);
+  b.RecordMicros(10);
+  b.RecordMicros(uint64_t{1} << 40);
+  HistogramSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged.count, 4u);
+  EXPECT_EQ(merged.sum_us, 10u + 1000 + 10 + (uint64_t{1} << 40));
+  EXPECT_EQ(merged.buckets[4], 2u);  // both 10 us samples: (8, 16]
+  EXPECT_EQ(merged.buckets[kNumBuckets], 1u);
+}
+
+TEST(ExactPercentileTest, MatchesHandComputedInterpolation) {
+  // Seconds in, milliseconds out; rank q*(n-1) interpolated.
+  const std::vector<double> seconds = {0.004, 0.001, 0.003, 0.002};
+  EXPECT_DOUBLE_EQ(ExactPercentileMs(seconds, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ExactPercentileMs(seconds, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(ExactPercentileMs(seconds, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(ExactPercentileMs(seconds, 0.25), 1.75);
+}
+
+TEST(ExactPercentileTest, EmptyAndSingleton) {
+  EXPECT_EQ(ExactPercentileMs({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ExactPercentileMs({0.007}, 0.99), 7.0);
+}
+
+TEST(SlowRequestLogTest, RingEvictsOldestFirst) {
+  SlowRequestLog log(/*threshold_ms=*/0.0, /*capacity=*/3);
+  RequestTrace trace;
+  for (int i = 0; i < 5; ++i) {
+    log.MaybeRecord("t", "Solve", 0, /*total_ms=*/static_cast<double>(i),
+                    trace);
+  }
+  const std::vector<SlowRequestRecord> records = log.Snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].sequence, 2u);  // oldest survivor first
+  EXPECT_EQ(records[1].sequence, 3u);
+  EXPECT_EQ(records[2].sequence, 4u);
+  EXPECT_EQ(log.dropped(), 2u);
+}
+
+TEST(SlowRequestLogTest, SnapshotLimitReturnsNewestOldestFirst) {
+  SlowRequestLog log(0.0, 10);
+  RequestTrace trace;
+  for (int i = 0; i < 4; ++i) log.MaybeRecord("t", "Solve", 0, 1.0, trace);
+  const std::vector<SlowRequestRecord> records = log.Snapshot(/*limit=*/2);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].sequence, 2u);
+  EXPECT_EQ(records[1].sequence, 3u);
+}
+
+TEST(SlowRequestLogTest, ThresholdFiltersAndZeroCapacityDisables) {
+  SlowRequestLog filtered(/*threshold_ms=*/10.0, /*capacity=*/4);
+  RequestTrace trace;
+  filtered.MaybeRecord("t", "Solve", 0, 9.99, trace);
+  filtered.MaybeRecord("t", "Sweep", 0, 10.0, trace);
+  ASSERT_EQ(filtered.Snapshot().size(), 1u);
+  EXPECT_EQ(filtered.Snapshot()[0].verb, "Sweep");
+
+  SlowRequestLog disabled(0.0, /*capacity=*/0);
+  disabled.MaybeRecord("t", "Solve", 0, 1000.0, trace);
+  EXPECT_TRUE(disabled.Snapshot().empty());
+  EXPECT_EQ(disabled.dropped(), 0u);
+}
+
+TEST(SlowRequestLogTest, FormatIsFixedWidthParseable) {
+  SlowRequestRecord record;
+  record.sequence = 7;
+  record.tenant = "acme";
+  record.verb = "Sweep";
+  record.status_code = 0;
+  record.total_ms = 123.4567;
+  record.trace.queue_ms = 1.5;
+  record.trace.solve_ms = 120.0;
+  record.trace.repair_pivots = 3;
+  record.trace.iterations = 42;
+  EXPECT_EQ(FormatSlowRecord(record),
+            "SLOW seq=7 verb=Sweep tenant=acme status=0 total_ms=123.457 "
+            "queue_ms=1.500 flush_ms=0.000 solve_ms=120.000 cache_ms=0.000 "
+            "repair_pivots=3 iterations=42");
+}
+
+TEST(MetricRegistryTest, RegistrationIsIdempotentAndPointerStable) {
+  MetricRegistry registry;
+  Counter* a = registry.GetCounter("x_total", "help");
+  Counter* b = registry.GetCounter("x_total", "other help ignored");
+  EXPECT_EQ(a, b);
+  Counter* labeled =
+      registry.GetCounter("x_total", "help", {{"verb", "Solve"}});
+  EXPECT_NE(a, labeled);
+  EXPECT_EQ(labeled, registry.GetCounter("x_total", "help",
+                                         {{"verb", "Solve"}}));
+}
+
+TEST(MetricRegistryTest, RenderGolden) {
+  MetricRegistry registry;
+  registry.GetCounter("privsan_a_total", "Things counted.")->Increment(3);
+  registry.GetGauge("privsan_b", "A level.", {{"tenant", "acme"}})
+      ->Set(2.5);
+  EXPECT_EQ(registry.RenderPrometheusText(),
+            "# HELP privsan_a_total Things counted.\n"
+            "# TYPE privsan_a_total counter\n"
+            "privsan_a_total 3\n"
+            "# HELP privsan_b A level.\n"
+            "# TYPE privsan_b gauge\n"
+            "privsan_b{tenant=\"acme\"} 2.5\n"
+            "# EOF\n");
+}
+
+TEST(MetricRegistryTest, LabelValuesAreEscaped) {
+  MetricRegistry registry;
+  registry
+      .GetCounter("privsan_esc_total", "Escapes.",
+                  {{"tenant", "a\"b\\c\nd"}})
+      ->Increment();
+  const std::string text = registry.RenderPrometheusText();
+  EXPECT_NE(text.find("privsan_esc_total{tenant=\"a\\\"b\\\\c\\nd\"} 1\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(MetricRegistryTest, HistogramRenderIsCumulativeWithInfEqualToCount) {
+  MetricRegistry registry;
+  LatencyHistogram* histogram =
+      registry.GetHistogram("privsan_lat_seconds", "Latency.");
+  histogram->RecordMicros(1);     // bucket 0, le="1e-06"
+  histogram->RecordMicros(100);   // bucket 7, le="0.000128"
+  histogram->RecordMicros(100);
+  const std::string text = registry.RenderPrometheusText();
+  EXPECT_NE(text.find("# TYPE privsan_lat_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("privsan_lat_seconds_bucket{le=\"1e-06\"} 1\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("privsan_lat_seconds_bucket{le=\"0.000128\"} 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("privsan_lat_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("privsan_lat_seconds_count 3\n"), std::string::npos);
+  // _sum renders in seconds: 201 us.
+  EXPECT_NE(text.find("privsan_lat_seconds_sum 0.000201\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(MetricRegistryTest, CollectorsRunAfterStaticFamilies) {
+  MetricRegistry registry;
+  registry.GetCounter("privsan_static_total", "Static.")->Increment();
+  registry.AddCollector([](PrometheusWriter* writer) {
+    writer->Header("privsan_dynamic", "Computed at scrape time.", "gauge");
+    writer->Value("privsan_dynamic", {{"k", "v"}}, 7.0);
+  });
+  const std::string text = registry.RenderPrometheusText();
+  const size_t static_at = text.find("privsan_static_total 1\n");
+  const size_t dynamic_at = text.find("privsan_dynamic{k=\"v\"} 7\n");
+  ASSERT_NE(static_at, std::string::npos) << text;
+  ASSERT_NE(dynamic_at, std::string::npos) << text;
+  EXPECT_LT(static_at, dynamic_at);
+  EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6);
+}
+
+TEST(MetricRegistryTest, ConcurrentCountsSurviveRenders) {
+  MetricRegistry registry;
+  Counter* counter = registry.GetCounter("privsan_race_total", "Raced.");
+  std::atomic<bool> stop{false};
+  std::thread scraper([&registry, &stop] {
+    while (!stop.load()) registry.RenderPrometheusText();
+  });
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kPerThread; ++i) counter->Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  stop.store(true);
+  scraper.join();
+  EXPECT_EQ(counter->Value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace privsan

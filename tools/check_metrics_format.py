@@ -1,0 +1,241 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition scrape from the METRICS verb.
+
+Usage:
+    check_metrics_format.py scrape1 [scrape2]
+
+With one file the check validates exposition grammar:
+
+  * every sample line parses as `name{labels} value` with a legal metric
+    name ([a-zA-Z_:][a-zA-Z0-9_:]*) and legal label names;
+  * label values use only the \\\\, \\", and \\n escapes;
+  * every sample's family is announced by `# HELP` and `# TYPE` lines
+    before its first sample, and the TYPE is counter/gauge/histogram;
+  * counter family names end in `_total`;
+  * histogram families expose `_bucket` samples with nondecreasing
+    cumulative counts and nondecreasing `le` bounds, the last bucket is
+    `le="+Inf"` and equals the `_count` sample, and `_sum` is present;
+  * the scrape ends with the renderer's `# EOF` marker.
+
+With two files (two scrapes of the same process, in order) the check also
+asserts every counter is monotonic: a value in scrape2 below its scrape1
+value means a counter reset or double-registered family.
+
+Exit status 0 when clean; 1 with one diagnostic line per violation.
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})? (\S+)$")
+# Inside a quoted label value, only these escapes are legal.
+LABEL_ESCAPE = re.compile(r'\\[\\"n]')
+
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def family_of(name, types):
+    """The family a sample belongs to (strips histogram suffixes)."""
+    for suffix in HISTOGRAM_SUFFIXES:
+        base = name[: -len(suffix)]
+        if name.endswith(suffix) and types.get(base) == "histogram":
+            return base
+    return name
+
+
+def parse_labels(text, errors, where):
+    """'{a="v",b="w"}' -> dict; appends diagnostics to errors."""
+    labels = {}
+    body = text[1:-1]
+    pos = 0
+    while pos < len(body):
+        eq = body.find("=", pos)
+        if eq < 0 or eq + 1 >= len(body) or body[eq + 1] != '"':
+            errors.append(f"{where}: malformed label pair in {text!r}")
+            return labels
+        name = body[pos:eq]
+        if not LABEL_NAME.match(name):
+            errors.append(f"{where}: bad label name {name!r}")
+        end = eq + 2
+        value = []
+        while end < len(body):
+            c = body[end]
+            if c == "\\":
+                if end + 1 >= len(body) or not LABEL_ESCAPE.match(
+                    body[end : end + 2]
+                ):
+                    errors.append(
+                        f"{where}: illegal escape in label value of {name!r}"
+                    )
+                    end += 1
+                else:
+                    value.append(body[end : end + 2])
+                    end += 2
+                continue
+            if c == '"':
+                break
+            if c == "\n":
+                errors.append(f"{where}: raw newline in label value")
+            value.append(c)
+            end += 1
+        else:
+            errors.append(f"{where}: unterminated label value for {name!r}")
+            return labels
+        labels[name] = "".join(value)
+        pos = end + 1
+        if pos < len(body):
+            if body[pos] != ",":
+                errors.append(f"{where}: expected ',' between labels")
+                return labels
+            pos += 1
+    return labels
+
+
+def check_scrape(path):
+    """Returns (errors, counters) where counters maps sample key -> value."""
+    errors = []
+    types = {}   # family -> type
+    helped = set()
+    counters = {}
+    # family -> label-key (minus `le`) -> list of (bound, cumulative)
+    buckets = {}
+    sums = set()
+    counts = {}
+    saw_eof = False
+
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    for lineno, line in enumerate(lines, 1):
+        where = f"{path}:{lineno}"
+        if not line:
+            errors.append(f"{where}: blank line inside a scrape")
+            continue
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not METRIC_NAME.match(parts[2]):
+                errors.append(f"{where}: malformed HELP line")
+            else:
+                helped.add(parts[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or not METRIC_NAME.match(parts[2]):
+                errors.append(f"{where}: malformed TYPE line")
+                continue
+            name, kind = parts[2], parts[3]
+            if kind not in ("counter", "gauge", "histogram"):
+                errors.append(f"{where}: unknown TYPE {kind!r}")
+            if name in types:
+                errors.append(f"{where}: duplicate TYPE for {name}")
+            types[name] = kind
+            if kind == "counter" and not name.endswith("_total"):
+                errors.append(
+                    f"{where}: counter {name} does not end in _total"
+                )
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal
+        match = SAMPLE.match(line)
+        if not match:
+            errors.append(f"{where}: unparseable sample line {line!r}")
+            continue
+        name, label_text, value_text = match.groups()
+        labels = (
+            parse_labels(label_text, errors, where) if label_text else {}
+        )
+        try:
+            value = float(value_text)
+        except ValueError:
+            errors.append(f"{where}: bad sample value {value_text!r}")
+            continue
+        family = family_of(name, types)
+        if family not in types:
+            errors.append(f"{where}: sample {name} precedes its TYPE line")
+            continue
+        if family not in helped:
+            errors.append(f"{where}: family {family} has no HELP line")
+        kind = types[family]
+        label_key = tuple(
+            sorted((k, v) for k, v in labels.items() if k != "le")
+        )
+        if kind == "counter":
+            counters[(name, label_key)] = value
+            if value < 0:
+                errors.append(f"{where}: negative counter {name}")
+        elif kind == "histogram":
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    errors.append(f"{where}: _bucket sample without le")
+                    continue
+                bound = (
+                    float("inf")
+                    if labels["le"] == "+Inf"
+                    else float(labels["le"])
+                )
+                buckets.setdefault(family, {}).setdefault(
+                    label_key, []
+                ).append((bound, value, where))
+                # Cumulative bucket counts are counters too.
+                counters[(name, label_key + (("le", labels["le"]),))] = value
+            elif name.endswith("_sum"):
+                sums.add((family, label_key))
+                counters[(name, label_key)] = value
+            elif name.endswith("_count"):
+                counts[(family, label_key)] = value
+                counters[(name, label_key)] = value
+
+    for family, series in buckets.items():
+        for label_key, entries in series.items():
+            bounds = [bound for bound, _, _ in entries]
+            values = [value for _, value, _ in entries]
+            where = entries[0][2]
+            if bounds != sorted(bounds):
+                errors.append(f"{where}: {family} le bounds not ascending")
+            if values != sorted(values):
+                errors.append(
+                    f"{where}: {family} bucket counts not cumulative"
+                )
+            if bounds[-1] != float("inf"):
+                errors.append(f"{where}: {family} missing +Inf bucket")
+            elif counts.get((family, label_key)) != values[-1]:
+                errors.append(
+                    f"{where}: {family} +Inf bucket != _count sample"
+                )
+            if (family, label_key) not in sums:
+                errors.append(f"{where}: {family} missing _sum sample")
+    if not saw_eof:
+        errors.append(f"{path}: missing '# EOF' terminator")
+    return errors, counters
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors, first = check_scrape(argv[1])
+    if len(argv) == 3:
+        late_errors, second = check_scrape(argv[2])
+        errors += late_errors
+        for key, early in sorted(first.items()):
+            late = second.get(key)
+            if late is not None and late < early:
+                name, label_key = key
+                errors.append(
+                    f"counter {name}{dict(label_key)} went backwards: "
+                    f"{early} -> {late}"
+                )
+    for error in errors:
+        print(error, file=sys.stderr)
+    if not errors:
+        scrapes = "scrape" if len(argv) == 2 else "scrapes"
+        print(f"OK: {len(argv) - 1} {scrapes} clean")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -12,6 +12,9 @@
 //                   tenants whose ring position moved (snapshot restore —
 //                   they resume warm)
 //   REMOVE <port>   drain a backend's tenants onto the ring and drop it
+//   METRICS         print the router's Prometheus scrape (multi-line,
+//                   ends with "# EOF"); a frame-protocol Metrics request
+//                   answers with the same text
 //   QUIT            shut down
 //
 // Every admin command answers "OK ..." or "ERR ...", preceded by one
@@ -123,6 +126,11 @@ int main(int argc, char** argv) {
     if (command == "QUIT") {
       std::cout << "OK bye" << std::endl;
       break;
+    }
+    if (command == "METRICS") {
+      // Metrics() already ends with its "# EOF\n" terminator.
+      std::cout << router.Metrics() << std::flush;
+      continue;
     }
     uint16_t port = 0;
     if ((command == "ADD" || command == "REMOVE")) {

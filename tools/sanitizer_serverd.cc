@@ -20,6 +20,11 @@
 //   DROP <tenant>                           drop a tenant
 //   STATS <tenant>                          serve-path counters
 //   TENANTS                                 list tenants
+//   METRICS                                 Prometheus scrape (multi-line,
+//                                           ends with "# EOF")
+//   SLOWLOG [limit]                         newest slow requests (multi-line:
+//                                           "OK slowlog ..." then one
+//                                           "SLOW ..." line per record)
 //   QUIT
 //
 // Every transport is *pipelined*: issue N commands without waiting, then
@@ -39,6 +44,9 @@
 //   --flush-age-ms=N      background flush at queue age N ms
 //   --memory-budget=N     global resident budget in bytes (0 = unlimited)
 //   --spill-dir=PATH      eviction snapshot directory (default ".")
+//   --slow-threshold-ms=N requests slower than N ms enter the slow log
+//                         (0 records every request; default 100)
+//   --slow-log-capacity=N slow-log ring size (0 disables; default 128)
 #include <condition_variable>
 #include <deque>
 #include <iostream>
@@ -148,6 +156,10 @@ int main(int argc, char** argv) {
         options.num_threads = static_cast<int>(ParseFlagValue(arg, eq));
       } else if (name == "--max-queue-depth") {
         options.max_queue_depth = ParseFlagValue(arg, eq);
+      } else if (name == "--slow-threshold-ms") {
+        options.slow_request_threshold_ms = std::stod(arg.substr(eq + 1));
+      } else if (name == "--slow-log-capacity") {
+        options.slow_log_capacity = ParseFlagValue(arg, eq);
       } else if (name == "--listen") {
         listen = true;
         listen_port = static_cast<uint16_t>(ParseFlagValue(arg, eq));
