@@ -40,6 +40,41 @@ inline lp::SparseMatrix MakeBasisBenchMatrix(Rng& rng, int m, int extra,
   return lp::SparseMatrix(m, 2 * m + extra, std::move(triplets));
 }
 
+// A simplex-shaped basis for the hyper-sparse kernel: mostly slack (unit)
+// columns with a sparse structural minority, which is what warm simplex
+// bases actually look like — and the regime where a Gilbert–Peierls reach
+// touches a handful of rows instead of all m. A uniformly random basis is
+// the wrong fixture for that path: its L/U dependency graph percolates, so
+// every solve's reach is ~m and the sparse kernel (correctly) falls back
+// dense. Off-diagonal counts are per *column* (`nnz_per_column` expected
+// entries), not a density of m, so the dependency graph stays below the
+// percolation threshold at every bench scale; entering columns (m..) get
+// the same shape as the structural basis columns.
+inline lp::SparseMatrix MakeHypersparseBenchMatrix(Rng& rng, int m, int extra,
+                                                   double structural_fraction,
+                                                   double nnz_per_column) {
+  const double p = nnz_per_column / static_cast<double>(m);
+  std::vector<lp::Triplet> triplets;
+  for (int j = 0; j < m; ++j) {
+    triplets.push_back(lp::Triplet{j, j, 3.0 + rng.NextDouble()});
+    if (!rng.NextBool(structural_fraction)) continue;  // slack column
+    for (int i = 0; i < m; ++i) {
+      if (i != j && rng.NextBool(p)) {
+        triplets.push_back(lp::Triplet{i, j, rng.NextDouble(-1.0, 1.0)});
+      }
+    }
+  }
+  for (int j = m; j < 2 * m + extra; ++j) {
+    triplets.push_back(lp::Triplet{j % m, j, 1.0 + rng.NextDouble()});
+    for (int i = 0; i < m; ++i) {
+      if (rng.NextBool(p)) {
+        triplets.push_back(lp::Triplet{i, j, rng.NextDouble(-1.0, 1.0)});
+      }
+    }
+  }
+  return lp::SparseMatrix(m, 2 * m + extra, std::move(triplets));
+}
+
 }  // namespace bench
 }  // namespace privsan
 

@@ -177,15 +177,24 @@ void Report(bench::JsonReport& report, const std::string& label,
 }
 
 // One update run: Refactorize, apply up to `k_updates` simplex-shaped
-// pivots, FTRAN. `run_len` is where the default growth policy (8x the
-// fresh nonzeros) would have refactorized; the run itself continues to
-// k_updates so every scheme's fill is compared over the same pivots.
+// pivots (pattern-seeded, through the hyper-sparse entry points so the run
+// measures the production kernel), FTRAN. `run_len` is where the default
+// growth policy (8x the fresh nonzeros) would have refactorized; the run
+// itself continues to k_updates so every scheme's fill is compared over
+// the same pivots.
 struct UpdateRunTimes {
   double update_seconds = 0.0;  // total across the run
   double ftran_updated_seconds = 0.0;
   int64_t u_nnz = 0;  // nonzeros the run added on top of the fresh factors
   int updates_applied = 0;
   int run_len = 0;
+  // Hyper-sparse kernel health over the run's solves: mean nonzeros of a
+  // unit-vector BTRAN image (the simplex's pivot-row rho solve), the mean
+  // reach fraction, and the share of pattern-driven solves that stayed
+  // sparse end to end. Zero for representations without a sparse kernel.
+  double rho_nnz = 0.0;
+  double reach_fraction = 0.0;
+  double sparse_hit_rate = 0.0;
 };
 
 UpdateRunTimes MeasureUpdateRun(BasisRep& rep, size_t fresh_nnz,
@@ -193,18 +202,22 @@ UpdateRunTimes MeasureUpdateRun(BasisRep& rep, size_t fresh_nnz,
                                 Rng& rng) {
   UpdateRunTimes times;
   const double growth_limit = 8.0 * static_cast<double>(fresh_nnz);
-  std::vector<double> w(m, 0.0);
+  lp::SparseVector w;
+  w.Reset(m);
   WallTimer update_timer;
   for (int k = 0; k < k_updates; ++k) {
     const int entering = m + k;
-    std::fill(w.begin(), w.end(), 0.0);
-    for (const SparseEntry& e : A.Column(entering)) w[e.index] = e.value;
-    rep.Ftran(w);
+    w.Clear();
+    for (const SparseEntry& e : A.Column(entering)) {
+      w.values[e.index] = e.value;
+      w.pattern.push_back(e.index);
+    }
+    rep.FtranSparse(w);
     int slot = 0;
     for (int i = 1; i < m; ++i) {
-      if (std::abs(w[i]) > std::abs(w[slot])) slot = i;
+      if (std::abs(w.values[i]) > std::abs(w.values[slot])) slot = i;
     }
-    if (!rep.Update(w, slot, 1e-9)) break;
+    if (!rep.UpdateSparse(w, slot, 1e-9)) break;
     ++times.updates_applied;
     if (static_cast<double>(rep.nonzeros()) <= growth_limit) {
       times.run_len = times.updates_applied;
@@ -215,6 +228,35 @@ UpdateRunTimes MeasureUpdateRun(BasisRep& rep, size_t fresh_nnz,
                 static_cast<int64_t>(fresh_nnz);
 
   const int reps = 50;
+  {
+    // rho solves: BTRAN of unit vectors, the shape the dual simplex's
+    // pivot-row computation feeds the kernel.
+    lp::SparseVector rho;
+    rho.Reset(m);
+    int64_t nnz_sum = 0;
+    for (int r = 0; r < reps; ++r) {
+      rho.Clear();
+      const int slot = static_cast<int>(rng.NextBounded(
+          static_cast<uint64_t>(m)));
+      rho.values[slot] = 1.0;
+      rho.pattern.push_back(slot);
+      rep.BtranSparse(rho);
+      if (rho.pattern_valid) {
+        for (int i : rho.pattern) nnz_sum += rho.values[i] != 0.0 ? 1 : 0;
+      } else {
+        for (double v : rho.values) nnz_sum += v != 0.0 ? 1 : 0;
+      }
+    }
+    times.rho_nnz = static_cast<double>(nnz_sum) / reps;
+  }
+  const BasisRep::KernelStats ks = rep.kernel_stats();
+  if (ks.sparse_solves > 0) {
+    times.reach_fraction =
+        ks.reach_fraction_sum / static_cast<double>(ks.sparse_solves);
+    times.sparse_hit_rate = static_cast<double>(ks.sparse_hits) /
+                            static_cast<double>(ks.sparse_solves);
+  }
+
   WallTimer timer;
   double sink = 0.0;
   for (int r = 0; r < reps; ++r) {
@@ -239,12 +281,18 @@ void ReportUpdateRun(bench::JsonReport& report, const std::string& label,
       .Add("update_seconds", times.update_seconds)
       .Add("ftran_updated_seconds", times.ftran_updated_seconds)
       .Add("u_nnz", times.u_nnz)
-      .Add("update_run_len", static_cast<int64_t>(times.run_len));
+      .Add("update_run_len", static_cast<int64_t>(times.run_len))
+      .Add("rho_nnz", times.rho_nnz)
+      .Add("reach_fraction", times.reach_fraction)
+      .Add("sparse_hit_rate", times.sparse_hit_rate);
   report.Add(std::move(record));
   std::cout << "  " << label << " " << kind << ": " << times.updates_applied
             << " updates in " << bench::Shorten(times.update_seconds * 1e3)
             << " ms, ftran " << bench::Shorten(times.ftran_updated_seconds * 1e6)
             << " us, +" << times.u_nnz << " nnz, run_len " << times.run_len
+            << ", rho_nnz " << bench::Shorten(times.rho_nnz)
+            << ", reach " << bench::Shorten(times.reach_fraction, 3)
+            << ", sparse_hit " << bench::Shorten(times.sparse_hit_rate, 2)
             << "\n";
 }
 
@@ -252,12 +300,20 @@ void ReportUpdateRun(bench::JsonReport& report, const std::string& label,
 
 int main(int argc, char** argv) {
   // --update=ft|pfi|eta restricts the update-run section to one scheme.
+  // --hypersparse=0 disables the Gilbert–Peierls reach in the LU modes
+  // (the record structure stays identical — CI diffs the two outputs).
   std::string update_filter;
+  bool hypersparse = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--update=", 9) == 0) {
       update_filter = argv[i] + 9;
+    } else if (std::strcmp(argv[i], "--hypersparse=0") == 0) {
+      hypersparse = false;
+    } else if (std::strcmp(argv[i], "--hypersparse=1") == 0) {
+      hypersparse = true;
     }
   }
+  const double hs_threshold = hypersparse ? 0.1 : 0.0;
 
   bench::JsonReport report("micro_factorization");
   const std::string scale = bench::BenchScaleName();
@@ -300,8 +356,13 @@ int main(int argc, char** argv) {
             << ") ==\n";
   {
     Rng rng(4321);
-    const double density = 0.03;
-    const SparseMatrix A = bench::MakeBasisBenchMatrix(rng, m, max_k, density);
+    // Simplex-shaped basis (see MakeHypersparseBenchMatrix): the update
+    // run drives the hyper-sparse FtranSparse/UpdateSparse path, and a
+    // uniformly random basis would force it dense on every solve.
+    const SparseMatrix A =
+        bench::MakeHypersparseBenchMatrix(rng, m, max_k,
+                                          /*structural_fraction=*/0.25,
+                                          /*nnz_per_column=*/3.0);
     for (int k_updates : {10, 25, max_k}) {
       const std::string label = "m" + std::to_string(m) + "_k" +
                                 std::to_string(k_updates);
@@ -320,11 +381,13 @@ int main(int argc, char** argv) {
                              solve_rng));
       };
       {
-        LuFactorization ft(max_k + 1, 1e9, 0.1, LuUpdateKind::kForrestTomlin);
+        LuFactorization ft(max_k + 1, 1e9, 0.1, LuUpdateKind::kForrestTomlin,
+                           hs_threshold);
         run("ft", ft);
       }
       {
-        LuFactorization pfi(max_k + 1, 1e9, 0.1, LuUpdateKind::kProductForm);
+        LuFactorization pfi(max_k + 1, 1e9, 0.1, LuUpdateKind::kProductForm,
+                            hs_threshold);
         run("pfi", pfi);
       }
       {

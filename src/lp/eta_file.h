@@ -34,6 +34,8 @@
 #define PRIVSAN_LP_ETA_FILE_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -84,6 +86,10 @@ class EtaSequence {
   size_t size() const { return etas_.size(); }
   size_t nonzeros() const { return nnz_; }
 
+  // The etas in application order, for callers that interleave their own
+  // sparsity bookkeeping with the product (hyper-sparse FTRAN/BTRAN).
+  std::span<const Eta> etas() const { return etas_; }
+
   void swap(EtaSequence& other) {
     etas_.swap(other.etas_);
     std::swap(nnz_, other.nnz_);
@@ -111,6 +117,19 @@ class BasisRep {
     }
   };
 
+  // Kernel-health counters for the hyper-sparse solve path. A "sparse
+  // solve" is any FtranSparse/BtranSparse call that arrived with a valid
+  // pattern; a "hit" is one that stayed on the pattern-driven kernel for
+  // every factor half (no density fallback). reach_fraction_sum accumulates
+  // |result pattern| / m per sparse solve (1.0 when it fell back dense), so
+  // mean reach = reach_fraction_sum / sparse_solves. Representations
+  // without a sparse kernel report all zeros.
+  struct KernelStats {
+    uint64_t sparse_solves = 0;
+    uint64_t sparse_hits = 0;
+    double reach_fraction_sum = 0.0;
+  };
+
   virtual ~BasisRep() = default;
 
   // Factorizes the basis formed by columns `basis` of A. May permute
@@ -132,6 +151,29 @@ class BasisRep {
   // refactorize instead).
   virtual bool Update(const std::vector<double>& w, int slot,
                       double pivot_tol) = 0;
+
+  // Pattern-aware variants. Results are bit-identical to the dense
+  // entry points above (modulo the sign of exact zeros) — the sparse-vs-
+  // dense lockstep tests compare with operator==, no tolerances. The
+  // defaults run the dense kernel and invalidate the pattern, so every
+  // representation is a valid (if pattern-oblivious) target; only
+  // LuFactorization overrides with a Gilbert–Peierls reach-driven kernel.
+  virtual void FtranSparse(SparseVector& v) const {
+    Ftran(v.values);
+    v.pattern_valid = false;
+  }
+  virtual void BtranSparse(SparseVector& v) const {
+    Btran(v.values);
+    v.pattern_valid = false;
+  }
+  virtual bool UpdateSparse(const SparseVector& w, int slot,
+                            double pivot_tol) {
+    return Update(w.values, slot, pivot_tol);
+  }
+
+  // Cumulative over this representation's lifetime (not reset by
+  // Refactorize), so the solver can sample once per solve.
+  virtual KernelStats kernel_stats() const { return KernelStats{}; }
 
   // Pivots registered since the last Refactorize().
   virtual int updates_since_refactor() const = 0;

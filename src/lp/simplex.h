@@ -107,6 +107,13 @@ struct SimplexOptions {
   // magnitude. Larger is more stable, smaller is sparser.
   double markowitz_threshold = 0.1;
 
+  // Hyper-sparse FTRAN/BTRAN switchover: the Gilbert–Peierls symbolic
+  // reach abandons the sparse kernel for the dense factor pass once the
+  // reach set exceeds this fraction of the row count (results are
+  // bit-identical either way — this is purely a cost crossover). 0
+  // disables the sparse path; only the LU representation honors it.
+  double hypersparse_threshold = 0.1;
+
   // How the LU basis folds simplex pivots into the factors: Forrest–Tomlin
   // (default — U updated in place plus one row eta per pivot, fill grows
   // with the data, refactorizations spread far apart) or product-form
@@ -211,6 +218,14 @@ struct LpSolution {
   // Longest run of basis updates between consecutive refactorizations —
   // how far apart the update scheme pushes them.
   int max_update_run = 0;
+  // Hyper-sparse kernel health: pattern-driven FTRAN/BTRAN calls, how many
+  // of them stayed on the Gilbert–Peierls kernel end to end (no density
+  // fallback), and the mean fraction of rows a solve actually reached
+  // (1.0 counts a fallback). Zero / 0.0 when the representation has no
+  // sparse kernel or the threshold disabled it.
+  uint64_t sparse_solves = 0;
+  uint64_t sparse_ftran_hits = 0;
+  double mean_reach_fraction = 0.0;
 };
 
 class SimplexSolver {

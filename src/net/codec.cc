@@ -118,6 +118,9 @@ void WriteStats(std::ostream& out, const UmpStats& stats) {
   WriteScalar<int32_t>(out, stats.integer_fixed);
   WriteScalar<uint64_t>(out, static_cast<uint64_t>(stats.factor_nnz));
   WriteScalar<int32_t>(out, stats.max_update_run);
+  WriteScalar<uint64_t>(out, stats.sparse_solves);
+  WriteScalar<uint64_t>(out, stats.sparse_ftran_hits);
+  WriteScalar<double>(out, stats.mean_reach_fraction);
   WriteScalar<double>(out, stats.wall_seconds);
 }
 
@@ -143,6 +146,9 @@ Status ReadStats(std::istream& in, UmpStats* stats) {
   stats->factor_nnz = static_cast<size_t>(u64);
   PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &i32));
   stats->max_update_run = i32;
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &stats->sparse_solves));
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &stats->sparse_ftran_hits));
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &stats->mean_reach_fraction));
   PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &stats->wall_seconds));
   return Status::OK();
 }
@@ -207,6 +213,9 @@ void WriteSweep(std::ostream& out, const SweepResult& sweep) {
   WriteScalar<int64_t>(out, sweep.repair_aborted);
   WriteScalar<uint64_t>(out, static_cast<uint64_t>(sweep.factor_nnz));
   WriteScalar<int32_t>(out, sweep.max_update_run);
+  WriteScalar<uint64_t>(out, sweep.sparse_solves);
+  WriteScalar<uint64_t>(out, sweep.sparse_ftran_hits);
+  WriteScalar<double>(out, sweep.mean_reach_fraction);
   WriteScalar<double>(out, sweep.wall_seconds);
 }
 
@@ -230,6 +239,9 @@ Result<SweepResult> ReadSweep(std::istream& in) {
   sweep.factor_nnz = static_cast<size_t>(u64);
   PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &i32));
   sweep.max_update_run = i32;
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &sweep.sparse_solves));
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &sweep.sparse_ftran_hits));
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &sweep.mean_reach_fraction));
   PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &sweep.wall_seconds));
   return sweep;
 }
@@ -313,6 +325,9 @@ void WriteTenantStats(std::ostream& out, const serve::TenantStats& stats) {
   WriteScalar<uint64_t>(out, stats.refactorizations);
   WriteScalar<uint64_t>(out, stats.factor_nnz);
   WriteScalar<uint64_t>(out, stats.max_update_run);
+  WriteScalar<uint64_t>(out, stats.sparse_solves);
+  WriteScalar<uint64_t>(out, stats.sparse_ftran_hits);
+  WriteScalar<uint64_t>(out, stats.mean_reach_permille);
   WriteScalar<uint64_t>(out, stats.rows_copied);
   WriteScalar<uint64_t>(out, stats.rows_rebuilt);
   WriteScalar<uint64_t>(out, stats.refresh_solves);
@@ -335,6 +350,9 @@ Status ReadTenantStats(std::istream& in, serve::TenantStats* stats) {
   PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &stats->refactorizations));
   PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &stats->factor_nnz));
   PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &stats->max_update_run));
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &stats->sparse_solves));
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &stats->sparse_ftran_hits));
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &stats->mean_reach_permille));
   PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &stats->rows_copied));
   PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &stats->rows_rebuilt));
   PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &stats->refresh_solves));

@@ -116,6 +116,10 @@ class Router {
   // intercepted, not forwarded — each backend exports its own metrics).
   std::string Metrics() const { return registry_.RenderPrometheusText(); }
 
+  // The router's own registry, so the serving front-end can co-register
+  // its transport metrics (writev flush batching) on the same scrape.
+  obs::MetricRegistry* registry() { return &registry_; }
+
  private:
   struct Job {
     serve::ServeRequest request;
@@ -138,6 +142,15 @@ class Router {
     obs::Counter* reconnects_total = nullptr;
     obs::Counter* fail_all_total = nullptr;
     obs::Gauge* inflight = nullptr;
+    // Kernel health observed from this backend's Solve/Sweep/Stats
+    // replies as they pass through the router, so one routerd scrape
+    // shows which backend's LP kernels degrade without scraping each
+    // backend individually.
+    obs::Gauge* factor_nnz = nullptr;
+    obs::Gauge* max_update_run = nullptr;
+    obs::Counter* sparse_solves_total = nullptr;
+    obs::Counter* sparse_ftran_hits_total = nullptr;
+    obs::Gauge* mean_reach_permille = nullptr;
   };
 
   void WorkerLoop(Backend* backend);

@@ -39,6 +39,7 @@
 
 #include "net/event_loop.h"
 #include "net/frame.h"
+#include "obs/registry.h"
 #include "serve/service.h"
 #include "util/result.h"
 
@@ -60,6 +61,9 @@ struct ServerOptions {
   // between read chunks, so a single chunk of tiny frames may overshoot.
   size_t max_pending_replies = 1024;
   size_t max_outbuf_bytes = 8u << 20;
+  // Optional scrape target (not owned; must outlive the server). When set,
+  // Start() registers the writev flush-batching counters on it.
+  obs::MetricRegistry* registry = nullptr;
 };
 
 class NetServer {
@@ -100,6 +104,16 @@ class NetServer {
   // Thread-safe; wakes the loop and makes Serve() return.
   void Shutdown();
 
+  // Flush-batching figures (loop-thread maintained; read them after
+  // Serve() returns, or accept a stale snapshot): gather-write syscalls
+  // issued, reply buffers they carried, and the write syscalls a
+  // one-write-per-reply flush would have needed on top (buffers - calls).
+  uint64_t writev_calls() const { return writev_calls_; }
+  uint64_t writev_buffers() const { return writev_buffers_; }
+  uint64_t writev_syscalls_saved() const {
+    return writev_buffers_ - writev_calls_;
+  }
+
  private:
   struct Slot;
   struct Connection;
@@ -138,6 +152,13 @@ class NetServer {
   uint16_t port_ = 0;
   std::map<int, std::shared_ptr<Connection>> connections_;
   std::atomic<bool> stop_{false};
+
+  // writev flush batching (loop thread only; mirrored into the registry
+  // counters when ServerOptions::registry is set).
+  uint64_t writev_calls_ = 0;
+  uint64_t writev_buffers_ = 0;
+  obs::Counter* writev_calls_total_ = nullptr;
+  obs::Counter* writev_saved_total_ = nullptr;
 };
 
 }  // namespace net

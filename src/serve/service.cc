@@ -85,6 +85,25 @@ Status CheckLifecycle(const Tenant& tenant) {
   return Status::OK();
 }
 
+// Folds one solve/sweep's hyper-sparse kernel counters into the tenant's:
+// counts add, the mean reach (stored in permille so the Prometheus export
+// table stays all-uint64) re-weights by solve count. Caller holds cmu.
+void MergeSparseKernelStats(TenantStats& stats, uint64_t solves,
+                            uint64_t hits, double mean_reach_fraction) {
+  const double prev_sum = static_cast<double>(stats.mean_reach_permille) /
+                          1000.0 * static_cast<double>(stats.sparse_solves);
+  stats.sparse_solves += solves;
+  stats.sparse_ftran_hits += hits;
+  const double total =
+      prev_sum + mean_reach_fraction * static_cast<double>(solves);
+  stats.mean_reach_permille =
+      stats.sparse_solves > 0
+          ? static_cast<uint64_t>(
+                total / static_cast<double>(stats.sparse_solves) * 1000.0 +
+                0.5)
+          : 0;
+}
+
 }  // namespace
 
 SanitizerService::SanitizerService(ServiceOptions options)
@@ -566,6 +585,9 @@ ServeResponse SanitizerService::Execute(Tenant& tenant, ServeRequest& request,
       tenant.stats.max_update_run =
           std::max(tenant.stats.max_update_run,
                    static_cast<uint64_t>(result->max_update_run));
+      MergeSparseKernelStats(tenant.stats, result->sparse_solves,
+                             result->sparse_ftran_hits,
+                             result->mean_reach_fraction);
     }
     RefreshResidentBytes(tenant);
     return {Status::OK(), std::move(*result)};
@@ -673,6 +695,9 @@ ServeResponse SanitizerService::ExecuteSolve(Tenant& tenant,
     tenant.stats.max_update_run = std::max(
         tenant.stats.max_update_run,
         static_cast<uint64_t>(solution->stats.max_update_run));
+    MergeSparseKernelStats(tenant.stats, solution->stats.sparse_solves,
+                           solution->stats.sparse_ftran_hits,
+                           solution->stats.mean_reach_fraction);
     if (cache_enabled) {
       if (tenant.cache_order.size() >= options_.result_cache_capacity) {
         const std::string& oldest = tenant.cache_order.front();
@@ -791,6 +816,15 @@ constexpr TenantStatField kTenantStatFields[] = {
      &TenantStats::refactorizations},
     {"privsan_tenant_factor_nnz", "Peak basis-factorization nonzeros",
      "gauge", &TenantStats::factor_nnz},
+    {"privsan_tenant_sparse_solves_total",
+     "Pattern-driven FTRAN/BTRAN solves (hyper-sparse kernel entered)",
+     "counter", &TenantStats::sparse_solves},
+    {"privsan_tenant_sparse_ftran_hits_total",
+     "Hyper-sparse solves that stayed sparse end to end (no fallback)",
+     "counter", &TenantStats::sparse_ftran_hits},
+    {"privsan_tenant_mean_reach_permille",
+     "Mean fraction of rows a hyper-sparse solve reached, in permille",
+     "gauge", &TenantStats::mean_reach_permille},
     {"privsan_tenant_max_update_run",
      "Longest Forrest-Tomlin update run between refactorizations", "gauge",
      &TenantStats::max_update_run},

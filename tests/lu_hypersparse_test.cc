@@ -1,0 +1,381 @@
+// The hyper-sparse Gilbert–Peierls solves (FtranSparse/BtranSparse) and the
+// pattern-driven Forrest–Tomlin update (UpdateSparse) promise *bit* equality
+// with the dense kernel — the simplex driver mixes sparse and dense solves
+// freely, and the result caches compare objectives with operator==, so any
+// tolerance here would be a lie. Every comparison in this file is exact
+// (operator==, which treats -0.0 == +0.0 — the one divergence the contract
+// permits).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "lp/lu_factorization.h"
+#include "lp/sparse_matrix.h"
+#include "rng/random.h"
+
+namespace privsan {
+namespace lp {
+namespace {
+
+// A random basis whose hyper-sparsity varies with `slack_fraction`: columns
+// are unit slacks with that probability, sparse diagonally-dominated
+// structural columns otherwise. slack_fraction 0 is the percolating dense
+// regime (every solve falls back), 0.9 the hyper-sparse one.
+SparseMatrix MakeBasis(Rng& rng, int m, int extra, double slack_fraction,
+                       double density) {
+  std::vector<Triplet> triplets;
+  for (int j = 0; j < m; ++j) {
+    triplets.push_back(Triplet{j, j, 3.0 + rng.NextDouble()});
+    if (rng.NextBool(slack_fraction)) continue;
+    for (int i = 0; i < m; ++i) {
+      if (i != j && rng.NextBool(density)) {
+        triplets.push_back(Triplet{i, j, rng.NextDouble(-1.0, 1.0)});
+      }
+    }
+  }
+  for (int j = m; j < m + extra; ++j) {
+    triplets.push_back(Triplet{j % m, j, 1.0 + rng.NextDouble()});
+    for (int i = 0; i < m; ++i) {
+      if (rng.NextBool(density)) {
+        triplets.push_back(Triplet{i, j, rng.NextDouble(-1.0, 1.0)});
+      }
+    }
+  }
+  return SparseMatrix(m, m + extra, std::move(triplets));
+}
+
+// Seeds `v` with ~density * m random nonzeros (at least one).
+void SeedSparse(Rng& rng, int m, double density, SparseVector& v) {
+  v.Clear();
+  const int count =
+      std::max(1, static_cast<int>(density * static_cast<double>(m)));
+  for (int k = 0; k < count; ++k) {
+    const int i = static_cast<int>(rng.NextBounded(static_cast<uint64_t>(m)));
+    v.values[i] = rng.NextDouble(-2.0, 2.0);
+    // Intentionally may push duplicates: the kernel contract says input
+    // patterns can hold them, and the dedup must not change the numerics.
+    v.pattern.push_back(i);
+  }
+}
+
+// Exact equality plus the SparseVector invariant: when the pattern is
+// valid, every index outside it holds exactly +0.0 and the pattern is
+// sorted and duplicate-free.
+void ExpectBitEqual(const SparseVector& sparse,
+                    const std::vector<double>& dense) {
+  ASSERT_EQ(sparse.values.size(), dense.size());
+  for (size_t i = 0; i < dense.size(); ++i) {
+    EXPECT_EQ(sparse.values[i], dense[i]) << "component " << i;
+  }
+  if (!sparse.pattern_valid) return;
+  std::vector<bool> listed(dense.size(), false);
+  int prev = -1;
+  for (int i : sparse.pattern) {
+    EXPECT_GT(i, prev) << "pattern not sorted/deduped at " << i;
+    prev = i;
+    listed[i] = true;
+  }
+  for (size_t i = 0; i < dense.size(); ++i) {
+    if (!listed[i]) {
+      EXPECT_TRUE(sparse.values[i] == 0.0 && !std::signbit(sparse.values[i]))
+          << "unlisted component " << i << " not +0.0";
+    }
+  }
+}
+
+// The core property test: 200 random bases spanning dense-to-hyper-sparse
+// regimes, RHS densities from 1/m to full, FTRAN and BTRAN both, updates
+// applied in lockstep — the sparse rep must match the threshold-0 (dense
+// kernel) rep bit for bit on every solve. Threshold 1.0 keeps the reach
+// from ever falling back, so the sparse numeric pass itself is what's
+// exercised; a second rep at the production default 0.1 checks the
+// mid-solve fallback splice too.
+TEST(LuHypersparseTest, SparseMatchesDenseBitForBitAcrossRandomBases) {
+  Rng rng(991);
+  const double kRhsDensities[] = {0.0, 0.05, 0.2, 1.0};  // 0.0 -> 1 nonzero
+  for (int trial = 0; trial < 200; ++trial) {
+    const int m = 5 + static_cast<int>(rng.NextBounded(46));
+    const double slack_fraction = rng.NextDouble();
+    const double density = rng.NextDouble(0.02, 0.3);
+    const int updates = static_cast<int>(rng.NextBounded(6));
+    SparseMatrix A = MakeBasis(rng, m, updates + 1, slack_fraction, density);
+    std::vector<int> basis(m);
+    for (int i = 0; i < m; ++i) basis[i] = i;
+
+    const LuUpdateKind kind = trial % 2 == 0 ? LuUpdateKind::kForrestTomlin
+                                             : LuUpdateKind::kProductForm;
+    LuFactorization dense(updates + 1, 1e9, 0.1, kind,
+                          /*hypersparse_threshold=*/0.0);
+    LuFactorization sparse(updates + 1, 1e9, 0.1, kind,
+                           /*hypersparse_threshold=*/1.0);
+    LuFactorization clipped(updates + 1, 1e9, 0.1, kind,
+                            /*hypersparse_threshold=*/0.1);
+    std::vector<int> b1 = basis, b2 = basis, b3 = basis;
+    ASSERT_TRUE(dense.Refactorize(A, b1));
+    ASSERT_TRUE(sparse.Refactorize(A, b2));
+    ASSERT_TRUE(clipped.Refactorize(A, b3));
+    ASSERT_EQ(b1, b2);
+    ASSERT_EQ(b1, b3);
+
+    SparseVector sv, cv;
+    sv.Reset(m);
+    cv.Reset(m);
+    for (int k = 0; k <= updates; ++k) {
+      const double rhs_density = kRhsDensities[(trial + k) % 4];
+      // One seed, three identical copies — the RHS must be bit-identical.
+      Rng seed_rng(rng.NextUint64());
+      Rng seed_rng2 = seed_rng, seed_rng3 = seed_rng;
+      SeedSparse(seed_rng, m, rhs_density, sv);
+      std::vector<double> dv = sv.values;
+      SeedSparse(seed_rng2, m, rhs_density, cv);
+
+      if (k % 2 == 0) {
+        dense.Ftran(dv);
+        sparse.FtranSparse(sv);
+        clipped.FtranSparse(cv);
+      } else {
+        dense.Btran(dv);
+        sparse.BtranSparse(sv);
+        clipped.BtranSparse(cv);
+      }
+      ExpectBitEqual(sv, dv);
+      ExpectBitEqual(cv, dv);
+
+      if (k == updates) break;
+      // Lockstep update: FTRAN the entering column through all three reps,
+      // pivot at the largest magnitude (identical in all three by the
+      // equality just proven), register.
+      SeedSparse(seed_rng3, m, rhs_density, cv);  // reuse cv as scratch
+      cv.Clear();
+      for (const SparseEntry& e : A.Column(m + k)) {
+        cv.values[e.index] = e.value;
+        cv.pattern.push_back(e.index);
+      }
+      std::vector<double> w = cv.values;
+      SparseVector w2 = cv;
+      dense.Ftran(w);
+      sparse.FtranSparse(cv);
+      clipped.FtranSparse(w2);
+      int slot = 0;
+      for (int i = 1; i < m; ++i) {
+        if (std::abs(w[i]) > std::abs(w[slot])) slot = i;
+      }
+      const bool ok_dense = dense.Update(w, slot, 1e-9);
+      const bool ok_sparse = sparse.UpdateSparse(cv, slot, 1e-9);
+      const bool ok_clipped = clipped.UpdateSparse(w2, slot, 1e-9);
+      ASSERT_EQ(ok_dense, ok_sparse);
+      ASSERT_EQ(ok_dense, ok_clipped);
+      if (!ok_dense) break;
+    }
+  }
+}
+
+// Crafted reach topology: a diamond with a long chain hanging off one arm,
+//
+//   col 0 hits rows {1, 2}; col 1 hits row 3; col 2 hits row 3 (diamond
+//   joins at 3); col 3 hits row 4; col 4 hits row 5 (the chain).
+//   Columns 6..9 are slacks, untouched by any of it.
+//
+// An FTRAN seeded at row 0 must reach exactly rows {0,1,2,3,4,5} — the DFS
+// has to follow both diamond arms, visit the join once, and walk the chain
+// to its end — and must leave the slack rows 6..9 exactly +0.0 with no
+// pattern entries. A seed at row 4 reaches only {4, 5}.
+TEST(LuHypersparseTest, DiamondAndChainReach) {
+  const int m = 10;
+  std::vector<Triplet> triplets;
+  for (int j = 0; j < m; ++j) triplets.push_back(Triplet{j, j, 4.0});
+  triplets.push_back(Triplet{1, 0, 0.5});
+  triplets.push_back(Triplet{2, 0, -0.5});
+  triplets.push_back(Triplet{3, 1, 0.25});
+  triplets.push_back(Triplet{3, 2, 0.25});
+  triplets.push_back(Triplet{4, 3, 0.5});
+  triplets.push_back(Triplet{5, 4, 0.5});
+  // One entering column for the staleness check below.
+  triplets.push_back(Triplet{0, m, 1.0});
+  triplets.push_back(Triplet{4, m, 0.5});
+  SparseMatrix A(m, m + 1, std::move(triplets));
+  std::vector<int> basis(m);
+  for (int i = 0; i < m; ++i) basis[i] = i;
+
+  LuFactorization dense(4, 1e9, 0.1, LuUpdateKind::kForrestTomlin, 0.0);
+  LuFactorization sparse(4, 1e9, 0.1, LuUpdateKind::kForrestTomlin, 1.0);
+  std::vector<int> b1 = basis, b2 = basis;
+  ASSERT_TRUE(dense.Refactorize(A, b1));
+  ASSERT_TRUE(sparse.Refactorize(A, b2));
+
+  SparseVector v;
+  v.Reset(m);
+  v.values[0] = 1.0;
+  v.pattern.push_back(0);
+  std::vector<double> dv = v.values;
+  sparse.FtranSparse(v);
+  dense.Ftran(dv);
+  ExpectBitEqual(v, dv);
+  ASSERT_TRUE(v.pattern_valid);
+  EXPECT_EQ(v.pattern, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+
+  v.Clear();
+  v.values[4] = 1.0;
+  v.pattern.push_back(4);
+  dv.assign(m, 0.0);
+  dv[4] = 1.0;
+  sparse.FtranSparse(v);
+  dense.Ftran(dv);
+  ExpectBitEqual(v, dv);
+  ASSERT_TRUE(v.pattern_valid);
+  EXPECT_EQ(v.pattern, (std::vector<int>{4, 5}));
+
+  // A Forrest–Tomlin update rewrites U rows; the sparse kernel's static
+  // occupancy lists go stale (they may list vacated entries but never miss
+  // live ones). Solves after the update must still match dense exactly.
+  SparseVector w;
+  w.Reset(m);
+  for (const SparseEntry& e : A.Column(m)) {
+    w.values[e.index] = e.value;
+    w.pattern.push_back(e.index);
+  }
+  std::vector<double> wd = w.values;
+  dense.Ftran(wd);
+  sparse.FtranSparse(w);
+  int slot = 0;
+  for (int i = 1; i < m; ++i) {
+    if (std::abs(wd[i]) > std::abs(wd[slot])) slot = i;
+  }
+  ASSERT_TRUE(dense.Update(wd, slot, 1e-9));
+  ASSERT_TRUE(sparse.UpdateSparse(w, slot, 1e-9));
+  for (int seed = 0; seed < m; ++seed) {
+    v.Clear();
+    v.values[seed] = 1.0;
+    v.pattern.push_back(seed);
+    dv.assign(m, 0.0);
+    dv[seed] = 1.0;
+    sparse.FtranSparse(v);
+    dense.Ftran(dv);
+    ExpectBitEqual(v, dv);
+    v.Clear();
+    v.values[seed] = 1.0;
+    v.pattern.push_back(seed);
+    dv.assign(m, 0.0);
+    dv[seed] = 1.0;
+    sparse.BtranSparse(v);
+    dense.Btran(dv);
+    ExpectBitEqual(v, dv);
+  }
+}
+
+// Forrest–Tomlin eta skip: after an update, a solve whose reach never
+// touches the eta's pivot row must skip it (the eta term is zero) and still
+// match the dense kernel, which always applies every eta. The slack block
+// rows 6..9 are disconnected from the updated component, so unit solves
+// seeded there exercise exactly the skip path — and their reach must stay
+// confined to the seed row.
+TEST(LuHypersparseTest, UpdateEtaSkipKeepsUntouchedRowsExact) {
+  const int m = 10;
+  std::vector<Triplet> triplets;
+  for (int j = 0; j < m; ++j) triplets.push_back(Triplet{j, j, 4.0});
+  triplets.push_back(Triplet{1, 0, 0.5});
+  triplets.push_back(Triplet{2, 1, 0.5});
+  triplets.push_back(Triplet{0, m, 1.0});
+  triplets.push_back(Triplet{2, m, 0.5});
+  SparseMatrix A(m, m + 1, std::move(triplets));
+  std::vector<int> basis(m);
+  for (int i = 0; i < m; ++i) basis[i] = i;
+
+  LuFactorization dense(4, 1e9, 0.1, LuUpdateKind::kForrestTomlin, 0.0);
+  LuFactorization sparse(4, 1e9, 0.1, LuUpdateKind::kForrestTomlin, 1.0);
+  std::vector<int> b1 = basis, b2 = basis;
+  ASSERT_TRUE(dense.Refactorize(A, b1));
+  ASSERT_TRUE(sparse.Refactorize(A, b2));
+
+  SparseVector w;
+  w.Reset(m);
+  for (const SparseEntry& e : A.Column(m)) {
+    w.values[e.index] = e.value;
+    w.pattern.push_back(e.index);
+  }
+  std::vector<double> wd = w.values;
+  dense.Ftran(wd);
+  sparse.FtranSparse(w);
+  int slot = 0;
+  for (int i = 1; i < m; ++i) {
+    if (std::abs(wd[i]) > std::abs(wd[slot])) slot = i;
+  }
+  ASSERT_TRUE(dense.Update(wd, slot, 1e-9));
+  ASSERT_TRUE(sparse.UpdateSparse(w, slot, 1e-9));
+
+  SparseVector v;
+  v.Reset(m);
+  std::vector<double> dv;
+  for (int seed = 6; seed < m; ++seed) {
+    v.Clear();
+    v.values[seed] = 1.0;
+    v.pattern.push_back(seed);
+    dv.assign(m, 0.0);
+    dv[seed] = 1.0;
+    sparse.FtranSparse(v);
+    dense.Ftran(dv);
+    ExpectBitEqual(v, dv);
+    ASSERT_TRUE(v.pattern_valid);
+    EXPECT_EQ(v.pattern, std::vector<int>{seed});
+  }
+}
+
+// kernel_stats accounting: solves with a valid pattern count; with
+// threshold 1.0 none may fall back (hits == solves, reach fractions in
+// (0, 1]); with threshold 0 the sparse entry points run dense and count
+// misses with reach 1.0.
+TEST(LuHypersparseTest, KernelStatsAccounting) {
+  Rng rng(77);
+  const int m = 30;
+  SparseMatrix A = MakeBasis(rng, m, 0, 0.7, 0.1);
+  std::vector<int> basis(m);
+  for (int i = 0; i < m; ++i) basis[i] = i;
+
+  LuFactorization sparse(4, 1e9, 0.1, LuUpdateKind::kForrestTomlin, 1.0);
+  LuFactorization off(4, 1e9, 0.1, LuUpdateKind::kForrestTomlin, 0.0);
+  std::vector<int> b1 = basis, b2 = basis;
+  ASSERT_TRUE(sparse.Refactorize(A, b1));
+  ASSERT_TRUE(off.Refactorize(A, b2));
+  EXPECT_EQ(sparse.kernel_stats().sparse_solves, 0u);
+
+  SparseVector v;
+  v.Reset(m);
+  for (int k = 0; k < 10; ++k) {
+    v.Clear();
+    v.values[k] = 1.0;
+    v.pattern.push_back(k);
+    if (k % 2 == 0) {
+      sparse.FtranSparse(v);
+    } else {
+      sparse.BtranSparse(v);
+    }
+  }
+  BasisRep::KernelStats ks = sparse.kernel_stats();
+  EXPECT_EQ(ks.sparse_solves, 10u);
+  EXPECT_EQ(ks.sparse_hits, 10u);  // threshold 1.0: fallback impossible
+  EXPECT_GT(ks.reach_fraction_sum, 0.0);
+  EXPECT_LE(ks.reach_fraction_sum, 10.0);
+
+  // A dense call (no pattern) is not a sparse solve.
+  std::vector<double> dv(m, 1.0);
+  sparse.Ftran(dv);
+  EXPECT_EQ(sparse.kernel_stats().sparse_solves, 10u);
+
+  // Threshold 0: the same patterned calls all miss at reach 1.0 each.
+  for (int k = 0; k < 4; ++k) {
+    v.Clear();
+    v.values[k] = 1.0;
+    v.pattern.push_back(k);
+    off.FtranSparse(v);
+    EXPECT_FALSE(v.pattern_valid);
+  }
+  ks = off.kernel_stats();
+  EXPECT_EQ(ks.sparse_solves, 4u);
+  EXPECT_EQ(ks.sparse_hits, 0u);
+  EXPECT_EQ(ks.reach_fraction_sum, 4.0);
+}
+
+}  // namespace
+}  // namespace lp
+}  // namespace privsan

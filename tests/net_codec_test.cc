@@ -385,6 +385,9 @@ TEST(CodecTest, RoundTripsSolutionPayload) {
   solution.stats.warm_started = true;
   solution.stats.factor_nnz = 999;
   solution.stats.max_update_run = 12;
+  solution.stats.sparse_solves = 120;
+  solution.stats.sparse_ftran_hits = 96;
+  solution.stats.mean_reach_fraction = 0.0625;
   solution.stats.wall_seconds = 0.125;
   solution.frequent_pairs = {0, 2};
   solution.used_precision_caps = true;
@@ -408,6 +411,9 @@ TEST(CodecTest, RoundTripsSolutionPayload) {
   EXPECT_TRUE(out->stats.warm_started);
   EXPECT_EQ(out->stats.factor_nnz, 999u);
   EXPECT_EQ(out->stats.max_update_run, 12);
+  EXPECT_EQ(out->stats.sparse_solves, 120u);
+  EXPECT_EQ(out->stats.sparse_ftran_hits, 96u);
+  EXPECT_EQ(out->stats.mean_reach_fraction, 0.0625);
   EXPECT_EQ(out->stats.wall_seconds, 0.125);
   EXPECT_EQ(out->frequent_pairs, solution.frequent_pairs);
   EXPECT_TRUE(out->used_precision_caps);
@@ -428,6 +434,9 @@ TEST(CodecTest, RoundTripsSweepPayload) {
   sweep.repair_aborted = 0;
   sweep.factor_nnz = 512;
   sweep.max_update_run = 8;
+  sweep.sparse_solves = 220;
+  sweep.sparse_ftran_hits = 200;
+  sweep.mean_reach_fraction = 0.125;
   sweep.wall_seconds = 1.5;
 
   serve::ServeResponse decoded = RoundTripResponse({Status::OK(), sweep});
@@ -439,6 +448,9 @@ TEST(CodecTest, RoundTripsSweepPayload) {
   EXPECT_TRUE(out->cells[1].stats.warm_started);
   EXPECT_EQ(out->total_simplex_iterations, 100);
   EXPECT_EQ(out->factor_nnz, 512u);
+  EXPECT_EQ(out->sparse_solves, 220u);
+  EXPECT_EQ(out->sparse_ftran_hits, 200u);
+  EXPECT_EQ(out->mean_reach_fraction, 0.125);
   EXPECT_EQ(out->wall_seconds, 1.5);
 }
 
@@ -494,6 +506,9 @@ TEST(CodecTest, RoundTripsStatsPayload) {
   stats.refactorizations = 9;
   stats.factor_nnz = 10;
   stats.max_update_run = 11;
+  stats.sparse_solves = 40;
+  stats.sparse_ftran_hits = 30;
+  stats.mean_reach_permille = 83;
   stats.rows_copied = 12;
   stats.rows_rebuilt = 13;
   stats.refresh_solves = 14;
@@ -509,6 +524,9 @@ TEST(CodecTest, RoundTripsStatsPayload) {
   EXPECT_EQ(out->appends_enqueued, 1u);
   EXPECT_EQ(out->maintenance_flushes, 4u);
   EXPECT_EQ(out->cache_misses, 7u);
+  EXPECT_EQ(out->sparse_solves, 40u);
+  EXPECT_EQ(out->sparse_ftran_hits, 30u);
+  EXPECT_EQ(out->mean_reach_permille, 83u);
   EXPECT_EQ(out->rows_rebuilt, 13u);
   EXPECT_EQ(out->reloads, 16u);
   EXPECT_EQ(out->fast_lane_hits, 17u);

@@ -78,6 +78,15 @@ METRIC_RULES = {
     # mean the retuned refactorization trigger lost its headroom.
     "u_nnz": ("low", DEFAULT_TOL),
     "update_run_len": ("high", DEFAULT_TOL),
+    # Hyper-sparse kernel health (same bench, update_run records). The rng
+    # seeds are fixed so these are deterministic: a growing reach_fraction
+    # or rho_nnz means the Gilbert-Peierls reach started touching rows it
+    # used not to (a symbolic-pass regression); a falling sparse_hit_rate
+    # means solves that used to stay on the pattern-driven kernel now fall
+    # back dense.
+    "reach_fraction": ("low", DEFAULT_TOL),
+    "rho_nnz": ("low", DEFAULT_TOL),
+    "sparse_hit_rate": ("high", DEFAULT_TOL),
     # Distances: smaller is better utility-wise.
     "distance_sum": ("low", DEFAULT_TOL),
     "distance_sum_lp": ("low", DEFAULT_TOL),

@@ -98,6 +98,9 @@ int main(int argc, char** argv) {
 
   net::ServerOptions server_options;
   server_options.port = listen_port;
+  // The front-end's writev flush-batching counters land in the registry
+  // the router's METRICS verb renders.
+  server_options.registry = router.registry();
   net::NetServer server(
       net::NetServer::FrameHandler(
           [&router](serve::ServeRequest request,

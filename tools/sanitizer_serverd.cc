@@ -199,6 +199,9 @@ int main(int argc, char** argv) {
 
   net::ServerOptions server_options;
   server_options.port = listen_port;
+  // The reply-flush batching counters land in the same registry the
+  // METRICS verb scrapes.
+  server_options.registry = service.registry();
   std::unique_ptr<net::NetServer> server;
   if (text_protocol) {
     server = std::make_unique<net::NetServer>(
