@@ -26,11 +26,20 @@
 // p50/p95/p99 of the first-solve-after-append and append-ack latencies per
 // mode; final objectives must match each other and a from-scratch cold
 // solve.
+//
+// Part 5 — windowed-stream workload. A sliding user population: each tick
+// appends a fresh batch, removes the oldest live batch (RemoveUsers — DP
+// rows patched, basis remapped down) and re-solves. The tenant carries a
+// privacy budget, so every tick's solve is also an accountant charge. The
+// post-removal solve must warm-start and match a cold solve on the
+// surviving window; a final ExpireWindow retires the whole population
+// through the retention path.
 #include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -422,8 +431,134 @@ int main() {
     report.Add(std::move(record));
   }
 
+  // ---- Part 5: windowed-stream workload (append + remove + solve) --------
+  // A sliding population: the live window holds 60% of the dataset's
+  // users; each tick appends the next 10% and retires the oldest 10%.
+  std::cout << "\n== windowed-stream workload ==\n";
+  const int kTicks = 4;
+  const UserId window_base = raw.num_users() * 6 / 10;
+  const UserId tick_step = (raw.num_users() - window_base) / kTicks;
+
+  serve::SanitizerService stream_service;
+  {
+    serve::CreateTenantRequest create{
+        "stream", UserSlice(raw, 0, window_base), std::nullopt};
+    // Generous budget: every tick's solve is charged and recorded, none
+    // refused — the accountant's steady-state bookkeeping cost is in the
+    // measured path.
+    create.budget.max_epsilon = 1000.0;
+    if (!stream_service.Submit(create).get().status.ok()) return 1;
+  }
+  (void)stream_service.Solve("stream", UtilityObjective::kOutputSize, query)
+      .value();  // prime the basis
+
+  std::vector<double> tick_seconds;
+  bool remove_warm_started = true;
+  uint64_t window_final_objective = 0;
+  WallTimer window_timer;
+  for (int t = 0; t < kTicks; ++t) {
+    const UserId append_lo = window_base + t * tick_step;
+    const UserId retire_lo = t * tick_step;
+    std::vector<std::string> retired;
+    for (UserId u = retire_lo; u < retire_lo + tick_step; ++u) {
+      retired.push_back(raw.user_name(u));
+    }
+    WallTimer tick_timer;
+    if (!stream_service
+             .Append("stream",
+                     UserSlice(raw, append_lo, append_lo + tick_step))
+             .ok()) {
+      return 1;
+    }
+    // RemoveUsers flushes the queued append first: one coalesced flush and
+    // one row patch per tick, exactly the maintenance-driven expiry shape.
+    if (!stream_service.RemoveUsers("stream", retired).ok()) return 1;
+    const Result<UmpSolution> ticked = stream_service.Solve(
+        "stream", UtilityObjective::kOutputSize, query);
+    if (!ticked.ok()) return 1;
+    tick_seconds.push_back(tick_timer.ElapsedSeconds());
+    remove_warm_started =
+        remove_warm_started && ticked->stats.warm_started;
+    window_final_objective = ticked->output_size;
+  }
+  const double window_seconds = window_timer.ElapsedSeconds();
+  const serve::TenantStats window_stats =
+      stream_service.Stats("stream").value();
+  const serve::BudgetStatus window_budget =
+      stream_service.Budget("stream").value();
+
+  // Cold reference: the final live window is exactly the surviving slice.
+  int window_mismatches = 0;
+  {
+    SanitizerSession cold_window =
+        SanitizerSession::Create(
+            UserSlice(raw, kTicks * tick_step, raw.num_users()))
+            .value();
+    const uint64_t cold_final =
+        cold_window.Solve(UtilityObjective::kOutputSize, query)
+            .value()
+            .output_size;
+    window_mismatches = window_final_objective == cold_final ? 0 : 1;
+  }
+
+  std::cout << kTicks << " ticks in " << window_seconds << " s (tick p50 "
+            << PercentileMs(tick_seconds, 0.50) << " ms); users removed "
+            << window_stats.users_removed << ", rows patched on remove "
+            << window_stats.rows_patched_on_remove
+            << ", remove_warm_started=" << (remove_warm_started ? 1 : 0)
+            << ", spent epsilon " << window_budget.spent_epsilon << " over "
+            << window_budget.allocations << " charges ("
+            << window_budget.refusals << " refusals), objective mismatches: "
+            << window_mismatches << "\n";
+  {
+    bench::JsonRecord record;
+    record.Add("record", "windowed_stream")
+        .Add("batches", static_cast<int64_t>(kTicks))
+        .Add("seconds", window_seconds)
+        .Add("tick_ms_p50", PercentileMs(tick_seconds, 0.50))
+        .Add("tick_ms_p95", PercentileMs(tick_seconds, 0.95))
+        .Add("users_removed",
+             static_cast<int64_t>(window_stats.users_removed))
+        .Add("rows_patched_on_remove",
+             static_cast<int64_t>(window_stats.rows_patched_on_remove))
+        .Add("remove_warm_started",
+             static_cast<int64_t>(remove_warm_started ? 1 : 0))
+        .Add("epsilon_spent_micro",
+             static_cast<int64_t>(window_stats.epsilon_spent_micro))
+        .Add("budget_refusals",
+             static_cast<int64_t>(window_stats.budget_refusals))
+        .Add("objective_mismatches",
+             static_cast<int64_t>(window_mismatches));
+    report.Add(std::move(record));
+  }
+
+  // Teardown through the retention path: expire every remaining user.
+  {
+    WallTimer expire_timer;
+    if (!stream_service
+             .ExpireWindow("stream",
+                           std::numeric_limits<uint64_t>::max())
+             .ok()) {
+      return 1;
+    }
+    const double expire_seconds = expire_timer.ElapsedSeconds();
+    const uint64_t expired = stream_service.Stats("stream")
+                                 .value()
+                                 .users_removed -
+                             window_stats.users_removed;
+    std::cout << "expire-all: " << expired << " users in " << expire_seconds
+              << " s\n";
+    bench::JsonRecord record;
+    record.Add("record", "windowed_expire")
+        .Add("seconds", expire_seconds)
+        .Add("users_removed", static_cast<int64_t>(expired));
+    report.Add(std::move(record));
+  }
+
   // Warm-vs-cold equivalence is a correctness gate, not a perf number.
-  return mismatches == 0 && snapshot_mismatches == 0 && mixed_mismatches == 0
+  return mismatches == 0 && snapshot_mismatches == 0 &&
+                 mixed_mismatches == 0 && window_mismatches == 0 &&
+                 remove_warm_started
              ? 0
              : 1;
 }

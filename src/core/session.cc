@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <numeric>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "core/fump.h"
@@ -24,13 +26,15 @@ int Index(UtilityObjective objective) {
 }
 
 // Old->new index maps shared by every per-objective basis remap of one
-// append (name-keyed: PairIds and row order may permute arbitrarily across
-// the re-preprocess, and FindPair/FindUser are linear scans). Built once
-// per RebuildFromRaw — the serve path appends continuously.
+// append or removal (name-keyed: PairIds and row order may permute
+// arbitrarily across the re-preprocess, and FindPair/FindUser are linear
+// scans). Built once per RebuildFromRaw — the serve path appends and
+// expires continuously. Entries of vanished pairs/rows (a removed user, a
+// pair turned unique by a removal) are -1 and simply dropped by RemapBasis.
 struct RemapMaps {
   bool ok = false;
-  std::vector<int> pair_map;  // old PairId -> new PairId
-  std::vector<int> row_map;   // old row -> new row
+  std::vector<int> pair_map;  // old PairId -> new PairId (-1 = vanished)
+  std::vector<int> row_map;   // old row -> new row (-1 = vanished)
 };
 
 RemapMaps BuildRemapMaps(const SearchLog& old_log,
@@ -38,8 +42,6 @@ RemapMaps BuildRemapMaps(const SearchLog& old_log,
                          const SearchLog& new_log,
                          const DpConstraintSystem& new_system) {
   RemapMaps maps;
-  // Appending clicks never turns a shared pair unique, so every old pair
-  // survives preprocessing; defend anyway.
   std::unordered_map<std::string, PairId> new_pair;
   new_pair.reserve(new_log.num_pairs());
   for (PairId p = 0; p < new_log.num_pairs(); ++p) {
@@ -48,8 +50,7 @@ RemapMaps BuildRemapMaps(const SearchLog& old_log,
   maps.pair_map.assign(old_log.num_pairs(), -1);
   for (PairId p = 0; p < old_log.num_pairs(); ++p) {
     const auto it = new_pair.find(old_log.PairNameKey(p));
-    if (it == new_pair.end()) return maps;
-    maps.pair_map[p] = static_cast<int>(it->second);
+    if (it != new_pair.end()) maps.pair_map[p] = static_cast<int>(it->second);
   }
   std::unordered_map<std::string, int> new_row_of_user;
   new_row_of_user.reserve(new_system.num_rows());
@@ -61,20 +62,24 @@ RemapMaps BuildRemapMaps(const SearchLog& old_log,
   for (size_t r = 0; r < old_system.num_rows(); ++r) {
     const auto it =
         new_row_of_user.find(old_log.user_name(old_system.RowUser(r)));
-    if (it == new_row_of_user.end()) return maps;
-    maps.row_map[r] = it->second;
+    if (it != new_row_of_user.end()) maps.row_map[r] = it->second;
   }
   maps.ok = true;
   return maps;
 }
 
-// Maps a basis of the old (log, system) model onto the grown one: surviving
-// pairs and user rows keep their status under their new indices, appended
-// pairs enter nonbasic at zero, appended users' slack rows enter basic.
-// Valid for the models whose structural variables are exactly the pairs in
-// PairId order and whose rows are the DP rows (O-UMP and the D-UMP
-// relaxation). Returns an empty basis when the mapping breaks down — the
-// next solve then simply runs cold.
+// Maps a basis of the old (log, system) model onto the resized one:
+// surviving pairs and user rows keep their status under their new indices;
+// appended pairs enter nonbasic at zero, appended users' slack rows enter
+// basic; statuses of vanished columns and rows are dropped. Dropping a
+// basic structural column (or gaining rows whose covering column vanished)
+// unbalances the basic count, so the map is followed by a repair pass:
+// missing basics are filled with row slacks, surplus basics are demoted
+// structurals — the dual simplex then re-establishes feasibility in a few
+// pivots, exactly its warm-start job. Valid for the models whose
+// structural variables are the pairs in PairId order and whose rows are
+// the DP rows (O-UMP and the D-UMP relaxation). Returns an empty basis
+// when the mapping breaks down — the next solve then simply runs cold.
 lp::Basis RemapBasis(const lp::Basis& old_basis, const RemapMaps& maps,
                      size_t n_new, size_t m_new) {
   const size_t n_old = maps.pair_map.size();
@@ -90,10 +95,33 @@ lp::Basis RemapBasis(const lp::Basis& old_basis, const RemapMaps& maps,
     basis.state[n_new + r] = lp::VarStatus::kBasic;
   }
   for (size_t j = 0; j < n_old; ++j) {
-    basis.state[maps.pair_map[j]] = old_basis.state[j];
+    if (maps.pair_map[j] >= 0) basis.state[maps.pair_map[j]] =
+        old_basis.state[j];
   }
   for (size_t r = 0; r < m_old; ++r) {
-    basis.state[n_new + maps.row_map[r]] = old_basis.state[n_old + r];
+    if (maps.row_map[r] >= 0) basis.state[n_new + maps.row_map[r]] =
+        old_basis.state[n_old + r];
+  }
+  size_t num_basic = 0;
+  for (size_t j = 0; j < basis.state.size(); ++j) {
+    if (basis.state[j] == lp::VarStatus::kBasic) ++num_basic;
+  }
+  // Repair the basic count. Shortfall (a removed user's basic structural
+  // column vanished): promote the slacks of rows left without a basic —
+  // any slack works, the dual repair sorts out feasibility. Surplus (rows
+  // vanished under a surviving basic structural): demote structurals back
+  // to their lower bound.
+  for (size_t r = 0; num_basic < m_new && r < m_new; ++r) {
+    if (basis.state[n_new + r] != lp::VarStatus::kBasic) {
+      basis.state[n_new + r] = lp::VarStatus::kBasic;
+      ++num_basic;
+    }
+  }
+  for (size_t j = 0; num_basic > m_new && j < n_new; ++j) {
+    if (basis.state[j] == lp::VarStatus::kBasic) {
+      basis.state[j] = lp::VarStatus::kAtLower;
+      --num_basic;
+    }
   }
   for (size_t j = 0; j < basis.state.size(); ++j) {
     if (basis.state[j] == lp::VarStatus::kBasic) {
@@ -132,6 +160,7 @@ struct SanitizerSession::State {
   std::unique_ptr<UmpProblem> problems[kNumObjectives];
   lp::Basis last_basis[kNumObjectives];
   AppendStats append_stats;
+  RemoveStats remove_stats;
   internal::NonConcurrentChecker checker;
   // The support the next F-UMP solve should use (SweepOptions can override
   // it for the duration of a sweep) and the support the cached F-UMP
@@ -175,6 +204,9 @@ const PreprocessStats& SanitizerSession::preprocess_stats() const {
 }
 const AppendStats& SanitizerSession::last_append_stats() const {
   return state_->append_stats;
+}
+const RemoveStats& SanitizerSession::last_remove_stats() const {
+  return state_->remove_stats;
 }
 
 size_t SanitizerSession::ResidentBytes() const {
@@ -300,6 +332,48 @@ Status SanitizerSession::RebuildFromRaw(bool remap_bases) {
   }
   s.last_basis[Index(UtilityObjective::kFrequentPairs)] = {};
   s.RecomputeResidentBase();
+  return Status::OK();
+}
+
+Status SanitizerSession::RemoveUsers(
+    const std::vector<std::string>& user_names) {
+  internal::NonConcurrentScope scope(&state_->checker);
+  WallTimer timer;
+  State& s = *state_;
+  const std::unordered_set<std::string_view> doomed(user_names.begin(),
+                                                    user_names.end());
+  s.remove_stats = {};
+  if (doomed.empty()) return Status::OK();
+
+  // Rebuild the raw log from the survivors, in their original id order so
+  // a from-scratch build of the same survivor set produces the identical
+  // log (the bit-equality contract of the incremental row patch).
+  SearchLogBuilder builder;
+  size_t removed = 0;
+  for (UserId u = 0; u < s.raw.num_users(); ++u) {
+    const std::string& name = s.raw.user_name(u);
+    if (doomed.contains(name)) {
+      ++removed;
+      continue;
+    }
+    builder.DeclareUser(name);
+    for (const PairCount& cell : s.raw.UserLogOf(u)) {
+      builder.Add(name, s.raw.query_name(s.raw.pair_query(cell.pair)),
+                  s.raw.url_name(s.raw.pair_url(cell.pair)), cell.count);
+    }
+  }
+  if (removed == 0) {
+    s.remove_stats.seconds = timer.ElapsedSeconds();
+    return Status::OK();  // idempotent: none of the names are present
+  }
+  s.raw = builder.Build();
+  s.append_stats = {};
+  PRIVSAN_RETURN_IF_ERROR(RebuildFromRaw(/*remap_bases=*/true));
+  s.remove_stats.removed_users = removed;
+  s.remove_stats.rows_copied = s.append_stats.rows_copied;
+  s.remove_stats.rows_rebuilt = s.append_stats.rows_rebuilt;
+  s.append_stats = {};
+  s.remove_stats.seconds = timer.ElapsedSeconds();
   return Status::OK();
 }
 

@@ -94,6 +94,16 @@ struct AppendStats {
   double seconds = 0.0;
 };
 
+// What the last RemoveUsers actually did — the deletion mirror of
+// AppendStats (stream/window.h drives removals continuously, so the serve
+// layer surfaces these per tenant).
+struct RemoveStats {
+  size_t removed_users = 0;    // named users actually present and removed
+  size_t rows_copied = 0;      // DP rows reused from the previous system
+  size_t rows_rebuilt = 0;     // DP rows recomputed (a removed user's pairs)
+  double seconds = 0.0;
+};
+
 // A session's reusable state, detached for snapshot/restore
 // (serve/snapshot.h): the raw and preprocessed logs, the DP rows and the
 // last optimal basis per objective. Restoring skips preprocessing and row
@@ -193,6 +203,20 @@ class SanitizerSession {
 
   // What the most recent AppendUsers did; zeros before the first append.
   const AppendStats& last_append_stats() const;
+
+  // Removes the named users from the session's raw input — the inverse of
+  // AppendUsers. The raw log is shrunk, re-preprocessed (a pair can turn
+  // unique once its other holders leave), the DP rows are patched
+  // incrementally (rows of users holding no pair whose total moved are
+  // copied verbatim — bit-identical to a full rebuild on the shrunk log),
+  // and the stored optimal bases are remapped *down* onto the shrunk model
+  // so the next Solve resumes warm. Names not present are ignored
+  // (deletion is idempotent); removing every user leaves a valid empty
+  // session that Solve rejects until users are appended again.
+  Status RemoveUsers(const std::vector<std::string>& user_names);
+
+  // What the most recent RemoveUsers did; zeros before the first removal.
+  const RemoveStats& last_remove_stats() const;
 
   // Rebuilds the cached solver models that the last AppendUsers
   // invalidated (only objectives that had a built model before the

@@ -336,6 +336,10 @@ void WriteTenantStats(std::ostream& out, const serve::TenantStats& stats) {
   WriteScalar<uint64_t>(out, stats.resident_bytes);
   WriteScalar<uint64_t>(out, stats.fast_lane_hits);
   WriteScalar<uint64_t>(out, stats.admission_rejected);
+  WriteScalar<uint64_t>(out, stats.users_removed);
+  WriteScalar<uint64_t>(out, stats.rows_patched_on_remove);
+  WriteScalar<uint64_t>(out, stats.epsilon_spent_micro);
+  WriteScalar<uint64_t>(out, stats.budget_refusals);
 }
 
 Status ReadTenantStats(std::istream& in, serve::TenantStats* stats) {
@@ -361,6 +365,10 @@ Status ReadTenantStats(std::istream& in, serve::TenantStats* stats) {
   PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &stats->resident_bytes));
   PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &stats->fast_lane_hits));
   PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &stats->admission_rejected));
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &stats->users_removed));
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &stats->rows_patched_on_remove));
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &stats->epsilon_spent_micro));
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &stats->budget_refusals));
   return Status::OK();
 }
 
@@ -412,6 +420,79 @@ Result<serve::SlowLogDump> ReadSlowLogDump(std::istream& in) {
   return dump;
 }
 
+void WriteBudgetStatus(std::ostream& out, const serve::BudgetStatus& budget) {
+  WriteScalar<double>(out, budget.max_epsilon);
+  WriteScalar<double>(out, budget.max_delta);
+  WriteScalar<double>(out, budget.min_remaining_epsilon);
+  WriteString(out, budget.composition);
+  WriteScalar<double>(out, budget.spent_epsilon);
+  WriteScalar<double>(out, budget.spent_delta);
+  WriteScalar<double>(out, budget.remaining_epsilon);
+  WriteScalar<uint8_t>(out, budget.enforced ? 1 : 0);
+  WriteScalar<uint64_t>(out, budget.allocations);
+  WriteScalar<uint64_t>(out, budget.refusals);
+}
+
+Result<serve::BudgetStatus> ReadBudgetStatus(std::istream& in) {
+  serve::BudgetStatus budget;
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &budget.max_epsilon));
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &budget.max_delta));
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &budget.min_remaining_epsilon));
+  PRIVSAN_ASSIGN_OR_RETURN(budget.composition, ReadString(in));
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &budget.spent_epsilon));
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &budget.spent_delta));
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &budget.remaining_epsilon));
+  uint8_t enforced = 0;
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &enforced));
+  budget.enforced = enforced != 0;
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &budget.allocations));
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &budget.refusals));
+  return budget;
+}
+
+// The tenant-scoped stream configuration shipped inside CreateTenant:
+// the budget config then the window policy, fixed-width.
+void WriteStreamConfig(std::ostream& out, const stream::BudgetConfig& budget,
+                       const stream::WindowPolicy& window) {
+  WriteScalar<double>(out, budget.max_epsilon);
+  WriteScalar<double>(out, budget.max_delta);
+  WriteScalar<double>(out, budget.min_remaining_epsilon);
+  WriteScalar<uint8_t>(out, static_cast<uint8_t>(budget.composition));
+  WriteScalar<double>(out, budget.advanced_delta_slack);
+  WriteScalar<uint8_t>(out, static_cast<uint8_t>(window.kind));
+  WriteScalar<uint64_t>(out, window.span);
+}
+
+Status ReadStreamConfig(std::istream& in, stream::BudgetConfig* budget,
+                        stream::WindowPolicy* window) {
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &budget->max_epsilon));
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &budget->max_delta));
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &budget->min_remaining_epsilon));
+  uint8_t composition = 0;
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &composition));
+  if (composition > static_cast<uint8_t>(stream::Composition::kAdvanced)) {
+    return Status::InvalidArgument(
+        "malformed frame payload: unknown composition mode " +
+        std::to_string(composition));
+  }
+  budget->composition = static_cast<stream::Composition>(composition);
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &budget->advanced_delta_slack));
+  uint8_t kind = 0;
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &kind));
+  if (kind > static_cast<uint8_t>(stream::WindowKind::kTumbling)) {
+    return Status::InvalidArgument(
+        "malformed frame payload: unknown window kind " +
+        std::to_string(kind));
+  }
+  window->kind = static_cast<stream::WindowKind>(kind);
+  PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &window->span));
+  return Status::OK();
+}
+
+// A user name on the wire is at least its length prefix, a conservative
+// floor for ReadBoundedCount in RemoveUsers.
+constexpr uint64_t kMinUserNameWireBytes = 4;
+
 // Response payload kinds (the ServePayload variant, by index).
 constexpr uint8_t kPayloadNone = 0;
 constexpr uint8_t kPayloadSolution = 1;
@@ -420,6 +501,7 @@ constexpr uint8_t kPayloadReport = 3;
 constexpr uint8_t kPayloadStats = 4;
 constexpr uint8_t kPayloadMetrics = 5;
 constexpr uint8_t kPayloadSlowLog = 6;
+constexpr uint8_t kPayloadBudget = 7;
 
 }  // namespace
 
@@ -441,6 +523,7 @@ Result<Frame> EncodeRequest(const serve::ServeRequest& request,
     }
     frame.verb = FrameVerb::kCreateTenant;
     serve::WriteSearchLog(out, create->initial);
+    WriteStreamConfig(out, create->budget, create->window);
   } else if (const auto* append =
                  std::get_if<serve::AppendRequest>(&request)) {
     frame.verb = FrameVerb::kAppend;
@@ -489,6 +572,17 @@ Result<Frame> EncodeRequest(const serve::ServeRequest& request,
                  std::get_if<serve::SlowLogRequest>(&request)) {
     frame.verb = FrameVerb::kSlowLog;
     WriteScalar<uint64_t>(out, slowlog->limit);
+  } else if (const auto* remove =
+                 std::get_if<serve::RemoveUsersRequest>(&request)) {
+    frame.verb = FrameVerb::kRemoveUsers;
+    WriteScalar<uint64_t>(out, remove->users.size());
+    for (const std::string& user : remove->users) WriteString(out, user);
+  } else if (const auto* expire =
+                 std::get_if<serve::ExpireWindowRequest>(&request)) {
+    frame.verb = FrameVerb::kExpireWindow;
+    WriteScalar<uint64_t>(out, expire->cutoff);
+  } else if (std::get_if<serve::BudgetStatusRequest>(&request) != nullptr) {
+    frame.verb = FrameVerb::kBudgetStatus;
   } else {
     return Status::Internal("unhandled serve request alternative");
   }
@@ -515,8 +609,11 @@ Result<serve::ServeRequest> DecodeRequest(const Frame& frame) {
   switch (frame.verb) {
     case FrameVerb::kCreateTenant: {
       PRIVSAN_ASSIGN_OR_RETURN(SearchLog initial, serve::ReadSearchLog(in));
-      request = serve::CreateTenantRequest{std::move(tenant),
-                                           std::move(initial), std::nullopt};
+      serve::CreateTenantRequest create{std::move(tenant),
+                                        std::move(initial), std::nullopt};
+      PRIVSAN_RETURN_IF_ERROR(
+          ReadStreamConfig(in, &create.budget, &create.window));
+      request = std::move(create);
       break;
     }
     case FrameVerb::kAppend: {
@@ -592,6 +689,28 @@ Result<serve::ServeRequest> DecodeRequest(const Frame& frame) {
       request = std::move(slowlog);
       break;
     }
+    case FrameVerb::kRemoveUsers: {
+      PRIVSAN_ASSIGN_OR_RETURN(uint64_t n,
+                               ReadBoundedCount(in, kMinUserNameWireBytes));
+      std::vector<std::string> users;
+      users.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        PRIVSAN_ASSIGN_OR_RETURN(std::string user, ReadString(in));
+        users.push_back(std::move(user));
+      }
+      request = serve::RemoveUsersRequest{std::move(tenant),
+                                          std::move(users)};
+      break;
+    }
+    case FrameVerb::kExpireWindow: {
+      uint64_t cutoff = 0;
+      PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &cutoff));
+      request = serve::ExpireWindowRequest{std::move(tenant), cutoff};
+      break;
+    }
+    case FrameVerb::kBudgetStatus:
+      request = serve::BudgetStatusRequest{std::move(tenant)};
+      break;
     case FrameVerb::kResponse:
       return Status::Internal("unreachable");
   }
@@ -628,6 +747,9 @@ Frame EncodeResponse(const serve::ServeResponse& response,
   } else if (const serve::SlowLogDump* slowlog = response.slow_log()) {
     WriteScalar<uint8_t>(out, kPayloadSlowLog);
     WriteSlowLogDump(out, *slowlog);
+  } else if (const serve::BudgetStatus* budget = response.budget()) {
+    WriteScalar<uint8_t>(out, kPayloadBudget);
+    WriteBudgetStatus(out, *budget);
   } else {
     WriteScalar<uint8_t>(out, kPayloadNone);
   }
@@ -654,7 +776,7 @@ Result<serve::ServeResponse> DecodeResponse(const Frame& frame) {
     return Status::InvalidArgument("expected a response frame, got " +
                                    std::string(FrameVerbName(frame.verb)));
   }
-  if (frame.status > static_cast<uint16_t>(StatusCode::kUnbounded)) {
+  if (frame.status > static_cast<uint16_t>(StatusCode::kBudgetExhausted)) {
     return Status::InvalidArgument(
         "malformed response frame: unknown status code " +
         std::to_string(frame.status));
@@ -701,6 +823,12 @@ Result<serve::ServeResponse> DecodeResponse(const Frame& frame) {
     case kPayloadSlowLog: {
       PRIVSAN_ASSIGN_OR_RETURN(serve::SlowLogDump dump, ReadSlowLogDump(in));
       response.payload = std::move(dump);
+      break;
+    }
+    case kPayloadBudget: {
+      PRIVSAN_ASSIGN_OR_RETURN(serve::BudgetStatus budget,
+                               ReadBudgetStatus(in));
+      response.payload = std::move(budget);
       break;
     }
     default:

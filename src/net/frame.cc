@@ -50,6 +50,12 @@ const char* FrameVerbName(FrameVerb verb) {
       return "Metrics";
     case FrameVerb::kSlowLog:
       return "SlowLog";
+    case FrameVerb::kRemoveUsers:
+      return "RemoveUsers";
+    case FrameVerb::kExpireWindow:
+      return "ExpireWindow";
+    case FrameVerb::kBudgetStatus:
+      return "BudgetStatus";
   }
   return "Unknown";
 }

@@ -65,8 +65,12 @@ enum class FrameVerb : uint8_t {
   // wire is empty, and the service answers inline without queueing.
   kMetrics = 11,
   kSlowLog = 12,
+  // Streaming lifecycle verbs (PR 10): deletion, window expiry, budget.
+  kRemoveUsers = 13,
+  kExpireWindow = 14,
+  kBudgetStatus = 15,
 };
-constexpr uint8_t kMaxFrameVerb = 12;
+constexpr uint8_t kMaxFrameVerb = 15;
 
 const char* FrameVerbName(FrameVerb verb);
 

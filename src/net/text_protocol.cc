@@ -53,7 +53,11 @@ std::string FormatStats(const serve::TenantStats& stats) {
       << " evictions=" << stats.evictions << " reloads=" << stats.reloads
       << " fast_lane_hits=" << stats.fast_lane_hits
       << " admission_rejected=" << stats.admission_rejected
-      << " resident_bytes=" << stats.resident_bytes;
+      << " resident_bytes=" << stats.resident_bytes
+      << " users_removed=" << stats.users_removed
+      << " rows_patched_on_remove=" << stats.rows_patched_on_remove
+      << " epsilon_spent_micro=" << stats.epsilon_spent_micro
+      << " budget_refusals=" << stats.budget_refusals;
   return out.str();
 }
 
@@ -179,8 +183,106 @@ bool TextProtocol::Handle(const std::string& line, Done done) {
   };
 
   if (command == "CREATE") {
-    ack(serve::CreateTenantRequest{tenant, SearchLog(), std::nullopt},
-        "OK created " + tenant);
+    serve::CreateTenantRequest create{tenant, SearchLog(), std::nullopt};
+    // Optional stream configuration:
+    //   CREATE <tenant> [<max_eps> <max_delta> <floor> <basic|advanced>
+    //                    [<sliding|tumbling> <span_secs>]]
+    std::string composition;
+    if (in >> create.budget.max_epsilon >> create.budget.max_delta >>
+        create.budget.min_remaining_epsilon >> composition) {
+      Result<stream::Composition> mode =
+          stream::CompositionFromString(composition);
+      if (!mode.ok()) {
+        done(ErrLine(mode.status()));
+        return true;
+      }
+      create.budget.composition = *mode;
+      std::string kind;
+      if (in >> kind >> create.window.span) {
+        Result<stream::WindowKind> window_kind =
+            stream::WindowKindFromString(kind);
+        if (!window_kind.ok()) {
+          done(ErrLine(window_kind.status()));
+          return true;
+        }
+        create.window.kind = *window_kind;
+      }
+    }
+    ack(std::move(create), "OK created " + tenant);
+  } else if (command == "REMOVE") {
+    std::vector<std::string> users;
+    std::string user;
+    while (in >> user) users.push_back(std::move(user));
+    if (users.empty()) {
+      done("ERR usage: REMOVE <tenant> <user...>");
+    } else {
+      // Remove + Stats on the same tenant queue: the counters reflect
+      // exactly this removal.
+      std::vector<serve::ServeRequest> requests;
+      requests.push_back(
+          serve::RemoveUsersRequest{tenant, std::move(users)});
+      requests.push_back(serve::StatsRequest{tenant});
+      SubmitMany(
+          std::move(requests),
+          [](auto& responses) -> std::string {
+            if (!responses[0].ok()) return ErrLine(responses[0].status);
+            if (!responses[1].ok()) return ErrLine(responses[1].status);
+            const serve::TenantStats& stats = *responses[1].stats();
+            std::ostringstream out;
+            out << "OK users_removed=" << stats.users_removed
+                << " rows_copied=" << stats.rows_copied
+                << " rows_rebuilt=" << stats.rows_rebuilt;
+            return out.str();
+          },
+          std::move(done));
+    }
+  } else if (command == "EXPIRE") {
+    uint64_t cutoff = 0;
+    if (!(in >> cutoff)) {
+      done("ERR usage: EXPIRE <tenant> <cutoff_secs>");
+    } else {
+      std::vector<serve::ServeRequest> requests;
+      requests.push_back(serve::ExpireWindowRequest{tenant, cutoff});
+      requests.push_back(serve::StatsRequest{tenant});
+      SubmitMany(
+          std::move(requests),
+          [](auto& responses) -> std::string {
+            if (!responses[0].ok()) return ErrLine(responses[0].status);
+            if (!responses[1].ok()) return ErrLine(responses[1].status);
+            const serve::TenantStats& stats = *responses[1].stats();
+            std::ostringstream out;
+            out << "OK users_removed=" << stats.users_removed
+                << " rows_copied=" << stats.rows_copied
+                << " rows_rebuilt=" << stats.rows_rebuilt;
+            return out.str();
+          },
+          std::move(done));
+    }
+  } else if (command == "BUDGET") {
+    std::vector<serve::ServeRequest> requests;
+    requests.push_back(serve::BudgetStatusRequest{tenant});
+    SubmitMany(
+        std::move(requests),
+        [](auto& responses) -> std::string {
+          if (!responses[0].ok()) return ErrLine(responses[0].status);
+          const serve::BudgetStatus* budget = responses[0].budget();
+          if (budget == nullptr) {
+            return ErrLine(
+                Status::Internal("BudgetStatus returned no payload"));
+          }
+          std::ostringstream out;
+          out << "OK enforced=" << (budget->enforced ? 1 : 0)
+              << " composition=" << budget->composition
+              << " max_epsilon=" << budget->max_epsilon
+              << " spent_epsilon=" << budget->spent_epsilon
+              << " remaining_epsilon=" << budget->remaining_epsilon
+              << " spent_delta=" << budget->spent_delta
+              << " floor=" << budget->min_remaining_epsilon
+              << " allocations=" << budget->allocations
+              << " refusals=" << budget->refusals;
+          return out.str();
+        },
+        std::move(done));
   } else if (command == "GEN") {
     uint64_t users = 0, events = 0, seed = 0;
     if (!(in >> users >> events >> seed)) {

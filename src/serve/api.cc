@@ -22,6 +22,9 @@ const char* RequestName(const ServeRequest& request) {
     const char* operator()(const DropTenantRequest&) { return "DropTenant"; }
     const char* operator()(const MetricsRequest&) { return "Metrics"; }
     const char* operator()(const SlowLogRequest&) { return "SlowLog"; }
+    const char* operator()(const RemoveUsersRequest&) { return "RemoveUsers"; }
+    const char* operator()(const ExpireWindowRequest&) { return "ExpireWindow"; }
+    const char* operator()(const BudgetStatusRequest&) { return "BudgetStatus"; }
   };
   return std::visit(Namer{}, request);
 }

@@ -37,6 +37,8 @@
 #include "core/ump.h"
 #include "log/search_log.h"
 #include "obs/slow_log.h"
+#include "stream/accountant.h"
+#include "stream/window.h"
 #include "util/result.h"
 
 namespace privsan {
@@ -45,10 +47,15 @@ namespace serve {
 // --- Requests --------------------------------------------------------------
 
 // `options` overrides ServiceOptions::session for this tenant only.
+// `budget` and `window` configure the tenant's privacy accountant and
+// retention window (both default-inactive; plain wire-encodable values,
+// unlike the local-only `options` override).
 struct CreateTenantRequest {
   std::string tenant;
   SearchLog initial;
   std::optional<SessionOptions> options;
+  stream::BudgetConfig budget;
+  stream::WindowPolicy window;
 };
 
 // Enqueues user logs; they coalesce into one incremental AppendUsers at the
@@ -119,11 +126,38 @@ struct SlowLogRequest {
   uint64_t limit = 0;
 };
 
+// Streaming-lifecycle verbs (stream/window.h, stream/accountant.h).
+
+// Removes the named users from the tenant's log — the inverse of Append.
+// Queued appends are flushed first so the removal sees every prior append
+// in FIFO order; the DP rows are patched incrementally and the warm basis
+// is remapped down (core/session.h RemoveUsers).
+struct RemoveUsersRequest {
+  std::string tenant;
+  std::vector<std::string> users;
+};
+
+// Removes every user whose last-seen timestamp is older than `cutoff`
+// (explicit retention; the maintenance thread applies the tenant's
+// WindowPolicy continuously on its own).
+struct ExpireWindowRequest {
+  std::string tenant;
+  uint64_t cutoff = 0;
+};
+
+// Reads the tenant's privacy-budget accountant (cheap, read-only).
+struct BudgetStatusRequest {
+  std::string tenant;
+};
+
+// New verbs append at the end: the variant index is the wire protocol's
+// frame verb byte (net/frame.h) and the metrics verb-table index.
 using ServeRequest =
     std::variant<CreateTenantRequest, AppendRequest, FlushRequest,
                  SolveRequest, SweepRequest, SanitizeRequest, StatsRequest,
                  SaveSnapshotRequest, RestoreTenantRequest, DropTenantRequest,
-                 MetricsRequest, SlowLogRequest>;
+                 MetricsRequest, SlowLogRequest, RemoveUsersRequest,
+                 ExpireWindowRequest, BudgetStatusRequest>;
 
 // The tenant a request addresses (empty for the tenant-less observability
 // verbs Metrics and SlowLog).
@@ -188,6 +222,17 @@ struct TenantStats {
   // evicted. The sum across tenants is what the maintenance thread holds
   // under ServiceOptions::memory_budget_bytes.
   uint64_t resident_bytes = 0;
+  // Streaming lifecycle (RemoveUsers / ExpireWindow, plus window expiry
+  // driven by the maintenance thread): users removed from the log, and DP
+  // rows the removal path reused instead of recomputing.
+  uint64_t users_removed = 0;
+  uint64_t rows_patched_on_remove = 0;
+  // Privacy accountant: cumulative ε spend under the tenant's composition
+  // in micro-ε (uint64 so the Prometheus export table stays uniform —
+  // 1500000 means ε = 1.5; full-precision doubles come from BUDGET), and
+  // charges refused with kBudgetExhausted.
+  uint64_t epsilon_spent_micro = 0;
+  uint64_t budget_refusals = 0;
 };
 
 // Metrics scrape payload: the registry rendered as Prometheus text.
@@ -203,9 +248,25 @@ struct SlowLogDump {
   double threshold_ms = 0;
 };
 
+// BudgetStatus payload: the accountant's position, full precision.
+// remaining_epsilon is +inf (and enforced is false) for an unlimited
+// tenant; spent figures are still reported.
+struct BudgetStatus {
+  double max_epsilon = 0.0;
+  double max_delta = 0.0;
+  double min_remaining_epsilon = 0.0;
+  std::string composition;  // "basic" | "advanced"
+  double spent_epsilon = 0.0;
+  double spent_delta = 0.0;
+  double remaining_epsilon = 0.0;
+  bool enforced = false;
+  uint64_t allocations = 0;
+  uint64_t refusals = 0;
+};
+
 using ServePayload =
     std::variant<std::monostate, UmpSolution, SweepResult, SanitizeReport,
-                 TenantStats, MetricsText, SlowLogDump>;
+                 TenantStats, MetricsText, SlowLogDump, BudgetStatus>;
 
 struct ServeResponse {
   Status status;
@@ -232,6 +293,9 @@ struct ServeResponse {
   }
   const SlowLogDump* slow_log() const {
     return std::get_if<SlowLogDump>(&payload);
+  }
+  const BudgetStatus* budget() const {
+    return std::get_if<BudgetStatus>(&payload);
   }
 };
 

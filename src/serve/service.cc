@@ -21,6 +21,26 @@ double ElapsedMs(std::chrono::steady_clock::time_point since) {
       .count();
 }
 
+uint64_t UnixMicrosNow() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t UnixSecondsNow() { return UnixMicrosNow() / 1000000; }
+
+// The retention cutoff the tenant's window policy implies at `now`:
+// sliding windows keep the trailing `span` seconds, tumbling windows
+// keep the current pane. 0 (nothing expires) when the policy is off.
+uint64_t PolicyCutoff(const stream::WindowPolicy& policy, uint64_t now) {
+  if (!policy.active()) return 0;
+  if (policy.kind == stream::WindowKind::kSliding) {
+    return now > policy.span ? now - policy.span : 0;
+  }
+  return (now / policy.span) * policy.span;  // tumbling pane start
+}
+
 // Canonical cache key: the exact solver inputs that pick a solution on a
 // fixed log state. Doubles are keyed by their bit patterns — two budgets
 // are "the same query" only when they are bitwise equal.
@@ -458,7 +478,14 @@ Status SanitizerService::FlushLocked(Tenant& tenant,
     std::lock_guard<std::mutex> lock(tenant.cmu);
     tenant.fast_has_pending = false;
   }
-  PRIVSAN_RETURN_IF_ERROR(tenant.session->AppendUsers(builder.Build()));
+  const SearchLog batch = builder.Build();
+  // Feed the retention window before the append lands: every user in this
+  // flush was active "now", whether new or re-appearing.
+  const uint64_t now_secs = UnixSecondsNow();
+  for (UserId u = 0; u < batch.num_users(); ++u) {
+    tenant.window.Observe(batch.user_name(u), now_secs);
+  }
+  PRIVSAN_RETURN_IF_ERROR(tenant.session->AppendUsers(batch));
   {
     std::lock_guard<std::mutex> lock(tenant.cmu);
     ++tenant.stats.flushes;
@@ -529,7 +556,9 @@ ServeResponse SanitizerService::Execute(Tenant& tenant, ServeRequest& request,
       if (options_.refresh_hot_query_after_flush &&
           tenant.last_solve_query.has_value()) {
         const auto [objective, query] = *tenant.last_solve_query;
-        if (ExecuteSolve(tenant, objective, query, nullptr).ok()) {
+        if (ExecuteSolve(tenant, objective, query, nullptr,
+                         /*charge=*/false)
+                .ok()) {
           std::lock_guard<std::mutex> lock(tenant.cmu);
           ++tenant.stats.refresh_solves;
         }
@@ -558,6 +587,16 @@ ServeResponse SanitizerService::Execute(Tenant& tenant, ServeRequest& request,
     if (Status live = EnsureLive(tenant); !live.ok()) return {live, {}};
     if (Status flushed = FlushLocked(tenant, trace); !flushed.ok()) {
       return {flushed, {}};
+    }
+    // Every grid cell is its own release: bill each before solving. A
+    // refusal mid-grid keeps the earlier charges (conservative — the
+    // accountant never undercounts) and solves nothing.
+    for (const UmpQuery& cell : sweep->grid) {
+      if (Status billed = ChargeBudget(tenant, cell.privacy.epsilon,
+                                       cell.privacy.delta, "Sweep");
+          !billed.ok()) {
+        return {billed, {}};
+      }
     }
     const auto solve_start = std::chrono::steady_clock::now();
     Result<SweepResult> result = tenant.session->SweepBudgets(
@@ -598,6 +637,11 @@ ServeResponse SanitizerService::Execute(Tenant& tenant, ServeRequest& request,
     if (Status flushed = FlushLocked(tenant, trace); !flushed.ok()) {
       return {flushed, {}};
     }
+    if (Status billed = ChargeBudget(tenant, sanitize->privacy.epsilon,
+                                     sanitize->privacy.delta, "Sanitize");
+        !billed.ok()) {
+      return {billed, {}};
+    }
     const auto solve_start = std::chrono::steady_clock::now();
     Result<SanitizeReport> report =
         tenant.session->Sanitize(sanitize->privacy);
@@ -626,7 +670,9 @@ ServeResponse SanitizerService::Execute(Tenant& tenant, ServeRequest& request,
     if (Status flushed = FlushLocked(tenant, trace); !flushed.ok()) {
       return {flushed, {}};
     }
-    return {serve::SaveSnapshot(*tenant.session, save->path), {}};
+    const TenantStreamState stream_state{tenant.accountant, tenant.window};
+    return {serve::SaveSnapshot(*tenant.session, save->path, &stream_state),
+            {}};
   }
 
   if (std::get_if<DropTenantRequest>(&request) != nullptr) {
@@ -651,13 +697,89 @@ ServeResponse SanitizerService::Execute(Tenant& tenant, ServeRequest& request,
     return {manager_.Remove(tenant.name), {}};
   }
 
+  if (auto* remove = std::get_if<RemoveUsersRequest>(&request)) {
+    if (Status live = EnsureLive(tenant); !live.ok()) return {live, {}};
+    return {ExecuteRemove(tenant, remove->users, trace), {}};
+  }
+
+  if (auto* expire = std::get_if<ExpireWindowRequest>(&request)) {
+    if (Status live = EnsureLive(tenant); !live.ok()) return {live, {}};
+    // Land queued appends first so a user whose last activity is still in
+    // the pending queue is observed before the expiry decision.
+    if (Status flushed = FlushLocked(tenant, trace); !flushed.ok()) {
+      return {flushed, {}};
+    }
+    const std::vector<std::string> expired =
+        tenant.window.ExpiredBefore(expire->cutoff);
+    if (expired.empty()) return {Status::OK(), {}};
+    return {ExecuteRemove(tenant, expired, trace), {}};
+  }
+
+  if (std::get_if<BudgetStatusRequest>(&request) != nullptr) {
+    // The accountant lives on the Tenant, not the session: a budget probe
+    // answers while evicted and never defeats the memory budget.
+    if (Status gate = CheckLifecycle(tenant); !gate.ok()) return {gate, {}};
+    const stream::PrivacyAccountant& acct = tenant.accountant;
+    BudgetStatus status;
+    status.max_epsilon = acct.config().max_epsilon;
+    status.max_delta = acct.config().max_delta;
+    status.min_remaining_epsilon = acct.config().min_remaining_epsilon;
+    status.composition =
+        stream::CompositionToString(acct.config().composition);
+    status.spent_epsilon = acct.SpentEpsilon();
+    status.spent_delta = acct.SpentDelta();
+    status.remaining_epsilon = acct.RemainingEpsilon();
+    status.enforced = acct.enforced();
+    status.allocations = acct.history().size();
+    status.refusals = acct.refusals();
+    return {Status::OK(), std::move(status)};
+  }
+
   return {Status::Internal("unhandled serve request"), {}};
+}
+
+Status SanitizerService::ExecuteRemove(Tenant& tenant,
+                                       const std::vector<std::string>& users,
+                                       obs::RequestTrace* trace) {
+  // Land queued appends first: RemoveUsers must see the union the client
+  // sees, and a removed user's queued rows must not resurrect it later.
+  PRIVSAN_RETURN_IF_ERROR(FlushLocked(tenant, trace));
+  const auto remove_start = std::chrono::steady_clock::now();
+  PRIVSAN_RETURN_IF_ERROR(tenant.session->RemoveUsers(users));
+  if (trace != nullptr) trace->solve_ms += ElapsedMs(remove_start);
+  const RemoveStats& rs = tenant.session->last_remove_stats();
+  tenant.window.Forget(users);
+  {
+    std::lock_guard<std::mutex> lock(tenant.cmu);
+    tenant.stats.users_removed += rs.removed_users;
+    tenant.stats.rows_patched_on_remove += rs.rows_copied;
+    tenant.stats.rows_copied = rs.rows_copied;
+    tenant.stats.rows_rebuilt = rs.rows_rebuilt;
+  }
+  // The log shrank: every cached solution is stale.
+  InvalidateCache(tenant);
+  RefreshResidentBytes(tenant);
+  return Status::OK();
+}
+
+Status SanitizerService::ChargeBudget(Tenant& tenant, double epsilon,
+                                      double delta, const char* verb) {
+  Status charged =
+      tenant.accountant.Charge(epsilon, delta, verb, UnixMicrosNow());
+  {
+    std::lock_guard<std::mutex> lock(tenant.cmu);
+    tenant.stats.epsilon_spent_micro = static_cast<uint64_t>(
+        tenant.accountant.SpentEpsilon() * 1e6 + 0.5);
+    tenant.stats.budget_refusals = tenant.accountant.refusals();
+  }
+  return charged;
 }
 
 ServeResponse SanitizerService::ExecuteSolve(Tenant& tenant,
                                              UtilityObjective objective,
                                              const UmpQuery& query,
-                                             obs::RequestTrace* trace) {
+                                             obs::RequestTrace* trace,
+                                             bool charge) {
   const bool cache_enabled = options_.result_cache_capacity > 0;
   std::string key;
   if (cache_enabled) {
@@ -668,9 +790,19 @@ ServeResponse SanitizerService::ExecuteSolve(Tenant& tenant,
     if (trace != nullptr) trace->cache_ms += ElapsedMs(cache_start);
     if (it != tenant.cache.end()) {
       ++tenant.stats.cache_hits;
+      // A hit re-serves an answer already paid for — no new charge.
       return {Status::OK(), it->second};
     }
     ++tenant.stats.cache_misses;
+  }
+  // Bill the accountant before solving (accounting precedes release;
+  // a failed solve overcounts conservatively, never undercounts).
+  if (charge) {
+    if (Status billed = ChargeBudget(tenant, query.privacy.epsilon,
+                                     query.privacy.delta, "Solve");
+        !billed.ok()) {
+      return {billed, {}};
+    }
   }
   const auto solve_start = std::chrono::steady_clock::now();
   Result<UmpSolution> solution = tenant.session->Solve(objective, query);
@@ -737,6 +869,13 @@ ServeResponse SanitizerService::ExecuteCreate(Tenant& tenant,
     return {session.status(), {}};
   }
   tenant.session = std::make_unique<SanitizerSession>(std::move(*session));
+  tenant.accountant = stream::PrivacyAccountant(request.budget);
+  tenant.window = stream::WindowState(request.window);
+  // Users shipped in the initial log were active "now" for retention.
+  const uint64_t now_secs = UnixSecondsNow();
+  for (UserId u = 0; u < request.initial.num_users(); ++u) {
+    tenant.window.Observe(request.initial.user_name(u), now_secs);
+  }
   {
     std::lock_guard<std::mutex> lock(tenant.cmu);
     tenant.fast_ready = true;
@@ -754,14 +893,25 @@ ServeResponse SanitizerService::ExecuteRestore(Tenant& tenant,
   tenant.initialized = true;
   tenant.session_options =
       WithPool(request.options.value_or(options_.session));
+  TenantStreamState stream_state;
   Result<SanitizerSession> session =
-      RestoreSession(request.path, tenant.session_options);
+      RestoreSession(request.path, tenant.session_options, &stream_state);
   if (!session.ok()) {
     tenant.init_error = session.status();
     (void)manager_.Remove(tenant.name);
     return {session.status(), {}};
   }
   tenant.session = std::make_unique<SanitizerSession>(std::move(*session));
+  // A restored/migrated tenant resumes with its budget spend and window
+  // intact (v1 snapshots restore with a fresh, unenforced accountant).
+  tenant.accountant = std::move(stream_state.accountant);
+  tenant.window = std::move(stream_state.window);
+  {
+    std::lock_guard<std::mutex> lock(tenant.cmu);
+    tenant.stats.epsilon_spent_micro = static_cast<uint64_t>(
+        tenant.accountant.SpentEpsilon() * 1e6 + 0.5);
+    tenant.stats.budget_refusals = tenant.accountant.refusals();
+  }
   {
     std::lock_guard<std::mutex> lock(tenant.cmu);
     tenant.fast_ready = true;
@@ -778,7 +928,8 @@ namespace {
 constexpr const char* kVerbNames[] = {
     "CreateTenant", "Append",       "Flush",      "Solve",
     "Sweep",        "Sanitize",     "Stats",      "SaveSnapshot",
-    "RestoreTenant", "DropTenant",  "Metrics",    "SlowLog"};
+    "RestoreTenant", "DropTenant",  "Metrics",    "SlowLog",
+    "RemoveUsers",  "ExpireWindow", "BudgetStatus"};
 static_assert(std::variant_size_v<ServeRequest> ==
               sizeof(kVerbNames) / sizeof(kVerbNames[0]));
 
@@ -850,6 +1001,18 @@ constexpr TenantStatField kTenantStatFields[] = {
     {"privsan_tenant_resident_bytes",
      "Estimated resident footprint (session + caches); 0 while evicted",
      "gauge", &TenantStats::resident_bytes},
+    {"privsan_tenant_users_removed_total",
+     "Users removed by RemoveUsers and window expiry", "counter",
+     &TenantStats::users_removed},
+    {"privsan_tenant_rows_patched_on_remove_total",
+     "DP rows copied unchanged across removals (patched, not rebuilt)",
+     "counter", &TenantStats::rows_patched_on_remove},
+    {"privsan_tenant_epsilon_spent_micro",
+     "Cumulative composed epsilon spend, in micro-epsilon", "gauge",
+     &TenantStats::epsilon_spent_micro},
+    {"privsan_tenant_budget_refusals_total",
+     "Requests refused because the privacy budget was exhausted", "counter",
+     &TenantStats::budget_refusals},
 };
 
 }  // namespace
@@ -990,6 +1153,8 @@ void SanitizerService::MaintenanceTick() {
   uint64_t total_resident = 0;
   for (const std::shared_ptr<Tenant>& tenant : tenants) {
     bool want_flush = false;
+    uint64_t expire_cutoff = 0;
+    bool want_expire = false;
     {
       // Never wait behind a running solve; a busy tenant flushes itself
       // (pre-solve) or is revisited next tick.
@@ -1003,19 +1168,38 @@ void SanitizerService::MaintenanceTick() {
         want_flush = tenant->pending.size() >= options_.flush_queue_depth ||
                      now - tenant->oldest_pending >= max_age;
       }
+      // Drive the retention window: when the policy says users have aged
+      // out, queue an expiry job (which flushes, removes, and re-warms via
+      // the normal heavy-lane path). Only for healthy, non-dropped
+      // tenants — expiry must not resurrect or reload anything by itself.
+      if (!want_flush && tenant->window.policy().active() &&
+          tenant->initialized && !tenant->dropped &&
+          tenant->init_error.ok()) {
+        expire_cutoff =
+            PolicyCutoff(tenant->window.policy(), UnixSecondsNow());
+        want_expire =
+            !tenant->window.ExpiredBefore(expire_cutoff).empty();
+      }
     }
-    if (!want_flush) continue;
+    if (!want_flush && !want_expire) continue;
     bool schedule = false;
     {
       std::lock_guard<std::mutex> lock(tenant->qmu);
+      // flush_scheduled doubles as the "one maintenance job in flight"
+      // latch for both flush and expiry; DrainQueue resets it.
       if (!tenant->flush_scheduled) {
         tenant->flush_scheduled = true;
         schedule = true;
       }
     }
     if (schedule) {
-      Enqueue(tenant, FlushRequest{tenant->name}, /*maintenance=*/true,
-              nullptr);
+      if (want_flush) {
+        Enqueue(tenant, FlushRequest{tenant->name}, /*maintenance=*/true,
+                nullptr);
+      } else {
+        Enqueue(tenant, ExpireWindowRequest{tenant->name, expire_cutoff},
+                /*maintenance=*/true, nullptr);
+      }
     }
   }
 
@@ -1061,7 +1245,13 @@ uint64_t SanitizerService::TryEvict(const std::shared_ptr<Tenant>& tenant) {
     if (tenant->session != nullptr && !tenant->dropped &&
         tenant->pending.empty()) {
       const std::string path = SpillPath(tenant->name);
-      if (serve::SaveSnapshot(*tenant->session, path).ok()) {
+      // Spill the stream state too: the spill doubles as a crash artifact,
+      // and a RESTORE from it must preserve the budget position. On the
+      // transparent reload path the in-memory accountant/window stay
+      // authoritative (EnsureLive discards the stored sections).
+      const TenantStreamState stream_state{tenant->accountant,
+                                           tenant->window};
+      if (serve::SaveSnapshot(*tenant->session, path, &stream_state).ok()) {
         tenant->session.reset();
         tenant->evicted = true;
         tenant->spill_path = path;
@@ -1171,6 +1361,25 @@ Result<TenantStats> SanitizerService::Stats(const std::string& tenant) {
     return *stats;
   }
   return Status::Internal("Stats returned no stats payload");
+}
+
+Status SanitizerService::RemoveUsers(const std::string& tenant,
+                                     std::vector<std::string> users) {
+  return Submit(RemoveUsersRequest{tenant, std::move(users)}).get().status;
+}
+
+Status SanitizerService::ExpireWindow(const std::string& tenant,
+                                      uint64_t cutoff) {
+  return Submit(ExpireWindowRequest{tenant, cutoff}).get().status;
+}
+
+Result<BudgetStatus> SanitizerService::Budget(const std::string& tenant) {
+  ServeResponse response = Submit(BudgetStatusRequest{tenant}).get();
+  PRIVSAN_RETURN_IF_ERROR(response.status);
+  if (auto* budget = std::get_if<BudgetStatus>(&response.payload)) {
+    return std::move(*budget);
+  }
+  return Status::Internal("BudgetStatus returned no budget payload");
 }
 
 Status SanitizerService::SaveSnapshot(const std::string& tenant,

@@ -166,6 +166,13 @@ class SanitizerService {
 
   Result<TenantStats> Stats(const std::string& tenant);
 
+  // Streaming lifecycle (stream/): remove named users, expire the
+  // retention window at an explicit cutoff, read the budget accountant.
+  Status RemoveUsers(const std::string& tenant,
+                     std::vector<std::string> users);
+  Status ExpireWindow(const std::string& tenant, uint64_t cutoff);
+  Result<BudgetStatus> Budget(const std::string& tenant);
+
   Status SaveSnapshot(const std::string& tenant, const std::string& path);
   Status RestoreTenant(const std::string& tenant, const std::string& path);
   Status RestoreTenant(const std::string& tenant, const std::string& path,
@@ -208,11 +215,23 @@ class SanitizerService {
   ServeResponse Execute(Tenant& tenant, ServeRequest& request,
                         bool maintenance, obs::RequestTrace* trace);
   // The shared solve path (cache lookup, session solve, cache fill); used
-  // by SolveRequest execution and hot-query refresh.
+  // by SolveRequest execution and hot-query refresh. `charge` bills the
+  // tenant's privacy accountant on a cache miss (client solves); the
+  // background hot-query refresh passes false — it re-derives an answer
+  // the tenant already paid for.
   ServeResponse ExecuteSolve(Tenant& tenant, UtilityObjective objective,
-                             const UmpQuery& query, obs::RequestTrace* trace);
+                             const UmpQuery& query, obs::RequestTrace* trace,
+                             bool charge = true);
   ServeResponse ExecuteCreate(Tenant& tenant, CreateTenantRequest& request);
   ServeResponse ExecuteRestore(Tenant& tenant, RestoreTenantRequest& request);
+  // Shared removal path (RemoveUsers, ExpireWindow, maintenance window
+  // expiry): flush, session->RemoveUsers, stats/window/cache upkeep.
+  Status ExecuteRemove(Tenant& tenant, const std::vector<std::string>& users,
+                       obs::RequestTrace* trace);
+  // Charges (ε, δ) on the tenant's accountant; mirrors the accountant
+  // position into TenantStats. Returns kBudgetExhausted on refusal.
+  Status ChargeBudget(Tenant& tenant, double epsilon, double delta,
+                      const char* verb);
   // Reloads an evicted session from its spill snapshot; checks lifecycle.
   Status EnsureLive(Tenant& tenant);
   // Drains the pending-append queue of a locked tenant; flush wall time

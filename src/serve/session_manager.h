@@ -109,6 +109,13 @@ struct Tenant {
   // The most recent Solve's inputs — what a background flush re-solves
   // (hot-query refresh) so the repair work lands off the query path.
   std::optional<std::pair<UtilityObjective, UmpQuery>> last_solve_query;
+  // Streaming lifecycle state (stream/): the (ε, δ) accountant charged on
+  // every non-cached Solve/Sweep/Sanitize, and the retention window fed by
+  // flushes and drained by the maintenance thread. Mutated only by heavy
+  // jobs under `mu`; serialized into tenant snapshots (spill + SNAPSHOT)
+  // so both survive eviction, restore and router migration.
+  stream::PrivacyAccountant accountant;
+  stream::WindowState window;
 
   // --- Read-mostly state, guarded by `cmu` -------------------------------
   // The leaf lock of the tenant (acquired alone, or briefly inside `mu`,

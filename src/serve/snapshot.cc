@@ -28,7 +28,10 @@ using binary_io::WriteString;
 // versioned header ("PSANSNP" + 0x01), so version-1 files written by older
 // builds still read.
 constexpr char kMagic[7] = {'P', 'S', 'A', 'N', 'S', 'N', 'P'};
-constexpr uint8_t kSnapshotVersion = 1;
+// v1: logs, DP rows, bases. v2 appends the stream-lifecycle sections
+// (privacy accountant + retention window); readers accept both.
+constexpr uint8_t kSnapshotVersionV1 = 1;
+constexpr uint8_t kSnapshotVersion = 2;
 // Cap on element counts read from disk, so a corrupted length field fails
 // with IoError instead of attempting a multi-gigabyte allocation. Full
 // scale is ~10^5 users and ~10^6 tuples; 2^26 leaves two orders of
@@ -146,7 +149,8 @@ Result<DpConstraintSystem> ReadSystem(std::istream& in, uint64_t num_users) {
 
 }  // namespace
 
-Status WriteSnapshot(std::ostream& out, const SessionSnapshot& snapshot) {
+Status WriteSnapshot(std::ostream& out, const SessionSnapshot& snapshot,
+                     const TenantStreamState* stream_state) {
   out.write(kMagic, sizeof(kMagic));
   WriteScalar<uint8_t>(out, kSnapshotVersion);
   WriteSearchLog(out, snapshot.raw);
@@ -161,11 +165,19 @@ Status WriteSnapshot(std::ostream& out, const SessionSnapshot& snapshot) {
   for (const lp::Basis& basis : snapshot.bases) {
     lp::WriteBasis(out, basis);
   }
+  // v2 stream-lifecycle sections (always present; empty when the caller
+  // tracks no budget/window).
+  static const TenantStreamState kEmptyStreamState;
+  const TenantStreamState& stream =
+      stream_state != nullptr ? *stream_state : kEmptyStreamState;
+  stream.accountant.Serialize(out);
+  stream.window.Serialize(out);
   if (!out.good()) return Status::IoError("snapshot write failed");
   return Status::OK();
 }
 
-Result<SessionSnapshot> ReadSnapshot(std::istream& in) {
+Result<SessionSnapshot> ReadSnapshot(std::istream& in,
+                                     TenantStreamState* stream_state) {
   char magic[sizeof(kMagic)] = {};
   in.read(magic, sizeof(magic));
   if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
@@ -173,10 +185,11 @@ Result<SessionSnapshot> ReadSnapshot(std::istream& in) {
   }
   uint8_t version = 0;
   PRIVSAN_RETURN_IF_ERROR(ReadScalar(in, &version));
-  if (version != kSnapshotVersion) {
+  if (version != kSnapshotVersionV1 && version != kSnapshotVersion) {
     return Status::IoError(
         "unsupported snapshot format version " + std::to_string(version) +
-        " (this build reads version " + std::to_string(kSnapshotVersion) +
+        " (this build reads versions " + std::to_string(kSnapshotVersionV1) +
+        "-" + std::to_string(kSnapshotVersion) +
         "); re-snapshot the session with the current build");
   }
   SessionSnapshot snapshot;
@@ -200,18 +213,31 @@ Result<SessionSnapshot> ReadSnapshot(std::istream& in) {
   for (uint64_t i = 0; i < num_bases; ++i) {
     PRIVSAN_ASSIGN_OR_RETURN(snapshot.bases[i], lp::ReadBasis(in));
   }
+  if (version >= kSnapshotVersion) {
+    PRIVSAN_ASSIGN_OR_RETURN(stream::PrivacyAccountant accountant,
+                             stream::PrivacyAccountant::Deserialize(in));
+    PRIVSAN_ASSIGN_OR_RETURN(stream::WindowState window,
+                             stream::WindowState::Deserialize(in));
+    if (stream_state != nullptr) {
+      stream_state->accountant = std::move(accountant);
+      stream_state->window = std::move(window);
+    }
+  } else if (stream_state != nullptr) {
+    *stream_state = {};  // v1 file: fresh accountant, no window history
+  }
   return snapshot;
 }
 
-Status SaveSnapshot(const SanitizerSession& session,
-                    const std::string& path) {
+Status SaveSnapshot(const SanitizerSession& session, const std::string& path,
+                    const TenantStreamState* stream_state) {
   // Write-then-rename so a crash mid-write never destroys the previous
   // good snapshot at `path` (periodic checkpointing overwrites in place).
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return Status::IoError("cannot open snapshot file: " + tmp);
-    PRIVSAN_RETURN_IF_ERROR(WriteSnapshot(out, session.Snapshot()));
+    PRIVSAN_RETURN_IF_ERROR(
+        WriteSnapshot(out, session.Snapshot(), stream_state));
     out.close();
     if (!out.good()) {
       std::remove(tmp.c_str());
@@ -226,10 +252,12 @@ Status SaveSnapshot(const SanitizerSession& session,
 }
 
 Result<SanitizerSession> RestoreSession(const std::string& path,
-                                        SessionOptions options) {
+                                        SessionOptions options,
+                                        TenantStreamState* stream_state) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open snapshot file: " + path);
-  PRIVSAN_ASSIGN_OR_RETURN(SessionSnapshot snapshot, ReadSnapshot(in));
+  PRIVSAN_ASSIGN_OR_RETURN(SessionSnapshot snapshot,
+                           ReadSnapshot(in, stream_state));
   return SanitizerSession::FromSnapshot(std::move(snapshot),
                                         std::move(options));
 }

@@ -14,8 +14,14 @@
 // 1-byte format version; the payload is native-endian — a restart
 // artifact, not an interchange format.
 //
+// Format versions: v1 is the PR 5 layout (logs, DP rows, bases); v2
+// appends the tenant's stream-lifecycle state — the (ε, δ) accountant and
+// the retention-window timestamps — so a restored or migrated tenant
+// resumes with its budget spend and window intact. Writers emit v2;
+// readers accept both (a v1 file restores with a fresh accountant).
+//
 // Corrupt or truncated files fail with IoError; a file with the right
-// magic but another format version fails with an IoError naming both
+// magic but an unknown format version fails with an IoError naming both
 // versions (not as generic corruption); a snapshot whose stored bases do
 // not fit the models implied by the restore-time SessionOptions silently
 // drops those bases (first solve runs cold, never wrong).
@@ -27,14 +33,27 @@
 #include <string>
 
 #include "core/session.h"
+#include "stream/accountant.h"
+#include "stream/window.h"
 #include "util/result.h"
 
 namespace privsan {
 namespace serve {
 
-// Stream-level codec.
-Status WriteSnapshot(std::ostream& out, const SessionSnapshot& snapshot);
-Result<SessionSnapshot> ReadSnapshot(std::istream& in);
+// The serve-layer tenant state snapshotted alongside the session: the
+// privacy-budget accountant and the retention window (v2 sections).
+struct TenantStreamState {
+  stream::PrivacyAccountant accountant;
+  stream::WindowState window;
+};
+
+// Stream-level codec. `stream_state` may be null: WriteSnapshot then
+// stores empty accountant/window sections; ReadSnapshot discards them
+// (and leaves the output default-constructed for v1 files).
+Status WriteSnapshot(std::ostream& out, const SessionSnapshot& snapshot,
+                     const TenantStreamState* stream_state = nullptr);
+Result<SessionSnapshot> ReadSnapshot(std::istream& in,
+                                     TenantStreamState* stream_state = nullptr);
 
 // The SearchLog sub-codec on its own: users, pairs, then (user, pair,
 // count) tuples, reconstructed with the exact original id assignment.
@@ -48,9 +67,12 @@ Result<SearchLog> ReadSearchLog(std::istream& in);
 // SaveSnapshot writes atomically enough for a single writer (temp file +
 // rename is the caller's concern; SanitizerService snapshots under the
 // tenant lock).
-Status SaveSnapshot(const SanitizerSession& session, const std::string& path);
+Status SaveSnapshot(const SanitizerSession& session, const std::string& path,
+                    const TenantStreamState* stream_state = nullptr);
 Result<SanitizerSession> RestoreSession(const std::string& path,
-                                        SessionOptions options = {});
+                                        SessionOptions options = {},
+                                        TenantStreamState* stream_state =
+                                            nullptr);
 
 }  // namespace serve
 }  // namespace privsan

@@ -1,0 +1,160 @@
+#include "stream/accountant.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/binary_io.h"
+
+namespace privsan {
+namespace stream {
+
+namespace {
+// Absolute slack on the refusal comparisons so a budget sized as an exact
+// multiple of the per-query ε admits the full multiple (the running sums
+// accumulate rounding on the order of 1 ulp per charge).
+constexpr double kTol = 1e-12;
+// History counts are bounded like every other snapshot-borne count.
+constexpr uint64_t kMaxHistory = 1ull << 26;
+}  // namespace
+
+Result<Composition> CompositionFromString(const std::string& name) {
+  if (name == "basic") return Composition::kBasic;
+  if (name == "advanced") return Composition::kAdvanced;
+  return Status::InvalidArgument("unknown composition method: " + name);
+}
+
+const char* CompositionToString(Composition composition) {
+  switch (composition) {
+    case Composition::kBasic:
+      return "basic";
+    case Composition::kAdvanced:
+      return "advanced";
+  }
+  return "unknown";
+}
+
+double PrivacyAccountant::ComposedEpsilon(double sum_eps, double sum_eps_sq,
+                                          double sum_eps_growth) const {
+  if (config_.composition == Composition::kBasic) return sum_eps;
+  const double slack =
+      config_.advanced_delta_slack > 0 ? config_.advanced_delta_slack : 1e-9;
+  return std::sqrt(2.0 * std::log(1.0 / slack) * sum_eps_sq) +
+         sum_eps_growth;
+}
+
+double PrivacyAccountant::SpentEpsilon() const {
+  return ComposedEpsilon(sum_eps_, sum_eps_sq_, sum_eps_growth_);
+}
+
+double PrivacyAccountant::SpentDelta() const {
+  if (history_.empty()) return 0.0;
+  return config_.composition == Composition::kAdvanced
+             ? sum_delta_ + config_.advanced_delta_slack
+             : sum_delta_;
+}
+
+double PrivacyAccountant::RemainingEpsilon() const {
+  if (!enforced()) return std::numeric_limits<double>::infinity();
+  const double remaining = config_.max_epsilon - SpentEpsilon();
+  return remaining > 0.0 ? remaining : 0.0;
+}
+
+bool PrivacyAccountant::WouldRefuse(double epsilon, double delta) const {
+  if (!enforced()) return false;
+  const double eps_after =
+      ComposedEpsilon(sum_eps_ + epsilon, sum_eps_sq_ + epsilon * epsilon,
+                      sum_eps_growth_ + epsilon * std::expm1(epsilon));
+  if (config_.max_epsilon - eps_after <
+      config_.min_remaining_epsilon - kTol) {
+    return true;
+  }
+  if (config_.max_delta > 0.0) {
+    double delta_after = sum_delta_ + delta;
+    if (config_.composition == Composition::kAdvanced) {
+      delta_after += config_.advanced_delta_slack;
+    }
+    if (delta_after > config_.max_delta + kTol) return true;
+  }
+  return false;
+}
+
+Status PrivacyAccountant::Charge(double epsilon, double delta,
+                                 const std::string& verb,
+                                 uint64_t unix_micros) {
+  if (!(epsilon >= 0.0) || !(delta >= 0.0)) {
+    return Status::InvalidArgument("negative or NaN privacy charge");
+  }
+  if (WouldRefuse(epsilon, delta)) {
+    ++refusals_;
+    return Status::BudgetExhausted(
+        "privacy budget exhausted: spent epsilon " +
+        std::to_string(SpentEpsilon()) + " of " +
+        std::to_string(config_.max_epsilon) + " (" +
+        CompositionToString(config_.composition) + " composition, floor " +
+        std::to_string(config_.min_remaining_epsilon) + ")");
+  }
+  history_.push_back(Allocation{unix_micros, epsilon, delta, verb});
+  sum_eps_ += epsilon;
+  sum_delta_ += delta;
+  sum_eps_sq_ += epsilon * epsilon;
+  sum_eps_growth_ += epsilon * std::expm1(epsilon);
+  return Status::OK();
+}
+
+void PrivacyAccountant::Serialize(std::ostream& out) const {
+  binary_io::WriteScalar(out, config_.max_epsilon);
+  binary_io::WriteScalar(out, config_.max_delta);
+  binary_io::WriteScalar(out, config_.min_remaining_epsilon);
+  binary_io::WriteScalar<uint8_t>(
+      out, static_cast<uint8_t>(config_.composition));
+  binary_io::WriteScalar(out, config_.advanced_delta_slack);
+  binary_io::WriteScalar<uint64_t>(out, refusals_);
+  binary_io::WriteScalar<uint64_t>(out, history_.size());
+  for (const Allocation& allocation : history_) {
+    binary_io::WriteScalar(out, allocation.unix_micros);
+    binary_io::WriteScalar(out, allocation.epsilon);
+    binary_io::WriteScalar(out, allocation.delta);
+    binary_io::WriteString(out, allocation.verb);
+  }
+}
+
+Result<PrivacyAccountant> PrivacyAccountant::Deserialize(std::istream& in) {
+  PrivacyAccountant accountant;
+  BudgetConfig& config = accountant.config_;
+  PRIVSAN_RETURN_IF_ERROR(binary_io::ReadScalar(in, &config.max_epsilon));
+  PRIVSAN_RETURN_IF_ERROR(binary_io::ReadScalar(in, &config.max_delta));
+  PRIVSAN_RETURN_IF_ERROR(
+      binary_io::ReadScalar(in, &config.min_remaining_epsilon));
+  uint8_t composition = 0;
+  PRIVSAN_RETURN_IF_ERROR(binary_io::ReadScalar(in, &composition));
+  if (composition > static_cast<uint8_t>(Composition::kAdvanced)) {
+    return Status::IoError("accountant state corrupt: bad composition " +
+                           std::to_string(composition));
+  }
+  config.composition = static_cast<Composition>(composition);
+  PRIVSAN_RETURN_IF_ERROR(
+      binary_io::ReadScalar(in, &config.advanced_delta_slack));
+  PRIVSAN_RETURN_IF_ERROR(
+      binary_io::ReadScalar(in, &accountant.refusals_));
+  PRIVSAN_ASSIGN_OR_RETURN(const uint64_t count,
+                           binary_io::ReadCount(in, kMaxHistory));
+  accountant.history_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Allocation allocation;
+    PRIVSAN_RETURN_IF_ERROR(
+        binary_io::ReadScalar(in, &allocation.unix_micros));
+    PRIVSAN_RETURN_IF_ERROR(binary_io::ReadScalar(in, &allocation.epsilon));
+    PRIVSAN_RETURN_IF_ERROR(binary_io::ReadScalar(in, &allocation.delta));
+    PRIVSAN_ASSIGN_OR_RETURN(allocation.verb, binary_io::ReadString(in));
+    accountant.sum_eps_ += allocation.epsilon;
+    accountant.sum_delta_ += allocation.delta;
+    accountant.sum_eps_sq_ += allocation.epsilon * allocation.epsilon;
+    accountant.sum_eps_growth_ +=
+        allocation.epsilon * std::expm1(allocation.epsilon);
+    accountant.history_.push_back(std::move(allocation));
+  }
+  return accountant;
+}
+
+}  // namespace stream
+}  // namespace privsan

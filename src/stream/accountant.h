@@ -1,0 +1,131 @@
+// Per-tenant (ε, δ) privacy-budget accounting (ROADMAP item 2).
+//
+// The paper's guarantee is spent per *release*: every sanitized view a
+// tenant computes from its log consumes part of a finite (ε, δ) budget,
+// and once the budget is gone further releases silently void the
+// guarantee. The accountant makes that spend explicit: the serve layer
+// charges it on every non-cached Solve/Sweep/Sanitize (cache hits re-serve
+// an already-released answer, so they are free), and the tenant receives a
+// typed kBudgetExhausted refusal once the remaining ε would cross the
+// configured floor.
+//
+// Two composition modes (selectable per tenant):
+//
+//   * basic      — sequential composition: ε and δ add up linearly;
+//   * advanced   — the Dwork–Rothblum–Vadhan bound: for allocations
+//                  {(ε_i, δ_i)} and a slack δ',
+//                    ε_total = sqrt(2 ln(1/δ') · Σ ε_i²) + Σ ε_i(e^{ε_i}−1)
+//                    δ_total = δ' + Σ δ_i,
+//                  sub-linear in the number of queries once ε_i are small.
+//
+// The accountant is plain state — no clock, no locking. Callers pass
+// timestamps in (the serve layer stamps wall-clock micros) and hold their
+// tenant lock; Serialize/Deserialize round-trip the full allocation
+// history so the spend survives snapshot/restore, eviction reload and
+// router migration byte-exactly.
+#ifndef PRIVSAN_STREAM_ACCOUNTANT_H_
+#define PRIVSAN_STREAM_ACCOUNTANT_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace privsan {
+namespace stream {
+
+enum class Composition : uint8_t {
+  kBasic = 0,
+  kAdvanced = 1,
+};
+
+// Returns kInvalidArgument for out-of-range values.
+Result<Composition> CompositionFromString(const std::string& name);
+const char* CompositionToString(Composition composition);
+
+struct BudgetConfig {
+  // Total ε the tenant may spend; 0 = unlimited (the accountant still
+  // records history but never refuses).
+  double max_epsilon = 0.0;
+  // Total δ the tenant may spend; 0 = unlimited.
+  double max_delta = 0.0;
+  // Refusal floor: a charge is refused when it would leave less than this
+  // much ε remaining. 0 = refuse only once the budget itself is exceeded.
+  double min_remaining_epsilon = 0.0;
+  Composition composition = Composition::kBasic;
+  // The δ' slack of the advanced composition bound.
+  double advanced_delta_slack = 1e-9;
+
+  bool operator==(const BudgetConfig&) const = default;
+};
+
+// One recorded charge.
+struct Allocation {
+  uint64_t unix_micros = 0;
+  double epsilon = 0.0;
+  double delta = 0.0;
+  std::string verb;  // what was charged ("solve", "sweep", "sanitize")
+
+  bool operator==(const Allocation&) const = default;
+};
+
+class PrivacyAccountant {
+ public:
+  PrivacyAccountant() = default;
+  explicit PrivacyAccountant(BudgetConfig config) : config_(config) {}
+
+  // Charges (epsilon, delta) at `unix_micros`. Refuses with
+  // kBudgetExhausted — recording nothing but the refusal count — when the
+  // spend after this charge would leave RemainingEpsilon() below the floor
+  // or push SpentDelta() past max_delta. A config with max_epsilon == 0
+  // never refuses.
+  Status Charge(double epsilon, double delta, const std::string& verb,
+                uint64_t unix_micros);
+
+  // Cumulative spend under the configured composition.
+  double SpentEpsilon() const;
+  double SpentDelta() const;
+  // max_epsilon − SpentEpsilon(), clamped at 0; +inf when unlimited.
+  double RemainingEpsilon() const;
+  // Whether the next charge of (epsilon, delta) would be refused.
+  bool WouldRefuse(double epsilon, double delta) const;
+
+  bool enforced() const { return config_.max_epsilon > 0.0; }
+  const BudgetConfig& config() const { return config_; }
+  const std::vector<Allocation>& history() const { return history_; }
+  uint64_t refusals() const { return refusals_; }
+
+  // Full-fidelity round trip (config, history, refusal count). The
+  // running sums are recomputed on read, so a deserialized accountant
+  // reports bit-identical spend: the sums are re-accumulated in history
+  // order, the same order Charge built them in.
+  void Serialize(std::ostream& out) const;
+  static Result<PrivacyAccountant> Deserialize(std::istream& in);
+
+  bool operator==(const PrivacyAccountant& other) const {
+    return config_ == other.config_ && history_ == other.history_ &&
+           refusals_ == other.refusals_;
+  }
+
+ private:
+  // Spend if the running sums were (sum_eps + ε, sum_eps_sq + ε², ...).
+  double ComposedEpsilon(double sum_eps, double sum_eps_sq,
+                         double sum_eps_growth) const;
+
+  BudgetConfig config_;
+  std::vector<Allocation> history_;
+  uint64_t refusals_ = 0;
+  // Running sums over history_ (re-derived by Deserialize).
+  double sum_eps_ = 0.0;
+  double sum_delta_ = 0.0;
+  double sum_eps_sq_ = 0.0;
+  double sum_eps_growth_ = 0.0;  // Σ ε_i·(e^{ε_i} − 1)
+};
+
+}  // namespace stream
+}  // namespace privsan
+
+#endif  // PRIVSAN_STREAM_ACCOUNTANT_H_

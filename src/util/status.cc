@@ -35,6 +35,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Infeasible";
     case StatusCode::kUnbounded:
       return "Unbounded";
+    case StatusCode::kBudgetExhausted:
+      return "BudgetExhausted";
   }
   return "Unknown";
 }

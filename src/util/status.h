@@ -24,6 +24,7 @@ enum class StatusCode : int {
   kIoError = 8,
   kInfeasible = 9,   // optimization model has no feasible point
   kUnbounded = 10,   // optimization objective is unbounded
+  kBudgetExhausted = 11,  // tenant privacy budget spent (stream/accountant.h)
 };
 
 // Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -72,6 +73,9 @@ class Status {
   }
   static Status Unbounded(std::string msg) {
     return Status(StatusCode::kUnbounded, std::move(msg));
+  }
+  static Status BudgetExhausted(std::string msg) {
+    return Status(StatusCode::kBudgetExhausted, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

@@ -517,6 +517,10 @@ TEST(CodecTest, RoundTripsStatsPayload) {
   stats.fast_lane_hits = 17;
   stats.admission_rejected = 18;
   stats.resident_bytes = 1 << 20;
+  stats.users_removed = 19;
+  stats.rows_patched_on_remove = 20;
+  stats.epsilon_spent_micro = 693147;
+  stats.budget_refusals = 21;
 
   serve::ServeResponse decoded = RoundTripResponse({Status::OK(), stats});
   const serve::TenantStats* out = decoded.stats();
@@ -532,6 +536,10 @@ TEST(CodecTest, RoundTripsStatsPayload) {
   EXPECT_EQ(out->fast_lane_hits, 17u);
   EXPECT_EQ(out->admission_rejected, 18u);
   EXPECT_EQ(out->resident_bytes, uint64_t{1} << 20);
+  EXPECT_EQ(out->users_removed, 19u);
+  EXPECT_EQ(out->rows_patched_on_remove, 20u);
+  EXPECT_EQ(out->epsilon_spent_micro, 693147u);
+  EXPECT_EQ(out->budget_refusals, 21u);
 }
 
 // --- Malformed payloads -----------------------------------------------------
@@ -725,6 +733,154 @@ TEST(CodecTest, RejectsImplausibleSlowLogRecordCount) {
   Result<serve::ServeResponse> decoded = net::DecodeResponse(frame);
   ASSERT_FALSE(decoded.ok());
   EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- Streaming-lifecycle verbs (PR 10) --------------------------------------
+
+TEST(CodecTest, RoundTripsRemoveUsersRequest) {
+  serve::ServeRequest decoded = RoundTripRequest(serve::RemoveUsersRequest{
+      "t", {"alice", "bob", "user with spaces"}});
+  auto* remove = std::get_if<serve::RemoveUsersRequest>(&decoded);
+  ASSERT_NE(remove, nullptr);
+  EXPECT_EQ(remove->tenant, "t");
+  EXPECT_EQ(remove->users,
+            (std::vector<std::string>{"alice", "bob", "user with spaces"}));
+
+  // An empty user list is legal (a no-op removal), not malformed.
+  decoded = RoundTripRequest(serve::RemoveUsersRequest{"t", {}});
+  remove = std::get_if<serve::RemoveUsersRequest>(&decoded);
+  ASSERT_NE(remove, nullptr);
+  EXPECT_TRUE(remove->users.empty());
+}
+
+TEST(CodecTest, RoundTripsExpireWindowAndBudgetStatusRequests) {
+  {
+    serve::ServeRequest decoded = RoundTripRequest(
+        serve::ExpireWindowRequest{"t", 0xFEEDFACE12345678ull});
+    auto* expire = std::get_if<serve::ExpireWindowRequest>(&decoded);
+    ASSERT_NE(expire, nullptr);
+    EXPECT_EQ(expire->tenant, "t");
+    EXPECT_EQ(expire->cutoff, 0xFEEDFACE12345678ull);
+  }
+  {
+    serve::ServeRequest decoded =
+        RoundTripRequest(serve::BudgetStatusRequest{"budgeted"});
+    auto* budget = std::get_if<serve::BudgetStatusRequest>(&decoded);
+    ASSERT_NE(budget, nullptr);
+    EXPECT_EQ(budget->tenant, "budgeted");
+  }
+}
+
+TEST(CodecTest, RoundTripsCreateTenantWithBudgetAndWindow) {
+  serve::CreateTenantRequest request{"t", Synthetic(14), std::nullopt};
+  request.budget.max_epsilon = 2.5;
+  request.budget.max_delta = 0.125;
+  request.budget.min_remaining_epsilon = 0.25;
+  request.budget.composition = stream::Composition::kAdvanced;
+  request.budget.advanced_delta_slack = 1e-7;
+  request.window.kind = stream::WindowKind::kTumbling;
+  request.window.span = 86400;
+
+  serve::ServeRequest decoded = RoundTripRequest(request);
+  auto* create = std::get_if<serve::CreateTenantRequest>(&decoded);
+  ASSERT_NE(create, nullptr);
+  EXPECT_EQ(create->budget, request.budget);
+  EXPECT_EQ(create->window, request.window);
+  ExpectLogsIdentical(create->initial, request.initial);
+
+  // Defaults (no budget, no window) round trip as the inactive configs.
+  decoded = RoundTripRequest(
+      serve::CreateTenantRequest{"t", SearchLog(), std::nullopt});
+  create = std::get_if<serve::CreateTenantRequest>(&decoded);
+  ASSERT_NE(create, nullptr);
+  EXPECT_EQ(create->budget, stream::BudgetConfig{});
+  EXPECT_EQ(create->window, stream::WindowPolicy{});
+}
+
+TEST(CodecTest, RoundTripsBudgetStatusPayload) {
+  serve::BudgetStatus budget;
+  budget.max_epsilon = 4.0;
+  budget.max_delta = 0.5;
+  budget.min_remaining_epsilon = 0.125;
+  budget.composition = "advanced";
+  budget.spent_epsilon = 1.75;
+  budget.spent_delta = 0.0625;
+  budget.remaining_epsilon = 2.25;
+  budget.enforced = true;
+  budget.allocations = 12;
+  budget.refusals = 3;
+
+  serve::ServeResponse decoded = RoundTripResponse({Status::OK(), budget});
+  ASSERT_TRUE(decoded.ok());
+  const serve::BudgetStatus* out = decoded.budget();
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->max_epsilon, 4.0);
+  EXPECT_EQ(out->max_delta, 0.5);
+  EXPECT_EQ(out->min_remaining_epsilon, 0.125);
+  EXPECT_EQ(out->composition, "advanced");
+  EXPECT_EQ(out->spent_epsilon, 1.75);
+  EXPECT_EQ(out->spent_delta, 0.0625);
+  EXPECT_EQ(out->remaining_epsilon, 2.25);
+  EXPECT_TRUE(out->enforced);
+  EXPECT_EQ(out->allocations, 12u);
+  EXPECT_EQ(out->refusals, 3u);
+}
+
+// The typed refusal must survive the wire: kBudgetExhausted rides the
+// frame status header and decodes back as itself, not as a generic error.
+TEST(CodecTest, RoundTripsBudgetExhaustedStatus) {
+  serve::ServeResponse response;
+  response.status = Status::BudgetExhausted("spent 1.0 of 1.0");
+  const Frame frame = net::EncodeResponse(response, 7);
+  EXPECT_EQ(frame.status,
+            static_cast<uint16_t>(StatusCode::kBudgetExhausted));
+  serve::ServeResponse decoded = RoundTripResponse(response);
+  EXPECT_EQ(decoded.status.code(), StatusCode::kBudgetExhausted);
+  EXPECT_EQ(decoded.status.message(), "spent 1.0 of 1.0");
+}
+
+// A hostile user-name count in a RemoveUsers frame must fail before
+// allocating or looping: each name needs at least its wire footprint.
+TEST(CodecTest, RejectsImplausibleRemoveUsersCount) {
+  Frame frame =
+      net::EncodeRequest(serve::RemoveUsersRequest{"t", {"alice"}}, 1)
+          .value();
+  // Payload: tenant "t" (u64 length + 1 byte), then the user count u64.
+  const size_t count_at = sizeof(uint64_t) + 1;
+  // Under ReadCount's global cap, so only the bytes-remaining guard can
+  // catch it.
+  const uint64_t huge = 1ull << 20;
+  std::memcpy(frame.payload.data() + count_at, &huge, sizeof(huge));
+  Result<serve::ServeRequest> decoded = net::DecodeRequest(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Unknown composition / window-kind bytes in a CreateTenant stream config
+// are typed decode errors, not silently-misconfigured tenants.
+TEST(CodecTest, RejectsBadCompositionAndWindowKindBytes) {
+  const Frame frame =
+      net::EncodeRequest(
+          serve::CreateTenantRequest{"t", SearchLog(), std::nullopt}, 1)
+          .value();
+  // The stream config is the payload's 42-byte tail:
+  //   max_eps(8) max_delta(8) floor(8) composition(1) slack(8)
+  //   kind(1) span(8)
+  ASSERT_GE(frame.payload.size(), 42u);
+  {
+    Frame bad = frame;
+    bad.payload[bad.payload.size() - 18] = 9;  // composition byte
+    Result<serve::ServeRequest> decoded = net::DecodeRequest(bad);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    Frame bad = frame;
+    bad.payload[bad.payload.size() - 9] = 9;  // window kind byte
+    Result<serve::ServeRequest> decoded = net::DecodeRequest(bad);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
 }
 
 }  // namespace

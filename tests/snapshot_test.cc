@@ -223,18 +223,18 @@ TEST(SnapshotTest, VersionMismatchNamesBothVersions) {
   // Header layout: 7-byte magic "PSANSNP" + 1-byte format version.
   ASSERT_GT(bytes.size(), 8u);
   ASSERT_EQ(bytes.substr(0, 7), "PSANSNP");
-  ASSERT_EQ(bytes[7], '\x01');  // current version — old files stay readable
+  ASSERT_EQ(bytes[7], '\x02');  // current version — v1 files stay readable
 
   // A future-format file must fail with a version message, not as generic
   // corruption (and not as a foreign file).
-  bytes[7] = '\x02';
+  bytes[7] = '\x03';
   std::stringstream future_version(bytes);
   const auto result = serve::ReadSnapshot(future_version);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kIoError);
-  EXPECT_NE(result.status().message().find("version 2"), std::string::npos)
+  EXPECT_NE(result.status().message().find("version 3"), std::string::npos)
       << result.status();
-  EXPECT_NE(result.status().message().find("version 1"), std::string::npos)
+  EXPECT_NE(result.status().message().find("1-2"), std::string::npos)
       << result.status();
 
   // A wrong magic stays a distinct failure mode.

@@ -65,6 +65,18 @@ METRIC_RULES = {
     # zero tolerance. (basis_repairs intentionally has no rule: a repair
     # firing is the feature working, not a regression.)
     "repair_aborted": ("low", 0.0),
+    # Windowed-stream workload (same bench, PR 10). The tick counts are
+    # deterministic for the fixed dataset: fewer users removed means the
+    # removal path silently skipped work, and a post-removal solve falling
+    # back cold means the basis down-remap regressed — zero tolerance on
+    # both. rows_patched_on_remove counts DP rows the removal reused
+    # instead of recomputing (higher is better, like rows_copied). A
+    # budget refusal with the bench's generous budget is an accountant
+    # regression outright.
+    "users_removed": ("high", 0.0),
+    "rows_patched_on_remove": ("high", DEFAULT_TOL),
+    "remove_warm_started": ("high", 0.0),
+    "budget_refusals": ("low", 0.0),
     # Factorization microbench (bench_micro_factorization): fill is
     # deterministic for the fixed rng seed, so a growing LU nnz is a real
     # ordering regression, not noise.

@@ -9,13 +9,23 @@
 //
 // The command set (see net/text_protocol.h, shared by every transport):
 //
-//   CREATE <tenant>                         new empty tenant
+//   CREATE <tenant> [<max_eps> <max_delta> <floor> <basic|advanced>
+//                    [<sliding|tumbling> <span_secs>]]
+//                                           new empty tenant, optionally
+//                                           with an (ε, δ) budget and a
+//                                           retention window
 //   GEN <tenant> <users> <events> <seed>    enqueue a synthetic append batch
 //   APPEND <tenant> <user> <query> <url> <count>   enqueue one click tuple
 //   FLUSH <tenant>                          coalesce + apply queued appends
 //   SOLVE <tenant> <OUMP|FUMP|DUMP> <e_eps> <delta> [output_size]
 //   SWEEP <tenant> <OUMP|FUMP|DUMP> <delta> <e_eps...>   warm-started sweep
-//   SNAPSHOT <tenant> <path>                persist session state
+//   REMOVE <tenant> <user...>               delete users (DP rows patched,
+//                                           basis remapped down)
+//   EXPIRE <tenant> <cutoff_secs>           remove users last active before
+//                                           the cutoff (unix seconds)
+//   BUDGET <tenant>                         privacy-budget accountant state
+//   SNAPSHOT <tenant> <path>                persist session state (incl.
+//                                           accountant + window)
 //   RESTORE <tenant> <path>                 create tenant from a snapshot
 //   DROP <tenant>                           drop a tenant
 //   STATS <tenant>                          serve-path counters
